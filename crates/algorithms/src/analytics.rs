@@ -1,0 +1,130 @@
+//! Convergence analytics: post-hoc summaries of a dynamics run.
+//!
+//! Turns a [`RunOutcome`]'s raw traces into the quantities the evaluation
+//! plots and the theory references: potential gain per slot, time-to-fraction
+//! of final potential, and update concentration across users.
+
+use crate::outcome::RunOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one convergence trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSummary {
+    /// Decision slots to termination.
+    pub slots: usize,
+    /// Total individual updates.
+    pub updates: usize,
+    /// Potential at the initial profile.
+    pub initial_potential: f64,
+    /// Potential at termination.
+    pub final_potential: f64,
+    /// Total potential gain.
+    pub potential_gain: f64,
+    /// Mean potential gain per slot (`0` when no slot elapsed).
+    pub mean_gain_per_slot: f64,
+    /// Largest single-slot potential gain.
+    pub max_slot_gain: f64,
+    /// Slots needed to realize 90% of the total potential gain.
+    pub slots_to_90_percent: usize,
+}
+
+/// Summarizes a run's convergence trajectory.
+///
+/// # Panics
+///
+/// Panics if the outcome has an empty slot trace (every run records at least
+/// the initial state).
+pub fn summarize(outcome: &RunOutcome) -> ConvergenceSummary {
+    let trace = &outcome.slot_trace;
+    assert!(!trace.is_empty(), "slot trace always holds the initial state");
+    let initial = trace[0].potential;
+    let final_potential = trace[trace.len() - 1].potential;
+    let gain = final_potential - initial;
+    let mut max_slot_gain = 0.0f64;
+    for w in trace.windows(2) {
+        max_slot_gain = max_slot_gain.max(w[1].potential - w[0].potential);
+    }
+    let threshold = initial + 0.9 * gain;
+    let slots_to_90 = trace
+        .iter()
+        .position(|s| s.potential >= threshold - 1e-12)
+        .unwrap_or(trace.len() - 1);
+    ConvergenceSummary {
+        slots: outcome.slots,
+        updates: outcome.updates,
+        initial_potential: initial,
+        final_potential,
+        potential_gain: gain,
+        mean_gain_per_slot: if outcome.slots == 0 { 0.0 } else { gain / outcome.slots as f64 },
+        max_slot_gain,
+        slots_to_90_percent: slots_to_90,
+    }
+}
+
+/// Per-user update counts reconstructed from a recorded profit trace: a user
+/// is counted as updated in a slot when its profit trajectory changes due to
+/// its own move. Requires `record_user_profits`; returns `None` otherwise.
+///
+/// Note this is an *upper-bound attribution*: a user's profit also moves when
+/// co-participants join/leave its tasks, so the counts are only meaningful
+/// relative to each other (concentration), not as exact move counts.
+pub fn profit_volatility(outcome: &RunOutcome) -> Option<Vec<f64>> {
+    let trace = outcome.user_profit_trace.as_ref()?;
+    let users = trace.first()?.len();
+    let mut volatility = vec![0.0f64; users];
+    for w in trace.windows(2) {
+        for (v, (before, after)) in volatility.iter_mut().zip(w[0].iter().zip(w[1].iter())) {
+            *v += (after - before).abs();
+        }
+    }
+    Some(volatility)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{run_distributed, DistributedAlgorithm, RunConfig};
+    use vcs_core::examples::fig1_instance;
+
+    #[test]
+    fn summary_is_consistent() {
+        let game = fig1_instance();
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(4));
+        let s = summarize(&out);
+        assert_eq!(s.slots, out.slots);
+        assert!(s.potential_gain >= -1e-9);
+        assert!(s.final_potential >= s.initial_potential - 1e-9);
+        assert!(s.slots_to_90_percent <= s.slots);
+        assert!(s.max_slot_gain >= 0.0);
+        if s.slots > 0 {
+            assert!((s.mean_gain_per_slot - s.potential_gain / s.slots as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn volatility_requires_recording() {
+        let game = fig1_instance();
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(4));
+        assert!(profit_volatility(&out).is_none());
+        let mut cfg = RunConfig::with_seed(4);
+        cfg.record_user_profits = true;
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &cfg);
+        let vol = profit_volatility(&out).unwrap();
+        assert_eq!(vol.len(), game.user_count());
+        assert!(vol.iter().all(|&v| v >= 0.0));
+        // Somebody's profit moved during convergence (unless the random init
+        // was already the equilibrium, which seed 4 is not).
+        assert!(vol.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn ninety_percent_no_later_than_full_convergence() {
+        let game = fig1_instance();
+        for seed in 0..8u64 {
+            let out =
+                run_distributed(&game, DistributedAlgorithm::Muun, &RunConfig::with_seed(seed));
+            let s = summarize(&out);
+            assert!(s.slots_to_90_percent <= s.slots);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulated-annealing total-profit maximization: a centralized *heuristic*
+//! baseline for scales where the exact branch-and-bound ([`crate::corn`]) is
+//! infeasible (the problem is NP-hard, Theorem 1).
+//!
+//! Standard single-move annealing over strategy profiles: propose one user's
+//! route change, accept improvements always and deteriorations with
+//! probability `exp(Δ/T)` under a geometric cooling schedule. Restarting from
+//! the best-response equilibrium would bias the comparison, so the walk
+//! starts from a random profile like the distributed dynamics do.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::{Game, Profile};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Proposals to evaluate.
+    pub iterations: usize,
+    /// Initial temperature (profit units).
+    pub t0: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+}
+
+impl AnnealConfig {
+    /// A schedule that works well at the paper's scenario scales.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, iterations: 20_000, t0: 5.0, cooling: 0.9995 }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealOutcome {
+    /// The best profile seen.
+    pub profile: Profile,
+    /// Its total profit.
+    pub total_profit: f64,
+    /// Number of accepted moves.
+    pub accepted: usize,
+}
+
+/// Runs simulated annealing on the total-profit objective (Eq. 5).
+pub fn run_anneal(game: &Game, config: &AnnealConfig) -> AnnealOutcome {
+    assert!(config.cooling > 0.0 && config.cooling < 1.0, "cooling must lie in (0, 1)");
+    let m = game.user_count();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let choices = game
+        .users()
+        .iter()
+        .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+        .collect();
+    let mut current = Profile::new(game, choices);
+    let mut current_value = current.total_profit(game);
+    let mut best = current.clone();
+    let mut best_value = current_value;
+    let mut temperature = config.t0;
+    let mut accepted = 0usize;
+    for _ in 0..config.iterations {
+        let user = UserId::from_index(rng.random_range(0..m));
+        let n_routes = game.users()[user.index()].routes.len();
+        if n_routes < 2 {
+            temperature *= config.cooling;
+            continue;
+        }
+        let proposal = RouteId::from_index(rng.random_range(0..n_routes));
+        let old_route = current.choice(user);
+        if proposal == old_route {
+            temperature *= config.cooling;
+            continue;
+        }
+        current.apply_move(game, user, proposal);
+        let value = current.total_profit(game);
+        let delta = value - current_value;
+        let accept = delta >= 0.0 || {
+            let u: f64 = rng.random_range(0.0..1.0);
+            u < (delta / temperature.max(1e-12)).exp()
+        };
+        if accept {
+            current_value = value;
+            accepted += 1;
+            if value > best_value {
+                best_value = value;
+                best = current.clone();
+            }
+        } else {
+            current.apply_move(game, user, old_route); // revert
+        }
+        temperature *= config.cooling;
+    }
+    AnnealOutcome { profile: best, total_profit: best_value, accepted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corn::run_corn;
+    use crate::dynamics::{run_distributed, DistributedAlgorithm, RunConfig};
+    use crate::rrn::run_rrn;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use vcs_core::ids::TaskId;
+    use vcs_core::{PlatformParams, Route, Task, User, UserPrefs};
+
+    fn random_game(seed: u64, users: u32, tasks: u32) -> Game {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let task_list: Vec<Task> = (0..tasks)
+            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let user_list: Vec<User> = (0..users)
+            .map(|i| {
+                let n_routes = rng.random_range(2..=4);
+                let routes = (0..n_routes)
+                    .map(|r| {
+                        let mut covered: Vec<TaskId> = (0..rng.random_range(0..4))
+                            .map(|_| TaskId(rng.random_range(0..tasks)))
+                            .collect();
+                        covered.sort_unstable();
+                        covered.dedup();
+                        Route::new(
+                            RouteId(r),
+                            covered,
+                            rng.random_range(0.0..4.0),
+                            rng.random_range(0.0..3.0),
+                        )
+                    })
+                    .collect();
+                User::new(
+                    UserId(i),
+                    UserPrefs::new(
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                    ),
+                    routes,
+                )
+            })
+            .collect();
+        Game::with_paper_bounds(task_list, user_list, PlatformParams::new(0.4, 0.4)).unwrap()
+    }
+
+    #[test]
+    fn anneal_close_to_exact_on_small_instances() {
+        for seed in 0..4u64 {
+            let game = random_game(seed, 8, 10);
+            let exact = run_corn(&game).total_profit;
+            let anneal = run_anneal(&game, &AnnealConfig::with_seed(seed)).total_profit;
+            assert!(anneal <= exact + 1e-9, "anneal above the optimum?");
+            assert!(
+                anneal >= 0.95 * exact,
+                "seed {seed}: anneal {anneal} far below optimum {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn anneal_beats_random_profiles() {
+        let game = random_game(11, 25, 20);
+        let anneal = run_anneal(&game, &AnnealConfig::with_seed(1)).total_profit;
+        for seed in 0..5u64 {
+            let random = run_rrn(&game, seed).total_profit(&game);
+            assert!(anneal >= random - 1e-9);
+        }
+    }
+
+    #[test]
+    fn anneal_weakly_dominates_equilibrium_on_average() {
+        // Not guaranteed per-instance, but over a few seeds the centralized
+        // heuristic should at least match the equilibrium total.
+        let mut anneal_sum = 0.0;
+        let mut eq_sum = 0.0;
+        for seed in 0..5u64 {
+            let game = random_game(seed + 50, 20, 15);
+            anneal_sum += run_anneal(&game, &AnnealConfig::with_seed(seed)).total_profit;
+            eq_sum += run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed))
+                .profile
+                .total_profit(&game);
+        }
+        assert!(anneal_sum >= eq_sum * 0.98, "anneal {anneal_sum} vs equilibrium {eq_sum}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let game = random_game(3, 12, 10);
+        let cfg = AnnealConfig::with_seed(7);
+        assert_eq!(run_anneal(&game, &cfg), run_anneal(&game, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling must lie in (0, 1)")]
+    fn invalid_cooling_rejected() {
+        let game = random_game(1, 3, 3);
+        let mut cfg = AnnealConfig::with_seed(0);
+        cfg.cooling = 1.5;
+        let _ = run_anneal(&game, &cfg);
+    }
+}

@@ -1,0 +1,328 @@
+//! CORN: Centralized Optimal Route Navigation.
+//!
+//! Exact maximization of the total profit `Σ_i P_i(s)` (Eq. 5) by
+//! branch-and-bound over user assignments. The problem is NP-hard
+//! (Theorem 1); like the paper, we only run CORN at small scales (≤ ~14
+//! users, ≤ 5 routes each).
+//!
+//! **Admissible bound.** For the paper's parameter range (`a_k ≥ 10`,
+//! `μ_k ≤ 1`) the per-participant share `w_k(x)/x` is strictly decreasing in
+//! `x`, so (a) an unassigned user's profit is at most its best route profit
+//! assuming it is alone on every task, and (b) an assigned user's reward
+//! computed with the *current* partial counts only shrinks as later users
+//! join. Summing both gives an upper bound on any completion of a partial
+//! assignment.
+
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::RouteId;
+use vcs_core::{Game, Profile};
+
+/// Outcome of a CORN run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornOutcome {
+    /// The profit-maximizing profile.
+    pub profile: Profile,
+    /// Its total profit.
+    pub total_profit: f64,
+    /// Number of search nodes explored (diagnostic).
+    pub nodes: u64,
+}
+
+/// Per-user optimistic profit: best route value assuming solo participation.
+fn solo_bounds(game: &Game) -> Vec<f64> {
+    game.users()
+        .iter()
+        .map(|u| {
+            u.routes
+                .iter()
+                .map(|r| {
+                    let reward: f64 =
+                        r.tasks.iter().map(|&t| game.task(t).reward(1)).sum();
+                    u.prefs.alpha * reward - game.user_route_cost(u.id, r)
+                })
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// Exact branch-and-bound solver for Eq. 5.
+///
+/// # Panics
+///
+/// Panics when the instance is too large for exact search
+/// (`|U| > 20`), mirroring the paper's use of CORN at small scales only.
+pub fn run_corn(game: &Game) -> CornOutcome {
+    let m = game.user_count();
+    assert!(m <= 20, "CORN is exact search; use it at paper scale (≤ 20 users)");
+    let solo = solo_bounds(game);
+    // Suffix sums of solo bounds for O(1) "remaining users" bounds.
+    let mut suffix = vec![0.0; m + 1];
+    for i in (0..m).rev() {
+        suffix[i] = suffix[i + 1] + solo[i];
+    }
+    let mut best_profit = f64::NEG_INFINITY;
+    let mut best_choices: Vec<RouteId> = vec![RouteId(0); m];
+    // Users ≥ depth are unassigned, so participant counts are maintained
+    // manually over the assigned prefix only.
+    let mut counts = vec![0u32; game.task_count()];
+    let mut choices: Vec<RouteId> = vec![RouteId(0); m];
+    let mut nodes = 0u64;
+
+    // Assigned-users optimistic profit under current counts.
+    fn assigned_value(game: &Game, choices: &[RouteId], counts: &[u32], depth: usize) -> f64 {
+        let mut total = 0.0;
+        for (user, &choice) in game.users().iter().zip(choices).take(depth) {
+            let route = &user.routes[choice.index()];
+            let reward: f64 = route
+                .tasks
+                .iter()
+                .map(|&t| game.task(t).share(counts[t.index()]))
+                .sum();
+            total += user.prefs.alpha * reward - game.user_route_cost(user.id, route);
+        }
+        total
+    }
+
+    /// Tight optimistic value of one unassigned user given current counts:
+    /// its best route assuming it joins each covered task *next* (eventual
+    /// shares can only be lower because counts only grow).
+    fn unassigned_bound(game: &Game, user_idx: usize, counts: &[u32]) -> f64 {
+        let user = &game.users()[user_idx];
+        user.routes
+            .iter()
+            .map(|r| {
+                let reward: f64 = r
+                    .tasks
+                    .iter()
+                    .map(|&t| game.task(t).share(counts[t.index()] + 1))
+                    .sum();
+                user.prefs.alpha * reward - game.user_route_cost(user.id, r)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn dfs(
+        game: &Game,
+        depth: usize,
+        choices: &mut Vec<RouteId>,
+        counts: &mut Vec<u32>,
+        suffix: &[f64],
+        best_profit: &mut f64,
+        best_choices: &mut Vec<RouteId>,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        let m = game.user_count();
+        if depth == m {
+            let value = assigned_value(game, choices, counts, m);
+            if value > *best_profit {
+                *best_profit = value;
+                best_choices.clone_from(choices);
+            }
+            return;
+        }
+        // Cheap static bound first (solo shares, precomputed suffix sums).
+        let assigned = assigned_value(game, choices, counts, depth);
+        if assigned + suffix[depth] <= *best_profit + 1e-12 {
+            return;
+        }
+        // Tight bound: unassigned users join at current counts + 1; eventual
+        // shares only shrink as more users pile on, so this stays admissible.
+        let mut bound = assigned;
+        for j in depth..m {
+            bound += unassigned_bound(game, j, counts);
+        }
+        if bound <= *best_profit + 1e-12 {
+            return;
+        }
+        let n_routes = game.users()[depth].routes.len();
+        // Explore routes in descending myopic value to find good incumbents
+        // early.
+        let mut order: Vec<usize> = (0..n_routes).collect();
+        let myopic = |r: usize| {
+            let user = &game.users()[depth];
+            let route = &user.routes[r];
+            let reward: f64 = route
+                .tasks
+                .iter()
+                .map(|&t| game.task(t).share(counts[t.index()] + 1))
+                .sum();
+            user.prefs.alpha * reward - game.user_route_cost(user.id, route)
+        };
+        order.sort_by(|&a, &b| myopic(b).total_cmp(&myopic(a)));
+        for r in order {
+            choices[depth] = RouteId::from_index(r);
+            for &t in &game.users()[depth].routes[r].tasks {
+                counts[t.index()] += 1;
+            }
+            dfs(game, depth + 1, choices, counts, suffix, best_profit, best_choices, nodes);
+            for &t in &game.users()[depth].routes[r].tasks {
+                counts[t.index()] -= 1;
+            }
+        }
+        choices[depth] = RouteId(0);
+    }
+
+    dfs(
+        game,
+        0,
+        &mut choices,
+        &mut counts,
+        &suffix,
+        &mut best_profit,
+        &mut best_choices,
+        &mut nodes,
+    );
+    let profile = Profile::new(game, best_choices);
+    let total_profit = profile.total_profit(game);
+    debug_assert!((total_profit - best_profit).abs() < 1e-6);
+    CornOutcome { profile, total_profit, nodes }
+}
+
+/// Exhaustive reference solver (no pruning) for cross-checking CORN on tiny
+/// instances. Panics above 10 users.
+pub fn run_exhaustive(game: &Game) -> CornOutcome {
+    let m = game.user_count();
+    assert!(m <= 10, "exhaustive reference limited to 10 users");
+    let sizes: Vec<usize> = game.users().iter().map(|u| u.routes.len()).collect();
+    let mut choices = vec![RouteId(0); m];
+    let mut best: Option<(f64, Vec<RouteId>)> = None;
+    let mut nodes = 0u64;
+    loop {
+        nodes += 1;
+        let p = Profile::new(game, choices.clone());
+        let total = p.total_profit(game);
+        if best.as_ref().is_none_or(|(b, _)| total > *b) {
+            best = Some((total, choices.clone()));
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == m {
+                let (total_profit, best_choices) = best.unwrap();
+                return CornOutcome {
+                    profile: Profile::new(game, best_choices),
+                    total_profit,
+                    nodes,
+                };
+            }
+            let next = choices[pos].index() + 1;
+            if next < sizes[pos] {
+                choices[pos] = RouteId::from_index(next);
+                break;
+            }
+            choices[pos] = RouteId(0);
+            pos += 1;
+        }
+    }
+}
+
+/// Convenience: worst-case check that CORN's profit weakly dominates a given
+/// profile's (it must, being exact).
+pub fn dominates(game: &Game, corn: &CornOutcome, other: &Profile) -> bool {
+    corn.total_profit >= other.total_profit(game) - 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use vcs_core::examples::{fig1_instance, fig1_profiles};
+    use vcs_core::ids::{TaskId, UserId};
+    use vcs_core::{PlatformParams, Route, Task, User, UserPrefs};
+
+    fn random_game(seed: u64, users: u32, tasks: u32) -> Game {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let task_list: Vec<Task> = (0..tasks)
+            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let user_list: Vec<User> = (0..users)
+            .map(|i| {
+                let n_routes = rng.random_range(1..=4);
+                let routes = (0..n_routes)
+                    .map(|r| {
+                        let mut covered: Vec<TaskId> = (0..rng.random_range(0..4))
+                            .map(|_| TaskId(rng.random_range(0..tasks)))
+                            .collect();
+                        covered.sort_unstable();
+                        covered.dedup();
+                        Route::new(
+                            RouteId(r),
+                            covered,
+                            rng.random_range(0.0..4.0),
+                            rng.random_range(0.0..3.0),
+                        )
+                    })
+                    .collect();
+                User::new(
+                    UserId(i),
+                    UserPrefs::new(
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                    ),
+                    routes,
+                )
+            })
+            .collect();
+        Game::with_paper_bounds(task_list, user_list, PlatformParams::new(0.4, 0.4)).unwrap()
+    }
+
+    #[test]
+    fn corn_matches_exhaustive_on_random_instances() {
+        for seed in 0..8u64 {
+            let game = random_game(seed, 6, 8);
+            let corn = run_corn(&game);
+            let brute = run_exhaustive(&game);
+            assert!(
+                (corn.total_profit - brute.total_profit).abs() < 1e-9,
+                "seed {seed}: corn {} vs brute {}",
+                corn.total_profit,
+                brute.total_profit
+            );
+            assert!(corn.nodes <= brute.nodes * 4, "pruned search exploded");
+        }
+    }
+
+    #[test]
+    fn corn_finds_fig1_optimum() {
+        let game = fig1_instance();
+        let corn = run_corn(&game);
+        let expected = Profile::new(&game, fig1_profiles::CENTRALIZED_OPTIMAL.to_vec());
+        assert!((corn.total_profit - expected.total_profit(&game)).abs() < 1e-9);
+        // Unscaled optimum is $12.
+        assert!((corn.total_profit / 0.5 - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corn_dominates_equilibria() {
+        use crate::dynamics::{run_distributed, DistributedAlgorithm, RunConfig};
+        for seed in 0..4u64 {
+            let game = random_game(seed + 100, 8, 10);
+            let corn = run_corn(&game);
+            let eq = run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(seed),
+            );
+            assert!(dominates(&game, &corn, &eq.profile));
+        }
+    }
+
+    #[test]
+    fn corn_handles_single_user() {
+        let game = random_game(5, 1, 4);
+        let corn = run_corn(&game);
+        let brute = run_exhaustive(&game);
+        assert!((corn.total_profit - brute.total_profit).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "paper scale")]
+    fn corn_rejects_large_instances() {
+        let game = random_game(1, 21, 5);
+        let _ = run_corn(&game);
+    }
+}

@@ -1,0 +1,384 @@
+//! The distributed route-navigation dynamics (Alg. 1 + Alg. 2) and the four
+//! distributed baselines of §5.2.
+//!
+//! All five distributed variants share one synchronous driver: in each
+//! decision slot the platform collects update requests from users that can
+//! improve (Alg. 1 lines 10–12), a scheduler grants the opportunity to a
+//! subset (Alg. 2 line 8), the granted users switch, and the platform
+//! refreshes the participant counts (Alg. 2 line 10). The loop ends when no
+//! request arrives — a Nash equilibrium by construction.
+
+use crate::outcome::{RunOutcome, SlotTrace};
+use crate::request::UpdateRequest;
+use crate::scheduler::{buau, puu, suu};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::UserId;
+use vcs_core::response::{best_route_set, better_routes};
+use vcs_core::{potential, Game, Profile};
+
+/// The five distributed algorithms evaluated in §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributedAlgorithm {
+    /// Distributed Game-theoretical Route Navigation: best response + SUU
+    /// (random single requester per slot). The paper's main algorithm.
+    Dgrn,
+    /// Multi-User Update Navigation: best response + PUU (Algorithm 3,
+    /// parallel conflict-free batch per slot).
+    Muun,
+    /// Better Response Update Navigation: a random single requester takes a
+    /// uniformly random *better* (not necessarily best) route.
+    Brun,
+    /// Best Update of All Users: the single requester with the largest
+    /// potential increase updates.
+    Buau,
+    /// Bayesian Asynchronous Task Selection (adapted from Cheung et al.):
+    /// users take turns round-robin; every turn consumes a decision slot
+    /// even when the user cannot improve.
+    Bats,
+}
+
+impl DistributedAlgorithm {
+    /// All five, in the paper's legend order.
+    pub const ALL: [DistributedAlgorithm; 5] = [
+        DistributedAlgorithm::Dgrn,
+        DistributedAlgorithm::Brun,
+        DistributedAlgorithm::Buau,
+        DistributedAlgorithm::Bats,
+        DistributedAlgorithm::Muun,
+    ];
+
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistributedAlgorithm::Dgrn => "DGRN",
+            DistributedAlgorithm::Muun => "MUUN",
+            DistributedAlgorithm::Brun => "BRUN",
+            DistributedAlgorithm::Buau => "BUAU",
+            DistributedAlgorithm::Bats => "BATS",
+        }
+    }
+}
+
+/// Configuration of a dynamics run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// RNG seed (initial routes, SUU draws, tie-breaking).
+    pub seed: u64,
+    /// Safety cap on decision slots; the dynamics provably terminate, the
+    /// cap guards against implementation bugs only.
+    pub max_slots: usize,
+    /// Record per-user profit trajectories (Fig. 3); costs `O(slots · M)`.
+    pub record_user_profits: bool,
+}
+
+impl RunConfig {
+    /// Default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, max_slots: 1_000_000, record_user_profits: false }
+    }
+}
+
+/// Runs `algorithm` on `game` and returns the outcome. The initial profile
+/// assigns each user a uniformly random recommended route (Alg. 1 line 3).
+pub fn run_distributed(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let choices = game
+        .users()
+        .iter()
+        .map(|u| vcs_core::ids::RouteId::from_index(rng.random_range(0..u.routes.len())))
+        .collect();
+    let profile = Profile::new(game, choices);
+    run_distributed_from(game, algorithm, config, profile, &mut rng)
+}
+
+/// Runs the dynamics from an explicit starting profile (used by tests and by
+/// the message-passing runtime for cross-validation).
+pub fn run_distributed_from(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+    mut profile: Profile,
+    rng: &mut StdRng,
+) -> RunOutcome {
+    let m = game.user_count();
+    let mut slot_trace = Vec::new();
+    let mut user_profit_trace = config.record_user_profits.then(Vec::new);
+    let record = |profile: &Profile,
+                  updated: usize,
+                  slot_trace: &mut Vec<SlotTrace>,
+                  user_trace: &mut Option<Vec<Vec<f64>>>| {
+        slot_trace.push(SlotTrace {
+            potential: potential(game, profile),
+            total_profit: profile.total_profit(game),
+            updated_users: updated,
+        });
+        if let Some(trace) = user_trace {
+            trace.push(
+                (0..m).map(|i| profile.profit(game, UserId::from_index(i))).collect(),
+            );
+        }
+    };
+    record(&profile, 0, &mut slot_trace, &mut user_profit_trace);
+
+    let mut slots = 0usize;
+    let mut updates = 0usize;
+    let mut min_improvement = f64::INFINITY;
+    let mut converged = false;
+
+    match algorithm {
+        DistributedAlgorithm::Bats => {
+            // Round-robin turns; a full quiet pass terminates. Every turn is
+            // a decision slot, improving or not (§5.3.1's explanation of why
+            // BATS converges slowest).
+            let mut quiet = 0usize;
+            let mut cursor = 0usize;
+            while quiet < m && slots < config.max_slots {
+                let user = UserId::from_index(cursor);
+                cursor = (cursor + 1) % m;
+                slots += 1;
+                let response = best_route_set(game, &profile, user);
+                let updated = if let Some(route) = pick(&response.best_routes, rng) {
+                    profile.apply_move(game, user, *route);
+                    updates += 1;
+                    min_improvement = min_improvement.min(response.gain);
+                    quiet = 0;
+                    1
+                } else {
+                    quiet += 1;
+                    0
+                };
+                record(&profile, updated, &mut slot_trace, &mut user_profit_trace);
+            }
+            converged = quiet >= m;
+        }
+        _ => {
+            while slots < config.max_slots {
+                // Alg. 2 line 6: collect requests from users able to improve.
+                let mut requests: Vec<UpdateRequest> = Vec::new();
+                for i in 0..m {
+                    let user = UserId::from_index(i);
+                    match algorithm {
+                        DistributedAlgorithm::Brun => {
+                            let better = better_routes(game, &profile, user);
+                            if let Some(&(route, gain)) = pick(&better, rng) {
+                                requests.push(UpdateRequest::build(
+                                    game, &profile, user, route, gain,
+                                ));
+                            }
+                        }
+                        _ => {
+                            let response = best_route_set(game, &profile, user);
+                            if let Some(route) = pick(&response.best_routes, rng) {
+                                requests.push(UpdateRequest::build(
+                                    game,
+                                    &profile,
+                                    user,
+                                    *route,
+                                    response.gain,
+                                ));
+                            }
+                        }
+                    }
+                }
+                if requests.is_empty() {
+                    converged = true;
+                    break; // Alg. 2 line 11: no request ⇒ terminate.
+                }
+                let granted: Vec<usize> = match algorithm {
+                    DistributedAlgorithm::Dgrn | DistributedAlgorithm::Brun => {
+                        suu(&requests, rng)
+                    }
+                    DistributedAlgorithm::Buau => buau(&requests),
+                    DistributedAlgorithm::Muun => puu(&requests),
+                    DistributedAlgorithm::Bats => unreachable!("handled above"),
+                };
+                debug_assert!(!granted.is_empty());
+                slots += 1;
+                for &g in &granted {
+                    let req = &requests[g];
+                    profile.apply_move(game, req.user, req.new_route);
+                    updates += 1;
+                    min_improvement = min_improvement.min(req.gain);
+                }
+                record(&profile, granted.len(), &mut slot_trace, &mut user_profit_trace);
+            }
+        }
+    }
+
+    RunOutcome {
+        profile,
+        slots,
+        updates,
+        converged,
+        slot_trace,
+        user_profit_trace,
+        min_improvement,
+    }
+}
+
+/// Uniformly random element of a slice, or `None` for an empty slice.
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::examples::fig1_instance;
+    use vcs_core::ids::{RouteId, TaskId};
+    use vcs_core::response::is_nash;
+    use vcs_core::{PlatformParams, Route, Task, User, UserPrefs};
+
+    fn medium_game(seed: u64) -> Game {
+        // A random-ish but fixed game: 8 users, 12 tasks, 3 routes each.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..12)
+            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let users: Vec<User> = (0..8u32)
+            .map(|i| {
+                let routes = (0..3u32)
+                    .map(|r| {
+                        let n_tasks = rng.random_range(0..4);
+                        let mut covered: Vec<TaskId> =
+                            (0..n_tasks).map(|_| TaskId(rng.random_range(0..12))).collect();
+                        covered.sort_unstable();
+                        covered.dedup();
+                        Route::new(
+                            RouteId(r),
+                            covered,
+                            rng.random_range(0.0..5.0),
+                            rng.random_range(0.0..4.0),
+                        )
+                    })
+                    .collect();
+                User::new(
+                    vcs_core::ids::UserId(i),
+                    UserPrefs::new(
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                    ),
+                    routes,
+                )
+            })
+            .collect();
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.4, 0.4)).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_reach_nash() {
+        for seed in 0..5u64 {
+            let game = medium_game(seed);
+            for algo in DistributedAlgorithm::ALL {
+                let out = run_distributed(&game, algo, &RunConfig::with_seed(seed));
+                assert!(out.converged, "{} did not converge", algo.name());
+                assert!(
+                    is_nash(&game, &out.profile),
+                    "{} terminated off-equilibrium (seed {seed})",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potential_monotone_along_any_run() {
+        let game = medium_game(3);
+        for algo in DistributedAlgorithm::ALL {
+            let out = run_distributed(&game, algo, &RunConfig::with_seed(11));
+            for w in out.slot_trace.windows(2) {
+                assert!(
+                    w[1].potential >= w[0].potential - 1e-9,
+                    "{}: potential decreased {} -> {}",
+                    algo.name(),
+                    w[0].potential,
+                    w[1].potential
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn muun_converges_in_fewest_slots_on_average() {
+        let mut totals = std::collections::HashMap::new();
+        for seed in 0..10u64 {
+            let game = medium_game(seed);
+            for algo in DistributedAlgorithm::ALL {
+                let out = run_distributed(&game, algo, &RunConfig::with_seed(seed * 7 + 1));
+                *totals.entry(algo.name()).or_insert(0usize) += out.slots;
+            }
+        }
+        assert!(totals["MUUN"] <= totals["DGRN"]);
+        assert!(totals["DGRN"] <= totals["BATS"]);
+    }
+
+    #[test]
+    fn fig1_dynamics_reach_the_paper_equilibrium() {
+        let game = fig1_instance();
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(5));
+        assert!(is_nash(&game, &out.profile));
+        // The unique equilibrium of Fig. 1 is u1:r1, u2:r3, u3:r4 (total 11
+        // unscaled). u1 never stays on r2: sharing $6 yields at most 3 < 5.
+        assert_eq!(out.profile.choices(), &[RouteId(0), RouteId(0), RouteId(0)]);
+    }
+
+    #[test]
+    fn slot_trace_has_initial_entry() {
+        let game = medium_game(1);
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(2));
+        assert_eq!(out.slot_trace.len(), out.slots + 1);
+    }
+
+    #[test]
+    fn user_profit_trace_dimensions() {
+        let game = medium_game(2);
+        let mut cfg = RunConfig::with_seed(3);
+        cfg.record_user_profits = true;
+        let out = run_distributed(&game, DistributedAlgorithm::Muun, &cfg);
+        let trace = out.user_profit_trace.as_ref().unwrap();
+        assert_eq!(trace.len(), out.slots + 1);
+        assert!(trace.iter().all(|row| row.len() == game.user_count()));
+    }
+
+    #[test]
+    fn bats_counts_quiet_turns() {
+        let game = medium_game(4);
+        let out = run_distributed(&game, DistributedAlgorithm::Bats, &RunConfig::with_seed(9));
+        // Terminating requires a full quiet pass, so slots ≥ users and
+        // slots ≥ updates + users.
+        assert!(out.slots >= game.user_count());
+        assert!(out.slots >= out.updates + game.user_count());
+    }
+
+    #[test]
+    fn min_improvement_positive_when_updates_happen() {
+        let game = medium_game(6);
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(1));
+        if out.updates > 0 {
+            assert!(out.min_improvement > 0.0);
+            assert!(out.min_improvement.is_finite());
+        } else {
+            assert_eq!(out.min_improvement, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let game = medium_game(8);
+        let cfg = RunConfig::with_seed(123);
+        let a = run_distributed(&game, DistributedAlgorithm::Muun, &cfg);
+        let b = run_distributed(&game, DistributedAlgorithm::Muun, &cfg);
+        assert_eq!(a, b);
+    }
+}

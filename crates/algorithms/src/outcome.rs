@@ -1,0 +1,110 @@
+//! Run records: what a solver reports besides the final profile.
+
+use serde::{Deserialize, Serialize};
+use vcs_core::Profile;
+
+/// Per-decision-slot observables (drives Fig. 3 and Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotTrace {
+    /// Potential value `ϕ(s)` after the slot.
+    pub potential: f64,
+    /// Total profit `Σ_i P_i(s)` after the slot.
+    pub total_profit: f64,
+    /// Number of users that updated their decision in the slot.
+    pub updated_users: usize,
+}
+
+/// Outcome of a distributed-dynamics run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// The final strategy profile (a Nash equilibrium on normal termination).
+    pub profile: Profile,
+    /// Number of decision slots consumed until termination.
+    pub slots: usize,
+    /// Total number of individual decision updates applied.
+    pub updates: usize,
+    /// Whether the dynamics terminated naturally (no user can improve) as
+    /// opposed to hitting the safety slot cap.
+    pub converged: bool,
+    /// Per-slot observables, including the initial state at index 0.
+    pub slot_trace: Vec<SlotTrace>,
+    /// Per-slot per-user profits (index 0 = initial state); populated only
+    /// when requested in the run configuration.
+    pub user_profit_trace: Option<Vec<Vec<f64>>>,
+    /// The smallest accepted profit improvement over the whole run
+    /// (`ΔP_min` of Theorem 4); `f64::INFINITY` when no update happened.
+    pub min_improvement: f64,
+}
+
+impl RunOutcome {
+    /// Potential value at termination.
+    pub fn final_potential(&self) -> f64 {
+        self.slot_trace.last().map_or(f64::NAN, |s| s.potential)
+    }
+
+    /// Total profit at termination.
+    pub fn final_total_profit(&self) -> f64 {
+        self.slot_trace.last().map_or(f64::NAN, |s| s.total_profit)
+    }
+
+    /// Mean number of users updated per slot (excluding the initial entry);
+    /// `0.0` when no slot elapsed. Table 3's "selected user number".
+    pub fn mean_updates_per_slot(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.updates as f64 / self.slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::ids::{RouteId, TaskId, UserId};
+    use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs};
+
+    fn tiny_profile() -> Profile {
+        let game = Game::with_paper_bounds(
+            vec![Task::new(TaskId(0), 10.0, 0.0)],
+            vec![User::new(
+                UserId(0),
+                UserPrefs::neutral(),
+                vec![Route::new(RouteId(0), vec![TaskId(0)], 0.0, 0.0)],
+            )],
+            PlatformParams::new(0.5, 0.5),
+        )
+        .unwrap();
+        Profile::all_first(&game)
+    }
+
+    fn outcome() -> RunOutcome {
+        RunOutcome {
+            profile: tiny_profile(),
+            slots: 4,
+            updates: 6,
+            converged: true,
+            slot_trace: vec![
+                SlotTrace { potential: 1.0, total_profit: 2.0, updated_users: 0 },
+                SlotTrace { potential: 3.0, total_profit: 4.0, updated_users: 2 },
+            ],
+            user_profit_trace: None,
+            min_improvement: 0.5,
+        }
+    }
+
+    #[test]
+    fn final_values_read_last_slot() {
+        let o = outcome();
+        assert_eq!(o.final_potential(), 3.0);
+        assert_eq!(o.final_total_profit(), 4.0);
+    }
+
+    #[test]
+    fn mean_updates_per_slot() {
+        let o = outcome();
+        assert!((o.mean_updates_per_slot() - 1.5).abs() < 1e-12);
+        let empty = RunOutcome { slots: 0, updates: 0, ..o };
+        assert_eq!(empty.mean_updates_per_slot(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! RRN: Random Route Navigation — every user picks a uniformly random route
+//! from its recommended set (§5.2 baseline).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_core::ids::RouteId;
+use vcs_core::{Game, Profile};
+
+/// Runs RRN with the given seed and returns the resulting profile.
+pub fn run_rrn(game: &Game, seed: u64) -> Profile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let choices = game
+        .users()
+        .iter()
+        .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+        .collect();
+    Profile::new(game, choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::examples::fig1_instance;
+
+    #[test]
+    fn rrn_is_valid_and_deterministic() {
+        let game = fig1_instance();
+        let a = run_rrn(&game, 4);
+        let b = run_rrn(&game, 4);
+        assert_eq!(a, b);
+        assert!(game.validate_profile(a.choices()).is_ok());
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ() {
+        let game = fig1_instance();
+        let base = run_rrn(&game, 0);
+        let differs = (1..20u64).any(|s| run_rrn(&game, s) != base);
+        assert!(differs, "20 seeds all produced the identical profile");
+    }
+}

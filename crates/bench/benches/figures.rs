@@ -1,0 +1,32 @@
+//! One Criterion bench per paper table/figure: times the experiment runner
+//! that regenerates the artifact (at reduced replication — the full 500-rep
+//! regeneration is `cargo run --release -p vcs-experiments --bin repro`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vcs_experiments::{run_experiment, Ctx, ALL_EXPERIMENTS};
+
+fn bench_figures(c: &mut Criterion) {
+    // Two repetitions per point: enough to execute every code path of every
+    // experiment while keeping `cargo bench` tractable.
+    let ctx = Ctx::new(2, 99, None);
+    // Warm the substrate pools once so the benches time the experiments, not
+    // the one-off city/trace generation.
+    for id in ALL_EXPERIMENTS {
+        let _ = run_experiment(&ctx, id);
+    }
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in ALL_EXPERIMENTS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report = run_experiment(&ctx, black_box(id)).expect("known id");
+                black_box(report.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

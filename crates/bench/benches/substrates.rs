@@ -1,0 +1,86 @@
+//! Substrate performance: city generation, k-shortest paths, route
+//! recommendation, trace synthesis, OD extraction and scenario instantiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcs_bench::{bench_game, bench_pool};
+use vcs_roadnet::{
+    astar_path, k_shortest_paths, recommend_routes, shortest_path, CityConfig, CityKind,
+    CostMetric, NodeId, RecommendConfig,
+};
+use vcs_scenario::Dataset;
+use vcs_traces::{extract_all, generate_traces, TraceGenConfig};
+
+fn bench_city_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("city_generation");
+    for dataset in Dataset::ALL {
+        group.bench_function(dataset.name(), |b| {
+            b.iter(|| black_box(dataset.city_config(7).generate().edge_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let graph = CityConfig { kind: CityKind::Grid { nx: 11, ny: 11, spacing: 1.0 }, seed: 7 }
+        .generate();
+    let src = NodeId(0);
+    let dst = NodeId((graph.node_count() - 1) as u32);
+    let mut group = c.benchmark_group("k_shortest_paths");
+    for k in [1usize, 4, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(k_shortest_paths(&graph, src, dst, k, CostMetric::Length).len())
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("dijkstra_point_to_point", |b| {
+        b.iter(|| black_box(shortest_path(&graph, src, dst, CostMetric::Length).unwrap().length))
+    });
+    c.bench_function("astar_point_to_point", |b| {
+        b.iter(|| black_box(astar_path(&graph, src, dst, CostMetric::Length).unwrap().length))
+    });
+    c.bench_function("recommend_routes", |b| {
+        b.iter(|| {
+            black_box(recommend_routes(&graph, src, dst, &RecommendConfig::default()).len())
+        })
+    });
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let graph = Dataset::Shanghai.city_config(7).generate();
+    let cfg = TraceGenConfig { n_traces: 50, ..Dataset::Shanghai.trace_config(7) };
+    c.bench_function("generate_traces_50", |b| {
+        b.iter(|| black_box(generate_traces(&graph, &cfg).len()))
+    });
+    let traces = generate_traces(&graph, &cfg);
+    c.bench_function("extract_od_50", |b| {
+        b.iter(|| black_box(extract_all(&graph, &traces).len()))
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let pool = bench_pool();
+    let mut group = c.benchmark_group("scenario_instantiate");
+    for (users, tasks) in [(20usize, 40usize), (100, 100)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{users}u_{tasks}t")),
+            &(users, tasks),
+            |b, &(users, tasks)| {
+                b.iter(|| black_box(bench_game(&pool, users, tasks, 5).task_count()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_city_generation,
+    bench_shortest_paths,
+    bench_traces,
+    bench_scenario
+);
+criterion_main!(benches);

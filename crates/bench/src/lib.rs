@@ -1,0 +1,35 @@
+//! # vcs-bench — benchmark support
+//!
+//! Shared fixtures for the Criterion benches: pre-built substrate pools and
+//! representative game instances. The benches live in `benches/`:
+//!
+//! * `figures` — one bench per paper table/figure, timing the experiment
+//!   runner at reduced replication (the *content* regeneration lives in the
+//!   `repro` binary; these track the cost of regenerating each artifact);
+//! * `substrates` — road-network, trace and scenario substrate performance;
+//! * `solvers` — best-response scans, full dynamics, PUU selection, CORN
+//!   branch-and-bound and the message-passing runtimes.
+
+use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig, RunOutcome};
+use vcs_core::Game;
+use vcs_scenario::{Dataset, ScenarioConfig, ScenarioParams, UserPool};
+
+/// Builds the standard benchmark pool (Shanghai analogue, fixed seed).
+pub fn bench_pool() -> UserPool {
+    UserPool::build(Dataset::Shanghai, 2024)
+}
+
+/// Builds a benchmark game of the given size from a pool.
+pub fn bench_game(pool: &UserPool, n_users: usize, n_tasks: usize, seed: u64) -> Game {
+    pool.instantiate(&ScenarioConfig {
+        n_users,
+        n_tasks,
+        seed,
+        params: ScenarioParams::default(),
+    })
+}
+
+/// Runs an algorithm to equilibrium (helper shared by several benches).
+pub fn equilibrate(game: &Game, algo: DistributedAlgorithm, seed: u64) -> RunOutcome {
+    run_distributed(game, algo, &RunConfig::with_seed(seed))
+}

@@ -1,0 +1,151 @@
+//! Theorem 4: upper bound on the number of decision slots to convergence.
+//!
+//! For better/best-response dynamics where each accepted update improves the
+//! updating user's profit by at least `ΔP_min`, the number of decision slots
+//! `C` satisfies
+//!
+//! ```text
+//! C < (e_max / ΔP_min) · |U| · ( |L|·(g_max − g_min)
+//!                               + (e_max/e_min)·d_max
+//!                               + (e_max/e_min)·b_max )
+//! ```
+//!
+//! where `g_min ≤ w_k(q)/q ≤ g_max` over all tasks and occupancies,
+//! `d_max = φ·h_max` and `b_max = θ·c_max` are the largest route costs, and
+//! `(e_min, e_max)` bound the user weights.
+
+use crate::game::Game;
+use crate::user::WeightBounds;
+
+/// The quantities entering the Theorem 4 bound, exposed for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotBoundTerms {
+    /// `g_min = min_{k,q} w_k(q)/q` over `q ∈ [1, |U|]`.
+    pub g_min: f64,
+    /// `g_max = max_{k,q} w_k(q)/q`.
+    pub g_max: f64,
+    /// `d_max`: maximum detour cost `φ·h(r)` over all recommended routes.
+    pub d_max: f64,
+    /// `b_max`: maximum congestion cost `θ·c(r)` over all recommended routes.
+    pub b_max: f64,
+    /// Weight bounds `(e_min, e_max)`.
+    pub bounds: WeightBounds,
+}
+
+impl SlotBoundTerms {
+    /// Extracts all terms from a game instance.
+    pub fn from_game(game: &Game) -> Self {
+        let max_q = u32::try_from(game.user_count().max(1)).expect("user count fits u32");
+        let mut g_min = f64::INFINITY;
+        let mut g_max = f64::NEG_INFINITY;
+        for task in game.tasks() {
+            // w_k(q)/q is monotone decreasing for the paper's parameter range
+            // (a_k > μ_k), but we scan all q to stay correct for any valid
+            // instance.
+            for q in 1..=max_q {
+                let share = task.share(q);
+                g_min = g_min.min(share);
+                g_max = g_max.max(share);
+            }
+        }
+        if game.task_count() == 0 {
+            g_min = 0.0;
+            g_max = 0.0;
+        }
+        Self {
+            g_min,
+            g_max,
+            d_max: game.params().phi * game.max_detour(),
+            b_max: game.params().theta * game.max_congestion(),
+            bounds: game.bounds(),
+        }
+    }
+
+    /// Evaluates the Theorem 4 bound given the smallest accepted profit
+    /// improvement `delta_p_min` (must be positive).
+    pub fn slot_bound(&self, game: &Game, delta_p_min: f64) -> f64 {
+        assert!(delta_p_min > 0.0, "ΔP_min must be positive");
+        let u = game.user_count() as f64;
+        let l = game.task_count() as f64;
+        let e_ratio = self.bounds.e_max / self.bounds.e_min;
+        (self.bounds.e_max / delta_p_min)
+            * u
+            * (l * (self.g_max - self.g_min) + e_ratio * self.d_max + e_ratio * self.b_max)
+    }
+}
+
+/// Convenience wrapper: Theorem 4 bound for `game` given the minimum accepted
+/// improvement `delta_p_min` observed (or enforced) during the run.
+pub fn slot_upper_bound(game: &Game, delta_p_min: f64) -> f64 {
+    SlotBoundTerms::from_game(game).slot_bound(game, delta_p_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::PlatformParams;
+    use crate::ids::{RouteId, TaskId, UserId};
+    use crate::route::Route;
+    use crate::task::Task;
+    use crate::user::{User, UserPrefs};
+
+    fn game() -> Game {
+        let tasks =
+            vec![Task::new(TaskId(0), 10.0, 0.5), Task::new(TaskId(1), 20.0, 1.0)];
+        let users = (0..3)
+            .map(|i| {
+                User::new(
+                    UserId(i),
+                    UserPrefs::new(0.5, 0.5, 0.5),
+                    vec![
+                        Route::new(RouteId(0), vec![TaskId(0)], 0.0, 1.0),
+                        Route::new(RouteId(1), vec![TaskId(1)], 5.0, 3.0),
+                    ],
+                )
+            })
+            .collect();
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap()
+    }
+
+    #[test]
+    fn terms_extracted_correctly() {
+        let g = game();
+        let t = SlotBoundTerms::from_game(&g);
+        // g_max: best share is 20 at q=1; g_min: worst is task 0 at q=3.
+        assert!((t.g_max - 20.0).abs() < 1e-12);
+        let expected_gmin = (10.0 + 0.5 * 3f64.ln()) / 3.0;
+        assert!((t.g_min - expected_gmin).abs() < 1e-12);
+        assert!((t.d_max - 2.5).abs() < 1e-12); // φ·h = 0.5·5
+        assert!((t.b_max - 1.5).abs() < 1e-12); // θ·c = 0.5·3
+    }
+
+    #[test]
+    fn bound_positive_and_scales_inversely_with_delta() {
+        let g = game();
+        let b1 = slot_upper_bound(&g, 0.1);
+        let b2 = slot_upper_bound(&g, 0.2);
+        assert!(b1 > 0.0);
+        assert!((b1 / b2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ΔP_min must be positive")]
+    fn zero_delta_rejected() {
+        let g = game();
+        let _ = slot_upper_bound(&g, 0.0);
+    }
+
+    #[test]
+    fn empty_task_set_has_cost_only_bound() {
+        let users = vec![User::new(
+            UserId(0),
+            UserPrefs::new(0.5, 0.5, 0.5),
+            vec![Route::new(RouteId(0), vec![], 2.0, 2.0)],
+        )];
+        let g = Game::with_paper_bounds(vec![], users, PlatformParams::new(0.5, 0.5)).unwrap();
+        let t = SlotBoundTerms::from_game(&g);
+        assert_eq!(t.g_min, 0.0);
+        assert_eq!(t.g_max, 0.0);
+        assert!(t.slot_bound(&g, 0.5) > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-user profit decomposition: the three terms of Eq. 2 separated.
+//!
+//! Useful for diagnostics, the Table 5 style analyses and user-facing
+//! explanations ("you earned 12.3 in rewards, paid 1.1 in detour and 0.7 in
+//! congestion").
+
+use crate::game::Game;
+use crate::ids::UserId;
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// The components of one user's profit under a strategy profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfitBreakdown {
+    /// Raw reward sum `Σ_{k ∈ L_{s_i}} w_k(n_k)/n_k` (before the `α_i`
+    /// weight).
+    pub raw_reward: f64,
+    /// The weighted reward term `α_i · raw_reward`.
+    pub reward_term: f64,
+    /// The weighted detour cost `β_i · φ · h(s_i)`.
+    pub detour_cost: f64,
+    /// The weighted congestion cost `γ_i · θ · c(s_i)`.
+    pub congestion_cost: f64,
+    /// Number of tasks the user performs.
+    pub tasks_performed: usize,
+}
+
+impl ProfitBreakdown {
+    /// The profit `P_i(s)` reassembled from the components.
+    pub fn profit(&self) -> f64 {
+        self.reward_term - self.detour_cost - self.congestion_cost
+    }
+}
+
+/// Decomposes user `user`'s profit under `profile`.
+pub fn profit_breakdown(game: &Game, profile: &Profile, user: UserId) -> ProfitBreakdown {
+    let u = &game.users()[user.index()];
+    let route = &u.routes[profile.choice(user).index()];
+    let raw_reward: f64 = route
+        .tasks
+        .iter()
+        .map(|&t| game.task(t).share(profile.participants(t)))
+        .sum();
+    ProfitBreakdown {
+        raw_reward,
+        reward_term: u.prefs.alpha * raw_reward,
+        detour_cost: u.prefs.beta * game.detour_cost(route),
+        congestion_cost: u.prefs.gamma * game.congestion_cost(route),
+        tasks_performed: route.task_count(),
+    }
+}
+
+/// Decomposes every user's profit (indexed by user).
+pub fn all_breakdowns(game: &Game, profile: &Profile) -> Vec<ProfitBreakdown> {
+    (0..game.user_count())
+        .map(|i| profit_breakdown(game, profile, UserId::from_index(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::PlatformParams;
+    use crate::ids::{RouteId, TaskId};
+    use crate::route::Route;
+    use crate::task::Task;
+    use crate::user::{User, UserPrefs};
+
+    fn game() -> Game {
+        let tasks = vec![Task::new(TaskId(0), 12.0, 0.0), Task::new(TaskId(1), 18.0, 0.5)];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.4, 0.6, 0.2),
+                vec![Route::new(RouteId(0), vec![TaskId(0), TaskId(1)], 2.0, 3.0)],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.8, 0.1, 0.9),
+                vec![Route::new(RouteId(0), vec![TaskId(0)], 0.0, 1.0)],
+            ),
+        ];
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.25)).unwrap()
+    }
+
+    #[test]
+    fn breakdown_reassembles_profit() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        for i in 0..2u32 {
+            let user = UserId(i);
+            let b = profit_breakdown(&g, &p, user);
+            assert!(
+                (b.profit() - p.profit(&g, user)).abs() < 1e-12,
+                "user {i}: breakdown {} vs profit {}",
+                b.profit(),
+                p.profit(&g, user)
+            );
+        }
+    }
+
+    #[test]
+    fn components_match_hand_computation() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        let b = profit_breakdown(&g, &p, UserId(0));
+        // Task 0 shared (12/2 = 6), task 1 solo (18).
+        assert!((b.raw_reward - 24.0).abs() < 1e-12);
+        assert!((b.reward_term - 0.4 * 24.0).abs() < 1e-12);
+        // β·φ·h = 0.6·0.5·2, γ·θ·c = 0.2·0.25·3.
+        assert!((b.detour_cost - 0.6).abs() < 1e-12);
+        assert!((b.congestion_cost - 0.15).abs() < 1e-12);
+        assert_eq!(b.tasks_performed, 2);
+    }
+
+    #[test]
+    fn all_breakdowns_cover_all_users() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        let all = all_breakdowns(&g, &p);
+        assert_eq!(all.len(), 2);
+        let total: f64 = all.iter().map(ProfitBreakdown::profit).sum();
+        assert!((total - p.total_profit(&g)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for game construction and validation.
+
+use crate::ids::{RouteId, TaskId, UserId};
+use std::fmt;
+
+/// Errors raised while constructing or validating a [`crate::Game`].
+///
+/// The game model validates its inputs eagerly so that the hot simulation loop
+/// can index without checks: every route must reference existing tasks, every
+/// user must have at least one recommended route, and every weight parameter
+/// must lie in the range the paper prescribes (Table 2 / §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A route references a task id that is not part of the game's task set.
+    UnknownTask {
+        /// The offending user.
+        user: UserId,
+        /// The route within that user's recommended set.
+        route: RouteId,
+        /// The task id that does not exist.
+        task: TaskId,
+    },
+    /// A user has an empty recommended route set; the paper guarantees each
+    /// user receives at least one route (the shortest route itself).
+    EmptyRouteSet {
+        /// The user with no routes.
+        user: UserId,
+    },
+    /// A route lists the same task twice.
+    DuplicateTaskOnRoute {
+        /// The offending user.
+        user: UserId,
+        /// The route within that user's recommended set.
+        route: RouteId,
+        /// The duplicated task.
+        task: TaskId,
+    },
+    /// A user weight parameter (`α_i`, `β_i`, `γ_i`) is outside
+    /// `(e_min, e_max)` with `e_min > 0` (§3.1).
+    UserWeightOutOfRange {
+        /// The offending user.
+        user: UserId,
+        /// Name of the parameter (`"alpha"`, `"beta"` or `"gamma"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A platform weight parameter (`φ` or `θ`) is outside `(0, 1)` (§3.1).
+    PlatformWeightOutOfRange {
+        /// Name of the parameter (`"phi"` or `"theta"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A task reward parameter is invalid: `a_k` must be positive and finite,
+    /// `μ_k` must lie in `[0, 1]` (Eq. 1).
+    RewardOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// Name of the parameter (`"a"` or `"mu"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A route cost (`h` or `c`) is negative or non-finite.
+    RouteCostOutOfRange {
+        /// The offending user.
+        user: UserId,
+        /// The route within that user's recommended set.
+        route: RouteId,
+        /// Name of the cost (`"detour"` or `"congestion"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A strategy profile has the wrong number of entries or selects a route
+    /// index outside a user's recommended set.
+    InvalidProfile {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::UnknownTask { user, route, task } => {
+                write!(f, "route {route} of user {user} covers unknown task {task}")
+            }
+            GameError::EmptyRouteSet { user } => {
+                write!(f, "user {user} has an empty recommended route set")
+            }
+            GameError::DuplicateTaskOnRoute { user, route, task } => {
+                write!(f, "route {route} of user {user} lists task {task} twice")
+            }
+            GameError::UserWeightOutOfRange { user, name, value } => write!(
+                f,
+                "user {user} weight {name}={value} outside the open interval (e_min, e_max)"
+            ),
+            GameError::PlatformWeightOutOfRange { name, value } => {
+                write!(f, "platform weight {name}={value} outside the open interval (0, 1)")
+            }
+            GameError::RewardOutOfRange { task, name, value } => {
+                write!(f, "task {task} reward parameter {name}={value} is invalid")
+            }
+            GameError::RouteCostOutOfRange { user, route, name, value } => {
+                write!(f, "route {route} of user {user} has invalid {name} cost {value}")
+            }
+            GameError::InvalidProfile { detail } => write!(f, "invalid strategy profile: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_entities() {
+        let err = GameError::UnknownTask {
+            user: UserId(2),
+            route: RouteId(1),
+            task: TaskId(9),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("u2"), "{msg}");
+        assert!(msg.contains("r1"), "{msg}");
+        assert!(msg.contains("t9"), "{msg}");
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let err: Box<dyn std::error::Error> = Box::new(GameError::EmptyRouteSet { user: UserId(0) });
+        assert!(err.to_string().contains("empty recommended route set"));
+    }
+
+    #[test]
+    fn invalid_profile_carries_detail() {
+        let err = GameError::InvalidProfile { detail: "length 3, expected 4".into() };
+        assert!(err.to_string().contains("length 3, expected 4"));
+    }
+}

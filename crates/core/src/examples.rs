@@ -1,0 +1,189 @@
+//! The paper's hard-coded illustrative instances (Fig. 1 and Fig. 2).
+//!
+//! These tiny games are used by the `repro fig1` / `repro fig2` experiment
+//! runners, by the quickstart example and by tests: they pin down the exact
+//! numbers of the paper's motivating discussion (total profit 6 vs 11 vs 12
+//! for Fig. 1).
+
+use crate::game::{Game, PlatformParams};
+use crate::ids::{RouteId, TaskId, UserId};
+use crate::route::Route;
+use crate::task::Task;
+use crate::user::{User, UserPrefs, WeightBounds};
+
+/// Uniform `α` used by both illustrative instances; rewards in the paper's
+/// figure are quoted unscaled, so figure-level profits are profit `/ α`.
+pub const FIG_ALPHA: f64 = 0.5;
+
+/// Builds the Fig. 1 instance.
+///
+/// Three tasks (`$5`, `$6`, `$1`, all `μ = 0`), five routes and three users:
+///
+/// * `u1 ∈ {r1, r2}` where `r1` covers the `$5` task and `r2` the `$6` task;
+/// * `u2 ∈ {r3}` where `r3` covers the `$6` task;
+/// * `u3 ∈ {r4, r5}` where `r4` covers the `$6` task and `r5` the `$1` task.
+///
+/// All detours/congestions are zero, so profits are pure (scaled) reward
+/// shares. The three solutions discussed in the figure:
+///
+/// * *Maximum reward*: everyone picks the `$6` task → total `6`;
+/// * *Distributed equilibrium*: `u1:r1, u2:r3, u3:r4` → total `11`, Nash;
+/// * *Centralized optimal*: `u1:r1, u2:r3, u3:r5` → total `12`, **not** Nash
+///   (`u3` would deviate to `r4` for `3 > 1`).
+pub fn fig1_instance() -> Game {
+    let tasks = vec![
+        Task::new(TaskId(0), 5.0, 0.0),
+        Task::new(TaskId(1), 6.0, 0.0),
+        Task::new(TaskId(2), 1.0, 0.0),
+    ];
+    let prefs = UserPrefs::new(FIG_ALPHA, FIG_ALPHA, FIG_ALPHA);
+    let users = vec![
+        // u1: r1 = {$5 task}, r2 = {$6 task}
+        User::new(
+            UserId(0),
+            prefs,
+            vec![
+                Route::new(RouteId(0), vec![TaskId(0)], 0.0, 0.0),
+                Route::new(RouteId(1), vec![TaskId(1)], 0.0, 0.0),
+            ],
+        ),
+        // u2: r3 = {$6 task}
+        User::new(UserId(1), prefs, vec![Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0)]),
+        // u3: r4 = {$6 task}, r5 = {$1 task}
+        User::new(
+            UserId(2),
+            prefs,
+            vec![
+                Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0),
+                Route::new(RouteId(1), vec![TaskId(2)], 0.0, 0.0),
+            ],
+        ),
+    ];
+    Game::new(tasks, users, PlatformParams::new(0.5, 0.5), WeightBounds::PAPER)
+        .expect("Fig. 1 instance is valid")
+}
+
+/// The three named profiles of Fig. 1, as route choices `(u1, u2, u3)`.
+pub mod fig1_profiles {
+    use crate::ids::RouteId;
+
+    /// "Maximum profit" (greedy reward chasing): `u1:r2, u2:r3, u3:r4`.
+    pub const MAXIMUM_REWARD: [RouteId; 3] = [RouteId(1), RouteId(0), RouteId(0)];
+    /// "Distributed equilibrium": `u1:r1, u2:r3, u3:r4`.
+    pub const DISTRIBUTED_EQUILIBRIUM: [RouteId; 3] = [RouteId(0), RouteId(0), RouteId(0)];
+    /// "Centralized optimal": `u1:r1, u2:r3, u3:r5`.
+    pub const CENTRALIZED_OPTIMAL: [RouteId; 3] = [RouteId(0), RouteId(0), RouteId(1)];
+}
+
+/// Builds the Fig. 2 instance for given platform weights `(φ, θ)`.
+///
+/// Two users at the same origin, two routes each:
+///
+/// * `r1`: detour `h = 0`, congestion `c = 3`, covers task 0;
+/// * `r2`: detour `h = 2`, congestion `c = 1`, covers task 1.
+///
+/// Both tasks pay `w = 3` (`μ = 0`). The equilibrium reached by best-response
+/// dynamics illustrates the platform knobs: with small `φ, θ` the users split
+/// across both routes (maximizing task coverage); with large `φ` both take
+/// the zero-detour `r1`; with large `θ` both take the low-congestion `r2`.
+pub fn fig2_instance(phi: f64, theta: f64) -> Game {
+    let tasks = vec![Task::new(TaskId(0), 3.0, 0.0), Task::new(TaskId(1), 3.0, 0.0)];
+    let prefs = UserPrefs::new(FIG_ALPHA, FIG_ALPHA, FIG_ALPHA);
+    let routes = || {
+        vec![
+            Route::new(RouteId(0), vec![TaskId(0)], 0.0, 3.0),
+            Route::new(RouteId(1), vec![TaskId(1)], 2.0, 1.0),
+        ]
+    };
+    let users = vec![
+        User::new(UserId(0), prefs, routes()),
+        User::new(UserId(1), prefs, routes()),
+    ];
+    // Fig. 2 uses (φ, θ) up to 1; widen the user bounds so the uniform α stays
+    // valid while φ, θ stay within their own (0, 1) constraint.
+    Game::new(tasks, users, PlatformParams::new(phi, theta), WeightBounds::PAPER)
+        .expect("Fig. 2 instance is valid")
+}
+
+/// The Fig. 2 parameter rows: `(φ, θ)` pairs the figure tabulates. The
+/// figure's `φ = 1` case is represented by the largest admissible value.
+pub const FIG2_ROWS: [(f64, f64); 3] = [(0.1, 0.1), (0.99, 0.1), (0.1, 0.99)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::response::{best_route_set, is_nash};
+
+    #[test]
+    fn fig1_totals_match_paper() {
+        let g = fig1_instance();
+        let unscale = 1.0 / FIG_ALPHA;
+        let total = |choices: &[RouteId; 3]| {
+            Profile::new(&g, choices.to_vec()).total_profit(&g) * unscale
+        };
+        assert!((total(&fig1_profiles::MAXIMUM_REWARD) - 6.0).abs() < 1e-9);
+        assert!((total(&fig1_profiles::DISTRIBUTED_EQUILIBRIUM) - 11.0).abs() < 1e-9);
+        assert!((total(&fig1_profiles::CENTRALIZED_OPTIMAL) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_equilibrium_classification_matches_paper() {
+        let g = fig1_instance();
+        let nash = |choices: &[RouteId; 3]| is_nash(&g, &Profile::new(&g, choices.to_vec()));
+        assert!(!nash(&fig1_profiles::MAXIMUM_REWARD));
+        assert!(nash(&fig1_profiles::DISTRIBUTED_EQUILIBRIUM));
+        assert!(!nash(&fig1_profiles::CENTRALIZED_OPTIMAL));
+    }
+
+    #[test]
+    fn fig1_u3_deviates_from_centralized_optimal() {
+        let g = fig1_instance();
+        let p = Profile::new(&g, fig1_profiles::CENTRALIZED_OPTIMAL.to_vec());
+        let br = best_route_set(&g, &p, UserId(2));
+        assert_eq!(br.best_routes, vec![RouteId(0)]); // u3 switches to r4
+        // Gains (6/2 − 1)·α = 2·0.5 = 1.
+        assert!((br.gain - 1.0).abs() < 1e-9);
+    }
+
+    /// Drives best-response dynamics to equilibrium from a fixed start and
+    /// checks the Fig. 2 outcome for each parameter row.
+    fn fig2_equilibrium(phi: f64, theta: f64) -> Vec<RouteId> {
+        let g = fig2_instance(phi, theta);
+        let mut p = Profile::all_first(&g);
+        for _ in 0..50 {
+            let mut moved = false;
+            for i in 0..2u32 {
+                let br = best_route_set(&g, &p, UserId(i));
+                if let Some(r) = br.first() {
+                    p.apply_move(&g, UserId(i), r);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        assert!(is_nash(&g, &p));
+        p.choices().to_vec()
+    }
+
+    #[test]
+    fn fig2_small_weights_split_users() {
+        let eq = fig2_equilibrium(0.1, 0.1);
+        // One user per route: maximizes task coverage.
+        assert_ne!(eq[0], eq[1]);
+    }
+
+    #[test]
+    fn fig2_large_phi_gathers_on_zero_detour_route() {
+        let eq = fig2_equilibrium(0.99, 0.1);
+        assert_eq!(eq, vec![RouteId(0), RouteId(0)]);
+    }
+
+    #[test]
+    fn fig2_large_theta_gathers_on_low_congestion_route() {
+        let eq = fig2_equilibrium(0.1, 0.99);
+        assert_eq!(eq, vec![RouteId(1), RouteId(1)]);
+    }
+}

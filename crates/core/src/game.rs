@@ -1,0 +1,485 @@
+//! The multi-user route-navigation game instance (§3.1).
+//!
+//! A [`Game`] bundles the task set `L`, the user set `U` (each with its
+//! recommended route set `R_i` and preference weights) and the platform
+//! weights `(φ, θ)`. Construction validates every cross-reference and every
+//! parameter range once, so the simulation loops can index unchecked.
+
+use crate::error::GameError;
+use crate::ids::{RouteId, TaskId, UserId};
+use crate::route::Route;
+use crate::task::Task;
+use crate::user::{User, WeightBounds};
+use serde::{Deserialize, Serialize};
+
+/// Platform-controlled weight parameters (§3.1).
+///
+/// * `phi` (`φ`) scales the detour cost `d(s_i) = φ·h(s_i)` (Eq. 3);
+/// * `theta` (`θ`) scales the congestion cost `b(s_i) = θ·c(s_i)` (Eq. 4).
+///
+/// Both lie strictly inside `(0, 1)`. Lowering both steers users towards task
+/// coverage; raising `phi` favors short detours, raising `theta` favors
+/// uncongested routes (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformParams {
+    /// Detour weight `φ ∈ (0, 1)`.
+    pub phi: f64,
+    /// Congestion weight `θ ∈ (0, 1)`.
+    pub theta: f64,
+}
+
+impl PlatformParams {
+    /// Creates platform parameters.
+    pub fn new(phi: f64, theta: f64) -> Self {
+        Self { phi, theta }
+    }
+
+    /// Midpoint of the Table 2 range (`φ = θ = 0.45`).
+    pub fn table2_midpoint() -> Self {
+        Self::new(0.45, 0.45)
+    }
+}
+
+/// A fully validated instance of the multi-user route-navigation game.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Game {
+    tasks: Vec<Task>,
+    users: Vec<User>,
+    params: PlatformParams,
+    bounds: WeightBounds,
+}
+
+impl Game {
+    /// Builds and validates a game instance.
+    ///
+    /// Validation enforces (per [`GameError`]): task ids are dense indices,
+    /// every route references existing tasks without duplicates, every user
+    /// has ≥ 1 route, user weights lie in `bounds`, platform weights in
+    /// `(0, 1)`, rewards satisfy `a_k > 0 ∧ μ_k ∈ [0, 1]`, and route costs
+    /// are finite and non-negative.
+    pub fn new(
+        tasks: Vec<Task>,
+        users: Vec<User>,
+        params: PlatformParams,
+        bounds: WeightBounds,
+    ) -> Result<Self, GameError> {
+        for name_value in [("phi", params.phi), ("theta", params.theta)] {
+            let (name, value) = name_value;
+            if !(value.is_finite() && value > 0.0 && value < 1.0) {
+                return Err(GameError::PlatformWeightOutOfRange { name, value });
+            }
+        }
+        for (idx, task) in tasks.iter().enumerate() {
+            debug_assert_eq!(task.id.index(), idx, "task ids must be dense indices");
+            if !(task.base_reward.is_finite() && task.base_reward > 0.0) {
+                return Err(GameError::RewardOutOfRange {
+                    task: task.id,
+                    name: "a",
+                    value: task.base_reward,
+                });
+            }
+            if !(task.increment.is_finite() && (0.0..=1.0).contains(&task.increment)) {
+                return Err(GameError::RewardOutOfRange {
+                    task: task.id,
+                    name: "mu",
+                    value: task.increment,
+                });
+            }
+        }
+        let n_tasks = tasks.len();
+        let mut seen = vec![false; n_tasks];
+        for user in &users {
+            if user.routes.is_empty() {
+                return Err(GameError::EmptyRouteSet { user: user.id });
+            }
+            for triple in [
+                ("alpha", user.prefs.alpha),
+                ("beta", user.prefs.beta),
+                ("gamma", user.prefs.gamma),
+            ] {
+                let (name, value) = triple;
+                if !bounds.contains(value) {
+                    return Err(GameError::UserWeightOutOfRange { user: user.id, name, value });
+                }
+            }
+            for route in &user.routes {
+                if !(route.detour.is_finite() && route.detour >= 0.0) {
+                    return Err(GameError::RouteCostOutOfRange {
+                        user: user.id,
+                        route: route.id,
+                        name: "detour",
+                        value: route.detour,
+                    });
+                }
+                if !(route.congestion.is_finite() && route.congestion >= 0.0) {
+                    return Err(GameError::RouteCostOutOfRange {
+                        user: user.id,
+                        route: route.id,
+                        name: "congestion",
+                        value: route.congestion,
+                    });
+                }
+                for mark in seen.iter_mut() {
+                    *mark = false;
+                }
+                for &task in &route.tasks {
+                    if task.index() >= n_tasks {
+                        return Err(GameError::UnknownTask {
+                            user: user.id,
+                            route: route.id,
+                            task,
+                        });
+                    }
+                    if seen[task.index()] {
+                        return Err(GameError::DuplicateTaskOnRoute {
+                            user: user.id,
+                            route: route.id,
+                            task,
+                        });
+                    }
+                    seen[task.index()] = true;
+                }
+            }
+        }
+        Ok(Self { tasks, users, params, bounds })
+    }
+
+    /// Builds a game with the Table 2 weight bounds.
+    pub fn with_paper_bounds(
+        tasks: Vec<Task>,
+        users: Vec<User>,
+        params: PlatformParams,
+    ) -> Result<Self, GameError> {
+        Self::new(tasks, users, params, WeightBounds::PAPER)
+    }
+
+    /// The task set `L`.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The user set `U`.
+    #[inline]
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// Platform weights `(φ, θ)`.
+    #[inline]
+    pub fn params(&self) -> PlatformParams {
+        self.params
+    }
+
+    /// The weight bounds the instance was validated against.
+    #[inline]
+    pub fn bounds(&self) -> WeightBounds {
+        self.bounds
+    }
+
+    /// Number of users `|U|`.
+    #[inline]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of tasks `|L|`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task with identifier `id`.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The user with identifier `id`.
+    #[inline]
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.index()]
+    }
+
+    /// The route `route` of user `user`.
+    #[inline]
+    pub fn route(&self, user: UserId, route: RouteId) -> &Route {
+        &self.users[user.index()].routes[route.index()]
+    }
+
+    /// Detour cost `d(r) = φ · h(r)` of a route (Eq. 3). Platform-scaled but
+    /// user-independent.
+    #[inline]
+    pub fn detour_cost(&self, route: &Route) -> f64 {
+        self.params.phi * route.detour
+    }
+
+    /// Congestion cost `b(r) = θ · c(r)` of a route (Eq. 4).
+    #[inline]
+    pub fn congestion_cost(&self, route: &Route) -> f64 {
+        self.params.theta * route.congestion
+    }
+
+    /// The combined route cost term of Eq. 2 for user `user` travelling
+    /// `route`: `β_i·d(r) + γ_i·b(r)`.
+    #[inline]
+    pub fn user_route_cost(&self, user: UserId, route: &Route) -> f64 {
+        let prefs = self.users[user.index()].prefs;
+        prefs.beta * self.detour_cost(route) + prefs.gamma * self.congestion_cost(route)
+    }
+
+    /// Validates that `choices[i]` is a legal route index for every user.
+    pub fn validate_profile(&self, choices: &[RouteId]) -> Result<(), GameError> {
+        if choices.len() != self.users.len() {
+            return Err(GameError::InvalidProfile {
+                detail: format!("length {}, expected {}", choices.len(), self.users.len()),
+            });
+        }
+        for (user, &route) in self.users.iter().zip(choices) {
+            if route.index() >= user.routes.len() {
+                return Err(GameError::InvalidProfile {
+                    detail: format!(
+                        "user {} selects route {} but has only {} routes",
+                        user.id,
+                        route,
+                        user.routes.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the game with user `user`'s preference weights
+    /// replaced (Table 5 varies one user's `α_i`/`β_i`/`γ_i` while everyone
+    /// else keeps theirs).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GameError::UserWeightOutOfRange`] when the new weights
+    /// violate the instance's bounds.
+    pub fn with_user_prefs(
+        &self,
+        user: UserId,
+        prefs: crate::user::UserPrefs,
+    ) -> Result<Self, GameError> {
+        let mut users = self.users.clone();
+        users[user.index()].prefs = prefs;
+        Self::new(self.tasks.clone(), users, self.params, self.bounds)
+    }
+
+    /// Returns a copy of the game with different platform weights `(φ, θ)`
+    /// (Fig. 12 sweeps them on a fixed scenario).
+    pub fn with_platform_params(&self, params: PlatformParams) -> Result<Self, GameError> {
+        Self::new(self.tasks.clone(), self.users.clone(), params, self.bounds)
+    }
+
+    /// Maximum detour distance `d_max = max_i max_{r ∈ R_i} h(r)` over all
+    /// recommended routes (used by Theorem 4).
+    pub fn max_detour(&self) -> f64 {
+        self.users
+            .iter()
+            .flat_map(|u| u.routes.iter())
+            .map(|r| r.detour)
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum congestion level `b_max` analogue of [`Game::max_detour`].
+    pub fn max_congestion(&self) -> f64 {
+        self.users
+            .iter()
+            .flat_map(|u| u.routes.iter())
+            .map(|r| r.congestion)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RouteId;
+    use crate::user::UserPrefs;
+
+    fn simple_tasks(n: u32) -> Vec<Task> {
+        (0..n).map(|k| Task::new(TaskId(k), 10.0 + f64::from(k), 0.5)).collect()
+    }
+
+    fn user(id: u32, routes: Vec<Route>) -> User {
+        User::new(UserId(id), UserPrefs::neutral(), routes)
+    }
+
+    fn params() -> PlatformParams {
+        PlatformParams::new(0.4, 0.4)
+    }
+
+    #[test]
+    fn valid_game_constructs() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(3),
+            vec![user(
+                0,
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0), TaskId(2)], 0.0, 1.0),
+                    Route::new(RouteId(1), vec![TaskId(1)], 2.0, 0.5),
+                ],
+            )],
+            params(),
+        )
+        .unwrap();
+        assert_eq!(g.user_count(), 1);
+        assert_eq!(g.task_count(), 3);
+        assert_eq!(g.route(UserId(0), RouteId(1)).detour, 2.0);
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let err = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(0, vec![Route::new(RouteId(0), vec![TaskId(5)], 0.0, 0.0)])],
+            params(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GameError::UnknownTask { task: TaskId(5), .. }));
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let err = Game::with_paper_bounds(
+            simple_tasks(2),
+            vec![user(0, vec![Route::new(RouteId(0), vec![TaskId(1), TaskId(1)], 0.0, 0.0)])],
+            params(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GameError::DuplicateTaskOnRoute { task: TaskId(1), .. }));
+    }
+
+    #[test]
+    fn empty_route_set_rejected() {
+        let err =
+            Game::with_paper_bounds(simple_tasks(1), vec![user(3, vec![])], params()).unwrap_err();
+        assert!(matches!(err, GameError::EmptyRouteSet { user: UserId(3) }));
+    }
+
+    #[test]
+    fn platform_weights_validated() {
+        let err = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)])],
+            PlatformParams::new(0.0, 0.4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GameError::PlatformWeightOutOfRange { name: "phi", .. }));
+    }
+
+    #[test]
+    fn user_weights_validated() {
+        let mut u = user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)]);
+        u.prefs.alpha = 1.5;
+        let err = Game::with_paper_bounds(simple_tasks(1), vec![u], params()).unwrap_err();
+        assert!(matches!(err, GameError::UserWeightOutOfRange { name: "alpha", .. }));
+    }
+
+    #[test]
+    fn negative_detour_rejected() {
+        let err = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(0, vec![Route::new(RouteId(0), vec![], -1.0, 0.0)])],
+            params(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GameError::RouteCostOutOfRange { name: "detour", .. }));
+    }
+
+    #[test]
+    fn reward_parameters_validated() {
+        let mut tasks = simple_tasks(1);
+        tasks[0].increment = 1.5;
+        let err = Game::with_paper_bounds(
+            tasks,
+            vec![user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)])],
+            params(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GameError::RewardOutOfRange { name: "mu", .. }));
+    }
+
+    #[test]
+    fn profile_validation() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![
+                user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)]),
+                user(
+                    1,
+                    vec![
+                        Route::new(RouteId(0), vec![], 0.0, 0.0),
+                        Route::new(RouteId(1), vec![TaskId(0)], 1.0, 0.0),
+                    ],
+                ),
+            ],
+            params(),
+        )
+        .unwrap();
+        assert!(g.validate_profile(&[RouteId(0), RouteId(1)]).is_ok());
+        assert!(g.validate_profile(&[RouteId(0)]).is_err());
+        assert!(g.validate_profile(&[RouteId(1), RouteId(0)]).is_err());
+    }
+
+    #[test]
+    fn max_costs_scan_all_routes() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![
+                user(0, vec![Route::new(RouteId(0), vec![], 3.0, 0.2)]),
+                user(1, vec![Route::new(RouteId(0), vec![], 1.0, 7.5)]),
+            ],
+            params(),
+        )
+        .unwrap();
+        assert_eq!(g.max_detour(), 3.0);
+        assert_eq!(g.max_congestion(), 7.5);
+    }
+
+    #[test]
+    fn with_user_prefs_replaces_one_user() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![
+                user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)]),
+                user(1, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)]),
+            ],
+            params(),
+        )
+        .unwrap();
+        let g2 = g.with_user_prefs(UserId(1), UserPrefs::new(0.2, 0.8, 0.3)).unwrap();
+        assert_eq!(g2.user(UserId(1)).prefs.alpha, 0.2);
+        assert_eq!(g2.user(UserId(0)).prefs, g.user(UserId(0)).prefs);
+        assert!(g.with_user_prefs(UserId(0), UserPrefs::new(5.0, 0.5, 0.5)).is_err());
+    }
+
+    #[test]
+    fn with_platform_params_revalidates() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)])],
+            params(),
+        )
+        .unwrap();
+        let g2 = g.with_platform_params(PlatformParams::new(0.7, 0.2)).unwrap();
+        assert_eq!(g2.params().phi, 0.7);
+        assert!(g.with_platform_params(PlatformParams::new(0.0, 0.2)).is_err());
+    }
+
+    #[test]
+    fn user_route_cost_combines_weights() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(0, vec![Route::new(RouteId(0), vec![], 2.0, 4.0)])],
+            PlatformParams::new(0.5, 0.25),
+        )
+        .unwrap();
+        let r = g.route(UserId(0), RouteId(0)).clone();
+        // β=0.5 · (φ=0.5 · h=2.0) + γ=0.5 · (θ=0.25 · c=4.0) = 0.5 + 0.5
+        assert!((g.user_route_cost(UserId(0), &r) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers for the entities of the route-navigation game.
+//!
+//! The game never addresses entities by raw integers: users, tasks and routes
+//! each get a newtype index. All three are plain `u32`-backed indices into the
+//! owning collection (`Game::users`, `Game::tasks`, `User::routes`), which keeps
+//! the hot strategy-profile state compact (see the type-size guidance in the
+//! performance notes: indices are stored as `u32`, widened to `usize` at use
+//! sites).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`; game instances are
+            /// bounded far below that (hundreds of users/tasks).
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("identifier index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a mobile user (vehicle driver), an index into
+    /// [`crate::Game::users`].
+    UserId,
+    "u"
+);
+
+id_type!(
+    /// Identifier of a crowdsensing task, an index into [`crate::Game::tasks`].
+    TaskId,
+    "t"
+);
+
+id_type!(
+    /// Identifier of a route **within one user's recommended route set**
+    /// [`crate::User::routes`]. Route identifiers are only meaningful relative
+    /// to their owning user.
+    RouteId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = TaskId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, TaskId(42));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(UserId(1).to_string(), "u1");
+        assert_eq!(TaskId(3).to_string(), "t3");
+        assert_eq!(RouteId(0).to_string(), "r0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(UserId(1) < UserId(2));
+        assert!(RouteId(0) < RouteId(10));
+    }
+
+    #[test]
+    fn from_u32_matches_constructor() {
+        assert_eq!(UserId::from(7u32), UserId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier index exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = UserId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

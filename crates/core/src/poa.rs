@@ -1,0 +1,340 @@
+//! Theorem 5: Price-of-Anarchy bound for the structured special case.
+//!
+//! The paper analyzes the special case where (a) every route covers exactly
+//! one task, (b) each user `i`'s recommended set is `{r'_i} ∪ R` with a
+//! private route `r'_i` (its task covered by nobody else) plus a common route
+//! set `R` covering the shared task set `L'`, and (c) every shared task pays
+//! `w_k(x) = a + ln x`. Then with `p = (|U| + |L'| − 1) / |L'|`,
+//! `P_i^min = (a + ln p)/p`, `P_i^max = a`:
+//!
+//! ```text
+//! Σ_i max{P̄_i, P_i^min} / Σ_i max{P̄_i, P_i^max}  ≤  PoA  ≤  1
+//! ```
+//!
+//! where `P̄_i` is the profit user `i` obtains on its private route.
+//!
+//! [`SpecialCaseGame`] constructs such instances (used by Table 4) and
+//! [`poa_lower_bound`] evaluates the bound.
+
+use crate::game::{Game, PlatformParams};
+use crate::ids::{RouteId, TaskId, UserId};
+use crate::route::Route;
+use crate::task::Task;
+use crate::user::{User, UserPrefs, WeightBounds};
+
+/// Specification of a Theorem 5 special-case instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecialCaseSpec {
+    /// Base reward `a` of every shared task (`w_k(x) = a + ln x`).
+    pub shared_base_reward: f64,
+    /// Base rewards of each user's private task (`μ = 0`), one per user. The
+    /// private-route profit `P̄_i` equals this value.
+    pub private_rewards: Vec<f64>,
+    /// Number of shared tasks `|L'|` (one common route per shared task).
+    pub shared_tasks: usize,
+}
+
+/// A constructed special-case game together with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SpecialCaseGame {
+    /// The game instance (all costs zero, `α_i = 0.5` for every user so the
+    /// profit is a uniform scaling of the reward share — scaling both sides
+    /// of the PoA ratio leaves it unchanged).
+    pub game: Game,
+    /// The specification it was built from.
+    pub spec: SpecialCaseSpec,
+}
+
+/// The uniform `α` used for every user in the special case. Any value inside
+/// the weight bounds works; the PoA ratio is invariant to it because it
+/// multiplies numerator and denominator alike.
+pub const SPECIAL_CASE_ALPHA: f64 = 0.5;
+
+impl SpecialCaseGame {
+    /// Builds the special case: user `i` has private route `r'_i` (route 0,
+    /// covering private task `i`) plus `|L'|` common routes, the `j`-th
+    /// covering shared task `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.shared_tasks == 0` or `spec.private_rewards` is empty.
+    pub fn build(spec: SpecialCaseSpec) -> Self {
+        assert!(spec.shared_tasks > 0, "need at least one shared task");
+        assert!(!spec.private_rewards.is_empty(), "need at least one user");
+        let n_users = spec.private_rewards.len();
+        let mut tasks = Vec::with_capacity(n_users + spec.shared_tasks);
+        // Private tasks first: task i belongs to user i.
+        for (i, &reward) in spec.private_rewards.iter().enumerate() {
+            tasks.push(Task::new(TaskId::from_index(i), reward, 0.0));
+        }
+        // Shared tasks follow, each with w(x) = a + ln x (μ = 1).
+        for j in 0..spec.shared_tasks {
+            tasks.push(Task::new(TaskId::from_index(n_users + j), spec.shared_base_reward, 1.0));
+        }
+        let prefs = UserPrefs::new(SPECIAL_CASE_ALPHA, SPECIAL_CASE_ALPHA, SPECIAL_CASE_ALPHA);
+        let users = (0..n_users)
+            .map(|i| {
+                let mut routes = Vec::with_capacity(1 + spec.shared_tasks);
+                routes.push(Route::new(RouteId(0), vec![TaskId::from_index(i)], 0.0, 0.0));
+                for j in 0..spec.shared_tasks {
+                    routes.push(Route::new(
+                        RouteId::from_index(1 + j),
+                        vec![TaskId::from_index(n_users + j)],
+                        0.0,
+                        0.0,
+                    ));
+                }
+                User::new(UserId::from_index(i), prefs, routes)
+            })
+            .collect();
+        let game = Game::new(
+            tasks,
+            users,
+            PlatformParams::new(0.5, 0.5),
+            WeightBounds::PAPER,
+        )
+        .expect("special-case construction is always valid");
+        Self { game, spec }
+    }
+
+    /// `p = (|U| + |L'| − 1) / |L'|` from Theorem 5.
+    pub fn p(&self) -> f64 {
+        let u = self.spec.private_rewards.len() as f64;
+        let l = self.spec.shared_tasks as f64;
+        (u + l - 1.0) / l
+    }
+
+    /// `P_i^min = (a + ln p)/p`, the worst equilibrium share on a shared task
+    /// (scaled by `α`, consistently with the game's profit function).
+    pub fn p_min(&self) -> f64 {
+        let p = self.p();
+        SPECIAL_CASE_ALPHA * (self.spec.shared_base_reward + p.ln()) / p
+    }
+
+    /// `P_i^max = a`, the best possible shared-task profit (scaled by `α`).
+    pub fn p_max(&self) -> f64 {
+        SPECIAL_CASE_ALPHA * self.spec.shared_base_reward
+    }
+
+    /// Private-route profit `P̄_i` of user `i` (scaled by `α`).
+    pub fn private_profit(&self, user: UserId) -> f64 {
+        SPECIAL_CASE_ALPHA * self.spec.private_rewards[user.index()]
+    }
+}
+
+/// Exact centralized optimum of a special-case game, in closed form.
+///
+/// With every route covering exactly one task, total profit decomposes as
+/// `α·(Σ_{private users} p_i + Σ_{shared tasks} (a + ln n_k))`. For a fixed
+/// number `s` of users on shared tasks, (a) the `s` users with the
+/// *smallest* private rewards should go shared, and (b) the shared counts
+/// maximize `Σ_k g(n_k)` with `g(n) = a + ln n` concave increasing, so the
+/// greedy marginal allocation (largest marginals first: `a` per empty task,
+/// then `ln(q/(q−1))`) is optimal. Scanning `s = 0..=|U|` gives the optimum
+/// in `O(|U|·(|U| + |L'|))` — the structured counterpart of the NP-hard
+/// general problem, used to make Table 4 exact at scale.
+pub fn special_case_optimal(sc: &SpecialCaseGame) -> f64 {
+    let m = sc.spec.private_rewards.len();
+    let l = sc.spec.shared_tasks;
+    let a = sc.spec.shared_base_reward;
+    // Private rewards sorted descending; prefix_desc[j] = sum of j largest.
+    let mut privates = sc.spec.private_rewards.clone();
+    privates.sort_by(|x, y| y.total_cmp(x));
+    let mut prefix_desc = vec![0.0; m + 1];
+    for j in 0..m {
+        prefix_desc[j + 1] = prefix_desc[j] + privates[j];
+    }
+    // Marginal values of placing the s-th shared user, largest first. The
+    // first |L'| marginals are `a` (opening a task); after that the largest
+    // remaining marginal is always `ln((q+1)/q)` for the least-loaded task,
+    // realized by round-robin filling.
+    let mut best = f64::NEG_INFINITY;
+    let mut shared_value = 0.0;
+    for s in 0..=m {
+        if s > 0 {
+            let marginal = if s <= l {
+                a
+            } else {
+                // Round-robin: the s-th shared user raises some task from
+                // q = ceil((s-1)/l)... with identical tasks the least-loaded
+                // task has floor((s-1)/l) users before this placement.
+                let q = ((s - 1) / l) as f64;
+                ((q + 1.0) / q.max(1.0)).ln()
+            };
+            shared_value += marginal;
+        }
+        let total = prefix_desc[m - s] + shared_value;
+        best = best.max(total);
+    }
+    SPECIAL_CASE_ALPHA * best
+}
+
+/// Evaluates the Theorem 5 lower bound
+/// `Σ_i max{P̄_i, P_i^min} / Σ_i max{P̄_i, P_i^max}` for a special-case game.
+pub fn poa_lower_bound(sc: &SpecialCaseGame) -> f64 {
+    let p_min = sc.p_min();
+    let p_max = sc.p_max();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..sc.spec.private_rewards.len() {
+        let pi = sc.private_profit(UserId::from_index(i));
+        num += pi.max(p_min);
+        den += pi.max(p_max);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::response::is_nash;
+
+    fn spec() -> SpecialCaseSpec {
+        SpecialCaseSpec {
+            shared_base_reward: 12.0,
+            private_rewards: vec![4.0, 5.0, 6.0, 13.0],
+            shared_tasks: 3,
+        }
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let sc = SpecialCaseGame::build(spec());
+        assert_eq!(sc.game.user_count(), 4);
+        assert_eq!(sc.game.task_count(), 4 + 3);
+        for user in sc.game.users() {
+            assert_eq!(user.route_count(), 1 + 3);
+            // Every route covers exactly one task.
+            assert!(user.routes.iter().all(|r| r.task_count() == 1));
+        }
+    }
+
+    #[test]
+    fn private_tasks_are_exclusive() {
+        let sc = SpecialCaseGame::build(spec());
+        // Task i (< |U|) is covered only by user i's route 0.
+        for (i, user) in sc.game.users().iter().enumerate() {
+            assert_eq!(user.routes[0].tasks, vec![TaskId::from_index(i)]);
+            for (j, other) in sc.game.users().iter().enumerate() {
+                if i != j {
+                    assert!(other
+                        .routes
+                        .iter()
+                        .all(|r| !r.covers(TaskId::from_index(i))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_in_unit_interval() {
+        let sc = SpecialCaseGame::build(spec());
+        let bound = poa_lower_bound(&sc);
+        assert!(bound > 0.0 && bound <= 1.0, "bound = {bound}");
+    }
+
+    #[test]
+    fn p_formula() {
+        let sc = SpecialCaseGame::build(spec());
+        // (4 + 3 − 1) / 3 = 2
+        assert!((sc.p() - 2.0).abs() < 1e-12);
+        assert!((sc.p_min() - 0.5 * (12.0 + 2f64.ln()) / 2.0).abs() < 1e-12);
+        assert!((sc.p_max() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_private_reward_dominates_both_sides() {
+        // If every private reward exceeds a, the bound is exactly 1: all
+        // users take their private routes in every equilibrium and optimum.
+        let sc = SpecialCaseGame::build(SpecialCaseSpec {
+            shared_base_reward: 10.0,
+            private_rewards: vec![20.0, 25.0],
+            shared_tasks: 2,
+        });
+        assert!((poa_lower_bound(&sc) - 1.0).abs() < 1e-12);
+        // And indeed "all private" is a Nash equilibrium.
+        let p = Profile::all_first(&sc.game);
+        assert!(is_nash(&sc.game, &p));
+    }
+
+    #[test]
+    fn closed_form_optimum_matches_brute_force() {
+        // Exhaustively enumerate small special cases and compare.
+        for (privates, shared_tasks, a) in [
+            (vec![3.0, 9.0], 2usize, 11.0),
+            (vec![1.0, 2.0, 3.0], 2, 10.5),
+            (vec![12.0, 0.5, 4.0], 1, 10.0),
+            (vec![5.0, 5.0, 5.0, 5.0], 3, 14.0),
+        ] {
+            let sc = SpecialCaseGame::build(SpecialCaseSpec {
+                shared_base_reward: a,
+                private_rewards: privates.clone(),
+                shared_tasks,
+            });
+            let m = privates.len();
+            let routes = 1 + shared_tasks;
+            let mut best = f64::NEG_INFINITY;
+            let mut idx = vec![0usize; m];
+            loop {
+                let choices: Vec<RouteId> =
+                    idx.iter().map(|&r| RouteId::from_index(r)).collect();
+                let p = Profile::new(&sc.game, choices);
+                best = best.max(p.total_profit(&sc.game));
+                let mut pos = 0;
+                loop {
+                    if pos == m {
+                        break;
+                    }
+                    idx[pos] += 1;
+                    if idx[pos] < routes {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    pos += 1;
+                }
+                if pos == m {
+                    break;
+                }
+            }
+            let closed = special_case_optimal(&sc);
+            assert!(
+                (closed - best).abs() < 1e-9,
+                "closed form {closed} vs brute force {best} for {privates:?}/{shared_tasks}/{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_total_profit_respects_bound() {
+        // Brute-force all equilibria of a tiny special case and check the
+        // Theorem 5 sandwich: worst-NE total / OPT total ≥ bound.
+        let sc = SpecialCaseGame::build(SpecialCaseSpec {
+            shared_base_reward: 11.0,
+            private_rewards: vec![3.0, 9.0],
+            shared_tasks: 2,
+        });
+        let g = &sc.game;
+        let mut best = f64::NEG_INFINITY;
+        let mut worst_ne = f64::INFINITY;
+        let routes_per_user = 3;
+        for c0 in 0..routes_per_user {
+            for c1 in 0..routes_per_user {
+                let p = Profile::new(g, vec![RouteId(c0), RouteId(c1)]);
+                let total = p.total_profit(g);
+                best = best.max(total);
+                if is_nash(g, &p) {
+                    worst_ne = worst_ne.min(total);
+                }
+            }
+        }
+        assert!(worst_ne.is_finite(), "no Nash equilibrium found");
+        let ratio = worst_ne / best;
+        let bound = poa_lower_bound(&sc);
+        assert!(
+            ratio >= bound - 1e-9,
+            "PoA ratio {ratio} violates Theorem 5 bound {bound}"
+        );
+        assert!(ratio <= 1.0 + 1e-9);
+    }
+}

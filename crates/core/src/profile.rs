@@ -1,0 +1,257 @@
+//! Strategy profiles and the incremental game state.
+//!
+//! [`Profile`] is the hot data structure of every solver: the current route
+//! choice `s_i` of each user plus the participant count `n_k(s)` of each task,
+//! maintained incrementally as users switch routes. All profit and potential
+//! evaluations read these counts; a unilateral move costs
+//! `O(|L_{s_i}| + |L_{s_i'}|)` rather than a full recount.
+
+use crate::game::Game;
+use crate::ids::{RouteId, TaskId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A strategy profile `s = (s_1, …, s_M)` with the derived participant counts
+/// `n_k(s)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    choices: Vec<RouteId>,
+    counts: Vec<u32>,
+}
+
+impl Profile {
+    /// Builds a profile from explicit route choices, computing all counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via the validation assert) if `choices` is not
+    /// a legal profile for `game`; call [`Game::validate_profile`] first for
+    /// untrusted input.
+    pub fn new(game: &Game, choices: Vec<RouteId>) -> Self {
+        debug_assert!(game.validate_profile(&choices).is_ok());
+        let mut counts = vec![0u32; game.task_count()];
+        for (user, &route) in game.users().iter().zip(&choices) {
+            for &task in &user.routes[route.index()].tasks {
+                counts[task.index()] += 1;
+            }
+        }
+        Self { choices, counts }
+    }
+
+    /// Builds the profile where every user takes their first recommended
+    /// route (index 0, by convention the shortest route).
+    pub fn all_first(game: &Game) -> Self {
+        Self::new(game, vec![RouteId(0); game.user_count()])
+    }
+
+    /// The route currently selected by `user`.
+    #[inline]
+    pub fn choice(&self, user: UserId) -> RouteId {
+        self.choices[user.index()]
+    }
+
+    /// All current choices, indexed by user.
+    #[inline]
+    pub fn choices(&self) -> &[RouteId] {
+        &self.choices
+    }
+
+    /// Participant count `n_k(s)` of task `task`.
+    #[inline]
+    pub fn participants(&self, task: TaskId) -> u32 {
+        self.counts[task.index()]
+    }
+
+    /// All participant counts, indexed by task.
+    #[inline]
+    pub fn participant_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Switches `user` to `new_route`, updating counts incrementally.
+    /// Returns the previously selected route. Switching to the current route
+    /// is a no-op.
+    pub fn apply_move(&mut self, game: &Game, user: UserId, new_route: RouteId) -> RouteId {
+        let old_route = self.choices[user.index()];
+        if old_route == new_route {
+            return old_route;
+        }
+        let routes = &game.users()[user.index()].routes;
+        for &task in &routes[old_route.index()].tasks {
+            debug_assert!(self.counts[task.index()] > 0);
+            self.counts[task.index()] -= 1;
+        }
+        for &task in &routes[new_route.index()].tasks {
+            self.counts[task.index()] += 1;
+        }
+        self.choices[user.index()] = new_route;
+        old_route
+    }
+
+    /// Profit `P_i(s)` of user `user` under the current profile (Eq. 2).
+    ///
+    /// The reward term iterates over the tasks of the user's selected route;
+    /// each covered task contributes the share `w_k(n_k)/n_k` where `n_k`
+    /// already includes this user.
+    pub fn profit(&self, game: &Game, user: UserId) -> f64 {
+        let u = &game.users()[user.index()];
+        let route = &u.routes[self.choices[user.index()].index()];
+        let mut reward = 0.0;
+        for &task in &route.tasks {
+            reward += game.task(task).share(self.counts[task.index()]);
+        }
+        u.prefs.alpha * reward - game.user_route_cost(user, route)
+    }
+
+    /// Hypothetical profit of `user` if they unilaterally switched to
+    /// `candidate` while everyone else keeps their strategy.
+    ///
+    /// Computed without mutating the profile: tasks on both the current and
+    /// candidate route keep their count; tasks only on the candidate gain this
+    /// user (`n_k + 1`); tasks only on the current route are simply not part
+    /// of the candidate's reward.
+    pub fn profit_if_switched(&self, game: &Game, user: UserId, candidate: RouteId) -> f64 {
+        let u = &game.users()[user.index()];
+        let current = &u.routes[self.choices[user.index()].index()];
+        let cand = &u.routes[candidate.index()];
+        let mut reward = 0.0;
+        for &task in &cand.tasks {
+            let n = self.counts[task.index()];
+            // If the current route already covers this task the user is part
+            // of n; otherwise joining raises the count to n + 1.
+            let n_after = if current.covers(task) { n } else { n + 1 };
+            reward += game.task(task).share(n_after);
+        }
+        u.prefs.alpha * reward - game.user_route_cost(user, cand)
+    }
+
+    /// Total profit `Σ_i P_i(s)` (objective of Eq. 5).
+    pub fn total_profit(&self, game: &Game) -> f64 {
+        (0..game.user_count()).map(|i| self.profit(game, UserId::from_index(i))).sum()
+    }
+
+    /// Number of tasks with at least one participant.
+    pub fn covered_tasks(&self) -> usize {
+        self.counts.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Recomputes all counts from scratch and checks them against the
+    /// incrementally maintained ones. Test/diagnostic helper.
+    pub fn counts_consistent(&self, game: &Game) -> bool {
+        let fresh = Profile::new(game, self.choices.clone());
+        fresh.counts == self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::PlatformParams;
+    use crate::route::Route;
+    use crate::task::Task;
+    use crate::user::{User, UserPrefs};
+
+    /// Two users, three tasks. User 0 routes: r0 = {t0}, r1 = {t1, t2};
+    /// user 1 routes: r0 = {t1}, r1 = {t0}.
+    fn game() -> Game {
+        let tasks = vec![
+            Task::new(TaskId(0), 10.0, 0.0),
+            Task::new(TaskId(1), 12.0, 1.0),
+            Task::new(TaskId(2), 20.0, 0.5),
+        ];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.5, 0.2, 0.2),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0)], 0.0, 1.0),
+                    Route::new(RouteId(1), vec![TaskId(1), TaskId(2)], 3.0, 2.0),
+                ],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.8, 0.3, 0.1),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.5),
+                    Route::new(RouteId(1), vec![TaskId(0)], 1.0, 0.0),
+                ],
+            ),
+        ];
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap()
+    }
+
+    #[test]
+    fn counts_reflect_choices() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        assert_eq!(p.participants(TaskId(0)), 1); // user 0 via r0
+        assert_eq!(p.participants(TaskId(1)), 1); // user 1 via r0
+        assert_eq!(p.participants(TaskId(2)), 0);
+        assert_eq!(p.covered_tasks(), 2);
+    }
+
+    #[test]
+    fn apply_move_updates_counts_incrementally() {
+        let g = game();
+        let mut p = Profile::all_first(&g);
+        let old = p.apply_move(&g, UserId(0), RouteId(1));
+        assert_eq!(old, RouteId(0));
+        assert_eq!(p.participants(TaskId(0)), 0);
+        assert_eq!(p.participants(TaskId(1)), 2);
+        assert_eq!(p.participants(TaskId(2)), 1);
+        assert!(p.counts_consistent(&g));
+    }
+
+    #[test]
+    fn noop_move_changes_nothing() {
+        let g = game();
+        let mut p = Profile::all_first(&g);
+        let snapshot = p.clone();
+        p.apply_move(&g, UserId(1), RouteId(0));
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn profit_matches_hand_computation() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        // User 0 on r0: reward share = w_{t0}(1)/1 = 10; cost = β·φ·h + γ·θ·c
+        // = 0.2·0.5·0 + 0.2·0.5·1 = 0.1. Profit = 0.5·10 − 0.1 = 4.9.
+        assert!((p.profit(&g, UserId(0)) - 4.9).abs() < 1e-12);
+        // User 1 on r0: share = 12; cost = 0.3·0.5·0 + 0.1·0.5·0.5 = 0.025.
+        // Profit = 0.8·12 − 0.025 = 9.575.
+        assert!((p.profit(&g, UserId(1)) - 9.575).abs() < 1e-12);
+        assert!((p.total_profit(&g) - (4.9 + 9.575)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profit_if_switched_matches_actual_switch() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        let predicted = p.profit_if_switched(&g, UserId(0), RouteId(1));
+        let mut q = p.clone();
+        q.apply_move(&g, UserId(0), RouteId(1));
+        let actual = q.profit(&g, UserId(0));
+        assert!((predicted - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profit_if_switched_handles_shared_tasks() {
+        let g = game();
+        let mut p = Profile::all_first(&g);
+        // Move user 1 onto t0 so both routes of user 0 interact with others.
+        p.apply_move(&g, UserId(1), RouteId(1));
+        // User 0 considering its own current route must reproduce profit().
+        let stay = p.profit_if_switched(&g, UserId(0), p.choice(UserId(0)));
+        assert!((stay - p.profit(&g, UserId(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_from_explicit_choices() {
+        let g = game();
+        let p = Profile::new(&g, vec![RouteId(1), RouteId(1)]);
+        assert_eq!(p.choice(UserId(0)), RouteId(1));
+        assert_eq!(p.participants(TaskId(0)), 1);
+        assert_eq!(p.participants(TaskId(1)), 1);
+        assert_eq!(p.choices(), &[RouteId(1), RouteId(1)]);
+    }
+}

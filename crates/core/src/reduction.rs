@@ -1,0 +1,163 @@
+//! Theorem 1: the maximum-set-cover reduction showing NP-hardness of the
+//! centralized profit-maximization problem.
+//!
+//! Given a set-cover instance (universe `E`, a collection of subsets, a pick
+//! budget `h`), the reduction builds a game with `h` users sharing the same
+//! recommended route set (one route per subset), all tasks paying a fixed
+//! reward `a` (`μ_k = 0`), zero costs and `α_i` uniform. In that game the
+//! total profit of a profile is exactly `a ×` (number of covered tasks), so
+//! maximizing total profit solves maximum set cover.
+//!
+//! This module is a *constructive artifact* of the proof: it exists so that
+//! the correspondence can be exercised by tests, not as a practical solver.
+
+use crate::game::{Game, PlatformParams};
+use crate::ids::{RouteId, TaskId, UserId};
+use crate::profile::Profile;
+use crate::route::Route;
+use crate::task::Task;
+use crate::user::{User, UserPrefs, WeightBounds};
+
+/// A maximum set cover instance: choose `picks` subsets maximizing the number
+/// of covered elements of the universe `0..universe`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetCoverInstance {
+    /// Size of the universe `|E|`; elements are `0..universe`.
+    pub universe: usize,
+    /// The collection of subsets, each listing element indices.
+    pub subsets: Vec<Vec<usize>>,
+    /// Number of subsets to select (`h`).
+    pub picks: usize,
+}
+
+/// The uniform task reward used by the reduction; any positive value works.
+pub const REDUCTION_REWARD: f64 = 10.0;
+/// The uniform `α` used by the reduction. (The paper sets `α_i = 1`; any
+/// value inside the weight bounds yields the same argmax.)
+pub const REDUCTION_ALPHA: f64 = 0.5;
+
+/// Builds the Theorem 1 game from a set-cover instance.
+///
+/// # Panics
+///
+/// Panics if the instance has no subsets, zero picks, or a subset referencing
+/// an element outside the universe.
+pub fn set_cover_to_game(instance: &SetCoverInstance) -> Game {
+    assert!(!instance.subsets.is_empty(), "need at least one subset");
+    assert!(instance.picks > 0, "need at least one pick");
+    let tasks: Vec<Task> = (0..instance.universe)
+        .map(|e| Task::new(TaskId::from_index(e), REDUCTION_REWARD, 0.0))
+        .collect();
+    let routes: Vec<Route> = instance
+        .subsets
+        .iter()
+        .enumerate()
+        .map(|(j, subset)| {
+            let tasks = subset
+                .iter()
+                .map(|&e| {
+                    assert!(e < instance.universe, "subset element out of universe");
+                    TaskId::from_index(e)
+                })
+                .collect();
+            Route::new(RouteId::from_index(j), tasks, 0.0, 0.0)
+        })
+        .collect();
+    let prefs = UserPrefs::new(REDUCTION_ALPHA, REDUCTION_ALPHA, REDUCTION_ALPHA);
+    let users = (0..instance.picks)
+        .map(|i| User::new(UserId::from_index(i), prefs, routes.clone()))
+        .collect();
+    Game::new(tasks, users, PlatformParams::new(0.5, 0.5), WeightBounds::PAPER)
+        .expect("reduction always builds a valid game")
+}
+
+/// Number of covered elements of the set-cover instance corresponding to a
+/// game profile (i.e. distinct tasks covered by the selected routes).
+pub fn covered_elements(_game: &Game, profile: &Profile) -> usize {
+    profile.covered_tasks()
+}
+
+/// The exact correspondence of the proof: total profit equals
+/// `α · a · covered`, so this converts a profile's total profit into the
+/// set-cover objective it certifies.
+pub fn profit_to_cover_count(total_profit: f64) -> f64 {
+    total_profit / (REDUCTION_ALPHA * REDUCTION_REWARD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> SetCoverInstance {
+        SetCoverInstance {
+            universe: 6,
+            subsets: vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+            picks: 2,
+        }
+    }
+
+    #[test]
+    fn reduction_shapes() {
+        let inst = instance();
+        let g = set_cover_to_game(&inst);
+        assert_eq!(g.user_count(), 2);
+        assert_eq!(g.task_count(), 6);
+        // All users share the same route set.
+        assert_eq!(g.users()[0].routes, g.users()[1].routes);
+    }
+
+    #[test]
+    fn total_profit_counts_covered_elements() {
+        let inst = instance();
+        let g = set_cover_to_game(&inst);
+        // Pick subsets 0 and 2: covers {0,1,2} ∪ {3,4,5} = all 6 elements.
+        let p = Profile::new(&g, vec![RouteId(0), RouteId(2)]);
+        assert_eq!(covered_elements(&g, &p), 6);
+        let total = p.total_profit(&g);
+        assert!((profit_to_cover_count(total) - 6.0).abs() < 1e-9);
+        // Overlapping picks cover fewer elements and earn less profit:
+        // subsets 0 and 1 cover {0,1,2,3} = 4.
+        let q = Profile::new(&g, vec![RouteId(0), RouteId(1)]);
+        assert_eq!(covered_elements(&g, &q), 4);
+        assert!((profit_to_cover_count(q.total_profit(&g)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brute_force_optima_coincide() {
+        let inst = instance();
+        let g = set_cover_to_game(&inst);
+        // Brute force the game side.
+        let mut best_profit = f64::NEG_INFINITY;
+        let mut best_cover_from_game = 0;
+        for c0 in 0..4u32 {
+            for c1 in 0..4u32 {
+                let p = Profile::new(&g, vec![RouteId(c0), RouteId(c1)]);
+                let total = p.total_profit(&g);
+                if total > best_profit {
+                    best_profit = total;
+                    best_cover_from_game = covered_elements(&g, &p);
+                }
+            }
+        }
+        // Brute force the set-cover side.
+        let mut best_cover = 0;
+        for a in 0..4 {
+            for b in 0..4 {
+                let mut covered = vec![false; inst.universe];
+                for &e in inst.subsets[a].iter().chain(&inst.subsets[b]) {
+                    covered[e] = true;
+                }
+                best_cover = best_cover.max(covered.iter().filter(|&&c| c).count());
+            }
+        }
+        assert_eq!(best_cover_from_game, best_cover);
+        assert!((profit_to_cover_count(best_profit) - best_cover as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset element out of universe")]
+    fn invalid_subset_rejected() {
+        let inst = SetCoverInstance { universe: 2, subsets: vec![vec![5]], picks: 1 };
+        let _ = set_cover_to_game(&inst);
+    }
+}

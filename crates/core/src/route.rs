@@ -1,0 +1,83 @@
+//! Recommended routes: the actions of the route-navigation game.
+//!
+//! A route belongs to exactly one user's recommended set `R_i`. For the game
+//! it is fully described by (a) the set of tasks it covers, (b) its detour
+//! distance `h(r)` relative to the user's shortest route, and (c) its
+//! congestion level `c(r)`. The optional geometry is provenance from the
+//! road-network substrate used only for rendering (Fig. 13).
+
+use crate::ids::{RouteId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One recommended route of a user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Identifier within the owning user's recommended set.
+    pub id: RouteId,
+    /// Tasks covered by this route (`L_r`), without duplicates.
+    pub tasks: Vec<TaskId>,
+    /// Detour distance `h(r)`: extra distance versus the user's shortest
+    /// origin–destination route. Non-negative; `0` for the shortest route.
+    pub detour: f64,
+    /// Congestion level `c(r)` of the route. Non-negative. The paper assumes
+    /// it is independent of other users' decisions (§3.1).
+    pub congestion: f64,
+    /// Optional polyline geometry `(x, y)` for rendering; ignored by the game.
+    pub geometry: Option<Vec<(f64, f64)>>,
+}
+
+impl Route {
+    /// Creates a route from its game-relevant data.
+    pub fn new(id: RouteId, tasks: Vec<TaskId>, detour: f64, congestion: f64) -> Self {
+        Self { id, tasks, detour, congestion, geometry: None }
+    }
+
+    /// Attaches polyline geometry (builder style).
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: Vec<(f64, f64)>) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
+    /// Whether the route covers task `task`.
+    #[inline]
+    pub fn covers(&self, task: TaskId) -> bool {
+        self.tasks.contains(&task)
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_checks_membership() {
+        let r = Route::new(RouteId(0), vec![TaskId(1), TaskId(4)], 2.0, 0.5);
+        assert!(r.covers(TaskId(1)));
+        assert!(r.covers(TaskId(4)));
+        assert!(!r.covers(TaskId(2)));
+        assert_eq!(r.task_count(), 2);
+    }
+
+    #[test]
+    fn empty_route_is_valid_action() {
+        // A route that covers no tasks is still a legal action (the user just
+        // drives through); the paper's shortest route often covers nothing.
+        let r = Route::new(RouteId(1), vec![], 0.0, 1.0);
+        assert_eq!(r.task_count(), 0);
+        assert!(!r.covers(TaskId(0)));
+    }
+
+    #[test]
+    fn geometry_builder_attaches_polyline() {
+        let r = Route::new(RouteId(0), vec![], 0.0, 0.0)
+            .with_geometry(vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(r.geometry.as_ref().map(Vec::len), Some(2));
+    }
+}

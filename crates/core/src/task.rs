@@ -1,0 +1,143 @@
+//! Crowdsensing tasks and their reward function (Eq. 1 of the paper).
+//!
+//! Each task `k` pays `w_k(x) = a_k + μ_k · ln x` when `x ≥ 1` users perform
+//! it, and the reward is split equally so each participant receives
+//! `w_k(x) / x`. With `a_k ≥ 10` and `μ_k ∈ [0, 1]` (Table 2) the per-user
+//! share is strictly decreasing in `x`, which is what couples the users'
+//! route decisions.
+
+use crate::ids::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// A crowdsensing task with the logarithmic reward of Eq. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier; equals the task's index in [`crate::Game::tasks`].
+    pub id: TaskId,
+    /// `a_k`: the reward when exactly one user performs the task.
+    pub base_reward: f64,
+    /// `μ_k ∈ [0, 1]`: reward increment weight as more users participate.
+    pub increment: f64,
+    /// Optional planar location, carried for rendering and trace provenance.
+    /// The game dynamics never read it.
+    pub location: Option<(f64, f64)>,
+}
+
+impl Task {
+    /// Creates a task without a location.
+    pub fn new(id: TaskId, base_reward: f64, increment: f64) -> Self {
+        Self { id, base_reward, increment, location: None }
+    }
+
+    /// Creates a task pinned to a planar location.
+    pub fn at(id: TaskId, base_reward: f64, increment: f64, location: (f64, f64)) -> Self {
+        Self { id, base_reward, increment, location: Some(location) }
+    }
+
+    /// Total reward `w_k(x) = a_k + μ_k · ln x` paid when `x` users perform
+    /// the task (Eq. 1).
+    ///
+    /// `x = 0` yields `0.0`: an unperformed task pays nothing.
+    #[inline]
+    pub fn reward(&self, participants: u32) -> f64 {
+        if participants == 0 {
+            0.0
+        } else {
+            self.base_reward + self.increment * f64::from(participants).ln()
+        }
+    }
+
+    /// Per-participant share `w_k(x) / x` received by each of the `x` users.
+    ///
+    /// `x = 0` yields `0.0`.
+    #[inline]
+    pub fn share(&self, participants: u32) -> f64 {
+        if participants == 0 {
+            0.0
+        } else {
+            self.reward(participants) / f64::from(participants)
+        }
+    }
+
+    /// The harmonic-style prefix sum `Σ_{q=1}^{x} w_k(q) / q` that the
+    /// potential function accumulates per task (Eq. 8).
+    #[inline]
+    pub fn potential_term(&self, participants: u32) -> f64 {
+        let mut acc = 0.0;
+        for q in 1..=participants {
+            acc += self.share(q);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(a: f64, mu: f64) -> Task {
+        Task::new(TaskId(0), a, mu)
+    }
+
+    #[test]
+    fn single_participant_gets_base_reward() {
+        let t = task(15.0, 0.7);
+        assert_eq!(t.reward(1), 15.0);
+        assert_eq!(t.share(1), 15.0);
+    }
+
+    #[test]
+    fn reward_grows_logarithmically() {
+        let t = task(10.0, 1.0);
+        let w2 = t.reward(2);
+        let w4 = t.reward(4);
+        assert!((w2 - (10.0 + 2f64.ln())).abs() < 1e-12);
+        assert!((w4 - (10.0 + 4f64.ln())).abs() < 1e-12);
+        // ln is concave: the increment from 2→4 participants equals ln 2 again.
+        assert!(((w4 - w2) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_participants_pay_nothing() {
+        let t = task(12.0, 0.5);
+        assert_eq!(t.reward(0), 0.0);
+        assert_eq!(t.share(0), 0.0);
+        assert_eq!(t.potential_term(0), 0.0);
+    }
+
+    #[test]
+    fn share_strictly_decreasing_for_paper_parameters() {
+        // With a_k ≥ 10 and μ_k ≤ 1 the share w(x)/x strictly decreases in x.
+        let t = task(10.0, 1.0);
+        let mut prev = t.share(1);
+        for x in 2..50 {
+            let cur = t.share(x);
+            assert!(cur < prev, "share not decreasing at x={x}: {cur} vs {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn potential_term_is_prefix_sum_of_shares() {
+        let t = task(14.0, 0.3);
+        let direct: f64 = (1..=6).map(|q| t.share(q)).sum();
+        assert!((t.potential_term(6) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_term_increment_equals_new_share() {
+        // φ-term bookkeeping used throughout: adding one participant to a task
+        // raises the task's potential term by exactly the new share.
+        let t = task(11.0, 0.9);
+        for x in 0..10u32 {
+            let delta = t.potential_term(x + 1) - t.potential_term(x);
+            assert!((delta - t.share(x + 1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn location_is_carried() {
+        let t = Task::at(TaskId(3), 10.0, 0.0, (1.5, -2.0));
+        assert_eq!(t.location, Some((1.5, -2.0)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Users (vehicle drivers) and their preference weights.
+
+use crate::ids::UserId;
+use crate::route::Route;
+use serde::{Deserialize, Serialize};
+
+/// Bounds `(e_min, e_max)` for the user weight parameters `α_i, β_i, γ_i`
+/// (§3.1: `e_min < α_i, β_i, γ_i < e_max` with `e_min > 0`).
+///
+/// The defaults reproduce Table 2: weights drawn from `[0.1, 0.9]`, so the
+/// open validation interval is `(0.1 − ε, 0.9 + ε)`. Theorem 4's slot bound
+/// uses the same `e_min`/`e_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightBounds {
+    /// Strict lower bound `e_min > 0`.
+    pub e_min: f64,
+    /// Strict upper bound `e_max`.
+    pub e_max: f64,
+}
+
+impl WeightBounds {
+    /// Table 2 bounds: user weights in `[0.1, 0.9]`.
+    pub const PAPER: WeightBounds = WeightBounds { e_min: 0.1 - 1e-9, e_max: 0.9 + 1e-9 };
+
+    /// Whether `value` lies strictly inside `(e_min, e_max)`.
+    #[inline]
+    pub fn contains(&self, value: f64) -> bool {
+        value.is_finite() && value > self.e_min && value < self.e_max
+    }
+}
+
+impl Default for WeightBounds {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Individual preference weights of a user (Eq. 2).
+///
+/// * `alpha` (`α_i`) scales the task-reward term — raise it to chase rewards;
+/// * `beta` (`β_i`) scales the detour cost — raise it to stay near the
+///   shortest route;
+/// * `gamma` (`γ_i`) scales the congestion cost — raise it to avoid congested
+///   routes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserPrefs {
+    /// Reward weight `α_i`.
+    pub alpha: f64,
+    /// Detour-cost weight `β_i`.
+    pub beta: f64,
+    /// Congestion-cost weight `γ_i`.
+    pub gamma: f64,
+}
+
+impl UserPrefs {
+    /// Creates a preference triple.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
+        Self { alpha, beta, gamma }
+    }
+
+    /// Neutral preferences (`α = β = γ = 0.5`), the midpoint of Table 2.
+    pub fn neutral() -> Self {
+        Self::new(0.5, 0.5, 0.5)
+    }
+}
+
+/// A mobile user: preference weights plus the recommended route set `R_i`
+/// received from the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Identifier; equals the user's index in [`crate::Game::users`].
+    pub id: UserId,
+    /// The user's preference weights `(α_i, β_i, γ_i)`.
+    pub prefs: UserPrefs,
+    /// Recommended route set `R_i` (1–5 routes under Table 2).
+    pub routes: Vec<Route>,
+}
+
+impl User {
+    /// Creates a user.
+    pub fn new(id: UserId, prefs: UserPrefs, routes: Vec<Route>) -> Self {
+        Self { id, prefs, routes }
+    }
+
+    /// Number of recommended routes `|R_i|`.
+    #[inline]
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RouteId;
+
+    #[test]
+    fn paper_bounds_accept_table2_range() {
+        let b = WeightBounds::PAPER;
+        assert!(b.contains(0.1));
+        assert!(b.contains(0.5));
+        assert!(b.contains(0.9));
+        assert!(!b.contains(0.0));
+        assert!(!b.contains(1.0));
+        assert!(!b.contains(f64::NAN));
+        assert!(!b.contains(f64::INFINITY));
+    }
+
+    #[test]
+    fn neutral_prefs_are_midpoint() {
+        let p = UserPrefs::neutral();
+        assert_eq!((p.alpha, p.beta, p.gamma), (0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn user_route_count() {
+        let u = User::new(
+            UserId(0),
+            UserPrefs::neutral(),
+            vec![
+                Route::new(RouteId(0), vec![], 0.0, 0.0),
+                Route::new(RouteId(1), vec![], 1.0, 0.2),
+            ],
+        );
+        assert_eq!(u.route_count(), 2);
+    }
+
+    #[test]
+    fn default_bounds_are_paper_bounds() {
+        assert_eq!(WeightBounds::default(), WeightBounds::PAPER);
+    }
+}

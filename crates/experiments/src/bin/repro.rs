@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--reps N] [--seed S] [--out DIR] <experiment>... | all | list
+//! ```
+//!
+//! Each experiment prints an aligned table to stdout; with `--out DIR` the
+//! table is also written as `DIR/<id>.csv` (and Fig. 13 writes SVGs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vcs_experiments::{run_experiment, Ctx, ALL_ABLATIONS, ALL_EXPERIMENTS};
+
+struct Args {
+    reps: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { reps: 500, seed: 20210809, out: None, experiments: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                args.reps = v.parse().map_err(|_| format!("bad --reps value {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [--reps N] [--seed S] [--out DIR] <experiment>... | all | list\n\
+                     experiments: {} {}",
+                    ALL_EXPERIMENTS.join(" "),
+                    ALL_ABLATIONS.join(" ")
+                ));
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.experiments.push(other.to_string()),
+        }
+    }
+    if args.experiments.is_empty() {
+        return Err("no experiment given; try `repro list`".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.experiments.iter().any(|e| e == "list") {
+        for id in ALL_EXPERIMENTS.iter().chain(ALL_ABLATIONS.iter()) {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if args.experiments.iter().any(|e| e == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.experiments.clone()
+    };
+    let ctx = Ctx::new(args.reps, args.seed, args.out.clone());
+    let started = std::time::Instant::now();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let Some(report) = run_experiment(&ctx, id) else {
+            eprintln!("unknown experiment `{id}`; try `repro list`");
+            return ExitCode::FAILURE;
+        };
+        print!("{}", report.to_table());
+        println!("# elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+        println!();
+        if let Some(dir) = &ctx.out_dir {
+            if let Err(err) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{id}.csv")), report.to_csv()))
+            {
+                eprintln!("failed to write CSV for {id}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "ran {} experiment(s) with {} repetitions in {:.1}s",
+        ids.len(),
+        args.reps,
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

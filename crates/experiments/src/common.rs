@@ -1,0 +1,158 @@
+//! Helpers shared by the experiment runners.
+
+use crate::context::Ctx;
+use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig, RunOutcome};
+use vcs_core::Game;
+use vcs_metrics::replicate;
+use vcs_scenario::{replicate_seed, Dataset, ScenarioConfig, ScenarioParams, UserPool};
+
+/// Builds a replicate game from a pool with Table 2 parameters.
+pub fn build_game(
+    pool: &UserPool,
+    n_users: usize,
+    n_tasks: usize,
+    seed: u64,
+    params: ScenarioParams,
+) -> Game {
+    pool.instantiate(&ScenarioConfig { n_users, n_tasks, seed, params })
+}
+
+/// Runs one distributed algorithm to equilibrium on a replicate game.
+pub fn equilibrate(game: &Game, algo: DistributedAlgorithm, seed: u64) -> RunOutcome {
+    run_distributed(game, algo, &RunConfig::with_seed(seed))
+}
+
+/// Monte-Carlo mean of `f(game, replicate_seed)` over `ctx.reps` replicates
+/// of a scenario (rayon-parallel, order-deterministic).
+pub fn replicate_mean<F>(
+    ctx: &Ctx,
+    dataset: Dataset,
+    experiment_tag: u64,
+    n_users: usize,
+    n_tasks: usize,
+    params: ScenarioParams,
+    f: F,
+) -> f64
+where
+    F: Fn(&Game, u64) -> f64 + Sync + Send,
+{
+    let pool = ctx.pool(dataset);
+    let values = replicate(ctx.reps, |rep| {
+        let seed = replicate_seed(ctx.base_seed, experiment_tag, rep);
+        let game = build_game(&pool, n_users, n_tasks, seed, params);
+        f(&game, seed)
+    });
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+/// Like [`replicate_mean`] but returns the means of several measurements at
+/// once (`f` returns a fixed-size vector of observables).
+#[allow(clippy::too_many_arguments)] // sweep coordinates, not an abstraction boundary
+pub fn replicate_means<F>(
+    ctx: &Ctx,
+    dataset: Dataset,
+    experiment_tag: u64,
+    n_users: usize,
+    n_tasks: usize,
+    params: ScenarioParams,
+    width: usize,
+    f: F,
+) -> Vec<f64>
+where
+    F: Fn(&Game, u64) -> Vec<f64> + Sync + Send,
+{
+    let pool = ctx.pool(dataset);
+    let values = replicate(ctx.reps, |rep| {
+        let seed = replicate_seed(ctx.base_seed, experiment_tag, rep);
+        let game = build_game(&pool, n_users, n_tasks, seed, params);
+        let row = f(&game, seed);
+        debug_assert_eq!(row.len(), width);
+        row
+    });
+    let n = values.len().max(1) as f64;
+    let mut means = vec![0.0; width];
+    for row in &values {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v / n;
+        }
+    }
+    means
+}
+
+/// Unique numeric tags for seed derivation, one per experiment.
+pub mod tags {
+    /// Fig. 3 tag.
+    pub const FIG3: u64 = 3;
+    /// Fig. 4 tag.
+    pub const FIG4: u64 = 4;
+    /// Fig. 5 tag.
+    pub const FIG5: u64 = 5;
+    /// Fig. 6 tag.
+    pub const FIG6: u64 = 6;
+    /// Fig. 7 tag.
+    pub const FIG7: u64 = 7;
+    /// Fig. 8 tag.
+    pub const FIG8: u64 = 8;
+    /// Fig. 9 tag.
+    pub const FIG9: u64 = 9;
+    /// Fig. 10 tag.
+    pub const FIG10: u64 = 10;
+    /// Fig. 11 tag.
+    pub const FIG11: u64 = 11;
+    /// Fig. 12 tag.
+    pub const FIG12: u64 = 12;
+    /// Fig. 13 tag.
+    pub const FIG13: u64 = 13;
+    /// Table 3 tag.
+    pub const TABLE3: u64 = 103;
+    /// Table 4 tag.
+    pub const TABLE4: u64 = 104;
+    /// Table 5 tag.
+    pub const TABLE5: u64 = 105;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::response::is_nash;
+
+    #[test]
+    fn equilibrate_reaches_nash_on_scenario_game() {
+        let ctx = Ctx::for_tests();
+        let pool = ctx.pool(Dataset::Shanghai);
+        let game = build_game(&pool, 10, 20, 7, ScenarioParams::default());
+        let out = equilibrate(&game, DistributedAlgorithm::Dgrn, 7);
+        assert!(out.converged);
+        assert!(is_nash(&game, &out.profile));
+    }
+
+    #[test]
+    fn replicate_mean_deterministic() {
+        let ctx = Ctx::for_tests();
+        let f = |game: &Game, seed: u64| {
+            equilibrate(game, DistributedAlgorithm::Muun, seed).slots as f64
+        };
+        let a = replicate_mean(&ctx, Dataset::Shanghai, 1, 8, 15, ScenarioParams::default(), f);
+        let b = replicate_mean(&ctx, Dataset::Shanghai, 1, 8, 15, ScenarioParams::default(), f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicate_means_width() {
+        let ctx = Ctx::for_tests();
+        let means = replicate_means(
+            &ctx,
+            Dataset::Shanghai,
+            2,
+            6,
+            10,
+            ScenarioParams::default(),
+            2,
+            |game, seed| {
+                let out = equilibrate(game, DistributedAlgorithm::Dgrn, seed);
+                vec![out.slots as f64, out.final_total_profit()]
+            },
+        );
+        assert_eq!(means.len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared experiment context: replication settings and cached per-dataset
+//! substrate pools.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use vcs_scenario::{Dataset, UserPool};
+
+/// Settings and caches shared by all experiment runners.
+pub struct Ctx {
+    /// Number of Monte-Carlo repetitions (paper: 500).
+    pub reps: usize,
+    /// Base seed; every replicate derives its own via
+    /// [`vcs_scenario::replicate_seed`].
+    pub base_seed: u64,
+    /// Optional directory for CSV/SVG artifacts.
+    pub out_dir: Option<PathBuf>,
+    pools: Mutex<HashMap<Dataset, Arc<UserPool>>>,
+}
+
+impl Ctx {
+    /// Creates a context.
+    pub fn new(reps: usize, base_seed: u64, out_dir: Option<PathBuf>) -> Self {
+        Self { reps, base_seed, out_dir, pools: Mutex::new(HashMap::new()) }
+    }
+
+    /// A fast context for unit tests (2 repetitions).
+    pub fn for_tests() -> Self {
+        Self::new(2, 12345, None)
+    }
+
+    /// The cached substrate pool for `dataset`, built on first use.
+    pub fn pool(&self, dataset: Dataset) -> Arc<UserPool> {
+        let mut pools = self.pools.lock().expect("pool cache lock");
+        Arc::clone(
+            pools
+                .entry(dataset)
+                .or_insert_with(|| Arc::new(UserPool::build(dataset, self.base_seed))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_cached() {
+        let ctx = Ctx::for_tests();
+        let a = ctx.pool(Dataset::Shanghai);
+        let b = ctx.pool(Dataset::Shanghai);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,250 @@
+//! Convergence experiments: Fig. 3 (profit trajectories), Fig. 4/5 (slots vs
+//! users/tasks), Fig. 6 (potential & total profit trajectories) and Table 3
+//! (PUU batch size vs overlap ratio).
+
+use crate::common::{build_game, equilibrate, replicate_mean, tags};
+use crate::context::Ctx;
+use crate::report::{fmt3, Report};
+use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig};
+use vcs_core::response::is_nash;
+use vcs_metrics::{overlap_ratio, replicate};
+use vcs_scenario::{replicate_seed, Dataset, ScenarioParams};
+
+/// Fig. 3 settings: 15 users observed over 20 decision slots.
+const FIG3_USERS: usize = 15;
+const FIG3_TASKS: usize = 30;
+const FIG3_SLOTS: usize = 20;
+
+/// Fig. 3: per-user profit vs decision slot under DGRN, one report per
+/// dataset (concatenated; the dataset is the first column).
+pub fn fig3(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig3",
+        "User profit vs. decision slot (15 users, DGRN; profits stabilize at Nash equilibrium)",
+        &["dataset", "slot", "min", "mean", "max", "updated"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        let seed = replicate_seed(ctx.base_seed, tags::FIG3, 0);
+        let game = build_game(&pool, FIG3_USERS, FIG3_TASKS, seed, ScenarioParams::default());
+        let mut cfg = RunConfig::with_seed(seed);
+        cfg.record_user_profits = true;
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &cfg);
+        let trace = out.user_profit_trace.as_ref().expect("recording enabled");
+        for slot in 0..=FIG3_SLOTS {
+            // Hold the final state once converged (paper plots 20 slots).
+            let row = &trace[slot.min(trace.len() - 1)];
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            let updated = if slot < out.slot_trace.len() {
+                out.slot_trace[slot].updated_users
+            } else {
+                0
+            };
+            report.push_row(vec![
+                dataset.name().to_string(),
+                slot.to_string(),
+                fmt3(min),
+                fmt3(mean),
+                fmt3(max),
+                updated.to_string(),
+            ]);
+        }
+        report.note(format!(
+            "{}: converged after {} slots; equilibrium verified: {}",
+            dataset.name(),
+            out.slots,
+            is_nash(&game, &out.profile)
+        ));
+    }
+    report
+}
+
+const SLOTS_ALGOS: [DistributedAlgorithm; 5] = [
+    DistributedAlgorithm::Dgrn,
+    DistributedAlgorithm::Brun,
+    DistributedAlgorithm::Buau,
+    DistributedAlgorithm::Bats,
+    DistributedAlgorithm::Muun,
+];
+
+fn slots_sweep(
+    ctx: &Ctx,
+    id: &str,
+    title: &str,
+    tag: u64,
+    sweep: &[(usize, usize)], // (n_users, n_tasks) pairs
+    x_label: &str,
+    x_of: impl Fn(&(usize, usize)) -> usize,
+) -> Report {
+    let mut columns = vec!["dataset".to_string(), x_label.to_string()];
+    columns.extend(SLOTS_ALGOS.iter().map(|a| a.name().to_string()));
+    let mut report = Report {
+        id: id.to_string(),
+        title: title.to_string(),
+        columns,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    for dataset in Dataset::ALL {
+        for point in sweep {
+            let (n_users, n_tasks) = *point;
+            let mut row = vec![dataset.name().to_string(), x_of(point).to_string()];
+            for algo in SLOTS_ALGOS {
+                let mean = replicate_mean(
+                    ctx,
+                    dataset,
+                    tag,
+                    n_users,
+                    n_tasks,
+                    ScenarioParams::default(),
+                    |game, seed| equilibrate(game, algo, seed).slots as f64,
+                );
+                row.push(fmt3(mean));
+            }
+            report.push_row(row);
+        }
+    }
+    report.note(format!("{} repetitions per point", ctx.reps));
+    report
+}
+
+/// Fig. 4: decision slots to convergence vs user number (20–100, 60 tasks).
+pub fn fig4(ctx: &Ctx) -> Report {
+    let sweep: Vec<(usize, usize)> = [20, 40, 60, 80, 100].map(|u| (u, 60)).to_vec();
+    slots_sweep(
+        ctx,
+        "fig4",
+        "Decision slots vs. user number (paper ordering: MUUN<BUAU<DGRN<BRUN<BATS)",
+        tags::FIG4,
+        &sweep,
+        "users",
+        |p| p.0,
+    )
+}
+
+/// Fig. 5: decision slots to convergence vs task number (20–100, 20 users).
+pub fn fig5(ctx: &Ctx) -> Report {
+    let sweep: Vec<(usize, usize)> = [20, 40, 60, 80, 100].map(|t| (20, t)).to_vec();
+    slots_sweep(
+        ctx,
+        "fig5",
+        "Decision slots vs. task number (paper ordering: MUUN<BUAU<DGRN<BRUN<BATS)",
+        tags::FIG5,
+        &sweep,
+        "tasks",
+        |p| p.1,
+    )
+}
+
+/// Fig. 6: potential-function value and total profit vs decision slot under
+/// DGRN (single seeded run per dataset, 35 slots as in the paper).
+pub fn fig6(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig6",
+        "Potential function value and total profit vs. decision slot (DGRN)",
+        &["dataset", "slot", "potential", "total profit"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        let seed = replicate_seed(ctx.base_seed, tags::FIG6, 1);
+        let game = build_game(&pool, 30, 40, seed, ScenarioParams::default());
+        let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
+        for slot in 0..=35usize {
+            let entry = &out.slot_trace[slot.min(out.slot_trace.len() - 1)];
+            report.push_row(vec![
+                dataset.name().to_string(),
+                slot.to_string(),
+                fmt3(entry.potential),
+                fmt3(entry.total_profit),
+            ]);
+        }
+        report.note(format!(
+            "{}: potential rises monotonically and plateaus at slot {} (Nash)",
+            dataset.name(),
+            out.slots
+        ));
+    }
+    report
+}
+
+/// Table 3: mean number of users selected per PUU slot vs overlap ratio,
+/// Shanghai, tasks 50–90.
+pub fn table3(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "table3",
+        "Selected user number vs. overlap ratio (MUUN, Shanghai)",
+        &["total task #", "overlap ratio", "selected user #"],
+    );
+    let pool = ctx.pool(Dataset::Shanghai);
+    for (i, n_tasks) in [50usize, 60, 70, 80, 90].into_iter().enumerate() {
+        let rows = replicate(ctx.reps, |rep| {
+            let seed = replicate_seed(ctx.base_seed, tags::TABLE3 + i as u64, rep);
+            let game = build_game(&pool, 40, n_tasks, seed, ScenarioParams::default());
+            let out = equilibrate(&game, DistributedAlgorithm::Muun, seed);
+            (overlap_ratio(&game, &out.profile), out.mean_updates_per_slot())
+        });
+        let n = rows.len() as f64;
+        let overlap: f64 = rows.iter().map(|r| r.0).sum::<f64>() / n;
+        let selected: f64 = rows.iter().map(|r| r.1).sum::<f64>() / n;
+        report.push_row(vec![n_tasks.to_string(), fmt3(overlap), fmt3(selected)]);
+    }
+    report.note(format!("40 users; {} repetitions per row", ctx.reps));
+    report.note("paper: selected user # decreases as the overlap ratio grows");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> Ctx {
+        Ctx::for_tests()
+    }
+
+    #[test]
+    fn fig3_rows_cover_all_datasets_and_slots() {
+        let r = fig3(&tiny_ctx());
+        assert_eq!(r.rows.len(), 3 * (FIG3_SLOTS + 1));
+        assert!(r.notes.iter().all(|n| n.contains("equilibrium verified: true")));
+    }
+
+    #[test]
+    fn fig4_ordering_muun_fastest() {
+        let ctx = tiny_ctx();
+        // Shrink the sweep for test speed: reuse fig5's machinery at one point.
+        let sweep = [(30usize, 40usize)];
+        let r = slots_sweep(&ctx, "t", "t", 99, &sweep, "users", |p| p.0);
+        // Columns: dataset, users, DGRN, BRUN, BUAU, BATS, MUUN.
+        for row in &r.rows {
+            let dgrn: f64 = row[2].parse().unwrap();
+            let bats: f64 = row[5].parse().unwrap();
+            let muun: f64 = row[6].parse().unwrap();
+            assert!(muun <= dgrn + 1e-9, "MUUN slower than DGRN: {row:?}");
+            assert!(dgrn <= bats + 1e-9, "DGRN slower than BATS: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_potential_monotone() {
+        let r = fig6(&tiny_ctx());
+        for dataset_rows in r.rows.chunks(36) {
+            let potentials: Vec<f64> =
+                dataset_rows.iter().map(|row| row[2].parse().unwrap()).collect();
+            for w in potentials.windows(2) {
+                assert!(w[1] >= w[0] - 1e-6, "potential decreased: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table3_has_five_rows() {
+        let r = table3(&tiny_ctx());
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            let selected: f64 = row[2].parse().unwrap();
+            assert!(selected >= 1.0, "PUU selects at least one user per slot");
+        }
+    }
+}

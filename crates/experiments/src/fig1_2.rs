@@ -1,0 +1,137 @@
+//! Fig. 1 and Fig. 2: the paper's illustrative instances, reproduced exactly.
+
+use crate::report::{fmt1, fmt3, Report};
+use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig};
+use vcs_core::examples::{fig1_instance, fig1_profiles, fig2_instance, FIG2_ROWS, FIG_ALPHA};
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::response::is_nash;
+use vcs_core::Profile;
+
+/// Fig. 1: the three candidate solutions and their (unscaled) profits plus
+/// equilibrium classification, then a DGRN run confirming the dynamics land
+/// on the distributed equilibrium.
+pub fn fig1() -> Report {
+    let game = fig1_instance();
+    let mut report = Report::new(
+        "fig1",
+        "Illustrative example: approach, total profit, equilibrium (paper: 6 / 11 / 12)",
+        &["approach", "u1", "u2", "u3", "total", "equilibrium"],
+    );
+    let named: [(&str, &[RouteId; 3]); 3] = [
+        ("Maximum reward", &fig1_profiles::MAXIMUM_REWARD),
+        ("Distributed equilibrium", &fig1_profiles::DISTRIBUTED_EQUILIBRIUM),
+        ("Centralized optimal", &fig1_profiles::CENTRALIZED_OPTIMAL),
+    ];
+    for (name, choices) in named {
+        let profile = Profile::new(&game, choices.to_vec());
+        let unscale = 1.0 / FIG_ALPHA;
+        let profits: Vec<f64> =
+            (0..3).map(|i| profile.profit(&game, UserId(i)) * unscale).collect();
+        report.push_row(vec![
+            name.to_string(),
+            fmt1(profits[0]),
+            fmt1(profits[1]),
+            fmt1(profits[2]),
+            fmt1(profits.iter().sum()),
+            if is_nash(&game, &profile) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    // Confirm the dynamics find the equilibrium from random starts.
+    let mut all_equal = true;
+    for seed in 0..20 {
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+        all_equal &=
+            out.profile.choices() == fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice();
+    }
+    report.note(format!(
+        "DGRN from 20 random starts always reaches the distributed equilibrium: {all_equal}"
+    ));
+    report
+}
+
+/// Fig. 2: platform-weight influence on a 2-user toy — task count, total
+/// detour and total congestion at the best-response equilibrium for three
+/// `(φ, θ)` settings.
+pub fn fig2() -> Report {
+    let mut report = Report::new(
+        "fig2",
+        "Influence of φ and θ (paper: 2/2/4 tasks-detour-congestion; 1/0/6; 1/4/2)",
+        &["phi", "theta", "solution", "task #", "detour", "congestion"],
+    );
+    for (phi, theta) in FIG2_ROWS {
+        let game = fig2_instance(phi, theta);
+        // Deterministic best-response sweep to equilibrium.
+        let mut profile = Profile::all_first(&game);
+        for _ in 0..64 {
+            let mut moved = false;
+            for i in 0..2 {
+                let user = UserId(i);
+                let br = vcs_core::best_route_set(&game, &profile, user);
+                if let Some(route) = br.first() {
+                    profile.apply_move(&game, user, route);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        assert!(is_nash(&game, &profile), "Fig. 2 toy must equilibrate");
+        let task_count = profile.covered_tasks();
+        let detour: f64 = (0..2)
+            .map(|i| game.user(UserId(i)).routes[profile.choice(UserId(i)).index()].detour)
+            .sum();
+        let congestion: f64 = (0..2)
+            .map(|i| game.user(UserId(i)).routes[profile.choice(UserId(i)).index()].congestion)
+            .sum();
+        let solution = format!(
+            "u1:r{} u2:r{}",
+            profile.choice(UserId(0)).0 + 1,
+            profile.choice(UserId(1)).0 + 1
+        );
+        report.push_row(vec![
+            fmt3(phi),
+            fmt3(theta),
+            solution,
+            task_count.to_string(),
+            fmt1(detour),
+            fmt1(congestion),
+        ]);
+    }
+    report.note("φ≈1 drives both users to the zero-detour route; θ≈1 to the low-congestion route");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_report_matches_paper_totals() {
+        let r = fig1();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][4], "6.0");
+        assert_eq!(r.rows[1][4], "11.0");
+        assert_eq!(r.rows[2][4], "12.0");
+        assert_eq!(r.rows[0][5], "no");
+        assert_eq!(r.rows[1][5], "yes");
+        assert_eq!(r.rows[2][5], "no");
+        assert!(r.notes[0].ends_with("true"));
+    }
+
+    #[test]
+    fn fig2_report_matches_paper_pattern() {
+        let r = fig2();
+        assert_eq!(r.rows.len(), 3);
+        // Small weights: both tasks covered.
+        assert_eq!(r.rows[0][3], "2");
+        // Large φ: both on r1 → 1 task, zero detour, congestion 6.
+        assert_eq!(r.rows[1][3], "1");
+        assert_eq!(r.rows[1][4], "0.0");
+        assert_eq!(r.rows[1][5], "6.0");
+        // Large θ: both on r2 → 1 task, detour 4, congestion 2.
+        assert_eq!(r.rows[2][3], "1");
+        assert_eq!(r.rows[2][4], "4.0");
+        assert_eq!(r.rows[2][5], "2.0");
+    }
+}

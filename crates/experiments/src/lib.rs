@@ -1,0 +1,66 @@
+//! # vcs-experiments — per-table/figure experiment runners
+//!
+//! One runner per table and figure of the paper's evaluation (§5), each
+//! returning a uniform [`report::Report`]. The `repro` binary renders them as
+//! aligned tables and CSV. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod communication;
+pub mod common;
+pub mod context;
+pub mod convergence;
+pub mod fig1_2;
+pub mod params_influence;
+pub mod profit;
+pub mod render;
+pub mod report;
+
+pub use context::Ctx;
+pub use report::Report;
+
+/// All experiment ids, in the paper's presentation order.
+pub const ALL_EXPERIMENTS: [&str; 16] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table3", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "table4", "fig12", "table5", "fig13",
+];
+
+/// Ablation studies beyond the paper (DESIGN.md §8).
+pub const ALL_ABLATIONS: [&str; 5] = [
+    "ablation_routes",
+    "ablation_mu",
+    "ablation_response",
+    "ablation_communication",
+    "ablation_scale",
+];
+
+/// Runs one experiment by id. Returns `None` for unknown ids.
+pub fn run_experiment(ctx: &Ctx, id: &str) -> Option<Report> {
+    Some(match id {
+        "fig1" => fig1_2::fig1(),
+        "fig2" => fig1_2::fig2(),
+        "fig3" => convergence::fig3(ctx),
+        "fig4" => convergence::fig4(ctx),
+        "fig5" => convergence::fig5(ctx),
+        "fig6" => convergence::fig6(ctx),
+        "table3" => convergence::table3(ctx),
+        "fig7" => profit::fig7(ctx),
+        "fig8" => profit::fig8(ctx),
+        "fig9" => profit::fig9(ctx),
+        "fig10" => profit::fig10(ctx),
+        "fig11" => profit::fig11(ctx),
+        "table4" => profit::table4(ctx),
+        "fig12" => params_influence::fig12(ctx),
+        "table5" => params_influence::table5(ctx),
+        "fig13" => render::fig13(ctx),
+        "ablation_routes" => ablations::ablation_routes(ctx),
+        "ablation_mu" => ablations::ablation_mu(ctx),
+        "ablation_response" => ablations::ablation_response(ctx),
+        "ablation_communication" => communication::ablation_communication(ctx),
+        "ablation_scale" => ablations::ablation_scale(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,152 @@
+//! Parameter-influence experiments: Fig. 12 (platform weights φ, θ) and
+//! Table 5 (user weights α_i, β_i, γ_i).
+
+use crate::common::{build_game, equilibrate, tags};
+use crate::context::Ctx;
+use crate::report::{fmt3, Report};
+use vcs_algorithms::DistributedAlgorithm;
+use vcs_core::ids::UserId;
+use vcs_core::UserPrefs;
+use vcs_metrics::{
+    average_reward, replicate, total_congestion, total_detour, user_congestion, user_detour,
+    user_reward,
+};
+use vcs_scenario::{replicate_seed, Dataset, ScenarioParams};
+
+const USERS: usize = 20;
+const TASKS: usize = 40;
+
+/// Fig. 12: sweep `(φ, θ)` on Shanghai and record average reward, total
+/// detour distance and total congestion level at the DGRN equilibrium.
+pub fn fig12(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig12",
+        "Influence of φ and θ (Shanghai): avg reward falls, detour falls with φ, congestion falls with θ",
+        &["phi", "theta", "avg reward", "detour", "congestion"],
+    );
+    let pool = ctx.pool(Dataset::Shanghai);
+    let grid = [0.05, 0.2, 0.4, 0.6, 0.8];
+    for &phi in grid.iter() {
+        for &theta in grid.iter() {
+            let rows = replicate(ctx.reps, |rep| {
+                // Common random numbers: every (φ, θ) cell replays the same
+                // replicate games, so the sweep isolates the platform knobs.
+                let seed = replicate_seed(ctx.base_seed, tags::FIG12, rep);
+                let params = ScenarioParams::with_platform(phi, theta);
+                let game = build_game(&pool, USERS, TASKS, seed, params);
+                let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
+                (
+                    average_reward(&game, &out.profile),
+                    total_detour(&game, &out.profile),
+                    total_congestion(&game, &out.profile),
+                )
+            });
+            let n = rows.len() as f64;
+            report.push_row(vec![
+                fmt3(phi),
+                fmt3(theta),
+                fmt3(rows.iter().map(|r| r.0).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.1).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.2).sum::<f64>() / n),
+            ]);
+        }
+    }
+    report.note(format!("{USERS} users, {TASKS} tasks, {} repetitions per cell", ctx.reps));
+    report
+}
+
+/// Which preference weight Table 5 varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Varied {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+impl Varied {
+    fn prefs(self, value: f64) -> UserPrefs {
+        match self {
+            Varied::Alpha => UserPrefs::new(value, 0.5, 0.5),
+            Varied::Beta => UserPrefs::new(0.5, value, 0.5),
+            Varied::Gamma => UserPrefs::new(0.5, 0.5, value),
+        }
+    }
+}
+
+/// Table 5: vary one user's `α_i` / `β_i` / `γ_i` from 0.1 to 0.8 and record
+/// that user's reward / detour / congestion at the DGRN equilibrium.
+pub fn table5(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "table5",
+        "Influence of the user parameters (Shanghai, observed user 0)",
+        &["weight", "alpha: reward", "beta: detour", "gamma: congestion"],
+    );
+    let pool = ctx.pool(Dataset::Shanghai);
+    let observed = UserId(0);
+    for step in 0..8usize {
+        let value = 0.1 * (step + 1) as f64;
+        let mut cells = vec![fmt3(value)];
+        for varied in [Varied::Alpha, Varied::Beta, Varied::Gamma] {
+            let vals = replicate(ctx.reps, |rep| {
+                // Common random numbers across all weight levels.
+                let seed = replicate_seed(ctx.base_seed, tags::TABLE5, rep);
+                let game = build_game(&pool, USERS, TASKS, seed, ScenarioParams::default())
+                    .with_user_prefs(observed, varied.prefs(value))
+                    .expect("Table 5 weights are within bounds");
+                let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
+                match varied {
+                    Varied::Alpha => user_reward(&game, &out.profile, observed),
+                    Varied::Beta => user_detour(&game, &out.profile, observed),
+                    Varied::Gamma => user_congestion(&game, &out.profile, observed),
+                }
+            });
+            cells.push(fmt3(vals.iter().sum::<f64>() / vals.len() as f64));
+        }
+        report.push_row(cells);
+    }
+    report.note(format!("{USERS} users, {TASKS} tasks, {} repetitions per cell", ctx.reps));
+    report.note("paper: reward grows with α; detour shrinks with β; congestion shrinks with γ");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_grid_complete() {
+        let ctx = Ctx::for_tests();
+        let r = fig12(&ctx);
+        assert_eq!(r.rows.len(), 25);
+        for row in &r.rows {
+            for col in 2..5 {
+                let v: f64 = row[col].parse().unwrap();
+                assert!(v >= 0.0, "negative metric: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig12_detour_falls_with_phi() {
+        // Aggregate over θ: the φ = 0.05 band must show at least as much
+        // detour as the φ = 0.8 band (rows are φ-major, 5 θ-cells per band).
+        let ctx = Ctx::for_tests();
+        let r = fig12(&ctx);
+        let band_mean = |rows: &[Vec<String>]| {
+            rows.iter().map(|row| row[3].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
+        };
+        let low_phi = band_mean(&r.rows[0..5]);
+        let high_phi = band_mean(&r.rows[20..25]);
+        assert!(
+            high_phi <= low_phi + 0.5,
+            "detour should not grow with φ: {low_phi} -> {high_phi}"
+        );
+    }
+
+    #[test]
+    fn table5_has_eight_rows() {
+        let ctx = Ctx::for_tests();
+        let r = table5(&ctx);
+        assert_eq!(r.rows.len(), 8);
+    }
+}

@@ -1,0 +1,335 @@
+//! Profit/coverage/reward/fairness experiments: Fig. 7–11 and Table 4.
+
+use crate::common::{build_game, equilibrate, replicate_means, tags};
+use crate::context::Ctx;
+use crate::report::{fmt3, Report};
+use vcs_algorithms::{run_corn, run_rrn, DistributedAlgorithm};
+use vcs_core::poa::{poa_lower_bound, special_case_optimal, SpecialCaseGame, SpecialCaseSpec};
+use vcs_metrics::{average_reward, coverage, profile_jain_index, replicate};
+use vcs_scenario::{replicate_seed, Dataset, ScenarioParams};
+
+/// Fewer tasks for the CORN-involving experiments keeps the exact search at
+/// the paper's scale.
+const CORN_TASKS: usize = 20;
+
+/// Fig. 7: total profit vs user number (10–14) for DGRN, CORN, RRN.
+pub fn fig7(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig7",
+        "Total profit vs. user number (paper ordering: RRN<DGRN<CORN, DGRN close to CORN)",
+        &["dataset", "users", "DGRN", "CORN", "RRN"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        for n_users in 10..=14usize {
+            let rows = replicate(ctx.reps, |rep| {
+                let seed = replicate_seed(ctx.base_seed, tags::FIG7 + n_users as u64, rep);
+                let game =
+                    build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
+                let dgrn = equilibrate(&game, DistributedAlgorithm::Dgrn, seed)
+                    .profile
+                    .total_profit(&game);
+                let corn = run_corn(&game).total_profit;
+                let rrn = run_rrn(&game, seed).total_profit(&game);
+                (dgrn, corn, rrn)
+            });
+            let n = rows.len() as f64;
+            let mean = |f: fn(&(f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
+            report.push_row(vec![
+                dataset.name().to_string(),
+                n_users.to_string(),
+                fmt3(mean(|r| r.0)),
+                fmt3(mean(|r| r.1)),
+                fmt3(mean(|r| r.2)),
+            ]);
+        }
+    }
+    report.note(format!("{} tasks; {} repetitions per point", CORN_TASKS, ctx.reps));
+    report
+}
+
+/// Platform weights the DGRN ecosystem tunes to for coverage/reward goals
+/// (§5.3.2: "DGRN can adjust the settings to increase the coverage of
+/// tasks" — the comparison algorithms have no such platform knob, so they
+/// stay at the Table 2 midpoint).
+const DGRN_TUNED: (f64, f64) = (0.1, 0.1);
+
+/// Fig. 8: task coverage vs user number (20–100) for DGRN, BATS, RRN. DGRN
+/// runs with the platform's coverage-oriented weights (see [`DGRN_TUNED`]).
+pub fn fig8(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig8",
+        "Coverage vs. user number (paper ordering: RRN<BATS<DGRN)",
+        &["dataset", "users", "DGRN", "BATS", "RRN"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        for n_users in [20usize, 40, 60, 80, 100] {
+            let rows = replicate(ctx.reps, |rep| {
+                let seed = replicate_seed(ctx.base_seed, tags::FIG8 + n_users as u64, rep);
+                // Same replicate (users, tasks, preferences) under both
+                // platform settings: only (φ, θ) differ.
+                let game = build_game(&pool, n_users, 60, seed, ScenarioParams::default());
+                let tuned = build_game(
+                    &pool,
+                    n_users,
+                    60,
+                    seed,
+                    ScenarioParams::with_platform(DGRN_TUNED.0, DGRN_TUNED.1),
+                );
+                let dgrn = equilibrate(&tuned, DistributedAlgorithm::Dgrn, seed);
+                let bats = equilibrate(&game, DistributedAlgorithm::Bats, seed);
+                let rrn = run_rrn(&game, seed);
+                (
+                    coverage(&tuned, &dgrn.profile),
+                    coverage(&game, &bats.profile),
+                    coverage(&game, &rrn),
+                )
+            });
+            let n = rows.len() as f64;
+            report.push_row(vec![
+                dataset.name().to_string(),
+                n_users.to_string(),
+                fmt3(rows.iter().map(|r| r.0).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.1).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.2).sum::<f64>() / n),
+            ]);
+        }
+    }
+    report.note(format!("60 tasks; {} repetitions per point", ctx.reps));
+    report.note("DGRN runs under the platform's coverage-tuned (φ, θ) = (0.1, 0.1)");
+    report
+}
+
+/// Fig. 9: average reward vs task number (20–100) for DGRN, BATS, RRN.
+pub fn fig9(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig9",
+        "Average reward vs. task number (paper ordering: RRN<BATS<DGRN; grows with tasks)",
+        &["dataset", "tasks", "DGRN", "BATS", "RRN"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        for n_tasks in [20usize, 40, 60, 80, 100] {
+            let rows = replicate(ctx.reps, |rep| {
+                let seed = replicate_seed(ctx.base_seed, tags::FIG9 + n_tasks as u64, rep);
+                let game = build_game(&pool, 20, n_tasks, seed, ScenarioParams::default());
+                let tuned = build_game(
+                    &pool,
+                    20,
+                    n_tasks,
+                    seed,
+                    ScenarioParams::with_platform(DGRN_TUNED.0, DGRN_TUNED.1),
+                );
+                let dgrn = equilibrate(&tuned, DistributedAlgorithm::Dgrn, seed);
+                let bats = equilibrate(&game, DistributedAlgorithm::Bats, seed);
+                let rrn = run_rrn(&game, seed);
+                (
+                    average_reward(&tuned, &dgrn.profile),
+                    average_reward(&game, &bats.profile),
+                    average_reward(&game, &rrn),
+                )
+            });
+            let n = rows.len() as f64;
+            report.push_row(vec![
+                dataset.name().to_string(),
+                n_tasks.to_string(),
+                fmt3(rows.iter().map(|r| r.0).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.1).sum::<f64>() / n),
+                fmt3(rows.iter().map(|r| r.2).sum::<f64>() / n),
+            ]);
+        }
+    }
+    report.note(format!("20 users; {} repetitions per point", ctx.reps));
+    report.note("DGRN runs under the platform's reward-tuned (φ, θ) = (0.1, 0.1)");
+    report
+}
+
+/// Fig. 10: Jain's fairness index vs user number (6–14) for DGRN, CORN, RRN.
+pub fn fig10(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig10",
+        "Jain's fairness index vs. user number (paper: DGRN highest)",
+        &["dataset", "users", "DGRN", "CORN", "RRN"],
+    );
+    for dataset in Dataset::ALL {
+        let pool = ctx.pool(dataset);
+        for n_users in [6usize, 8, 10, 12, 14] {
+            let rows = replicate(ctx.reps, |rep| {
+                let seed = replicate_seed(ctx.base_seed, tags::FIG10 + n_users as u64, rep);
+                let game =
+                    build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
+                let dgrn = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
+                let corn = run_corn(&game);
+                let rrn = run_rrn(&game, seed);
+                (
+                    profile_jain_index(&game, &dgrn.profile),
+                    profile_jain_index(&game, &corn.profile),
+                    profile_jain_index(&game, &rrn),
+                )
+            });
+            let n = rows.len() as f64;
+            let mean = |f: fn(&(f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / n;
+            report.push_row(vec![
+                dataset.name().to_string(),
+                n_users.to_string(),
+                fmt3(mean(|r| r.0)),
+                fmt3(mean(|r| r.1)),
+                fmt3(mean(|r| r.2)),
+            ]);
+        }
+    }
+    report.note(format!("{} tasks; {} repetitions per point", CORN_TASKS, ctx.reps));
+    report
+}
+
+/// Fig. 11: average reward surface over (task number × user number), DGRN.
+pub fn fig11(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig11",
+        "Average reward vs. task number and user number (DGRN surface)",
+        &["dataset", "tasks", "users", "avg reward"],
+    );
+    for dataset in Dataset::ALL {
+        for n_tasks in [20usize, 40, 60, 80, 100, 150, 200] {
+            for n_users in [20usize, 40, 60, 80, 100] {
+                let means = replicate_means(
+                    ctx,
+                    dataset,
+                    tags::FIG11 + (n_tasks * 1000 + n_users) as u64,
+                    n_users,
+                    n_tasks,
+                    ScenarioParams::default(),
+                    1,
+                    |game, seed| {
+                        let out = equilibrate(game, DistributedAlgorithm::Dgrn, seed);
+                        vec![average_reward(game, &out.profile)]
+                    },
+                );
+                report.push_row(vec![
+                    dataset.name().to_string(),
+                    n_tasks.to_string(),
+                    n_users.to_string(),
+                    fmt3(means[0]),
+                ]);
+            }
+        }
+    }
+    report.note("paper: reward grows with tasks, shrinks with users (shared rewards)");
+    report
+}
+
+/// Table 4: DGRN/CORN total-profit ratio against the Theorem 5 PoA lower
+/// bound on the structured special case, users 9–14.
+pub fn table4(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "table4",
+        "DGRN vs. CORN with the Theorem 5 PoA lower bound (special-case instances)",
+        &["user #", "DGRN", "CORN", "ratio", "bound"],
+    );
+    for n_users in 9..=14usize {
+        let rows = replicate(ctx.reps, |rep| {
+            let seed = replicate_seed(ctx.base_seed, tags::TABLE4 + n_users as u64, rep);
+            // Theorem 5 structure: one private route per user plus a common
+            // route set over |L'| shared tasks with reward a + ln x.
+            let mut rng_state = seed | 1;
+            let mut next = || {
+                // xorshift for a few cheap draws.
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                (rng_state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let shared_tasks = 4 + (next() * 3.0) as usize; // 4–6
+            let a = 10.0 + 5.0 * next();
+            let private_rewards: Vec<f64> =
+                (0..n_users).map(|_| 2.0 + 10.0 * next()).collect();
+            let sc = SpecialCaseGame::build(SpecialCaseSpec {
+                shared_base_reward: a,
+                private_rewards,
+                shared_tasks,
+            });
+            let dgrn = equilibrate(&sc.game, DistributedAlgorithm::Dgrn, seed)
+                .profile
+                .total_profit(&sc.game);
+            // The structured special case admits a closed-form optimum
+            // (validated against branch-and-bound in the core tests), which
+            // keeps Table 4 exact at full replication counts.
+            let corn = special_case_optimal(&sc);
+            let bound = poa_lower_bound(&sc);
+            (dgrn, corn, bound)
+        });
+        let n = rows.len() as f64;
+        let dgrn: f64 = rows.iter().map(|r| r.0).sum::<f64>() / n;
+        let corn: f64 = rows.iter().map(|r| r.1).sum::<f64>() / n;
+        let bound: f64 = rows.iter().map(|r| r.2).sum::<f64>() / n;
+        // Per-replicate ratio mean (the paper reports per-row ratios).
+        let ratio: f64 = rows.iter().map(|r| r.0 / r.1).sum::<f64>() / n;
+        report.push_row(vec![
+            n_users.to_string(),
+            fmt3(dgrn),
+            fmt3(corn),
+            fmt3(ratio),
+            fmt3(bound),
+        ]);
+    }
+    report.note("paper: ratio stays above the bound and close to 1");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_ordering_holds() {
+        let ctx = Ctx::for_tests();
+        let r = fig7(&ctx);
+        assert_eq!(r.rows.len(), 15);
+        let mut dgrn_total = 0.0;
+        let mut rrn_total = 0.0;
+        for row in &r.rows {
+            let dgrn: f64 = row[2].parse().unwrap();
+            let corn: f64 = row[3].parse().unwrap();
+            let rrn: f64 = row[4].parse().unwrap();
+            // CORN is exact: it weakly dominates everything, row by row.
+            assert!(corn >= dgrn - 1e-9, "CORN below DGRN: {row:?}");
+            assert!(corn >= rrn - 1e-9, "CORN below RRN: {row:?}");
+            dgrn_total += dgrn;
+            rrn_total += rrn;
+        }
+        // DGRN beats RRN in aggregate (per-row can fluctuate at 2 reps).
+        assert!(dgrn_total > rrn_total, "DGRN {dgrn_total} vs RRN {rrn_total}");
+    }
+
+    #[test]
+    fn table4_ratio_above_bound() {
+        let ctx = Ctx::for_tests();
+        let r = table4(&ctx);
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            let bound: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.0 + 1e-6);
+            assert!(ratio >= bound - 1e-6, "ratio {ratio} below bound {bound}");
+        }
+    }
+
+    #[test]
+    fn fig8_coverage_in_unit_interval_and_grows() {
+        let ctx = Ctx::for_tests();
+        let r = fig8(&ctx);
+        for row in &r.rows {
+            for cell in &row[2..5] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // Coverage at 100 users ≥ coverage at 20 users for DGRN per dataset.
+        for chunk in r.rows.chunks(5) {
+            let first: f64 = chunk[0][2].parse().unwrap();
+            let last: f64 = chunk[4][2].parse().unwrap();
+            assert!(last >= first - 0.05, "coverage did not grow: {chunk:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 13: qualitative map presentation — renders the synthetic city, the
+//! task locations and two users' recommended/selected routes as SVG files,
+//! standing in for the paper's Google-Maps screenshots.
+
+use crate::common::{build_game, equilibrate, tags};
+use crate::context::Ctx;
+use crate::report::Report;
+use std::fmt::Write as _;
+use vcs_algorithms::DistributedAlgorithm;
+use vcs_core::ids::UserId;
+use vcs_scenario::{replicate_seed, Dataset, ScenarioParams};
+
+/// Colours for the non-selected recommended routes of the two showcased
+/// users.
+const ALT_COLOURS: [&str; 2] = ["#6f86ff", "#ff9e6f"];
+/// Colour of the selected routes (the paper marks them green).
+const SELECTED_COLOUR: &str = "#2ca02c";
+
+/// Renders one dataset's showcase to an SVG string.
+pub fn render_dataset(ctx: &Ctx, dataset: Dataset) -> String {
+    let pool = ctx.pool(dataset);
+    let seed = replicate_seed(ctx.base_seed, tags::FIG13, dataset as u64);
+    let game = build_game(&pool, 6, 25, seed, ScenarioParams::default());
+    let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
+    // Bounding box of the city.
+    let graph = &pool.graph;
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for n in graph.nodes() {
+        min_x = min_x.min(n.pos.0);
+        min_y = min_y.min(n.pos.1);
+        max_x = max_x.max(n.pos.0);
+        max_y = max_y.max(n.pos.1);
+    }
+    let scale = 60.0;
+    let pad = 20.0;
+    let sx = |x: f64| pad + (x - min_x) * scale;
+    let sy = |y: f64| pad + (max_y - y) * scale; // flip y for SVG
+    let width = pad * 2.0 + (max_x - min_x) * scale;
+    let height = pad * 2.0 + (max_y - min_y) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fbfbf7"/>"##);
+    let _ = writeln!(svg, "<!-- dataset: {} -->", dataset.name());
+    // Street network, congestion encoded as stroke darkness.
+    for e in graph.edges() {
+        let a = graph.node(e.from).pos;
+        let b = graph.node(e.to).pos;
+        let grey = 210.0 - 110.0 * e.congestion;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="rgb({g:.0},{g:.0},{g:.0})" stroke-width="1.5"/>"#,
+            sx(a.0),
+            sy(a.1),
+            sx(b.0),
+            sy(b.1),
+            g = grey,
+        );
+    }
+    // Two showcased users: all recommended routes faint, selected bold green.
+    for (slot, user_idx) in [0usize, 1].into_iter().enumerate() {
+        let user = &game.users()[user_idx];
+        let selected = out.profile.choice(UserId::from_index(user_idx));
+        for route in &user.routes {
+            let Some(geom) = route.geometry.as_ref() else { continue };
+            let points: Vec<String> =
+                geom.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let is_selected = route.id == selected;
+            let (colour, width, opacity) = if is_selected {
+                (SELECTED_COLOUR, 4.0, 0.95)
+            } else {
+                (ALT_COLOURS[slot], 2.5, 0.6)
+            };
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{colour}" stroke-width="{width}" stroke-opacity="{opacity}"/>"#,
+                points.join(" "),
+            );
+        }
+    }
+    // Tasks: circles sized by base reward, covered ones filled.
+    for task in game.tasks() {
+        let (x, y) = task.location.expect("scenario tasks have locations");
+        let covered = out.profile.participants(task.id) > 0;
+        let r = 2.0 + (task.base_reward - 10.0) * 0.25;
+        let fill = if covered { "#d62728" } else { "none" };
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{r:.1}" fill="{fill}" stroke="#d62728" stroke-width="1"/>"##,
+            sx(x),
+            sy(y),
+        );
+    }
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+/// Fig. 13 runner: renders all three datasets; writes SVGs when an output
+/// directory is configured.
+pub fn fig13(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "fig13",
+        "Qualitative presentation: city, tasks and the selected (green) routes per dataset",
+        &["dataset", "svg bytes", "file"],
+    );
+    for dataset in Dataset::ALL {
+        let svg = render_dataset(ctx, dataset);
+        let file = if let Some(dir) = &ctx.out_dir {
+            let path = dir.join(format!("fig13_{}.svg", dataset.name().to_lowercase()));
+            std::fs::create_dir_all(dir).expect("create output directory");
+            std::fs::write(&path, &svg).expect("write SVG");
+            path.display().to_string()
+        } else {
+            "(not written: no --out dir)".to_string()
+        };
+        report.push_row(vec![dataset.name().to_string(), svg.len().to_string(), file]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_is_well_formed_and_nonempty() {
+        let ctx = Ctx::for_tests();
+        let svg = render_dataset(&ctx, Dataset::Shanghai);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"), "routes missing");
+        assert!(svg.contains("circle"), "tasks missing");
+        assert!(svg.contains(SELECTED_COLOUR), "selected route missing");
+    }
+
+    #[test]
+    fn fig13_reports_all_datasets() {
+        let ctx = Ctx::for_tests();
+        let r = fig13(&ctx);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            let bytes: usize = row[1].parse().unwrap();
+            assert!(bytes > 1000, "suspiciously small SVG: {row:?}");
+        }
+    }
+}

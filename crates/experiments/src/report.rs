@@ -1,0 +1,154 @@
+//! Uniform experiment output: a titled table with typed rows, renderable as
+//! an aligned text table and as CSV.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The structured result of one experiment runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id (`fig4`, `table3`, …).
+    pub id: String,
+    /// Human-readable title echoing the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (parameters, observations, file outputs).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; pads or truncates to the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.columns.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+
+    /// Renders CSV (RFC-4180-lite: cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals (the paper's typical precision).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with one decimal.
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        let mut r = Report::new("figX", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.push_row(vec!["300".into()]); // short row padded
+        r.note("seed=1");
+        r
+    }
+
+    #[test]
+    fn table_contains_everything() {
+        let t = report().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("demo"));
+        assert!(t.contains("300"));
+        assert!(t.contains("# seed=1"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut r = Report::new("t", "t", &["x"]);
+        r.push_row(vec!["a,b".into()]);
+        r.push_row(vec!["say \"hi\"".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let r = report();
+        assert_eq!(r.rows[1].len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt1(1.26), "1.3");
+    }
+}

@@ -1,0 +1,20 @@
+//! # vcs-metrics — evaluation measures and replication harness
+//!
+//! The quantities §5.3 of the paper plots — task coverage, average reward,
+//! Jain's fairness index, overlap ratio, detour/congestion totals — plus
+//! summary statistics and a rayon-parallel, order-deterministic Monte-Carlo
+//! replication helper for the 500-repetition sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measures;
+pub mod replicate;
+pub mod stats;
+
+pub use measures::{
+    average_reward, coverage, jain_index, overlap_ratio, profile_jain_index, total_congestion,
+    total_detour, total_reward, user_congestion, user_detour, user_reward,
+};
+pub use replicate::{replicate, replicate_sequential};
+pub use stats::Summary;

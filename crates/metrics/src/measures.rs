@@ -1,0 +1,175 @@
+//! The evaluation measures of §5.3.
+
+use vcs_core::ids::UserId;
+use vcs_core::{Game, Profile};
+
+/// Task coverage: covered tasks / total tasks (Fig. 8).
+pub fn coverage(game: &Game, profile: &Profile) -> f64 {
+    if game.task_count() == 0 {
+        return 0.0;
+    }
+    profile.covered_tasks() as f64 / game.task_count() as f64
+}
+
+/// Total raw reward collected by all users: `Σ_i Σ_{k ∈ L_{s_i}} w_k(n_k)/n_k`
+/// (unscaled by `α_i`; the "reward" of Figs. 9/11/12 and Table 5).
+pub fn total_reward(game: &Game, profile: &Profile) -> f64 {
+    game.users()
+        .iter()
+        .map(|u| user_reward(game, profile, u.id))
+        .sum()
+}
+
+/// Raw reward of one user under the profile.
+pub fn user_reward(game: &Game, profile: &Profile, user: UserId) -> f64 {
+    let u = &game.users()[user.index()];
+    let route = &u.routes[profile.choice(user).index()];
+    route.tasks.iter().map(|&t| game.task(t).share(profile.participants(t))).sum()
+}
+
+/// Average reward: total reward divided by the number of users (Fig. 9).
+pub fn average_reward(game: &Game, profile: &Profile) -> f64 {
+    if game.user_count() == 0 {
+        return 0.0;
+    }
+    total_reward(game, profile) / game.user_count() as f64
+}
+
+/// Raw detour distance `h(s_i)` of one user's selected route (Table 5).
+pub fn user_detour(game: &Game, profile: &Profile, user: UserId) -> f64 {
+    game.users()[user.index()].routes[profile.choice(user).index()].detour
+}
+
+/// Raw congestion level `c(s_i)` of one user's selected route (Table 5).
+pub fn user_congestion(game: &Game, profile: &Profile, user: UserId) -> f64 {
+    game.users()[user.index()].routes[profile.choice(user).index()].congestion
+}
+
+/// Total detour distance `Σ_i h(s_i)` (Fig. 12b).
+pub fn total_detour(game: &Game, profile: &Profile) -> f64 {
+    (0..game.user_count()).map(|i| user_detour(game, profile, UserId::from_index(i))).sum()
+}
+
+/// Total congestion level `Σ_i c(s_i)` (Fig. 12c).
+pub fn total_congestion(game: &Game, profile: &Profile) -> f64 {
+    (0..game.user_count())
+        .map(|i| user_congestion(game, profile, UserId::from_index(i)))
+        .sum()
+}
+
+/// Jain's fairness index of the users' profits (Fig. 10):
+/// `(Σ P_i)² / (|U| · Σ P_i²)`. Lies in `[1/|U|, 1]` for non-negative inputs;
+/// returns `1.0` for degenerate all-zero profiles.
+pub fn jain_index(profits: &[f64]) -> f64 {
+    if profits.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = profits.iter().sum();
+    let sum_sq: f64 = profits.iter().map(|p| p * p).sum();
+    if sum_sq <= f64::EPSILON {
+        return 1.0;
+    }
+    sum * sum / (profits.len() as f64 * sum_sq)
+}
+
+/// Jain's fairness index of the profile's user profits.
+pub fn profile_jain_index(game: &Game, profile: &Profile) -> f64 {
+    let profits: Vec<f64> =
+        (0..game.user_count()).map(|i| profile.profit(game, UserId::from_index(i))).collect();
+    jain_index(&profits)
+}
+
+/// Overlap ratio (Table 3): tasks with more than one participant / total
+/// tasks.
+pub fn overlap_ratio(game: &Game, profile: &Profile) -> f64 {
+    if game.task_count() == 0 {
+        return 0.0;
+    }
+    let overlapped =
+        profile.participant_counts().iter().filter(|&&n| n > 1).count();
+    overlapped as f64 / game.task_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::ids::{RouteId, TaskId};
+    use vcs_core::{PlatformParams, Route, Task, User, UserPrefs};
+
+    /// Two users sharing task 0; task 1 covered by user 1 only; task 2 never.
+    fn game() -> Game {
+        let tasks = vec![
+            Task::new(TaskId(0), 12.0, 0.0),
+            Task::new(TaskId(1), 10.0, 0.0),
+            Task::new(TaskId(2), 15.0, 0.0),
+        ];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.5, 0.5, 0.5),
+                vec![Route::new(RouteId(0), vec![TaskId(0)], 1.0, 2.0)],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.5, 0.5, 0.5),
+                vec![Route::new(RouteId(0), vec![TaskId(0), TaskId(1)], 3.0, 4.0)],
+            ),
+        ];
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap()
+    }
+
+    #[test]
+    fn coverage_counts_covered_fraction() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        assert!((coverage(&g, &p) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewards_share_correctly() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        // Task 0 shared by both: 6 each. Task 1 solo: 10.
+        assert!((user_reward(&g, &p, UserId(0)) - 6.0).abs() < 1e-12);
+        assert!((user_reward(&g, &p, UserId(1)) - 16.0).abs() < 1e-12);
+        assert!((total_reward(&g, &p) - 22.0).abs() < 1e-12);
+        assert!((average_reward(&g, &p) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detour_and_congestion_read_selected_routes() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        assert_eq!(user_detour(&g, &p, UserId(1)), 3.0);
+        assert_eq!(total_detour(&g, &p), 4.0);
+        assert_eq!(user_congestion(&g, &p, UserId(0)), 2.0);
+        assert_eq!(total_congestion(&g, &p), 6.0);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One user takes everything: 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn profile_jain_uses_profits() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        let p0 = p.profit(&g, UserId(0));
+        let p1 = p.profit(&g, UserId(1));
+        let expected = (p0 + p1).powi(2) / (2.0 * (p0 * p0 + p1 * p1));
+        assert!((profile_jain_index(&g, &p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_counts_shared_tasks() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        // Only task 0 has > 1 participant.
+        assert!((overlap_ratio(&g, &p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

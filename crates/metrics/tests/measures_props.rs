@@ -1,0 +1,56 @@
+//! Property-based tests of the evaluation measures.
+
+use proptest::prelude::*;
+use vcs_metrics::{jain_index, Summary};
+
+proptest! {
+    /// Jain's index lies in [1/n, 1] for non-negative, not-all-zero inputs.
+    #[test]
+    fn jain_bounds(profits in prop::collection::vec(0.0f64..1e6, 1..40)) {
+        let j = jain_index(&profits);
+        let n = profits.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        if profits.iter().any(|&p| p > 0.0) {
+            prop_assert!(j >= 1.0 / n - 1e-9);
+        }
+    }
+
+    /// Jain's index is scale-invariant.
+    #[test]
+    fn jain_scale_invariant(
+        profits in prop::collection::vec(0.1f64..1e3, 1..20),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<f64> = profits.iter().map(|p| p * scale).collect();
+        prop_assert!((jain_index(&profits) - jain_index(&scaled)).abs() < 1e-9);
+    }
+
+    /// Equal profits are perfectly fair.
+    #[test]
+    fn jain_equal_is_one(value in 0.1f64..1e3, n in 1usize..30) {
+        let profits = vec![value; n];
+        prop_assert!((jain_index(&profits) - 1.0).abs() < 1e-9);
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max, std/ci non-negative.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.mean + 1e-6);
+        prop_assert!(s.mean <= s.max + 1e-6);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.ci95 >= 0.0);
+    }
+
+    /// Adding a constant shifts the mean by that constant and leaves the
+    /// standard deviation unchanged.
+    #[test]
+    fn summary_shift(values in prop::collection::vec(-1e3f64..1e3, 2..40), c in -1e3f64..1e3) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + c).collect();
+        let a = Summary::of(&values);
+        let b = Summary::of(&shifted);
+        prop_assert!((b.mean - (a.mean + c)).abs() < 1e-6);
+        prop_assert!((b.std_dev - a.std_dev).abs() < 1e-6);
+    }
+}

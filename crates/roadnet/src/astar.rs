@@ -1,0 +1,214 @@
+//! A* shortest paths with admissible geometric heuristics.
+//!
+//! Functionally equivalent to [`crate::dijkstra::shortest_path`] (property-
+//! tested), but goal-directed: the priority is `g + h` where `h` is a lower
+//! bound on the remaining cost — straight-line distance for the
+//! [`CostMetric::Length`] metric, straight-line distance at the network's
+//! maximum free-flow speed for [`CostMetric::TravelTime`]. On city-scale
+//! graphs A* visits a fraction of the nodes Dijkstra does, which matters for
+//! the trace generator's many point-to-point queries.
+
+use crate::dijkstra::CostMetric;
+use crate::graph::{EdgeId, NodeId, RoadGraph};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    priority: f64,
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .priority
+            .total_cmp(&self.priority)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Statistics of one A* run (for benchmarking the heuristic's effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstarStats {
+    /// Nodes settled (popped with their final cost).
+    pub settled: usize,
+    /// Heap pushes performed.
+    pub pushes: usize,
+}
+
+/// The admissible heuristic for a metric: straight-line distance, divided by
+/// the network's maximum speed for the travel-time metric.
+fn heuristic_factor(graph: &RoadGraph, metric: CostMetric) -> f64 {
+    match metric {
+        CostMetric::Length => 1.0,
+        CostMetric::TravelTime => {
+            // 1 / v_max is a valid lower bound on time per km; at full
+            // congestion the damping keeps speeds at ≥ 25% of free flow, but
+            // free flow itself is the optimistic case.
+            let v_max = graph
+                .edges()
+                .iter()
+                .map(|e| e.speed)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if v_max.is_finite() && v_max > 0.0 {
+                1.0 / v_max
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// A* shortest path from `source` to `target` under `metric`, or `None` when
+/// unreachable. Returns the same cost (and, up to ties, the same path) as
+/// Dijkstra.
+pub fn astar_path(
+    graph: &RoadGraph,
+    source: NodeId,
+    target: NodeId,
+    metric: CostMetric,
+) -> Option<Path> {
+    astar_path_with_stats(graph, source, target, metric).map(|(p, _)| p)
+}
+
+/// [`astar_path`] plus search statistics.
+pub fn astar_path_with_stats(
+    graph: &RoadGraph,
+    source: NodeId,
+    target: NodeId,
+    metric: CostMetric,
+) -> Option<(Path, AstarStats)> {
+    if source == target {
+        return Some((Path::empty(), AstarStats { settled: 0, pushes: 0 }));
+    }
+    let n = graph.node_count();
+    let factor = heuristic_factor(graph, metric);
+    let h = |node: NodeId| factor * graph.distance(node, target);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    let mut settled_flags = vec![false; n];
+    let mut stats = AstarStats { settled: 0, pushes: 0 };
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { priority: h(source), cost: 0.0, node: source });
+    stats.pushes += 1;
+    while let Some(HeapEntry { cost, node, .. }) = heap.pop() {
+        if settled_flags[node.index()] || cost > dist[node.index()] {
+            continue;
+        }
+        settled_flags[node.index()] = true;
+        stats.settled += 1;
+        if node == target {
+            // Reconstruct.
+            let mut edges = Vec::new();
+            let mut cursor = target;
+            while cursor != source {
+                let eid = parent[cursor.index()].expect("settled target has a parent chain");
+                edges.push(eid);
+                cursor = graph.edge(eid).from;
+            }
+            edges.reverse();
+            return Some((Path::from_edges(graph, edges), stats));
+        }
+        for &eid in graph.outgoing(node) {
+            let edge = graph.edge(eid);
+            let next_cost = cost + metric.edge_cost(edge);
+            if next_cost < dist[edge.to.index()] {
+                dist[edge.to.index()] = next_cost;
+                parent[edge.to.index()] = Some(eid);
+                heap.push(HeapEntry {
+                    priority: next_cost + h(edge.to),
+                    cost: next_cost,
+                    node: edge.to,
+                });
+                stats.pushes += 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, CityKind};
+    use crate::dijkstra::shortest_path;
+
+    fn city(seed: u64) -> RoadGraph {
+        CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed }.generate()
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_costs() {
+        for seed in 0..4u64 {
+            let g = city(seed);
+            for (s, t) in [(0u32, 63u32), (7, 56), (12, 50), (63, 0)] {
+                for metric in [CostMetric::Length, CostMetric::TravelTime] {
+                    let a = astar_path(&g, NodeId(s), NodeId(t), metric).unwrap();
+                    let d = shortest_path(&g, NodeId(s), NodeId(t), metric).unwrap();
+                    let (ca, cd) = match metric {
+                        CostMetric::Length => (a.length, d.length),
+                        CostMetric::TravelTime => (a.travel_time, d.travel_time),
+                    };
+                    assert!(
+                        (ca - cd).abs() < 1e-9,
+                        "seed {seed} {s}->{t} {metric:?}: A* {ca} vs Dijkstra {cd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn astar_settles_fewer_nodes() {
+        let g = city(3);
+        // A corner-to-adjacent-corner query where goal direction helps.
+        let (_, stats) =
+            astar_path_with_stats(&g, NodeId(0), NodeId(7), CostMetric::Length).unwrap();
+        assert!(
+            stats.settled < g.node_count(),
+            "A* settled every node ({})",
+            stats.settled
+        );
+    }
+
+    #[test]
+    fn same_node_is_empty_path() {
+        let g = city(1);
+        let (p, stats) =
+            astar_path_with_stats(&g, NodeId(5), NodeId(5), CostMetric::Length).unwrap();
+        assert!(p.edges.is_empty());
+        assert_eq!(stats.settled, 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let g = RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            vec![(NodeId(0), NodeId(1), 1.0, 50.0, 0.0)],
+        )
+        .unwrap();
+        assert!(astar_path(&g, NodeId(1), NodeId(0), CostMetric::Length).is_none());
+    }
+
+    #[test]
+    fn heuristic_is_admissible_for_time() {
+        // The factor uses the max speed, so h never exceeds the true cost.
+        let g = city(9);
+        let factor = heuristic_factor(&g, CostMetric::TravelTime);
+        let d = shortest_path(&g, NodeId(0), NodeId(63), CostMetric::TravelTime).unwrap();
+        let h0 = factor * g.distance(NodeId(0), NodeId(63));
+        assert!(h0 <= d.travel_time + 1e-12);
+    }
+}

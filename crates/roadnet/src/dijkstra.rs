@@ -1,0 +1,248 @@
+//! Dijkstra shortest paths under pluggable edge costs.
+
+use crate::graph::{Edge, EdgeId, NodeId, RoadGraph};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The cost metric used for shortest-path queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMetric {
+    /// Minimize total length (km). This is the paper's notion: the detour
+    /// distance `h(r)` compares route lengths against the shortest route.
+    Length,
+    /// Minimize congested travel time (hours).
+    TravelTime,
+}
+
+impl CostMetric {
+    /// The cost of a single edge under this metric.
+    #[inline]
+    pub fn edge_cost(self, edge: &Edge) -> f64 {
+        match self {
+            CostMetric::Length => edge.length,
+            CostMetric::TravelTime => edge.travel_time(),
+        }
+    }
+}
+
+/// Heap entry ordered by ascending cost (min-heap via reversed `Ord`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest cost on top.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest-path tree from `source`, with optional edge and
+/// node bans (used by Yen's spur computation).
+///
+/// Returns `(dist, parent_edge)` where unreachable nodes carry
+/// `f64::INFINITY` and `None`.
+pub fn shortest_path_tree(
+    graph: &RoadGraph,
+    source: NodeId,
+    metric: CostMetric,
+    banned_edges: &[bool],
+    banned_nodes: &[bool],
+) -> (Vec<f64>, Vec<Option<EdgeId>>) {
+    let n = graph.node_count();
+    debug_assert!(banned_edges.is_empty() || banned_edges.len() == graph.edge_count());
+    debug_assert!(banned_nodes.is_empty() || banned_nodes.len() == n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    if !banned_nodes.is_empty() && banned_nodes[source.index()] {
+        return (dist, parent);
+    }
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: source });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for &eid in graph.outgoing(node) {
+            if !banned_edges.is_empty() && banned_edges[eid.index()] {
+                continue;
+            }
+            let edge = graph.edge(eid);
+            if !banned_nodes.is_empty() && banned_nodes[edge.to.index()] {
+                continue;
+            }
+            let next_cost = cost + metric.edge_cost(edge);
+            if next_cost < dist[edge.to.index()] {
+                dist[edge.to.index()] = next_cost;
+                parent[edge.to.index()] = Some(eid);
+                heap.push(HeapEntry { cost: next_cost, node: edge.to });
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path from `source` to `target` under `metric`, or `None` if
+/// unreachable. Returns [`Path::empty`] when `source == target`.
+pub fn shortest_path(
+    graph: &RoadGraph,
+    source: NodeId,
+    target: NodeId,
+    metric: CostMetric,
+) -> Option<Path> {
+    shortest_path_restricted(graph, source, target, metric, &[], &[])
+}
+
+/// [`shortest_path`] with edge/node bans (Yen's spur step).
+pub fn shortest_path_restricted(
+    graph: &RoadGraph,
+    source: NodeId,
+    target: NodeId,
+    metric: CostMetric,
+    banned_edges: &[bool],
+    banned_nodes: &[bool],
+) -> Option<Path> {
+    if source == target {
+        return Some(Path::empty());
+    }
+    let (dist, parent) = shortest_path_tree(graph, source, metric, banned_edges, banned_nodes);
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cursor = target;
+    while cursor != source {
+        let eid = parent[cursor.index()].expect("finite distance implies a parent chain");
+        edges.push(eid);
+        cursor = graph.edge(eid).from;
+    }
+    edges.reverse();
+    Some(Path::from_edges(graph, edges))
+}
+
+/// Shortest distance (under `metric`) from `source` to every node.
+pub fn distances(graph: &RoadGraph, source: NodeId, metric: CostMetric) -> Vec<f64> {
+    shortest_path_tree(graph, source, metric, &[], &[]).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0→1→3 (lengths 1+1) and 0→2→3 (lengths 2+0.5), plus 0→3
+    /// direct (length 3). Shortest by length: 0→1→3 (2.0).
+    fn diamond() -> RoadGraph {
+        RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 1.0), (1.0, -1.0), (2.0, 0.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 0.0),
+                (NodeId(1), NodeId(3), 1.0, 50.0, 0.9),
+                (NodeId(0), NodeId(2), 2.0, 50.0, 0.0),
+                (NodeId(2), NodeId(3), 0.5, 50.0, 0.0),
+                (NodeId(0), NodeId(3), 3.0, 50.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shortest_by_length() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId(0), NodeId(3), CostMetric::Length).unwrap();
+        assert_eq!(p.edges, vec![EdgeId(0), EdgeId(1)]);
+        assert!((p.length - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_by_travel_time_avoids_jam() {
+        let g = diamond();
+        // Edge 1 is 90% congested: time 1/(50·0.325) ≈ 0.0615 so route via 1
+        // costs ≈ 0.0815 h; route via 2 costs 2.5/50 = 0.05 h.
+        let p = shortest_path(&g, NodeId(0), NodeId(3), CostMetric::TravelTime).unwrap();
+        assert_eq!(p.edges, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn same_node_gives_empty_path() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId(1), NodeId(1), CostMetric::Length).unwrap();
+        assert!(p.edges.is_empty());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let g = diamond();
+        // Node 3 has no outgoing edges.
+        assert!(shortest_path(&g, NodeId(3), NodeId(0), CostMetric::Length).is_none());
+    }
+
+    #[test]
+    fn banned_edge_forces_detour() {
+        let g = diamond();
+        let mut banned = vec![false; g.edge_count()];
+        banned[0] = true; // forbid 0→1
+        let p =
+            shortest_path_restricted(&g, NodeId(0), NodeId(3), CostMetric::Length, &banned, &[])
+                .unwrap();
+        assert_eq!(p.edges, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn banned_node_forces_detour() {
+        let g = diamond();
+        let mut banned_nodes = vec![false; g.node_count()];
+        banned_nodes[1] = true;
+        banned_nodes[2] = true;
+        let p = shortest_path_restricted(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            CostMetric::Length,
+            &[],
+            &banned_nodes,
+        )
+        .unwrap();
+        assert_eq!(p.edges, vec![EdgeId(4)]); // direct edge only
+    }
+
+    #[test]
+    fn banned_source_is_unreachable() {
+        let g = diamond();
+        let mut banned_nodes = vec![false; g.node_count()];
+        banned_nodes[0] = true;
+        assert!(shortest_path_restricted(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            CostMetric::Length,
+            &[],
+            &banned_nodes
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn distances_cover_all_nodes() {
+        let g = diamond();
+        let d = distances(&g, NodeId(0), CostMetric::Length);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        assert!((d[2] - 2.0).abs() < 1e-12);
+        assert!((d[3] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,407 @@
+//! Directed weighted road graphs.
+//!
+//! A [`RoadGraph`] stores planar nodes (intersections) and directed edges
+//! (road segments) with a length, a free-flow speed and a congestion factor.
+//! Adjacency is stored as per-node outgoing edge lists built once at
+//! construction; the traversal algorithms only read them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (intersection), an index into [`RoadGraph::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an identifier from a `usize` index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed edge (road segment), an index into
+/// [`RoadGraph::edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an identifier from a `usize` index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A node: a planar intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier; equals the node's index.
+    pub id: NodeId,
+    /// Planar position in kilometres.
+    pub pos: (f64, f64),
+}
+
+/// A directed road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Identifier; equals the edge's index.
+    pub id: EdgeId,
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Segment length in kilometres (positive).
+    pub length: f64,
+    /// Free-flow speed in km/h (positive).
+    pub speed: f64,
+    /// Congestion factor in `[0, 1]`: `0` = free flow, `1` = fully jammed.
+    /// The paper computes a route's congestion level from vehicle velocities;
+    /// here the factor is a static field of the synthetic city (§3.1 assumes
+    /// congestion independent of the game's own users).
+    pub congestion: f64,
+}
+
+impl Edge {
+    /// Travel time in hours under congestion: `length / (speed·(1 − 0.75·congestion))`.
+    ///
+    /// The damping factor keeps the effective speed positive even at
+    /// `congestion = 1` (jammed traffic still crawls at a quarter of the
+    /// free-flow speed).
+    #[inline]
+    pub fn travel_time(&self) -> f64 {
+        self.length / (self.speed * (1.0 - 0.75 * self.congestion))
+    }
+
+    /// The edge's contribution to a route's congestion level:
+    /// `length × congestion` (congested kilometres).
+    #[inline]
+    pub fn congestion_load(&self) -> f64 {
+        self.length * self.congestion
+    }
+}
+
+/// Errors raised while constructing a [`RoadGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge references a node that does not exist.
+    UnknownNode {
+        /// The offending edge index.
+        edge: usize,
+        /// The missing node.
+        node: NodeId,
+    },
+    /// An edge has a non-positive or non-finite length or speed, or a
+    /// congestion factor outside `[0, 1]`.
+    InvalidEdgeAttribute {
+        /// The offending edge index.
+        edge: usize,
+        /// Attribute name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A self-loop edge (`from == to`), which no road network needs.
+    SelfLoop {
+        /// The offending edge index.
+        edge: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { edge, node } => {
+                write!(f, "edge #{edge} references unknown node {node}")
+            }
+            GraphError::InvalidEdgeAttribute { edge, name, value } => {
+                write!(f, "edge #{edge} has invalid {name} = {value}")
+            }
+            GraphError::SelfLoop { edge } => write!(f, "edge #{edge} is a self-loop"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated directed road graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node.
+    out: Vec<Vec<EdgeId>>,
+}
+
+impl RoadGraph {
+    /// Builds a graph from positions and edge descriptors
+    /// `(from, to, length, speed, congestion)`.
+    pub fn new(
+        positions: Vec<(f64, f64)>,
+        edge_specs: Vec<(NodeId, NodeId, f64, f64, f64)>,
+    ) -> Result<Self, GraphError> {
+        let nodes: Vec<Node> = positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, pos)| Node { id: NodeId::from_index(i), pos })
+            .collect();
+        let mut edges = Vec::with_capacity(edge_specs.len());
+        let mut out = vec![Vec::new(); nodes.len()];
+        for (i, (from, to, length, speed, congestion)) in edge_specs.into_iter().enumerate() {
+            if from.index() >= nodes.len() {
+                return Err(GraphError::UnknownNode { edge: i, node: from });
+            }
+            if to.index() >= nodes.len() {
+                return Err(GraphError::UnknownNode { edge: i, node: to });
+            }
+            if from == to {
+                return Err(GraphError::SelfLoop { edge: i });
+            }
+            if !(length.is_finite() && length > 0.0) {
+                return Err(GraphError::InvalidEdgeAttribute { edge: i, name: "length", value: length });
+            }
+            if !(speed.is_finite() && speed > 0.0) {
+                return Err(GraphError::InvalidEdgeAttribute { edge: i, name: "speed", value: speed });
+            }
+            if !(congestion.is_finite() && (0.0..=1.0).contains(&congestion)) {
+                return Err(GraphError::InvalidEdgeAttribute {
+                    edge: i,
+                    name: "congestion",
+                    value: congestion,
+                });
+            }
+            let id = EdgeId::from_index(i);
+            edges.push(Edge { id, from, to, length, speed, congestion });
+            out[from.index()].push(id);
+        }
+        Ok(Self { nodes, edges, out })
+    }
+
+    /// All nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node with identifier `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge with identifier `id`.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Outgoing edges of `node`.
+    #[inline]
+    pub fn outgoing(&self, node: NodeId) -> &[EdgeId] {
+        &self.out[node.index()]
+    }
+
+    /// Euclidean distance between two nodes' positions, in kilometres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let pa = self.node(a).pos;
+        let pb = self.node(b).pos;
+        ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt()
+    }
+
+    /// Whether every node can reach every other node (strong connectivity),
+    /// checked with two BFS passes (forward from node 0, and over the
+    /// reversed adjacency). Empty graphs count as connected.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let forward = self.reachable_count(NodeId(0), false);
+        let backward = self.reachable_count(NodeId(0), true);
+        forward == self.nodes.len() && backward == self.nodes.len()
+    }
+
+    fn reachable_count(&self, start: NodeId, reversed: bool) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        let mut count = 0;
+        // For the reversed pass build an in-edge view on the fly.
+        let mut incoming: Vec<Vec<NodeId>> = Vec::new();
+        if reversed {
+            incoming = vec![Vec::new(); self.nodes.len()];
+            for e in &self.edges {
+                incoming[e.to.index()].push(e.from);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            count += 1;
+            if reversed {
+                for &prev in &incoming[n.index()] {
+                    if !seen[prev.index()] {
+                        seen[prev.index()] = true;
+                        stack.push(prev);
+                    }
+                }
+            } else {
+                for &eid in self.outgoing(n) {
+                    let next = self.edge(eid).to;
+                    if !seen[next.index()] {
+                        seen[next.index()] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle: 0 → 1 → 2 → 0 plus a reverse edge 1 → 0.
+    fn triangle() -> RoadGraph {
+        RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 0.0),
+                (NodeId(1), NodeId(2), 1.5, 40.0, 0.5),
+                (NodeId(2), NodeId(0), 1.2, 60.0, 1.0),
+                (NodeId(1), NodeId(0), 1.0, 50.0, 0.2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_adjacency() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.outgoing(NodeId(1)), &[EdgeId(1), EdgeId(3)]);
+        assert_eq!(g.edge(EdgeId(2)).to, NodeId(0));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let err = RoadGraph::new(
+            vec![(0.0, 0.0)],
+            vec![(NodeId(0), NodeId(7), 1.0, 50.0, 0.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode { node: NodeId(7), .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = RoadGraph::new(
+            vec![(0.0, 0.0)],
+            vec![(NodeId(0), NodeId(0), 1.0, 50.0, 0.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { edge: 0 }));
+    }
+
+    #[test]
+    fn invalid_attributes_rejected() {
+        for (len, speed, cong, name) in [
+            (0.0, 50.0, 0.0, "length"),
+            (1.0, -3.0, 0.0, "speed"),
+            (1.0, 50.0, 1.5, "congestion"),
+            (f64::NAN, 50.0, 0.0, "length"),
+        ] {
+            let err = RoadGraph::new(
+                vec![(0.0, 0.0), (1.0, 0.0)],
+                vec![(NodeId(0), NodeId(1), len, speed, cong)],
+            )
+            .unwrap_err();
+            match err {
+                GraphError::InvalidEdgeAttribute { name: n, .. } => assert_eq!(n, name),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn travel_time_slows_with_congestion() {
+        let g = triangle();
+        let free = g.edge(EdgeId(0)); // congestion 0
+        let jammed = g.edge(EdgeId(2)); // congestion 1
+        assert!((free.travel_time() - 1.0 / 50.0).abs() < 1e-12);
+        // Effective speed at full jam is a quarter of free flow.
+        assert!((jammed.travel_time() - 1.2 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_load_scales_with_length() {
+        let g = triangle();
+        assert!((g.edge(EdgeId(1)).congestion_load() - 0.75).abs() < 1e-12);
+        assert_eq!(g.edge(EdgeId(0)).congestion_load(), 0.0);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let g = triangle();
+        assert!(g.is_strongly_connected());
+        // Remove the cycle-closing edge: 2 has no outgoing edges.
+        let g2 = RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 0.0),
+                (NodeId(1), NodeId(2), 1.5, 40.0, 0.5),
+            ],
+        )
+        .unwrap();
+        assert!(!g2.is_strongly_connected());
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        let g = triangle();
+        assert!((g.distance(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+        assert!((g.distance(NodeId(1), NodeId(2)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+}

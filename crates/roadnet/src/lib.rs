@@ -1,0 +1,37 @@
+//! # vcs-roadnet — road-network substrate
+//!
+//! The paper's evaluation relies on the Google Maps API to recommend
+//! alternative routes between trace-derived origin–destination pairs. This
+//! crate is the from-scratch substitute:
+//!
+//! * [`graph::RoadGraph`] — validated directed road graphs with per-edge
+//!   length, free-flow speed and a static congestion factor;
+//! * [`dijkstra`] — shortest paths under length or congested-travel-time
+//!   metrics, with edge/node bans;
+//! * [`astar`] — goal-directed A* with admissible geometric heuristics,
+//!   equivalent to Dijkstra but settling far fewer nodes;
+//! * [`yen::k_shortest_paths`] — k shortest loopless paths;
+//! * [`recommend::recommend_routes`] — navigation-style alternative-route
+//!   recommendation with diversity and detour filters, annotated with the
+//!   detour distance `h(r)` and congestion level `c(r)` the game consumes;
+//! * [`city`] — deterministic synthetic city generators (grid / radial /
+//!   irregular) with a centre-peaked congestion field.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod city;
+pub mod dijkstra;
+pub mod graph;
+pub mod path;
+pub mod recommend;
+pub mod yen;
+
+pub use astar::{astar_path, astar_path_with_stats, AstarStats};
+pub use city::{CityConfig, CityKind};
+pub use dijkstra::{distances, shortest_path, CostMetric};
+pub use graph::{Edge, EdgeId, GraphError, Node, NodeId, RoadGraph};
+pub use path::Path;
+pub use recommend::{recommend_routes, RecommendConfig, RecommendedRoute};
+pub use yen::k_shortest_paths;

@@ -1,0 +1,180 @@
+//! Paths through a road graph and their aggregate attributes.
+
+use crate::graph::{EdgeId, NodeId, RoadGraph};
+use serde::{Deserialize, Serialize};
+
+/// A simple (loopless) path through a [`RoadGraph`], stored as its edge
+/// sequence with cached aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// The edges traversed, in order.
+    pub edges: Vec<EdgeId>,
+    /// Total length in kilometres.
+    pub length: f64,
+    /// Total congested travel time in hours.
+    pub travel_time: f64,
+    /// Total congestion load (`Σ length_e · congestion_e`, congested km).
+    pub congestion_load: f64,
+}
+
+impl Path {
+    /// Builds a path from an edge sequence, computing the aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that consecutive edges are incident (`to == from`).
+    pub fn from_edges(graph: &RoadGraph, edges: Vec<EdgeId>) -> Self {
+        let mut length = 0.0;
+        let mut travel_time = 0.0;
+        let mut congestion_load = 0.0;
+        let mut prev_to: Option<NodeId> = None;
+        for &eid in &edges {
+            let e = graph.edge(eid);
+            if let Some(p) = prev_to {
+                debug_assert_eq!(p, e.from, "edges not contiguous");
+            }
+            prev_to = Some(e.to);
+            length += e.length;
+            travel_time += e.travel_time();
+            congestion_load += e.congestion_load();
+        }
+        Self { edges, length, travel_time, congestion_load }
+    }
+
+    /// An empty path (origin equals destination).
+    pub fn empty() -> Self {
+        Self { edges: Vec::new(), length: 0.0, travel_time: 0.0, congestion_load: 0.0 }
+    }
+
+    /// The node sequence of the path, starting at `origin`.
+    pub fn nodes(&self, graph: &RoadGraph, origin: NodeId) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        nodes.push(origin);
+        for &eid in &self.edges {
+            nodes.push(graph.edge(eid).to);
+        }
+        nodes
+    }
+
+    /// The polyline geometry `(x, y)` of the path, starting at `origin`.
+    pub fn geometry(&self, graph: &RoadGraph, origin: NodeId) -> Vec<(f64, f64)> {
+        self.nodes(graph, origin).into_iter().map(|n| graph.node(n).pos).collect()
+    }
+
+    /// Whether the path visits any node twice (i.e. is not simple). Paths
+    /// produced by Dijkstra/Yen are always simple; this is a test helper.
+    pub fn has_cycle(&self, graph: &RoadGraph, origin: NodeId) -> bool {
+        let nodes = self.nodes(graph, origin);
+        let mut seen = vec![false; graph.node_count()];
+        for n in nodes {
+            if seen[n.index()] {
+                return true;
+            }
+            seen[n.index()] = true;
+        }
+        false
+    }
+
+    /// Length-weighted mean congestion factor along the path, in `[0, 1]`
+    /// (`Σ len·cong / Σ len`); `0` for an empty path. This is the
+    /// velocity-derived congestion *intensity* the paper's `c(r)` measures —
+    /// unlike [`Path::congestion_load`] it does not grow with route length,
+    /// so a longer detour through free-flowing streets scores lower.
+    pub fn mean_congestion(&self) -> f64 {
+        if self.length <= f64::EPSILON {
+            0.0
+        } else {
+            self.congestion_load / self.length
+        }
+    }
+
+    /// Fraction of this path's edges shared with `other` (Jaccard overlap of
+    /// edge sets). Used to enforce diversity in route recommendation.
+    pub fn edge_overlap(&self, other: &Path) -> f64 {
+        if self.edges.is_empty() && other.edges.is_empty() {
+            return 1.0;
+        }
+        let a: std::collections::HashSet<EdgeId> = self.edges.iter().copied().collect();
+        let b: std::collections::HashSet<EdgeId> = other.edges.iter().copied().collect();
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        inter / union
+    }
+
+    /// Destination node, or `origin` for an empty path.
+    pub fn destination(&self, graph: &RoadGraph, origin: NodeId) -> NodeId {
+        self.edges.last().map_or(origin, |&e| graph.edge(e).to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadGraph;
+
+    fn line() -> RoadGraph {
+        RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 0.0),
+                (NodeId(1), NodeId(2), 2.0, 40.0, 0.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_sum_over_edges() {
+        let g = line();
+        let p = Path::from_edges(&g, vec![EdgeId(0), EdgeId(1)]);
+        assert!((p.length - 3.0).abs() < 1e-12);
+        let expected_tt = 1.0 / 50.0 + 2.0 / (40.0 * 0.625);
+        assert!((p.travel_time - expected_tt).abs() < 1e-12);
+        assert!((p.congestion_load - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_sequence_and_destination() {
+        let g = line();
+        let p = Path::from_edges(&g, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(p.nodes(&g, NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.destination(&g, NodeId(0)), NodeId(2));
+        assert!(!p.has_cycle(&g, NodeId(0)));
+    }
+
+    #[test]
+    fn empty_path() {
+        let g = line();
+        let p = Path::empty();
+        assert_eq!(p.length, 0.0);
+        assert_eq!(p.destination(&g, NodeId(1)), NodeId(1));
+        assert_eq!(p.geometry(&g, NodeId(1)), vec![(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn overlap_is_jaccard() {
+        let g = line();
+        let p1 = Path::from_edges(&g, vec![EdgeId(0), EdgeId(1)]);
+        let p2 = Path::from_edges(&g, vec![EdgeId(0)]);
+        assert!((p1.edge_overlap(&p2) - 0.5).abs() < 1e-12);
+        assert!((p1.edge_overlap(&p1) - 1.0).abs() < 1e-12);
+        assert_eq!(Path::empty().edge_overlap(&Path::empty()), 1.0);
+        assert_eq!(Path::empty().edge_overlap(&p1), 0.0);
+    }
+
+    #[test]
+    fn mean_congestion_is_length_weighted() {
+        let g = line();
+        let p = Path::from_edges(&g, vec![EdgeId(0), EdgeId(1)]);
+        // (1·0 + 2·0.5) / 3 = 1/3
+        assert!((p.mean_congestion() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Path::empty().mean_congestion(), 0.0);
+    }
+
+    #[test]
+    fn geometry_follows_positions() {
+        let g = line();
+        let p = Path::from_edges(&g, vec![EdgeId(0)]);
+        assert_eq!(p.geometry(&g, NodeId(0)), vec![(0.0, 0.0), (1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Route recommendation: the navigation-service substrate.
+//!
+//! Emulates what the paper obtains from the Google Maps API: for an
+//! origin–destination pair, a small set of alternative routes, each annotated
+//! with its detour distance `h(r)` (extra length versus the shortest route)
+//! and congestion level `c(r)`. Recommendations are k-shortest-paths
+//! candidates filtered for diversity (bounded pairwise edge overlap) and
+//! bounded detour.
+
+use crate::dijkstra::CostMetric;
+use crate::graph::{NodeId, RoadGraph};
+use crate::path::Path;
+use crate::yen::k_shortest_paths;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the recommender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommendConfig {
+    /// Maximum number of routes to return (Table 2: 1–5).
+    pub max_routes: usize,
+    /// Candidate pool size fed into the diversity filter (≥ `max_routes`).
+    pub candidate_pool: usize,
+    /// Maximum allowed pairwise edge overlap (Jaccard) between recommended
+    /// routes; `1.0` disables the diversity filter.
+    pub max_overlap: f64,
+    /// Maximum detour ratio: a route is dropped when
+    /// `length > detour_ratio × shortest length`.
+    pub max_detour_ratio: f64,
+}
+
+impl Default for RecommendConfig {
+    fn default() -> Self {
+        Self { max_routes: 5, candidate_pool: 12, max_overlap: 0.8, max_detour_ratio: 2.0 }
+    }
+}
+
+/// A recommended route: the path plus the scalars the game consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendedRoute {
+    /// The underlying path.
+    pub path: Path,
+    /// Detour distance `h(r)` in km: `length − shortest length`.
+    pub detour: f64,
+    /// Congestion level `c(r)`: the path's length-weighted mean congestion
+    /// factor in `[0, 1]` (velocity-derived intensity, per §5.1 of the
+    /// paper: "the congestion level is calculated by the velocity of the
+    /// vehicles on the route").
+    pub congestion: f64,
+}
+
+/// Recommends up to `config.max_routes` diverse routes from `origin` to
+/// `destination`. The first recommendation is always the shortest route
+/// (detour `0`). Returns an empty vector when the destination is unreachable.
+pub fn recommend_routes(
+    graph: &RoadGraph,
+    origin: NodeId,
+    destination: NodeId,
+    config: &RecommendConfig,
+) -> Vec<RecommendedRoute> {
+    if config.max_routes == 0 {
+        return Vec::new();
+    }
+    let pool = config.candidate_pool.max(config.max_routes);
+    let candidates = k_shortest_paths(graph, origin, destination, pool, CostMetric::Length);
+    let Some(shortest_len) = candidates.first().map(|p| p.length) else {
+        return Vec::new();
+    };
+    let mut selected: Vec<Path> = Vec::with_capacity(config.max_routes);
+    for path in candidates {
+        if selected.len() >= config.max_routes {
+            break;
+        }
+        if path.length > config.max_detour_ratio * shortest_len && !selected.is_empty() {
+            continue;
+        }
+        let diverse = selected
+            .iter()
+            .all(|s| s.edge_overlap(&path) <= config.max_overlap);
+        if selected.is_empty() || diverse {
+            selected.push(path);
+        }
+    }
+    selected
+        .into_iter()
+        .map(|path| {
+            let detour = (path.length - shortest_len).max(0.0);
+            let congestion = path.mean_congestion();
+            RecommendedRoute { path, detour, congestion }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, CityKind};
+
+    fn city() -> RoadGraph {
+        CityConfig { kind: CityKind::Grid { nx: 6, ny: 6, spacing: 1.0 }, seed: 5 }.generate()
+    }
+
+    #[test]
+    fn first_route_is_shortest_with_zero_detour() {
+        let g = city();
+        let routes =
+            recommend_routes(&g, NodeId(0), NodeId(35), &RecommendConfig::default());
+        assert!(!routes.is_empty());
+        assert_eq!(routes[0].detour, 0.0);
+        for r in &routes {
+            assert!(r.detour >= 0.0);
+            assert!(r.congestion >= 0.0);
+        }
+    }
+
+    #[test]
+    fn respects_max_routes() {
+        let g = city();
+        let cfg = RecommendConfig { max_routes: 3, ..RecommendConfig::default() };
+        let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
+        assert!(routes.len() <= 3);
+        assert!(routes.len() >= 2, "a 6×6 grid offers alternatives");
+    }
+
+    #[test]
+    fn diversity_filter_limits_overlap() {
+        let g = city();
+        let cfg = RecommendConfig { max_overlap: 0.5, ..RecommendConfig::default() };
+        let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
+        for i in 0..routes.len() {
+            for j in (i + 1)..routes.len() {
+                assert!(
+                    routes[i].path.edge_overlap(&routes[j].path) <= 0.5 + 1e-12,
+                    "routes {i} and {j} overlap too much"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detour_ratio_bounds_route_length() {
+        let g = city();
+        let cfg = RecommendConfig { max_detour_ratio: 1.3, ..RecommendConfig::default() };
+        let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
+        let shortest = routes[0].path.length;
+        for r in &routes {
+            assert!(r.path.length <= 1.3 * shortest + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        // One-way pair: can go 0→1 but not back.
+        let g = RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 0.0)],
+            vec![(NodeId(0), NodeId(1), 1.0, 50.0, 0.0)],
+        )
+        .unwrap();
+        assert!(recommend_routes(&g, NodeId(1), NodeId(0), &RecommendConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn zero_max_routes_gives_empty() {
+        let g = city();
+        let cfg = RecommendConfig { max_routes: 0, ..RecommendConfig::default() };
+        assert!(recommend_routes(&g, NodeId(0), NodeId(35), &cfg).is_empty());
+    }
+
+    #[test]
+    fn detour_consistent_with_lengths() {
+        let g = city();
+        let routes = recommend_routes(&g, NodeId(2), NodeId(33), &RecommendConfig::default());
+        let shortest = routes[0].path.length;
+        for r in &routes {
+            assert!((r.detour - (r.path.length - shortest)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Yen's algorithm for the k shortest loopless paths.
+//!
+//! Used by the route recommender to emulate a navigation service that offers
+//! several alternative routes between an origin and a destination. The
+//! implementation follows the classic formulation: the best path comes from
+//! Dijkstra; each subsequent path is the cheapest "spur" deviation from an
+//! already accepted path, with the deviating edges banned and the root
+//! prefix's nodes excluded to keep paths simple.
+
+use crate::dijkstra::{shortest_path, shortest_path_restricted, CostMetric};
+use crate::graph::{NodeId, RoadGraph};
+use crate::path::Path;
+
+/// Computes up to `k` shortest loopless paths from `source` to `target`
+/// under `metric`, sorted by ascending cost. Returns fewer than `k` paths if
+/// the graph does not contain that many distinct simple paths.
+pub fn k_shortest_paths(
+    graph: &RoadGraph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    metric: CostMetric,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let Some(first) = shortest_path(graph, source, target, metric) else {
+        return Vec::new();
+    };
+    if source == target {
+        return vec![first];
+    }
+    let mut accepted: Vec<Path> = vec![first];
+    // Candidate pool: (cost, path). Kept sorted on extraction; the pool is
+    // small (≤ k · max path length), so a Vec + linear min scan is fine.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    let cost_of = |p: &Path| -> f64 {
+        match metric {
+            CostMetric::Length => p.length,
+            CostMetric::TravelTime => p.travel_time,
+        }
+    };
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least the shortest path").clone();
+        let prev_nodes = prev.nodes(graph, source);
+        // Spur from every node of the previous path except the target.
+        for spur_idx in 0..prev.edges.len() {
+            let spur_node = prev_nodes[spur_idx];
+            let root_edges = &prev.edges[..spur_idx];
+
+            let mut banned_edges = vec![false; graph.edge_count()];
+            // Ban the next edge of every accepted path sharing this root.
+            for path in &accepted {
+                if path.edges.len() > spur_idx && path.edges[..spur_idx] == *root_edges {
+                    banned_edges[path.edges[spur_idx].index()] = true;
+                }
+            }
+            for (cost, path) in &candidates {
+                let _ = cost;
+                if path.edges.len() > spur_idx && path.edges[..spur_idx] == *root_edges {
+                    banned_edges[path.edges[spur_idx].index()] = true;
+                }
+            }
+            // Ban the root prefix's nodes (except the spur node) so the spur
+            // cannot revisit them.
+            let mut banned_nodes = vec![false; graph.node_count()];
+            for &node in &prev_nodes[..spur_idx] {
+                banned_nodes[node.index()] = true;
+            }
+
+            let Some(spur) = shortest_path_restricted(
+                graph,
+                spur_node,
+                target,
+                metric,
+                &banned_edges,
+                &banned_nodes,
+            ) else {
+                continue;
+            };
+            let mut edges = root_edges.to_vec();
+            edges.extend_from_slice(&spur.edges);
+            let total = Path::from_edges(graph, edges);
+            let total_cost = cost_of(&total);
+            let duplicate = candidates.iter().any(|(_, p)| p.edges == total.edges)
+                || accepted.iter().any(|p| p.edges == total.edges);
+            if !duplicate {
+                candidates.push((total_cost, total));
+            }
+        }
+        // Extract the cheapest candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(i, _)| i)
+        else {
+            break; // no more distinct paths
+        };
+        let (_, path) = candidates.swap_remove(best_idx);
+        accepted.push(path);
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeId;
+
+    /// Grid-ish graph with several parallel corridors 0 → 5.
+    fn corridors() -> RoadGraph {
+        // Nodes: 0 src, 1..=4 middle, 5 dst.
+        RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 1.0), (1.0, 0.0), (1.0, -1.0), (2.0, 1.0), (3.0, 0.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 0.0), // e0
+                (NodeId(1), NodeId(5), 1.0, 50.0, 0.0), // e1: total 2.0
+                (NodeId(0), NodeId(2), 1.5, 50.0, 0.0), // e2
+                (NodeId(2), NodeId(5), 1.0, 50.0, 0.0), // e3: total 2.5
+                (NodeId(0), NodeId(3), 2.0, 50.0, 0.0), // e4
+                (NodeId(3), NodeId(5), 1.5, 50.0, 0.0), // e5: total 3.5
+                (NodeId(1), NodeId(4), 0.5, 50.0, 0.0), // e6
+                (NodeId(4), NodeId(5), 1.0, 50.0, 0.0), // e7: 0→1→4→5 = 2.5
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paths_sorted_and_distinct() {
+        let g = corridors();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(5), 4, CostMetric::Length);
+        assert_eq!(paths.len(), 4);
+        let lengths: Vec<f64> = paths.iter().map(|p| p.length).collect();
+        assert!((lengths[0] - 2.0).abs() < 1e-12);
+        assert!((lengths[1] - 2.5).abs() < 1e-12);
+        assert!((lengths[2] - 2.5).abs() < 1e-12);
+        assert!((lengths[3] - 3.5).abs() < 1e-12);
+        for w in lengths.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert_ne!(paths[i].edges, paths[j].edges);
+            }
+        }
+    }
+
+    #[test]
+    fn all_paths_simple_and_reach_target() {
+        let g = corridors();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(5), 10, CostMetric::Length);
+        // The graph has exactly 4 simple 0→5 paths.
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert!(!p.has_cycle(&g, NodeId(0)));
+            assert_eq!(p.destination(&g, NodeId(0)), NodeId(5));
+        }
+    }
+
+    #[test]
+    fn k_zero_and_unreachable() {
+        let g = corridors();
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(5), 0, CostMetric::Length).is_empty());
+        assert!(k_shortest_paths(&g, NodeId(5), NodeId(0), 3, CostMetric::Length).is_empty());
+    }
+
+    #[test]
+    fn first_path_is_dijkstra_shortest() {
+        let g = corridors();
+        let paths = k_shortest_paths(&g, NodeId(0), NodeId(5), 2, CostMetric::Length);
+        assert_eq!(paths[0].edges, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn travel_time_metric_reorders() {
+        // Make corridor e0/e1 heavily congested so it loses under time.
+        let g = RoadGraph::new(
+            vec![(0.0, 0.0), (1.0, 1.0), (1.0, 0.0), (2.0, 0.0)],
+            vec![
+                (NodeId(0), NodeId(1), 1.0, 50.0, 1.0),
+                (NodeId(1), NodeId(3), 1.0, 50.0, 1.0),
+                (NodeId(0), NodeId(2), 1.5, 50.0, 0.0),
+                (NodeId(2), NodeId(3), 1.0, 50.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let by_len = k_shortest_paths(&g, NodeId(0), NodeId(3), 1, CostMetric::Length);
+        let by_time = k_shortest_paths(&g, NodeId(0), NodeId(3), 1, CostMetric::TravelTime);
+        assert_eq!(by_len[0].edges, vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(by_time[0].edges, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn same_source_target_yields_single_empty_path() {
+        let g = corridors();
+        let paths = k_shortest_paths(&g, NodeId(2), NodeId(2), 3, CostMetric::Length);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].edges.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the routing substrate: Yen's k-shortest paths and
+//! the route recommender on random synthetic cities.
+
+use proptest::prelude::*;
+use vcs_roadnet::{
+    astar_path, k_shortest_paths, recommend_routes, shortest_path, CityConfig, CityKind,
+    CostMetric, NodeId, RecommendConfig, RoadGraph,
+};
+
+fn arb_city() -> impl Strategy<Value = RoadGraph> {
+    (3usize..7, 3usize..7, any::<u64>(), prop::bool::ANY).prop_map(|(nx, ny, seed, radial)| {
+        if radial {
+            CityConfig {
+                kind: CityKind::Radial { rings: nx.min(4), spokes: ny + 3, ring_spacing: 0.8 },
+                seed,
+            }
+            .generate()
+        } else {
+            CityConfig { kind: CityKind::Grid { nx, ny, spacing: 1.0 }, seed }.generate()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's paths are sorted by cost, loopless, pairwise distinct, and the
+    /// first equals Dijkstra's shortest path cost.
+    #[test]
+    fn yen_paths_well_formed(graph in arb_city(), k in 1usize..8, seed in any::<u64>()) {
+        let n = graph.node_count();
+        let src = NodeId((seed % n as u64) as u32);
+        let dst = NodeId(((seed / 7) % n as u64) as u32);
+        prop_assume!(src != dst);
+        let paths = k_shortest_paths(&graph, src, dst, k, CostMetric::Length);
+        prop_assert!(!paths.is_empty(), "connected city must yield a path");
+        // Sorted by length.
+        for w in paths.windows(2) {
+            prop_assert!(w[0].length <= w[1].length + 1e-9);
+        }
+        // First equals Dijkstra.
+        let dijkstra = shortest_path(&graph, src, dst, CostMetric::Length).unwrap();
+        prop_assert!((paths[0].length - dijkstra.length).abs() < 1e-9);
+        // Simple, distinct, correct endpoints.
+        for (i, p) in paths.iter().enumerate() {
+            prop_assert!(!p.has_cycle(&graph, src));
+            prop_assert_eq!(p.destination(&graph, src), dst);
+            for q in &paths[i + 1..] {
+                prop_assert_ne!(&p.edges, &q.edges);
+            }
+        }
+    }
+
+    /// The recommender returns ≤ max_routes diverse routes, shortest first,
+    /// with consistent detour annotations.
+    #[test]
+    fn recommendations_well_formed(
+        graph in arb_city(),
+        max_routes in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = graph.node_count();
+        let src = NodeId((seed % n as u64) as u32);
+        let dst = NodeId(((seed / 13) % n as u64) as u32);
+        prop_assume!(src != dst);
+        let cfg = RecommendConfig { max_routes, ..RecommendConfig::default() };
+        let routes = recommend_routes(&graph, src, dst, &cfg);
+        prop_assert!(!routes.is_empty());
+        prop_assert!(routes.len() <= max_routes);
+        prop_assert!(routes[0].detour.abs() < 1e-9);
+        let shortest = routes[0].path.length;
+        for r in &routes {
+            prop_assert!((r.detour - (r.path.length - shortest)).abs() < 1e-9);
+            prop_assert!(r.congestion >= 0.0);
+            prop_assert!(r.path.length <= cfg.max_detour_ratio * shortest + 1e-9);
+        }
+        for i in 0..routes.len() {
+            for j in (i + 1)..routes.len() {
+                prop_assert!(
+                    routes[i].path.edge_overlap(&routes[j].path) <= cfg.max_overlap + 1e-9
+                );
+            }
+        }
+    }
+
+    /// A* and Dijkstra agree on optimal cost for both metrics on any city.
+    #[test]
+    fn astar_equals_dijkstra(graph in arb_city(), seed in any::<u64>()) {
+        let n = graph.node_count();
+        let src = NodeId((seed % n as u64) as u32);
+        let dst = NodeId(((seed / 11) % n as u64) as u32);
+        for metric in [CostMetric::Length, CostMetric::TravelTime] {
+            let a = astar_path(&graph, src, dst, metric);
+            let d = shortest_path(&graph, src, dst, metric);
+            match (a, d) {
+                (Some(a), Some(d)) => {
+                    let (ca, cd) = match metric {
+                        CostMetric::Length => (a.length, d.length),
+                        CostMetric::TravelTime => (a.travel_time, d.travel_time),
+                    };
+                    prop_assert!((ca - cd).abs() < 1e-9, "A* {ca} vs Dijkstra {cd}");
+                }
+                (None, None) => {}
+                (a, d) => prop_assert!(false, "reachability disagreement: {a:?} vs {d:?}"),
+            }
+        }
+    }
+
+    /// Travel time always dominates the free-flow time and the metric orders
+    /// match intuition: the time-shortest path is never slower than the
+    /// length-shortest one.
+    #[test]
+    fn metric_consistency(graph in arb_city(), seed in any::<u64>()) {
+        let n = graph.node_count();
+        let src = NodeId((seed % n as u64) as u32);
+        let dst = NodeId(((seed / 3) % n as u64) as u32);
+        prop_assume!(src != dst);
+        let by_len = shortest_path(&graph, src, dst, CostMetric::Length).unwrap();
+        let by_time = shortest_path(&graph, src, dst, CostMetric::TravelTime).unwrap();
+        prop_assert!(by_time.travel_time <= by_len.travel_time + 1e-9);
+        prop_assert!(by_len.length <= by_time.length + 1e-9);
+        for eid in &by_len.edges {
+            let e = graph.edge(*eid);
+            prop_assert!(e.travel_time() >= e.length / e.speed - 1e-12);
+        }
+    }
+}

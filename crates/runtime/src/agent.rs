@@ -1,0 +1,283 @@
+//! The user-side agent of Algorithm 1.
+//!
+//! A [`UserAgent`] holds **only local information**: its preference weights,
+//! its recommended routes (covered task ids, detour, congestion) and the task
+//! reward parameters + participant counts the platform shares for its covered
+//! tasks. From that it evaluates profits and computes its best route set —
+//! the distributed counterpart of `vcs_core::response::best_route_set`, whose
+//! equivalence is checked by tests.
+
+use crate::protocol::{PlatformMsg, UserMsg};
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::response::EPSILON;
+use vcs_core::{Route, UserPrefs};
+
+/// Local description of a recommended route (what the navigation app shows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalRoute {
+    /// Covered task ids.
+    pub tasks: Vec<TaskId>,
+    /// Detour cost `d(r) = φ·h(r)` as delivered by the platform (Alg. 1
+    /// line 7 sends `d(r)` and `b(r)` ready-scaled).
+    pub detour_cost: f64,
+    /// Congestion cost `b(r) = θ·c(r)`.
+    pub congestion_cost: f64,
+}
+
+/// The state machine of one mobile user.
+#[derive(Debug, Clone)]
+pub struct UserAgent {
+    /// This user's identifier.
+    pub id: UserId,
+    /// Preference weights `(α, β, γ)`.
+    pub prefs: UserPrefs,
+    /// The recommended route set, as local route descriptions.
+    pub routes: Vec<LocalRoute>,
+    /// Currently selected route.
+    pub current: RouteId,
+    /// Reward parameters `(a_k, μ_k)` for covered tasks, indexed by task.
+    task_info: Vec<(TaskId, f64, f64)>,
+    /// Last received participant counts for covered tasks.
+    counts: Vec<(TaskId, u32)>,
+    /// The pending request (route we asked to switch to), if any.
+    pending: Option<RouteId>,
+}
+
+impl UserAgent {
+    /// Creates an agent from the game-side user description, scaling route
+    /// costs by the platform weights exactly as Alg. 1 line 7 delivers them.
+    pub fn new(
+        id: UserId,
+        prefs: UserPrefs,
+        routes: &[Route],
+        phi: f64,
+        theta: f64,
+        initial: RouteId,
+    ) -> Self {
+        let local = routes
+            .iter()
+            .map(|r| LocalRoute {
+                tasks: r.tasks.clone(),
+                detour_cost: phi * r.detour,
+                congestion_cost: theta * r.congestion,
+            })
+            .collect();
+        Self {
+            id,
+            prefs,
+            routes: local,
+            current: initial,
+            task_info: Vec::new(),
+            counts: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// The initial decision message (Alg. 1 line 4).
+    pub fn initial_message(&self) -> UserMsg {
+        UserMsg::Initial { user: self.id, route: self.current }
+    }
+
+    /// Ingests a platform message, returning the reply to send (if any).
+    pub fn handle(&mut self, msg: PlatformMsg) -> Option<UserMsg> {
+        match msg {
+            PlatformMsg::Init { tasks, counts } => {
+                self.task_info = tasks;
+                self.counts = counts;
+                None
+            }
+            PlatformMsg::Counts { counts } => {
+                self.counts = counts;
+                Some(self.compute_request())
+            }
+            PlatformMsg::Grant => {
+                // Idempotent: a duplicated Grant (retransmission after a lost
+                // confirmation) re-acknowledges the already-applied route.
+                let route = self.pending.take().unwrap_or(self.current);
+                self.current = route;
+                Some(UserMsg::Updated { user: self.id, route })
+            }
+            PlatformMsg::Deny => {
+                self.pending = None;
+                None
+            }
+            PlatformMsg::Terminate => None,
+        }
+    }
+
+    fn count_of(&self, task: TaskId) -> u32 {
+        self.counts
+            .iter()
+            .find(|&&(t, _)| t == task)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    fn reward_params(&self, task: TaskId) -> (f64, f64) {
+        self.task_info
+            .iter()
+            .find(|&&(t, _, _)| t == task)
+            .map(|&(_, a, mu)| (a, mu))
+            .expect("platform sent parameters for every covered task")
+    }
+
+    fn share(&self, task: TaskId, n: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let (a, mu) = self.reward_params(task);
+        (a + mu * f64::from(n).ln()) / f64::from(n)
+    }
+
+    /// Profit of route `candidate` under the latest counts, assuming the
+    /// agent currently sits on `self.current` (Eq. 2, evaluated locally).
+    pub fn profit_of(&self, candidate: RouteId) -> f64 {
+        let current = &self.routes[self.current.index()];
+        let cand = &self.routes[candidate.index()];
+        let mut reward = 0.0;
+        for &task in &cand.tasks {
+            let n = self.count_of(task);
+            let n_eff = if current.tasks.contains(&task) { n } else { n + 1 };
+            reward += self.share(task, n_eff);
+        }
+        self.prefs.alpha * reward
+            - self.prefs.beta * cand.detour_cost
+            - self.prefs.gamma * cand.congestion_cost
+    }
+
+    /// Computes the best route set `Δ_i(t)` locally and produces either an
+    /// update request (remembering it as pending) or a no-request notice.
+    pub fn compute_request(&mut self) -> UserMsg {
+        let current_profit = self.profit_of(self.current);
+        let mut best = self.current;
+        let mut best_profit = current_profit;
+        for r in 0..self.routes.len() {
+            let candidate = RouteId::from_index(r);
+            if candidate == self.current {
+                continue;
+            }
+            let p = self.profit_of(candidate);
+            if p > best_profit + EPSILON {
+                best = candidate;
+                best_profit = p;
+            }
+        }
+        if best == self.current {
+            self.pending = None;
+            return UserMsg::NoRequest { user: self.id };
+        }
+        let gain = best_profit - current_profit;
+        let mut affected: Vec<TaskId> = self.routes[self.current.index()]
+            .tasks
+            .iter()
+            .chain(self.routes[best.index()].tasks.iter())
+            .copied()
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        self.pending = Some(best);
+        UserMsg::Request {
+            user: self.id,
+            new_route: best,
+            gain,
+            tau: gain / self.prefs.alpha,
+            affected,
+        }
+    }
+
+    /// The set of task ids covered by any of the agent's routes, sorted.
+    pub fn covered_tasks(&self) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> =
+            self.routes.iter().flat_map(|r| r.tasks.iter().copied()).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::ids::TaskId;
+
+    fn agent() -> UserAgent {
+        let routes = vec![
+            Route::new(RouteId(0), vec![TaskId(0)], 0.0, 2.0),
+            Route::new(RouteId(1), vec![TaskId(1)], 4.0, 1.0),
+        ];
+        let mut a = UserAgent::new(
+            UserId(0),
+            UserPrefs::new(0.5, 0.5, 0.5),
+            &routes,
+            0.5,
+            0.5,
+            RouteId(0),
+        );
+        a.handle(PlatformMsg::Init {
+            tasks: vec![(TaskId(0), 10.0, 0.0), (TaskId(1), 16.0, 0.0)],
+            counts: vec![(TaskId(0), 1), (TaskId(1), 0)],
+        });
+        a
+    }
+
+    #[test]
+    fn profit_matches_hand_computation() {
+        let a = agent();
+        // Route 0: α·10 − β·(φ·0) − γ·(θ·2) = 5 − 0.5 = 4.5.
+        assert!((a.profit_of(RouteId(0)) - 4.5).abs() < 1e-12);
+        // Route 1 (would join task 1 alone): α·16 − 0.5·2.0 − 0.5·0.5 = 6.75.
+        assert!((a.profit_of(RouteId(1)) - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_emitted_for_better_route() {
+        let mut a = agent();
+        let msg = a.handle(PlatformMsg::Counts {
+            counts: vec![(TaskId(0), 1), (TaskId(1), 0)],
+        });
+        match msg {
+            Some(UserMsg::Request { new_route, gain, tau, affected, .. }) => {
+                assert_eq!(new_route, RouteId(1));
+                assert!((gain - 2.25).abs() < 1e-12);
+                assert!((tau - 4.5).abs() < 1e-12);
+                assert_eq!(affected, vec![TaskId(0), TaskId(1)]);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_request_when_on_best_route() {
+        let mut a = agent();
+        // Crowd task 1 so switching is unattractive: share 16+? with n=9
+        // joining makes n=10 → share 1.6.
+        let msg = a.handle(PlatformMsg::Counts {
+            counts: vec![(TaskId(0), 1), (TaskId(1), 9)],
+        });
+        assert_eq!(msg, Some(UserMsg::NoRequest { user: UserId(0) }));
+    }
+
+    #[test]
+    fn grant_applies_pending_switch() {
+        let mut a = agent();
+        a.handle(PlatformMsg::Counts { counts: vec![(TaskId(0), 1), (TaskId(1), 0)] });
+        let reply = a.handle(PlatformMsg::Grant);
+        assert_eq!(reply, Some(UserMsg::Updated { user: UserId(0), route: RouteId(1) }));
+        assert_eq!(a.current, RouteId(1));
+    }
+
+    #[test]
+    fn deny_clears_pending() {
+        let mut a = agent();
+        a.handle(PlatformMsg::Counts { counts: vec![(TaskId(0), 1), (TaskId(1), 0)] });
+        assert_eq!(a.handle(PlatformMsg::Deny), None);
+        assert_eq!(a.current, RouteId(0));
+        assert!(a.pending.is_none());
+    }
+
+    #[test]
+    fn covered_tasks_deduplicated_sorted() {
+        let a = agent();
+        assert_eq!(a.covered_tasks(), vec![TaskId(0), TaskId(1)]);
+    }
+}

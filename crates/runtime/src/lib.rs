@@ -1,0 +1,36 @@
+//! # vcs-runtime — distributed execution substrate
+//!
+//! The paper's algorithms are *distributed*: Alg. 1 runs on each user's
+//! smartphone against local information only, Alg. 2 on the platform. This
+//! crate implements that split literally:
+//!
+//! * [`protocol`] — the platform↔user message set with a compact binary
+//!   codec over [`bytes`] frames;
+//! * [`agent::UserAgent`] — the user-side state machine (local profit
+//!   evaluation, best-route-set computation, request/grant handling);
+//! * [`platform::PlatformState`] — the platform-side bookkeeping and the
+//!   SUU/PUU scheduling step;
+//! * [`sync_runtime::run_sync`] — single-thread reference execution of the
+//!   protocol (frames still pass through the codec);
+//! * [`threaded::run_threaded`] — one OS thread per agent over crossbeam
+//!   channels, slot-synchronous and bit-identical to the sync runtime;
+//! * [`resilience`] — the protocol under message loss (stop-and-wait
+//!   retransmission, provably outcome-preserving) and under stale
+//!   information (periodic count refresh, still Nash-terminating).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod platform;
+pub mod protocol;
+pub mod resilience;
+pub mod sync_runtime;
+pub mod threaded;
+
+pub use agent::{LocalRoute, UserAgent};
+pub use platform::{PlatformState, SchedulerKind};
+pub use protocol::{CodecError, PlatformMsg, UserMsg};
+pub use resilience::{run_lossy, run_stale, LossConfig, LossStats};
+pub use sync_runtime::{run_sync, RuntimeOutcome, Telemetry};
+pub use threaded::run_threaded;

@@ -1,0 +1,215 @@
+//! The platform side of Algorithm 2, shared by both runtimes.
+
+use crate::protocol::{PlatformMsg, UserMsg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vcs_algorithms::scheduler::{puu, suu};
+use vcs_algorithms::UpdateRequest;
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::{Game, Profile};
+
+/// Which user-update scheduler the platform runs (Alg. 2 line 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Single User Update: one random requester per slot (DGRN).
+    Suu,
+    /// Parallel User Update: Algorithm 3's conflict-free batch (MUUN).
+    Puu,
+}
+
+/// Platform state: the authoritative strategy profile and task counts.
+#[derive(Debug)]
+pub struct PlatformState<'g> {
+    game: &'g Game,
+    profile: Profile,
+    scheduler: SchedulerKind,
+    rng: StdRng,
+    /// Decision slots elapsed.
+    pub slots: usize,
+    /// Individual decision updates applied.
+    pub updates: usize,
+}
+
+impl<'g> PlatformState<'g> {
+    /// Creates the platform once all `Initial` decisions are in
+    /// (Alg. 2 lines 2–3).
+    pub fn new(
+        game: &'g Game,
+        scheduler: SchedulerKind,
+        seed: u64,
+        initial_choices: Vec<RouteId>,
+    ) -> Self {
+        let profile = Profile::new(game, initial_choices);
+        Self {
+            game,
+            profile,
+            scheduler,
+            rng: StdRng::seed_from_u64(seed),
+            slots: 0,
+            updates: 0,
+        }
+    }
+
+    /// The authoritative profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Consumes the platform, returning the final profile.
+    pub fn into_profile(self) -> Profile {
+        self.profile
+    }
+
+    /// Participant counts restricted to the tasks covered by `user`'s
+    /// recommended routes (the locality of Alg. 1 line 9).
+    pub fn counts_for(&self, user: UserId) -> Vec<(TaskId, u32)> {
+        let mut tasks: Vec<TaskId> = self.game.users()[user.index()]
+            .routes
+            .iter()
+            .flat_map(|r| r.tasks.iter().copied())
+            .collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        tasks.into_iter().map(|t| (t, self.profile.participants(t))).collect()
+    }
+
+    /// The `Init` message for `user` (Alg. 2 line 4): reward parameters and
+    /// counts of its covered tasks.
+    pub fn init_msg_for(&self, user: UserId) -> PlatformMsg {
+        let counts = self.counts_for(user);
+        let tasks = counts
+            .iter()
+            .map(|&(t, _)| {
+                let task = self.game.task(t);
+                (t, task.base_reward, task.increment)
+            })
+            .collect();
+        PlatformMsg::Init { tasks, counts }
+    }
+
+    /// The per-slot `Counts` refresh for `user`.
+    pub fn counts_msg_for(&self, user: UserId) -> PlatformMsg {
+        PlatformMsg::Counts { counts: self.counts_for(user) }
+    }
+
+    /// Runs the scheduler over this slot's decoded requests (already sorted
+    /// by user id for determinism) and returns the indices of granted ones.
+    /// Increments the slot counter when any request is granted.
+    pub fn select(&mut self, requests: &[UpdateRequest]) -> Vec<usize> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let granted = match self.scheduler {
+            SchedulerKind::Suu => suu(requests, &mut self.rng),
+            SchedulerKind::Puu => puu(requests),
+        };
+        if !granted.is_empty() {
+            self.slots += 1;
+        }
+        granted
+    }
+
+    /// Applies a confirmed decision update (Alg. 2 line 10).
+    pub fn apply_update(&mut self, user: UserId, route: RouteId) {
+        self.profile.apply_move(self.game, user, route);
+        self.updates += 1;
+    }
+
+    /// Converts a decoded `UserMsg::Request` into the scheduler's request
+    /// type. Returns `None` for other message kinds.
+    pub fn to_request(msg: &UserMsg) -> Option<UpdateRequest> {
+        match msg {
+            UserMsg::Request { user, new_route, gain, tau, affected } => Some(UpdateRequest {
+                user: *user,
+                new_route: *new_route,
+                gain: *gain,
+                tau: *tau,
+                affected_tasks: affected.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::examples::fig1_instance;
+
+    #[test]
+    fn counts_restricted_to_covered_tasks() {
+        let game = fig1_instance();
+        let platform = PlatformState::new(
+            &game,
+            SchedulerKind::Suu,
+            0,
+            vec![RouteId(0), RouteId(0), RouteId(0)],
+        );
+        // u2 only has r3 covering the $6 task (task 1), which u3's r4 also
+        // covers under the all-first profile.
+        let counts = platform.counts_for(UserId(1));
+        assert_eq!(counts, vec![(TaskId(1), 2)]);
+        // u1 covers tasks 0 and 1 across its two routes.
+        let counts = platform.counts_for(UserId(0));
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn init_message_carries_reward_parameters() {
+        let game = fig1_instance();
+        let platform = PlatformState::new(
+            &game,
+            SchedulerKind::Puu,
+            0,
+            vec![RouteId(0), RouteId(0), RouteId(1)],
+        );
+        match platform.init_msg_for(UserId(2)) {
+            PlatformMsg::Init { tasks, counts } => {
+                assert_eq!(tasks.len(), 2); // tasks 1 and 2
+                assert_eq!(counts.len(), 2);
+                let (_, a, mu) = tasks[0];
+                assert!(a > 0.0);
+                assert_eq!(mu, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_update_moves_profile() {
+        let game = fig1_instance();
+        let mut platform = PlatformState::new(
+            &game,
+            SchedulerKind::Suu,
+            0,
+            vec![RouteId(1), RouteId(0), RouteId(0)],
+        );
+        platform.apply_update(UserId(0), RouteId(0));
+        assert_eq!(platform.profile().choice(UserId(0)), RouteId(0));
+        assert_eq!(platform.updates, 1);
+    }
+
+    #[test]
+    fn select_counts_slots() {
+        let game = fig1_instance();
+        let mut platform = PlatformState::new(
+            &game,
+            SchedulerKind::Suu,
+            7,
+            vec![RouteId(1), RouteId(0), RouteId(1)],
+        );
+        assert!(platform.select(&[]).is_empty());
+        assert_eq!(platform.slots, 0);
+        let req = UpdateRequest {
+            user: UserId(0),
+            new_route: RouteId(0),
+            gain: 1.0,
+            tau: 2.0,
+            affected_tasks: vec![TaskId(0), TaskId(1)],
+        };
+        let granted = platform.select(&[req]);
+        assert_eq!(granted, vec![0]);
+        assert_eq!(platform.slots, 1);
+    }
+}

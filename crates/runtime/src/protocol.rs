@@ -1,0 +1,347 @@
+//! The wire protocol between the platform (Alg. 2) and user agents (Alg. 1),
+//! with a compact binary codec.
+//!
+//! Every exchange of the paper's algorithms is a message here:
+//!
+//! * platform → user: task parameters and counts (`Init`, Alg. 2 lines 1–4 /
+//!   `Counts`, Alg. 1 line 9), update grants/denials (Alg. 2 line 9), and
+//!   termination (Alg. 2 line 12);
+//! * user → platform: the initial decision (Alg. 1 line 4), update requests
+//!   carrying `B_i` and `τ_i` for PUU (Alg. 1 line 12 / Alg. 3), explicit
+//!   no-request notices, and the applied decision (Alg. 1 line 15).
+//!
+//! Messages are encoded into length-free, tag-prefixed binary frames with
+//! [`bytes`], so the threaded runtime ships real byte buffers between
+//! threads — the same frames a networked deployment would exchange.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vcs_core::ids::{RouteId, TaskId, UserId};
+
+/// Task metadata a user needs to evaluate rewards locally: `(k, a_k, μ_k)`.
+pub type TaskInfo = (TaskId, f64, f64);
+
+/// Platform → user messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformMsg {
+    /// Initialization: reward parameters of the tasks covered by the user's
+    /// recommended routes, plus the initial participant counts.
+    Init {
+        /// Reward parameters for each covered task.
+        tasks: Vec<TaskInfo>,
+        /// Initial `n_k` for each covered task.
+        counts: Vec<(TaskId, u32)>,
+    },
+    /// Per-slot refresh of `n_k` for the user's covered tasks.
+    Counts {
+        /// Current `n_k` for each covered task.
+        counts: Vec<(TaskId, u32)>,
+    },
+    /// The user won the update opportunity for this slot.
+    Grant,
+    /// The user's request was not granted this slot.
+    Deny,
+    /// The game has reached equilibrium; stop.
+    Terminate,
+}
+
+/// User → platform messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UserMsg {
+    /// Initial random route decision (Alg. 1 line 4).
+    Initial {
+        /// The sender.
+        user: UserId,
+        /// The chosen route.
+        route: RouteId,
+    },
+    /// Update request: the user found a strictly better route.
+    Request {
+        /// The sender.
+        user: UserId,
+        /// The route it wants to switch to.
+        new_route: RouteId,
+        /// Profit gain of the switch.
+        gain: f64,
+        /// `τ_i = gain / α_i` (potential increase).
+        tau: f64,
+        /// `B_i`: tasks covered by the current or the new route (sorted).
+        affected: Vec<TaskId>,
+    },
+    /// The user cannot improve this slot.
+    NoRequest {
+        /// The sender.
+        user: UserId,
+    },
+    /// Confirmation that the granted switch was applied.
+    Updated {
+        /// The sender.
+        user: UserId,
+        /// The route now selected.
+        route: RouteId,
+    },
+}
+
+// ---- Codec ---------------------------------------------------------------
+
+const TAG_INIT: u8 = 1;
+const TAG_COUNTS: u8 = 2;
+const TAG_GRANT: u8 = 3;
+const TAG_DENY: u8 = 4;
+const TAG_TERMINATE: u8 = 5;
+const TAG_INITIAL: u8 = 16;
+const TAG_REQUEST: u8 = 17;
+const TAG_NO_REQUEST: u8 = 18;
+const TAG_UPDATED: u8 = 19;
+
+/// Codec error: truncated or malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_task_counts(buf: &mut BytesMut, counts: &[(TaskId, u32)]) {
+    buf.put_u32(u32::try_from(counts.len()).expect("count list fits u32"));
+    for &(task, n) in counts {
+        buf.put_u32(task.0);
+        buf.put_u32(n);
+    }
+}
+
+/// Reads a length prefix and validates it against the bytes actually present
+/// (`entry_size` bytes per entry), so hostile frames cannot trigger huge
+/// allocations before the truncation is detected.
+fn get_len(buf: &mut Bytes, entry_size: usize) -> Result<usize, CodecError> {
+    let len = get_u32(buf)? as usize;
+    if len.saturating_mul(entry_size) > buf.remaining() {
+        return Err(CodecError("length prefix exceeds frame size"));
+    }
+    Ok(len)
+}
+
+fn get_task_counts(buf: &mut Bytes) -> Result<Vec<(TaskId, u32)>, CodecError> {
+    let len = get_len(buf, 8)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let task = TaskId(get_u32(buf)?);
+        let n = get_u32(buf)?;
+        out.push((task, n));
+    }
+    Ok(out)
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError("truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError("truncated f64"));
+    }
+    Ok(buf.get_f64())
+}
+
+impl PlatformMsg {
+    /// Encodes into a binary frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            PlatformMsg::Init { tasks, counts } => {
+                buf.put_u8(TAG_INIT);
+                buf.put_u32(u32::try_from(tasks.len()).expect("task list fits u32"));
+                for &(task, a, mu) in tasks {
+                    buf.put_u32(task.0);
+                    buf.put_f64(a);
+                    buf.put_f64(mu);
+                }
+                put_task_counts(&mut buf, counts);
+            }
+            PlatformMsg::Counts { counts } => {
+                buf.put_u8(TAG_COUNTS);
+                put_task_counts(&mut buf, counts);
+            }
+            PlatformMsg::Grant => buf.put_u8(TAG_GRANT),
+            PlatformMsg::Deny => buf.put_u8(TAG_DENY),
+            PlatformMsg::Terminate => buf.put_u8(TAG_TERMINATE),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a binary frame.
+    pub fn decode(mut frame: Bytes) -> Result<Self, CodecError> {
+        let msg = match get_u8(&mut frame)? {
+            TAG_INIT => {
+                let n = get_len(&mut frame, 20)?;
+                let mut tasks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let task = TaskId(get_u32(&mut frame)?);
+                    let a = get_f64(&mut frame)?;
+                    let mu = get_f64(&mut frame)?;
+                    tasks.push((task, a, mu));
+                }
+                let counts = get_task_counts(&mut frame)?;
+                PlatformMsg::Init { tasks, counts }
+            }
+            TAG_COUNTS => PlatformMsg::Counts { counts: get_task_counts(&mut frame)? },
+            TAG_GRANT => PlatformMsg::Grant,
+            TAG_DENY => PlatformMsg::Deny,
+            TAG_TERMINATE => PlatformMsg::Terminate,
+            _ => return Err(CodecError("unknown platform tag")),
+        };
+        if frame.has_remaining() {
+            return Err(CodecError("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+impl UserMsg {
+    /// Encodes into a binary frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            UserMsg::Initial { user, route } => {
+                buf.put_u8(TAG_INITIAL);
+                buf.put_u32(user.0);
+                buf.put_u32(route.0);
+            }
+            UserMsg::Request { user, new_route, gain, tau, affected } => {
+                buf.put_u8(TAG_REQUEST);
+                buf.put_u32(user.0);
+                buf.put_u32(new_route.0);
+                buf.put_f64(*gain);
+                buf.put_f64(*tau);
+                buf.put_u32(u32::try_from(affected.len()).expect("task list fits u32"));
+                for t in affected {
+                    buf.put_u32(t.0);
+                }
+            }
+            UserMsg::NoRequest { user } => {
+                buf.put_u8(TAG_NO_REQUEST);
+                buf.put_u32(user.0);
+            }
+            UserMsg::Updated { user, route } => {
+                buf.put_u8(TAG_UPDATED);
+                buf.put_u32(user.0);
+                buf.put_u32(route.0);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a binary frame.
+    pub fn decode(mut frame: Bytes) -> Result<Self, CodecError> {
+        let msg = match get_u8(&mut frame)? {
+            TAG_INITIAL => UserMsg::Initial {
+                user: UserId(get_u32(&mut frame)?),
+                route: RouteId(get_u32(&mut frame)?),
+            },
+            TAG_REQUEST => {
+                let user = UserId(get_u32(&mut frame)?);
+                let new_route = RouteId(get_u32(&mut frame)?);
+                let gain = get_f64(&mut frame)?;
+                let tau = get_f64(&mut frame)?;
+                let n = get_len(&mut frame, 4)?;
+                let mut affected = Vec::with_capacity(n);
+                for _ in 0..n {
+                    affected.push(TaskId(get_u32(&mut frame)?));
+                }
+                UserMsg::Request { user, new_route, gain, tau, affected }
+            }
+            TAG_NO_REQUEST => UserMsg::NoRequest { user: UserId(get_u32(&mut frame)?) },
+            TAG_UPDATED => UserMsg::Updated {
+                user: UserId(get_u32(&mut frame)?),
+                route: RouteId(get_u32(&mut frame)?),
+            },
+            _ => return Err(CodecError("unknown user tag")),
+        };
+        if frame.has_remaining() {
+            return Err(CodecError("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_messages_roundtrip() {
+        let msgs = vec![
+            PlatformMsg::Init {
+                tasks: vec![(TaskId(3), 12.5, 0.25), (TaskId(9), 18.0, 1.0)],
+                counts: vec![(TaskId(3), 2), (TaskId(9), 0)],
+            },
+            PlatformMsg::Counts { counts: vec![(TaskId(1), 7)] },
+            PlatformMsg::Counts { counts: vec![] },
+            PlatformMsg::Grant,
+            PlatformMsg::Deny,
+            PlatformMsg::Terminate,
+        ];
+        for msg in msgs {
+            let frame = msg.encode();
+            assert_eq!(PlatformMsg::decode(frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn user_messages_roundtrip() {
+        let msgs = vec![
+            UserMsg::Initial { user: UserId(4), route: RouteId(2) },
+            UserMsg::Request {
+                user: UserId(0),
+                new_route: RouteId(1),
+                gain: 1.75,
+                tau: 3.5,
+                affected: vec![TaskId(0), TaskId(5), TaskId(6)],
+            },
+            UserMsg::NoRequest { user: UserId(9) },
+            UserMsg::Updated { user: UserId(1), route: RouteId(0) },
+        ];
+        for msg in msgs {
+            let frame = msg.encode();
+            assert_eq!(UserMsg::decode(frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = UserMsg::Initial { user: UserId(4), route: RouteId(2) }.encode();
+        let cut = frame.slice(0..frame.len() - 1);
+        assert!(UserMsg::decode(cut).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let frame = Bytes::from_static(&[0xFF]);
+        assert!(PlatformMsg::decode(frame.clone()).is_err());
+        assert!(UserMsg::decode(frame).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(3); // Grant
+        buf.put_u8(0); // junk
+        assert_eq!(
+            PlatformMsg::decode(buf.freeze()),
+            Err(CodecError("trailing bytes"))
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Protocol resilience: lossy links and stale information.
+//!
+//! Two "future work" conditions the paper's deployment sketch would face:
+//!
+//! * **Message loss** ([`run_lossy`]): every frame is dropped i.i.d. with a
+//!   seeded probability; the platform retransmits until delivery. Because
+//!   the protocol's messages are idempotent (re-sent `Counts` carry the same
+//!   state; a re-sent `Grant` is re-acknowledged with the current route),
+//!   the delivered sequence equals the lossless one — the run produces the
+//!   **identical outcome**, paying only in retransmissions. This is tested,
+//!   not assumed.
+//! * **Stale information** ([`run_stale`]): the platform refreshes the
+//!   participant counts only every `refresh_every` slots; between refreshes
+//!   agents decide on cached (possibly outdated) counts. Termination still
+//!   requires a quiet fresh-count slot, so the final profile remains a
+//!   verified Nash equilibrium; staleness only costs extra slots.
+
+use crate::agent::UserAgent;
+use crate::platform::{PlatformState, SchedulerKind};
+use crate::protocol::{PlatformMsg, UserMsg};
+use crate::sync_runtime::{spawn_agents, RuntimeOutcome, Telemetry};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::Game;
+
+/// Loss-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossConfig {
+    /// Per-frame drop probability in `[0, 1)` (applied independently to
+    /// both directions).
+    pub drop_probability: f64,
+    /// Seed of the loss process (independent of the protocol seed).
+    pub seed: u64,
+    /// Safety cap on consecutive retransmissions of one frame.
+    pub max_retries: usize,
+}
+
+impl LossConfig {
+    /// A moderately hostile channel: 20% frame loss.
+    pub fn hostile(seed: u64) -> Self {
+        Self { drop_probability: 0.2, seed, max_retries: 10_000 }
+    }
+}
+
+/// Loss statistics of a lossy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LossStats {
+    /// Frames the channel dropped (either direction).
+    pub dropped_frames: usize,
+    /// Retransmissions the platform performed.
+    pub retransmissions: usize,
+}
+
+/// Delivers one request/response exchange over the lossy channel with
+/// retransmission until both directions succeed, mirroring a
+/// stop-and-wait ARQ. Returns the reply (if the message type elicits one).
+#[allow(clippy::too_many_arguments)] // transport state, not an API
+fn deliver_arq(
+    agent: &mut UserAgent,
+    msg: &PlatformMsg,
+    expects_reply: bool,
+    loss_rng: &mut StdRng,
+    loss: &LossConfig,
+    stats: &mut LossStats,
+    telemetry: &mut Telemetry,
+) -> Option<UserMsg> {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        assert!(
+            attempts <= loss.max_retries + 1,
+            "channel never delivered after {attempts} attempts"
+        );
+        if attempts > 1 {
+            stats.retransmissions += 1;
+        }
+        // Platform → agent leg.
+        let frame = msg.encode();
+        telemetry.platform_msgs += 1;
+        telemetry.platform_bytes += frame.len();
+        if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
+            stats.dropped_frames += 1;
+            continue; // timeout ⇒ retransmit
+        }
+        let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
+        let reply = agent.handle(decoded);
+        if !expects_reply {
+            // Fire-and-forget messages (Init/Terminate/Deny) are covered by
+            // the retransmit loop only up to delivery of the request leg.
+            debug_assert!(reply.is_none());
+            return None;
+        }
+        let reply = reply.expect("message type elicits a reply");
+        // Agent → platform leg.
+        let reply_frame = reply.encode();
+        telemetry.user_msgs += 1;
+        telemetry.user_bytes += reply_frame.len();
+        if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
+            stats.dropped_frames += 1;
+            continue; // reply lost ⇒ platform re-sends the request
+        }
+        return Some(UserMsg::decode(reply_frame).expect("self-encoded frame decodes"));
+    }
+}
+
+/// Runs the protocol over a lossy channel with stop-and-wait retransmission.
+/// Returns the outcome plus loss statistics. The outcome's profile, slots
+/// and updates equal the lossless [`crate::sync_runtime::run_sync`] run with
+/// the same protocol seed (only telemetry grows).
+pub fn run_lossy(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    loss: &LossConfig,
+) -> (RuntimeOutcome, LossStats) {
+    assert!(
+        (0.0..1.0).contains(&loss.drop_probability),
+        "drop probability must lie in [0, 1)"
+    );
+    let mut agents = spawn_agents(game, seed);
+    let mut loss_rng = StdRng::seed_from_u64(loss.seed);
+    let mut stats = LossStats::default();
+    let mut telemetry = Telemetry::default();
+    // Initial decisions travel over the lossy uplink too (agents re-announce
+    // until the platform has everyone's choice).
+    let mut initial = vec![RouteId(0); game.user_count()];
+    for agent in agents.iter() {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts <= loss.max_retries + 1, "initial decision never arrived");
+            if attempts > 1 {
+                stats.retransmissions += 1;
+            }
+            let frame = agent.initial_message().encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
+                stats.dropped_frames += 1;
+                continue;
+            }
+            match UserMsg::decode(frame).expect("self-encoded frame decodes") {
+                UserMsg::Initial { user, route } => initial[user.index()] = route,
+                other => panic!("expected Initial, got {other:?}"),
+            }
+            break;
+        }
+    }
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    for agent in agents.iter_mut() {
+        let msg = platform.init_msg_for(agent.id);
+        deliver_arq(agent, &msg, false, &mut loss_rng, loss, &mut stats, &mut telemetry);
+    }
+    let mut converged = false;
+    while platform.slots < max_slots {
+        let mut requests = Vec::new();
+        let mut requesters = Vec::new();
+        for agent in agents.iter_mut() {
+            let msg = platform.counts_msg_for(agent.id);
+            let reply =
+                deliver_arq(agent, &msg, true, &mut loss_rng, loss, &mut stats, &mut telemetry)
+                    .expect("counts elicit a reply");
+            if let Some(req) = PlatformState::to_request(&reply) {
+                requesters.push(agent.id);
+                requests.push(req);
+            }
+        }
+        if requests.is_empty() {
+            converged = true;
+            break;
+        }
+        let granted = platform.select(&requests);
+        let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
+        for &user in &requesters {
+            let agent = &mut agents[user.index()];
+            if granted_users.contains(&user) {
+                let reply = deliver_arq(
+                    agent,
+                    &PlatformMsg::Grant,
+                    true,
+                    &mut loss_rng,
+                    loss,
+                    &mut stats,
+                    &mut telemetry,
+                )
+                .expect("grant elicits an update confirmation");
+                match reply {
+                    UserMsg::Updated { user, route } => platform.apply_update(user, route),
+                    other => panic!("expected Updated, got {other:?}"),
+                }
+            } else {
+                deliver_arq(
+                    agent,
+                    &PlatformMsg::Deny,
+                    false,
+                    &mut loss_rng,
+                    loss,
+                    &mut stats,
+                    &mut telemetry,
+                );
+            }
+        }
+    }
+    for agent in agents.iter_mut() {
+        deliver_arq(
+            agent,
+            &PlatformMsg::Terminate,
+            false,
+            &mut loss_rng,
+            loss,
+            &mut stats,
+            &mut telemetry,
+        );
+    }
+    (
+        RuntimeOutcome {
+            slots: platform.slots,
+            updates: platform.updates,
+            profile: platform.into_profile(),
+            converged,
+            telemetry,
+        },
+        stats,
+    )
+}
+
+/// Runs the protocol with periodic count refresh: agents receive fresh
+/// `Counts` only every `refresh_every` slots and decide on their cached view
+/// in between.
+///
+/// Stale beliefs alone would break the finite-improvement property (a move
+/// that looks improving on old counts can lower the true potential, and the
+/// dynamics can cycle). The platform therefore enforces two window rules on
+/// stale slots: (1) each agent is granted at most one move per refresh
+/// window, and (2) a granted move's affected task set must be disjoint from
+/// everything already granted this window. Under those rules every granted
+/// move's stale evaluation coincides with the truth, so the potential still
+/// strictly increases and convergence is restored. Termination additionally
+/// requires an empty request set **on a fresh-count slot**, so the final
+/// profile is a Nash equilibrium.
+pub fn run_stale(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    refresh_every: usize,
+) -> RuntimeOutcome {
+    assert!(refresh_every >= 1, "refresh period must be at least 1");
+    let mut agents = spawn_agents(game, seed);
+    let mut telemetry = Telemetry::default();
+    let mut initial = vec![RouteId(0); game.user_count()];
+    for agent in agents.iter() {
+        let frame = agent.initial_message().encode();
+        telemetry.user_msgs += 1;
+        telemetry.user_bytes += frame.len();
+        match UserMsg::decode(frame).expect("self-encoded frame decodes") {
+            UserMsg::Initial { user, route } => initial[user.index()] = route,
+            other => panic!("expected Initial, got {other:?}"),
+        }
+    }
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    let deliver = |agent: &mut UserAgent, msg: &PlatformMsg, telemetry: &mut Telemetry| {
+        let frame = msg.encode();
+        telemetry.platform_msgs += 1;
+        telemetry.platform_bytes += frame.len();
+        let reply = agent.handle(PlatformMsg::decode(frame).expect("decodes"));
+        reply.map(|r| {
+            let f = r.encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += f.len();
+            UserMsg::decode(f).expect("decodes")
+        })
+    };
+    for agent in agents.iter_mut() {
+        let msg = platform.init_msg_for(agent.id);
+        deliver(agent, &msg, &mut telemetry);
+    }
+    let mut converged = false;
+    let mut round = 0usize;
+    // Window state: which users moved and which tasks were touched since the
+    // last fresh broadcast.
+    let mut moved = vec![false; game.user_count()];
+    let mut touched = vec![false; game.task_count()];
+    while platform.slots < max_slots {
+        let fresh = round.is_multiple_of(refresh_every);
+        round += 1;
+        if fresh {
+            moved.fill(false);
+            touched.fill(false);
+        }
+        let mut requests = Vec::new();
+        let mut requesters = Vec::new();
+        for agent in agents.iter_mut() {
+            let reply = if fresh {
+                let msg = platform.counts_msg_for(agent.id);
+                deliver(agent, &msg, &mut telemetry).expect("counts elicit a reply")
+            } else {
+                // Stale slot: the agent recomputes from its cached counts;
+                // no platform frame is sent.
+                let reply = agent.compute_request();
+                let f = reply.encode();
+                telemetry.user_msgs += 1;
+                telemetry.user_bytes += f.len();
+                UserMsg::decode(f).expect("decodes")
+            };
+            if let Some(req) = PlatformState::to_request(&reply) {
+                // Window rules: on stale information, only first moves over
+                // untouched tasks are eligible — their stale evaluation is
+                // exact, preserving the potential argument.
+                let eligible = fresh
+                    || (!moved[req.user.index()]
+                        && req.affected_tasks.iter().all(|t| !touched[t.index()]));
+                if eligible {
+                    requesters.push(agent.id);
+                    requests.push(req);
+                } else {
+                    // The ineligible request came from this very agent.
+                    debug_assert_eq!(req.user, agent.id);
+                    deliver(agent, &PlatformMsg::Deny, &mut telemetry);
+                }
+            }
+        }
+        if requests.is_empty() {
+            if fresh {
+                converged = true;
+                break;
+            }
+            continue; // quiet on stale info proves nothing; refresh and retry
+        }
+        let granted = platform.select(&requests);
+        let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
+        for req in granted.iter().map(|&g| &requests[g]) {
+            moved[req.user.index()] = true;
+            for t in &req.affected_tasks {
+                touched[t.index()] = true;
+            }
+        }
+        for &user in &requesters {
+            let verdict = if granted_users.contains(&user) {
+                PlatformMsg::Grant
+            } else {
+                PlatformMsg::Deny
+            };
+            let agent = &mut agents[user.index()];
+            if let Some(UserMsg::Updated { user, route }) =
+                deliver(agent, &verdict, &mut telemetry)
+            {
+                platform.apply_update(user, route);
+            }
+        }
+    }
+    for agent in agents.iter_mut() {
+        deliver(agent, &PlatformMsg::Terminate, &mut telemetry);
+    }
+    RuntimeOutcome {
+        slots: platform.slots,
+        updates: platform.updates,
+        profile: platform.into_profile(),
+        converged,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync_runtime::run_sync;
+    use vcs_core::examples::fig1_instance;
+    use vcs_core::response::is_nash;
+
+    #[test]
+    fn lossy_run_matches_lossless_outcome() {
+        let game = fig1_instance();
+        for seed in 0..5u64 {
+            let lossless = run_sync(&game, SchedulerKind::Puu, seed, 10_000);
+            let (lossy, stats) = run_lossy(
+                &game,
+                SchedulerKind::Puu,
+                seed,
+                10_000,
+                &LossConfig::hostile(seed.wrapping_add(99)),
+            );
+            assert_eq!(lossy.profile, lossless.profile, "seed {seed}");
+            assert_eq!(lossy.slots, lossless.slots);
+            assert_eq!(lossy.updates, lossless.updates);
+            // A 20% channel on dozens of frames drops something.
+            assert!(stats.dropped_frames > 0, "loss process never fired");
+            assert_eq!(stats.dropped_frames, stats.retransmissions);
+            assert!(lossy.telemetry.total_msgs() > lossless.telemetry.total_msgs());
+        }
+    }
+
+    #[test]
+    fn lossless_loss_config_is_identity() {
+        let game = fig1_instance();
+        let loss = LossConfig { drop_probability: 0.0, seed: 1, max_retries: 0 };
+        let (lossy, stats) = run_lossy(&game, SchedulerKind::Suu, 3, 10_000, &loss);
+        let reference = run_sync(&game, SchedulerKind::Suu, 3, 10_000);
+        assert_eq!(lossy, reference);
+        assert_eq!(stats, LossStats::default());
+    }
+
+    #[test]
+    fn stale_runs_still_reach_nash() {
+        let game = fig1_instance();
+        for refresh in [1usize, 2, 4] {
+            for seed in 0..5u64 {
+                let out = run_stale(&game, SchedulerKind::Suu, seed, 10_000, refresh);
+                assert!(out.converged, "refresh {refresh}, seed {seed}");
+                assert!(
+                    is_nash(&game, &out.profile),
+                    "stale run off-equilibrium (refresh {refresh}, seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_one_equals_sync_runtime() {
+        let game = fig1_instance();
+        let stale = run_stale(&game, SchedulerKind::Puu, 7, 10_000, 1);
+        let sync = run_sync(&game, SchedulerKind::Puu, 7, 10_000);
+        assert_eq!(stale.profile, sync.profile);
+        assert_eq!(stale.slots, sync.slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must lie in [0, 1)")]
+    fn invalid_drop_probability_rejected() {
+        let game = fig1_instance();
+        let loss = LossConfig { drop_probability: 1.0, seed: 0, max_retries: 10 };
+        let _ = run_lossy(&game, SchedulerKind::Suu, 0, 10, &loss);
+    }
+}

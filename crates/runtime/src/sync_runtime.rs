@@ -1,0 +1,221 @@
+//! Deterministic in-process runtime: agents and platform exchange **encoded**
+//! protocol frames, but everything runs on one thread in a fixed order. The
+//! reference implementation of the protocol; the threaded runtime must
+//! produce bit-identical results (tested in `tests/`).
+
+use crate::agent::UserAgent;
+use crate::platform::{PlatformState, SchedulerKind};
+use crate::protocol::{PlatformMsg, UserMsg};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::{Game, Profile};
+
+/// Communication telemetry of a protocol run: how many frames and bytes
+/// crossed the platform↔user boundary. The paper motivates the distributed
+/// design by the platform's reduced computation; this quantifies the price
+/// paid in communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Frames sent by the platform to users.
+    pub platform_msgs: usize,
+    /// Bytes in those frames.
+    pub platform_bytes: usize,
+    /// Frames sent by users to the platform.
+    pub user_msgs: usize,
+    /// Bytes in those frames.
+    pub user_bytes: usize,
+}
+
+impl Telemetry {
+    /// Total frames in both directions.
+    pub fn total_msgs(&self) -> usize {
+        self.platform_msgs + self.user_msgs
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.platform_bytes + self.user_bytes
+    }
+}
+
+/// Outcome of a runtime execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeOutcome {
+    /// Final strategy profile (a Nash equilibrium on normal termination).
+    pub profile: Profile,
+    /// Decision slots elapsed.
+    pub slots: usize,
+    /// Individual updates applied.
+    pub updates: usize,
+    /// Whether the run terminated with an empty request set (equilibrium)
+    /// rather than the slot cap.
+    pub converged: bool,
+    /// Communication counters (identical between the sync and threaded
+    /// runtimes for the same seed).
+    pub telemetry: Telemetry,
+}
+
+/// Derives the agent-local seed for its initial random route choice.
+pub fn agent_seed(seed: u64, user: UserId) -> u64 {
+    seed ^ (u64::from(user.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+}
+
+/// Builds the agents with their random initial decisions (Alg. 1 lines 1–4).
+pub fn spawn_agents(game: &Game, seed: u64) -> Vec<UserAgent> {
+    game.users()
+        .iter()
+        .map(|u| {
+            let mut rng = StdRng::seed_from_u64(agent_seed(seed, u.id));
+            let initial = RouteId::from_index(rng.random_range(0..u.routes.len()));
+            UserAgent::new(
+                u.id,
+                u.prefs,
+                &u.routes,
+                game.params().phi,
+                game.params().theta,
+                initial,
+            )
+        })
+        .collect()
+}
+
+/// Sends a platform message through the codec (encode + decode), counting
+/// frames/bytes in both directions. Panics only on codec bugs — the codec is
+/// total on well-formed messages.
+fn deliver_to_agent(
+    agent: &mut UserAgent,
+    msg: &PlatformMsg,
+    telemetry: &mut Telemetry,
+) -> Option<UserMsg> {
+    let frame = msg.encode();
+    telemetry.platform_msgs += 1;
+    telemetry.platform_bytes += frame.len();
+    let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
+    agent.handle(decoded).map(|reply| {
+        let reply_frame = reply.encode();
+        telemetry.user_msgs += 1;
+        telemetry.user_bytes += reply_frame.len();
+        UserMsg::decode(reply_frame).expect("self-encoded frame decodes")
+    })
+}
+
+/// Runs the full protocol to termination on a single thread.
+pub fn run_sync(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+) -> RuntimeOutcome {
+    let mut agents = spawn_agents(game, seed);
+    let mut telemetry = Telemetry::default();
+    // Alg. 2 line 2: receive initial decisions.
+    let initial: Vec<RouteId> = agents
+        .iter()
+        .map(|a| {
+            let frame = a.initial_message().encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            match UserMsg::decode(frame).unwrap() {
+                UserMsg::Initial { route, .. } => route,
+                other => panic!("unexpected initial message {other:?}"),
+            }
+        })
+        .collect();
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    // Alg. 2 line 4: send Init.
+    for agent in agents.iter_mut() {
+        let msg = platform.init_msg_for(agent.id);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry);
+        debug_assert!(reply.is_none());
+    }
+    let mut converged = false;
+    while platform.slots < max_slots {
+        // Slot: refresh counts, collect one reply per agent.
+        let mut requests = Vec::new();
+        let mut requesters = Vec::new();
+        for agent in agents.iter_mut() {
+            let msg = platform.counts_msg_for(agent.id);
+            let reply =
+                deliver_to_agent(agent, &msg, &mut telemetry).expect("counts always answered");
+            if let Some(req) = PlatformState::to_request(&reply) {
+                requesters.push(agent.id);
+                requests.push(req);
+            }
+        }
+        if requests.is_empty() {
+            converged = true;
+            break;
+        }
+        let granted = platform.select(&requests);
+        let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
+        for &user in &requesters {
+            let verdict = if granted_users.contains(&user) {
+                PlatformMsg::Grant
+            } else {
+                PlatformMsg::Deny
+            };
+            let agent = &mut agents[user.index()];
+            if let Some(UserMsg::Updated { user, route }) =
+                deliver_to_agent(agent, &verdict, &mut telemetry)
+            {
+                platform.apply_update(user, route);
+            }
+        }
+    }
+    // Alg. 2 line 12: terminate everyone.
+    for agent in agents.iter_mut() {
+        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry);
+        debug_assert!(reply.is_none());
+    }
+    // Cross-check: the agents' local choices agree with the platform.
+    for agent in &agents {
+        debug_assert_eq!(agent.current, platform.profile().choice(agent.id));
+    }
+    RuntimeOutcome {
+        slots: platform.slots,
+        updates: platform.updates,
+        profile: platform.into_profile(),
+        converged,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcs_core::examples::fig1_instance;
+    use vcs_core::response::is_nash;
+
+    #[test]
+    fn sync_runtime_reaches_nash_fig1() {
+        let game = fig1_instance();
+        for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
+            for seed in 0..10u64 {
+                let out = run_sync(&game, scheduler, seed, 10_000);
+                assert!(out.converged);
+                assert!(is_nash(&game, &out.profile), "seed {seed} not Nash");
+                // Fig. 1 has a unique equilibrium.
+                assert_eq!(
+                    out.profile.choices(),
+                    &[RouteId(0), RouteId(0), RouteId(0)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let game = fig1_instance();
+        let a = run_sync(&game, SchedulerKind::Puu, 3, 10_000);
+        let b = run_sync(&game, SchedulerKind::Puu, 3, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agent_seeds_differ_per_user() {
+        assert_ne!(agent_seed(1, UserId(0)), agent_seed(1, UserId(1)));
+        assert_ne!(agent_seed(1, UserId(0)), agent_seed(2, UserId(0)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Multi-threaded runtime: one OS thread per user agent plus the platform on
+//! the calling thread, exchanging **encoded byte frames** over crossbeam
+//! channels — the in-process analogue of the networked deployment the paper
+//! sketches (each user's smartphone runs Alg. 1, the platform runs Alg. 2).
+//!
+//! The protocol is slot-synchronous: the platform broadcasts `Counts`, waits
+//! for exactly one reply per agent, grants/denies, and waits for the granted
+//! agents' confirmations. Because replies are keyed by user id, thread
+//! scheduling cannot change the outcome — the run is bit-identical to
+//! [`crate::sync_runtime::run_sync`] with the same seed (tested in the
+//! workspace integration tests).
+
+use crate::agent::UserAgent;
+use crate::platform::{PlatformState, SchedulerKind};
+use crate::protocol::{PlatformMsg, UserMsg};
+use crate::sync_runtime::{spawn_agents, RuntimeOutcome, Telemetry};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::Game;
+
+/// Per-agent mailbox pair: platform keeps the senders, agents the receivers.
+struct AgentLink {
+    to_agent: Sender<Bytes>,
+    // Agents send (user, frame) to a shared platform inbox.
+}
+
+/// Runs the agent event loop on its own thread until `Terminate`.
+fn agent_thread(
+    mut agent: UserAgent,
+    inbox: Receiver<Bytes>,
+    outbox: Sender<(UserId, Bytes)>,
+    trace: Arc<Mutex<Vec<(UserId, &'static str)>>>,
+) {
+    // Announce the initial decision (Alg. 1 line 4).
+    outbox
+        .send((agent.id, agent.initial_message().encode()))
+        .expect("platform inbox open");
+    while let Ok(frame) = inbox.recv() {
+        let msg = PlatformMsg::decode(frame).expect("well-formed platform frame");
+        let terminate = matches!(msg, PlatformMsg::Terminate);
+        if let Some(reply) = agent.handle(msg) {
+            let kind = match reply {
+                UserMsg::Request { .. } => "request",
+                UserMsg::NoRequest { .. } => "no-request",
+                UserMsg::Updated { .. } => "updated",
+                UserMsg::Initial { .. } => "initial",
+            };
+            trace.lock().push((agent.id, kind));
+            outbox.send((agent.id, reply.encode())).expect("platform inbox open");
+        }
+        if terminate {
+            break;
+        }
+    }
+}
+
+/// Runs the full protocol with one thread per user agent.
+///
+/// `seed` drives the same initial decisions and scheduler draws as
+/// [`run_sync`](crate::sync_runtime::run_sync); the outcome is identical.
+pub fn run_threaded(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+) -> RuntimeOutcome {
+    let m = game.user_count();
+    let agents = spawn_agents(game, seed);
+    let mut telemetry = Telemetry::default();
+    let (to_platform, platform_inbox) = unbounded::<(UserId, Bytes)>();
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let mut links: Vec<AgentLink> = Vec::with_capacity(m);
+    let mut handles = Vec::with_capacity(m);
+    for agent in agents {
+        let (tx, rx) = unbounded::<Bytes>();
+        links.push(AgentLink { to_agent: tx });
+        let outbox = to_platform.clone();
+        let trace = Arc::clone(&trace);
+        handles.push(std::thread::spawn(move || agent_thread(agent, rx, outbox, trace)));
+    }
+    drop(to_platform);
+
+    // Collect exactly one frame per agent, keyed by user id, counting bytes.
+    let collect_round = |inbox: &Receiver<(UserId, Bytes)>,
+                         expect: usize,
+                         telemetry: &mut Telemetry|
+     -> Vec<(UserId, UserMsg)> {
+        let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
+        for _ in 0..expect {
+            let (user, frame) = inbox.recv().expect("agents alive");
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            let msg = UserMsg::decode(frame).expect("well-formed user frame");
+            out.push((user, msg));
+        }
+        out.sort_by_key(|&(user, _)| user);
+        out
+    };
+    // Send a platform frame, counting it.
+    let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
+        telemetry.platform_msgs += 1;
+        telemetry.platform_bytes += frame.len();
+        link.to_agent.send(frame).expect("agent alive");
+    };
+
+    // Alg. 2 line 2: initial decisions.
+    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
+    let mut initial = vec![RouteId(0); m];
+    for (user, msg) in initial_msgs {
+        match msg {
+            UserMsg::Initial { route, .. } => initial[user.index()] = route,
+            other => panic!("expected Initial, got {other:?}"),
+        }
+    }
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    for (i, link) in links.iter().enumerate() {
+        let msg = platform.init_msg_for(UserId::from_index(i));
+        send_counted(link, msg.encode(), &mut telemetry);
+    }
+
+    let mut converged = false;
+    while platform.slots < max_slots {
+        for (i, link) in links.iter().enumerate() {
+            let msg = platform.counts_msg_for(UserId::from_index(i));
+            send_counted(link, msg.encode(), &mut telemetry);
+        }
+        let replies = collect_round(&platform_inbox, m, &mut telemetry);
+        let mut requests = Vec::new();
+        let mut requesters = Vec::new();
+        for (user, msg) in &replies {
+            if let Some(req) = PlatformState::to_request(msg) {
+                requesters.push(*user);
+                requests.push(req);
+            }
+        }
+        if requests.is_empty() {
+            converged = true;
+            break;
+        }
+        let granted = platform.select(&requests);
+        let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
+        for &user in &requesters {
+            let verdict = if granted_users.contains(&user) {
+                PlatformMsg::Grant
+            } else {
+                PlatformMsg::Deny
+            };
+            send_counted(&links[user.index()], verdict.encode(), &mut telemetry);
+        }
+        let confirmations = collect_round(&platform_inbox, granted_users.len(), &mut telemetry);
+        for (_, msg) in confirmations {
+            match msg {
+                UserMsg::Updated { user, route } => platform.apply_update(user, route),
+                other => panic!("expected Updated, got {other:?}"),
+            }
+        }
+    }
+    for link in &links {
+        send_counted(link, PlatformMsg::Terminate.encode(), &mut telemetry);
+    }
+    for handle in handles {
+        handle.join().expect("agent thread panicked");
+    }
+    RuntimeOutcome {
+        slots: platform.slots,
+        updates: platform.updates,
+        profile: platform.into_profile(),
+        converged,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync_runtime::run_sync;
+    use vcs_core::examples::fig1_instance;
+    use vcs_core::response::is_nash;
+
+    #[test]
+    fn threaded_reaches_nash() {
+        let game = fig1_instance();
+        let out = run_threaded(&game, SchedulerKind::Puu, 11, 10_000);
+        assert!(out.converged);
+        assert!(is_nash(&game, &out.profile));
+    }
+
+    #[test]
+    fn threaded_matches_sync_bit_for_bit() {
+        let game = fig1_instance();
+        for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
+            for seed in 0..6u64 {
+                let sync = run_sync(&game, scheduler, seed, 10_000);
+                let threaded = run_threaded(&game, scheduler, seed, 10_000);
+                assert_eq!(sync, threaded, "divergence at seed {seed}");
+            }
+        }
+    }
+}

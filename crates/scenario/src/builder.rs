@@ -1,0 +1,356 @@
+//! Scenario construction: from a dataset to a playable [`Game`] instance.
+//!
+//! The expensive substrate work — generating the city, synthesizing traces,
+//! extracting OD pairs and computing alternative routes — is done **once per
+//! dataset** in a [`UserPool`]. Individual replicates then *instantiate*
+//! cheap game instances from the pool: sample users, place tasks, draw
+//! preference weights, and test task-route coverage geometrically. This keeps
+//! 500-replicate Monte-Carlo sweeps tractable while preserving the paper's
+//! pipeline (traces → OD → navigation routes → game).
+
+use crate::dataset::Dataset;
+use crate::geometry::{point_polyline_distance, point_segment_distance};
+use crate::params::ScenarioParams;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs, WeightBounds};
+use vcs_roadnet::{recommend_routes, RecommendConfig, RecommendedRoute, RoadGraph};
+use vcs_traces::{extract_all, generate_traces, OdPair};
+
+/// A pool member: one trace-derived commuter with its recommended routes.
+#[derive(Debug, Clone)]
+pub struct PoolUser {
+    /// The commuter's origin–destination pair.
+    pub od: OdPair,
+    /// Up to five recommended alternatives (shortest first), with geometry.
+    pub routes: Vec<RecommendedRoute>,
+    /// Cached polyline geometry of each route.
+    pub geometries: Vec<Vec<(f64, f64)>>,
+}
+
+/// The reusable per-dataset substrate product.
+#[derive(Debug, Clone)]
+pub struct UserPool {
+    /// The synthetic city road network.
+    pub graph: RoadGraph,
+    /// The dataset this pool models.
+    pub dataset: Dataset,
+    /// All usable commuters extracted from the synthetic traces.
+    pub users: Vec<PoolUser>,
+}
+
+impl UserPool {
+    /// Builds the pool: city → traces → OD pairs → route recommendations.
+    ///
+    /// Deterministic in `(dataset, seed)`. Commuters with fewer than one
+    /// recommended route are dropped (unreachable destinations cannot occur
+    /// in the strongly connected synthetic cities, but the guard stays).
+    pub fn build(dataset: Dataset, seed: u64) -> Self {
+        let graph = dataset.city_config(seed).generate();
+        let traces = generate_traces(&graph, &dataset.trace_config(seed.wrapping_add(1)));
+        let ods = extract_all(&graph, &traces);
+        let rec_cfg = RecommendConfig::default();
+        let users = ods
+            .into_iter()
+            .filter_map(|od| {
+                let routes = recommend_routes(&graph, od.origin, od.destination, &rec_cfg);
+                if routes.is_empty() {
+                    return None;
+                }
+                let geometries =
+                    routes.iter().map(|r| r.path.geometry(&graph, od.origin)).collect();
+                Some(PoolUser { od, routes, geometries })
+            })
+            .collect();
+        Self { graph, dataset, users }
+    }
+
+    /// Number of usable commuters.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Instantiates a game replicate. See [`ScenarioConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool holds fewer commuters than `config.n_users`.
+    pub fn instantiate(&self, config: &ScenarioConfig) -> Game {
+        assert!(
+            config.n_users <= self.len(),
+            "pool has {} commuters but {} users requested",
+            self.len(),
+            config.n_users
+        );
+        let params = &config.params;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // ---- 1. Sample the commuters participating in this replicate.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        // Partial Fisher–Yates: we only need the first n_users entries.
+        for i in 0..config.n_users {
+            let j = rng.random_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(config.n_users);
+        // ---- 2. Place the tasks along random street segments.
+        let tasks: Vec<Task> = (0..config.n_tasks)
+            .map(|k| {
+                let edge = &self.graph.edges()[rng.random_range(0..self.graph.edge_count())];
+                let a = self.graph.node(edge.from).pos;
+                let b = self.graph.node(edge.to).pos;
+                let t = rng.random_range(0.0..1.0);
+                let pos = (a.0 + t * (b.0 - a.0), a.1 + t * (b.1 - a.1));
+                let reward = rng.random_range(params.reward_range.0..=params.reward_range.1);
+                let mu = rng.random_range(params.mu_range.0..=params.mu_range.1);
+                Task::at(TaskId::from_index(k), reward, mu, pos)
+            })
+            .collect();
+        // ---- 3. Build the users: route subsets, coverage, preferences.
+        let users: Vec<User> = indices
+            .iter()
+            .enumerate()
+            .map(|(ui, &pool_idx)| {
+                let pool_user = &self.users[pool_idx];
+                // Table 2: 1–5 routes recommended to a user.
+                let available = pool_user.routes.len();
+                let n_routes = rng.random_range(1..=params.max_routes.min(available).max(1));
+                let routes: Vec<Route> = (0..n_routes)
+                    .map(|ri| {
+                        let rec = &pool_user.routes[ri];
+                        let geom = &pool_user.geometries[ri];
+                        let covered: Vec<TaskId> = tasks
+                            .iter()
+                            .filter(|task| {
+                                let loc = task.location.expect("scenario tasks have locations");
+                                point_polyline_distance(loc, geom) <= params.capture_radius
+                            })
+                            .map(|task| task.id)
+                            .collect();
+                        Route::new(
+                            RouteId::from_index(ri),
+                            covered,
+                            rec.detour * params.detour_scale,
+                            rec.congestion * params.congestion_scale,
+                        )
+                        .with_geometry(geom.clone())
+                    })
+                    .collect();
+                let prefs = match params.fixed_prefs {
+                    Some((alpha, beta, gamma)) => UserPrefs::new(alpha, beta, gamma),
+                    None => {
+                        let (lo, hi) = params.weight_range;
+                        UserPrefs::new(
+                            rng.random_range(lo..=hi),
+                            rng.random_range(lo..=hi),
+                            rng.random_range(lo..=hi),
+                        )
+                    }
+                };
+                User::new(UserId::from_index(ui), prefs, routes)
+            })
+            .collect();
+        let bounds = WeightBounds {
+            e_min: params.weight_range.0 - 1e-9,
+            e_max: params.weight_range.1 + 1e-9,
+        };
+        Game::new(tasks, users, PlatformParams::new(params.phi, params.theta), bounds)
+            .expect("scenario construction yields a valid game")
+    }
+
+    /// Distance from a task location to the nearest point of the street
+    /// network (diagnostic; should be ~0 for generated tasks).
+    pub fn distance_to_network(&self, pos: (f64, f64)) -> f64 {
+        self.graph
+            .edges()
+            .iter()
+            .map(|e| {
+                point_segment_distance(
+                    pos,
+                    self.graph.node(e.from).pos,
+                    self.graph.node(e.to).pos,
+                )
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Configuration of a single game replicate drawn from a [`UserPool`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of participating users `|U|`.
+    pub n_users: usize,
+    /// Number of tasks `|L|`.
+    pub n_tasks: usize,
+    /// Replicate seed (controls sampling, placement and weights).
+    pub seed: u64,
+    /// Parameter ranges (Table 2 defaults).
+    pub params: ScenarioParams,
+}
+
+/// Derives a replicate seed from a base seed, an experiment tag and a
+/// replicate index (splitmix64 finalizer, so rayon-parallel replication is
+/// order-independent).
+pub fn replicate_seed(base: u64, experiment: u64, replicate: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(experiment.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(replicate.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> UserPool {
+        UserPool::build(Dataset::Shanghai, 77)
+    }
+
+    #[test]
+    fn pool_builds_usable_commuters() {
+        let pool = small_pool();
+        assert!(pool.len() >= 150, "pool too small: {}", pool.len());
+        for u in &pool.users {
+            assert!(!u.routes.is_empty() && u.routes.len() <= 5);
+            assert_eq!(u.routes[0].detour, 0.0, "first route is the shortest");
+        }
+    }
+
+    #[test]
+    fn instantiate_produces_valid_game() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 20,
+            n_tasks: 40,
+            seed: 5,
+            params: ScenarioParams::default(),
+        };
+        let game = pool.instantiate(&cfg);
+        assert_eq!(game.user_count(), 20);
+        assert_eq!(game.task_count(), 40);
+        for user in game.users() {
+            assert!(!user.routes.is_empty() && user.routes.len() <= 5);
+            let p = user.prefs;
+            for w in [p.alpha, p.beta, p.gamma] {
+                assert!((0.1..=0.9).contains(&w));
+            }
+        }
+        for task in game.tasks() {
+            assert!((10.0..=20.0).contains(&task.base_reward));
+            assert!((0.0..=1.0).contains(&task.increment));
+        }
+    }
+
+    #[test]
+    fn instantiation_deterministic_per_seed() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 10,
+            n_tasks: 20,
+            seed: 42,
+            params: ScenarioParams::default(),
+        };
+        assert_eq!(pool.instantiate(&cfg), pool.instantiate(&cfg));
+        let other = ScenarioConfig { seed: 43, ..cfg };
+        assert_ne!(pool.instantiate(&cfg), pool.instantiate(&other));
+    }
+
+    #[test]
+    fn routes_cover_nearby_tasks_only() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 15,
+            n_tasks: 50,
+            seed: 3,
+            params: ScenarioParams::default(),
+        };
+        let game = pool.instantiate(&cfg);
+        for user in game.users() {
+            for route in &user.routes {
+                let geom = route.geometry.as_ref().expect("scenario routes carry geometry");
+                for &tid in &route.tasks {
+                    let loc = game.task(tid).location.unwrap();
+                    let d = point_polyline_distance(loc, geom);
+                    assert!(d <= cfg.params.capture_radius + 1e-9, "task {tid} at {d} km");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_tasks_get_covered() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 30,
+            n_tasks: 60,
+            seed: 8,
+            params: ScenarioParams::default(),
+        };
+        let game = pool.instantiate(&cfg);
+        let covered: usize = game
+            .users()
+            .iter()
+            .flat_map(|u| u.routes.iter())
+            .map(|r| r.task_count())
+            .sum();
+        assert!(covered > 10, "routes cover almost no tasks ({covered} task slots)");
+    }
+
+    #[test]
+    fn fixed_prefs_applied_to_all_users() {
+        let pool = small_pool();
+        let params =
+            ScenarioParams { fixed_prefs: Some((0.3, 0.7, 0.2)), ..ScenarioParams::default() };
+        let cfg = ScenarioConfig { n_users: 5, n_tasks: 10, seed: 1, params };
+        let game = pool.instantiate(&cfg);
+        for user in game.users() {
+            assert_eq!((user.prefs.alpha, user.prefs.beta, user.prefs.gamma), (0.3, 0.7, 0.2));
+        }
+    }
+
+    #[test]
+    fn tasks_lie_on_the_network() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 5,
+            n_tasks: 30,
+            seed: 2,
+            params: ScenarioParams::default(),
+        };
+        let game = pool.instantiate(&cfg);
+        for task in game.tasks() {
+            let d = pool.distance_to_network(task.location.unwrap());
+            assert!(d < 1e-6, "task off-network by {d} km");
+        }
+    }
+
+    #[test]
+    fn replicate_seed_spreads() {
+        let a = replicate_seed(1, 2, 3);
+        let b = replicate_seed(1, 2, 4);
+        let c = replicate_seed(1, 3, 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "commuters")]
+    fn oversubscribed_pool_panics() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: pool.len() + 1,
+            n_tasks: 5,
+            seed: 0,
+            params: ScenarioParams::default(),
+        };
+        let _ = pool.instantiate(&cfg);
+    }
+}

@@ -1,0 +1,89 @@
+//! The three evaluation datasets and their synthetic analogues.
+
+use serde::{Deserialize, Serialize};
+use vcs_roadnet::{CityConfig, CityKind};
+use vcs_traces::{CityProfile, TraceGenConfig};
+
+/// The paper's three trace-based datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Shanghai taxi traces [32]: dense downtown grid, 200 selected traces.
+    Shanghai,
+    /// Roma taxi traces [1]: radial historic centre, 150 selected traces.
+    Roma,
+    /// EPFL/San-Francisco cab traces [21]: peninsular corridor, 200 traces.
+    Epfl,
+}
+
+impl Dataset {
+    /// All three datasets, in the paper's presentation order.
+    pub const ALL: [Dataset; 3] = [Dataset::Shanghai, Dataset::Roma, Dataset::Epfl];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Shanghai => "Shanghai",
+            Dataset::Roma => "Roma",
+            Dataset::Epfl => "Epfl",
+        }
+    }
+
+    /// The synthetic city standing in for this dataset's road network.
+    pub fn city_config(self, seed: u64) -> CityConfig {
+        match self {
+            Dataset::Shanghai => {
+                CityConfig { kind: CityKind::Grid { nx: 11, ny: 11, spacing: 1.0 }, seed }
+            }
+            Dataset::Roma => CityConfig {
+                kind: CityKind::Radial { rings: 5, spokes: 14, ring_spacing: 0.9 },
+                seed,
+            },
+            Dataset::Epfl => CityConfig {
+                kind: CityKind::Irregular { nx: 14, ny: 7, spacing: 1.0, removal: 0.15 },
+                seed,
+            },
+        }
+    }
+
+    /// The demand profile of the synthetic trace generator.
+    pub fn trace_profile(self) -> CityProfile {
+        match self {
+            Dataset::Shanghai => CityProfile::Shanghai,
+            Dataset::Roma => CityProfile::Roma,
+            Dataset::Epfl => CityProfile::Epfl,
+        }
+    }
+
+    /// Trace-generator configuration mirroring the paper's selection sizes.
+    pub fn trace_config(self, seed: u64) -> TraceGenConfig {
+        TraceGenConfig::paper_defaults(self.trace_profile(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Dataset::Shanghai.name(), "Shanghai");
+        assert_eq!(Dataset::Roma.name(), "Roma");
+        assert_eq!(Dataset::Epfl.name(), "Epfl");
+    }
+
+    #[test]
+    fn trace_counts_match_paper() {
+        assert_eq!(Dataset::Shanghai.trace_config(0).n_traces, 200);
+        assert_eq!(Dataset::Roma.trace_config(0).n_traces, 150);
+        assert_eq!(Dataset::Epfl.trace_config(0).n_traces, 200);
+    }
+
+    #[test]
+    fn cities_generate_connected_networks() {
+        for ds in Dataset::ALL {
+            let g = ds.city_config(1).generate();
+            assert!(g.is_strongly_connected(), "{} city disconnected", ds.name());
+            assert!(g.node_count() >= 60, "{} city too small", ds.name());
+        }
+    }
+}

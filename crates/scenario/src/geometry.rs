@@ -1,0 +1,62 @@
+//! Small planar-geometry helpers for task-route coverage tests.
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)
+}
+
+/// Distance from point `p` to the segment `a`–`b`.
+pub fn point_segment_distance(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let ab = (b.0 - a.0, b.1 - a.1);
+    let ap = (p.0 - a.0, p.1 - a.1);
+    let len2 = ab.0 * ab.0 + ab.1 * ab.1;
+    if len2 <= f64::EPSILON {
+        return dist2(p, a).sqrt();
+    }
+    let t = ((ap.0 * ab.0 + ap.1 * ab.1) / len2).clamp(0.0, 1.0);
+    let proj = (a.0 + t * ab.0, a.1 + t * ab.1);
+    dist2(p, proj).sqrt()
+}
+
+/// Distance from point `p` to a polyline; `f64::INFINITY` for polylines with
+/// fewer than two vertices.
+pub fn point_polyline_distance(p: (f64, f64), polyline: &[(f64, f64)]) -> f64 {
+    polyline
+        .windows(2)
+        .map(|w| point_segment_distance(p, w[0], w[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_distance_interior_projection() {
+        let d = point_segment_distance((1.0, 1.0), (0.0, 0.0), (2.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_distance_clamps_to_endpoints() {
+        let d = point_segment_distance((-3.0, 4.0), (0.0, 0.0), (2.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+        let d2 = point_segment_distance((5.0, 4.0), (0.0, 0.0), (2.0, 0.0));
+        assert!((d2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_is_point_distance() {
+        let d = point_segment_distance((3.0, 4.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_takes_minimum() {
+        let poly = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)];
+        let d = point_polyline_distance((2.5, 1.0), &poly);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(point_polyline_distance((0.0, 0.0), &[(1.0, 1.0)]), f64::INFINITY);
+    }
+}

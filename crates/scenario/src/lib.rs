@@ -1,0 +1,20 @@
+//! # vcs-scenario — scenario construction
+//!
+//! Binds the substrates together: synthetic city ([`vcs_roadnet`]) →
+//! synthetic traces and OD extraction ([`vcs_traces`]) → navigation route
+//! recommendation → a playable [`vcs_core::Game`] with Table 2 parameters.
+//!
+//! The heavy substrate product is cached in a per-dataset [`UserPool`];
+//! replicates are instantiated cheaply from it (see [`UserPool::instantiate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dataset;
+pub mod geometry;
+pub mod params;
+
+pub use builder::{replicate_seed, PoolUser, ScenarioConfig, UserPool};
+pub use dataset::Dataset;
+pub use params::ScenarioParams;

@@ -1,0 +1,82 @@
+//! Simulation parameters (Table 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameter ranges and knobs of a scenario, defaulting to Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Range of the base task reward `a_k` (Table 2: 10–20).
+    pub reward_range: (f64, f64),
+    /// Range of the reward-increment weight `μ_k` (Table 2: 0–1).
+    pub mu_range: (f64, f64),
+    /// Range of the user weights `α_i, β_i, γ_i` (Table 2: 0.1–0.9).
+    pub weight_range: (f64, f64),
+    /// Platform detour weight `φ` (Table 2 range 0.1–0.8; default midpoint).
+    pub phi: f64,
+    /// Platform congestion weight `θ` (Table 2 range 0.1–0.8; default midpoint).
+    pub theta: f64,
+    /// Maximum recommended routes per user (Table 2: 1–5). Each user draws a
+    /// route-set size uniformly from `1..=max_routes`.
+    pub max_routes: usize,
+    /// Capture radius in km: a route covers a task whose location lies within
+    /// this distance of the route polyline.
+    pub capture_radius: f64,
+    /// Unit scale applied to the raw detour distance (km) when building the
+    /// game's `h(r)`. Calibrated so the Table 2 platform/user weights produce
+    /// route costs of the same magnitude as one task's reward share — the
+    /// regime the paper's Fig. 12 operates in (detour levels ≈ 8–13).
+    pub detour_scale: f64,
+    /// Unit scale applied to the raw mean congestion factor (`[0, 1]`) when
+    /// building the game's `c(r)`; same calibration rationale (congestion
+    /// levels ≈ 8–13 in Fig. 12).
+    pub congestion_scale: f64,
+    /// Fixed preference override: when set, every user gets exactly these
+    /// `(α, β, γ)` instead of sampled ones (used by Table 5 for one user).
+    pub fixed_prefs: Option<(f64, f64, f64)>,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        Self {
+            reward_range: (10.0, 20.0),
+            mu_range: (0.0, 1.0),
+            weight_range: (0.1, 0.9),
+            phi: 0.45,
+            theta: 0.45,
+            max_routes: 5,
+            capture_radius: 0.2,
+            detour_scale: 4.0,
+            congestion_scale: 25.0,
+            fixed_prefs: None,
+        }
+    }
+}
+
+impl ScenarioParams {
+    /// Table 2 defaults with explicit platform weights.
+    pub fn with_platform(phi: f64, theta: f64) -> Self {
+        Self { phi, theta, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let p = ScenarioParams::default();
+        assert_eq!(p.reward_range, (10.0, 20.0));
+        assert_eq!(p.mu_range, (0.0, 1.0));
+        assert_eq!(p.weight_range, (0.1, 0.9));
+        assert_eq!(p.max_routes, 5);
+        assert!(p.phi > 0.0 && p.phi < 1.0);
+    }
+
+    #[test]
+    fn with_platform_overrides_weights() {
+        let p = ScenarioParams::with_platform(0.2, 0.7);
+        assert_eq!((p.phi, p.theta), (0.2, 0.7));
+        assert_eq!(p.max_routes, 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal CSV trace codec.
+//!
+//! The CRAWDAD dumps the paper uses are large CSV-ish text files. This module
+//! provides a small, dependency-free reader/writer for the normalized format
+//!
+//! ```text
+//! vehicle_id,t_seconds,x_km,y_km
+//! 0,0.0,1.25,3.50
+//! 0,15.0,1.40,3.52
+//! 1,0.0,7.00,2.10
+//! ```
+//!
+//! so that real trace dumps, once projected to the local km frame, can be fed
+//! into the same OD-extraction pipeline as the synthetic traces.
+
+use crate::model::{Trace, TracePoint};
+use std::fmt;
+
+/// Errors raised while parsing trace CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A line does not have exactly four comma-separated fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// Timestamps of one vehicle are not non-decreasing.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+        /// Vehicle whose trace regressed in time.
+        vehicle_id: u32,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 4 fields, found {found}")
+            }
+            CsvError::Parse { line, field } => write!(f, "line {line}: cannot parse {field}"),
+            CsvError::OutOfOrder { line, vehicle_id } => {
+                write!(f, "line {line}: vehicle {vehicle_id} timestamps out of order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses trace CSV text. A header line starting with `vehicle_id` is
+/// skipped; blank lines and `#` comments are ignored. Points of a vehicle
+/// must appear grouped and time-ordered (the natural dump order).
+pub fn parse_traces(text: &str) -> Result<Vec<Trace>, CsvError> {
+    let mut traces: Vec<Trace> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("vehicle_id") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CsvError::FieldCount { line: line_no, found: fields.len() });
+        }
+        let vehicle_id: u32 = fields[0]
+            .parse()
+            .map_err(|_| CsvError::Parse { line: line_no, field: "vehicle_id" })?;
+        let t: f64 =
+            fields[1].parse().map_err(|_| CsvError::Parse { line: line_no, field: "t" })?;
+        let x: f64 =
+            fields[2].parse().map_err(|_| CsvError::Parse { line: line_no, field: "x" })?;
+        let y: f64 =
+            fields[3].parse().map_err(|_| CsvError::Parse { line: line_no, field: "y" })?;
+        let point = TracePoint { t, pos: (x, y) };
+        match traces.last_mut() {
+            Some(last) if last.vehicle_id == vehicle_id => {
+                if last.points.last().is_some_and(|p| p.t > t) {
+                    return Err(CsvError::OutOfOrder { line: line_no, vehicle_id });
+                }
+                last.points.push(point);
+            }
+            _ => traces.push(Trace { vehicle_id, points: vec![point] }),
+        }
+    }
+    Ok(traces)
+}
+
+/// Serializes traces to the CSV format accepted by [`parse_traces`].
+pub fn write_traces(traces: &[Trace]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("vehicle_id,t_seconds,x_km,y_km\n");
+    for trace in traces {
+        for p in &trace.points {
+            // Infallible: writing to a String cannot fail.
+            let _ = writeln!(out, "{},{},{},{}", trace.vehicle_id, p.t, p.pos.0, p.pos.1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+vehicle_id,t_seconds,x_km,y_km
+# a comment
+0,0.0,1.0,2.0
+0,15.0,1.5,2.5
+
+1,3.0,9.0,9.0
+1,18.0,8.0,8.5
+";
+
+    #[test]
+    fn parse_groups_by_vehicle() {
+        let traces = parse_traces(SAMPLE).unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].vehicle_id, 0);
+        assert_eq!(traces[0].points.len(), 2);
+        assert_eq!(traces[1].points[1].pos, (8.0, 8.5));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let traces = parse_traces(SAMPLE).unwrap();
+        let text = write_traces(&traces);
+        let reparsed = parse_traces(&text).unwrap();
+        assert_eq!(traces, reparsed);
+    }
+
+    #[test]
+    fn field_count_error() {
+        let err = parse_traces("0,1.0,2.0").unwrap_err();
+        assert_eq!(err, CsvError::FieldCount { line: 1, found: 3 });
+    }
+
+    #[test]
+    fn parse_error_names_field() {
+        let err = parse_traces("0,abc,2.0,3.0").unwrap_err();
+        assert_eq!(err, CsvError::Parse { line: 1, field: "t" });
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let err = parse_traces("0,10.0,1.0,1.0\n0,5.0,2.0,2.0").unwrap_err();
+        assert_eq!(err, CsvError::OutOfOrder { line: 2, vehicle_id: 0 });
+    }
+
+    #[test]
+    fn same_vehicle_reappearing_starts_new_trace() {
+        // Interleaved dumps start a new trace block per appearance group.
+        let traces = parse_traces("0,0.0,1.0,1.0\n1,0.0,2.0,2.0\n0,30.0,3.0,3.0").unwrap();
+        assert_eq!(traces.len(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # vcs-traces — trace substrate
+//!
+//! Substitute for the CRAWDAD GPS datasets (Shanghai [32], Roma [1],
+//! EPFL [21]) the paper evaluates on. The game only consumes the
+//! origin–destination pairs extracted from the traces, so this crate:
+//!
+//! * generates seeded synthetic taxi trips with per-city spatial character
+//!   ([`synth`]: uniform Shanghai-like, centre-biased Roma-like,
+//!   corridor-biased EPFL-like demand);
+//! * extracts OD pairs by endpoint snapping ([`od`]), exactly the operation
+//!   the paper performs on real dumps;
+//! * parses/writes a normalized CSV trace format ([`csv`]) so projected real
+//!   dumps can be run through the identical pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod model;
+pub mod od;
+pub mod stats;
+pub mod synth;
+
+pub use csv::{parse_traces, write_traces, CsvError};
+pub use model::{Trace, TracePoint};
+pub use od::{extract_all, extract_od, snap_to_node, OdPair};
+pub use stats::{trace_stats, Distribution, TraceStats};
+pub use synth::{generate_traces, CityProfile, TraceGenConfig};

@@ -1,0 +1,100 @@
+//! Trace data model: timestamped GPS points grouped per vehicle.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPS sample of a vehicle trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Timestamp in seconds since the start of the observation window.
+    pub t: f64,
+    /// Planar position in the city's km coordinate frame.
+    pub pos: (f64, f64),
+}
+
+/// A vehicle trace: an ordered sequence of GPS samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Vehicle identifier within the dataset.
+    pub vehicle_id: u32,
+    /// Samples ordered by non-decreasing timestamp.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Creates a trace, asserting (in debug builds) temporal ordering.
+    pub fn new(vehicle_id: u32, points: Vec<TracePoint>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].t <= w[1].t),
+            "trace points must be time-ordered"
+        );
+        Self { vehicle_id, points }
+    }
+
+    /// First sample, or `None` for an empty trace.
+    pub fn first(&self) -> Option<&TracePoint> {
+        self.points.first()
+    }
+
+    /// Last sample, or `None` for an empty trace.
+    pub fn last(&self) -> Option<&TracePoint> {
+        self.points.last()
+    }
+
+    /// Duration covered by the trace in seconds (0 for < 2 points).
+    pub fn duration(&self) -> f64 {
+        match (self.first(), self.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Total polyline length of the trace in km.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (ax, ay) = w[0].pos;
+                let (bx, by) = w[1].pos;
+                ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            7,
+            vec![
+                TracePoint { t: 0.0, pos: (0.0, 0.0) },
+                TracePoint { t: 30.0, pos: (3.0, 4.0) },
+                TracePoint { t: 60.0, pos: (3.0, 4.0) },
+            ],
+        )
+    }
+
+    #[test]
+    fn endpoints_and_duration() {
+        let tr = trace();
+        assert_eq!(tr.first().unwrap().t, 0.0);
+        assert_eq!(tr.last().unwrap().t, 60.0);
+        assert_eq!(tr.duration(), 60.0);
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let tr = trace();
+        assert!((tr.length() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new(0, vec![]);
+        assert!(tr.first().is_none());
+        assert_eq!(tr.duration(), 0.0);
+        assert_eq!(tr.length(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Origin–destination extraction: the step the paper performs on the real
+//! traces ("we extract the origin and the destination from the traces").
+
+use crate::model::Trace;
+use serde::{Deserialize, Serialize};
+use vcs_roadnet::{NodeId, RoadGraph};
+
+/// An origin–destination pair snapped to road-network nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OdPair {
+    /// Origin node.
+    pub origin: NodeId,
+    /// Destination node.
+    pub destination: NodeId,
+}
+
+/// Snaps a planar position to the nearest graph node (linear scan; graphs are
+/// a few hundred nodes).
+pub fn snap_to_node(graph: &RoadGraph, pos: (f64, f64)) -> NodeId {
+    graph
+        .nodes()
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.pos.0 - pos.0).powi(2) + (a.pos.1 - pos.1).powi(2);
+            let db = (b.pos.0 - pos.0).powi(2) + (b.pos.1 - pos.1).powi(2);
+            da.total_cmp(&db)
+        })
+        .expect("graph has nodes")
+        .id
+}
+
+/// Extracts the OD pair of one trace, or `None` when the trace has fewer than
+/// two points or snaps to a single node (a parked vehicle).
+pub fn extract_od(graph: &RoadGraph, trace: &Trace) -> Option<OdPair> {
+    let first = trace.first()?;
+    let last = trace.last()?;
+    if trace.points.len() < 2 {
+        return None;
+    }
+    let origin = snap_to_node(graph, first.pos);
+    let destination = snap_to_node(graph, last.pos);
+    if origin == destination {
+        return None;
+    }
+    Some(OdPair { origin, destination })
+}
+
+/// Extracts OD pairs from a whole dataset, silently dropping degenerate
+/// traces (paper: a fixed number of usable traces is *selected*).
+pub fn extract_all(graph: &RoadGraph, traces: &[Trace]) -> Vec<OdPair> {
+    traces.iter().filter_map(|t| extract_od(graph, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TracePoint;
+    use crate::synth::{generate_traces, CityProfile, TraceGenConfig};
+    use vcs_roadnet::{CityConfig, CityKind};
+
+    fn city() -> RoadGraph {
+        CityConfig { kind: CityKind::Grid { nx: 6, ny: 6, spacing: 1.0 }, seed: 2 }.generate()
+    }
+
+    #[test]
+    fn snap_picks_nearest() {
+        let g = city();
+        let n0 = g.nodes()[14];
+        let snapped = snap_to_node(&g, (n0.pos.0 + 0.05, n0.pos.1 - 0.05));
+        assert_eq!(snapped, n0.id);
+    }
+
+    #[test]
+    fn extract_od_from_synthetic_traces() {
+        let g = city();
+        let cfg = TraceGenConfig {
+            profile: CityProfile::Shanghai,
+            n_traces: 25,
+            seed: 4,
+            gps_noise: 0.01,
+            sample_interval: 20.0,
+            min_trip_fraction: 0.3,
+        };
+        let traces = generate_traces(&g, &cfg);
+        let ods = extract_all(&g, &traces);
+        assert_eq!(ods.len(), 25, "all synthetic trips are usable");
+        for od in &ods {
+            assert_ne!(od.origin, od.destination);
+        }
+    }
+
+    #[test]
+    fn degenerate_traces_dropped() {
+        let g = city();
+        let parked = Trace::new(
+            0,
+            vec![
+                TracePoint { t: 0.0, pos: (0.0, 0.0) },
+                TracePoint { t: 10.0, pos: (0.01, 0.01) },
+            ],
+        );
+        let single = Trace::new(1, vec![TracePoint { t: 0.0, pos: (0.0, 0.0) }]);
+        let empty = Trace::new(2, vec![]);
+        assert!(extract_od(&g, &parked).is_none());
+        assert!(extract_od(&g, &single).is_none());
+        assert!(extract_od(&g, &empty).is_none());
+        assert!(extract_all(&g, &[parked, single, empty]).is_empty());
+    }
+}

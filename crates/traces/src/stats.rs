@@ -1,0 +1,193 @@
+//! Descriptive statistics of a trace dataset.
+//!
+//! The paper characterizes its datasets by counts and provenance; this module
+//! computes the quantities one would report about a (synthetic or real)
+//! dataset: trip counts, length/duration distributions and the spatial
+//! spread of origins — the numbers that make two datasets comparable.
+
+use crate::model::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median (lower-median convention for even sizes).
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarizes a sample; NaN-free inputs assumed.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { n: 0, min: f64::NAN, median: f64::NAN, mean: f64::NAN, max: f64::NAN };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        Self {
+            n,
+            min: sorted[0],
+            median: sorted[(n - 1) / 2],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Dataset-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of traces.
+    pub traces: usize,
+    /// Total GPS samples.
+    pub points: usize,
+    /// Trip polyline length distribution (km).
+    pub length_km: Distribution,
+    /// Trip duration distribution (seconds).
+    pub duration_s: Distribution,
+    /// Straight-line origin→destination distance distribution (km).
+    pub crow_distance_km: Distribution,
+    /// Mean origin position (centroid of trip starts).
+    pub origin_centroid: (f64, f64),
+    /// RMS spread of origins around their centroid (km) — small for
+    /// centre-biased demand (Roma-like), large for uniform demand.
+    pub origin_spread_km: f64,
+}
+
+/// Computes dataset statistics. Degenerate traces (< 2 points) are included
+/// in `traces`/`points` but excluded from the trip distributions.
+pub fn trace_stats(traces: &[Trace]) -> TraceStats {
+    let mut lengths = Vec::new();
+    let mut durations = Vec::new();
+    let mut crow = Vec::new();
+    let mut origins = Vec::new();
+    let mut points = 0usize;
+    for trace in traces {
+        points += trace.points.len();
+        let (Some(first), Some(last)) = (trace.first(), trace.last()) else { continue };
+        if trace.points.len() < 2 {
+            continue;
+        }
+        origins.push(first.pos);
+        lengths.push(trace.length());
+        durations.push(trace.duration());
+        crow.push(((first.pos.0 - last.pos.0).powi(2) + (first.pos.1 - last.pos.1).powi(2)).sqrt());
+    }
+    let centroid = if origins.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        let n = origins.len() as f64;
+        (
+            origins.iter().map(|p| p.0).sum::<f64>() / n,
+            origins.iter().map(|p| p.1).sum::<f64>() / n,
+        )
+    };
+    let spread = if origins.is_empty() {
+        f64::NAN
+    } else {
+        (origins
+            .iter()
+            .map(|p| (p.0 - centroid.0).powi(2) + (p.1 - centroid.1).powi(2))
+            .sum::<f64>()
+            / origins.len() as f64)
+            .sqrt()
+    };
+    TraceStats {
+        traces: traces.len(),
+        points,
+        length_km: Distribution::of(&lengths),
+        duration_s: Distribution::of(&durations),
+        crow_distance_km: Distribution::of(&crow),
+        origin_centroid: centroid,
+        origin_spread_km: spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TracePoint;
+    use crate::synth::{generate_traces, CityProfile, TraceGenConfig};
+    use vcs_roadnet::{CityConfig, CityKind};
+
+    #[test]
+    fn distribution_of_known_sample() {
+        let d = Distribution::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(d.n, 4);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 2.0);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert_eq!(d.max, 4.0);
+        assert!(Distribution::of(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn stats_on_synthetic_dataset() {
+        let g = CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed: 4 }
+            .generate();
+        let cfg = TraceGenConfig {
+            profile: CityProfile::Shanghai,
+            n_traces: 40,
+            seed: 2,
+            gps_noise: 0.01,
+            sample_interval: 20.0,
+            min_trip_fraction: 0.3,
+        };
+        let traces = generate_traces(&g, &cfg);
+        let stats = trace_stats(&traces);
+        assert_eq!(stats.traces, 40);
+        assert_eq!(stats.length_km.n, 40);
+        assert!(stats.points > 40 * 2);
+        // Trips drive streets, so polyline length ≥ crow distance.
+        assert!(stats.length_km.mean >= stats.crow_distance_km.mean - 0.1);
+        assert!(stats.duration_s.min > 0.0);
+        assert!(stats.origin_spread_km > 0.0);
+    }
+
+    #[test]
+    fn roma_demand_has_smaller_spread() {
+        let g = CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed: 4 }
+            .generate();
+        let make = |profile| {
+            let cfg = TraceGenConfig {
+                profile,
+                n_traces: 80,
+                seed: 3,
+                gps_noise: 0.01,
+                sample_interval: 20.0,
+                min_trip_fraction: 0.3,
+            };
+            trace_stats(&generate_traces(&g, &cfg))
+        };
+        let roma = make(CityProfile::Roma);
+        let shanghai = make(CityProfile::Shanghai);
+        assert!(roma.origin_spread_km < shanghai.origin_spread_km);
+    }
+
+    #[test]
+    fn degenerate_traces_excluded_from_distributions() {
+        let traces = vec![
+            Trace::new(0, vec![TracePoint { t: 0.0, pos: (0.0, 0.0) }]),
+            Trace::new(
+                1,
+                vec![
+                    TracePoint { t: 0.0, pos: (0.0, 0.0) },
+                    TracePoint { t: 60.0, pos: (3.0, 4.0) },
+                ],
+            ),
+        ];
+        let stats = trace_stats(&traces);
+        assert_eq!(stats.traces, 2);
+        assert_eq!(stats.points, 3);
+        assert_eq!(stats.length_km.n, 1);
+        assert!((stats.crow_distance_km.mean - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests of the trace CSV codec and the trace model.
+
+use proptest::prelude::*;
+use vcs_traces::{parse_traces, write_traces, Trace, TracePoint};
+
+fn arb_trace(vehicle_id: u32) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0.0f64..10_000.0, -50.0f64..50.0, -50.0f64..50.0), 1..20).prop_map(
+        move |mut raw| {
+            // Sort timestamps so the trace is well-formed.
+            raw.sort_by(|a, b| a.0.total_cmp(&b.0));
+            Trace::new(
+                vehicle_id,
+                raw.into_iter().map(|(t, x, y)| TracePoint { t, pos: (x, y) }).collect(),
+            )
+        },
+    )
+}
+
+fn arb_traces() -> impl Strategy<Value = Vec<Trace>> {
+    prop::collection::vec(any::<u32>(), 0..6).prop_flat_map(|ids| {
+        // Distinct consecutive vehicle ids so parsing groups identically.
+        let mut ids = ids;
+        ids.dedup();
+        ids.into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_trace(i as u32))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write → parse is the identity on well-formed trace sets.
+    #[test]
+    fn csv_roundtrip(traces in arb_traces()) {
+        let text = write_traces(&traces);
+        let parsed = parse_traces(&text).expect("self-written CSV parses");
+        prop_assert_eq!(parsed, traces);
+    }
+
+    /// The parser never panics on arbitrary input — it returns an error or a
+    /// well-formed trace set (timestamps non-decreasing per trace).
+    #[test]
+    fn parser_total_on_arbitrary_text(text in "\\PC{0,400}") {
+        if let Ok(traces) = parse_traces(&text) {
+            for trace in traces {
+                prop_assert!(trace.points.windows(2).all(|w| w[0].t <= w[1].t));
+            }
+        }
+    }
+
+    /// Trace length is non-negative and zero only for ≤ 1 distinct points.
+    #[test]
+    fn trace_length_nonnegative(trace in arb_trace(0)) {
+        prop_assert!(trace.length() >= 0.0);
+        prop_assert!(trace.duration() >= 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Walks through the paper's two illustrative examples (Fig. 1 and Fig. 2)
+//! with the actual library types, printing the same numbers the figures
+//! report.
+//!
+//! ```text
+//! cargo run --release --example illustrative
+//! ```
+
+use vcs::core::examples::{fig1_instance, fig1_profiles, fig2_instance, FIG2_ROWS, FIG_ALPHA};
+use vcs::core::ids::UserId;
+use vcs::prelude::*;
+
+fn main() {
+    fig1_walkthrough();
+    println!();
+    fig2_walkthrough();
+}
+
+fn fig1_walkthrough() {
+    println!("--- Fig. 1: why neither greed nor the centralized optimum suffices");
+    let game = fig1_instance();
+    let unscale = 1.0 / FIG_ALPHA;
+    for (name, choices) in [
+        ("maximum reward   ", fig1_profiles::MAXIMUM_REWARD),
+        ("distributed equil.", fig1_profiles::DISTRIBUTED_EQUILIBRIUM),
+        ("centralized optim.", fig1_profiles::CENTRALIZED_OPTIMAL),
+    ] {
+        let profile = Profile::new(&game, choices.to_vec());
+        let total = profile.total_profit(&game) * unscale;
+        let nash = is_nash(&game, &profile);
+        println!("  {name}: total ${total:>4.1}  equilibrium: {nash}");
+    }
+    // u3's deviation from the centralized optimum, exactly as the figure says.
+    let optimal = Profile::new(&game, fig1_profiles::CENTRALIZED_OPTIMAL.to_vec());
+    let response = best_route_set(&game, &optimal, UserId(2));
+    println!(
+        "  u3 deviates from the optimum for +${:.1} -> the optimum is not stable",
+        response.gain * unscale
+    );
+    // And the dynamics land exactly on the distributed equilibrium.
+    let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(1));
+    assert_eq!(out.profile.choices(), fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice());
+    println!("  DGRN converges to the distributed equilibrium in {} slots", out.slots);
+}
+
+fn fig2_walkthrough() {
+    println!("--- Fig. 2: the platform's knobs phi (detour) and theta (congestion)");
+    for (phi, theta) in FIG2_ROWS {
+        let game = fig2_instance(phi, theta);
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(2));
+        assert!(out.converged);
+        let p = &out.profile;
+        let route = |i: u32| p.choice(UserId(i)).0 + 1;
+        let selected = |i: u32| &game.user(UserId(i)).routes[p.choice(UserId(i)).index()];
+        let detour: f64 = (0..2).map(|i| selected(i).detour).sum();
+        let congestion: f64 = (0..2).map(|i| selected(i).congestion).sum();
+        println!(
+            "  phi={phi:<4} theta={theta:<4} -> u1:r{} u2:r{}  tasks={} detour={detour:.0} congestion={congestion:.0}",
+            route(0),
+            route(1),
+            p.covered_tasks(),
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # vcs — distributed game-theoretical route navigation for vehicular crowdsensing
+//!
+//! Umbrella crate of the ICPP '21 reproduction. Re-exports the workspace's
+//! public API so downstream users can depend on a single crate:
+//!
+//! * [`core`] — the multi-user route-navigation potential game (profits,
+//!   potential function, best response, Nash checks, theoretical bounds);
+//! * [`roadnet`] — road networks, k-shortest-path route recommendation,
+//!   synthetic cities;
+//! * [`traces`] — synthetic taxi traces and origin–destination extraction;
+//! * [`scenario`] — dataset presets and game-instance construction;
+//! * [`algorithms`] — DGRN / MUUN / BRUN / BUAU / BATS / CORN / RRN;
+//! * [`runtime`] — the distributed message-passing execution substrate;
+//! * [`metrics`] — coverage, fairness, reward measures and replication.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vcs::prelude::*;
+//!
+//! // Build a Shanghai-like scenario with 12 users and 25 tasks...
+//! let pool = UserPool::build(Dataset::Shanghai, 7);
+//! let game = pool.instantiate(&ScenarioConfig {
+//!     n_users: 12,
+//!     n_tasks: 25,
+//!     seed: 42,
+//!     params: ScenarioParams::default(),
+//! });
+//! // ...run the paper's distributed algorithm to a Nash equilibrium...
+//! let outcome = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(42));
+//! assert!(outcome.converged);
+//! assert!(is_nash(&game, &outcome.profile));
+//! // ...and inspect the allocation quality.
+//! let cov = coverage(&game, &outcome.profile);
+//! assert!((0.0..=1.0).contains(&cov));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vcs_algorithms as algorithms;
+pub use vcs_core as core;
+pub use vcs_metrics as metrics;
+pub use vcs_roadnet as roadnet;
+pub use vcs_runtime as runtime;
+pub use vcs_scenario as scenario;
+pub use vcs_traces as traces;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use vcs_algorithms::{
+        run_corn, run_distributed, run_rrn, CornOutcome, DistributedAlgorithm, RunConfig,
+        RunOutcome,
+    };
+    pub use vcs_core::response::is_nash;
+    pub use vcs_core::{
+        best_route_set, potential, Game, GameError, PlatformParams, Profile, Route, Task, User,
+        UserPrefs, WeightBounds,
+    };
+    pub use vcs_metrics::{
+        average_reward, coverage, jain_index, overlap_ratio, profile_jain_index, Summary,
+    };
+    pub use vcs_roadnet::{CityConfig, CityKind, NodeId, RoadGraph};
+    pub use vcs_runtime::{run_sync, run_threaded, SchedulerKind};
+    pub use vcs_scenario::{replicate_seed, Dataset, ScenarioConfig, ScenarioParams, UserPool};
+    pub use vcs_traces::{generate_traces, CityProfile, TraceGenConfig};
+}

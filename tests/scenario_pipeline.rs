@@ -1,0 +1,92 @@
+//! End-to-end pipeline tests: city → traces → CSV → OD → routes → game.
+
+use vcs::prelude::*;
+use vcs::roadnet::recommend_routes;
+use vcs::traces::{extract_all, parse_traces, write_traces};
+
+#[test]
+fn full_pipeline_through_csv_roundtrip() {
+    // Generate synthetic traces, dump them to the CSV format, re-parse, and
+    // confirm the OD pairs survive the round trip — the path a real CRAWDAD
+    // dump would take.
+    let dataset = Dataset::Shanghai;
+    let graph = dataset.city_config(3).generate();
+    let traces = generate_traces(&graph, &TraceGenConfig {
+        n_traces: 40,
+        ..TraceGenConfig::paper_defaults(dataset.trace_profile(), 3)
+    });
+    let csv = write_traces(&traces);
+    let reparsed = parse_traces(&csv).expect("self-written CSV parses");
+    let od_direct = extract_all(&graph, &traces);
+    let od_roundtrip = extract_all(&graph, &reparsed);
+    assert_eq!(od_direct, od_roundtrip);
+    assert_eq!(od_direct.len(), 40);
+}
+
+#[test]
+fn recommended_routes_feed_valid_games_on_all_datasets() {
+    for dataset in Dataset::ALL {
+        let pool = UserPool::build(dataset, 2);
+        assert!(pool.len() >= 100, "{}: pool too small ({})", dataset.name(), pool.len());
+        let game = pool.instantiate(&ScenarioConfig {
+            n_users: 30,
+            n_tasks: 50,
+            seed: 6,
+            params: ScenarioParams::default(),
+        });
+        // Structure: 1–5 routes per user, shortest first with zero detour.
+        for user in game.users() {
+            assert!((1..=5).contains(&user.routes.len()));
+            assert_eq!(user.routes[0].detour, 0.0);
+            for route in &user.routes {
+                assert!(route.detour >= 0.0);
+                assert!(route.congestion >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn route_recommendation_is_consistent_with_graph_shortest_paths() {
+    let dataset = Dataset::Epfl;
+    let graph = dataset.city_config(9).generate();
+    let traces = generate_traces(&graph, &dataset.trace_config(10));
+    let ods = extract_all(&graph, &traces);
+    let od = ods[0];
+    let routes = recommend_routes(&graph, od.origin, od.destination, &Default::default());
+    assert!(!routes.is_empty());
+    // The first recommendation is the shortest path: its detour is zero and
+    // every alternative is at least as long.
+    assert_eq!(routes[0].detour, 0.0);
+    for r in &routes {
+        assert!(r.path.length >= routes[0].path.length - 1e-9);
+        // Paths are simple and reach the destination.
+        assert!(!r.path.has_cycle(&graph, od.origin));
+        assert_eq!(r.path.destination(&graph, od.origin), od.destination);
+    }
+}
+
+#[test]
+fn scenario_replicates_are_independent_but_reproducible() {
+    let pool = UserPool::build(Dataset::Roma, 14);
+    let params = ScenarioParams::default();
+    let a1 = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 100, params });
+    let a2 = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 100, params });
+    let b = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 101, params });
+    assert_eq!(a1, a2, "same seed must reproduce the identical game");
+    assert_ne!(a1, b, "different seeds must vary the game");
+}
+
+#[test]
+fn replicate_seeds_are_unique_across_experiments() {
+    use std::collections::HashSet;
+    let mut seen = HashSet::new();
+    for experiment in 0..20u64 {
+        for rep in 0..50u64 {
+            assert!(
+                seen.insert(replicate_seed(1, experiment, rep)),
+                "seed collision at ({experiment}, {rep})"
+            );
+        }
+    }
+}
