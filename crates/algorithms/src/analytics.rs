@@ -36,7 +36,10 @@ pub struct ConvergenceSummary {
 /// the initial state).
 pub fn summarize(outcome: &RunOutcome) -> ConvergenceSummary {
     let trace = &outcome.slot_trace;
-    assert!(!trace.is_empty(), "slot trace always holds the initial state");
+    assert!(
+        !trace.is_empty(),
+        "slot trace always holds the initial state"
+    );
     let initial = trace[0].potential;
     let final_potential = trace[trace.len() - 1].potential;
     let gain = final_potential - initial;
@@ -55,7 +58,11 @@ pub fn summarize(outcome: &RunOutcome) -> ConvergenceSummary {
         initial_potential: initial,
         final_potential,
         potential_gain: gain,
-        mean_gain_per_slot: if outcome.slots == 0 { 0.0 } else { gain / outcome.slots as f64 },
+        mean_gain_per_slot: if outcome.slots == 0 {
+            0.0
+        } else {
+            gain / outcome.slots as f64
+        },
         max_slot_gain,
         slots_to_90_percent: slots_to_90,
     }
@@ -121,8 +128,11 @@ mod tests {
     fn ninety_percent_no_later_than_full_convergence() {
         let game = fig1_instance();
         for seed in 0..8u64 {
-            let out =
-                run_distributed(&game, DistributedAlgorithm::Muun, &RunConfig::with_seed(seed));
+            let out = run_distributed(
+                &game,
+                DistributedAlgorithm::Muun,
+                &RunConfig::with_seed(seed),
+            );
             let s = summarize(&out);
             assert!(s.slots_to_90_percent <= s.slots);
         }

@@ -7,12 +7,19 @@
 //! probability `exp(Δ/T)` under a geometric cooling schedule. Restarting from
 //! the best-response equilibrium would bias the comparison, so the walk
 //! starts from a random profile like the distributed dynamics do.
+//!
+//! Each proposal is evaluated through the incremental [`Engine`]: applying
+//! (and, on rejection, reverting) a move costs `O(|L_old| + |L_new|)` and the
+//! running total profit is read in O(1), instead of the former
+//! `O(M · route length)` full `Σ_i P_i` recomputation per proposal. The
+//! reported optimum is recomputed from scratch on the best profile found, so
+//! compensated-sum drift never leaks into the outcome.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
-use vcs_core::{Game, Profile};
+use vcs_core::{Engine, Game, Profile};
 
 /// Annealing schedule parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,7 +37,12 @@ pub struct AnnealConfig {
 impl AnnealConfig {
     /// A schedule that works well at the paper's scenario scales.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, iterations: 20_000, t0: 5.0, cooling: 0.9995 }
+        Self {
+            seed,
+            iterations: 20_000,
+            t0: 5.0,
+            cooling: 0.9995,
+        }
     }
 }
 
@@ -47,7 +59,10 @@ pub struct AnnealOutcome {
 
 /// Runs simulated annealing on the total-profit objective (Eq. 5).
 pub fn run_anneal(game: &Game, config: &AnnealConfig) -> AnnealOutcome {
-    assert!(config.cooling > 0.0 && config.cooling < 1.0, "cooling must lie in (0, 1)");
+    assert!(
+        config.cooling > 0.0 && config.cooling < 1.0,
+        "cooling must lie in (0, 1)"
+    );
     let m = game.user_count();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let choices = game
@@ -55,9 +70,9 @@ pub fn run_anneal(game: &Game, config: &AnnealConfig) -> AnnealOutcome {
         .iter()
         .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
         .collect();
-    let mut current = Profile::new(game, choices);
-    let mut current_value = current.total_profit(game);
-    let mut best = current.clone();
+    let mut engine = Engine::new(game, Profile::new(game, choices));
+    let mut current_value = engine.total_profit();
+    let mut best = engine.profile().clone();
     let mut best_value = current_value;
     let mut temperature = config.t0;
     let mut accepted = 0usize;
@@ -69,13 +84,13 @@ pub fn run_anneal(game: &Game, config: &AnnealConfig) -> AnnealOutcome {
             continue;
         }
         let proposal = RouteId::from_index(rng.random_range(0..n_routes));
-        let old_route = current.choice(user);
+        let old_route = engine.profile().choice(user);
         if proposal == old_route {
             temperature *= config.cooling;
             continue;
         }
-        current.apply_move(game, user, proposal);
-        let value = current.total_profit(game);
+        engine.apply_move(user, proposal);
+        let value = engine.total_profit();
         let delta = value - current_value;
         let accept = delta >= 0.0 || {
             let u: f64 = rng.random_range(0.0..1.0);
@@ -86,14 +101,21 @@ pub fn run_anneal(game: &Game, config: &AnnealConfig) -> AnnealOutcome {
             accepted += 1;
             if value > best_value {
                 best_value = value;
-                best = current.clone();
+                best = engine.profile().clone();
             }
         } else {
-            current.apply_move(game, user, old_route); // revert
+            engine.apply_move(user, old_route); // revert
         }
         temperature *= config.cooling;
     }
-    AnnealOutcome { profile: best, total_profit: best_value, accepted }
+    // Report the exact objective of the best profile, not the running
+    // compensated sum it was selected by.
+    let total_profit = best.total_profit(game);
+    AnnealOutcome {
+        profile: best,
+        total_profit,
+        accepted,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +132,13 @@ mod tests {
     fn random_game(seed: u64, users: u32, tasks: u32) -> Game {
         let mut rng = StdRng::seed_from_u64(seed);
         let task_list: Vec<Task> = (0..tasks)
-            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .map(|k| {
+                Task::new(
+                    TaskId(k),
+                    rng.random_range(10.0..20.0),
+                    rng.random_range(0.0..1.0),
+                )
+            })
             .collect();
         let user_list: Vec<User> = (0..users)
             .map(|i| {
@@ -177,11 +205,18 @@ mod tests {
         for seed in 0..5u64 {
             let game = random_game(seed + 50, 20, 15);
             anneal_sum += run_anneal(&game, &AnnealConfig::with_seed(seed)).total_profit;
-            eq_sum += run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed))
-                .profile
-                .total_profit(&game);
+            eq_sum += run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(seed),
+            )
+            .profile
+            .total_profit(&game);
         }
-        assert!(anneal_sum >= eq_sum * 0.98, "anneal {anneal_sum} vs equilibrium {eq_sum}");
+        assert!(
+            anneal_sum >= eq_sum * 0.98,
+            "anneal {anneal_sum} vs equilibrium {eq_sum}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::RouteId;
-use vcs_core::{Game, Profile};
+use vcs_core::{Game, Profile, ShareTables};
 
 /// Outcome of a CORN run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,16 +28,16 @@ pub struct CornOutcome {
     pub nodes: u64,
 }
 
-/// Per-user optimistic profit: best route value assuming solo participation.
-fn solo_bounds(game: &Game) -> Vec<f64> {
+/// Per-user optimistic profit: best route value assuming solo participation
+/// (the solo reward `w_k(1)` equals the solo share in the tables).
+fn solo_bounds(game: &Game, tables: &ShareTables) -> Vec<f64> {
     game.users()
         .iter()
         .map(|u| {
             u.routes
                 .iter()
                 .map(|r| {
-                    let reward: f64 =
-                        r.tasks.iter().map(|&t| game.task(t).reward(1)).sum();
+                    let reward: f64 = r.tasks.iter().map(|&t| tables.share(t, 1)).sum();
                     u.prefs.alpha * reward - game.user_route_cost(u.id, r)
                 })
                 .fold(f64::NEG_INFINITY, f64::max)
@@ -53,8 +53,15 @@ fn solo_bounds(game: &Game) -> Vec<f64> {
 /// (`|U| > 20`), mirroring the paper's use of CORN at small scales only.
 pub fn run_corn(game: &Game) -> CornOutcome {
     let m = game.user_count();
-    assert!(m <= 20, "CORN is exact search; use it at paper scale (≤ 20 users)");
-    let solo = solo_bounds(game);
+    assert!(
+        m <= 20,
+        "CORN is exact search; use it at paper scale (≤ 20 users)"
+    );
+    // All share evaluations in the search — bounds, node values, branch
+    // ordering — hit the precomputed tables instead of recomputing
+    // `a_k + μ_k·ln x` per lookup.
+    let tables = ShareTables::new(game);
+    let solo = solo_bounds(game, &tables);
     // Suffix sums of solo bounds for O(1) "remaining users" bounds.
     let mut suffix = vec![0.0; m + 1];
     for i in (0..m).rev() {
@@ -69,14 +76,20 @@ pub fn run_corn(game: &Game) -> CornOutcome {
     let mut nodes = 0u64;
 
     // Assigned-users optimistic profit under current counts.
-    fn assigned_value(game: &Game, choices: &[RouteId], counts: &[u32], depth: usize) -> f64 {
+    fn assigned_value(
+        game: &Game,
+        tables: &ShareTables,
+        choices: &[RouteId],
+        counts: &[u32],
+        depth: usize,
+    ) -> f64 {
         let mut total = 0.0;
         for (user, &choice) in game.users().iter().zip(choices).take(depth) {
             let route = &user.routes[choice.index()];
             let reward: f64 = route
                 .tasks
                 .iter()
-                .map(|&t| game.task(t).share(counts[t.index()]))
+                .map(|&t| tables.share(t, counts[t.index()]))
                 .sum();
             total += user.prefs.alpha * reward - game.user_route_cost(user.id, route);
         }
@@ -86,7 +99,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
     /// Tight optimistic value of one unassigned user given current counts:
     /// its best route assuming it joins each covered task *next* (eventual
     /// shares can only be lower because counts only grow).
-    fn unassigned_bound(game: &Game, user_idx: usize, counts: &[u32]) -> f64 {
+    fn unassigned_bound(game: &Game, tables: &ShareTables, user_idx: usize, counts: &[u32]) -> f64 {
         let user = &game.users()[user_idx];
         user.routes
             .iter()
@@ -94,7 +107,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
                 let reward: f64 = r
                     .tasks
                     .iter()
-                    .map(|&t| game.task(t).share(counts[t.index()] + 1))
+                    .map(|&t| tables.share(t, counts[t.index()] + 1))
                     .sum();
                 user.prefs.alpha * reward - game.user_route_cost(user.id, r)
             })
@@ -104,6 +117,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
     #[allow(clippy::too_many_arguments)] // recursion state, not an API
     fn dfs(
         game: &Game,
+        tables: &ShareTables,
         depth: usize,
         choices: &mut Vec<RouteId>,
         counts: &mut Vec<u32>,
@@ -115,7 +129,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
         *nodes += 1;
         let m = game.user_count();
         if depth == m {
-            let value = assigned_value(game, choices, counts, m);
+            let value = assigned_value(game, tables, choices, counts, m);
             if value > *best_profit {
                 *best_profit = value;
                 best_choices.clone_from(choices);
@@ -123,7 +137,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
             return;
         }
         // Cheap static bound first (solo shares, precomputed suffix sums).
-        let assigned = assigned_value(game, choices, counts, depth);
+        let assigned = assigned_value(game, tables, choices, counts, depth);
         if assigned + suffix[depth] <= *best_profit + 1e-12 {
             return;
         }
@@ -131,7 +145,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
         // shares only shrink as more users pile on, so this stays admissible.
         let mut bound = assigned;
         for j in depth..m {
-            bound += unassigned_bound(game, j, counts);
+            bound += unassigned_bound(game, tables, j, counts);
         }
         if bound <= *best_profit + 1e-12 {
             return;
@@ -146,7 +160,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
             let reward: f64 = route
                 .tasks
                 .iter()
-                .map(|&t| game.task(t).share(counts[t.index()] + 1))
+                .map(|&t| tables.share(t, counts[t.index()] + 1))
                 .sum();
             user.prefs.alpha * reward - game.user_route_cost(user.id, route)
         };
@@ -156,7 +170,17 @@ pub fn run_corn(game: &Game) -> CornOutcome {
             for &t in &game.users()[depth].routes[r].tasks {
                 counts[t.index()] += 1;
             }
-            dfs(game, depth + 1, choices, counts, suffix, best_profit, best_choices, nodes);
+            dfs(
+                game,
+                tables,
+                depth + 1,
+                choices,
+                counts,
+                suffix,
+                best_profit,
+                best_choices,
+                nodes,
+            );
             for &t in &game.users()[depth].routes[r].tasks {
                 counts[t.index()] -= 1;
             }
@@ -166,6 +190,7 @@ pub fn run_corn(game: &Game) -> CornOutcome {
 
     dfs(
         game,
+        &tables,
         0,
         &mut choices,
         &mut counts,
@@ -177,7 +202,11 @@ pub fn run_corn(game: &Game) -> CornOutcome {
     let profile = Profile::new(game, best_choices);
     let total_profit = profile.total_profit(game);
     debug_assert!((total_profit - best_profit).abs() < 1e-6);
-    CornOutcome { profile, total_profit, nodes }
+    CornOutcome {
+        profile,
+        total_profit,
+        nodes,
+    }
 }
 
 /// Exhaustive reference solver (no pruning) for cross-checking CORN on tiny
@@ -236,7 +265,13 @@ mod tests {
     fn random_game(seed: u64, users: u32, tasks: u32) -> Game {
         let mut rng = StdRng::seed_from_u64(seed);
         let task_list: Vec<Task> = (0..tasks)
-            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .map(|k| {
+                Task::new(
+                    TaskId(k),
+                    rng.random_range(10.0..20.0),
+                    rng.random_range(0.0..1.0),
+                )
+            })
             .collect();
         let user_list: Vec<User> = (0..users)
             .map(|i| {

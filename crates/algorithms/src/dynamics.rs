@@ -15,8 +15,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::UserId;
-use vcs_core::response::{best_route_set, better_routes};
-use vcs_core::{potential, Game, Profile};
+use vcs_core::response::{best_route_set, better_routes, BestResponse, ProfitView};
+use vcs_core::{potential, Engine, Game, Profile};
 
 /// The five distributed algorithms evaluated in §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -76,8 +76,23 @@ pub struct RunConfig {
 impl RunConfig {
     /// Default configuration with the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, max_slots: 1_000_000, record_user_profits: false }
+        Self {
+            seed,
+            max_slots: 1_000_000,
+            record_user_profits: false,
+        }
     }
+}
+
+/// Samples the Alg. 1 line 3 initial profile: each user takes a uniformly
+/// random recommended route, drawn in user order from `rng`.
+fn random_initial_profile(game: &Game, rng: &mut StdRng) -> Profile {
+    let choices = game
+        .users()
+        .iter()
+        .map(|u| vcs_core::ids::RouteId::from_index(rng.random_range(0..u.routes.len())))
+        .collect();
+    Profile::new(game, choices)
 }
 
 /// Runs `algorithm` on `game` and returns the outcome. The initial profile
@@ -88,18 +103,244 @@ pub fn run_distributed(
     config: &RunConfig,
 ) -> RunOutcome {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let choices = game
-        .users()
-        .iter()
-        .map(|u| vcs_core::ids::RouteId::from_index(rng.random_range(0..u.routes.len())))
-        .collect();
-    let profile = Profile::new(game, choices);
+    let profile = random_initial_profile(game, &mut rng);
     run_distributed_from(game, algorithm, config, profile, &mut rng)
+}
+
+/// Reference (naive) counterpart of [`run_distributed`]: same seed, same
+/// trajectory, but every slot re-derives responses, `ϕ` and the total profit
+/// from scratch instead of using the incremental [`Engine`]. Kept for the
+/// equivalence tests and the old-vs-new benchmarks.
+pub fn run_distributed_naive(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let profile = random_initial_profile(game, &mut rng);
+    run_distributed_from_naive(game, algorithm, config, profile, &mut rng)
 }
 
 /// Runs the dynamics from an explicit starting profile (used by tests and by
 /// the message-passing runtime for cross-validation).
+///
+/// This is the incremental-engine driver: per slot it re-evaluates only the
+/// users whose best responses the previous slot's moves invalidated
+/// ([`Engine::take_dirty`]) and records the slot trace from the engine's
+/// O(1) running potential/total-profit. The RNG draw sequence — one `pick`
+/// per improving user in user order, then one scheduler draw — is identical
+/// to [`run_distributed_from_naive`], so trajectories match the reference
+/// bit for bit (slot-trace floats within `1e-9`).
 pub fn run_distributed_from(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+    profile: Profile,
+    rng: &mut StdRng,
+) -> RunOutcome {
+    let m = game.user_count();
+    let mut engine = Engine::new(game, profile);
+    let mut slot_trace = Vec::new();
+    let mut user_profit_trace = config.record_user_profits.then(Vec::new);
+    let record = |engine: &Engine,
+                  updated: usize,
+                  slot_trace: &mut Vec<SlotTrace>,
+                  user_trace: &mut Option<Vec<Vec<f64>>>| {
+        slot_trace.push(SlotTrace {
+            potential: engine.potential(),
+            total_profit: engine.total_profit(),
+            updated_users: updated,
+        });
+        if let Some(trace) = user_trace {
+            trace.push(
+                (0..m)
+                    .map(|i| engine.profit(UserId::from_index(i)))
+                    .collect(),
+            );
+        }
+    };
+    record(&engine, 0, &mut slot_trace, &mut user_profit_trace);
+
+    let mut slots = 0usize;
+    let mut updates = 0usize;
+    let mut min_improvement = f64::INFINITY;
+    let mut converged = false;
+
+    match algorithm {
+        DistributedAlgorithm::Bats => {
+            // Round-robin turns; only the cursor user's response is needed,
+            // and it is recomputed only when a move since its last evaluation
+            // dirtied it.
+            let mut cache: Vec<Option<BestResponse>> = vec![None; m];
+            let mut quiet = 0usize;
+            let mut cursor = 0usize;
+            engine.take_dirty(); // initial: everything is uncached anyway
+            while quiet < m && slots < config.max_slots {
+                let user = UserId::from_index(cursor);
+                cursor = (cursor + 1) % m;
+                slots += 1;
+                if cache[user.index()].is_none() {
+                    cache[user.index()] = Some(engine.best_route_set(user));
+                }
+                let response = cache[user.index()].as_ref().expect("just cached");
+                let choice = pick(&response.best_routes, rng).copied();
+                let gain = response.gain;
+                let updated = if let Some(route) = choice {
+                    engine.apply_move(user, route);
+                    for dirtied in engine.take_dirty() {
+                        cache[dirtied.index()] = None;
+                    }
+                    updates += 1;
+                    min_improvement = min_improvement.min(gain);
+                    quiet = 0;
+                    1
+                } else {
+                    quiet += 1;
+                    0
+                };
+                record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+            }
+            converged = quiet >= m;
+        }
+        _ => {
+            let brun = algorithm == DistributedAlgorithm::Brun;
+            // Cached responses, invalidated via the engine's dirty set. The
+            // placeholders are overwritten before first use: every user
+            // starts dirty.
+            let mut best_cache: Vec<BestResponse> = Vec::new();
+            let mut better_cache: Vec<Vec<(vcs_core::ids::RouteId, f64)>> = Vec::new();
+            if brun {
+                better_cache = vec![Vec::new(); m];
+            } else {
+                best_cache = (0..m)
+                    .map(|_| BestResponse {
+                        best_routes: Vec::new(),
+                        gain: 0.0,
+                        best_profit: 0.0,
+                    })
+                    .collect();
+            }
+            // A would-be update request, before the full `UpdateRequest`
+            // (with its allocated affected-task set) is materialized. SUU
+            // only consumes the request *count* and BUAU only `τ = gain/α`,
+            // so for DGRN/BRUN/BUAU no `UpdateRequest` is ever built; only
+            // PUU's conflict graph (MUUN) needs the affected-task sets.
+            struct Pick {
+                user: UserId,
+                route: vcs_core::ids::RouteId,
+                gain: f64,
+            }
+            let mut picks: Vec<Pick> = Vec::new();
+            while slots < config.max_slots {
+                // Alg. 2 line 6: refresh invalidated responses, then collect
+                // requests from users able to improve. `pick` re-draws for
+                // every improving user each slot — cached or not — so the
+                // RNG stream matches the naive driver exactly.
+                for user in engine.take_dirty() {
+                    if brun {
+                        better_cache[user.index()] = engine.better_routes(user);
+                    } else {
+                        best_cache[user.index()] = engine.best_route_set(user);
+                    }
+                }
+                picks.clear();
+                for i in 0..m {
+                    let user = UserId::from_index(i);
+                    if brun {
+                        if let Some(&(route, gain)) = pick(&better_cache[i], rng) {
+                            picks.push(Pick { user, route, gain });
+                        }
+                    } else {
+                        let response = &best_cache[i];
+                        if let Some(&route) = pick(&response.best_routes, rng) {
+                            picks.push(Pick {
+                                user,
+                                route,
+                                gain: response.gain,
+                            });
+                        }
+                    }
+                }
+                if picks.is_empty() {
+                    converged = true;
+                    break; // Alg. 2 line 11: no request ⇒ terminate.
+                }
+                // Grant exactly as the schedulers over the full request list
+                // would: `suu` draws one uniform index; `buau` takes the
+                // *last* maximum of `τ` under `total_cmp` (`Iterator::max_by`
+                // keeps the later element on ties); `puu` needs the real
+                // conflict graph, so only MUUN pays for request building.
+                slots += 1;
+                let updated = match algorithm {
+                    DistributedAlgorithm::Dgrn | DistributedAlgorithm::Brun => {
+                        let g = &picks[rng.random_range(0..picks.len())];
+                        engine.apply_move(g.user, g.route);
+                        updates += 1;
+                        min_improvement = min_improvement.min(g.gain);
+                        1
+                    }
+                    DistributedAlgorithm::Buau => {
+                        let tau = |p: &Pick| p.gain / game.users()[p.user.index()].prefs.alpha;
+                        let mut best = 0usize;
+                        let mut best_tau = tau(&picks[0]);
+                        for (i, p) in picks.iter().enumerate().skip(1) {
+                            let t = tau(p);
+                            if best_tau.total_cmp(&t) != std::cmp::Ordering::Greater {
+                                best = i;
+                                best_tau = t;
+                            }
+                        }
+                        let g = &picks[best];
+                        engine.apply_move(g.user, g.route);
+                        updates += 1;
+                        min_improvement = min_improvement.min(g.gain);
+                        1
+                    }
+                    DistributedAlgorithm::Muun => {
+                        let requests: Vec<UpdateRequest> = picks
+                            .iter()
+                            .map(|p| {
+                                UpdateRequest::build(
+                                    game,
+                                    engine.profile(),
+                                    p.user,
+                                    p.route,
+                                    p.gain,
+                                )
+                            })
+                            .collect();
+                        let granted = puu(&requests);
+                        debug_assert!(!granted.is_empty());
+                        for &g in &granted {
+                            let req = &requests[g];
+                            engine.apply_move(req.user, req.new_route);
+                            updates += 1;
+                            min_improvement = min_improvement.min(req.gain);
+                        }
+                        granted.len()
+                    }
+                    DistributedAlgorithm::Bats => unreachable!("handled above"),
+                };
+                record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+            }
+        }
+    }
+
+    RunOutcome {
+        profile: engine.into_profile(),
+        slots,
+        updates,
+        converged,
+        slot_trace,
+        user_profit_trace,
+        min_improvement,
+    }
+}
+
+/// Reference driver: the pre-engine implementation, recomputing every user's
+/// response and the full `ϕ`/total-profit each slot. Identical trajectories
+/// to [`run_distributed_from`] per seed; kept as the equivalence oracle.
+pub fn run_distributed_from_naive(
     game: &Game,
     algorithm: DistributedAlgorithm,
     config: &RunConfig,
@@ -120,7 +361,9 @@ pub fn run_distributed_from(
         });
         if let Some(trace) = user_trace {
             trace.push(
-                (0..m).map(|i| profile.profit(game, UserId::from_index(i))).collect(),
+                (0..m)
+                    .map(|i| profile.profit(game, UserId::from_index(i)))
+                    .collect(),
             );
         }
     };
@@ -167,9 +410,8 @@ pub fn run_distributed_from(
                         DistributedAlgorithm::Brun => {
                             let better = better_routes(game, &profile, user);
                             if let Some(&(route, gain)) = pick(&better, rng) {
-                                requests.push(UpdateRequest::build(
-                                    game, &profile, user, route, gain,
-                                ));
+                                requests
+                                    .push(UpdateRequest::build(game, &profile, user, route, gain));
                             }
                         }
                         _ => {
@@ -191,9 +433,7 @@ pub fn run_distributed_from(
                     break; // Alg. 2 line 11: no request ⇒ terminate.
                 }
                 let granted: Vec<usize> = match algorithm {
-                    DistributedAlgorithm::Dgrn | DistributedAlgorithm::Brun => {
-                        suu(&requests, rng)
-                    }
+                    DistributedAlgorithm::Dgrn | DistributedAlgorithm::Brun => suu(&requests, rng),
                     DistributedAlgorithm::Buau => buau(&requests),
                     DistributedAlgorithm::Muun => puu(&requests),
                     DistributedAlgorithm::Bats => unreachable!("handled above"),
@@ -206,7 +446,12 @@ pub fn run_distributed_from(
                     updates += 1;
                     min_improvement = min_improvement.min(req.gain);
                 }
-                record(&profile, granted.len(), &mut slot_trace, &mut user_profit_trace);
+                record(
+                    &profile,
+                    granted.len(),
+                    &mut slot_trace,
+                    &mut user_profit_trace,
+                );
             }
         }
     }
@@ -243,15 +488,22 @@ mod tests {
         // A random-ish but fixed game: 8 users, 12 tasks, 3 routes each.
         let mut rng = StdRng::seed_from_u64(seed);
         let tasks: Vec<Task> = (0..12)
-            .map(|k| Task::new(TaskId(k), rng.random_range(10.0..20.0), rng.random_range(0.0..1.0)))
+            .map(|k| {
+                Task::new(
+                    TaskId(k),
+                    rng.random_range(10.0..20.0),
+                    rng.random_range(0.0..1.0),
+                )
+            })
             .collect();
         let users: Vec<User> = (0..8u32)
             .map(|i| {
                 let routes = (0..3u32)
                     .map(|r| {
                         let n_tasks = rng.random_range(0..4);
-                        let mut covered: Vec<TaskId> =
-                            (0..n_tasks).map(|_| TaskId(rng.random_range(0..12))).collect();
+                        let mut covered: Vec<TaskId> = (0..n_tasks)
+                            .map(|_| TaskId(rng.random_range(0..12)))
+                            .collect();
                         covered.sort_unstable();
                         covered.dedup();
                         Route::new(

@@ -35,7 +35,10 @@ pub mod scheduler;
 pub use analytics::{profit_volatility, summarize, ConvergenceSummary};
 pub use anneal::{run_anneal, AnnealConfig, AnnealOutcome};
 pub use corn::{run_corn, run_exhaustive, CornOutcome};
-pub use dynamics::{run_distributed, run_distributed_from, DistributedAlgorithm, RunConfig};
+pub use dynamics::{
+    run_distributed, run_distributed_from, run_distributed_from_naive, run_distributed_naive,
+    DistributedAlgorithm, RunConfig,
+};
 pub use outcome::{RunOutcome, SlotTrace};
 pub use request::UpdateRequest;
 pub use rrn::run_rrn;

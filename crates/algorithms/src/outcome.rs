@@ -85,8 +85,16 @@ mod tests {
             updates: 6,
             converged: true,
             slot_trace: vec![
-                SlotTrace { potential: 1.0, total_profit: 2.0, updated_users: 0 },
-                SlotTrace { potential: 3.0, total_profit: 4.0, updated_users: 2 },
+                SlotTrace {
+                    potential: 1.0,
+                    total_profit: 2.0,
+                    updated_users: 0,
+                },
+                SlotTrace {
+                    potential: 3.0,
+                    total_profit: 4.0,
+                    updated_users: 2,
+                },
             ],
             user_profit_trace: None,
             min_improvement: 0.5,
@@ -104,7 +112,11 @@ mod tests {
     fn mean_updates_per_slot() {
         let o = outcome();
         assert!((o.mean_updates_per_slot() - 1.5).abs() < 1e-12);
-        let empty = RunOutcome { slots: 0, updates: 0, ..o };
+        let empty = RunOutcome {
+            slots: 0,
+            updates: 0,
+            ..o
+        };
         assert_eq!(empty.mean_updates_per_slot(), 0.0);
     }
 }

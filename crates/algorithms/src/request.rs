@@ -24,11 +24,22 @@ pub struct UpdateRequest {
 impl UpdateRequest {
     /// Builds a request for `user` switching to `new_route` under `profile`,
     /// computing `gain`, `τ_i` and `B_i`.
-    pub fn build(game: &Game, profile: &Profile, user: UserId, new_route: RouteId, gain: f64) -> Self {
+    pub fn build(
+        game: &Game,
+        profile: &Profile,
+        user: UserId,
+        new_route: RouteId,
+        gain: f64,
+    ) -> Self {
         let u = &game.users()[user.index()];
         let current = &u.routes[profile.choice(user).index()];
         let next = &u.routes[new_route.index()];
-        let mut affected: Vec<TaskId> = current.tasks.iter().chain(next.tasks.iter()).copied().collect();
+        let mut affected: Vec<TaskId> = current
+            .tasks
+            .iter()
+            .chain(next.tasks.iter())
+            .copied()
+            .collect();
         affected.sort_unstable();
         affected.dedup();
         Self {

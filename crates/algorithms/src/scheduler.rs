@@ -49,7 +49,10 @@ pub fn puu(requests: &[UpdateRequest]) -> Vec<usize> {
     let mut admitted: Vec<usize> = Vec::new();
     for idx in order {
         let candidate = &requests[idx];
-        if admitted.iter().all(|&a| !requests[a].conflicts_with(candidate)) {
+        if admitted
+            .iter()
+            .all(|&a| !requests[a].conflicts_with(candidate))
+        {
             admitted.push(idx);
         }
     }
@@ -93,22 +96,22 @@ pub fn theorem3_bound(
     admitted: &[usize],
     optimal: &[usize],
 ) -> Option<f64> {
-    let i_prime = admitted
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            let d = |i: usize| {
-                let r = &requests[i];
-                if r.affected_tasks.is_empty() {
-                    f64::INFINITY
-                } else {
-                    r.tau / r.affected_tasks.len() as f64
-                }
-            };
-            d(a).total_cmp(&d(b))
-        })?;
+    let i_prime = admitted.iter().copied().max_by(|&a, &b| {
+        let d = |i: usize| {
+            let r = &requests[i];
+            if r.affected_tasks.is_empty() {
+                f64::INFINITY
+            } else {
+                r.tau / r.affected_tasks.len() as f64
+            }
+        };
+        d(a).total_cmp(&d(b))
+    })?;
     let b_iprime = requests[i_prime].affected_tasks.len();
-    let b_max = optimal.iter().map(|&i| requests[i].affected_tasks.len()).max()?;
+    let b_max = optimal
+        .iter()
+        .map(|&i| requests[i].affected_tasks.len())
+        .max()?;
     if optimal.is_empty() || b_max == 0 {
         return None;
     }
@@ -199,7 +202,11 @@ mod tests {
         let (optimal, tau_hat) = optimal_selection(&requests);
         let tau: f64 = admitted.iter().map(|&i| requests[i].tau).sum();
         let bound = theorem3_bound(&requests, &admitted, &optimal).unwrap();
-        assert!(tau / tau_hat >= bound - 1e-12, "τ/τ̂ = {} < bound {bound}", tau / tau_hat);
+        assert!(
+            tau / tau_hat >= bound - 1e-12,
+            "τ/τ̂ = {} < bound {bound}",
+            tau / tau_hat
+        );
     }
 
     #[test]

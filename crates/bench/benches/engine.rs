@@ -1,0 +1,41 @@
+//! Incremental engine vs naive driver: wall-clock of the distributed
+//! dynamics (DGRN and MUUN) at growing user counts, old (full per-slot
+//! rescans) against new (dirty-set best responses + O(1) slot records).
+//! The `engine_report` binary runs the same comparison and writes the
+//! slots/sec table to `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcs_algorithms::{run_distributed, run_distributed_naive, DistributedAlgorithm, RunConfig};
+use vcs_bench::synthetic_game;
+
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_naive");
+    group.sample_size(10);
+    for users in [100usize, 500, 2000] {
+        // Tasks scale with users (city-scale deployments grow both), keeping
+        // per-task contention — and thus dirty-set sizes — representative.
+        let game = synthetic_game(users, users.max(60), 11);
+        // Cap the slot budget so the naive driver finishes at 2000 users;
+        // both drivers run the identical trajectory prefix, so slots/sec
+        // stays a fair comparison.
+        let mut config = RunConfig::with_seed(7);
+        config.max_slots = if users >= 2000 { 60 } else { 1_000_000 };
+        for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_engine", algo.name()), users),
+                &game,
+                |b, game| b.iter(|| black_box(run_distributed(game, algo, &config).slots)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_naive", algo.name()), users),
+                &game,
+                |b, game| b.iter(|| black_box(run_distributed_naive(game, algo, &config).slots)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_naive);
+criterion_main!(benches);

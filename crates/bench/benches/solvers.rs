@@ -43,11 +43,9 @@ fn bench_dynamics(c: &mut Criterion) {
             DistributedAlgorithm::Muun,
             DistributedAlgorithm::Bats,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), users),
-                &game,
-                |b, game| b.iter(|| black_box(equilibrate(game, algo, 7).slots)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), users), &game, |b, game| {
+                b.iter(|| black_box(equilibrate(game, algo, 7).slots))
+            });
         }
     }
     group.finish();

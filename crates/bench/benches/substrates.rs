@@ -22,36 +22,54 @@ fn bench_city_generation(c: &mut Criterion) {
 }
 
 fn bench_shortest_paths(c: &mut Criterion) {
-    let graph = CityConfig { kind: CityKind::Grid { nx: 11, ny: 11, spacing: 1.0 }, seed: 7 }
-        .generate();
+    let graph = CityConfig {
+        kind: CityKind::Grid {
+            nx: 11,
+            ny: 11,
+            spacing: 1.0,
+        },
+        seed: 7,
+    }
+    .generate();
     let src = NodeId(0);
     let dst = NodeId((graph.node_count() - 1) as u32);
     let mut group = c.benchmark_group("k_shortest_paths");
     for k in [1usize, 4, 8, 12] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(k_shortest_paths(&graph, src, dst, k, CostMetric::Length).len())
-            })
+            b.iter(|| black_box(k_shortest_paths(&graph, src, dst, k, CostMetric::Length).len()))
         });
     }
     group.finish();
 
     c.bench_function("dijkstra_point_to_point", |b| {
-        b.iter(|| black_box(shortest_path(&graph, src, dst, CostMetric::Length).unwrap().length))
+        b.iter(|| {
+            black_box(
+                shortest_path(&graph, src, dst, CostMetric::Length)
+                    .unwrap()
+                    .length,
+            )
+        })
     });
     c.bench_function("astar_point_to_point", |b| {
-        b.iter(|| black_box(astar_path(&graph, src, dst, CostMetric::Length).unwrap().length))
+        b.iter(|| {
+            black_box(
+                astar_path(&graph, src, dst, CostMetric::Length)
+                    .unwrap()
+                    .length,
+            )
+        })
     });
     c.bench_function("recommend_routes", |b| {
-        b.iter(|| {
-            black_box(recommend_routes(&graph, src, dst, &RecommendConfig::default()).len())
-        })
+        b.iter(|| black_box(recommend_routes(&graph, src, dst, &RecommendConfig::default()).len()))
     });
 }
 
 fn bench_traces(c: &mut Criterion) {
     let graph = Dataset::Shanghai.city_config(7).generate();
-    let cfg = TraceGenConfig { n_traces: 50, ..Dataset::Shanghai.trace_config(7) };
+    let cfg = TraceGenConfig {
+        n_traces: 50,
+        ..Dataset::Shanghai.trace_config(7)
+    };
     c.bench_function("generate_traces_50", |b| {
         b.iter(|| black_box(generate_traces(&graph, &cfg).len()))
     });

@@ -1,0 +1,101 @@
+//! `engine_report` — measures slots/sec of the distributed dynamics with the
+//! incremental engine vs the naive reference driver and writes the table to
+//! `BENCH_engine.json` (repo root by default; pass a path to override).
+//!
+//! Methodology: per (algorithm, size) both drivers run the *identical*
+//! trajectory (same seed; equivalence is test-enforced), so slots/sec is a
+//! like-for-like measure. The slot budget is capped at the largest size to
+//! keep the naive driver's runtime bounded; the speedup is then measured on
+//! the shared trajectory prefix. Each measurement takes the best of three
+//! runs to damp scheduler noise.
+
+use std::time::Instant;
+use vcs_algorithms::{run_distributed, run_distributed_naive, DistributedAlgorithm, RunConfig};
+use vcs_bench::synthetic_game;
+
+struct Row {
+    algorithm: &'static str,
+    users: usize,
+    slots: usize,
+    engine_slots_per_sec: f64,
+    naive_slots_per_sec: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.engine_slots_per_sec / self.naive_slots_per_sec
+    }
+}
+
+/// Best-of-`reps` slots/sec for one driver.
+fn measure(reps: usize, mut run: impl FnMut() -> usize) -> (usize, f64) {
+    let mut best = 0.0f64;
+    let mut slots = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        slots = run();
+        let rate = slots as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(rate);
+    }
+    (slots, best)
+}
+
+fn json_escape_free(rows: &[Row]) -> String {
+    // Hand-formatted JSON: fixed schema, no string content needing escapes.
+    let mut out = String::from("{\n  \"benchmark\": \"run_distributed slots/sec, incremental engine vs naive driver\",\n  \"seed\": 7,\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"users\": {}, \"slots\": {}, \"engine_slots_per_sec\": {:.1}, \"naive_slots_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            row.algorithm,
+            row.users,
+            row.slots,
+            row.engine_slots_per_sec,
+            row.naive_slots_per_sec,
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut rows = Vec::new();
+    for users in [100usize, 500, 2000] {
+        // Tasks scale with users (city-scale deployments grow both), keeping
+        // per-task contention — and thus dirty-set sizes — representative.
+        let game = synthetic_game(users, users.max(60), 11);
+        let mut config = RunConfig::with_seed(7);
+        // Bound the naive driver's runtime at the largest size; both drivers
+        // then run the same capped trajectory.
+        config.max_slots = if users >= 2000 { 60 } else { 1_000_000 };
+        for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
+            let (slots, engine_rate) = measure(3, || run_distributed(&game, algo, &config).slots);
+            let (naive_slots, naive_rate) =
+                measure(3, || run_distributed_naive(&game, algo, &config).slots);
+            assert_eq!(slots, naive_slots, "drivers diverged — equivalence broken");
+            let row = Row {
+                algorithm: algo.name(),
+                users,
+                slots,
+                engine_slots_per_sec: engine_rate,
+                naive_slots_per_sec: naive_rate,
+            };
+            eprintln!(
+                "{:>4} users {:>4}: {} slots, engine {:>10.1}/s, naive {:>10.1}/s, speedup {:.2}x",
+                row.algorithm,
+                row.users,
+                row.slots,
+                row.engine_slots_per_sec,
+                row.naive_slots_per_sec,
+                row.speedup()
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::write(&out_path, json_escape_free(&rows)).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+}

@@ -33,3 +33,55 @@ pub fn bench_game(pool: &UserPool, n_users: usize, n_tasks: usize, seed: u64) ->
 pub fn equilibrate(game: &Game, algo: DistributedAlgorithm, seed: u64) -> RunOutcome {
     run_distributed(game, algo, &RunConfig::with_seed(seed))
 }
+
+/// Synthesizes a game of arbitrary size directly, bypassing the substrate
+/// pool (which tops out at a few hundred commuters). Used by the engine
+/// benches to reach thousands of users; paper-range parameters throughout
+/// (`a_k ∈ [10, 20)`, `μ_k ∈ [0, 1)`, weights in `[0.1, 0.9)`).
+pub fn synthetic_game(n_users: usize, n_tasks: usize, seed: u64) -> Game {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use vcs_core::ids::{RouteId, TaskId, UserId};
+    use vcs_core::{PlatformParams, Route, Task, User, UserPrefs};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|k| {
+            Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            )
+        })
+        .collect();
+    let users: Vec<User> = (0..n_users)
+        .map(|i| {
+            let n_routes = rng.random_range(2..=4usize);
+            let routes = (0..n_routes)
+                .map(|r| {
+                    let mut covered: Vec<TaskId> = (0..rng.random_range(1..5usize))
+                        .map(|_| TaskId::from_index(rng.random_range(0..n_tasks)))
+                        .collect();
+                    covered.sort_unstable();
+                    covered.dedup();
+                    Route::new(
+                        RouteId::from_index(r),
+                        covered,
+                        rng.random_range(0.0..5.0),
+                        rng.random_range(0.0..4.0),
+                    )
+                })
+                .collect();
+            User::new(
+                UserId::from_index(i),
+                UserPrefs::new(
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                ),
+                routes,
+            )
+        })
+        .collect();
+    Game::with_paper_bounds(tasks, users, PlatformParams::new(0.4, 0.4))
+        .expect("synthetic parameters are in paper range")
+}

@@ -90,8 +90,10 @@ mod tests {
     use crate::user::{User, UserPrefs};
 
     fn game() -> Game {
-        let tasks =
-            vec![Task::new(TaskId(0), 10.0, 0.5), Task::new(TaskId(1), 20.0, 1.0)];
+        let tasks = vec![
+            Task::new(TaskId(0), 10.0, 0.5),
+            Task::new(TaskId(1), 20.0, 1.0),
+        ];
         let users = (0..3)
             .map(|i| {
                 User::new(

@@ -67,7 +67,10 @@ mod tests {
     use crate::user::{User, UserPrefs};
 
     fn game() -> Game {
-        let tasks = vec![Task::new(TaskId(0), 12.0, 0.0), Task::new(TaskId(1), 18.0, 0.5)];
+        let tasks = vec![
+            Task::new(TaskId(0), 12.0, 0.0),
+            Task::new(TaskId(1), 18.0, 0.5),
+        ];
         let users = vec![
             User::new(
                 UserId(0),

@@ -1,0 +1,640 @@
+//! The incremental game engine: cached share tables, per-route cost caches,
+//! a task→users inverted index and O(Δ)-per-move maintenance of the
+//! potential `ϕ(s)` and the total profit `Σ_i P_i(s)`.
+//!
+//! The naive solver loop re-derives everything from the game definition each
+//! slot: `Task::potential_term` walks an `O(n_k)` loop of `ln` calls per
+//! task, `Profile::total_profit` re-prices every user, and every user's best
+//! response is re-scanned even when nothing it can see has changed. At
+//! `M = 2000` users that makes a single decision slot `O(M·(R·T̄ + M·T̄))`.
+//!
+//! [`Engine`] removes all of that re-derivation:
+//!
+//! * [`ShareTables`] precomputes each task's per-participant share
+//!   `w_k(q)/q` and the potential prefix sums `Σ_{q≤x} w_k(q)/q` up to the
+//!   task's maximum possible participant count, turning both
+//!   [`Task::share`](crate::Task::share) and
+//!   [`Task::potential_term`](crate::Task::potential_term) into O(1) lookups
+//!   (bit-identical: the tables are built by the same ascending summation);
+//! * per-`(user, route)` costs `β_i·d(r) + γ_i·b(r)` and the potential's
+//!   ratio-weighted costs `(β_i/α_i)·d(r) + (γ_i/α_i)·b(r)` are computed
+//!   once at construction;
+//! * a task→users inverted index lets [`Engine::apply_move`] mark exactly
+//!   the users whose cached best responses a move invalidates (the *dirty
+//!   set*), which the solver drains via [`Engine::take_dirty`];
+//! * `ϕ(s)` and `Σ_i P_i(s)` are maintained incrementally in
+//!   `O(|L_old| + |L_new|)` per move with Neumaier-compensated accumulation,
+//!   so recording a [`SlotTrace`](crate) entry costs O(1) instead of a full
+//!   recomputation.
+//!
+//! Correctness invariants (enforced by the property tests in
+//! `tests/engine_equivalence.rs` and the cross-implementation trajectory
+//! tests in `vcs-algorithms`):
+//!
+//! 1. [`Engine::profit`] and [`Engine::profit_if_switched`] are
+//!    **bit-identical** to [`Profile::profit`]/[`Profile::profit_if_switched`]
+//!    — same share values (table entries are `Task::share` outputs), same
+//!    cached cost values, same summation order.
+//! 2. [`Engine::potential`] and [`Engine::total_profit`] track the freshly
+//!    recomputed values within `1e-9` along arbitrary move sequences.
+//! 3. A user absent from every dirty set since its last evaluation has an
+//!    unchanged best response: its profits depend only on its own choice and
+//!    the counts of tasks covered by *some* route of its recommended set,
+//!    and the inverted index covers exactly those tasks.
+
+use crate::game::Game;
+use crate::ids::{RouteId, TaskId, UserId};
+use crate::profile::Profile;
+use crate::response::{best_route_set_in, better_routes_in, BestResponse, ProfitView};
+
+/// Per-task share and potential prefix tables.
+///
+/// `share(k, q) = w_k(q)/q` and `prefix(k, x) = Σ_{q=1}^{x} w_k(q)/q` for
+/// `q` up to the number of users that can possibly perform `k` (the users
+/// with at least one recommended route covering it). Entries are produced by
+/// the same expressions as [`crate::Task::share`] /
+/// [`crate::Task::potential_term`], so lookups are bit-identical to the
+/// naive evaluation.
+#[derive(Debug, Clone)]
+pub struct ShareTables {
+    /// `share[k][q]`, `q ∈ 0..=cap_k`; `share[k][0] = 0`.
+    share: Vec<Box<[f64]>>,
+    /// `prefix[k][x] = Σ_{q≤x} share[k][q]`, summed in ascending `q` order.
+    prefix: Vec<Box<[f64]>>,
+    /// `(a_k, μ_k)` fallback parameters for counts beyond the table (cannot
+    /// happen for legal profiles; kept total for robustness).
+    params: Vec<(f64, f64)>,
+}
+
+impl ShareTables {
+    /// Builds the tables for `game`, sizing each task's table by how many
+    /// users can possibly cover it.
+    pub fn new(game: &Game) -> Self {
+        let mut cap = vec![0u32; game.task_count()];
+        let mut seen: Vec<TaskId> = Vec::new();
+        for user in game.users() {
+            seen.clear();
+            seen.extend(user.routes.iter().flat_map(|r| r.tasks.iter().copied()));
+            seen.sort_unstable();
+            seen.dedup();
+            for &task in &seen {
+                cap[task.index()] += 1;
+            }
+        }
+        let mut share = Vec::with_capacity(game.task_count());
+        let mut prefix = Vec::with_capacity(game.task_count());
+        let mut params = Vec::with_capacity(game.task_count());
+        for task in game.tasks() {
+            let n = cap[task.id.index()] as usize;
+            let mut s = Vec::with_capacity(n + 1);
+            let mut p = Vec::with_capacity(n + 1);
+            let mut acc = 0.0;
+            s.push(0.0);
+            p.push(0.0);
+            for q in 1..=n as u32 {
+                let sq = task.share(q);
+                acc += sq;
+                s.push(sq);
+                p.push(acc);
+            }
+            share.push(s.into_boxed_slice());
+            prefix.push(p.into_boxed_slice());
+            params.push((task.base_reward, task.increment));
+        }
+        Self {
+            share,
+            prefix,
+            params,
+        }
+    }
+
+    /// `w_k(n)/n`, O(1). Falls back to direct evaluation beyond the table.
+    #[inline]
+    pub fn share(&self, task: TaskId, n: u32) -> f64 {
+        match self.share[task.index()].get(n as usize) {
+            Some(&s) => s,
+            None => self.share_cold(task, n),
+        }
+    }
+
+    #[cold]
+    fn share_cold(&self, task: TaskId, n: u32) -> f64 {
+        // Mirrors Task::share exactly (n > 0 here: 0 is always in the table).
+        let (a, mu) = self.params[task.index()];
+        (a + mu * f64::from(n).ln()) / f64::from(n)
+    }
+
+    /// `Σ_{q=1}^{n} w_k(q)/q`, O(1). Bit-identical to
+    /// [`crate::Task::potential_term`] within the table range.
+    #[inline]
+    pub fn potential_term(&self, task: TaskId, n: u32) -> f64 {
+        match self.prefix[task.index()].get(n as usize) {
+            Some(&p) => p,
+            None => self.potential_term_cold(task, n),
+        }
+    }
+
+    #[cold]
+    fn potential_term_cold(&self, task: TaskId, n: u32) -> f64 {
+        let table = &self.prefix[task.index()];
+        let mut acc = table[table.len() - 1];
+        for q in table.len() as u32..=n {
+            acc += self.share_cold(task, q);
+        }
+        acc
+    }
+
+    /// Largest tabulated participant count of `task`.
+    pub fn capacity(&self, task: TaskId) -> u32 {
+        (self.share[task.index()].len() - 1) as u32
+    }
+}
+
+/// Neumaier-compensated running sum: accumulates per-move deltas with a
+/// correction term so thousands of increments stay within `1e-9` of a fresh
+/// recomputation.
+#[derive(Debug, Clone, Copy, Default)]
+struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    fn new(value: f64) -> Self {
+        Self {
+            sum: value,
+            compensation: 0.0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        self.compensation += if self.sum.abs() >= x.abs() {
+            (self.sum - t) + x
+        } else {
+            (x - t) + self.sum
+        };
+        self.sum = t;
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Incremental solver state for one game: profile, cached prices, inverted
+/// index, running potential/total-profit and the dirty set.
+///
+/// Construction is `O(Σ_k cap_k + Σ_i R_i)`; [`apply_move`](Self::apply_move)
+/// is `O(|L_old| + |L_new|)` plus the size of the dirty set it marks;
+/// [`potential`](Self::potential) and [`total_profit`](Self::total_profit)
+/// are O(1).
+#[derive(Debug, Clone)]
+pub struct Engine<'g> {
+    game: &'g Game,
+    tables: ShareTables,
+    /// `route_cost[i][r] = β_i·d(r) + γ_i·b(r)` (the Eq. 2 cost term).
+    route_cost: Vec<Box<[f64]>>,
+    /// `phi_route_cost[i][r] = (β_i/α_i)·d(r) + (γ_i/α_i)·b(r)` (the Eq. 8
+    /// cost term).
+    phi_route_cost: Vec<Box<[f64]>>,
+    /// Users with at least one recommended route covering the task, sorted.
+    task_users: Vec<Box<[UserId]>>,
+    profile: Profile,
+    /// `Σ α_i` over the current participants of each task.
+    alpha_sum: Vec<f64>,
+    phi: CompensatedSum,
+    total: CompensatedSum,
+    dirty_flag: Vec<bool>,
+    dirty: Vec<UserId>,
+}
+
+impl<'g> Engine<'g> {
+    /// Builds the engine around `profile`. Every user starts dirty.
+    pub fn new(game: &'g Game, profile: Profile) -> Self {
+        let tables = ShareTables::new(game);
+        let mut route_cost = Vec::with_capacity(game.user_count());
+        let mut phi_route_cost = Vec::with_capacity(game.user_count());
+        let mut task_users: Vec<Vec<UserId>> = vec![Vec::new(); game.task_count()];
+        let mut seen: Vec<TaskId> = Vec::new();
+        for user in game.users() {
+            let ratio_beta = user.prefs.beta / user.prefs.alpha;
+            let ratio_gamma = user.prefs.gamma / user.prefs.alpha;
+            let mut costs = Vec::with_capacity(user.routes.len());
+            let mut phi_costs = Vec::with_capacity(user.routes.len());
+            for route in &user.routes {
+                costs.push(game.user_route_cost(user.id, route));
+                phi_costs.push(
+                    ratio_beta * game.detour_cost(route)
+                        + ratio_gamma * game.congestion_cost(route),
+                );
+            }
+            route_cost.push(costs.into_boxed_slice());
+            phi_route_cost.push(phi_costs.into_boxed_slice());
+            seen.clear();
+            seen.extend(user.routes.iter().flat_map(|r| r.tasks.iter().copied()));
+            seen.sort_unstable();
+            seen.dedup();
+            for &task in &seen {
+                task_users[task.index()].push(user.id);
+            }
+        }
+        let mut alpha_sum = vec![0.0; game.task_count()];
+        for user in game.users() {
+            let route = &user.routes[profile.choice(user.id).index()];
+            for &task in &route.tasks {
+                alpha_sum[task.index()] += user.prefs.alpha;
+            }
+        }
+        let mut engine = Self {
+            game,
+            tables,
+            route_cost,
+            phi_route_cost,
+            task_users: task_users.into_iter().map(Vec::into_boxed_slice).collect(),
+            profile,
+            alpha_sum,
+            phi: CompensatedSum::default(),
+            total: CompensatedSum::default(),
+            dirty_flag: vec![true; game.user_count()],
+            dirty: (0..game.user_count()).map(UserId::from_index).collect(),
+        };
+        engine.phi = CompensatedSum::new(engine.potential_fresh());
+        engine.total = CompensatedSum::new(engine.total_profit_fresh());
+        engine
+    }
+
+    /// The game this engine prices.
+    pub fn game(&self) -> &'g Game {
+        self.game
+    }
+
+    /// The current strategy profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Consumes the engine, returning the final profile.
+    pub fn into_profile(self) -> Profile {
+        self.profile
+    }
+
+    /// The precomputed share tables.
+    pub fn tables(&self) -> &ShareTables {
+        &self.tables
+    }
+
+    /// The incrementally maintained potential `ϕ(s)`, O(1).
+    pub fn potential(&self) -> f64 {
+        self.phi.value()
+    }
+
+    /// The incrementally maintained total profit `Σ_i P_i(s)`, O(1).
+    pub fn total_profit(&self) -> f64 {
+        self.total.value()
+    }
+
+    /// Recomputes `ϕ(s)` from the tables (construction / diagnostics).
+    pub fn potential_fresh(&self) -> f64 {
+        let mut phi = 0.0;
+        for task in self.game.tasks() {
+            phi += self
+                .tables
+                .potential_term(task.id, self.profile.participants(task.id));
+        }
+        for user in self.game.users() {
+            phi -= self.phi_route_cost[user.id.index()][self.profile.choice(user.id).index()];
+        }
+        phi
+    }
+
+    /// Recomputes `Σ_i P_i(s)` from the tables (construction / diagnostics).
+    pub fn total_profit_fresh(&self) -> f64 {
+        (0..self.game.user_count())
+            .map(|i| self.profit(UserId::from_index(i)))
+            .sum()
+    }
+
+    /// Users whose routes cover `task` (the inverted index), sorted by id.
+    pub fn users_covering(&self, task: TaskId) -> &[UserId] {
+        &self.task_users[task.index()]
+    }
+
+    /// Whether `user`'s cached best response may be stale.
+    pub fn is_dirty(&self, user: UserId) -> bool {
+        self.dirty_flag[user.index()]
+    }
+
+    /// Drains the dirty set, returning the users (sorted by id) whose best
+    /// responses must be re-evaluated since the last drain.
+    pub fn take_dirty(&mut self) -> Vec<UserId> {
+        let mut drained = std::mem::take(&mut self.dirty);
+        for &user in &drained {
+            self.dirty_flag[user.index()] = false;
+        }
+        drained.sort_unstable();
+        drained
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, user: UserId) {
+        if !self.dirty_flag[user.index()] {
+            self.dirty_flag[user.index()] = true;
+            self.dirty.push(user);
+        }
+    }
+
+    /// Switches `user` to `new_route`: updates counts, `α`-sums, `ϕ`, total
+    /// profit and the dirty set in `O(|L_old| + |L_new| + |dirtied|)`.
+    /// Returns the previous route. Switching to the current route is a no-op.
+    pub fn apply_move(&mut self, user: UserId, new_route: RouteId) -> RouteId {
+        let old_route = self.profile.choice(user);
+        if old_route == new_route {
+            return old_route;
+        }
+        let u = &self.game.users()[user.index()];
+        let alpha = u.prefs.alpha;
+        let old = &u.routes[old_route.index()];
+        let new = &u.routes[new_route.index()];
+        let mut phi_delta = 0.0;
+        let mut profit_delta = 0.0;
+        // Tasks the user leaves: counts drop n → n−1 (n ≥ 1: the user is a
+        // current participant).
+        for &task in &old.tasks {
+            if !new.covers(task) {
+                let k = task.index();
+                let n = self.profile.participants(task);
+                let a_sum = self.alpha_sum[k];
+                phi_delta -= self.tables.share(task, n);
+                profit_delta += self.tables.share(task, n - 1) * (a_sum - alpha)
+                    - self.tables.share(task, n) * a_sum;
+                self.alpha_sum[k] = a_sum - alpha;
+                for i in 0..self.task_users[k].len() {
+                    self.mark_dirty(self.task_users[k][i]);
+                }
+            }
+        }
+        // Tasks the user joins: counts rise n → n+1.
+        for &task in &new.tasks {
+            if !old.covers(task) {
+                let k = task.index();
+                let n = self.profile.participants(task);
+                let a_sum = self.alpha_sum[k];
+                phi_delta += self.tables.share(task, n + 1);
+                profit_delta += self.tables.share(task, n + 1) * (a_sum + alpha)
+                    - self.tables.share(task, n) * a_sum;
+                self.alpha_sum[k] = a_sum + alpha;
+                for i in 0..self.task_users[k].len() {
+                    self.mark_dirty(self.task_users[k][i]);
+                }
+            }
+        }
+        let i = user.index();
+        phi_delta -=
+            self.phi_route_cost[i][new_route.index()] - self.phi_route_cost[i][old_route.index()];
+        profit_delta -=
+            self.route_cost[i][new_route.index()] - self.route_cost[i][old_route.index()];
+        self.phi.add(phi_delta);
+        self.total.add(profit_delta);
+        self.profile.apply_move(self.game, user, new_route);
+        self.mark_dirty(user);
+        old_route
+    }
+
+    /// Best route set `Δ_i(t)` of `user`, priced from the cached tables.
+    /// Identical semantics (and bit-identical results) to
+    /// [`crate::response::best_route_set`].
+    pub fn best_route_set(&self, user: UserId) -> BestResponse {
+        best_route_set_in(self, user)
+    }
+
+    /// Strictly improving routes of `user` with their gains; the cached-table
+    /// counterpart of [`crate::response::better_routes`].
+    pub fn better_routes(&self, user: UserId) -> Vec<(RouteId, f64)> {
+        better_routes_in(self, user)
+    }
+}
+
+/// Prices routes exactly like [`Profile::profit`] /
+/// [`Profile::profit_if_switched`], with shares and costs read from the
+/// caches: same values, same summation order, bit-identical results.
+impl ProfitView for Engine<'_> {
+    fn route_count(&self, user: UserId) -> usize {
+        self.game.users()[user.index()].routes.len()
+    }
+
+    fn choice(&self, user: UserId) -> RouteId {
+        self.profile.choice(user)
+    }
+
+    fn profit(&self, user: UserId) -> f64 {
+        let u = &self.game.users()[user.index()];
+        let choice = self.profile.choice(user);
+        let route = &u.routes[choice.index()];
+        let mut reward = 0.0;
+        for &task in &route.tasks {
+            reward += self.tables.share(task, self.profile.participants(task));
+        }
+        u.prefs.alpha * reward - self.route_cost[user.index()][choice.index()]
+    }
+
+    fn profit_if_switched(&self, user: UserId, candidate: RouteId) -> f64 {
+        let u = &self.game.users()[user.index()];
+        let current = &u.routes[self.profile.choice(user).index()];
+        let cand = &u.routes[candidate.index()];
+        let mut reward = 0.0;
+        for &task in &cand.tasks {
+            let n = self.profile.participants(task);
+            let n_after = if current.covers(task) { n } else { n + 1 };
+            reward += self.tables.share(task, n_after);
+        }
+        u.prefs.alpha * reward - self.route_cost[user.index()][candidate.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::PlatformParams;
+    use crate::potential::potential;
+    use crate::response::{best_route_set, better_routes};
+    use crate::route::Route;
+    use crate::task::Task;
+    use crate::user::{User, UserPrefs};
+
+    /// Three users over three tasks with overlapping coverage.
+    fn game() -> Game {
+        let tasks = vec![
+            Task::new(TaskId(0), 11.0, 0.3),
+            Task::new(TaskId(1), 15.0, 0.9),
+            Task::new(TaskId(2), 18.0, 0.0),
+        ];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.4, 0.6, 0.2),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0), TaskId(1)], 0.0, 2.0),
+                    Route::new(RouteId(1), vec![TaskId(2)], 4.0, 0.5),
+                ],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.7, 0.3, 0.5),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(1), TaskId(2)], 1.0, 1.0),
+                    Route::new(RouteId(1), vec![TaskId(0)], 0.0, 3.0),
+                ],
+            ),
+            User::new(
+                UserId(2),
+                UserPrefs::new(0.2, 0.8, 0.8),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(1)], 2.0, 0.0),
+                    Route::new(RouteId(1), vec![], 0.0, 0.0),
+                ],
+            ),
+        ];
+        Game::with_paper_bounds(tasks, users, PlatformParams::new(0.3, 0.6)).unwrap()
+    }
+
+    #[test]
+    fn share_tables_match_task_methods() {
+        let g = game();
+        let tables = ShareTables::new(&g);
+        for task in g.tasks() {
+            let cap = tables.capacity(task.id);
+            for n in 0..=cap + 3 {
+                assert_eq!(
+                    tables.share(task.id, n),
+                    task.share(n),
+                    "share({}, {n})",
+                    task.id
+                );
+                assert!(
+                    (tables.potential_term(task.id, n) - task.potential_term(n)).abs() < 1e-12,
+                    "potential_term({}, {n})",
+                    task.id
+                );
+            }
+            // Within the table range the prefix is bit-identical.
+            for n in 0..=cap {
+                assert_eq!(tables.potential_term(task.id, n), task.potential_term(n));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_profits_bit_identical_to_profile() {
+        let g = game();
+        let profile = Profile::all_first(&g);
+        let engine = Engine::new(&g, profile.clone());
+        for i in 0..g.user_count() {
+            let user = UserId::from_index(i);
+            assert_eq!(engine.profit(user), profile.profit(&g, user));
+            for r in 0..g.users()[i].routes.len() {
+                let route = RouteId::from_index(r);
+                assert_eq!(
+                    engine.profit_if_switched(user, route),
+                    profile.profit_if_switched(&g, user, route)
+                );
+            }
+            assert_eq!(
+                engine.best_route_set(user),
+                best_route_set(&g, &profile, user)
+            );
+            assert_eq!(
+                engine.better_routes(user),
+                better_routes(&g, &profile, user)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_potential_tracks_full_recompute() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        let moves = [(0u32, 1u32), (1, 1), (2, 1), (0, 0), (1, 0), (2, 0), (0, 1)];
+        for (u, r) in moves {
+            engine.apply_move(UserId(u), RouteId(r));
+            let fresh = potential(&g, engine.profile());
+            assert!(
+                (engine.potential() - fresh).abs() < 1e-9,
+                "phi drifted: {} vs {fresh}",
+                engine.potential()
+            );
+            let fresh_total = engine.profile().total_profit(&g);
+            assert!(
+                (engine.total_profit() - fresh_total).abs() < 1e-9,
+                "total drifted: {} vs {fresh_total}",
+                engine.total_profit()
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_set_covers_affected_users() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        // Initial drain: everyone.
+        let initial = engine.take_dirty();
+        assert_eq!(initial.len(), g.user_count());
+        assert!(engine.take_dirty().is_empty());
+        // User 2 leaves task 1 (covered by routes of users 0, 1, 2).
+        engine.apply_move(UserId(2), RouteId(1));
+        let dirty = engine.take_dirty();
+        assert_eq!(dirty, vec![UserId(0), UserId(1), UserId(2)]);
+        // No-op move dirties nothing.
+        engine.apply_move(UserId(2), RouteId(1));
+        assert!(engine.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn clean_users_keep_their_best_response() {
+        // A game where user 1's tasks are disjoint from user 0's.
+        let tasks = vec![
+            Task::new(TaskId(0), 10.0, 0.0),
+            Task::new(TaskId(1), 12.0, 0.0),
+        ];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.5, 0.5, 0.5),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0)], 0.0, 0.0),
+                    Route::new(RouteId(1), vec![], 1.0, 1.0),
+                ],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.5, 0.5, 0.5),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0),
+                    Route::new(RouteId(1), vec![], 1.0, 1.0),
+                ],
+            ),
+        ];
+        let g = Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        engine.take_dirty();
+        let before = engine.best_route_set(UserId(1));
+        engine.apply_move(UserId(0), RouteId(1));
+        // User 1 covers neither of user 0's tasks: stays clean.
+        assert_eq!(engine.take_dirty(), vec![UserId(0)]);
+        assert_eq!(engine.best_route_set(UserId(1)), before);
+    }
+
+    #[test]
+    fn inverted_index_sorted_per_task() {
+        let g = game();
+        let engine = Engine::new(&g, Profile::all_first(&g));
+        // Task 1 is on routes of all three users; task 2 on users 0 and 1.
+        assert_eq!(
+            engine.users_covering(TaskId(1)),
+            &[UserId(0), UserId(1), UserId(2)]
+        );
+        assert_eq!(engine.users_covering(TaskId(2)), &[UserId(0), UserId(1)]);
+    }
+}

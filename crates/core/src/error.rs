@@ -98,13 +98,24 @@ impl fmt::Display for GameError {
                 "user {user} weight {name}={value} outside the open interval (e_min, e_max)"
             ),
             GameError::PlatformWeightOutOfRange { name, value } => {
-                write!(f, "platform weight {name}={value} outside the open interval (0, 1)")
+                write!(
+                    f,
+                    "platform weight {name}={value} outside the open interval (0, 1)"
+                )
             }
             GameError::RewardOutOfRange { task, name, value } => {
                 write!(f, "task {task} reward parameter {name}={value} is invalid")
             }
-            GameError::RouteCostOutOfRange { user, route, name, value } => {
-                write!(f, "route {route} of user {user} has invalid {name} cost {value}")
+            GameError::RouteCostOutOfRange {
+                user,
+                route,
+                name,
+                value,
+            } => {
+                write!(
+                    f,
+                    "route {route} of user {user} has invalid {name} cost {value}"
+                )
             }
             GameError::InvalidProfile { detail } => write!(f, "invalid strategy profile: {detail}"),
         }
@@ -132,13 +143,16 @@ mod tests {
 
     #[test]
     fn error_trait_object_compatible() {
-        let err: Box<dyn std::error::Error> = Box::new(GameError::EmptyRouteSet { user: UserId(0) });
+        let err: Box<dyn std::error::Error> =
+            Box::new(GameError::EmptyRouteSet { user: UserId(0) });
         assert!(err.to_string().contains("empty recommended route set"));
     }
 
     #[test]
     fn invalid_profile_carries_detail() {
-        let err = GameError::InvalidProfile { detail: "length 3, expected 4".into() };
+        let err = GameError::InvalidProfile {
+            detail: "length 3, expected 4".into(),
+        };
         assert!(err.to_string().contains("length 3, expected 4"));
     }
 }

@@ -48,7 +48,11 @@ pub fn fig1_instance() -> Game {
             ],
         ),
         // u2: r3 = {$6 task}
-        User::new(UserId(1), prefs, vec![Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0)]),
+        User::new(
+            UserId(1),
+            prefs,
+            vec![Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0)],
+        ),
         // u3: r4 = {$6 task}, r5 = {$1 task}
         User::new(
             UserId(2),
@@ -59,8 +63,13 @@ pub fn fig1_instance() -> Game {
             ],
         ),
     ];
-    Game::new(tasks, users, PlatformParams::new(0.5, 0.5), WeightBounds::PAPER)
-        .expect("Fig. 1 instance is valid")
+    Game::new(
+        tasks,
+        users,
+        PlatformParams::new(0.5, 0.5),
+        WeightBounds::PAPER,
+    )
+    .expect("Fig. 1 instance is valid")
 }
 
 /// The three named profiles of Fig. 1, as route choices `(u1, u2, u3)`.
@@ -87,7 +96,10 @@ pub mod fig1_profiles {
 /// across both routes (maximizing task coverage); with large `φ` both take
 /// the zero-detour `r1`; with large `θ` both take the low-congestion `r2`.
 pub fn fig2_instance(phi: f64, theta: f64) -> Game {
-    let tasks = vec![Task::new(TaskId(0), 3.0, 0.0), Task::new(TaskId(1), 3.0, 0.0)];
+    let tasks = vec![
+        Task::new(TaskId(0), 3.0, 0.0),
+        Task::new(TaskId(1), 3.0, 0.0),
+    ];
     let prefs = UserPrefs::new(FIG_ALPHA, FIG_ALPHA, FIG_ALPHA);
     let routes = || {
         vec![
@@ -101,8 +113,13 @@ pub fn fig2_instance(phi: f64, theta: f64) -> Game {
     ];
     // Fig. 2 uses (φ, θ) up to 1; widen the user bounds so the uniform α stays
     // valid while φ, θ stay within their own (0, 1) constraint.
-    Game::new(tasks, users, PlatformParams::new(phi, theta), WeightBounds::PAPER)
-        .expect("Fig. 2 instance is valid")
+    Game::new(
+        tasks,
+        users,
+        PlatformParams::new(phi, theta),
+        WeightBounds::PAPER,
+    )
+    .expect("Fig. 2 instance is valid")
 }
 
 /// The Fig. 2 parameter rows: `(φ, θ)` pairs the figure tabulates. The
@@ -119,9 +136,8 @@ mod tests {
     fn fig1_totals_match_paper() {
         let g = fig1_instance();
         let unscale = 1.0 / FIG_ALPHA;
-        let total = |choices: &[RouteId; 3]| {
-            Profile::new(&g, choices.to_vec()).total_profit(&g) * unscale
-        };
+        let total =
+            |choices: &[RouteId; 3]| Profile::new(&g, choices.to_vec()).total_profit(&g) * unscale;
         assert!((total(&fig1_profiles::MAXIMUM_REWARD) - 6.0).abs() < 1e-9);
         assert!((total(&fig1_profiles::DISTRIBUTED_EQUILIBRIUM) - 11.0).abs() < 1e-9);
         assert!((total(&fig1_profiles::CENTRALIZED_OPTIMAL) - 12.0).abs() < 1e-9);
@@ -142,7 +158,7 @@ mod tests {
         let p = Profile::new(&g, fig1_profiles::CENTRALIZED_OPTIMAL.to_vec());
         let br = best_route_set(&g, &p, UserId(2));
         assert_eq!(br.best_routes, vec![RouteId(0)]); // u3 switches to r4
-        // Gains (6/2 − 1)·α = 2·0.5 = 1.
+                                                      // Gains (6/2 − 1)·α = 2·0.5 = 1.
         assert!((br.gain - 1.0).abs() < 1e-9);
     }
 

@@ -99,7 +99,11 @@ impl Game {
             ] {
                 let (name, value) = triple;
                 if !bounds.contains(value) {
-                    return Err(GameError::UserWeightOutOfRange { user: user.id, name, value });
+                    return Err(GameError::UserWeightOutOfRange {
+                        user: user.id,
+                        name,
+                        value,
+                    });
                 }
             }
             for route in &user.routes {
@@ -141,7 +145,12 @@ impl Game {
                 }
             }
         }
-        Ok(Self { tasks, users, params, bounds })
+        Ok(Self {
+            tasks,
+            users,
+            params,
+            bounds,
+        })
     }
 
     /// Builds a game with the Table 2 weight bounds.
@@ -301,7 +310,9 @@ mod tests {
     use crate::user::UserPrefs;
 
     fn simple_tasks(n: u32) -> Vec<Task> {
-        (0..n).map(|k| Task::new(TaskId(k), 10.0 + f64::from(k), 0.5)).collect()
+        (0..n)
+            .map(|k| Task::new(TaskId(k), 10.0 + f64::from(k), 0.5))
+            .collect()
     }
 
     fn user(id: u32, routes: Vec<Route>) -> User {
@@ -335,22 +346,40 @@ mod tests {
     fn unknown_task_rejected() {
         let err = Game::with_paper_bounds(
             simple_tasks(1),
-            vec![user(0, vec![Route::new(RouteId(0), vec![TaskId(5)], 0.0, 0.0)])],
+            vec![user(
+                0,
+                vec![Route::new(RouteId(0), vec![TaskId(5)], 0.0, 0.0)],
+            )],
             params(),
         )
         .unwrap_err();
-        assert!(matches!(err, GameError::UnknownTask { task: TaskId(5), .. }));
+        assert!(matches!(
+            err,
+            GameError::UnknownTask {
+                task: TaskId(5),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn duplicate_task_rejected() {
         let err = Game::with_paper_bounds(
             simple_tasks(2),
-            vec![user(0, vec![Route::new(RouteId(0), vec![TaskId(1), TaskId(1)], 0.0, 0.0)])],
+            vec![user(
+                0,
+                vec![Route::new(RouteId(0), vec![TaskId(1), TaskId(1)], 0.0, 0.0)],
+            )],
             params(),
         )
         .unwrap_err();
-        assert!(matches!(err, GameError::DuplicateTaskOnRoute { task: TaskId(1), .. }));
+        assert!(matches!(
+            err,
+            GameError::DuplicateTaskOnRoute {
+                task: TaskId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -368,7 +397,10 @@ mod tests {
             PlatformParams::new(0.0, 0.4),
         )
         .unwrap_err();
-        assert!(matches!(err, GameError::PlatformWeightOutOfRange { name: "phi", .. }));
+        assert!(matches!(
+            err,
+            GameError::PlatformWeightOutOfRange { name: "phi", .. }
+        ));
     }
 
     #[test]
@@ -376,7 +408,10 @@ mod tests {
         let mut u = user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)]);
         u.prefs.alpha = 1.5;
         let err = Game::with_paper_bounds(simple_tasks(1), vec![u], params()).unwrap_err();
-        assert!(matches!(err, GameError::UserWeightOutOfRange { name: "alpha", .. }));
+        assert!(matches!(
+            err,
+            GameError::UserWeightOutOfRange { name: "alpha", .. }
+        ));
     }
 
     #[test]
@@ -387,7 +422,10 @@ mod tests {
             params(),
         )
         .unwrap_err();
-        assert!(matches!(err, GameError::RouteCostOutOfRange { name: "detour", .. }));
+        assert!(matches!(
+            err,
+            GameError::RouteCostOutOfRange { name: "detour", .. }
+        ));
     }
 
     #[test]
@@ -400,7 +438,10 @@ mod tests {
             params(),
         )
         .unwrap_err();
-        assert!(matches!(err, GameError::RewardOutOfRange { name: "mu", .. }));
+        assert!(matches!(
+            err,
+            GameError::RewardOutOfRange { name: "mu", .. }
+        ));
     }
 
     #[test]
@@ -451,10 +492,14 @@ mod tests {
             params(),
         )
         .unwrap();
-        let g2 = g.with_user_prefs(UserId(1), UserPrefs::new(0.2, 0.8, 0.3)).unwrap();
+        let g2 = g
+            .with_user_prefs(UserId(1), UserPrefs::new(0.2, 0.8, 0.3))
+            .unwrap();
         assert_eq!(g2.user(UserId(1)).prefs.alpha, 0.2);
         assert_eq!(g2.user(UserId(0)).prefs, g.user(UserId(0)).prefs);
-        assert!(g.with_user_prefs(UserId(0), UserPrefs::new(5.0, 0.5, 0.5)).is_err());
+        assert!(g
+            .with_user_prefs(UserId(0), UserPrefs::new(5.0, 0.5, 0.5))
+            .is_err());
     }
 
     #[test]
@@ -465,9 +510,13 @@ mod tests {
             params(),
         )
         .unwrap();
-        let g2 = g.with_platform_params(PlatformParams::new(0.7, 0.2)).unwrap();
+        let g2 = g
+            .with_platform_params(PlatformParams::new(0.7, 0.2))
+            .unwrap();
         assert_eq!(g2.params().phi, 0.7);
-        assert!(g.with_platform_params(PlatformParams::new(0.0, 0.2)).is_err());
+        assert!(g
+            .with_platform_params(PlatformParams::new(0.0, 0.2))
+            .is_err());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   ([`potential`], [`potential_delta`], [`weighted_potential_defect`]);
 //! * better/best-response machinery and Nash-equilibrium checks
 //!   ([`best_route_set`], [`better_routes`], [`is_nash`]);
+//! * the incremental solver engine — cached share/potential tables, a
+//!   task→users inverted index, O(Δ)-per-move potential and total-profit
+//!   maintenance and dirty-set best-response invalidation ([`Engine`],
+//!   [`ShareTables`]);
 //! * the theoretical artifacts: Theorem 4's convergence-slot bound
 //!   ([`bounds`]), Theorem 5's Price-of-Anarchy bound ([`poa`]) and the
 //!   Theorem 1 set-cover reduction ([`reduction`]);
@@ -58,6 +62,7 @@
 
 pub mod bounds;
 pub mod breakdown;
+pub mod engine;
 pub mod error;
 pub mod examples;
 pub mod game;
@@ -72,11 +77,12 @@ pub mod task;
 pub mod user;
 
 pub use breakdown::{all_breakdowns, profit_breakdown, ProfitBreakdown};
+pub use engine::{Engine, ShareTables};
 pub use error::GameError;
 pub use game::{Game, PlatformParams};
 pub use potential::{potential, potential_delta, weighted_potential_defect};
 pub use profile::Profile;
-pub use response::{best_route_set, better_routes, is_nash, BestResponse, EPSILON};
+pub use response::{best_route_set, better_routes, is_nash, BestResponse, ProfitView, EPSILON};
 pub use route::Route;
 pub use task::Task;
 pub use user::{User, UserPrefs, WeightBounds};

@@ -69,13 +69,22 @@ impl SpecialCaseGame {
         }
         // Shared tasks follow, each with w(x) = a + ln x (μ = 1).
         for j in 0..spec.shared_tasks {
-            tasks.push(Task::new(TaskId::from_index(n_users + j), spec.shared_base_reward, 1.0));
+            tasks.push(Task::new(
+                TaskId::from_index(n_users + j),
+                spec.shared_base_reward,
+                1.0,
+            ));
         }
         let prefs = UserPrefs::new(SPECIAL_CASE_ALPHA, SPECIAL_CASE_ALPHA, SPECIAL_CASE_ALPHA);
         let users = (0..n_users)
             .map(|i| {
                 let mut routes = Vec::with_capacity(1 + spec.shared_tasks);
-                routes.push(Route::new(RouteId(0), vec![TaskId::from_index(i)], 0.0, 0.0));
+                routes.push(Route::new(
+                    RouteId(0),
+                    vec![TaskId::from_index(i)],
+                    0.0,
+                    0.0,
+                ));
                 for j in 0..spec.shared_tasks {
                     routes.push(Route::new(
                         RouteId::from_index(1 + j),
@@ -277,8 +286,7 @@ mod tests {
             let mut best = f64::NEG_INFINITY;
             let mut idx = vec![0usize; m];
             loop {
-                let choices: Vec<RouteId> =
-                    idx.iter().map(|&r| RouteId::from_index(r)).collect();
+                let choices: Vec<RouteId> = idx.iter().map(|&r| RouteId::from_index(r)).collect();
                 let p = Profile::new(&sc.game, choices);
                 best = best.max(p.total_profit(&sc.game));
                 let mut pos = 0;

@@ -20,6 +20,10 @@ use crate::profile::Profile;
 
 /// Evaluates the potential `ϕ(s)` of `profile` from scratch in
 /// `O(Σ_k n_k + Σ_i |L_{s_i}|)`.
+///
+/// The reference evaluation; solvers that need `ϕ` per decision slot use the
+/// O(1) incrementally maintained [`crate::engine::Engine::potential`], whose
+/// agreement with this function (within `1e-9`) is property-tested.
 pub fn potential(game: &Game, profile: &Profile) -> f64 {
     let mut phi = 0.0;
     for task in game.tasks() {
@@ -153,7 +157,10 @@ mod tests {
             [(0u32, 1u32), (1, 1), (2, 1), (0, 0), (1, 0)].map(|(u, r)| (UserId(u), RouteId(r)));
         for (user, route) in moves {
             let defect = weighted_potential_defect(&g, &p, user, route);
-            assert!(defect < 1e-10, "Eq. 11 defect {defect} for {user} -> {route}");
+            assert!(
+                defect < 1e-10,
+                "Eq. 11 defect {defect} for {user} -> {route}"
+            );
             p.apply_move(&g, user, route);
         }
     }
@@ -182,8 +189,7 @@ mod tests {
             let user = UserId(user);
             for route in 0..2u32 {
                 let route = RouteId(route);
-                let gain =
-                    p.profit_if_switched(&g, user, route) - p.profit(&g, user);
+                let gain = p.profit_if_switched(&g, user, route) - p.profit(&g, user);
                 let phi_delta = potential_delta(&g, &p, user, route);
                 assert_eq!(gain > 1e-12, phi_delta > 1e-12 / 0.9, "sign mismatch");
                 if gain > 0.0 {

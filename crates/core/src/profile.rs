@@ -6,6 +6,7 @@
 //! evaluations read these counts; a unilateral move costs
 //! `O(|L_{s_i}| + |L_{s_i'}|)` rather than a full recount.
 
+use crate::error::GameError;
 use crate::game::Game;
 use crate::ids::{RouteId, TaskId, UserId};
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,15 @@ impl Profile {
             }
         }
         Self { choices, counts }
+    }
+
+    /// Fallible counterpart of [`Profile::new`] for **untrusted** choices
+    /// (wire-decoded protocol frames, CLI arguments): validates via
+    /// [`Game::validate_profile`] and returns the error instead of relying
+    /// on debug assertions.
+    pub fn try_new(game: &Game, choices: Vec<RouteId>) -> Result<Self, GameError> {
+        game.validate_profile(&choices)?;
+        Ok(Self::new(game, choices))
     }
 
     /// Builds the profile where every user takes their first recommended
@@ -126,7 +136,9 @@ impl Profile {
 
     /// Total profit `Σ_i P_i(s)` (objective of Eq. 5).
     pub fn total_profit(&self, game: &Game) -> f64 {
-        (0..game.user_count()).map(|i| self.profit(game, UserId::from_index(i))).sum()
+        (0..game.user_count())
+            .map(|i| self.profit(game, UserId::from_index(i)))
+            .sum()
     }
 
     /// Number of tasks with at least one participant.

@@ -67,8 +67,13 @@ pub fn set_cover_to_game(instance: &SetCoverInstance) -> Game {
     let users = (0..instance.picks)
         .map(|i| User::new(UserId::from_index(i), prefs, routes.clone()))
         .collect();
-    Game::new(tasks, users, PlatformParams::new(0.5, 0.5), WeightBounds::PAPER)
-        .expect("reduction always builds a valid game")
+    Game::new(
+        tasks,
+        users,
+        PlatformParams::new(0.5, 0.5),
+        WeightBounds::PAPER,
+    )
+    .expect("reduction always builds a valid game")
 }
 
 /// Number of covered elements of the set-cover instance corresponding to a
@@ -157,7 +162,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "subset element out of universe")]
     fn invalid_subset_rejected() {
-        let inst = SetCoverInstance { universe: 2, subsets: vec![vec![5]], picks: 1 };
+        let inst = SetCoverInstance {
+            universe: 2,
+            subsets: vec![vec![5]],
+            picks: 1,
+        };
         let _ = set_cover_to_game(&inst);
     }
 }

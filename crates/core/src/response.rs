@@ -46,6 +46,44 @@ impl BestResponse {
     }
 }
 
+/// A view of per-user route profits under some joint strategy state.
+///
+/// Both the plain `(Game, Profile)` pair and the incremental
+/// [`Engine`](crate::engine::Engine) price routes; the best/better-response
+/// scans below are generic over this trait so that both paths share one
+/// implementation of the [`EPSILON`] tie-breaking rules and stay
+/// bit-identical by construction.
+pub trait ProfitView {
+    /// Number of recommended routes of `user`.
+    fn route_count(&self, user: UserId) -> usize;
+    /// The route `user` currently travels.
+    fn choice(&self, user: UserId) -> RouteId;
+    /// Profit `P_i(s)` of `user` under the current joint strategy.
+    fn profit(&self, user: UserId) -> f64;
+    /// Profit of `user` if it unilaterally switched to `candidate`.
+    fn profit_if_switched(&self, user: UserId, candidate: RouteId) -> f64;
+}
+
+/// The naive profit view: prices every route directly from the game
+/// definition and the profile's participant counts.
+impl ProfitView for (&Game, &Profile) {
+    fn route_count(&self, user: UserId) -> usize {
+        self.0.users()[user.index()].routes.len()
+    }
+
+    fn choice(&self, user: UserId) -> RouteId {
+        self.1.choice(user)
+    }
+
+    fn profit(&self, user: UserId) -> f64 {
+        self.1.profit(self.0, user)
+    }
+
+    fn profit_if_switched(&self, user: UserId, candidate: RouteId) -> f64 {
+        self.1.profit_if_switched(self.0, user, candidate)
+    }
+}
+
 /// Computes the best route set `Δ_i(t)` of `user` (Alg. 1, line 10).
 ///
 /// Scans every recommended route, evaluating the unilateral-deviation profit
@@ -53,16 +91,21 @@ impl BestResponse {
 /// maximum are all reported (ties), but only if the maximum strictly exceeds
 /// the current profit by more than [`EPSILON`].
 pub fn best_route_set(game: &Game, profile: &Profile, user: UserId) -> BestResponse {
-    let current_profit = profile.profit(game, user);
-    let n_routes = game.users()[user.index()].routes.len();
+    best_route_set_in(&(game, profile), user)
+}
+
+/// [`best_route_set`] generic over any [`ProfitView`].
+pub fn best_route_set_in<V: ProfitView>(view: &V, user: UserId) -> BestResponse {
+    let current_profit = view.profit(user);
+    let n_routes = view.route_count(user);
     let mut best_profit = f64::NEG_INFINITY;
     let mut profits = Vec::with_capacity(n_routes);
     for r in 0..n_routes {
         let candidate = RouteId::from_index(r);
-        let p = if candidate == profile.choice(user) {
+        let p = if candidate == view.choice(user) {
             current_profit
         } else {
-            profile.profit_if_switched(game, user, candidate)
+            view.profit_if_switched(user, candidate)
         };
         profits.push(p);
         if p > best_profit {
@@ -70,7 +113,11 @@ pub fn best_route_set(game: &Game, profile: &Profile, user: UserId) -> BestRespo
         }
     }
     if best_profit <= current_profit + EPSILON {
-        return BestResponse { best_routes: Vec::new(), gain: 0.0, best_profit: current_profit };
+        return BestResponse {
+            best_routes: Vec::new(),
+            gain: 0.0,
+            best_profit: current_profit,
+        };
     }
     let best_routes = profits
         .iter()
@@ -78,22 +125,31 @@ pub fn best_route_set(game: &Game, profile: &Profile, user: UserId) -> BestRespo
         .filter(|&(_, &p)| p >= best_profit - EPSILON)
         .map(|(r, _)| RouteId::from_index(r))
         .collect();
-    BestResponse { best_routes, gain: best_profit - current_profit, best_profit }
+    BestResponse {
+        best_routes,
+        gain: best_profit - current_profit,
+        best_profit,
+    }
 }
 
 /// Lists every strictly improving route of `user` together with its profit
 /// gain (better-response candidates, Definition 1).
 pub fn better_routes(game: &Game, profile: &Profile, user: UserId) -> Vec<(RouteId, f64)> {
-    let current_profit = profile.profit(game, user);
-    let current = profile.choice(user);
-    let n_routes = game.users()[user.index()].routes.len();
+    better_routes_in(&(game, profile), user)
+}
+
+/// [`better_routes`] generic over any [`ProfitView`].
+pub fn better_routes_in<V: ProfitView>(view: &V, user: UserId) -> Vec<(RouteId, f64)> {
+    let current_profit = view.profit(user);
+    let current = view.choice(user);
+    let n_routes = view.route_count(user);
     let mut out = Vec::new();
     for r in 0..n_routes {
         let candidate = RouteId::from_index(r);
         if candidate == current {
             continue;
         }
-        let p = profile.profit_if_switched(game, user, candidate);
+        let p = view.profit_if_switched(user, candidate);
         if p > current_profit + EPSILON {
             out.push((candidate, p - current_profit));
         }
@@ -186,7 +242,10 @@ mod tests {
     /// profile unstable.
     #[test]
     fn sharing_induces_spreading() {
-        let tasks = vec![Task::new(TaskId(0), 12.0, 0.0), Task::new(TaskId(1), 10.0, 0.0)];
+        let tasks = vec![
+            Task::new(TaskId(0), 12.0, 0.0),
+            Task::new(TaskId(1), 10.0, 0.0),
+        ];
         let routes = |_: u32| {
             vec![
                 Route::new(RouteId(0), vec![TaskId(0)], 0.0, 0.0),
@@ -196,8 +255,7 @@ mod tests {
         let users = (0..2)
             .map(|i| User::new(UserId(i), UserPrefs::new(0.5, 0.5, 0.5), routes(i)))
             .collect();
-        let g =
-            Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap();
+        let g = Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap();
         // Both on the 12-task: each receives 6 < 10, so both want to deviate.
         let p = Profile::all_first(&g);
         assert!(!is_nash(&g, &p));
@@ -218,8 +276,7 @@ mod tests {
                 Route::new(RouteId(1), vec![TaskId(0)], 1.0, 1.0),
             ],
         )];
-        let g =
-            Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap();
+        let g = Game::with_paper_bounds(tasks, users, PlatformParams::new(0.5, 0.5)).unwrap();
         let p = Profile::all_first(&g);
         assert!(!best_route_set(&g, &p, UserId(0)).can_improve());
         assert!(better_routes(&g, &p, UserId(0)).is_empty());

@@ -29,7 +29,13 @@ pub struct Route {
 impl Route {
     /// Creates a route from its game-relevant data.
     pub fn new(id: RouteId, tasks: Vec<TaskId>, detour: f64, congestion: f64) -> Self {
-        Self { id, tasks, detour, congestion, geometry: None }
+        Self {
+            id,
+            tasks,
+            detour,
+            congestion,
+            geometry: None,
+        }
     }
 
     /// Attaches polyline geometry (builder style).
@@ -76,8 +82,8 @@ mod tests {
 
     #[test]
     fn geometry_builder_attaches_polyline() {
-        let r = Route::new(RouteId(0), vec![], 0.0, 0.0)
-            .with_geometry(vec![(0.0, 0.0), (1.0, 1.0)]);
+        let r =
+            Route::new(RouteId(0), vec![], 0.0, 0.0).with_geometry(vec![(0.0, 0.0), (1.0, 1.0)]);
         assert_eq!(r.geometry.as_ref().map(Vec::len), Some(2));
     }
 }

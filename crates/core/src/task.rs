@@ -26,12 +26,22 @@ pub struct Task {
 impl Task {
     /// Creates a task without a location.
     pub fn new(id: TaskId, base_reward: f64, increment: f64) -> Self {
-        Self { id, base_reward, increment, location: None }
+        Self {
+            id,
+            base_reward,
+            increment,
+            location: None,
+        }
     }
 
     /// Creates a task pinned to a planar location.
     pub fn at(id: TaskId, base_reward: f64, increment: f64, location: (f64, f64)) -> Self {
-        Self { id, base_reward, increment, location: Some(location) }
+        Self {
+            id,
+            base_reward,
+            increment,
+            location: Some(location),
+        }
     }
 
     /// Total reward `w_k(x) = a_k + μ_k · ln x` paid when `x` users perform
@@ -61,6 +71,10 @@ impl Task {
 
     /// The harmonic-style prefix sum `Σ_{q=1}^{x} w_k(q) / q` that the
     /// potential function accumulates per task (Eq. 8).
+    ///
+    /// This is the O(x) reference evaluation; hot solver loops use the
+    /// precomputed prefix tables of [`crate::engine::ShareTables`], which are
+    /// built by this very summation and therefore bit-identical.
     #[inline]
     pub fn potential_term(&self, participants: u32) -> f64 {
         let mut acc = 0.0;

@@ -20,7 +20,10 @@ pub struct WeightBounds {
 
 impl WeightBounds {
     /// Table 2 bounds: user weights in `[0.1, 0.9]`.
-    pub const PAPER: WeightBounds = WeightBounds { e_min: 0.1 - 1e-9, e_max: 0.9 + 1e-9 };
+    pub const PAPER: WeightBounds = WeightBounds {
+        e_min: 0.1 - 1e-9,
+        e_max: 0.9 + 1e-9,
+    };
 
     /// Whether `value` lies strictly inside `(e_min, e_max)`.
     #[inline]

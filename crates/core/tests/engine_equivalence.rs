@@ -1,0 +1,221 @@
+//! Property tests pinning the incremental [`Engine`] to the naive reference
+//! evaluation: along arbitrary move sequences the O(1) running potential and
+//! total profit must track full recomputation within `1e-9`, per-user profits
+//! must be bit-identical, and the dirty-set invalidation must be sound — a
+//! user the engine left clean would have produced the same response anyway.
+
+use proptest::prelude::*;
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::response::{best_route_set, better_routes, ProfitView};
+use vcs_core::{potential, Engine, Game, PlatformParams, Profile, Route, Task, User, UserPrefs};
+
+/// A generated random game instance plus a valid strategy profile.
+#[derive(Debug, Clone)]
+struct Instance {
+    game: Game,
+    choices: Vec<RouteId>,
+}
+
+prop_compose! {
+    fn arb_instance()(
+        n_tasks in 1usize..10,
+        n_users in 1usize..8,
+        seed in any::<u64>(),
+    ) -> Instance {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|k| Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            ))
+            .collect();
+        let users: Vec<User> = (0..n_users)
+            .map(|i| {
+                let n_routes = rng.random_range(1..=4usize);
+                let routes = (0..n_routes)
+                    .map(|r| {
+                        let mut covered: Vec<TaskId> = (0..rng.random_range(0..5usize))
+                            .map(|_| TaskId::from_index(rng.random_range(0..n_tasks)))
+                            .collect();
+                        covered.sort_unstable();
+                        covered.dedup();
+                        Route::new(
+                            RouteId::from_index(r),
+                            covered,
+                            rng.random_range(0.0..5.0),
+                            rng.random_range(0.0..5.0),
+                        )
+                    })
+                    .collect();
+                User::new(
+                    UserId::from_index(i),
+                    UserPrefs::new(
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                        rng.random_range(0.1..0.9),
+                    ),
+                    routes,
+                )
+            })
+            .collect();
+        let choices = users
+            .iter()
+            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+            .collect();
+        let game = Game::with_paper_bounds(
+            tasks,
+            users,
+            PlatformParams::new(rng.random_range(0.1..0.8), rng.random_range(0.1..0.8)),
+        )
+        .expect("generated instance is valid");
+        Instance { game, choices }
+    }
+}
+
+/// Resolves a raw `(user, route)` pair against the instance's dimensions.
+fn resolve_move(game: &Game, u_raw: u32, r_raw: u32) -> (UserId, RouteId) {
+    let user = UserId::from_index(u_raw as usize % game.user_count());
+    let n_routes = game.users()[user.index()].routes.len();
+    (user, RouteId::from_index(r_raw as usize % n_routes))
+}
+
+proptest! {
+    /// The engine's O(1) running `ϕ` and total profit agree with the naive
+    /// full recomputation after every move of an arbitrary sequence.
+    #[test]
+    fn incremental_totals_track_recompute_along_random_walk(
+        inst in arb_instance(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        for (u_raw, r_raw) in moves {
+            let (user, route) = resolve_move(&inst.game, u_raw, r_raw);
+            engine.apply_move(user, route);
+            let phi = potential(&inst.game, engine.profile());
+            let total = engine.profile().total_profit(&inst.game);
+            prop_assert!(
+                (engine.potential() - phi).abs() < 1e-9,
+                "ϕ drift: incremental {} vs fresh {phi}",
+                engine.potential()
+            );
+            prop_assert!(
+                (engine.total_profit() - total).abs() < 1e-9,
+                "total-profit drift: incremental {} vs fresh {total}",
+                engine.total_profit()
+            );
+        }
+    }
+
+    /// Per-user profits and hypothetical switched profits seen through the
+    /// engine are bit-identical to the naive profile evaluation — the engine
+    /// mirrors the reference summation order exactly.
+    #[test]
+    fn profits_bit_identical_after_moves(
+        inst in arb_instance(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>()), 0..20),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        for (u_raw, r_raw) in moves {
+            let (user, route) = resolve_move(&inst.game, u_raw, r_raw);
+            engine.apply_move(user, route);
+        }
+        for user in inst.game.users() {
+            prop_assert_eq!(
+                engine.profit(user.id),
+                engine.profile().profit(&inst.game, user.id)
+            );
+            for r in 0..user.routes.len() {
+                let candidate = RouteId::from_index(r);
+                prop_assert_eq!(
+                    engine.profit_if_switched(user.id, candidate),
+                    engine.profile().profit_if_switched(&inst.game, user.id, candidate)
+                );
+            }
+        }
+    }
+
+    /// After an arbitrary move sequence the engine's best/better responses
+    /// equal a full naive rescan for every user — same route sets, same gains.
+    #[test]
+    fn responses_match_full_rescan(
+        inst in arb_instance(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>()), 0..20),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        for (u_raw, r_raw) in moves {
+            let (user, route) = resolve_move(&inst.game, u_raw, r_raw);
+            engine.apply_move(user, route);
+        }
+        for user in inst.game.users() {
+            let fresh = best_route_set(&inst.game, engine.profile(), user.id);
+            let cached = engine.best_route_set(user.id);
+            prop_assert_eq!(&cached.best_routes, &fresh.best_routes);
+            prop_assert_eq!(cached.gain, fresh.gain);
+            prop_assert_eq!(cached.best_profit, fresh.best_profit);
+            prop_assert_eq!(
+                engine.better_routes(user.id),
+                better_routes(&inst.game, engine.profile(), user.id)
+            );
+        }
+    }
+
+    /// Dirty-set soundness: replaying the solver caching pattern — compute
+    /// all responses, apply a move, recompute only the users the engine
+    /// marked dirty — every cached (clean) response still equals a fresh
+    /// full rescan. A user left clean would have answered identically.
+    #[test]
+    fn clean_cached_responses_equal_full_rescan(
+        inst in arb_instance(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>()), 1..20),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        let m = inst.game.user_count();
+        // Initial fill: everyone starts dirty.
+        let mut cache: Vec<_> = (0..m)
+            .map(|i| engine.best_route_set(UserId::from_index(i)))
+            .collect();
+        engine.take_dirty();
+        for (u_raw, r_raw) in moves {
+            let (user, route) = resolve_move(&inst.game, u_raw, r_raw);
+            engine.apply_move(user, route);
+            for dirtied in engine.take_dirty() {
+                cache[dirtied.index()] = engine.best_route_set(dirtied);
+            }
+            for (i, cached) in cache.iter().enumerate() {
+                let fresh = best_route_set(
+                    &inst.game, engine.profile(), UserId::from_index(i),
+                );
+                prop_assert_eq!(&cached.best_routes, &fresh.best_routes);
+                prop_assert_eq!(cached.gain, fresh.gain);
+            }
+        }
+    }
+
+    /// The share tables agree with `Task::share` / `Task::potential_term`
+    /// bit for bit inside the precomputed range and within `1e-12` beyond.
+    #[test]
+    fn share_tables_agree_with_task(inst in arb_instance()) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let engine = Engine::new(&inst.game, profile);
+        let tables = engine.tables();
+        for task in inst.game.tasks() {
+            let cap = tables.capacity(task.id);
+            for n in 0..=(cap + 3) {
+                let (s, p) = (tables.share(task.id, n), tables.potential_term(task.id, n));
+                if n <= cap {
+                    prop_assert_eq!(s, task.share(n));
+                } else {
+                    prop_assert!((s - task.share(n)).abs() < 1e-12);
+                }
+                prop_assert!((p - task.potential_term(n)).abs() < 1e-12);
+            }
+        }
+    }
+}

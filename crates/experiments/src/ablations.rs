@@ -36,10 +36,17 @@ pub fn ablation_routes(ctx: &Ctx) -> Report {
     for max_routes in 1..=5usize {
         let rows = replicate(ctx.reps, |rep| {
             let seed = replicate_seed(ctx.base_seed, TAG_ROUTES + max_routes as u64, rep);
-            let params = ScenarioParams { max_routes, ..ScenarioParams::default() };
+            let params = ScenarioParams {
+                max_routes,
+                ..ScenarioParams::default()
+            };
             let game = build_game(&pool, USERS, TASKS, seed, params);
             let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
-            (out.profile.total_profit(&game), coverage(&game, &out.profile), out.slots as f64)
+            (
+                out.profile.total_profit(&game),
+                coverage(&game, &out.profile),
+                out.slots as f64,
+            )
         });
         let n = rows.len() as f64;
         report.push_row(vec![
@@ -64,7 +71,10 @@ pub fn ablation_mu(ctx: &Ctx) -> Report {
     for (i, mu) in [0.0f64, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
         let rows = replicate(ctx.reps, |rep| {
             let seed = replicate_seed(ctx.base_seed, TAG_MU + i as u64, rep);
-            let params = ScenarioParams { mu_range: (mu, mu), ..ScenarioParams::default() };
+            let params = ScenarioParams {
+                mu_range: (mu, mu),
+                ..ScenarioParams::default()
+            };
             let game = build_game(&pool, USERS, TASKS, seed, params);
             let out = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
             (
@@ -92,7 +102,13 @@ pub fn ablation_response(ctx: &Ctx) -> Report {
     let mut report = Report::new(
         "ablation_response",
         "Ablation: response rule × scheduler (slots and final profit, Shanghai)",
-        &["algorithm", "response", "scheduler", "slots", "total profit"],
+        &[
+            "algorithm",
+            "response",
+            "scheduler",
+            "slots",
+            "total profit",
+        ],
     );
     let pool = ctx.pool(Dataset::Shanghai);
     let cells: [(DistributedAlgorithm, &str, &str); 4] = [

@@ -19,7 +19,12 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { reps: 500, seed: 20210809, out: None, experiments: Vec::new() };
+    let mut args = Args {
+        reps: 500,
+        seed: 20210809,
+        out: None,
+        experiments: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -14,7 +14,12 @@ pub fn build_game(
     seed: u64,
     params: ScenarioParams,
 ) -> Game {
-    pool.instantiate(&ScenarioConfig { n_users, n_tasks, seed, params })
+    pool.instantiate(&ScenarioConfig {
+        n_users,
+        n_tasks,
+        seed,
+        params,
+    })
 }
 
 /// Runs one distributed algorithm to equilibrium on a replicate game.
@@ -132,8 +137,24 @@ mod tests {
         let f = |game: &Game, seed: u64| {
             equilibrate(game, DistributedAlgorithm::Muun, seed).slots as f64
         };
-        let a = replicate_mean(&ctx, Dataset::Shanghai, 1, 8, 15, ScenarioParams::default(), f);
-        let b = replicate_mean(&ctx, Dataset::Shanghai, 1, 8, 15, ScenarioParams::default(), f);
+        let a = replicate_mean(
+            &ctx,
+            Dataset::Shanghai,
+            1,
+            8,
+            15,
+            ScenarioParams::default(),
+            f,
+        );
+        let b = replicate_mean(
+            &ctx,
+            Dataset::Shanghai,
+            1,
+            8,
+            15,
+            ScenarioParams::default(),
+            f,
+        );
         assert_eq!(a, b);
     }
 

@@ -21,7 +21,14 @@ pub fn ablation_communication(ctx: &Ctx) -> Report {
     let mut report = Report::new(
         "ablation_communication",
         "Ablation: protocol cost to equilibrium (messages / KiB), SUU vs PUU",
-        &["users", "scheduler", "slots", "messages", "KiB", "msgs/user"],
+        &[
+            "users",
+            "scheduler",
+            "slots",
+            "messages",
+            "KiB",
+            "msgs/user",
+        ],
     );
     let pool = ctx.pool(Dataset::Shanghai);
     for n_users in [10usize, 20, 40, 80] {
@@ -51,7 +58,10 @@ pub fn ablation_communication(ctx: &Ctx) -> Report {
             ]);
         }
     }
-    report.note(format!("40 tasks; {} repetitions per cell; common random numbers", ctx.reps));
+    report.note(format!(
+        "40 tasks; {} repetitions per cell; common random numbers",
+        ctx.reps
+    ));
     report.note("PUU batches updates, so it needs fewer slots and fewer count-broadcast rounds");
     report
 }

@@ -21,7 +21,12 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context.
     pub fn new(reps: usize, base_seed: u64, out_dir: Option<PathBuf>) -> Self {
-        Self { reps, base_seed, out_dir, pools: Mutex::new(HashMap::new()) }
+        Self {
+            reps,
+            base_seed,
+            out_dir,
+            pools: Mutex::new(HashMap::new()),
+        }
     }
 
     /// A fast context for unit tests (2 repetitions).

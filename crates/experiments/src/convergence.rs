@@ -26,7 +26,13 @@ pub fn fig3(ctx: &Ctx) -> Report {
     for dataset in Dataset::ALL {
         let pool = ctx.pool(dataset);
         let seed = replicate_seed(ctx.base_seed, tags::FIG3, 0);
-        let game = build_game(&pool, FIG3_USERS, FIG3_TASKS, seed, ScenarioParams::default());
+        let game = build_game(
+            &pool,
+            FIG3_USERS,
+            FIG3_TASKS,
+            seed,
+            ScenarioParams::default(),
+        );
         let mut cfg = RunConfig::with_seed(seed);
         cfg.record_user_profits = true;
         let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &cfg);
@@ -183,7 +189,10 @@ pub fn table3(ctx: &Ctx) -> Report {
             let seed = replicate_seed(ctx.base_seed, tags::TABLE3 + i as u64, rep);
             let game = build_game(&pool, 40, n_tasks, seed, ScenarioParams::default());
             let out = equilibrate(&game, DistributedAlgorithm::Muun, seed);
-            (overlap_ratio(&game, &out.profile), out.mean_updates_per_slot())
+            (
+                overlap_ratio(&game, &out.profile),
+                out.mean_updates_per_slot(),
+            )
         });
         let n = rows.len() as f64;
         let overlap: f64 = rows.iter().map(|r| r.0).sum::<f64>() / n;
@@ -207,7 +216,10 @@ mod tests {
     fn fig3_rows_cover_all_datasets_and_slots() {
         let r = fig3(&tiny_ctx());
         assert_eq!(r.rows.len(), 3 * (FIG3_SLOTS + 1));
-        assert!(r.notes.iter().all(|n| n.contains("equilibrium verified: true")));
+        assert!(r
+            .notes
+            .iter()
+            .all(|n| n.contains("equilibrium verified: true")));
     }
 
     #[test]
@@ -230,8 +242,10 @@ mod tests {
     fn fig6_potential_monotone() {
         let r = fig6(&tiny_ctx());
         for dataset_rows in r.rows.chunks(36) {
-            let potentials: Vec<f64> =
-                dataset_rows.iter().map(|row| row[2].parse().unwrap()).collect();
+            let potentials: Vec<f64> = dataset_rows
+                .iter()
+                .map(|row| row[2].parse().unwrap())
+                .collect();
             for w in potentials.windows(2) {
                 assert!(w[1] >= w[0] - 1e-6, "potential decreased: {w:?}");
             }

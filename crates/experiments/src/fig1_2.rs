@@ -19,29 +19,41 @@ pub fn fig1() -> Report {
     );
     let named: [(&str, &[RouteId; 3]); 3] = [
         ("Maximum reward", &fig1_profiles::MAXIMUM_REWARD),
-        ("Distributed equilibrium", &fig1_profiles::DISTRIBUTED_EQUILIBRIUM),
+        (
+            "Distributed equilibrium",
+            &fig1_profiles::DISTRIBUTED_EQUILIBRIUM,
+        ),
         ("Centralized optimal", &fig1_profiles::CENTRALIZED_OPTIMAL),
     ];
     for (name, choices) in named {
         let profile = Profile::new(&game, choices.to_vec());
         let unscale = 1.0 / FIG_ALPHA;
-        let profits: Vec<f64> =
-            (0..3).map(|i| profile.profit(&game, UserId(i)) * unscale).collect();
+        let profits: Vec<f64> = (0..3)
+            .map(|i| profile.profit(&game, UserId(i)) * unscale)
+            .collect();
         report.push_row(vec![
             name.to_string(),
             fmt1(profits[0]),
             fmt1(profits[1]),
             fmt1(profits[2]),
             fmt1(profits.iter().sum()),
-            if is_nash(&game, &profile) { "yes" } else { "no" }.to_string(),
+            if is_nash(&game, &profile) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     // Confirm the dynamics find the equilibrium from random starts.
     let mut all_equal = true;
     for seed in 0..20 {
-        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
-        all_equal &=
-            out.profile.choices() == fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice();
+        let out = run_distributed(
+            &game,
+            DistributedAlgorithm::Dgrn,
+            &RunConfig::with_seed(seed),
+        );
+        all_equal &= out.profile.choices() == fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice();
     }
     report.note(format!(
         "DGRN from 20 random starts always reaches the distributed equilibrium: {all_equal}"

@@ -9,8 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub mod communication;
 pub mod common;
+pub mod communication;
 pub mod context;
 pub mod convergence;
 pub mod fig1_2;

@@ -51,7 +51,10 @@ pub fn fig12(ctx: &Ctx) -> Report {
             ]);
         }
     }
-    report.note(format!("{USERS} users, {TASKS} tasks, {} repetitions per cell", ctx.reps));
+    report.note(format!(
+        "{USERS} users, {TASKS} tasks, {} repetitions per cell",
+        ctx.reps
+    ));
     report
 }
 
@@ -79,7 +82,12 @@ pub fn table5(ctx: &Ctx) -> Report {
     let mut report = Report::new(
         "table5",
         "Influence of the user parameters (Shanghai, observed user 0)",
-        &["weight", "alpha: reward", "beta: detour", "gamma: congestion"],
+        &[
+            "weight",
+            "alpha: reward",
+            "beta: detour",
+            "gamma: congestion",
+        ],
     );
     let pool = ctx.pool(Dataset::Shanghai);
     let observed = UserId(0);
@@ -104,7 +112,10 @@ pub fn table5(ctx: &Ctx) -> Report {
         }
         report.push_row(cells);
     }
-    report.note(format!("{USERS} users, {TASKS} tasks, {} repetitions per cell", ctx.reps));
+    report.note(format!(
+        "{USERS} users, {TASKS} tasks, {} repetitions per cell",
+        ctx.reps
+    ));
     report.note("paper: reward grows with α; detour shrinks with β; congestion shrinks with γ");
     report
 }
@@ -133,7 +144,10 @@ mod tests {
         let ctx = Ctx::for_tests();
         let r = fig12(&ctx);
         let band_mean = |rows: &[Vec<String>]| {
-            rows.iter().map(|row| row[3].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
+            rows.iter()
+                .map(|row| row[3].parse::<f64>().unwrap())
+                .sum::<f64>()
+                / rows.len() as f64
         };
         let low_phi = band_mean(&r.rows[0..5]);
         let high_phi = band_mean(&r.rows[20..25]);

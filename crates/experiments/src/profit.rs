@@ -24,8 +24,7 @@ pub fn fig7(ctx: &Ctx) -> Report {
         for n_users in 10..=14usize {
             let rows = replicate(ctx.reps, |rep| {
                 let seed = replicate_seed(ctx.base_seed, tags::FIG7 + n_users as u64, rep);
-                let game =
-                    build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
+                let game = build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
                 let dgrn = equilibrate(&game, DistributedAlgorithm::Dgrn, seed)
                     .profile
                     .total_profit(&game);
@@ -44,7 +43,10 @@ pub fn fig7(ctx: &Ctx) -> Report {
             ]);
         }
     }
-    report.note(format!("{} tasks; {} repetitions per point", CORN_TASKS, ctx.reps));
+    report.note(format!(
+        "{} tasks; {} repetitions per point",
+        CORN_TASKS, ctx.reps
+    ));
     report
 }
 
@@ -157,8 +159,7 @@ pub fn fig10(ctx: &Ctx) -> Report {
         for n_users in [6usize, 8, 10, 12, 14] {
             let rows = replicate(ctx.reps, |rep| {
                 let seed = replicate_seed(ctx.base_seed, tags::FIG10 + n_users as u64, rep);
-                let game =
-                    build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
+                let game = build_game(&pool, n_users, CORN_TASKS, seed, ScenarioParams::default());
                 let dgrn = equilibrate(&game, DistributedAlgorithm::Dgrn, seed);
                 let corn = run_corn(&game);
                 let rrn = run_rrn(&game, seed);
@@ -179,7 +180,10 @@ pub fn fig10(ctx: &Ctx) -> Report {
             ]);
         }
     }
-    report.note(format!("{} tasks; {} repetitions per point", CORN_TASKS, ctx.reps));
+    report.note(format!(
+        "{} tasks; {} repetitions per point",
+        CORN_TASKS, ctx.reps
+    ));
     report
 }
 
@@ -242,8 +246,7 @@ pub fn table4(ctx: &Ctx) -> Report {
             };
             let shared_tasks = 4 + (next() * 3.0) as usize; // 4–6
             let a = 10.0 + 5.0 * next();
-            let private_rewards: Vec<f64> =
-                (0..n_users).map(|_| 2.0 + 10.0 * next()).collect();
+            let private_rewards: Vec<f64> = (0..n_users).map(|_| 2.0 + 10.0 * next()).collect();
             let sc = SpecialCaseGame::build(SpecialCaseSpec {
                 shared_base_reward: a,
                 private_rewards,
@@ -299,7 +302,10 @@ mod tests {
             rrn_total += rrn;
         }
         // DGRN beats RRN in aggregate (per-row can fluctuate at 2 reps).
-        assert!(dgrn_total > rrn_total, "DGRN {dgrn_total} vs RRN {rrn_total}");
+        assert!(
+            dgrn_total > rrn_total,
+            "DGRN {dgrn_total} vs RRN {rrn_total}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn render_dataset(ctx: &Ctx, dataset: Dataset) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fbfbf7"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fbfbf7"/>"##
+    );
     let _ = writeln!(svg, "<!-- dataset: {} -->", dataset.name());
     // Street network, congestion encoded as stroke darkness.
     for e in graph.edges() {
@@ -66,9 +69,13 @@ pub fn render_dataset(ctx: &Ctx, dataset: Dataset) -> String {
         let user = &game.users()[user_idx];
         let selected = out.profile.choice(UserId::from_index(user_idx));
         for route in &user.routes {
-            let Some(geom) = route.geometry.as_ref() else { continue };
-            let points: Vec<String> =
-                geom.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let Some(geom) = route.geometry.as_ref() else {
+                continue;
+            };
+            let points: Vec<String> = geom
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             let is_selected = route.id == selected;
             let (colour, width, opacity) = if is_selected {
                 (SELECTED_COLOUR, 4.0, 0.95)
@@ -117,7 +124,11 @@ pub fn fig13(ctx: &Ctx) -> Report {
         } else {
             "(not written: no --out dir)".to_string()
         };
-        report.push_row(vec![dataset.name().to_string(), svg.len().to_string(), file]);
+        report.push_row(vec![
+            dataset.name().to_string(),
+            svg.len().to_string(),
+            file,
+        ]);
     }
     report
 }

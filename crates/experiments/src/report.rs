@@ -62,8 +62,11 @@ impl Report {
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         for note in &self.notes {
@@ -86,7 +89,11 @@ impl Report {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

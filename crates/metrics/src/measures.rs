@@ -24,7 +24,11 @@ pub fn total_reward(game: &Game, profile: &Profile) -> f64 {
 pub fn user_reward(game: &Game, profile: &Profile, user: UserId) -> f64 {
     let u = &game.users()[user.index()];
     let route = &u.routes[profile.choice(user).index()];
-    route.tasks.iter().map(|&t| game.task(t).share(profile.participants(t))).sum()
+    route
+        .tasks
+        .iter()
+        .map(|&t| game.task(t).share(profile.participants(t)))
+        .sum()
 }
 
 /// Average reward: total reward divided by the number of users (Fig. 9).
@@ -47,7 +51,9 @@ pub fn user_congestion(game: &Game, profile: &Profile, user: UserId) -> f64 {
 
 /// Total detour distance `Σ_i h(s_i)` (Fig. 12b).
 pub fn total_detour(game: &Game, profile: &Profile) -> f64 {
-    (0..game.user_count()).map(|i| user_detour(game, profile, UserId::from_index(i))).sum()
+    (0..game.user_count())
+        .map(|i| user_detour(game, profile, UserId::from_index(i)))
+        .sum()
 }
 
 /// Total congestion level `Σ_i c(s_i)` (Fig. 12c).
@@ -74,8 +80,9 @@ pub fn jain_index(profits: &[f64]) -> f64 {
 
 /// Jain's fairness index of the profile's user profits.
 pub fn profile_jain_index(game: &Game, profile: &Profile) -> f64 {
-    let profits: Vec<f64> =
-        (0..game.user_count()).map(|i| profile.profit(game, UserId::from_index(i))).collect();
+    let profits: Vec<f64> = (0..game.user_count())
+        .map(|i| profile.profit(game, UserId::from_index(i)))
+        .collect();
     jain_index(&profits)
 }
 
@@ -85,8 +92,11 @@ pub fn overlap_ratio(game: &Game, profile: &Profile) -> f64 {
     if game.task_count() == 0 {
         return 0.0;
     }
-    let overlapped =
-        profile.participant_counts().iter().filter(|&&n| n > 1).count();
+    let overlapped = profile
+        .participant_counts()
+        .iter()
+        .filter(|&&n| n > 1)
+        .count();
     overlapped as f64 / game.task_count() as f64
 }
 

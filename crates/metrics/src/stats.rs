@@ -44,7 +44,14 @@ impl Summary {
         let ci95 = 1.96 * std_dev / (n as f64).sqrt();
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std_dev, ci95, min, max }
+        Self {
+            n,
+            mean,
+            std_dev,
+            ci95,
+            min,
+            max,
+        }
     }
 }
 

@@ -90,7 +90,13 @@ pub fn astar_path_with_stats(
     metric: CostMetric,
 ) -> Option<(Path, AstarStats)> {
     if source == target {
-        return Some((Path::empty(), AstarStats { settled: 0, pushes: 0 }));
+        return Some((
+            Path::empty(),
+            AstarStats {
+                settled: 0,
+                pushes: 0,
+            },
+        ));
     }
     let n = graph.node_count();
     let factor = heuristic_factor(graph, metric);
@@ -98,10 +104,17 @@ pub fn astar_path_with_stats(
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<EdgeId>> = vec![None; n];
     let mut settled_flags = vec![false; n];
-    let mut stats = AstarStats { settled: 0, pushes: 0 };
+    let mut stats = AstarStats {
+        settled: 0,
+        pushes: 0,
+    };
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { priority: h(source), cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        priority: h(source),
+        cost: 0.0,
+        node: source,
+    });
     stats.pushes += 1;
     while let Some(HeapEntry { cost, node, .. }) = heap.pop() {
         if settled_flags[node.index()] || cost > dist[node.index()] {
@@ -146,7 +159,15 @@ mod tests {
     use crate::dijkstra::shortest_path;
 
     fn city(seed: u64) -> RoadGraph {
-        CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed }.generate()
+        CityConfig {
+            kind: CityKind::Grid {
+                nx: 8,
+                ny: 8,
+                spacing: 1.0,
+            },
+            seed,
+        }
+        .generate()
     }
 
     #[test]

@@ -65,12 +65,17 @@ impl CityConfig {
         let mut rng = StdRng::seed_from_u64(self.seed);
         match self.kind {
             CityKind::Grid { nx, ny, spacing } => grid_city(nx, ny, spacing, &mut rng, 0.0),
-            CityKind::Radial { rings, spokes, ring_spacing } => {
-                radial_city(rings, spokes, ring_spacing, &mut rng)
-            }
-            CityKind::Irregular { nx, ny, spacing, removal } => {
-                grid_city(nx, ny, spacing, &mut rng, removal)
-            }
+            CityKind::Radial {
+                rings,
+                spokes,
+                ring_spacing,
+            } => radial_city(rings, spokes, ring_spacing, &mut rng),
+            CityKind::Irregular {
+                nx,
+                ny,
+                spacing,
+                removal,
+            } => grid_city(nx, ny, spacing, &mut rng, removal),
         }
     }
 }
@@ -110,7 +115,10 @@ fn street_speed(is_arterial: bool, rng: &mut StdRng) -> f64 {
 
 fn grid_city(nx: usize, ny: usize, spacing: f64, rng: &mut StdRng, removal: f64) -> RoadGraph {
     assert!(nx >= 2 && ny >= 2, "grid needs at least 2×2 nodes");
-    assert!((0.0..1.0).contains(&removal), "removal fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&removal),
+        "removal fraction must be in [0, 1)"
+    );
     let jitter = spacing * 0.15;
     let mut positions = Vec::with_capacity(nx * ny);
     for y in 0..ny {
@@ -120,7 +128,10 @@ fn grid_city(nx: usize, ny: usize, spacing: f64, rng: &mut StdRng, removal: f64)
             positions.push((px, py));
         }
     }
-    let centre = ((nx - 1) as f64 * spacing / 2.0, (ny - 1) as f64 * spacing / 2.0);
+    let centre = (
+        (nx - 1) as f64 * spacing / 2.0,
+        (ny - 1) as f64 * spacing / 2.0,
+    );
     let radius = centre.0.hypot(centre.1).max(spacing);
     let node = |x: usize, y: usize| NodeId::from_index(y * nx + x);
     // Build bidirectional street pairs between grid neighbours.
@@ -140,7 +151,9 @@ fn grid_city(nx: usize, ny: usize, spacing: f64, rng: &mut StdRng, removal: f64)
         for &(a, b, arterial) in kept {
             let pa = positions[a.index()];
             let pb = positions[b.index()];
-            let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(0.05);
+            let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2))
+                .sqrt()
+                .max(0.05);
             let mid = ((pa.0 + pb.0) / 2.0, (pa.1 + pb.1) / 2.0);
             let congestion = congestion_at(mid, centre, radius, arterial, rng);
             let speed = street_speed(arterial, rng);
@@ -180,14 +193,17 @@ fn grid_city(nx: usize, ny: usize, spacing: f64, rng: &mut StdRng, removal: f64)
 }
 
 fn radial_city(rings: usize, spokes: usize, ring_spacing: f64, rng: &mut StdRng) -> RoadGraph {
-    assert!(rings >= 1 && spokes >= 3, "radial city needs ≥1 ring and ≥3 spokes");
+    assert!(
+        rings >= 1 && spokes >= 3,
+        "radial city needs ≥1 ring and ≥3 spokes"
+    );
     // Node 0 is the centre; ring r (0-based) spoke s is node 1 + r·spokes + s.
     let mut positions = vec![(0.0, 0.0)];
     for r in 0..rings {
         let radius = (r + 1) as f64 * ring_spacing;
         for s in 0..spokes {
-            let angle = std::f64::consts::TAU * s as f64 / spokes as f64
-                + rng.random_range(-0.05..0.05);
+            let angle =
+                std::f64::consts::TAU * s as f64 / spokes as f64 + rng.random_range(-0.05..0.05);
             positions.push((radius * angle.cos(), radius * angle.sin()));
         }
     }
@@ -213,7 +229,9 @@ fn radial_city(rings: usize, spokes: usize, ring_spacing: f64, rng: &mut StdRng)
     for &(a, b, arterial) in &pairs {
         let pa = positions[a.index()];
         let pb = positions[b.index()];
-        let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt().max(0.05);
+        let length = ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2))
+            .sqrt()
+            .max(0.05);
         let mid = ((pa.0 + pb.0) / 2.0, (pa.1 + pb.1) / 2.0);
         let congestion = congestion_at(mid, centre, radius, arterial, rng);
         edge_specs.push((a, b, length, street_speed(arterial, rng), congestion));
@@ -228,8 +246,15 @@ mod tests {
 
     #[test]
     fn grid_city_shape() {
-        let g = CityConfig { kind: CityKind::Grid { nx: 5, ny: 4, spacing: 1.0 }, seed: 7 }
-            .generate();
+        let g = CityConfig {
+            kind: CityKind::Grid {
+                nx: 5,
+                ny: 4,
+                spacing: 1.0,
+            },
+            seed: 7,
+        }
+        .generate();
         assert_eq!(g.node_count(), 20);
         // Streets: 4·4 horizontal + 5·3 vertical pairs = 31 pairs = 62 edges.
         assert_eq!(g.edge_count(), 62);
@@ -239,7 +264,11 @@ mod tests {
     #[test]
     fn radial_city_shape() {
         let g = CityConfig {
-            kind: CityKind::Radial { rings: 3, spokes: 8, ring_spacing: 1.0 },
+            kind: CityKind::Radial {
+                rings: 3,
+                spokes: 8,
+                ring_spacing: 1.0,
+            },
             seed: 7,
         }
         .generate();
@@ -249,10 +278,22 @@ mod tests {
 
     #[test]
     fn irregular_city_connected_and_thinner() {
-        let full = CityConfig { kind: CityKind::Grid { nx: 6, ny: 6, spacing: 1.0 }, seed: 3 }
-            .generate();
+        let full = CityConfig {
+            kind: CityKind::Grid {
+                nx: 6,
+                ny: 6,
+                spacing: 1.0,
+            },
+            seed: 3,
+        }
+        .generate();
         let thin = CityConfig {
-            kind: CityKind::Irregular { nx: 6, ny: 6, spacing: 1.0, removal: 0.2 },
+            kind: CityKind::Irregular {
+                nx: 6,
+                ny: 6,
+                spacing: 1.0,
+                removal: 0.2,
+            },
             seed: 3,
         }
         .generate();
@@ -262,16 +303,37 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = CityConfig { kind: CityKind::Grid { nx: 4, ny: 4, spacing: 0.8 }, seed: 42 };
+        let cfg = CityConfig {
+            kind: CityKind::Grid {
+                nx: 4,
+                ny: 4,
+                spacing: 0.8,
+            },
+            seed: 42,
+        };
         assert_eq!(cfg.generate(), cfg.generate());
-        let other = CityConfig { kind: CityKind::Grid { nx: 4, ny: 4, spacing: 0.8 }, seed: 43 };
+        let other = CityConfig {
+            kind: CityKind::Grid {
+                nx: 4,
+                ny: 4,
+                spacing: 0.8,
+            },
+            seed: 43,
+        };
         assert_ne!(cfg.generate(), other.generate());
     }
 
     #[test]
     fn congestion_peaks_at_centre() {
-        let g = CityConfig { kind: CityKind::Grid { nx: 9, ny: 9, spacing: 1.0 }, seed: 11 }
-            .generate();
+        let g = CityConfig {
+            kind: CityKind::Grid {
+                nx: 9,
+                ny: 9,
+                spacing: 1.0,
+            },
+            seed: 11,
+        }
+        .generate();
         let centre = (4.0, 4.0);
         let dist = |e: &crate::graph::Edge| {
             let a = g.node(e.from).pos;
@@ -296,7 +358,11 @@ mod tests {
     fn all_congestions_in_unit_interval() {
         for seed in 0..5 {
             let g = CityConfig {
-                kind: CityKind::Radial { rings: 4, spokes: 10, ring_spacing: 0.7 },
+                kind: CityKind::Radial {
+                    rings: 4,
+                    spokes: 10,
+                    ring_spacing: 0.7,
+                },
                 seed,
             }
             .generate();
@@ -311,7 +377,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "grid needs at least 2×2 nodes")]
     fn degenerate_grid_rejected() {
-        let _ = CityConfig { kind: CityKind::Grid { nx: 1, ny: 5, spacing: 1.0 }, seed: 0 }
-            .generate();
+        let _ = CityConfig {
+            kind: CityKind::Grid {
+                nx: 1,
+                ny: 5,
+                spacing: 1.0,
+            },
+            seed: 0,
+        }
+        .generate();
     }
 }

@@ -73,7 +73,10 @@ pub fn shortest_path_tree(
     }
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node.index()] {
             continue; // stale entry
@@ -90,7 +93,10 @@ pub fn shortest_path_tree(
             if next_cost < dist[edge.to.index()] {
                 dist[edge.to.index()] = next_cost;
                 parent[edge.to.index()] = Some(eid);
-                heap.push(HeapEntry { cost: next_cost, node: edge.to });
+                heap.push(HeapEntry {
+                    cost: next_cost,
+                    node: edge.to,
+                });
             }
         }
     }

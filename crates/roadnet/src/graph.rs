@@ -167,13 +167,19 @@ impl RoadGraph {
         let nodes: Vec<Node> = positions
             .into_iter()
             .enumerate()
-            .map(|(i, pos)| Node { id: NodeId::from_index(i), pos })
+            .map(|(i, pos)| Node {
+                id: NodeId::from_index(i),
+                pos,
+            })
             .collect();
         let mut edges = Vec::with_capacity(edge_specs.len());
         let mut out = vec![Vec::new(); nodes.len()];
         for (i, (from, to, length, speed, congestion)) in edge_specs.into_iter().enumerate() {
             if from.index() >= nodes.len() {
-                return Err(GraphError::UnknownNode { edge: i, node: from });
+                return Err(GraphError::UnknownNode {
+                    edge: i,
+                    node: from,
+                });
             }
             if to.index() >= nodes.len() {
                 return Err(GraphError::UnknownNode { edge: i, node: to });
@@ -182,10 +188,18 @@ impl RoadGraph {
                 return Err(GraphError::SelfLoop { edge: i });
             }
             if !(length.is_finite() && length > 0.0) {
-                return Err(GraphError::InvalidEdgeAttribute { edge: i, name: "length", value: length });
+                return Err(GraphError::InvalidEdgeAttribute {
+                    edge: i,
+                    name: "length",
+                    value: length,
+                });
             }
             if !(speed.is_finite() && speed > 0.0) {
-                return Err(GraphError::InvalidEdgeAttribute { edge: i, name: "speed", value: speed });
+                return Err(GraphError::InvalidEdgeAttribute {
+                    edge: i,
+                    name: "speed",
+                    value: speed,
+                });
             }
             if !(congestion.is_finite() && (0.0..=1.0).contains(&congestion)) {
                 return Err(GraphError::InvalidEdgeAttribute {
@@ -195,7 +209,14 @@ impl RoadGraph {
                 });
             }
             let id = EdgeId::from_index(i);
-            edges.push(Edge { id, from, to, length, speed, congestion });
+            edges.push(Edge {
+                id,
+                from,
+                to,
+                length,
+                speed,
+                congestion,
+            });
             out[from.index()].push(id);
         }
         Ok(Self { nodes, edges, out })
@@ -332,7 +353,13 @@ mod tests {
             vec![(NodeId(0), NodeId(7), 1.0, 50.0, 0.0)],
         )
         .unwrap_err();
-        assert!(matches!(err, GraphError::UnknownNode { node: NodeId(7), .. }));
+        assert!(matches!(
+            err,
+            GraphError::UnknownNode {
+                node: NodeId(7),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -38,12 +38,22 @@ impl Path {
             travel_time += e.travel_time();
             congestion_load += e.congestion_load();
         }
-        Self { edges, length, travel_time, congestion_load }
+        Self {
+            edges,
+            length,
+            travel_time,
+            congestion_load,
+        }
     }
 
     /// An empty path (origin equals destination).
     pub fn empty() -> Self {
-        Self { edges: Vec::new(), length: 0.0, travel_time: 0.0, congestion_load: 0.0 }
+        Self {
+            edges: Vec::new(),
+            length: 0.0,
+            travel_time: 0.0,
+            congestion_load: 0.0,
+        }
     }
 
     /// The node sequence of the path, starting at `origin`.
@@ -58,7 +68,10 @@ impl Path {
 
     /// The polyline geometry `(x, y)` of the path, starting at `origin`.
     pub fn geometry(&self, graph: &RoadGraph, origin: NodeId) -> Vec<(f64, f64)> {
-        self.nodes(graph, origin).into_iter().map(|n| graph.node(n).pos).collect()
+        self.nodes(graph, origin)
+            .into_iter()
+            .map(|n| graph.node(n).pos)
+            .collect()
     }
 
     /// Whether the path visits any node twice (i.e. is not simple). Paths
@@ -137,7 +150,10 @@ mod tests {
     fn node_sequence_and_destination() {
         let g = line();
         let p = Path::from_edges(&g, vec![EdgeId(0), EdgeId(1)]);
-        assert_eq!(p.nodes(&g, NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            p.nodes(&g, NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
         assert_eq!(p.destination(&g, NodeId(0)), NodeId(2));
         assert!(!p.has_cycle(&g, NodeId(0)));
     }

@@ -30,7 +30,12 @@ pub struct RecommendConfig {
 
 impl Default for RecommendConfig {
     fn default() -> Self {
-        Self { max_routes: 5, candidate_pool: 12, max_overlap: 0.8, max_detour_ratio: 2.0 }
+        Self {
+            max_routes: 5,
+            candidate_pool: 12,
+            max_overlap: 0.8,
+            max_detour_ratio: 2.0,
+        }
     }
 }
 
@@ -85,7 +90,11 @@ pub fn recommend_routes(
         .map(|path| {
             let detour = (path.length - shortest_len).max(0.0);
             let congestion = path.mean_congestion();
-            RecommendedRoute { path, detour, congestion }
+            RecommendedRoute {
+                path,
+                detour,
+                congestion,
+            }
         })
         .collect()
 }
@@ -96,14 +105,21 @@ mod tests {
     use crate::city::{CityConfig, CityKind};
 
     fn city() -> RoadGraph {
-        CityConfig { kind: CityKind::Grid { nx: 6, ny: 6, spacing: 1.0 }, seed: 5 }.generate()
+        CityConfig {
+            kind: CityKind::Grid {
+                nx: 6,
+                ny: 6,
+                spacing: 1.0,
+            },
+            seed: 5,
+        }
+        .generate()
     }
 
     #[test]
     fn first_route_is_shortest_with_zero_detour() {
         let g = city();
-        let routes =
-            recommend_routes(&g, NodeId(0), NodeId(35), &RecommendConfig::default());
+        let routes = recommend_routes(&g, NodeId(0), NodeId(35), &RecommendConfig::default());
         assert!(!routes.is_empty());
         assert_eq!(routes[0].detour, 0.0);
         for r in &routes {
@@ -115,7 +131,10 @@ mod tests {
     #[test]
     fn respects_max_routes() {
         let g = city();
-        let cfg = RecommendConfig { max_routes: 3, ..RecommendConfig::default() };
+        let cfg = RecommendConfig {
+            max_routes: 3,
+            ..RecommendConfig::default()
+        };
         let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
         assert!(routes.len() <= 3);
         assert!(routes.len() >= 2, "a 6×6 grid offers alternatives");
@@ -124,7 +143,10 @@ mod tests {
     #[test]
     fn diversity_filter_limits_overlap() {
         let g = city();
-        let cfg = RecommendConfig { max_overlap: 0.5, ..RecommendConfig::default() };
+        let cfg = RecommendConfig {
+            max_overlap: 0.5,
+            ..RecommendConfig::default()
+        };
         let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
         for i in 0..routes.len() {
             for j in (i + 1)..routes.len() {
@@ -139,7 +161,10 @@ mod tests {
     #[test]
     fn detour_ratio_bounds_route_length() {
         let g = city();
-        let cfg = RecommendConfig { max_detour_ratio: 1.3, ..RecommendConfig::default() };
+        let cfg = RecommendConfig {
+            max_detour_ratio: 1.3,
+            ..RecommendConfig::default()
+        };
         let routes = recommend_routes(&g, NodeId(0), NodeId(35), &cfg);
         let shortest = routes[0].path.length;
         for r in &routes {
@@ -155,14 +180,16 @@ mod tests {
             vec![(NodeId(0), NodeId(1), 1.0, 50.0, 0.0)],
         )
         .unwrap();
-        assert!(recommend_routes(&g, NodeId(1), NodeId(0), &RecommendConfig::default())
-            .is_empty());
+        assert!(recommend_routes(&g, NodeId(1), NodeId(0), &RecommendConfig::default()).is_empty());
     }
 
     #[test]
     fn zero_max_routes_gives_empty() {
         let g = city();
-        let cfg = RecommendConfig { max_routes: 0, ..RecommendConfig::default() };
+        let cfg = RecommendConfig {
+            max_routes: 0,
+            ..RecommendConfig::default()
+        };
         assert!(recommend_routes(&g, NodeId(0), NodeId(35), &cfg).is_empty());
     }
 

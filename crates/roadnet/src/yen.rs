@@ -114,7 +114,14 @@ mod tests {
     fn corridors() -> RoadGraph {
         // Nodes: 0 src, 1..=4 middle, 5 dst.
         RoadGraph::new(
-            vec![(0.0, 0.0), (1.0, 1.0), (1.0, 0.0), (1.0, -1.0), (2.0, 1.0), (3.0, 0.0)],
+            vec![
+                (0.0, 0.0),
+                (1.0, 1.0),
+                (1.0, 0.0),
+                (1.0, -1.0),
+                (2.0, 1.0),
+                (3.0, 0.0),
+            ],
             vec![
                 (NodeId(0), NodeId(1), 1.0, 50.0, 0.0), // e0
                 (NodeId(1), NodeId(5), 1.0, 50.0, 0.0), // e1: total 2.0

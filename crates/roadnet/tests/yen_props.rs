@@ -11,12 +11,24 @@ fn arb_city() -> impl Strategy<Value = RoadGraph> {
     (3usize..7, 3usize..7, any::<u64>(), prop::bool::ANY).prop_map(|(nx, ny, seed, radial)| {
         if radial {
             CityConfig {
-                kind: CityKind::Radial { rings: nx.min(4), spokes: ny + 3, ring_spacing: 0.8 },
+                kind: CityKind::Radial {
+                    rings: nx.min(4),
+                    spokes: ny + 3,
+                    ring_spacing: 0.8,
+                },
                 seed,
             }
             .generate()
         } else {
-            CityConfig { kind: CityKind::Grid { nx, ny, spacing: 1.0 }, seed }.generate()
+            CityConfig {
+                kind: CityKind::Grid {
+                    nx,
+                    ny,
+                    spacing: 1.0,
+                },
+                seed,
+            }
+            .generate()
         }
     })
 }

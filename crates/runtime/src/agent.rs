@@ -75,7 +75,10 @@ impl UserAgent {
 
     /// The initial decision message (Alg. 1 line 4).
     pub fn initial_message(&self) -> UserMsg {
-        UserMsg::Initial { user: self.id, route: self.current }
+        UserMsg::Initial {
+            user: self.id,
+            route: self.current,
+        }
     }
 
     /// Ingests a platform message, returning the reply to send (if any).
@@ -95,7 +98,10 @@ impl UserAgent {
                 // confirmation) re-acknowledges the already-applied route.
                 let route = self.pending.take().unwrap_or(self.current);
                 self.current = route;
-                Some(UserMsg::Updated { user: self.id, route })
+                Some(UserMsg::Updated {
+                    user: self.id,
+                    route,
+                })
             }
             PlatformMsg::Deny => {
                 self.pending = None;
@@ -137,7 +143,11 @@ impl UserAgent {
         let mut reward = 0.0;
         for &task in &cand.tasks {
             let n = self.count_of(task);
-            let n_eff = if current.tasks.contains(&task) { n } else { n + 1 };
+            let n_eff = if current.tasks.contains(&task) {
+                n
+            } else {
+                n + 1
+            };
             reward += self.share(task, n_eff);
         }
         self.prefs.alpha * reward
@@ -187,8 +197,11 @@ impl UserAgent {
 
     /// The set of task ids covered by any of the agent's routes, sorted.
     pub fn covered_tasks(&self) -> Vec<TaskId> {
-        let mut tasks: Vec<TaskId> =
-            self.routes.iter().flat_map(|r| r.tasks.iter().copied()).collect();
+        let mut tasks: Vec<TaskId> = self
+            .routes
+            .iter()
+            .flat_map(|r| r.tasks.iter().copied())
+            .collect();
         tasks.sort_unstable();
         tasks.dedup();
         tasks
@@ -236,7 +249,13 @@ mod tests {
             counts: vec![(TaskId(0), 1), (TaskId(1), 0)],
         });
         match msg {
-            Some(UserMsg::Request { new_route, gain, tau, affected, .. }) => {
+            Some(UserMsg::Request {
+                new_route,
+                gain,
+                tau,
+                affected,
+                ..
+            }) => {
                 assert_eq!(new_route, RouteId(1));
                 assert!((gain - 2.25).abs() < 1e-12);
                 assert!((tau - 4.5).abs() < 1e-12);
@@ -260,16 +279,26 @@ mod tests {
     #[test]
     fn grant_applies_pending_switch() {
         let mut a = agent();
-        a.handle(PlatformMsg::Counts { counts: vec![(TaskId(0), 1), (TaskId(1), 0)] });
+        a.handle(PlatformMsg::Counts {
+            counts: vec![(TaskId(0), 1), (TaskId(1), 0)],
+        });
         let reply = a.handle(PlatformMsg::Grant);
-        assert_eq!(reply, Some(UserMsg::Updated { user: UserId(0), route: RouteId(1) }));
+        assert_eq!(
+            reply,
+            Some(UserMsg::Updated {
+                user: UserId(0),
+                route: RouteId(1)
+            })
+        );
         assert_eq!(a.current, RouteId(1));
     }
 
     #[test]
     fn deny_clears_pending() {
         let mut a = agent();
-        a.handle(PlatformMsg::Counts { counts: vec![(TaskId(0), 1), (TaskId(1), 0)] });
+        a.handle(PlatformMsg::Counts {
+            counts: vec![(TaskId(0), 1), (TaskId(1), 0)],
+        });
         assert_eq!(a.handle(PlatformMsg::Deny), None);
         assert_eq!(a.current, RouteId(0));
         assert!(a.pending.is_none());

@@ -1,4 +1,13 @@
 //! The platform side of Algorithm 2, shared by both runtimes.
+//!
+//! The platform keeps the authoritative profile inside an incremental
+//! [`Engine`] and exploits its dirty set for the request-collection loop:
+//! a user's request depends only on the participant counts of its covered
+//! tasks and its own current route, so after a slot's granted moves only the
+//! users covering an affected task (plus the movers) can answer differently.
+//! The platform caches every agent's last reply and re-polls (`Counts`) only
+//! the dirty ones — clean agents are neither messaged nor recomputed, and
+//! their standing request (or standing silence) is reused verbatim.
 
 use crate::protocol::{PlatformMsg, UserMsg};
 use rand::rngs::StdRng;
@@ -7,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use vcs_algorithms::scheduler::{puu, suu};
 use vcs_algorithms::UpdateRequest;
 use vcs_core::ids::{RouteId, TaskId, UserId};
-use vcs_core::{Game, Profile};
+use vcs_core::{Engine, Game, GameError, Profile};
 
 /// Which user-update scheduler the platform runs (Alg. 2 line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,11 +27,15 @@ pub enum SchedulerKind {
     Puu,
 }
 
-/// Platform state: the authoritative strategy profile and task counts.
+/// Platform state: the authoritative strategy profile (inside the
+/// incremental [`Engine`]), task counts, and the per-agent request cache.
 #[derive(Debug)]
 pub struct PlatformState<'g> {
     game: &'g Game,
-    profile: Profile,
+    engine: Engine<'g>,
+    /// Each agent's standing request (`None` = last reply was `NoRequest`
+    /// or the agent has not been polled yet — all users start dirty).
+    cached: Vec<Option<UpdateRequest>>,
     scheduler: SchedulerKind,
     rng: StdRng,
     /// Decision slots elapsed.
@@ -34,31 +47,69 @@ pub struct PlatformState<'g> {
 impl<'g> PlatformState<'g> {
     /// Creates the platform once all `Initial` decisions are in
     /// (Alg. 2 lines 2–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the decoded initial choices do not form a valid profile;
+    /// callers holding untrusted wire input should prefer [`Self::try_new`].
     pub fn new(
         game: &'g Game,
         scheduler: SchedulerKind,
         seed: u64,
         initial_choices: Vec<RouteId>,
     ) -> Self {
-        let profile = Profile::new(game, initial_choices);
-        Self {
+        Self::try_new(game, scheduler, seed, initial_choices)
+            .expect("initial decisions form a valid profile")
+    }
+
+    /// Fallible constructor: validates the (wire-decoded, hence untrusted)
+    /// initial choices against the game before building any state.
+    pub fn try_new(
+        game: &'g Game,
+        scheduler: SchedulerKind,
+        seed: u64,
+        initial_choices: Vec<RouteId>,
+    ) -> Result<Self, GameError> {
+        let profile = Profile::try_new(game, initial_choices)?;
+        Ok(Self {
             game,
-            profile,
+            engine: Engine::new(game, profile),
+            cached: vec![None; game.user_count()],
             scheduler,
             rng: StdRng::seed_from_u64(seed),
             slots: 0,
             updates: 0,
-        }
+        })
     }
 
     /// The authoritative profile.
     pub fn profile(&self) -> &Profile {
-        &self.profile
+        self.engine.profile()
     }
 
     /// Consumes the platform, returning the final profile.
     pub fn into_profile(self) -> Profile {
-        self.profile
+        self.engine.into_profile()
+    }
+
+    /// Users whose standing reply may have changed since they were last
+    /// polled (sorted, deduplicated); clears the dirty set. Initially every
+    /// user is dirty.
+    pub fn dirty_users(&mut self) -> Vec<UserId> {
+        self.engine.take_dirty()
+    }
+
+    /// Records a freshly polled reply in the request cache, replacing the
+    /// user's standing request.
+    pub fn record_reply(&mut self, user: UserId, reply: &UserMsg) {
+        self.cached[user.index()] = Self::to_request(reply);
+    }
+
+    /// This slot's request set: every standing request, in user-id order —
+    /// exactly what polling all users densely would have produced, by the
+    /// dirty-set soundness invariant.
+    pub fn collect_requests(&self) -> Vec<UpdateRequest> {
+        self.cached.iter().flatten().cloned().collect()
     }
 
     /// Participant counts restricted to the tasks covered by `user`'s
@@ -71,7 +122,10 @@ impl<'g> PlatformState<'g> {
             .collect();
         tasks.sort_unstable();
         tasks.dedup();
-        tasks.into_iter().map(|t| (t, self.profile.participants(t))).collect()
+        tasks
+            .into_iter()
+            .map(|t| (t, self.profile().participants(t)))
+            .collect()
     }
 
     /// The `Init` message for `user` (Alg. 2 line 4): reward parameters and
@@ -90,7 +144,9 @@ impl<'g> PlatformState<'g> {
 
     /// The per-slot `Counts` refresh for `user`.
     pub fn counts_msg_for(&self, user: UserId) -> PlatformMsg {
-        PlatformMsg::Counts { counts: self.counts_for(user) }
+        PlatformMsg::Counts {
+            counts: self.counts_for(user),
+        }
     }
 
     /// Runs the scheduler over this slot's decoded requests (already sorted
@@ -110,9 +166,11 @@ impl<'g> PlatformState<'g> {
         granted
     }
 
-    /// Applies a confirmed decision update (Alg. 2 line 10).
+    /// Applies a confirmed decision update (Alg. 2 line 10). The engine
+    /// marks the mover and every user covering an affected task dirty, which
+    /// drives the next slot's selective `Counts` poll.
     pub fn apply_update(&mut self, user: UserId, route: RouteId) {
-        self.profile.apply_move(self.game, user, route);
+        self.engine.apply_move(user, route);
         self.updates += 1;
     }
 
@@ -120,7 +178,13 @@ impl<'g> PlatformState<'g> {
     /// type. Returns `None` for other message kinds.
     pub fn to_request(msg: &UserMsg) -> Option<UpdateRequest> {
         match msg {
-            UserMsg::Request { user, new_route, gain, tau, affected } => Some(UpdateRequest {
+            UserMsg::Request {
+                user,
+                new_route,
+                gain,
+                tau,
+                affected,
+            } => Some(UpdateRequest {
                 user: *user,
                 new_route: *new_route,
                 gain: *gain,

@@ -197,7 +197,9 @@ impl PlatformMsg {
                 let counts = get_task_counts(&mut frame)?;
                 PlatformMsg::Init { tasks, counts }
             }
-            TAG_COUNTS => PlatformMsg::Counts { counts: get_task_counts(&mut frame)? },
+            TAG_COUNTS => PlatformMsg::Counts {
+                counts: get_task_counts(&mut frame)?,
+            },
             TAG_GRANT => PlatformMsg::Grant,
             TAG_DENY => PlatformMsg::Deny,
             TAG_TERMINATE => PlatformMsg::Terminate,
@@ -220,7 +222,13 @@ impl UserMsg {
                 buf.put_u32(user.0);
                 buf.put_u32(route.0);
             }
-            UserMsg::Request { user, new_route, gain, tau, affected } => {
+            UserMsg::Request {
+                user,
+                new_route,
+                gain,
+                tau,
+                affected,
+            } => {
                 buf.put_u8(TAG_REQUEST);
                 buf.put_u32(user.0);
                 buf.put_u32(new_route.0);
@@ -261,9 +269,17 @@ impl UserMsg {
                 for _ in 0..n {
                     affected.push(TaskId(get_u32(&mut frame)?));
                 }
-                UserMsg::Request { user, new_route, gain, tau, affected }
+                UserMsg::Request {
+                    user,
+                    new_route,
+                    gain,
+                    tau,
+                    affected,
+                }
             }
-            TAG_NO_REQUEST => UserMsg::NoRequest { user: UserId(get_u32(&mut frame)?) },
+            TAG_NO_REQUEST => UserMsg::NoRequest {
+                user: UserId(get_u32(&mut frame)?),
+            },
             TAG_UPDATED => UserMsg::Updated {
                 user: UserId(get_u32(&mut frame)?),
                 route: RouteId(get_u32(&mut frame)?),
@@ -288,7 +304,9 @@ mod tests {
                 tasks: vec![(TaskId(3), 12.5, 0.25), (TaskId(9), 18.0, 1.0)],
                 counts: vec![(TaskId(3), 2), (TaskId(9), 0)],
             },
-            PlatformMsg::Counts { counts: vec![(TaskId(1), 7)] },
+            PlatformMsg::Counts {
+                counts: vec![(TaskId(1), 7)],
+            },
             PlatformMsg::Counts { counts: vec![] },
             PlatformMsg::Grant,
             PlatformMsg::Deny,
@@ -303,7 +321,10 @@ mod tests {
     #[test]
     fn user_messages_roundtrip() {
         let msgs = vec![
-            UserMsg::Initial { user: UserId(4), route: RouteId(2) },
+            UserMsg::Initial {
+                user: UserId(4),
+                route: RouteId(2),
+            },
             UserMsg::Request {
                 user: UserId(0),
                 new_route: RouteId(1),
@@ -312,7 +333,10 @@ mod tests {
                 affected: vec![TaskId(0), TaskId(5), TaskId(6)],
             },
             UserMsg::NoRequest { user: UserId(9) },
-            UserMsg::Updated { user: UserId(1), route: RouteId(0) },
+            UserMsg::Updated {
+                user: UserId(1),
+                route: RouteId(0),
+            },
         ];
         for msg in msgs {
             let frame = msg.encode();
@@ -322,7 +346,11 @@ mod tests {
 
     #[test]
     fn truncated_frames_rejected() {
-        let frame = UserMsg::Initial { user: UserId(4), route: RouteId(2) }.encode();
+        let frame = UserMsg::Initial {
+            user: UserId(4),
+            route: RouteId(2),
+        }
+        .encode();
         let cut = frame.slice(0..frame.len() - 1);
         assert!(UserMsg::decode(cut).is_err());
     }

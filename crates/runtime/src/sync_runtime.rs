@@ -132,33 +132,30 @@ pub fn run_sync(
     }
     let mut converged = false;
     while platform.slots < max_slots {
-        // Slot: refresh counts, collect one reply per agent.
-        let mut requests = Vec::new();
-        let mut requesters = Vec::new();
-        for agent in agents.iter_mut() {
-            let msg = platform.counts_msg_for(agent.id);
-            let reply =
-                deliver_to_agent(agent, &msg, &mut telemetry).expect("counts always answered");
-            if let Some(req) = PlatformState::to_request(&reply) {
-                requesters.push(agent.id);
-                requests.push(req);
-            }
+        // Slot: poll only the users whose standing reply the previous slot's
+        // moves may have changed (initially everyone); clean agents'
+        // cached requests are reused without any message exchange.
+        for user in platform.dirty_users() {
+            let msg = platform.counts_msg_for(user);
+            let reply = deliver_to_agent(&mut agents[user.index()], &msg, &mut telemetry)
+                .expect("counts always answered");
+            platform.record_reply(user, &reply);
         }
+        let requests = platform.collect_requests();
         if requests.is_empty() {
             converged = true;
             break;
         }
         let granted = platform.select(&requests);
-        let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
-        for &user in &requesters {
-            let verdict = if granted_users.contains(&user) {
-                PlatformMsg::Grant
-            } else {
-                PlatformMsg::Deny
-            };
+        // Only granted users hear back; a standing request needs no Deny —
+        // it simply stays cached until granted or invalidated by a fresh
+        // poll. (`pending` on the agent keeps matching the cached request
+        // because only a new `Counts` overwrites it.)
+        for &g in &granted {
+            let user = requests[g].user;
             let agent = &mut agents[user.index()];
             if let Some(UserMsg::Updated { user, route }) =
-                deliver_to_agent(agent, &verdict, &mut telemetry)
+                deliver_to_agent(agent, &PlatformMsg::Grant, &mut telemetry)
             {
                 platform.apply_update(user, route);
             }
@@ -197,10 +194,7 @@ mod tests {
                 assert!(out.converged);
                 assert!(is_nash(&game, &out.profile), "seed {seed} not Nash");
                 // Fig. 1 has a unique equilibrium.
-                assert_eq!(
-                    out.profile.choices(),
-                    &[RouteId(0), RouteId(0), RouteId(0)]
-                );
+                assert_eq!(out.profile.choices(), &[RouteId(0), RouteId(0), RouteId(0)]);
             }
         }
     }

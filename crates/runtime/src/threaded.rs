@@ -49,7 +49,9 @@ fn agent_thread(
                 UserMsg::Initial { .. } => "initial",
             };
             trace.lock().push((agent.id, kind));
-            outbox.send((agent.id, reply.encode())).expect("platform inbox open");
+            outbox
+                .send((agent.id, reply.encode()))
+                .expect("platform inbox open");
         }
         if terminate {
             break;
@@ -79,7 +81,9 @@ pub fn run_threaded(
         links.push(AgentLink { to_agent: tx });
         let outbox = to_platform.clone();
         let trace = Arc::clone(&trace);
-        handles.push(std::thread::spawn(move || agent_thread(agent, rx, outbox, trace)));
+        handles.push(std::thread::spawn(move || {
+            agent_thread(agent, rx, outbox, trace)
+        }));
     }
     drop(to_platform);
 
@@ -123,32 +127,31 @@ pub fn run_threaded(
 
     let mut converged = false;
     while platform.slots < max_slots {
-        for (i, link) in links.iter().enumerate() {
-            let msg = platform.counts_msg_for(UserId::from_index(i));
-            send_counted(link, msg.encode(), &mut telemetry);
+        // Poll only the dirty agents; everyone else's standing request is
+        // reused from the platform cache (no frames exchanged).
+        let dirty = platform.dirty_users();
+        for &user in &dirty {
+            let msg = platform.counts_msg_for(user);
+            send_counted(&links[user.index()], msg.encode(), &mut telemetry);
         }
-        let replies = collect_round(&platform_inbox, m, &mut telemetry);
-        let mut requests = Vec::new();
-        let mut requesters = Vec::new();
+        let replies = collect_round(&platform_inbox, dirty.len(), &mut telemetry);
         for (user, msg) in &replies {
-            if let Some(req) = PlatformState::to_request(msg) {
-                requesters.push(*user);
-                requests.push(req);
-            }
+            platform.record_reply(*user, msg);
         }
+        let requests = platform.collect_requests();
         if requests.is_empty() {
             converged = true;
             break;
         }
         let granted = platform.select(&requests);
         let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
-        for &user in &requesters {
-            let verdict = if granted_users.contains(&user) {
-                PlatformMsg::Grant
-            } else {
-                PlatformMsg::Deny
-            };
-            send_counted(&links[user.index()], verdict.encode(), &mut telemetry);
+        // Only granted users hear back; standing requests need no Deny.
+        for &user in &granted_users {
+            send_counted(
+                &links[user.index()],
+                PlatformMsg::Grant.encode(),
+                &mut telemetry,
+            );
         }
         let confirmations = collect_round(&platform_inbox, granted_users.len(), &mut telemetry);
         for (_, msg) in confirmations {

@@ -18,7 +18,10 @@ fn arb_platform_msg() -> impl Strategy<Value = PlatformMsg> {
             arb_task_counts(),
         )
             .prop_map(|(tasks, counts)| PlatformMsg::Init {
-                tasks: tasks.into_iter().map(|(t, a, mu)| (TaskId(t), a, mu)).collect(),
+                tasks: tasks
+                    .into_iter()
+                    .map(|(t, a, mu)| (TaskId(t), a, mu))
+                    .collect(),
                 counts,
             }),
         arb_task_counts().prop_map(|counts| PlatformMsg::Counts { counts }),

@@ -58,12 +58,22 @@ impl UserPool {
                 if routes.is_empty() {
                     return None;
                 }
-                let geometries =
-                    routes.iter().map(|r| r.path.geometry(&graph, od.origin)).collect();
-                Some(PoolUser { od, routes, geometries })
+                let geometries = routes
+                    .iter()
+                    .map(|r| r.path.geometry(&graph, od.origin))
+                    .collect();
+                Some(PoolUser {
+                    od,
+                    routes,
+                    geometries,
+                })
             })
             .collect();
-        Self { graph, dataset, users }
+        Self {
+            graph,
+            dataset,
+            users,
+        }
     }
 
     /// Number of usable commuters.
@@ -159,8 +169,13 @@ impl UserPool {
             e_min: params.weight_range.0 - 1e-9,
             e_max: params.weight_range.1 + 1e-9,
         };
-        Game::new(tasks, users, PlatformParams::new(params.phi, params.theta), bounds)
-            .expect("scenario construction yields a valid game")
+        Game::new(
+            tasks,
+            users,
+            PlatformParams::new(params.phi, params.theta),
+            bounds,
+        )
+        .expect("scenario construction yields a valid game")
     }
 
     /// Distance from a task location to the nearest point of the street
@@ -170,11 +185,7 @@ impl UserPool {
             .edges()
             .iter()
             .map(|e| {
-                point_segment_distance(
-                    pos,
-                    self.graph.node(e.from).pos,
-                    self.graph.node(e.to).pos,
-                )
+                point_segment_distance(pos, self.graph.node(e.from).pos, self.graph.node(e.to).pos)
             })
             .fold(f64::INFINITY, f64::min)
     }
@@ -274,11 +285,17 @@ mod tests {
         let game = pool.instantiate(&cfg);
         for user in game.users() {
             for route in &user.routes {
-                let geom = route.geometry.as_ref().expect("scenario routes carry geometry");
+                let geom = route
+                    .geometry
+                    .as_ref()
+                    .expect("scenario routes carry geometry");
                 for &tid in &route.tasks {
                     let loc = game.task(tid).location.unwrap();
                     let d = point_polyline_distance(loc, geom);
-                    assert!(d <= cfg.params.capture_radius + 1e-9, "task {tid} at {d} km");
+                    assert!(
+                        d <= cfg.params.capture_radius + 1e-9,
+                        "task {tid} at {d} km"
+                    );
                 }
             }
         }
@@ -300,18 +317,31 @@ mod tests {
             .flat_map(|u| u.routes.iter())
             .map(|r| r.task_count())
             .sum();
-        assert!(covered > 10, "routes cover almost no tasks ({covered} task slots)");
+        assert!(
+            covered > 10,
+            "routes cover almost no tasks ({covered} task slots)"
+        );
     }
 
     #[test]
     fn fixed_prefs_applied_to_all_users() {
         let pool = small_pool();
-        let params =
-            ScenarioParams { fixed_prefs: Some((0.3, 0.7, 0.2)), ..ScenarioParams::default() };
-        let cfg = ScenarioConfig { n_users: 5, n_tasks: 10, seed: 1, params };
+        let params = ScenarioParams {
+            fixed_prefs: Some((0.3, 0.7, 0.2)),
+            ..ScenarioParams::default()
+        };
+        let cfg = ScenarioConfig {
+            n_users: 5,
+            n_tasks: 10,
+            seed: 1,
+            params,
+        };
         let game = pool.instantiate(&cfg);
         for user in game.users() {
-            assert_eq!((user.prefs.alpha, user.prefs.beta, user.prefs.gamma), (0.3, 0.7, 0.2));
+            assert_eq!(
+                (user.prefs.alpha, user.prefs.beta, user.prefs.gamma),
+                (0.3, 0.7, 0.2)
+            );
         }
     }
 

@@ -31,15 +31,29 @@ impl Dataset {
     /// The synthetic city standing in for this dataset's road network.
     pub fn city_config(self, seed: u64) -> CityConfig {
         match self {
-            Dataset::Shanghai => {
-                CityConfig { kind: CityKind::Grid { nx: 11, ny: 11, spacing: 1.0 }, seed }
-            }
+            Dataset::Shanghai => CityConfig {
+                kind: CityKind::Grid {
+                    nx: 11,
+                    ny: 11,
+                    spacing: 1.0,
+                },
+                seed,
+            },
             Dataset::Roma => CityConfig {
-                kind: CityKind::Radial { rings: 5, spokes: 14, ring_spacing: 0.9 },
+                kind: CityKind::Radial {
+                    rings: 5,
+                    spokes: 14,
+                    ring_spacing: 0.9,
+                },
                 seed,
             },
             Dataset::Epfl => CityConfig {
-                kind: CityKind::Irregular { nx: 14, ny: 7, spacing: 1.0, removal: 0.15 },
+                kind: CityKind::Irregular {
+                    nx: 14,
+                    ny: 7,
+                    spacing: 1.0,
+                    removal: 0.15,
+                },
                 seed,
             },
         }

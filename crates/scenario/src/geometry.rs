@@ -57,6 +57,9 @@ mod tests {
         let poly = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)];
         let d = point_polyline_distance((2.5, 1.0), &poly);
         assert!((d - 0.5).abs() < 1e-12);
-        assert_eq!(point_polyline_distance((0.0, 0.0), &[(1.0, 1.0)]), f64::INFINITY);
+        assert_eq!(
+            point_polyline_distance((0.0, 0.0), &[(1.0, 1.0)]),
+            f64::INFINITY
+        );
     }
 }

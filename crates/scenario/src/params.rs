@@ -55,7 +55,11 @@ impl Default for ScenarioParams {
 impl ScenarioParams {
     /// Table 2 defaults with explicit platform weights.
     pub fn with_platform(phi: f64, theta: f64) -> Self {
-        Self { phi, theta, ..Self::default() }
+        Self {
+            phi,
+            theta,
+            ..Self::default()
+        }
     }
 }
 

@@ -50,7 +50,10 @@ impl fmt::Display for CsvError {
             }
             CsvError::Parse { line, field } => write!(f, "line {line}: cannot parse {field}"),
             CsvError::OutOfOrder { line, vehicle_id } => {
-                write!(f, "line {line}: vehicle {vehicle_id} timestamps out of order")
+                write!(
+                    f,
+                    "line {line}: vehicle {vehicle_id} timestamps out of order"
+                )
             }
         }
     }
@@ -71,26 +74,42 @@ pub fn parse_traces(text: &str) -> Result<Vec<Trace>, CsvError> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 4 {
-            return Err(CsvError::FieldCount { line: line_no, found: fields.len() });
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                found: fields.len(),
+            });
         }
-        let vehicle_id: u32 = fields[0]
-            .parse()
-            .map_err(|_| CsvError::Parse { line: line_no, field: "vehicle_id" })?;
-        let t: f64 =
-            fields[1].parse().map_err(|_| CsvError::Parse { line: line_no, field: "t" })?;
-        let x: f64 =
-            fields[2].parse().map_err(|_| CsvError::Parse { line: line_no, field: "x" })?;
-        let y: f64 =
-            fields[3].parse().map_err(|_| CsvError::Parse { line: line_no, field: "y" })?;
+        let vehicle_id: u32 = fields[0].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            field: "vehicle_id",
+        })?;
+        let t: f64 = fields[1].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            field: "t",
+        })?;
+        let x: f64 = fields[2].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            field: "x",
+        })?;
+        let y: f64 = fields[3].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            field: "y",
+        })?;
         let point = TracePoint { t, pos: (x, y) };
         match traces.last_mut() {
             Some(last) if last.vehicle_id == vehicle_id => {
                 if last.points.last().is_some_and(|p| p.t > t) {
-                    return Err(CsvError::OutOfOrder { line: line_no, vehicle_id });
+                    return Err(CsvError::OutOfOrder {
+                        line: line_no,
+                        vehicle_id,
+                    });
                 }
                 last.points.push(point);
             }
-            _ => traces.push(Trace { vehicle_id, points: vec![point] }),
+            _ => traces.push(Trace {
+                vehicle_id,
+                points: vec![point],
+            }),
         }
     }
     Ok(traces)
@@ -149,13 +168,25 @@ vehicle_id,t_seconds,x_km,y_km
     #[test]
     fn parse_error_names_field() {
         let err = parse_traces("0,abc,2.0,3.0").unwrap_err();
-        assert_eq!(err, CsvError::Parse { line: 1, field: "t" });
+        assert_eq!(
+            err,
+            CsvError::Parse {
+                line: 1,
+                field: "t"
+            }
+        );
     }
 
     #[test]
     fn out_of_order_detected() {
         let err = parse_traces("0,10.0,1.0,1.0\n0,5.0,2.0,2.0").unwrap_err();
-        assert_eq!(err, CsvError::OutOfOrder { line: 2, vehicle_id: 0 });
+        assert_eq!(
+            err,
+            CsvError::OutOfOrder {
+                line: 2,
+                vehicle_id: 0
+            }
+        );
     }
 
     #[test]

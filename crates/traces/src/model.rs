@@ -69,9 +69,18 @@ mod tests {
         Trace::new(
             7,
             vec![
-                TracePoint { t: 0.0, pos: (0.0, 0.0) },
-                TracePoint { t: 30.0, pos: (3.0, 4.0) },
-                TracePoint { t: 60.0, pos: (3.0, 4.0) },
+                TracePoint {
+                    t: 0.0,
+                    pos: (0.0, 0.0),
+                },
+                TracePoint {
+                    t: 30.0,
+                    pos: (3.0, 4.0),
+                },
+                TracePoint {
+                    t: 60.0,
+                    pos: (3.0, 4.0),
+                },
             ],
         )
     }

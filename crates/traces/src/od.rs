@@ -42,7 +42,10 @@ pub fn extract_od(graph: &RoadGraph, trace: &Trace) -> Option<OdPair> {
     if origin == destination {
         return None;
     }
-    Some(OdPair { origin, destination })
+    Some(OdPair {
+        origin,
+        destination,
+    })
 }
 
 /// Extracts OD pairs from a whole dataset, silently dropping degenerate
@@ -59,7 +62,15 @@ mod tests {
     use vcs_roadnet::{CityConfig, CityKind};
 
     fn city() -> RoadGraph {
-        CityConfig { kind: CityKind::Grid { nx: 6, ny: 6, spacing: 1.0 }, seed: 2 }.generate()
+        CityConfig {
+            kind: CityKind::Grid {
+                nx: 6,
+                ny: 6,
+                spacing: 1.0,
+            },
+            seed: 2,
+        }
+        .generate()
     }
 
     #[test]
@@ -95,11 +106,23 @@ mod tests {
         let parked = Trace::new(
             0,
             vec![
-                TracePoint { t: 0.0, pos: (0.0, 0.0) },
-                TracePoint { t: 10.0, pos: (0.01, 0.01) },
+                TracePoint {
+                    t: 0.0,
+                    pos: (0.0, 0.0),
+                },
+                TracePoint {
+                    t: 10.0,
+                    pos: (0.01, 0.01),
+                },
             ],
         );
-        let single = Trace::new(1, vec![TracePoint { t: 0.0, pos: (0.0, 0.0) }]);
+        let single = Trace::new(
+            1,
+            vec![TracePoint {
+                t: 0.0,
+                pos: (0.0, 0.0),
+            }],
+        );
         let empty = Trace::new(2, vec![]);
         assert!(extract_od(&g, &parked).is_none());
         assert!(extract_od(&g, &single).is_none());

@@ -27,7 +27,13 @@ impl Distribution {
     /// Summarizes a sample; NaN-free inputs assumed.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { n: 0, min: f64::NAN, median: f64::NAN, mean: f64::NAN, max: f64::NAN };
+            return Self {
+                n: 0,
+                min: f64::NAN,
+                median: f64::NAN,
+                mean: f64::NAN,
+                max: f64::NAN,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
@@ -72,7 +78,9 @@ pub fn trace_stats(traces: &[Trace]) -> TraceStats {
     let mut points = 0usize;
     for trace in traces {
         points += trace.points.len();
-        let (Some(first), Some(last)) = (trace.first(), trace.last()) else { continue };
+        let (Some(first), Some(last)) = (trace.first(), trace.last()) else {
+            continue;
+        };
         if trace.points.len() < 2 {
             continue;
         }
@@ -131,8 +139,15 @@ mod tests {
 
     #[test]
     fn stats_on_synthetic_dataset() {
-        let g = CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed: 4 }
-            .generate();
+        let g = CityConfig {
+            kind: CityKind::Grid {
+                nx: 8,
+                ny: 8,
+                spacing: 1.0,
+            },
+            seed: 4,
+        }
+        .generate();
         let cfg = TraceGenConfig {
             profile: CityProfile::Shanghai,
             n_traces: 40,
@@ -154,8 +169,15 @@ mod tests {
 
     #[test]
     fn roma_demand_has_smaller_spread() {
-        let g = CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed: 4 }
-            .generate();
+        let g = CityConfig {
+            kind: CityKind::Grid {
+                nx: 8,
+                ny: 8,
+                spacing: 1.0,
+            },
+            seed: 4,
+        }
+        .generate();
         let make = |profile| {
             let cfg = TraceGenConfig {
                 profile,
@@ -175,12 +197,24 @@ mod tests {
     #[test]
     fn degenerate_traces_excluded_from_distributions() {
         let traces = vec![
-            Trace::new(0, vec![TracePoint { t: 0.0, pos: (0.0, 0.0) }]),
+            Trace::new(
+                0,
+                vec![TracePoint {
+                    t: 0.0,
+                    pos: (0.0, 0.0),
+                }],
+            ),
             Trace::new(
                 1,
                 vec![
-                    TracePoint { t: 0.0, pos: (0.0, 0.0) },
-                    TracePoint { t: 60.0, pos: (3.0, 4.0) },
+                    TracePoint {
+                        t: 0.0,
+                        pos: (0.0, 0.0),
+                    },
+                    TracePoint {
+                        t: 60.0,
+                        pos: (3.0, 4.0),
+                    },
                 ],
             ),
         ];

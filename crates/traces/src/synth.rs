@@ -139,12 +139,18 @@ pub fn generate_traces(graph: &RoadGraph, config: &TraceGenConfig) -> Vec<Trace>
         let destination = candidates[rng.random_range(0..candidates.len())];
         // Goal-directed A*: identical cost to Dijkstra (property-tested in
         // vcs-roadnet), visits far fewer nodes per trip query.
-        let Some(path) = astar_path(graph, origin, destination, CostMetric::TravelTime)
-        else {
+        let Some(path) = astar_path(graph, origin, destination, CostMetric::TravelTime) else {
             continue;
         };
         let vehicle_id = u32::try_from(traces.len()).expect("trace count fits u32");
-        traces.push(drive_trace(graph, origin, &path.edges, vehicle_id, config, &mut rng));
+        traces.push(drive_trace(
+            graph,
+            origin,
+            &path.edges,
+            vehicle_id,
+            config,
+            &mut rng,
+        ));
     }
     traces
 }
@@ -185,7 +191,10 @@ fn drive_trace(
                 v
             }
         };
-        points.push(TracePoint { t, pos: (jitter(pos.0, rng), jitter(pos.1, rng)) });
+        points.push(TracePoint {
+            t,
+            pos: (jitter(pos.0, rng), jitter(pos.1, rng)),
+        });
     };
     emit(t, graph.node(origin).pos, rng);
     for &eid in edges {
@@ -198,7 +207,10 @@ fn drive_trace(
         let mut s = config.sample_interval;
         while s < seg_secs {
             let frac = s / seg_secs;
-            let pos = (from.0 + frac * (to.0 - from.0), from.1 + frac * (to.1 - from.1));
+            let pos = (
+                from.0 + frac * (to.0 - from.0),
+                from.1 + frac * (to.1 - from.1),
+            );
             emit(t + s, pos, rng);
             s += config.sample_interval;
         }
@@ -214,7 +226,15 @@ mod tests {
     use vcs_roadnet::{CityConfig, CityKind};
 
     fn city() -> RoadGraph {
-        CityConfig { kind: CityKind::Grid { nx: 8, ny: 8, spacing: 1.0 }, seed: 1 }.generate()
+        CityConfig {
+            kind: CityKind::Grid {
+                nx: 8,
+                ny: 8,
+                spacing: 1.0,
+            },
+            seed: 1,
+        }
+        .generate()
     }
 
     fn config(profile: CityProfile) -> TraceGenConfig {
@@ -262,7 +282,10 @@ mod tests {
             let b = tr.last().unwrap().pos;
             let crow = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
             // Allow for GPS noise at both endpoints.
-            assert!(crow >= min_dist - 4.0 * cfg.gps_noise, "trip too short: {crow}");
+            assert!(
+                crow >= min_dist - 4.0 * cfg.gps_noise,
+                "trip too short: {crow}"
+            );
         }
     }
 
@@ -312,9 +335,18 @@ mod tests {
 
     #[test]
     fn paper_defaults_match_dataset_sizes() {
-        assert_eq!(TraceGenConfig::paper_defaults(CityProfile::Shanghai, 0).n_traces, 200);
-        assert_eq!(TraceGenConfig::paper_defaults(CityProfile::Roma, 0).n_traces, 150);
-        assert_eq!(TraceGenConfig::paper_defaults(CityProfile::Epfl, 0).n_traces, 200);
+        assert_eq!(
+            TraceGenConfig::paper_defaults(CityProfile::Shanghai, 0).n_traces,
+            200
+        );
+        assert_eq!(
+            TraceGenConfig::paper_defaults(CityProfile::Roma, 0).n_traces,
+            150
+        );
+        assert_eq!(
+            TraceGenConfig::paper_defaults(CityProfile::Epfl, 0).n_traces,
+            200
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@ fn arb_trace(vehicle_id: u32) -> impl Strategy<Value = Trace> {
             raw.sort_by(|a, b| a.0.total_cmp(&b.0));
             Trace::new(
                 vehicle_id,
-                raw.into_iter().map(|(t, x, y)| TracePoint { t, pos: (x, y) }).collect(),
+                raw.into_iter()
+                    .map(|(t, x, y)| TracePoint { t, pos: (x, y) })
+                    .collect(),
             )
         },
     )

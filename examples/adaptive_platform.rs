@@ -25,8 +25,11 @@ fn equilibrium_detour(pool: &UserPool, phi: f64) -> f64 {
                 seed,
                 params: ScenarioParams::with_platform(phi, 0.4),
             });
-            let out =
-                run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+            let out = run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(seed),
+            );
             assert!(out.converged);
             total_detour(&game, &out.profile)
         })

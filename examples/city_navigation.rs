@@ -13,7 +13,10 @@
 use vcs::prelude::*;
 
 fn main() {
-    println!("{:<10} {:>6} {:>12} {:>10} {:>10} {:>10}", "dataset", "algo", "total profit", "coverage", "fairness", "slots");
+    println!(
+        "{:<10} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "dataset", "algo", "total profit", "coverage", "fairness", "slots"
+    );
     for dataset in Dataset::ALL {
         let pool = UserPool::build(dataset, 11);
         let game = pool.instantiate(&ScenarioConfig {

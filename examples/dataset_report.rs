@@ -48,7 +48,12 @@ fn main() {
             .iter()
             .flat_map(|u| u.routes.iter().map(|r| r.detour))
             .sum::<f64>()
-            / pool.users.iter().map(|u| u.routes.len()).sum::<usize>().max(1) as f64;
+            / pool
+                .users
+                .iter()
+                .map(|u| u.routes.len())
+                .sum::<usize>()
+                .max(1) as f64;
         println!(
             "navigation   : {} commuters, {:.1} routes/commuter, mean raw detour {:.2} km",
             pool.len(),
@@ -58,5 +63,7 @@ fn main() {
         println!();
     }
     println!("Roma's origin spread is the smallest (centre-biased demand),");
-    println!("Shanghai's the largest (uniform grid demand) - matching the real datasets' character.");
+    println!(
+        "Shanghai's the largest (uniform grid demand) - matching the real datasets' character."
+    );
 }

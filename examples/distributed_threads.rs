@@ -18,7 +18,11 @@ fn main() {
         seed: 8,
         params: ScenarioParams::default(),
     });
-    println!("{} user agents, {} tasks", game.user_count(), game.task_count());
+    println!(
+        "{} user agents, {} tasks",
+        game.user_count(),
+        game.task_count()
+    );
 
     for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
         let t0 = Instant::now();
@@ -29,7 +33,10 @@ fn main() {
         let sync_time = t1.elapsed();
 
         assert!(threaded.converged, "protocol terminates at equilibrium");
-        assert!(is_nash(&game, &threaded.profile), "termination implies Nash");
+        assert!(
+            is_nash(&game, &threaded.profile),
+            "termination implies Nash"
+        );
         assert_eq!(
             threaded, sync,
             "threaded and reference runtimes are bit-identical"

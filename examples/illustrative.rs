@@ -39,8 +39,14 @@ fn fig1_walkthrough() {
     );
     // And the dynamics land exactly on the distributed equilibrium.
     let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(1));
-    assert_eq!(out.profile.choices(), fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice());
-    println!("  DGRN converges to the distributed equilibrium in {} slots", out.slots);
+    assert_eq!(
+        out.profile.choices(),
+        fig1_profiles::DISTRIBUTED_EQUILIBRIUM.as_slice()
+    );
+    println!(
+        "  DGRN converges to the distributed equilibrium in {} slots",
+        out.slots
+    );
 }
 
 fn fig2_walkthrough() {

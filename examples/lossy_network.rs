@@ -33,9 +33,16 @@ fn main() {
 
     // The same run over increasingly hostile channels.
     for drop_probability in [0.05, 0.2, 0.4] {
-        let loss = LossConfig { drop_probability, seed: 1, max_retries: 100_000 };
+        let loss = LossConfig {
+            drop_probability,
+            seed: 1,
+            max_retries: 100_000,
+        };
         let (out, stats) = run_lossy(&game, SchedulerKind::Puu, 42, 1_000_000, &loss);
-        assert_eq!(out.profile, reference.profile, "loss must not change the equilibrium");
+        assert_eq!(
+            out.profile, reference.profile,
+            "loss must not change the equilibrium"
+        );
         assert_eq!(out.slots, reference.slots);
         println!(
             "loss {:>3.0}% : same equilibrium; {} drops, {} retransmissions, {} frames ({:.1} KiB)",
@@ -52,7 +59,10 @@ fn main() {
     for refresh in [1usize, 2, 4, 8] {
         let out = run_stale(&game, SchedulerKind::Puu, 42, 1_000_000, refresh);
         assert!(out.converged);
-        assert!(is_nash(&game, &out.profile), "stale operation must still end at Nash");
+        assert!(
+            is_nash(&game, &out.profile),
+            "stale operation must still end at Nash"
+        );
         println!(
             "refresh every {refresh} slot(s): {} slots to a verified Nash equilibrium",
             out.slots

@@ -36,8 +36,11 @@ fn main() {
                 seed,
                 params: ScenarioParams::with_platform(phi, theta),
             });
-            let out =
-                run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+            let out = run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(seed),
+            );
             assert!(out.converged);
             reward += average_reward(&game, &out.profile) / REPS as f64;
             cov += coverage(&game, &out.profile) / REPS as f64;

@@ -24,12 +24,19 @@ fn main() {
         seed: 42,
         params: ScenarioParams::default(),
     });
-    println!("game: {} users, {} tasks", game.user_count(), game.task_count());
+    println!(
+        "game: {} users, {} tasks",
+        game.user_count(),
+        game.task_count()
+    );
 
     // 3. Run DGRN to a Nash equilibrium.
     let outcome = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(42));
     assert!(outcome.converged, "the potential game always converges");
-    assert!(is_nash(&game, &outcome.profile), "termination implies equilibrium");
+    assert!(
+        is_nash(&game, &outcome.profile),
+        "termination implies equilibrium"
+    );
     println!(
         "converged after {} decision slots ({} decision updates)",
         outcome.slots, outcome.updates
@@ -38,15 +45,24 @@ fn main() {
     // 4. Inspect the allocation.
     println!("total profit : {:.2}", outcome.profile.total_profit(&game));
     println!("coverage     : {:.2}", coverage(&game, &outcome.profile));
-    println!("avg reward   : {:.2}", average_reward(&game, &outcome.profile));
-    println!("fairness     : {:.3}", profile_jain_index(&game, &outcome.profile));
+    println!(
+        "avg reward   : {:.2}",
+        average_reward(&game, &outcome.profile)
+    );
+    println!(
+        "fairness     : {:.3}",
+        profile_jain_index(&game, &outcome.profile)
+    );
     println!("potential    : {:.2}", potential(&game, &outcome.profile));
 
     // 5. Each user ends on the route it is happiest with given the others.
     for user in game.users().iter().take(5) {
         let route = outcome.profile.choice(user.id);
         let profit = outcome.profile.profit(&game, user.id);
-        println!("  user {:>2} -> route {} (profit {:.2})", user.id.0, route.0, profit);
+        println!(
+            "  user {:>2} -> route {} (profit {:.2})",
+            user.id.0, route.0, profit
+        );
     }
     println!("  ... ({} more users)", game.user_count().saturating_sub(5));
 }

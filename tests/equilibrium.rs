@@ -7,7 +7,12 @@ use vcs::prelude::*;
 
 fn scenario_game(dataset: Dataset, n_users: usize, n_tasks: usize, seed: u64) -> Game {
     let pool = UserPool::build(dataset, seed);
-    pool.instantiate(&ScenarioConfig { n_users, n_tasks, seed, params: ScenarioParams::default() })
+    pool.instantiate(&ScenarioConfig {
+        n_users,
+        n_tasks,
+        seed,
+        params: ScenarioParams::default(),
+    })
 }
 
 #[test]
@@ -16,7 +21,12 @@ fn all_distributed_algorithms_reach_nash_on_all_datasets() {
         let game = scenario_game(dataset, 25, 40, 17);
         for algo in DistributedAlgorithm::ALL {
             let out = run_distributed(&game, algo, &RunConfig::with_seed(17));
-            assert!(out.converged, "{:?} did not converge on {}", algo, dataset.name());
+            assert!(
+                out.converged,
+                "{:?} did not converge on {}",
+                algo,
+                dataset.name()
+            );
             assert!(
                 is_nash(&game, &out.profile),
                 "{:?} off-equilibrium on {}",
@@ -47,7 +57,11 @@ fn potential_is_monotone_along_all_dynamics() {
 fn theorem4_slot_bound_holds() {
     for seed in [3u64, 7, 11] {
         let game = scenario_game(Dataset::Shanghai, 20, 30, seed);
-        let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+        let out = run_distributed(
+            &game,
+            DistributedAlgorithm::Dgrn,
+            &RunConfig::with_seed(seed),
+        );
         if out.updates == 0 {
             continue; // already at equilibrium; bound trivially holds
         }
@@ -67,7 +81,11 @@ fn corn_dominates_equilibria_and_random() {
     let game = scenario_game(Dataset::Epfl, 10, 20, 9);
     let corn = run_corn(&game);
     for seed in 0..5u64 {
-        let eq = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed));
+        let eq = run_distributed(
+            &game,
+            DistributedAlgorithm::Dgrn,
+            &RunConfig::with_seed(seed),
+        );
         assert!(corn.total_profit >= eq.profile.total_profit(&game) - 1e-9);
         let rrn = run_rrn(&game, seed);
         assert!(corn.total_profit >= rrn.total_profit(&game) - 1e-9);

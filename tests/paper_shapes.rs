@@ -44,13 +44,20 @@ fn slots_grow_with_users() {
     let slots_at = |n_users: usize| {
         mean_over_reps(|rep| {
             let game = game_for(&pool, n_users, 40, replicate_seed(52, 2, rep));
-            run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep)).slots
-                as f64
+            run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(rep),
+            )
+            .slots as f64
         })
     };
     let small = slots_at(10);
     let large = slots_at(60);
-    assert!(large > small, "slots at 60 users ({large}) not above 10 users ({small})");
+    assert!(
+        large > small,
+        "slots at 60 users ({large}) not above 10 users ({small})"
+    );
 }
 
 /// Fig. 7: total profit ordering RRN < DGRN ≤ CORN in aggregate.
@@ -62,13 +69,20 @@ fn profit_ordering_matches_paper() {
     let mut rrn_sum = 0.0;
     for rep in 0..REPS {
         let game = game_for(&pool, 12, 20, replicate_seed(53, 3, rep));
-        dgrn_sum += run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep))
-            .profile
-            .total_profit(&game);
+        dgrn_sum += run_distributed(
+            &game,
+            DistributedAlgorithm::Dgrn,
+            &RunConfig::with_seed(rep),
+        )
+        .profile
+        .total_profit(&game);
         corn_sum += run_corn(&game).total_profit;
         rrn_sum += run_rrn(&game, rep).total_profit(&game);
     }
-    assert!(corn_sum >= dgrn_sum - 1e-9, "CORN {corn_sum} vs DGRN {dgrn_sum}");
+    assert!(
+        corn_sum >= dgrn_sum - 1e-9,
+        "CORN {corn_sum} vs DGRN {dgrn_sum}"
+    );
     assert!(dgrn_sum > rrn_sum, "DGRN {dgrn_sum} vs RRN {rrn_sum}");
     // The paper's headline: DGRN is close to optimal. Require ≥ 80% here
     // (the paper's Table 4 reports ≥ 96% at 500 repetitions).
@@ -108,12 +122,22 @@ fn reward_trends_match_paper() {
     let reward = |n_users: usize, n_tasks: usize| {
         mean_over_reps(|rep| {
             let game = game_for(&pool, n_users, n_tasks, replicate_seed(55, 5, rep));
-            let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep));
+            let out = run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(rep),
+            );
             average_reward(&game, &out.profile)
         })
     };
-    assert!(reward(20, 80) > reward(20, 20), "reward must grow with tasks");
-    assert!(reward(20, 60) > reward(80, 60), "reward must shrink with users");
+    assert!(
+        reward(20, 80) > reward(20, 20),
+        "reward must grow with tasks"
+    );
+    assert!(
+        reward(20, 60) > reward(80, 60),
+        "reward must shrink with users"
+    );
 }
 
 /// Fig. 10: DGRN's fairness is at least RRN's in aggregate.
@@ -126,7 +150,12 @@ fn fairness_shape_matches_paper() {
         let game = game_for(&pool, 12, 20, replicate_seed(56, 6, rep));
         dgrn += profile_jain_index(
             &game,
-            &run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep)).profile,
+            &run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(rep),
+            )
+            .profile,
         );
         rrn += profile_jain_index(&game, &run_rrn(&game, rep));
     }
@@ -148,7 +177,11 @@ fn platform_weights_steer_equilibrium() {
                 seed: replicate_seed(57, 7, rep),
                 params,
             });
-            let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(rep));
+            let out = run_distributed(
+                &game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(rep),
+            );
             total_detour(&game, &out.profile)
         })
     };

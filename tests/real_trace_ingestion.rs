@@ -23,7 +23,11 @@ fn fixture_parses_and_summarizes() {
 fn fixture_drives_the_full_pipeline() {
     // A 10×10 km grid city covering the fixture's coordinate frame.
     let graph = vcs::roadnet::CityConfig {
-        kind: vcs::roadnet::CityKind::Grid { nx: 10, ny: 10, spacing: 1.0 },
+        kind: vcs::roadnet::CityKind::Grid {
+            nx: 10,
+            ny: 10,
+            spacing: 1.0,
+        },
         seed: 77,
     }
     .generate();
@@ -35,7 +39,12 @@ fn fixture_drives_the_full_pipeline() {
     let mut users = Vec::new();
     let mut geometries = Vec::new();
     for od in &ods {
-        let routes = recommend_routes(&graph, od.origin, od.destination, &RecommendConfig::default());
+        let routes = recommend_routes(
+            &graph,
+            od.origin,
+            od.destination,
+            &RecommendConfig::default(),
+        );
         assert!(!routes.is_empty());
         assert_eq!(routes[0].detour, 0.0);
         geometries.push(routes.iter().map(|r| r.path.length).collect::<Vec<_>>());
@@ -66,8 +75,7 @@ fn fixture_drives_the_full_pipeline() {
                             geom.windows(2).any(|w| {
                                 // coarse point-to-segment test via midpoint
                                 let mid = ((w[0].0 + w[1].0) / 2.0, (w[0].1 + w[1].1) / 2.0);
-                                ((mid.0 - loc.0).powi(2) + (mid.1 - loc.1).powi(2)).sqrt()
-                                    < capture
+                                ((mid.0 - loc.0).powi(2) + (mid.1 - loc.1).powi(2)).sqrt() < capture
                             })
                         })
                         .map(|t| t.id)
@@ -78,8 +86,7 @@ fn fixture_drives_the_full_pipeline() {
             User::new(UserId::from_index(i), UserPrefs::neutral(), routes)
         })
         .collect();
-    let game =
-        Game::with_paper_bounds(tasks, game_users, PlatformParams::new(0.4, 0.4)).unwrap();
+    let game = Game::with_paper_bounds(tasks, game_users, PlatformParams::new(0.4, 0.4)).unwrap();
 
     // The distributed dynamics equilibrate on real-trace-derived commuters.
     let out = run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(1));

@@ -34,7 +34,10 @@ fn threaded_matches_sync_on_scenario_games() {
         for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
             let sync = run_sync(&game, scheduler, seed, 1_000_000);
             let threaded = run_threaded(&game, scheduler, seed, 1_000_000);
-            assert_eq!(sync, threaded, "divergence: scheduler {scheduler:?} seed {seed}");
+            assert_eq!(
+                sync, threaded,
+                "divergence: scheduler {scheduler:?} seed {seed}"
+            );
         }
     }
 }
@@ -46,12 +49,7 @@ fn threaded_matches_sync_on_scenario_games() {
 fn agent_request_matches_centralized_best_response() {
     let game = scenario_game(5, 12);
     let profile = Profile::all_first(&game);
-    let platform = PlatformState::new(
-        &game,
-        SchedulerKind::Suu,
-        0,
-        profile.choices().to_vec(),
-    );
+    let platform = PlatformState::new(&game, SchedulerKind::Suu, 0, profile.choices().to_vec());
     for user in game.users() {
         let mut agent = UserAgent::new(
             user.id,
@@ -67,8 +65,13 @@ fn agent_request_matches_centralized_best_response() {
             .expect("counts always answered");
         let centralized = best_route_set(&game, &profile, user.id);
         match reply {
-            vcs::runtime::UserMsg::Request { gain, new_route, .. } => {
-                assert!(centralized.can_improve(), "agent requested but core says stay");
+            vcs::runtime::UserMsg::Request {
+                gain, new_route, ..
+            } => {
+                assert!(
+                    centralized.can_improve(),
+                    "agent requested but core says stay"
+                );
                 assert!(
                     (gain - centralized.gain).abs() < 1e-9,
                     "gain mismatch: agent {gain} vs core {}",

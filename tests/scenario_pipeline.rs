@@ -11,10 +11,13 @@ fn full_pipeline_through_csv_roundtrip() {
     // dump would take.
     let dataset = Dataset::Shanghai;
     let graph = dataset.city_config(3).generate();
-    let traces = generate_traces(&graph, &TraceGenConfig {
-        n_traces: 40,
-        ..TraceGenConfig::paper_defaults(dataset.trace_profile(), 3)
-    });
+    let traces = generate_traces(
+        &graph,
+        &TraceGenConfig {
+            n_traces: 40,
+            ..TraceGenConfig::paper_defaults(dataset.trace_profile(), 3)
+        },
+    );
     let csv = write_traces(&traces);
     let reparsed = parse_traces(&csv).expect("self-written CSV parses");
     let od_direct = extract_all(&graph, &traces);
@@ -27,7 +30,12 @@ fn full_pipeline_through_csv_roundtrip() {
 fn recommended_routes_feed_valid_games_on_all_datasets() {
     for dataset in Dataset::ALL {
         let pool = UserPool::build(dataset, 2);
-        assert!(pool.len() >= 100, "{}: pool too small ({})", dataset.name(), pool.len());
+        assert!(
+            pool.len() >= 100,
+            "{}: pool too small ({})",
+            dataset.name(),
+            pool.len()
+        );
         let game = pool.instantiate(&ScenarioConfig {
             n_users: 30,
             n_tasks: 50,
@@ -70,9 +78,24 @@ fn route_recommendation_is_consistent_with_graph_shortest_paths() {
 fn scenario_replicates_are_independent_but_reproducible() {
     let pool = UserPool::build(Dataset::Roma, 14);
     let params = ScenarioParams::default();
-    let a1 = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 100, params });
-    let a2 = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 100, params });
-    let b = pool.instantiate(&ScenarioConfig { n_users: 10, n_tasks: 20, seed: 101, params });
+    let a1 = pool.instantiate(&ScenarioConfig {
+        n_users: 10,
+        n_tasks: 20,
+        seed: 100,
+        params,
+    });
+    let a2 = pool.instantiate(&ScenarioConfig {
+        n_users: 10,
+        n_tasks: 20,
+        seed: 100,
+        params,
+    });
+    let b = pool.instantiate(&ScenarioConfig {
+        n_users: 10,
+        n_tasks: 20,
+        seed: 101,
+        params,
+    });
     assert_eq!(a1, a2, "same seed must reproduce the identical game");
     assert_ne!(a1, b, "different seeds must vary the game");
 }

@@ -20,7 +20,10 @@ fn telemetry_identical_across_runtimes() {
     for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
         let sync = run_sync(&game, scheduler, 5, 1_000_000);
         let threaded = run_threaded(&game, scheduler, 5, 1_000_000);
-        assert_eq!(sync.telemetry, threaded.telemetry, "telemetry diverged: {scheduler:?}");
+        assert_eq!(
+            sync.telemetry, threaded.telemetry,
+            "telemetry diverged: {scheduler:?}"
+        );
         assert!(sync.telemetry.total_msgs() > 0);
         assert!(sync.telemetry.total_bytes() > sync.telemetry.total_msgs());
     }
@@ -28,18 +31,26 @@ fn telemetry_identical_across_runtimes() {
 
 #[test]
 fn telemetry_accounting_is_closed() {
-    // Every slot exchanges: M Counts + M replies (+ grants/denies/updates);
-    // plus M initial, M init, M terminate. So platform messages ≥ 2M and
-    // user messages ≥ M + slots·M at minimum structure.
+    // The dirty-set protocol exchanges, over a whole run: M Initial + M Init
+    // + M Terminate, one Counts/reply pair per *polled* (dirty) agent, and
+    // one Grant/Updated pair per applied update. So the books close exactly:
+    // platform frames (init + counts + grants + terminate) exceed user
+    // frames (initial + replies + updates) by precisely M.
     let game = scenario_game(2);
     let m = game.user_count();
     let out = run_sync(&game, SchedulerKind::Puu, 9, 1_000_000);
     assert!(out.converged);
     let t = out.telemetry;
-    // Platform: init (M) + per-slot counts ((slots+1)·M) + verdicts + term (M).
-    assert!(t.platform_msgs >= m * 2 + (out.slots + 1) * m);
-    // Users: initial (M) + one reply per counts round ((slots+1)·M) + updates.
-    assert!(t.user_msgs >= m + (out.slots + 1) * m + out.updates);
+    assert_eq!(
+        t.platform_msgs,
+        t.user_msgs + m,
+        "accounting identity broken"
+    );
+    // The first slot polls everyone; every update costs one more exchange.
+    assert!(t.user_msgs >= 2 * m + out.updates);
+    // Selective polling never exceeds the dense protocol's one-poll-per-user
+    // -per-slot budget.
+    assert!(t.user_msgs <= m + (out.slots + 1) * m + out.updates);
     // Byte counts are at least one byte per message (tag).
     assert!(t.platform_bytes >= t.platform_msgs);
     assert!(t.user_bytes >= t.user_msgs);
@@ -68,9 +79,13 @@ fn anneal_tracks_or_beats_equilibria_on_scenarios() {
     for seed in 0..3u64 {
         let game = scenario_game(seed + 10);
         anneal_total += run_anneal(&game, &AnnealConfig::with_seed(seed)).total_profit;
-        eq_total += run_distributed(&game, DistributedAlgorithm::Dgrn, &RunConfig::with_seed(seed))
-            .profile
-            .total_profit(&game);
+        eq_total += run_distributed(
+            &game,
+            DistributedAlgorithm::Dgrn,
+            &RunConfig::with_seed(seed),
+        )
+        .profile
+        .total_profit(&game);
     }
     assert!(
         anneal_total >= 0.95 * eq_total,

@@ -1,0 +1,264 @@
+//! Offline subset of the `bytes` crate.
+//!
+//! Implements the surface the `vcs-runtime` wire codec uses: an immutable,
+//! cheaply cloneable [`Bytes`] view, a growable [`BytesMut`] builder, and the
+//! big-endian [`Buf`]/[`BufMut`] accessors. Semantics match upstream for this
+//! subset (network byte order, `freeze`, sub-slicing without copying).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Immutable byte buffer; clones share the underlying allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::from_static(&[])
+    }
+
+    /// Wraps a static slice (no allocation is shared, but the copy is cheap
+    /// and one-time).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view of `range` (relative to this view) sharing the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice range {range:?} out of bounds for Bytes of length {}",
+            self.len()
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte buffer for building frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the builder into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Read access to a byte cursor (big-endian, as on the wire).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `count` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `count` bytes remain.
+    fn advance(&mut self, count: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty. Callers check [`Buf::remaining`] first.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_f64(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of Bytes");
+        self.start += count;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let byte = self.as_slice()[0];
+        self.start += 1;
+        byte
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.as_slice()[..4]);
+        self.start += 4;
+        u32::from_be_bytes(raw)
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.as_slice()[..8]);
+        self.start += 8;
+        f64::from_be_bytes(raw)
+    }
+}
+
+/// Write access to a byte builder (big-endian, as on the wire).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32);
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, value: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_f64(-2.5);
+        let mut frame = buf.freeze();
+        assert_eq!(frame.remaining(), 13);
+        assert_eq!(frame.get_u8(), 7);
+        assert_eq!(frame.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frame.get_f64(), -2.5);
+        assert!(!frame.has_remaining());
+    }
+
+    #[test]
+    fn u32_is_network_order() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert_eq!(buf.freeze().as_ref(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn slice_shares_and_offsets() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let mut mid = bytes.slice(1..4);
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid.get_u8(), 2);
+        assert_eq!(mid.slice(0..2).as_ref(), &[3, 4]);
+        // Original view is unaffected.
+        assert_eq!(bytes.as_ref(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let mut bytes = Bytes::from(vec![9, 8, 7]);
+        bytes.advance(2);
+        assert_eq!(bytes.remaining(), 1);
+        assert_eq!(bytes.get_u8(), 7);
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline mini benchmark harness with the `criterion` API surface this
+//! workspace uses: `Criterion`, `benchmark_group`/`bench_function`/
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Differences from upstream: no statistical analysis or HTML reports — each
+//! benchmark is timed over a fixed number of wall-clock samples and the mean,
+//! minimum, and maximum per-iteration times are printed. Timings are real;
+//! confidence intervals are not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `body`, calling it repeatedly per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up call (fills caches, resolves lazy statics).
+        std::hint::black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.samples
+            .push(start.elapsed() / u32::try_from(self.iters).unwrap_or(u32::MAX));
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into().id, self.sample_count, body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_count: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_count: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_count = samples.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into().id, self.sample_count, body);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into().id, self.sample_count, |b| {
+            body(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, samples: u64, mut body: F) {
+    let mut bencher = Bencher::new(1);
+    for _ in 0..samples.max(1) {
+        body(&mut bencher);
+    }
+    let full_id = match group {
+        Some(group) => format!("{group}/{id}"),
+        None => id.to_owned(),
+    };
+    if bencher.samples.is_empty() {
+        println!("bench {full_id:<50} (no samples)");
+        return;
+    }
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench {full_id:<50} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($name, $($rest)*);
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut counter = 0u64;
+        Criterion::default().bench_function("counter", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut hits = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+            hits += 1;
+        });
+        group.finish();
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("3u_4t").id, "3u_4t");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline subset of `crossbeam`.
+//!
+//! The threaded runtime only needs unbounded MPSC channels; this wraps
+//! `std::sync::mpsc` behind the crossbeam channel API names so call sites
+//! stay unchanged. The std channel is MPSC (receivers are not cloneable),
+//! which matches every use in this workspace: one consumer per channel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// MPSC channels with the `crossbeam-channel` API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    pub type RecvError = mpsc::RecvError;
+
+    /// Sending half; cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only when the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half; single consumer.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails when every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let handle = std::thread::spawn(move || {
+                tx2.send(41).unwrap();
+                tx.send(1).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+            handle.join().unwrap();
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so this crate
+//! implements exactly the surface the workspace consumes: a deterministic
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`] and uniform
+//! range sampling via [`RngExt::random_range`]. The generator is
+//! xoshiro256++ with a splitmix64 seed expansion; it is **not** the upstream
+//! `StdRng` (ChaCha12), so absolute draw sequences differ from upstream, but
+//! every consumer in this workspace only relies on determinism per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The splitmix64 finalizer used to expand seeds into full generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ generator: fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            // All-zero state is a fixed point of xoshiro; splitmix64 cannot
+            // produce four zero outputs in a row, so `s` is always valid.
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Maps 64 random bits to a uniform index in `[0, span)` (Lemire
+/// multiply-shift; span 0 means the full 2^64 range).
+fn bounded(word: u64, span: u64) -> u64 {
+    if span == 0 {
+        word
+    } else {
+        ((u128::from(word) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// 53-bit mantissa fraction in `[0, 1)`.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Scalar types that support uniform sampling from a range.
+///
+/// Mirrors upstream's blanket `SampleRange<T> for Range<T>` structure, which
+/// type inference relies on to pin unsuffixed numeric literals in calls like
+/// `rng.random_range(-0.05..0.05)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)` when `inclusive` is false, else
+    /// from `[start, end]`. Callers guarantee the range is non-empty.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! uint_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (end - start) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                start + bounded(rng.next_u64(), span) as $ty
+            }
+        }
+    )*};
+}
+
+uint_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! int_sample_uniform {
+    ($($ty:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = end.wrapping_sub(start) as $unsigned as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                start.wrapping_add(bounded(rng.next_u64(), span) as $ty)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! float_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = unit_f64(rng.next_u64()) as $ty;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Range types that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(3..9);
+            assert!((3..9).contains(&x));
+            let y: usize = rng.random_range(0..=4);
+            assert!(y <= 4);
+            let z: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn unsuffixed_float_literals_infer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let y = rng.random_range(1.0..=2.0) + 0.0f64;
+            assert!((1.0..=2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (800..1200).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline subset of `rayon`.
+//!
+//! Supports the one shape this workspace uses:
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()`. Work is split into
+//! one contiguous chunk per available core and run on scoped threads; results
+//! are concatenated in index order, so output is identical to the sequential
+//! map (the property `vcs-metrics` relies on for bit-identical replication).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::thread;
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A data-parallel pipeline stage.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Evaluates the pipeline, yielding elements in index order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from an evaluated pipeline.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run()
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for Range<$ty> {
+            type Item = $ty;
+            type Iter = RangeParIter<$ty>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize);
+
+/// Parallel iterator over an integer range.
+#[derive(Debug, Clone)]
+pub struct RangeParIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_par_iter_run {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$ty> {
+            type Item = $ty;
+
+            fn run(self) -> Vec<$ty> {
+                self.range.collect()
+            }
+        }
+    )*};
+}
+
+range_par_iter_run!(u32, u64, usize);
+
+/// Output of [`ParallelIterator::map`].
+#[derive(Debug, Clone)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, T, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync + Send,
+{
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        let items = self.base.run();
+        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        if workers <= 1 || items.len() <= 1 {
+            return items.into_iter().map(self.f).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let f = &self.f;
+        // One contiguous chunk per worker keeps results trivially ordered:
+        // chunk j of the output is exactly chunk j of the input mapped.
+        let mut chunks: Vec<Vec<I::Item>> = Vec::new();
+        let mut items = items.into_iter();
+        loop {
+            let batch: Vec<_> = items.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            chunks.push(batch);
+        }
+        thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<T>>()))
+                .collect();
+            let mut out = Vec::new();
+            for handle in handles {
+                out.extend(handle.join().expect("rayon worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0..1000u64).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<u32> = (5..5u32).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let out: Vec<usize> = (3..4usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, vec![4]);
+    }
+}

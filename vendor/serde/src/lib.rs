@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its domain types for
+//! downstream consumers, but never serializes through serde itself (the wire
+//! codec in `vcs-runtime` is hand-rolled). With no registry access, this
+//! crate supplies the marker traits and re-exports no-op derive macros so the
+//! annotations stay in place and compile.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
