@@ -10,13 +10,71 @@
 
 use crate::outcome::{RunOutcome, SlotTrace};
 use crate::request::UpdateRequest;
-use crate::scheduler::{buau, puu, suu};
+use crate::scheduler::{buau, puu, puu_views, suu, RequestView};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use vcs_core::ids::UserId;
+use vcs_core::ids::{RouteId, TaskId, UserId};
 use vcs_core::response::{best_route_set, better_routes, BestResponse, ProfitView};
 use vcs_core::{potential, Engine, Game, Profile};
+
+/// Per-user cache of PUU affected-task sets `B_i = L_{s_i} ∪ L_{s'}`, keyed
+/// by candidate route and implicitly by the user's current route.
+///
+/// A row stays valid as long as the user's current route is unchanged — and
+/// the current route only changes through the user's own move, which marks it
+/// dirty — so the engine driver invalidates exactly the rows of drained dirty
+/// users and reuses every other buffer across slots. This is what keeps MUUN
+/// slots from re-materializing full [`UpdateRequest`]s (union allocation per
+/// improving user per slot).
+struct AffectedCache {
+    rows: Vec<Vec<Option<Box<[TaskId]>>>>,
+}
+
+impl AffectedCache {
+    fn new(game: &Game) -> Self {
+        Self {
+            rows: game
+                .users()
+                .iter()
+                .map(|u| vec![None; u.routes.len()])
+                .collect(),
+        }
+    }
+
+    /// Drops every cached set of `user` (its current route may have changed).
+    fn invalidate(&mut self, user: UserId) {
+        for entry in &mut self.rows[user.index()] {
+            *entry = None;
+        }
+    }
+
+    /// Builds the `B_i` buffer for `user` switching to `candidate` if it is
+    /// not already cached (same union-sort-dedup as [`UpdateRequest::build`]).
+    fn ensure(&mut self, game: &Game, profile: &Profile, user: UserId, candidate: RouteId) {
+        let slot = &mut self.rows[user.index()][candidate.index()];
+        if slot.is_none() {
+            let u = &game.users()[user.index()];
+            let current = &u.routes[profile.choice(user).index()];
+            let next = &u.routes[candidate.index()];
+            let mut affected: Vec<TaskId> = current
+                .tasks
+                .iter()
+                .chain(next.tasks.iter())
+                .copied()
+                .collect();
+            affected.sort_unstable();
+            affected.dedup();
+            *slot = Some(affected.into_boxed_slice());
+        }
+    }
+
+    fn get(&self, user: UserId, candidate: RouteId) -> &[TaskId] {
+        self.rows[user.index()][candidate.index()]
+            .as_deref()
+            .expect("ensured before use")
+    }
+}
 
 /// The five distributed algorithms evaluated in §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -223,14 +281,17 @@ pub fn run_distributed_from(
             // A would-be update request, before the full `UpdateRequest`
             // (with its allocated affected-task set) is materialized. SUU
             // only consumes the request *count* and BUAU only `τ = gain/α`,
-            // so for DGRN/BRUN/BUAU no `UpdateRequest` is ever built; only
-            // PUU's conflict graph (MUUN) needs the affected-task sets.
+            // so for DGRN/BRUN/BUAU no `UpdateRequest` is ever built; PUU's
+            // conflict graph (MUUN) reads the affected-task sets from a
+            // per-user cache reused across slots.
             struct Pick {
                 user: UserId,
-                route: vcs_core::ids::RouteId,
+                route: RouteId,
                 gain: f64,
             }
             let mut picks: Vec<Pick> = Vec::new();
+            let mut affected_cache =
+                (algorithm == DistributedAlgorithm::Muun).then(|| AffectedCache::new(game));
             while slots < config.max_slots {
                 // Alg. 2 line 6: refresh invalidated responses, then collect
                 // requests from users able to improve. `pick` re-draws for
@@ -241,6 +302,9 @@ pub fn run_distributed_from(
                         better_cache[user.index()] = engine.better_routes(user);
                     } else {
                         best_cache[user.index()] = engine.best_route_set(user);
+                    }
+                    if let Some(cache) = &mut affected_cache {
+                        cache.invalidate(user);
                     }
                 }
                 picks.clear();
@@ -297,25 +361,28 @@ pub fn run_distributed_from(
                         1
                     }
                     DistributedAlgorithm::Muun => {
-                        let requests: Vec<UpdateRequest> = picks
+                        // Same τ and B_i as `UpdateRequest::build`, but B_i
+                        // comes from the cross-slot cache: only users that
+                        // turned up dirty since their last request rebuild it.
+                        let cache = affected_cache.as_mut().expect("built for MUUN");
+                        for p in &picks {
+                            cache.ensure(game, engine.profile(), p.user, p.route);
+                        }
+                        let views: Vec<RequestView<'_>> = picks
                             .iter()
-                            .map(|p| {
-                                UpdateRequest::build(
-                                    game,
-                                    engine.profile(),
-                                    p.user,
-                                    p.route,
-                                    p.gain,
-                                )
+                            .map(|p| RequestView {
+                                user: p.user,
+                                tau: p.gain / game.users()[p.user.index()].prefs.alpha,
+                                affected: cache.get(p.user, p.route),
                             })
                             .collect();
-                        let granted = puu(&requests);
+                        let granted = puu_views(&views);
                         debug_assert!(!granted.is_empty());
                         for &g in &granted {
-                            let req = &requests[g];
-                            engine.apply_move(req.user, req.new_route);
+                            let p = &picks[g];
+                            engine.apply_move(p.user, p.route);
                             updates += 1;
-                            min_improvement = min_improvement.min(req.gain);
+                            min_improvement = min_improvement.min(p.gain);
                         }
                         granted.len()
                     }

@@ -54,17 +54,23 @@ impl UpdateRequest {
     /// Whether this request's affected task set intersects `other`'s
     /// (conflicting requests must not update in the same slot under PUU).
     pub fn conflicts_with(&self, other: &UpdateRequest) -> bool {
-        // Both lists are sorted: linear merge intersection test.
-        let (mut i, mut j) = (0, 0);
-        while i < self.affected_tasks.len() && j < other.affected_tasks.len() {
-            match self.affected_tasks[i].cmp(&other.affected_tasks[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
-            }
-        }
-        false
+        tasks_intersect(&self.affected_tasks, &other.affected_tasks)
     }
+}
+
+/// Linear merge intersection test over two **sorted** task lists — the PUU
+/// conflict predicate, shared by [`UpdateRequest::conflicts_with`] and the
+/// allocation-free scheduler views.
+pub fn tasks_intersect(a: &[TaskId], b: &[TaskId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 #[cfg(test)]

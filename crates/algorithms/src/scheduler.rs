@@ -1,8 +1,9 @@
 //! Platform-side user-update schedulers: SUU and PUU (Algorithm 3).
 
-use crate::request::UpdateRequest;
+use crate::request::{tasks_intersect, UpdateRequest};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use vcs_core::ids::{TaskId, UserId};
 
 /// Single User Update: grants the opportunity to one uniformly random
 /// requester per decision slot.
@@ -25,6 +26,20 @@ pub fn buau(requests: &[UpdateRequest]) -> Vec<usize> {
         .unwrap_or_default()
 }
 
+/// Borrowed view of one request: everything the PUU conflict-graph greedy
+/// needs, with the affected-task set `B_i` referenced rather than owned.
+/// Lets the engine driver reuse cached per-user buffers across slots instead
+/// of materializing full [`UpdateRequest`]s every slot.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestView<'a> {
+    /// The requesting user.
+    pub user: UserId,
+    /// `τ_i = gain / α_i`.
+    pub tau: f64,
+    /// `B_i`, sorted (see [`UpdateRequest::affected_tasks`]).
+    pub affected: &'a [TaskId],
+}
+
 /// Parallel User Update (Algorithm 3): sorts requesters by
 /// `δ_i = τ_i / |B_i|` non-ascending and greedily admits every requester
 /// whose affected task set `B_i` is disjoint from all already admitted ones.
@@ -32,11 +47,26 @@ pub fn buau(requests: &[UpdateRequest]) -> Vec<usize> {
 ///
 /// Returns indices into `requests` of the admitted set `µ`.
 pub fn puu(requests: &[UpdateRequest]) -> Vec<usize> {
-    let delta = |r: &UpdateRequest| {
-        if r.affected_tasks.is_empty() {
+    let views: Vec<RequestView<'_>> = requests
+        .iter()
+        .map(|r| RequestView {
+            user: r.user,
+            tau: r.tau,
+            affected: &r.affected_tasks,
+        })
+        .collect();
+    puu_views(&views)
+}
+
+/// Allocation-free core of [`puu`], operating on borrowed request views.
+/// Identical ordering (δ non-ascending, ties broken by lower user id) and
+/// identical admitted sets to the owned variant.
+pub fn puu_views(requests: &[RequestView<'_>]) -> Vec<usize> {
+    let delta = |r: &RequestView<'_>| {
+        if r.affected.is_empty() {
             f64::INFINITY
         } else {
-            r.tau / r.affected_tasks.len() as f64
+            r.tau / r.affected.len() as f64
         }
     };
     let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -51,7 +81,7 @@ pub fn puu(requests: &[UpdateRequest]) -> Vec<usize> {
         let candidate = &requests[idx];
         if admitted
             .iter()
-            .all(|&a| !requests[a].conflicts_with(candidate))
+            .all(|&a| !tasks_intersect(requests[a].affected, candidate.affected))
         {
             admitted.push(idx);
         }

@@ -1,0 +1,118 @@
+//! Churn events: the shared vocabulary for dynamic user arrivals and
+//! departures.
+//!
+//! The paper solves the game for a fixed user set `U`; a production platform
+//! faces continuous traffic where vehicles enter and leave mid-game. This
+//! module defines the substrate-agnostic event types consumed both by the
+//! online simulator (`vcs-online`) and the distributed runtime's `Join` /
+//! `Leave` protocol frames (`vcs-runtime`), plus the engine-level applier.
+//!
+//! Semantics (see DESIGN.md §11): a [`ChurnEvent::Join`] admits a new user
+//! with a fully specified recommended route set and an initial route choice
+//! (picked by the arriving vehicle, like the random initial decision of
+//! Alg. 1 line 4); a [`ChurnEvent::Leave`] retires an existing user. Both map
+//! onto [`Engine::add_user`] / [`Engine::remove_user`], which update every
+//! cache incrementally — the potential ϕ is *redefined* by each event (it is
+//! a function of the current user set), so ϕ is monotone only between events,
+//! not across them.
+
+use crate::engine::Engine;
+use crate::error::GameError;
+use crate::ids::{RouteId, UserId};
+use crate::route::Route;
+use crate::user::UserPrefs;
+use serde::{Deserialize, Serialize};
+
+/// Everything the platform needs to admit a user: preference weights and the
+/// recommended route set (route ids are renumbered densely on admission).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// Preference weights `(α_i, β_i, γ_i)`.
+    pub prefs: UserPrefs,
+    /// Recommended route set `R_i` (non-empty for a valid join).
+    pub routes: Vec<Route>,
+}
+
+impl UserSpec {
+    /// Bundles weights and routes into a spec.
+    pub fn new(prefs: UserPrefs, routes: Vec<Route>) -> Self {
+        Self { prefs, routes }
+    }
+}
+
+/// One timestamped churn event of an online stream (timestamps live in the
+/// stream container, not here — events are ordered by position).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A vehicle enters the platform with `spec` and starts on route
+    /// `initial` of its recommended set.
+    Join {
+        /// The arriving user's weights and routes.
+        spec: UserSpec,
+        /// Index into `spec.routes` of the initial choice.
+        initial: RouteId,
+    },
+    /// The vehicle with id `user` leaves the platform.
+    Leave {
+        /// The departing user (must be active).
+        user: UserId,
+    },
+}
+
+/// Applies one churn event to a live engine. Returns the id assigned to a
+/// joining user, `None` for a leave.
+///
+/// # Errors
+///
+/// Propagates [`Engine::add_user`] validation errors (malicious or malformed
+/// joins) and [`GameError::UnknownUser`] for leaves of unknown/departed users.
+/// The engine is untouched on error.
+pub fn apply_churn(
+    engine: &mut Engine<'_>,
+    event: &ChurnEvent,
+) -> Result<Option<UserId>, GameError> {
+    match event {
+        ChurnEvent::Join { spec, initial } => engine
+            .add_user(spec.prefs, spec.routes.clone(), *initial)
+            .map(Some),
+        ChurnEvent::Leave { user } => engine.remove_user(*user).map(|_| None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1_instance;
+    use crate::ids::TaskId;
+    use crate::profile::Profile;
+
+    #[test]
+    fn join_then_leave_round_trips() {
+        let game = fig1_instance();
+        let mut engine = Engine::new(&game, Profile::all_first(&game));
+        let before = engine.potential();
+        let spec = UserSpec::new(
+            UserPrefs::new(0.5, 0.5, 0.5),
+            vec![Route::new(RouteId(0), vec![TaskId(0)], 1.0, 1.0)],
+        );
+        let joined = apply_churn(
+            &mut engine,
+            &ChurnEvent::Join {
+                spec,
+                initial: RouteId(0),
+            },
+        )
+        .unwrap()
+        .expect("join returns the new id");
+        assert!(engine.is_active(joined));
+        apply_churn(&mut engine, &ChurnEvent::Leave { user: joined }).unwrap();
+        assert!(!engine.is_active(joined));
+        // Back to the original user set: ϕ returns to its pre-join value.
+        assert!((engine.potential() - before).abs() < 1e-9);
+        // Leaving twice is an error.
+        assert!(matches!(
+            apply_churn(&mut engine, &ChurnEvent::Leave { user: joined }),
+            Err(GameError::UnknownUser { .. })
+        ));
+    }
+}

@@ -42,10 +42,14 @@
 //!    the counts of tasks covered by *some* route of its recommended set,
 //!    and the inverted index covers exactly those tasks.
 
+use crate::error::GameError;
 use crate::game::Game;
 use crate::ids::{RouteId, TaskId, UserId};
 use crate::profile::Profile;
 use crate::response::{best_route_set_in, better_routes_in, BestResponse, ProfitView};
+use crate::route::Route;
+use crate::user::UserPrefs;
+use std::borrow::Cow;
 
 /// Per-task share and potential prefix tables.
 ///
@@ -58,9 +62,9 @@ use crate::response::{best_route_set_in, better_routes_in, BestResponse, ProfitV
 #[derive(Debug, Clone)]
 pub struct ShareTables {
     /// `share[k][q]`, `q ∈ 0..=cap_k`; `share[k][0] = 0`.
-    share: Vec<Box<[f64]>>,
+    share: Vec<Vec<f64>>,
     /// `prefix[k][x] = Σ_{q≤x} share[k][q]`, summed in ascending `q` order.
-    prefix: Vec<Box<[f64]>>,
+    prefix: Vec<Vec<f64>>,
     /// `(a_k, μ_k)` fallback parameters for counts beyond the table (cannot
     /// happen for legal profiles; kept total for robustness).
     params: Vec<(f64, f64)>,
@@ -97,8 +101,8 @@ impl ShareTables {
                 s.push(sq);
                 p.push(acc);
             }
-            share.push(s.into_boxed_slice());
-            prefix.push(p.into_boxed_slice());
+            share.push(s);
+            prefix.push(p);
             params.push((task.base_reward, task.increment));
         }
         Self {
@@ -106,6 +110,19 @@ impl ShareTables {
             prefix,
             params,
         }
+    }
+
+    /// Grows `task`'s table by one participant slot (a newly arrived user can
+    /// now cover it). The new prefix entry continues the same ascending
+    /// summation as construction, so the extended table is bit-identical to
+    /// one built for the larger capacity from scratch.
+    pub(crate) fn extend_for(&mut self, task: &crate::task::Task) {
+        let k = task.id.index();
+        let q = self.share[k].len() as u32;
+        let sq = task.share(q);
+        let prev = *self.prefix[k].last().expect("tables hold q = 0");
+        self.share[k].push(sq);
+        self.prefix[k].push(prev + sq);
     }
 
     /// `w_k(n)/n`, O(1). Falls back to direct evaluation beyond the table.
@@ -191,9 +208,20 @@ impl CompensatedSum {
 /// is `O(|L_old| + |L_new|)` plus the size of the dirty set it marks;
 /// [`potential`](Self::potential) and [`total_profit`](Self::total_profit)
 /// are O(1).
+///
+/// # Dynamic arrivals and departures
+///
+/// [`add_user`](Self::add_user) and [`remove_user`](Self::remove_user) grow
+/// and shrink the *live* user set in `O(|L_{s_i}| + R_i + |dirtied|)` without
+/// rebuilding any cache. Ids are append-only: a departed user's id is never
+/// reused, its slot becomes an inactive tombstone (skipped by
+/// [`take_dirty`](Self::take_dirty), [`active_users`](Self::active_users) and
+/// the fresh ϕ/total recomputations), so per-user caches stay index-stable.
+/// The first mutation on a borrowed engine clones the game once
+/// (copy-on-write); [`Engine::new_owned`] starts owned and never clones.
 #[derive(Debug, Clone)]
 pub struct Engine<'g> {
-    game: &'g Game,
+    game: Cow<'g, Game>,
     tables: ShareTables,
     /// `route_cost[i][r] = β_i·d(r) + γ_i·b(r)` (the Eq. 2 cost term).
     route_cost: Vec<Box<[f64]>>,
@@ -201,7 +229,8 @@ pub struct Engine<'g> {
     /// cost term).
     phi_route_cost: Vec<Box<[f64]>>,
     /// Users with at least one recommended route covering the task, sorted.
-    task_users: Vec<Box<[UserId]>>,
+    /// Departed users are *not* removed (the active mask filters them).
+    task_users: Vec<Vec<UserId>>,
     profile: Profile,
     /// `Σ α_i` over the current participants of each task.
     alpha_sum: Vec<f64>,
@@ -209,12 +238,19 @@ pub struct Engine<'g> {
     total: CompensatedSum,
     dirty_flag: Vec<bool>,
     dirty: Vec<UserId>,
+    /// `active[i]` — user `i` is on the platform (not a departed tombstone).
+    active: Vec<bool>,
+    n_active: usize,
 }
 
 impl<'g> Engine<'g> {
     /// Builds the engine around `profile`. Every user starts dirty.
     pub fn new(game: &'g Game, profile: Profile) -> Self {
-        let tables = ShareTables::new(game);
+        Self::build(Cow::Borrowed(game), profile)
+    }
+
+    fn build(game: Cow<'g, Game>, profile: Profile) -> Self {
+        let tables = ShareTables::new(&game);
         let mut route_cost = Vec::with_capacity(game.user_count());
         let mut phi_route_cost = Vec::with_capacity(game.user_count());
         let mut task_users: Vec<Vec<UserId>> = vec![Vec::new(); game.task_count()];
@@ -248,27 +284,38 @@ impl<'g> Engine<'g> {
                 alpha_sum[task.index()] += user.prefs.alpha;
             }
         }
+        let n_users = game.user_count();
         let mut engine = Self {
             game,
             tables,
             route_cost,
             phi_route_cost,
-            task_users: task_users.into_iter().map(Vec::into_boxed_slice).collect(),
+            task_users,
             profile,
             alpha_sum,
             phi: CompensatedSum::default(),
             total: CompensatedSum::default(),
-            dirty_flag: vec![true; game.user_count()],
-            dirty: (0..game.user_count()).map(UserId::from_index).collect(),
+            dirty_flag: vec![true; n_users],
+            dirty: (0..n_users).map(UserId::from_index).collect(),
+            active: vec![true; n_users],
+            n_active: n_users,
         };
         engine.phi = CompensatedSum::new(engine.potential_fresh());
         engine.total = CompensatedSum::new(engine.total_profit_fresh());
         engine
     }
 
-    /// The game this engine prices.
-    pub fn game(&self) -> &'g Game {
-        self.game
+    /// Builds an engine that **owns** its game — the natural form for a live
+    /// platform whose user set churns (no copy-on-write clone on the first
+    /// [`add_user`](Self::add_user)).
+    pub fn new_owned(game: Game, profile: Profile) -> Engine<'static> {
+        Engine::build(Cow::Owned(game), profile)
+    }
+
+    /// The game this engine prices (including departed tombstone users; see
+    /// [`Engine::active_users`]).
+    pub fn game(&self) -> &Game {
+        &self.game
     }
 
     /// The current strategy profile.
@@ -296,7 +343,8 @@ impl<'g> Engine<'g> {
         self.total.value()
     }
 
-    /// Recomputes `ϕ(s)` from the tables (construction / diagnostics).
+    /// Recomputes `ϕ(s)` from the tables over the active users
+    /// (construction / diagnostics).
     pub fn potential_fresh(&self) -> f64 {
         let mut phi = 0.0;
         for task in self.game.tasks() {
@@ -305,14 +353,18 @@ impl<'g> Engine<'g> {
                 .potential_term(task.id, self.profile.participants(task.id));
         }
         for user in self.game.users() {
-            phi -= self.phi_route_cost[user.id.index()][self.profile.choice(user.id).index()];
+            if self.active[user.id.index()] {
+                phi -= self.phi_route_cost[user.id.index()][self.profile.choice(user.id).index()];
+            }
         }
         phi
     }
 
-    /// Recomputes `Σ_i P_i(s)` from the tables (construction / diagnostics).
+    /// Recomputes `Σ_i P_i(s)` from the tables over the active users
+    /// (construction / diagnostics).
     pub fn total_profit_fresh(&self) -> f64 {
         (0..self.game.user_count())
+            .filter(|&i| self.active[i])
             .map(|i| self.profit(UserId::from_index(i)))
             .sum()
     }
@@ -327,23 +379,17 @@ impl<'g> Engine<'g> {
         self.dirty_flag[user.index()]
     }
 
-    /// Drains the dirty set, returning the users (sorted by id) whose best
-    /// responses must be re-evaluated since the last drain.
+    /// Drains the dirty set, returning the **active** users (sorted by id)
+    /// whose best responses must be re-evaluated since the last drain.
+    /// Departed users are dropped silently.
     pub fn take_dirty(&mut self) -> Vec<UserId> {
         let mut drained = std::mem::take(&mut self.dirty);
         for &user in &drained {
             self.dirty_flag[user.index()] = false;
         }
+        drained.retain(|&user| self.active[user.index()]);
         drained.sort_unstable();
         drained
-    }
-
-    #[inline]
-    fn mark_dirty(&mut self, user: UserId) {
-        if !self.dirty_flag[user.index()] {
-            self.dirty_flag[user.index()] = true;
-            self.dirty.push(user);
-        }
     }
 
     /// Switches `user` to `new_route`: updates counts, `α`-sums, `ϕ`, total
@@ -354,7 +400,24 @@ impl<'g> Engine<'g> {
         if old_route == new_route {
             return old_route;
         }
-        let u = &self.game.users()[user.index()];
+        let Self {
+            game,
+            tables,
+            route_cost,
+            phi_route_cost,
+            task_users,
+            profile,
+            alpha_sum,
+            phi,
+            total,
+            dirty_flag,
+            dirty,
+            active,
+            ..
+        } = self;
+        let game: &Game = game;
+        debug_assert!(active[user.index()], "moving a departed user");
+        let u = &game.users()[user.index()];
         let alpha = u.prefs.alpha;
         let old = &u.routes[old_route.index()];
         let new = &u.routes[new_route.index()];
@@ -365,14 +428,14 @@ impl<'g> Engine<'g> {
         for &task in &old.tasks {
             if !new.covers(task) {
                 let k = task.index();
-                let n = self.profile.participants(task);
-                let a_sum = self.alpha_sum[k];
-                phi_delta -= self.tables.share(task, n);
-                profit_delta += self.tables.share(task, n - 1) * (a_sum - alpha)
-                    - self.tables.share(task, n) * a_sum;
-                self.alpha_sum[k] = a_sum - alpha;
-                for i in 0..self.task_users[k].len() {
-                    self.mark_dirty(self.task_users[k][i]);
+                let n = profile.participants(task);
+                let a_sum = alpha_sum[k];
+                phi_delta -= tables.share(task, n);
+                profit_delta +=
+                    tables.share(task, n - 1) * (a_sum - alpha) - tables.share(task, n) * a_sum;
+                alpha_sum[k] = a_sum - alpha;
+                for &other in &task_users[k] {
+                    mark(dirty_flag, dirty, other);
                 }
             }
         }
@@ -380,27 +443,243 @@ impl<'g> Engine<'g> {
         for &task in &new.tasks {
             if !old.covers(task) {
                 let k = task.index();
-                let n = self.profile.participants(task);
-                let a_sum = self.alpha_sum[k];
-                phi_delta += self.tables.share(task, n + 1);
-                profit_delta += self.tables.share(task, n + 1) * (a_sum + alpha)
-                    - self.tables.share(task, n) * a_sum;
-                self.alpha_sum[k] = a_sum + alpha;
-                for i in 0..self.task_users[k].len() {
-                    self.mark_dirty(self.task_users[k][i]);
+                let n = profile.participants(task);
+                let a_sum = alpha_sum[k];
+                phi_delta += tables.share(task, n + 1);
+                profit_delta +=
+                    tables.share(task, n + 1) * (a_sum + alpha) - tables.share(task, n) * a_sum;
+                alpha_sum[k] = a_sum + alpha;
+                for &other in &task_users[k] {
+                    mark(dirty_flag, dirty, other);
                 }
             }
         }
         let i = user.index();
-        phi_delta -=
-            self.phi_route_cost[i][new_route.index()] - self.phi_route_cost[i][old_route.index()];
-        profit_delta -=
-            self.route_cost[i][new_route.index()] - self.route_cost[i][old_route.index()];
-        self.phi.add(phi_delta);
-        self.total.add(profit_delta);
-        self.profile.apply_move(self.game, user, new_route);
-        self.mark_dirty(user);
+        phi_delta -= phi_route_cost[i][new_route.index()] - phi_route_cost[i][old_route.index()];
+        profit_delta -= route_cost[i][new_route.index()] - route_cost[i][old_route.index()];
+        phi.add(phi_delta);
+        total.add(profit_delta);
+        profile.apply_move(game, user, new_route);
+        mark(dirty_flag, dirty, user);
         old_route
+    }
+
+    /// Whether `user` is currently on the platform (exists and has not left).
+    #[inline]
+    pub fn is_active(&self, user: UserId) -> bool {
+        self.active.get(user.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of users currently on the platform.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.n_active
+    }
+
+    /// The active users in id order.
+    pub fn active_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| UserId::from_index(i))
+    }
+
+    /// Admits a new user onto the live platform with `initial` as its first
+    /// route choice (Join event).
+    ///
+    /// Validates the user against the game's task set and weight bounds (see
+    /// [`Game::push_user`]), then extends every per-user cache incrementally:
+    /// share tables grow one slot per distinct covered task, the inverted
+    /// index gains the user, and ϕ/total-profit absorb the activation delta —
+    /// `O(R_i·T̄ + |dirtied|)`, no rebuild. The new user and everyone sharing
+    /// a task with its initial route are marked dirty.
+    ///
+    /// Ids are append-only; on a borrowed engine the first call clones the
+    /// game (copy-on-write).
+    pub fn add_user(
+        &mut self,
+        prefs: UserPrefs,
+        routes: Vec<Route>,
+        initial: RouteId,
+    ) -> Result<UserId, GameError> {
+        // Validate the initial choice *before* mutating the game.
+        let next = UserId::from_index(self.game.user_count());
+        if routes.is_empty() {
+            return Err(GameError::EmptyRouteSet { user: next });
+        }
+        if initial.index() >= routes.len() {
+            return Err(GameError::InvalidProfile {
+                detail: format!(
+                    "joining user {next} selects route {initial} but has only {} routes",
+                    routes.len()
+                ),
+            });
+        }
+        let user = self.game.to_mut().push_user(prefs, routes)?;
+        debug_assert_eq!(user, next);
+        let Self {
+            game,
+            tables,
+            route_cost,
+            phi_route_cost,
+            task_users,
+            profile,
+            alpha_sum,
+            phi,
+            total,
+            dirty_flag,
+            dirty,
+            active,
+            n_active,
+        } = self;
+        let game: &Game = game;
+        let u = &game.users()[user.index()];
+        // Per-route cost caches (same expressions as construction).
+        let ratio_beta = u.prefs.beta / u.prefs.alpha;
+        let ratio_gamma = u.prefs.gamma / u.prefs.alpha;
+        let mut costs = Vec::with_capacity(u.routes.len());
+        let mut phi_costs = Vec::with_capacity(u.routes.len());
+        for route in &u.routes {
+            costs.push(game.user_route_cost(user, route));
+            phi_costs.push(
+                ratio_beta * game.detour_cost(route) + ratio_gamma * game.congestion_cost(route),
+            );
+        }
+        route_cost.push(costs.into_boxed_slice());
+        phi_route_cost.push(phi_costs.into_boxed_slice());
+        // Share-table capacity and inverted index: one slot per distinct
+        // covered task; pushing the max id keeps `task_users[k]` sorted.
+        let mut covered: Vec<TaskId> = u
+            .routes
+            .iter()
+            .flat_map(|r| r.tasks.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        for &task in &covered {
+            tables.extend_for(&game.tasks()[task.index()]);
+            task_users[task.index()].push(user);
+        }
+        profile.push_choice(initial);
+        dirty_flag.push(false);
+        active.push(true);
+        *n_active += 1;
+        // Activation: the user joins every task of its initial route
+        // (counts n → n+1), mirroring the join half of `apply_move`.
+        let alpha = u.prefs.alpha;
+        let route = &u.routes[initial.index()];
+        let mut phi_delta = 0.0;
+        let mut profit_delta = 0.0;
+        for &task in &route.tasks {
+            let k = task.index();
+            let n = profile.participants(task);
+            let a_sum = alpha_sum[k];
+            phi_delta += tables.share(task, n + 1);
+            profit_delta +=
+                tables.share(task, n + 1) * (a_sum + alpha) - tables.share(task, n) * a_sum;
+            alpha_sum[k] = a_sum + alpha;
+            for &other in &task_users[k] {
+                mark(dirty_flag, dirty, other);
+            }
+        }
+        phi_delta -= phi_route_cost[user.index()][initial.index()];
+        profit_delta -= route_cost[user.index()][initial.index()];
+        phi.add(phi_delta);
+        total.add(profit_delta);
+        profile.add_route_counts(&route.tasks);
+        mark(dirty_flag, dirty, user);
+        Ok(user)
+    }
+
+    /// Removes `user` from the live platform (Leave event), returning the
+    /// route it was on.
+    ///
+    /// The user's participation is unwound from counts, `α`-sums, ϕ and total
+    /// profit (the leave half of [`apply_move`](Self::apply_move)), everyone
+    /// sharing a task with its final route is marked dirty, and the slot
+    /// becomes an inactive tombstone — `O(|L_{s_i}| + |dirtied|)`, no cache
+    /// shrinking, ids of the remaining users unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::UnknownUser`] if `user` does not exist or already left.
+    pub fn remove_user(&mut self, user: UserId) -> Result<RouteId, GameError> {
+        if user.index() >= self.game.user_count() || !self.active[user.index()] {
+            return Err(GameError::UnknownUser { user });
+        }
+        let Self {
+            game,
+            tables,
+            route_cost,
+            phi_route_cost,
+            task_users,
+            profile,
+            alpha_sum,
+            phi,
+            total,
+            dirty_flag,
+            dirty,
+            active,
+            n_active,
+        } = self;
+        let game: &Game = game;
+        let u = &game.users()[user.index()];
+        let alpha = u.prefs.alpha;
+        let choice = profile.choice(user);
+        let route = &u.routes[choice.index()];
+        let mut phi_delta = 0.0;
+        let mut profit_delta = 0.0;
+        for &task in &route.tasks {
+            let k = task.index();
+            let n = profile.participants(task);
+            let a_sum = alpha_sum[k];
+            phi_delta -= tables.share(task, n);
+            profit_delta +=
+                tables.share(task, n - 1) * (a_sum - alpha) - tables.share(task, n) * a_sum;
+            alpha_sum[k] = a_sum - alpha;
+            for &other in &task_users[k] {
+                mark(dirty_flag, dirty, other);
+            }
+        }
+        phi_delta += phi_route_cost[user.index()][choice.index()];
+        profit_delta += route_cost[user.index()][choice.index()];
+        phi.add(phi_delta);
+        total.add(profit_delta);
+        profile.remove_route_counts(&route.tasks);
+        active[user.index()] = false;
+        *n_active -= 1;
+        Ok(choice)
+    }
+
+    /// Densifies the live state into a standalone `(game, choices, id_map)`
+    /// triple: tombstones dropped, the remaining users renumbered to dense
+    /// ids in id order, `id_map[new] = old`. The returned choices form a
+    /// valid profile of the returned game — this is what a cold restart
+    /// (`Engine::new` from scratch) would solve, and what the churn property
+    /// tests compare against.
+    pub fn materialize(&self) -> (Game, Vec<RouteId>, Vec<UserId>) {
+        let mut users = Vec::with_capacity(self.n_active);
+        let mut choices = Vec::with_capacity(self.n_active);
+        let mut id_map = Vec::with_capacity(self.n_active);
+        for u in self.game.users() {
+            if !self.active[u.id.index()] {
+                continue;
+            }
+            let mut cloned = u.clone();
+            cloned.id = UserId::from_index(users.len());
+            id_map.push(u.id);
+            choices.push(self.profile.choice(u.id));
+            users.push(cloned);
+        }
+        let game = Game::new(
+            self.game.tasks().to_vec(),
+            users,
+            self.game.params(),
+            self.game.bounds(),
+        )
+        .expect("materialized game re-validates: every user was validated on entry");
+        (game, choices, id_map)
     }
 
     /// Best route set `Δ_i(t)` of `user`, priced from the cached tables.
@@ -414,6 +693,16 @@ impl<'g> Engine<'g> {
     /// counterpart of [`crate::response::better_routes`].
     pub fn better_routes(&self, user: UserId) -> Vec<(RouteId, f64)> {
         better_routes_in(self, user)
+    }
+}
+
+/// Marks `user` dirty. Free function over the split-off dirty fields so the
+/// mutating methods can hold simultaneous borrows of the other engine parts.
+#[inline]
+fn mark(dirty_flag: &mut [bool], dirty: &mut Vec<UserId>, user: UserId) {
+    if !dirty_flag[user.index()] {
+        dirty_flag[user.index()] = true;
+        dirty.push(user);
     }
 }
 
@@ -636,5 +925,152 @@ mod tests {
             &[UserId(0), UserId(1), UserId(2)]
         );
         assert_eq!(engine.users_covering(TaskId(2)), &[UserId(0), UserId(1)]);
+    }
+
+    /// Checks the live engine against a fresh engine on its materialized
+    /// game: ϕ/total within 1e-9, counts exact, per-user profits identical.
+    fn assert_matches_materialized(engine: &Engine<'_>) {
+        let (game, choices, id_map) = engine.materialize();
+        let fresh = Engine::new(&game, Profile::new(&game, choices));
+        assert!(
+            (engine.potential() - fresh.potential_fresh()).abs() < 1e-9,
+            "phi {} vs fresh {}",
+            engine.potential(),
+            fresh.potential_fresh()
+        );
+        assert!(
+            (engine.total_profit() - fresh.total_profit_fresh()).abs() < 1e-9,
+            "total {} vs fresh {}",
+            engine.total_profit(),
+            fresh.total_profit_fresh()
+        );
+        for (new_idx, &old) in id_map.iter().enumerate() {
+            let new = UserId::from_index(new_idx);
+            assert_eq!(engine.profit(old), fresh.profit(new), "profit of {old}");
+        }
+        for task in game.tasks() {
+            assert_eq!(
+                engine.profile().participants(task.id),
+                fresh.profile().participants(task.id),
+                "count of {}",
+                task.id
+            );
+        }
+    }
+
+    #[test]
+    fn add_user_matches_fresh_engine() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        let joined = engine
+            .add_user(
+                UserPrefs::new(0.6, 0.4, 0.3),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0), TaskId(2)], 0.5, 1.0),
+                    Route::new(RouteId(1), vec![TaskId(1)], 2.0, 0.0),
+                ],
+                RouteId(0),
+            )
+            .unwrap();
+        assert_eq!(joined, UserId(3));
+        assert_eq!(engine.active_count(), 4);
+        assert!(engine.is_active(joined));
+        // The inverted index gained the user on its covered tasks, sorted.
+        assert!(engine.users_covering(TaskId(0)).contains(&joined));
+        assert_matches_materialized(&engine);
+        // The join dirtied the arriving user and the task-0/2 sharers.
+        let dirty = engine.take_dirty();
+        assert!(dirty.contains(&joined));
+        assert!(dirty.contains(&UserId(0)));
+    }
+
+    #[test]
+    fn remove_user_matches_fresh_engine() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        engine.take_dirty();
+        let choice = engine.remove_user(UserId(1)).unwrap();
+        assert_eq!(choice, RouteId(0));
+        assert_eq!(engine.active_count(), 2);
+        assert!(!engine.is_active(UserId(1)));
+        assert_eq!(
+            engine.active_users().collect::<Vec<_>>(),
+            vec![UserId(0), UserId(2)]
+        );
+        assert_matches_materialized(&engine);
+        // Users sharing tasks 1/2 with the departed user's route are dirty;
+        // the departed user itself is filtered out of the drain.
+        let dirty = engine.take_dirty();
+        assert_eq!(dirty, vec![UserId(0), UserId(2)]);
+        assert!(matches!(
+            engine.remove_user(UserId(1)),
+            Err(GameError::UnknownUser { user: UserId(1) })
+        ));
+        assert!(engine.remove_user(UserId(9)).is_err());
+    }
+
+    #[test]
+    fn churn_then_moves_stay_consistent() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        engine.remove_user(UserId(0)).unwrap();
+        let joined = engine
+            .add_user(
+                UserPrefs::new(0.3, 0.7, 0.6),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(1)], 0.0, 0.0),
+                    Route::new(RouteId(1), vec![TaskId(0), TaskId(2)], 1.0, 2.0),
+                ],
+                RouteId(1),
+            )
+            .unwrap();
+        engine.apply_move(joined, RouteId(0));
+        engine.apply_move(UserId(2), RouteId(1));
+        assert_matches_materialized(&engine);
+        assert!(
+            (engine.potential() - engine.potential_fresh()).abs() < 1e-9,
+            "running phi drifted"
+        );
+        assert!((engine.total_profit() - engine.total_profit_fresh()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_user_rejects_bad_input_without_mutating() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        let snapshot_phi = engine.potential();
+        // Initial route out of range.
+        assert!(matches!(
+            engine.add_user(
+                UserPrefs::neutral(),
+                vec![Route::new(RouteId(0), vec![], 0.0, 0.0)],
+                RouteId(3),
+            ),
+            Err(GameError::InvalidProfile { .. })
+        ));
+        // Empty route set.
+        assert!(matches!(
+            engine.add_user(UserPrefs::neutral(), vec![], RouteId(0)),
+            Err(GameError::EmptyRouteSet { .. })
+        ));
+        // Unknown task.
+        assert!(matches!(
+            engine.add_user(
+                UserPrefs::neutral(),
+                vec![Route::new(RouteId(0), vec![TaskId(7)], 0.0, 0.0)],
+                RouteId(0),
+            ),
+            Err(GameError::UnknownTask { .. })
+        ));
+        assert_eq!(engine.active_count(), 3);
+        assert_eq!(engine.game().user_count(), 3);
+        assert_eq!(engine.potential(), snapshot_phi);
+    }
+
+    #[test]
+    fn new_owned_engine_is_static() {
+        let engine: Engine<'static> = Engine::new_owned(game(), Profile::all_first(&game()));
+        assert_eq!(engine.active_count(), 3);
+        assert!((engine.potential() - engine.potential_fresh()).abs() < 1e-12);
     }
 }

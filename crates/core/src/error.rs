@@ -79,6 +79,12 @@ pub enum GameError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// An operation addressed a user that does not exist or has already left
+    /// the platform (dynamic arrival/departure, see [`crate::Engine`]).
+    UnknownUser {
+        /// The unresolvable user id.
+        user: UserId,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -118,6 +124,9 @@ impl fmt::Display for GameError {
                 )
             }
             GameError::InvalidProfile { detail } => write!(f, "invalid strategy profile: {detail}"),
+            GameError::UnknownUser { user } => {
+                write!(f, "user {user} does not exist or has left the platform")
+            }
         }
     }
 }

@@ -89,61 +89,7 @@ impl Game {
         let n_tasks = tasks.len();
         let mut seen = vec![false; n_tasks];
         for user in &users {
-            if user.routes.is_empty() {
-                return Err(GameError::EmptyRouteSet { user: user.id });
-            }
-            for triple in [
-                ("alpha", user.prefs.alpha),
-                ("beta", user.prefs.beta),
-                ("gamma", user.prefs.gamma),
-            ] {
-                let (name, value) = triple;
-                if !bounds.contains(value) {
-                    return Err(GameError::UserWeightOutOfRange {
-                        user: user.id,
-                        name,
-                        value,
-                    });
-                }
-            }
-            for route in &user.routes {
-                if !(route.detour.is_finite() && route.detour >= 0.0) {
-                    return Err(GameError::RouteCostOutOfRange {
-                        user: user.id,
-                        route: route.id,
-                        name: "detour",
-                        value: route.detour,
-                    });
-                }
-                if !(route.congestion.is_finite() && route.congestion >= 0.0) {
-                    return Err(GameError::RouteCostOutOfRange {
-                        user: user.id,
-                        route: route.id,
-                        name: "congestion",
-                        value: route.congestion,
-                    });
-                }
-                for mark in seen.iter_mut() {
-                    *mark = false;
-                }
-                for &task in &route.tasks {
-                    if task.index() >= n_tasks {
-                        return Err(GameError::UnknownTask {
-                            user: user.id,
-                            route: route.id,
-                            task,
-                        });
-                    }
-                    if seen[task.index()] {
-                        return Err(GameError::DuplicateTaskOnRoute {
-                            user: user.id,
-                            route: route.id,
-                            task,
-                        });
-                    }
-                    seen[task.index()] = true;
-                }
-            }
+            validate_user(n_tasks, bounds, user, &mut seen)?;
         }
         Ok(Self {
             tasks,
@@ -283,6 +229,29 @@ impl Game {
         Self::new(self.tasks.clone(), self.users.clone(), params, self.bounds)
     }
 
+    /// Appends a user to the game, assigning the next dense [`UserId`] and
+    /// renumbering the supplied routes to dense [`RouteId`]s.
+    ///
+    /// This is the mutation primitive behind [`crate::Engine::add_user`]
+    /// (dynamic arrivals): the new user is validated against the existing
+    /// task set and weight bounds exactly as [`Game::new`] would, and the
+    /// game is left untouched on error.
+    pub fn push_user(
+        &mut self,
+        prefs: crate::user::UserPrefs,
+        mut routes: Vec<Route>,
+    ) -> Result<UserId, GameError> {
+        let id = UserId::from_index(self.users.len());
+        for (idx, route) in routes.iter_mut().enumerate() {
+            route.id = RouteId::from_index(idx);
+        }
+        let user = User::new(id, prefs, routes);
+        let mut seen = vec![false; self.tasks.len()];
+        validate_user(self.tasks.len(), self.bounds, &user, &mut seen)?;
+        self.users.push(user);
+        Ok(id)
+    }
+
     /// Maximum detour distance `d_max = max_i max_{r ∈ R_i} h(r)` over all
     /// recommended routes (used by Theorem 4).
     pub fn max_detour(&self) -> f64 {
@@ -301,6 +270,74 @@ impl Game {
             .map(|r| r.congestion)
             .fold(0.0, f64::max)
     }
+}
+
+/// Per-user validation shared by [`Game::new`] and [`Game::push_user`]:
+/// non-empty route set, weights in `bounds`, finite non-negative costs, and
+/// every route referencing existing tasks without duplicates. `seen` is a
+/// caller-provided scratch buffer of length `n_tasks` (contents ignored).
+fn validate_user(
+    n_tasks: usize,
+    bounds: WeightBounds,
+    user: &User,
+    seen: &mut [bool],
+) -> Result<(), GameError> {
+    if user.routes.is_empty() {
+        return Err(GameError::EmptyRouteSet { user: user.id });
+    }
+    for triple in [
+        ("alpha", user.prefs.alpha),
+        ("beta", user.prefs.beta),
+        ("gamma", user.prefs.gamma),
+    ] {
+        let (name, value) = triple;
+        if !bounds.contains(value) {
+            return Err(GameError::UserWeightOutOfRange {
+                user: user.id,
+                name,
+                value,
+            });
+        }
+    }
+    for route in &user.routes {
+        if !(route.detour.is_finite() && route.detour >= 0.0) {
+            return Err(GameError::RouteCostOutOfRange {
+                user: user.id,
+                route: route.id,
+                name: "detour",
+                value: route.detour,
+            });
+        }
+        if !(route.congestion.is_finite() && route.congestion >= 0.0) {
+            return Err(GameError::RouteCostOutOfRange {
+                user: user.id,
+                route: route.id,
+                name: "congestion",
+                value: route.congestion,
+            });
+        }
+        for mark in seen.iter_mut() {
+            *mark = false;
+        }
+        for &task in &route.tasks {
+            if task.index() >= n_tasks {
+                return Err(GameError::UnknownTask {
+                    user: user.id,
+                    route: route.id,
+                    task,
+                });
+            }
+            if seen[task.index()] {
+                return Err(GameError::DuplicateTaskOnRoute {
+                    user: user.id,
+                    route: route.id,
+                    task,
+                });
+            }
+            seen[task.index()] = true;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -517,6 +554,46 @@ mod tests {
         assert!(g
             .with_platform_params(PlatformParams::new(0.0, 0.2))
             .is_err());
+    }
+
+    #[test]
+    fn push_user_renumbers_and_validates() {
+        let mut g = Game::with_paper_bounds(
+            simple_tasks(2),
+            vec![user(0, vec![Route::new(RouteId(0), vec![], 0.0, 0.0)])],
+            params(),
+        )
+        .unwrap();
+        let id = g
+            .push_user(
+                UserPrefs::neutral(),
+                vec![
+                    Route::new(RouteId(7), vec![TaskId(1)], 1.0, 0.5),
+                    Route::new(RouteId(9), vec![], 0.0, 0.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(id, UserId(1));
+        assert_eq!(g.user_count(), 2);
+        // Route ids are renumbered densely regardless of the caller's ids.
+        assert_eq!(g.user(id).routes[0].id, RouteId(0));
+        assert_eq!(g.user(id).routes[1].id, RouteId(1));
+        // Invalid users leave the game untouched.
+        let err = g
+            .push_user(
+                UserPrefs::neutral(),
+                vec![Route::new(RouteId(0), vec![TaskId(9)], 0.0, 0.0)],
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GameError::UnknownTask {
+                task: TaskId(9),
+                ..
+            }
+        ));
+        assert_eq!(g.user_count(), 2);
+        assert!(g.push_user(UserPrefs::neutral(), vec![]).is_err());
     }
 
     #[test]

@@ -62,6 +62,7 @@
 
 pub mod bounds;
 pub mod breakdown;
+pub mod churn;
 pub mod engine;
 pub mod error;
 pub mod examples;
@@ -77,6 +78,7 @@ pub mod task;
 pub mod user;
 
 pub use breakdown::{all_breakdowns, profit_breakdown, ProfitBreakdown};
+pub use churn::{apply_churn, ChurnEvent, UserSpec};
 pub use engine::{Engine, ShareTables};
 pub use error::GameError;
 pub use game::{Game, PlatformParams};

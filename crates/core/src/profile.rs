@@ -97,6 +97,32 @@ impl Profile {
         old_route
     }
 
+    /// Appends a choice entry for a newly arrived user **without** touching
+    /// the counts; the caller accounts for the user's tasks separately (via
+    /// [`Profile::add_route_counts`]). Churn primitive for
+    /// [`crate::Engine::add_user`].
+    pub(crate) fn push_choice(&mut self, route: RouteId) {
+        self.choices.push(route);
+    }
+
+    /// Adds one participant to every task in `tasks` (a user activating a
+    /// route). Churn primitive; `tasks` must be a valid route task list.
+    pub(crate) fn add_route_counts(&mut self, tasks: &[TaskId]) {
+        for &task in tasks {
+            self.counts[task.index()] += 1;
+        }
+    }
+
+    /// Removes one participant from every task in `tasks` (a user leaving the
+    /// platform). Churn primitive; counterpart of
+    /// [`Profile::add_route_counts`].
+    pub(crate) fn remove_route_counts(&mut self, tasks: &[TaskId]) {
+        for &task in tasks {
+            debug_assert!(self.counts[task.index()] > 0);
+            self.counts[task.index()] -= 1;
+        }
+    }
+
     /// Profit `P_i(s)` of user `user` under the current profile (Eq. 2).
     ///
     /// The reward term iterates over the tasks of the user's selected route;

@@ -1,0 +1,227 @@
+//! Property tests for dynamic arrivals/departures: after an arbitrary
+//! interleaving of `add_user` / `remove_user` / `apply_move` events, the live
+//! engine must agree with a fresh [`Engine::new`] built on the materialized
+//! post-churn game — running ϕ and total profit within the 1e-9 slot-trace
+//! tolerance, per-task counts exactly, per-user profits bit-identically — and
+//! the dirty-set invalidation must stay sound across churn.
+
+use proptest::prelude::*;
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::response::{best_route_set, ProfitView};
+use vcs_core::{Engine, Game, PlatformParams, Profile, Route, Task, User, UserPrefs};
+
+/// A generated game plus a valid profile, as in `engine_equivalence.rs` but
+/// with the raw RNG seed kept so churn events can draw fresh users.
+#[derive(Debug, Clone)]
+struct Instance {
+    game: Game,
+    choices: Vec<RouteId>,
+}
+
+fn random_routes(rng: &mut rand::rngs::StdRng, n_tasks: usize) -> Vec<Route> {
+    use rand::RngExt;
+    let n_routes = rng.random_range(1..=4usize);
+    (0..n_routes)
+        .map(|r| {
+            let mut covered: Vec<TaskId> = (0..rng.random_range(0..5usize))
+                .map(|_| TaskId::from_index(rng.random_range(0..n_tasks)))
+                .collect();
+            covered.sort_unstable();
+            covered.dedup();
+            Route::new(
+                RouteId::from_index(r),
+                covered,
+                rng.random_range(0.0..5.0),
+                rng.random_range(0.0..5.0),
+            )
+        })
+        .collect()
+}
+
+fn random_prefs(rng: &mut rand::rngs::StdRng) -> UserPrefs {
+    use rand::RngExt;
+    UserPrefs::new(
+        rng.random_range(0.1..0.9),
+        rng.random_range(0.1..0.9),
+        rng.random_range(0.1..0.9),
+    )
+}
+
+prop_compose! {
+    fn arb_instance()(
+        n_tasks in 1usize..8,
+        n_users in 1usize..6,
+        seed in any::<u64>(),
+    ) -> Instance {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|k| Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            ))
+            .collect();
+        let users: Vec<User> = (0..n_users)
+            .map(|i| User::new(
+                UserId::from_index(i),
+                random_prefs(&mut rng),
+                random_routes(&mut rng, n_tasks),
+            ))
+            .collect();
+        let choices = users
+            .iter()
+            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+            .collect();
+        let game = Game::with_paper_bounds(
+            tasks,
+            users,
+            PlatformParams::new(rng.random_range(0.1..0.8), rng.random_range(0.1..0.8)),
+        )
+        .expect("generated instance is valid");
+        Instance { game, choices }
+    }
+}
+
+/// One raw event: interpreted against the live engine state (join / leave /
+/// move), so sequences stay valid no matter how churn reshapes the user set.
+type RawEvent = (u8, u32, u32, u64);
+
+/// Applies a raw event; `kind % 4`: 0 = join, 1 = leave, 2–3 = move (moves
+/// twice as likely, matching re-equilibration between churn events).
+fn apply_raw(engine: &mut Engine<'_>, n_tasks: usize, event: RawEvent) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (kind, a, b, seed) = event;
+    let active: Vec<UserId> = engine.active_users().collect();
+    match kind % 4 {
+        0 => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let routes = random_routes(&mut rng, n_tasks);
+            let initial = RouteId::from_index(a as usize % routes.len());
+            engine
+                .add_user(random_prefs(&mut rng), routes, initial)
+                .expect("generated join is valid");
+        }
+        1 if active.len() > 1 => {
+            let user = active[a as usize % active.len()];
+            engine.remove_user(user).expect("active user leaves");
+        }
+        _ if !active.is_empty() => {
+            let user = active[a as usize % active.len()];
+            let n_routes = engine.game().users()[user.index()].routes.len();
+            engine.apply_move(user, RouteId::from_index(b as usize % n_routes));
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    /// After any event sequence the live engine matches a fresh engine on
+    /// the materialized game: ϕ/total within 1e-9, counts exact, profits
+    /// bit-identical through the id map.
+    #[test]
+    fn churned_engine_matches_fresh_on_materialized_game(
+        inst in arb_instance(),
+        events in prop::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()), 0..30),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        let n_tasks = inst.game.task_count();
+        for event in events {
+            apply_raw(&mut engine, n_tasks, event);
+            let (game, choices, id_map) = engine.materialize();
+            let fresh = Engine::new(&game, Profile::new(&game, choices));
+            prop_assert!(
+                (engine.potential() - fresh.potential()).abs() < 1e-9,
+                "ϕ drift: live {} vs fresh {}",
+                engine.potential(),
+                fresh.potential()
+            );
+            prop_assert!(
+                (engine.total_profit() - fresh.total_profit()).abs() < 1e-9,
+                "total drift: live {} vs fresh {}",
+                engine.total_profit(),
+                fresh.total_profit()
+            );
+            prop_assert_eq!(
+                engine.profile().participant_counts(),
+                fresh.profile().participant_counts()
+            );
+            prop_assert_eq!(engine.active_count(), game.user_count());
+            for (new_idx, &old) in id_map.iter().enumerate() {
+                let new = UserId::from_index(new_idx);
+                prop_assert_eq!(engine.profit(old), fresh.profit(new));
+                prop_assert_eq!(
+                    engine.profile().choice(old),
+                    fresh.profile().choice(new)
+                );
+            }
+        }
+    }
+
+    /// Dirty-set soundness across churn: recomputing only the drained dirty
+    /// users keeps every surviving cached best response equal to a fresh
+    /// rescan on the materialized game.
+    #[test]
+    fn dirty_sets_stay_sound_across_churn(
+        inst in arb_instance(),
+        events in prop::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()), 1..25),
+    ) {
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        let n_tasks = inst.game.task_count();
+        let mut cache: Vec<Option<vcs_core::BestResponse>> = Vec::new();
+        for event in events {
+            apply_raw(&mut engine, n_tasks, event);
+            cache.resize(engine.game().user_count(), None);
+            for dirtied in engine.take_dirty() {
+                cache[dirtied.index()] = Some(engine.best_route_set(dirtied));
+            }
+            let (game, _, id_map) = engine.materialize();
+            for (new_idx, &old) in id_map.iter().enumerate() {
+                if let Some(cached) = &cache[old.index()] {
+                    let fresh_profile = Profile::new(
+                        &game,
+                        id_map.iter().map(|&o| engine.profile().choice(o)).collect(),
+                    );
+                    let fresh = best_route_set(
+                        &game, &fresh_profile, UserId::from_index(new_idx),
+                    );
+                    prop_assert_eq!(&cached.best_routes, &fresh.best_routes);
+                    prop_assert_eq!(cached.gain, fresh.gain);
+                }
+            }
+        }
+    }
+
+    /// Join-then-immediate-leave of the same user is observationally neutral:
+    /// ϕ, total profit and counts return to their pre-join values.
+    #[test]
+    fn join_leave_round_trip_is_neutral(
+        inst in arb_instance(),
+        seed in any::<u64>(),
+        initial_raw in any::<u32>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let profile = Profile::new(&inst.game, inst.choices.clone());
+        let mut engine = Engine::new(&inst.game, profile);
+        let phi_before = engine.potential();
+        let total_before = engine.total_profit();
+        let counts_before = engine.profile().participant_counts().to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let routes = random_routes(&mut rng, inst.game.task_count());
+        let initial = RouteId::from_index(initial_raw as usize % routes.len());
+        let joined = engine
+            .add_user(random_prefs(&mut rng), routes, initial)
+            .unwrap();
+        engine.remove_user(joined).unwrap();
+        prop_assert!((engine.potential() - phi_before).abs() < 1e-9);
+        prop_assert!((engine.total_profit() - total_before).abs() < 1e-9);
+        prop_assert_eq!(engine.profile().participant_counts(), &counts_before[..]);
+    }
+}

@@ -1,0 +1,472 @@
+//! The epoch scheduler: warm-start re-equilibration of a live game under
+//! churn, with a cold-restart baseline and a from-scratch equivalence replay
+//! per epoch.
+//!
+//! ## Dynamic-game semantics
+//!
+//! Each churn batch *redefines* the game — and with it the potential
+//! function ϕ, which is a function of the current user set. Within an epoch
+//! the dynamics are the paper's: every accepted update strictly increases ϕ
+//! (Theorem 2), so each epoch terminates at a Nash equilibrium of the
+//! *current* game. Across epochs no such monotonicity exists: a departure
+//! removes that user's terms from ϕ and a join adds new ones, so the
+//! reported per-epoch ϕ trajectory may rise or fall between epochs. See
+//! DESIGN.md §11.
+//!
+//! ## Warm vs cold
+//!
+//! The warm path keeps the incremental [`Engine`] alive across batches:
+//! churn dirties only the affected users, so re-convergence touches the
+//! neighbourhood of the perturbation. The cold baseline rebuilds an engine
+//! from the materialized post-churn game with a fresh random profile — what
+//! a platform without churn support would do — and pays the full
+//! convergence cost again. The *equivalence replay* additionally retraces
+//! the warm trajectory on a from-scratch engine (same standing requests,
+//! same RNG) and checks the fixed points agree on ϕ within
+//! [`PHI_TOLERANCE`], validating the warm engine's incrementally maintained
+//! caches across arbitrarily long churn histories.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::{apply_churn, is_nash, Engine, Game, Profile};
+
+use crate::stream::EventStream;
+
+/// Absolute tolerance for the warm-vs-replay fixed-point ϕ agreement. The
+/// warm value is the engine's compensated running sum maintained across the
+/// whole churn history; the replay value is a fresh recomputation.
+pub const PHI_TOLERANCE: f64 = 1e-9;
+
+/// Which improvement rule the online scheduler grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnlineAlgorithm {
+    /// Best-response: each improving user requests a uniformly random member
+    /// of its best route set `Δ_i(t)` (DGRN, Alg. 1).
+    Dgrn,
+    /// Better-response: each improving user requests a uniformly random
+    /// strictly improving route (BRUN ablation).
+    Brun,
+}
+
+impl OnlineAlgorithm {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnlineAlgorithm::Dgrn => "DGRN",
+            OnlineAlgorithm::Brun => "BRUN",
+        }
+    }
+}
+
+/// Per-epoch measurements of one churn batch and its re-convergence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Users admitted this epoch.
+    pub joins: usize,
+    /// Users departed this epoch.
+    pub leaves: usize,
+    /// Active population after the batch.
+    pub active_users: usize,
+    /// Decision slots the warm engine needed to re-converge.
+    pub warm_slots: usize,
+    /// Decision slots the cold restart needed from a random profile.
+    pub cold_slots: usize,
+    /// Wall time of the warm path (apply events + re-converge), seconds.
+    pub warm_secs: f64,
+    /// Wall time of the cold path (rebuild engine + converge), seconds.
+    pub cold_secs: f64,
+    /// ϕ at the warm fixed point (incrementally maintained running sum).
+    pub phi_warm: f64,
+    /// ϕ recomputed from scratch at the replayed warm fixed point.
+    pub phi_replay: f64,
+    /// ϕ at the cold restart's fixed point (may differ from `phi_warm`:
+    /// distinct Nash equilibria of the same game).
+    pub phi_cold: f64,
+    /// Whether `|phi_warm − phi_replay| ≤ PHI_TOLERANCE`.
+    pub phi_agrees: bool,
+    /// Total user profit `Σ_i P_i` at the warm fixed point.
+    pub profit: f64,
+}
+
+impl EpochReport {
+    /// Warm-start advantage in decision slots (`cold / warm`; ∞ when the
+    /// warm path needed none).
+    pub fn slot_speedup(&self) -> f64 {
+        self.cold_slots as f64 / (self.warm_slots as f64).max(1e-12)
+    }
+}
+
+/// The full outcome of driving one stream through [`OnlineSim::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Slots of the initial (pre-churn) convergence from the random profile.
+    pub initial_slots: usize,
+    /// One entry per churn epoch.
+    pub epochs: Vec<EpochReport>,
+    /// Whether every warm and cold run reached a fixed point within the
+    /// slot budget.
+    pub converged: bool,
+}
+
+impl OnlineReport {
+    /// Total warm re-convergence slots across epochs.
+    pub fn warm_slots(&self) -> usize {
+        self.epochs.iter().map(|e| e.warm_slots).sum()
+    }
+
+    /// Total cold restart slots across epochs.
+    pub fn cold_slots(&self) -> usize {
+        self.epochs.iter().map(|e| e.cold_slots).sum()
+    }
+
+    /// Total warm wall time, seconds.
+    pub fn warm_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.warm_secs).sum()
+    }
+
+    /// Total cold wall time, seconds.
+    pub fn cold_secs(&self) -> f64 {
+        self.epochs.iter().map(|e| e.cold_secs).sum()
+    }
+
+    /// Aggregate slot speedup `Σ cold / Σ warm`.
+    pub fn slot_speedup(&self) -> f64 {
+        self.cold_slots() as f64 / (self.warm_slots() as f64).max(1e-12)
+    }
+
+    /// Aggregate wall-time speedup.
+    pub fn wall_speedup(&self) -> f64 {
+        self.cold_secs() / self.warm_secs().max(1e-12)
+    }
+
+    /// Whether every epoch's warm/replay fixed points agreed on ϕ.
+    pub fn all_phi_agree(&self) -> bool {
+        self.epochs.iter().all(|e| e.phi_agrees)
+    }
+}
+
+/// Computes `user`'s standing request under `algo`: `Some(route)` when the
+/// user can strictly improve, `None` when it is satisfied. Draws one RNG
+/// pick per improving evaluation (part of the deterministic trajectory).
+fn compute_request(
+    engine: &Engine<'_>,
+    algo: OnlineAlgorithm,
+    user: UserId,
+    rng: &mut StdRng,
+) -> Option<RouteId> {
+    match algo {
+        OnlineAlgorithm::Dgrn => {
+            let best = engine.best_route_set(user);
+            if best.best_routes.is_empty() {
+                None
+            } else {
+                Some(best.best_routes[rng.random_range(0..best.best_routes.len())])
+            }
+        }
+        OnlineAlgorithm::Brun => {
+            let better = engine.better_routes(user);
+            if better.is_empty() {
+                None
+            } else {
+                Some(better[rng.random_range(0..better.len())].0)
+            }
+        }
+    }
+}
+
+/// Re-evaluates the standing requests of every user the engine marked dirty
+/// (in id order — the order is part of the deterministic trajectory).
+fn refresh(
+    engine: &mut Engine<'_>,
+    requests: &mut [Option<RouteId>],
+    algo: OnlineAlgorithm,
+    rng: &mut StdRng,
+) {
+    for user in engine.take_dirty() {
+        requests[user.index()] = compute_request(engine, algo, user, rng);
+    }
+}
+
+/// Drives the engine to a fixed point (or the slot budget): each slot
+/// refreshes dirty requests, then grants one uniformly random standing
+/// request — the SUU rule of Alg. 2, priced from the engine's caches.
+/// Returns `(slots, converged)`.
+fn drive(
+    engine: &mut Engine<'_>,
+    requests: &mut [Option<RouteId>],
+    algo: OnlineAlgorithm,
+    rng: &mut StdRng,
+    max_slots: usize,
+) -> (usize, bool) {
+    let mut slots = 0;
+    loop {
+        refresh(engine, requests, algo, rng);
+        let improving: Vec<UserId> = engine
+            .active_users()
+            .filter(|u| requests[u.index()].is_some())
+            .collect();
+        if improving.is_empty() {
+            return (slots, true);
+        }
+        if slots >= max_slots {
+            return (slots, false);
+        }
+        let user = improving[rng.random_range(0..improving.len())];
+        let route = requests[user.index()]
+            .take()
+            .expect("improving user holds a standing request");
+        engine.apply_move(user, route);
+        slots += 1;
+    }
+}
+
+/// The online simulator: a live incremental engine plus the standing-request
+/// cache, re-equilibrated after every churn batch.
+#[derive(Debug)]
+pub struct OnlineSim {
+    engine: Engine<'static>,
+    requests: Vec<Option<RouteId>>,
+    algo: OnlineAlgorithm,
+    rng: StdRng,
+    seed: u64,
+    max_slots_per_epoch: usize,
+}
+
+impl OnlineSim {
+    /// Builds the simulator around `game` with a seed-deterministic random
+    /// initial profile (Alg. 1 line 4: arbitrary initial decisions).
+    pub fn new(game: Game, algo: OnlineAlgorithm, seed: u64, max_slots_per_epoch: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let choices: Vec<RouteId> = game
+            .users()
+            .iter()
+            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+            .collect();
+        let n_users = game.user_count();
+        let profile =
+            Profile::try_new(&game, choices).expect("random initial choices index each route set");
+        Self {
+            engine: Engine::new_owned(game, profile),
+            requests: vec![None; n_users],
+            algo,
+            rng,
+            seed,
+            max_slots_per_epoch,
+        }
+    }
+
+    /// The live engine (read access — e.g. for snapshotting).
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.engine
+    }
+
+    /// Drives the stream: initial convergence, then per epoch apply the
+    /// batch, warm re-converge, retrace on a from-scratch engine
+    /// (equivalence replay), and run the cold-restart baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream contains an invalid event (unknown leave
+    /// target, malformed join) — streams from this crate's generators are
+    /// valid by construction.
+    pub fn run(&mut self, stream: &EventStream) -> OnlineReport {
+        let (initial_slots, mut converged) = drive(
+            &mut self.engine,
+            &mut self.requests,
+            self.algo,
+            &mut self.rng,
+            self.max_slots_per_epoch,
+        );
+        let mut epochs = Vec::with_capacity(stream.epochs());
+        for (epoch, batch) in stream.batches.iter().enumerate() {
+            let warm_start = Instant::now();
+            let mut joins = 0;
+            let mut leaves = 0;
+            for event in batch {
+                match apply_churn(&mut self.engine, event).expect("stream events are valid") {
+                    Some(_) => {
+                        self.requests.push(None);
+                        joins += 1;
+                    }
+                    None => leaves += 1,
+                }
+            }
+            // Make the standing-request cache fully valid again before
+            // forking the replay: only churn-dirtied users are re-evaluated.
+            refresh(
+                &mut self.engine,
+                &mut self.requests,
+                self.algo,
+                &mut self.rng,
+            );
+
+            // Fork the equivalence replay *before* warm re-convergence: a
+            // from-scratch engine on the materialized post-churn game, the
+            // same standing requests (renumbered densely via `id_map`) and a
+            // clone of the RNG retrace the warm trajectory exactly.
+            let (post_game, post_choices, id_map) = self.engine.materialize();
+            let mut replay_rng = self.rng.clone();
+            let mut replay_requests: Vec<Option<RouteId>> =
+                id_map.iter().map(|u| self.requests[u.index()]).collect();
+
+            let (warm_slots, warm_ok) = drive(
+                &mut self.engine,
+                &mut self.requests,
+                self.algo,
+                &mut self.rng,
+                self.max_slots_per_epoch,
+            );
+            let warm_secs = warm_start.elapsed().as_secs_f64();
+            let phi_warm = self.engine.potential();
+            let profit = self.engine.total_profit();
+
+            let replay_profile = Profile::try_new(&post_game, post_choices)
+                .expect("materialized choices form a valid profile");
+            let mut replay = Engine::new(&post_game, replay_profile);
+            // Fresh engines start all-dirty; the copied standing requests
+            // already cover every user, so drain without re-evaluating.
+            replay.take_dirty();
+            let (replay_slots, _) = drive(
+                &mut replay,
+                &mut replay_requests,
+                self.algo,
+                &mut replay_rng,
+                self.max_slots_per_epoch,
+            );
+            debug_assert_eq!(
+                replay_slots, warm_slots,
+                "replay must retrace the warm trajectory"
+            );
+            let phi_replay = replay.potential_fresh();
+            let phi_agrees = (phi_warm - phi_replay).abs() <= PHI_TOLERANCE;
+            if warm_ok {
+                debug_assert!(
+                    is_nash(&post_game, replay.profile()),
+                    "a converged epoch must end in a Nash equilibrium"
+                );
+            }
+
+            // Cold-restart baseline: rebuild from the post-churn game with a
+            // fresh random profile, as a churn-unaware platform would.
+            let cold_start = Instant::now();
+            let mut cold_rng = StdRng::seed_from_u64(
+                self.seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let cold_choices: Vec<RouteId> = post_game
+                .users()
+                .iter()
+                .map(|u| RouteId::from_index(cold_rng.random_range(0..u.routes.len())))
+                .collect();
+            let cold_profile = Profile::try_new(&post_game, cold_choices)
+                .expect("random choices index each route set");
+            let mut cold = Engine::new(&post_game, cold_profile);
+            let mut cold_requests: Vec<Option<RouteId>> = vec![None; post_game.user_count()];
+            let (cold_slots, cold_ok) = drive(
+                &mut cold,
+                &mut cold_requests,
+                self.algo,
+                &mut cold_rng,
+                self.max_slots_per_epoch,
+            );
+            let cold_secs = cold_start.elapsed().as_secs_f64();
+            let phi_cold = cold.potential_fresh();
+
+            converged &= warm_ok && cold_ok;
+            epochs.push(EpochReport {
+                epoch,
+                joins,
+                leaves,
+                active_users: self.engine.active_count(),
+                warm_slots,
+                cold_slots,
+                warm_secs,
+                cold_secs,
+                phi_warm,
+                phi_replay,
+                phi_cold,
+                phi_agrees,
+                profit,
+            });
+        }
+        OnlineReport {
+            initial_slots,
+            epochs,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{synthetic_stream, StreamConfig};
+
+    fn small_config(seed: u64) -> StreamConfig {
+        StreamConfig {
+            initial_users: 20,
+            n_tasks: 10,
+            epochs: 4,
+            churn_rate: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn warm_reconvergence_agrees_with_replay() {
+        for algo in [OnlineAlgorithm::Dgrn, OnlineAlgorithm::Brun] {
+            for seed in 0..4 {
+                let (game, stream) = synthetic_stream(&small_config(seed));
+                let mut sim = OnlineSim::new(game, algo, seed, 100_000);
+                let report = sim.run(&stream);
+                assert!(report.converged, "{algo:?} seed {seed} did not converge");
+                assert_eq!(report.epochs.len(), 4);
+                assert!(
+                    report.all_phi_agree(),
+                    "{algo:?} seed {seed}: warm ϕ diverged from the from-scratch replay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_needs_fewer_slots_than_cold_restart() {
+        let (game, stream) = synthetic_stream(&StreamConfig {
+            initial_users: 60,
+            n_tasks: 30,
+            epochs: 3,
+            churn_rate: 0.05,
+            seed: 1,
+        });
+        let mut sim = OnlineSim::new(game, OnlineAlgorithm::Dgrn, 1, 100_000);
+        let report = sim.run(&stream);
+        assert!(report.converged);
+        assert!(
+            report.warm_slots() < report.cold_slots(),
+            "warm {} slots vs cold {} slots",
+            report.warm_slots(),
+            report.cold_slots()
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic_in_the_seed() {
+        let (game, stream) = synthetic_stream(&small_config(7));
+        let run = |game: Game| {
+            let mut sim = OnlineSim::new(game, OnlineAlgorithm::Dgrn, 7, 100_000);
+            let mut report = sim.run(&stream);
+            // Wall-clock fields are the only nondeterministic ones.
+            for e in &mut report.epochs {
+                e.warm_secs = 0.0;
+                e.cold_secs = 0.0;
+            }
+            report
+        };
+        assert_eq!(run(game.clone()), run(game));
+    }
+}

@@ -32,5 +32,5 @@ pub use agent::{LocalRoute, UserAgent};
 pub use platform::{PlatformState, SchedulerKind};
 pub use protocol::{CodecError, PlatformMsg, UserMsg};
 pub use resilience::{run_lossy, run_stale, LossConfig, LossStats};
-pub use sync_runtime::{run_sync, RuntimeOutcome, Telemetry};
-pub use threaded::run_threaded;
+pub use sync_runtime::{run_sync, run_sync_churn, ChurnOutcome, RuntimeOutcome, Telemetry};
+pub use threaded::{run_threaded, run_threaded_churn};

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use vcs_algorithms::scheduler::{puu, suu};
 use vcs_algorithms::UpdateRequest;
 use vcs_core::ids::{RouteId, TaskId, UserId};
-use vcs_core::{Engine, Game, GameError, Profile};
+use vcs_core::{Engine, Game, GameError, Profile, UserSpec};
 
 /// Which user-update scheduler the platform runs (Alg. 2 line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,7 +31,6 @@ pub enum SchedulerKind {
 /// incremental [`Engine`]), task counts, and the per-agent request cache.
 #[derive(Debug)]
 pub struct PlatformState<'g> {
-    game: &'g Game,
     engine: Engine<'g>,
     /// Each agent's standing request (`None` = last reply was `NoRequest`
     /// or the agent has not been polled yet — all users start dirty).
@@ -72,7 +71,6 @@ impl<'g> PlatformState<'g> {
     ) -> Result<Self, GameError> {
         let profile = Profile::try_new(game, initial_choices)?;
         Ok(Self {
-            game,
             engine: Engine::new(game, profile),
             cached: vec![None; game.user_count()],
             scheduler,
@@ -80,6 +78,64 @@ impl<'g> PlatformState<'g> {
             slots: 0,
             updates: 0,
         })
+    }
+
+    /// The game the platform currently prices. After a mid-game `Join` this
+    /// is the engine's copy-on-write extension, not the construction-time
+    /// game reference (and it may contain departed tombstone users).
+    pub fn game(&self) -> &Game {
+        self.engine.game()
+    }
+
+    /// Admits a wire-decoded joining user (a `Join` frame): validates the
+    /// spec against the game's task set and weight bounds, assigns the next
+    /// user id and starts the user on `initial`. Affected incumbents are
+    /// marked dirty and get re-polled on the next slot.
+    pub fn try_join(&mut self, spec: &UserSpec, initial: RouteId) -> Result<UserId, GameError> {
+        let user = self
+            .engine
+            .add_user(spec.prefs, spec.routes.clone(), initial)?;
+        self.cached.push(None);
+        Ok(user)
+    }
+
+    /// Retires a user (a `Leave` frame): unwinds its participation, drops its
+    /// standing request and tombstones its id. Returns the route it was on.
+    pub fn handle_leave(&mut self, user: UserId) -> Result<RouteId, GameError> {
+        let route = self.engine.remove_user(user)?;
+        self.cached[user.index()] = None;
+        Ok(route)
+    }
+
+    /// Applies a decoded churn message. Returns the assigned id for a join,
+    /// `None` for a leave.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not a churn message — routing non-churn frames
+    /// here is a driver bug, not untrusted input.
+    pub fn apply_churn_msg(&mut self, msg: &UserMsg) -> Result<Option<UserId>, GameError> {
+        match msg {
+            UserMsg::Join { spec, initial } => self.try_join(spec, *initial).map(Some),
+            UserMsg::Leave { user } => self.handle_leave(*user).map(|_| None),
+            other => panic!("apply_churn_msg on non-churn message {other:?}"),
+        }
+    }
+
+    /// Whether `user` is on the platform (exists and has not left).
+    pub fn is_active(&self, user: UserId) -> bool {
+        self.engine.is_active(user)
+    }
+
+    /// The incrementally maintained potential ϕ of the live game.
+    pub fn potential(&self) -> f64 {
+        self.engine.potential()
+    }
+
+    /// Densifies the live post-churn state into `(game, choices, id_map)` —
+    /// see [`Engine::materialize`].
+    pub fn materialize(&self) -> (Game, Vec<RouteId>, Vec<UserId>) {
+        self.engine.materialize()
     }
 
     /// The authoritative profile.
@@ -115,7 +171,7 @@ impl<'g> PlatformState<'g> {
     /// Participant counts restricted to the tasks covered by `user`'s
     /// recommended routes (the locality of Alg. 1 line 9).
     pub fn counts_for(&self, user: UserId) -> Vec<(TaskId, u32)> {
-        let mut tasks: Vec<TaskId> = self.game.users()[user.index()]
+        let mut tasks: Vec<TaskId> = self.game().users()[user.index()]
             .routes
             .iter()
             .flat_map(|r| r.tasks.iter().copied())
@@ -135,7 +191,7 @@ impl<'g> PlatformState<'g> {
         let tasks = counts
             .iter()
             .map(|&(t, _)| {
-                let task = self.game.task(t);
+                let task = self.game().task(t);
                 (t, task.base_reward, task.increment)
             })
             .collect();
@@ -252,6 +308,49 @@ mod tests {
         platform.apply_update(UserId(0), RouteId(0));
         assert_eq!(platform.profile().choice(UserId(0)), RouteId(0));
         assert_eq!(platform.updates, 1);
+    }
+
+    #[test]
+    fn join_and_leave_reshape_platform() {
+        let game = fig1_instance();
+        let mut platform = PlatformState::new(
+            &game,
+            SchedulerKind::Suu,
+            0,
+            vec![RouteId(0), RouteId(0), RouteId(0)],
+        );
+        platform.dirty_users();
+        let spec = vcs_core::UserSpec::new(
+            vcs_core::UserPrefs::neutral(),
+            vec![vcs_core::Route::new(RouteId(0), vec![TaskId(1)], 0.5, 0.5)],
+        );
+        let joined = platform
+            .apply_churn_msg(&UserMsg::Join {
+                spec,
+                initial: RouteId(0),
+            })
+            .unwrap()
+            .expect("join assigns an id");
+        assert_eq!(joined, UserId(3));
+        assert!(platform.is_active(joined));
+        // The join extends the live game past the construction-time one.
+        assert_eq!(platform.game().user_count(), 4);
+        assert_eq!(platform.counts_for(joined), vec![(TaskId(1), 3)]);
+        // Incumbents sharing task 1 get re-polled.
+        assert!(platform.dirty_users().contains(&UserId(1)));
+        platform
+            .apply_churn_msg(&UserMsg::Leave { user: joined })
+            .unwrap();
+        assert!(!platform.is_active(joined));
+        let (post, choices, id_map) = platform.materialize();
+        assert_eq!(post.user_count(), 3);
+        assert_eq!(choices.len(), 3);
+        assert_eq!(id_map, vec![UserId(0), UserId(1), UserId(2)]);
+        // Leaving twice surfaces the engine error, untrusted-frame style.
+        assert!(matches!(
+            platform.apply_churn_msg(&UserMsg::Leave { user: joined }),
+            Err(GameError::UnknownUser { .. })
+        ));
     }
 
     #[test]

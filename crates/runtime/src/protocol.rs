@@ -16,6 +16,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::{ChurnEvent, Route, UserPrefs, UserSpec};
 
 /// Task metadata a user needs to evaluate rewards locally: `(k, a_k, μ_k)`.
 pub type TaskInfo = (TaskId, f64, f64);
@@ -79,6 +80,36 @@ pub enum UserMsg {
         /// The route now selected.
         route: RouteId,
     },
+    /// A new vehicle enters the platform mid-game: its preference weights,
+    /// its recommended route set and its initial route choice (the Alg. 1
+    /// line 4 random decision, made locally before first contact). The
+    /// platform assigns the user id and answers with `Init`. Route polyline
+    /// geometry is display-only and is **not** carried on the wire.
+    Join {
+        /// Weights and recommended routes of the arriving user.
+        spec: UserSpec,
+        /// Index into `spec.routes` of the initial choice.
+        initial: RouteId,
+    },
+    /// The vehicle with id `user` leaves the platform.
+    Leave {
+        /// The departing user.
+        user: UserId,
+    },
+}
+
+impl UserMsg {
+    /// The wire frame corresponding to a churn event (see
+    /// [`vcs_core::ChurnEvent`]).
+    pub fn from_churn(event: &ChurnEvent) -> Self {
+        match event {
+            ChurnEvent::Join { spec, initial } => UserMsg::Join {
+                spec: spec.clone(),
+                initial: *initial,
+            },
+            ChurnEvent::Leave { user } => UserMsg::Leave { user: *user },
+        }
+    }
 }
 
 // ---- Codec ---------------------------------------------------------------
@@ -92,6 +123,8 @@ const TAG_INITIAL: u8 = 16;
 const TAG_REQUEST: u8 = 17;
 const TAG_NO_REQUEST: u8 = 18;
 const TAG_UPDATED: u8 = 19;
+const TAG_JOIN: u8 = 20;
+const TAG_LEAVE: u8 = 21;
 
 /// Codec error: truncated or malformed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,6 +281,26 @@ impl UserMsg {
                 buf.put_u32(user.0);
                 buf.put_u32(route.0);
             }
+            UserMsg::Join { spec, initial } => {
+                buf.put_u8(TAG_JOIN);
+                buf.put_f64(spec.prefs.alpha);
+                buf.put_f64(spec.prefs.beta);
+                buf.put_f64(spec.prefs.gamma);
+                buf.put_u32(initial.0);
+                buf.put_u32(u32::try_from(spec.routes.len()).expect("route list fits u32"));
+                for route in &spec.routes {
+                    buf.put_u32(u32::try_from(route.tasks.len()).expect("task list fits u32"));
+                    for t in &route.tasks {
+                        buf.put_u32(t.0);
+                    }
+                    buf.put_f64(route.detour);
+                    buf.put_f64(route.congestion);
+                }
+            }
+            UserMsg::Leave { user } => {
+                buf.put_u8(TAG_LEAVE);
+                buf.put_u32(user.0);
+            }
         }
         buf.freeze()
     }
@@ -283,6 +336,37 @@ impl UserMsg {
             TAG_UPDATED => UserMsg::Updated {
                 user: UserId(get_u32(&mut frame)?),
                 route: RouteId(get_u32(&mut frame)?),
+            },
+            TAG_JOIN => {
+                let alpha = get_f64(&mut frame)?;
+                let beta = get_f64(&mut frame)?;
+                let gamma = get_f64(&mut frame)?;
+                let initial = RouteId(get_u32(&mut frame)?);
+                // Each route is at least a task count + detour + congestion.
+                let n_routes = get_len(&mut frame, 20)?;
+                let mut routes = Vec::with_capacity(n_routes);
+                for r in 0..n_routes {
+                    let n_tasks = get_len(&mut frame, 4)?;
+                    let mut tasks = Vec::with_capacity(n_tasks);
+                    for _ in 0..n_tasks {
+                        tasks.push(TaskId(get_u32(&mut frame)?));
+                    }
+                    let detour = get_f64(&mut frame)?;
+                    let congestion = get_f64(&mut frame)?;
+                    routes.push(Route::new(
+                        RouteId::from_index(r),
+                        tasks,
+                        detour,
+                        congestion,
+                    ));
+                }
+                UserMsg::Join {
+                    spec: UserSpec::new(UserPrefs::new(alpha, beta, gamma), routes),
+                    initial,
+                }
+            }
+            TAG_LEAVE => UserMsg::Leave {
+                user: UserId(get_u32(&mut frame)?),
             },
             _ => return Err(CodecError("unknown user tag")),
         };
@@ -337,6 +421,21 @@ mod tests {
                 user: UserId(1),
                 route: RouteId(0),
             },
+            UserMsg::Join {
+                spec: UserSpec::new(
+                    UserPrefs::new(0.3, 0.6, 0.2),
+                    vec![
+                        Route::new(RouteId(0), vec![TaskId(1), TaskId(4)], 1.5, 0.25),
+                        Route::new(RouteId(1), vec![], 0.0, 3.0),
+                    ],
+                ),
+                initial: RouteId(1),
+            },
+            UserMsg::Join {
+                spec: UserSpec::new(UserPrefs::neutral(), vec![]),
+                initial: RouteId(0),
+            },
+            UserMsg::Leave { user: UserId(17) },
         ];
         for msg in msgs {
             let frame = msg.encode();
@@ -360,6 +459,53 @@ mod tests {
         let frame = Bytes::from_static(&[0xFF]);
         assert!(PlatformMsg::decode(frame.clone()).is_err());
         assert!(UserMsg::decode(frame).is_err());
+    }
+
+    #[test]
+    fn join_frame_matches_churn_event() {
+        let event = ChurnEvent::Join {
+            spec: UserSpec::new(
+                UserPrefs::new(0.4, 0.4, 0.4),
+                vec![Route::new(RouteId(0), vec![TaskId(2)], 0.5, 0.5)],
+            ),
+            initial: RouteId(0),
+        };
+        let msg = UserMsg::from_churn(&event);
+        let decoded = UserMsg::decode(msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        let leave = ChurnEvent::Leave { user: UserId(3) };
+        assert_eq!(
+            UserMsg::from_churn(&leave),
+            UserMsg::Leave { user: UserId(3) }
+        );
+    }
+
+    #[test]
+    fn truncated_join_rejected() {
+        let frame = UserMsg::Join {
+            spec: UserSpec::new(
+                UserPrefs::neutral(),
+                vec![Route::new(RouteId(0), vec![TaskId(0), TaskId(1)], 1.0, 1.0)],
+            ),
+            initial: RouteId(0),
+        }
+        .encode();
+        for cut in [1, 8, 20, frame.len() - 1] {
+            assert!(UserMsg::decode(frame.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        // A hostile length prefix larger than the frame is caught before any
+        // allocation.
+        let mut buf = BytesMut::new();
+        buf.put_u8(20);
+        buf.put_f64(0.5);
+        buf.put_f64(0.5);
+        buf.put_f64(0.5);
+        buf.put_u32(0);
+        buf.put_u32(u32::MAX); // absurd route count
+        assert_eq!(
+            UserMsg::decode(buf.freeze()),
+            Err(CodecError("length prefix exceeds frame size"))
+        );
     }
 
     #[test]

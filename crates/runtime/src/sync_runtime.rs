@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
-use vcs_core::{Game, Profile};
+use vcs_core::{ChurnEvent, Game, Profile};
 
 /// Communication telemetry of a protocol run: how many frames and bytes
 /// crossed the platform↔user boundary. The paper motivates the distributed
@@ -179,8 +179,191 @@ pub fn run_sync(
     }
 }
 
+/// Outcome of a churn-enabled protocol run ([`run_sync_churn`] /
+/// [`run_threaded_churn`](crate::threaded::run_threaded_churn)): the final
+/// live state densified to a standalone post-churn game plus per-epoch
+/// convergence accounting. Note ϕ is per-epoch — each churn event redefines
+/// the potential, so slot counts are comparable *within* an epoch only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// The post-churn game (tombstones dropped, users densely renumbered).
+    pub game: Game,
+    /// Final route choices, indexed like `game`'s users.
+    pub choices: Vec<RouteId>,
+    /// `id_map[dense] = live id` of each surviving user.
+    pub id_map: Vec<UserId>,
+    /// Decision slots per epoch; entry 0 is the pre-churn convergence, entry
+    /// `e ≥ 1` the re-convergence after the `e`-th event batch.
+    pub epoch_slots: Vec<usize>,
+    /// Individual updates applied across all epochs.
+    pub updates: usize,
+    /// Whether every epoch reached an empty request set within its slot cap.
+    pub converged: bool,
+    /// Communication counters (identical between the sync and threaded
+    /// churn runtimes for the same seed and stream).
+    pub telemetry: Telemetry,
+}
+
+/// Runs the platform's improvement loop until the request set drains or
+/// `max_slots` decision slots elapse. Returns `(slots_used, converged)`.
+fn drive_to_equilibrium(
+    platform: &mut PlatformState<'_>,
+    agents: &mut [Option<UserAgent>],
+    telemetry: &mut Telemetry,
+    max_slots: usize,
+) -> (usize, bool) {
+    let start = platform.slots;
+    let mut converged = false;
+    while platform.slots - start < max_slots {
+        for user in platform.dirty_users() {
+            let msg = platform.counts_msg_for(user);
+            let agent = agents[user.index()].as_mut().expect("dirty user is active");
+            let reply = deliver_to_agent(agent, &msg, telemetry).expect("counts always answered");
+            platform.record_reply(user, &reply);
+        }
+        let requests = platform.collect_requests();
+        if requests.is_empty() {
+            converged = true;
+            break;
+        }
+        let granted = platform.select(&requests);
+        for &g in &granted {
+            let user = requests[g].user;
+            let agent = agents[user.index()]
+                .as_mut()
+                .expect("granted user is active");
+            if let Some(UserMsg::Updated { user, route }) =
+                deliver_to_agent(agent, &PlatformMsg::Grant, telemetry)
+            {
+                platform.apply_update(user, route);
+            }
+        }
+    }
+    (platform.slots - start, converged)
+}
+
+/// Runs the protocol with **churn**: converge, then alternate event batches
+/// (delivered as encoded `Join`/`Leave` frames) with re-convergence phases,
+/// all on one thread in a fixed order. The reference implementation;
+/// [`run_threaded_churn`](crate::threaded::run_threaded_churn) must produce
+/// an identical [`ChurnOutcome`].
+///
+/// # Panics
+///
+/// Panics when the stream is invalid against the live game (leave of an
+/// unknown user, join rejected by validation) — streams are produced by
+/// trusted generators; untrusted frames should go through
+/// [`PlatformState::apply_churn_msg`] directly.
+pub fn run_sync_churn(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots_per_epoch: usize,
+    epochs: &[Vec<ChurnEvent>],
+) -> ChurnOutcome {
+    let mut agents: Vec<Option<UserAgent>> =
+        spawn_agents(game, seed).into_iter().map(Some).collect();
+    let mut telemetry = Telemetry::default();
+    let initial: Vec<RouteId> = agents
+        .iter()
+        .flatten()
+        .map(|a| {
+            let frame = a.initial_message().encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            match UserMsg::decode(frame).unwrap() {
+                UserMsg::Initial { route, .. } => route,
+                other => panic!("unexpected initial message {other:?}"),
+            }
+        })
+        .collect();
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    for agent in agents.iter_mut().flatten() {
+        let msg = platform.init_msg_for(agent.id);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry);
+        debug_assert!(reply.is_none());
+    }
+    let mut epoch_slots = Vec::with_capacity(epochs.len() + 1);
+    let mut converged = true;
+    let (slots, ok) = drive_to_equilibrium(
+        &mut platform,
+        &mut agents,
+        &mut telemetry,
+        max_slots_per_epoch,
+    );
+    epoch_slots.push(slots);
+    converged &= ok;
+    for batch in epochs {
+        for event in batch {
+            // Ship the event as a real wire frame, exactly what a networked
+            // vehicle would send.
+            let frame = UserMsg::from_churn(event).encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
+            match platform
+                .apply_churn_msg(&msg)
+                .expect("stream events are valid")
+            {
+                Some(joined) => {
+                    let UserMsg::Join { spec, initial } = msg else {
+                        unreachable!("join returned an id")
+                    };
+                    let mut agent = UserAgent::new(
+                        joined,
+                        spec.prefs,
+                        &spec.routes,
+                        game.params().phi,
+                        game.params().theta,
+                        initial,
+                    );
+                    let init = platform.init_msg_for(joined);
+                    let reply = deliver_to_agent(&mut agent, &init, &mut telemetry);
+                    debug_assert!(reply.is_none());
+                    debug_assert_eq!(agents.len(), joined.index());
+                    agents.push(Some(agent));
+                }
+                None => {
+                    let UserMsg::Leave { user } = msg else {
+                        unreachable!("leave returns no id")
+                    };
+                    let mut agent = agents[user.index()].take().expect("leaving agent exists");
+                    let reply =
+                        deliver_to_agent(&mut agent, &PlatformMsg::Terminate, &mut telemetry);
+                    debug_assert!(reply.is_none());
+                }
+            }
+        }
+        let (slots, ok) = drive_to_equilibrium(
+            &mut platform,
+            &mut agents,
+            &mut telemetry,
+            max_slots_per_epoch,
+        );
+        epoch_slots.push(slots);
+        converged &= ok;
+    }
+    for agent in agents.iter_mut().flatten() {
+        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry);
+        debug_assert!(reply.is_none());
+    }
+    for agent in agents.iter().flatten() {
+        debug_assert_eq!(agent.current, platform.profile().choice(agent.id));
+    }
+    let (game, choices, id_map) = platform.materialize();
+    ChurnOutcome {
+        game,
+        choices,
+        id_map,
+        epoch_slots,
+        updates: platform.updates,
+        converged,
+        telemetry,
+    }
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use vcs_core::examples::fig1_instance;
     use vcs_core::response::is_nash;
@@ -211,5 +394,60 @@ mod tests {
     fn agent_seeds_differ_per_user() {
         assert_ne!(agent_seed(1, UserId(0)), agent_seed(1, UserId(1)));
         assert_ne!(agent_seed(1, UserId(0)), agent_seed(2, UserId(0)));
+    }
+
+    /// A hand-built two-epoch stream on Fig. 1: one join, then that user's
+    /// departure plus an incumbent's departure.
+    pub(crate) fn fig1_stream() -> Vec<Vec<ChurnEvent>> {
+        use vcs_core::ids::TaskId;
+        use vcs_core::{Route, UserPrefs, UserSpec};
+        vec![
+            vec![ChurnEvent::Join {
+                spec: UserSpec::new(
+                    UserPrefs::neutral(),
+                    vec![
+                        Route::new(RouteId(0), vec![TaskId(0)], 0.5, 0.5),
+                        Route::new(RouteId(1), vec![TaskId(1)], 0.0, 1.0),
+                    ],
+                ),
+                initial: RouteId(1),
+            }],
+            vec![
+                ChurnEvent::Leave { user: UserId(3) },
+                ChurnEvent::Leave { user: UserId(1) },
+            ],
+        ]
+    }
+
+    #[test]
+    fn sync_churn_reconverges_every_epoch() {
+        let game = fig1_instance();
+        let epochs = fig1_stream();
+        for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
+            for seed in 0..5u64 {
+                let out = run_sync_churn(&game, scheduler, seed, 10_000, &epochs);
+                assert!(out.converged, "seed {seed} hit the slot cap");
+                assert_eq!(out.epoch_slots.len(), 3);
+                // Users 0 and 2 survive; user 1 and the joiner left.
+                assert_eq!(out.id_map, vec![UserId(0), UserId(2)]);
+                assert_eq!(out.game.user_count(), 2);
+                let profile = Profile::new(&out.game, out.choices.clone());
+                assert!(
+                    vcs_core::response::is_nash(&out.game, &profile),
+                    "seed {seed}: final state not Nash on the post-churn game"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_churn_with_empty_stream_matches_plain_run() {
+        let game = fig1_instance();
+        let plain = run_sync(&game, SchedulerKind::Puu, 5, 10_000);
+        let churn = run_sync_churn(&game, SchedulerKind::Puu, 5, 10_000, &[]);
+        assert_eq!(churn.epoch_slots, vec![plain.slots]);
+        assert_eq!(churn.updates, plain.updates);
+        assert_eq!(churn.choices, plain.profile.choices());
+        assert_eq!(churn.telemetry, plain.telemetry);
     }
 }

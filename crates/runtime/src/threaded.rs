@@ -13,13 +13,13 @@
 use crate::agent::UserAgent;
 use crate::platform::{PlatformState, SchedulerKind};
 use crate::protocol::{PlatformMsg, UserMsg};
-use crate::sync_runtime::{spawn_agents, RuntimeOutcome, Telemetry};
+use crate::sync_runtime::{spawn_agents, ChurnOutcome, RuntimeOutcome, Telemetry};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use vcs_core::ids::{RouteId, UserId};
-use vcs_core::Game;
+use vcs_core::{ChurnEvent, Game};
 
 /// Per-agent mailbox pair: platform keeps the senders, agents the receivers.
 struct AgentLink {
@@ -28,16 +28,21 @@ struct AgentLink {
 }
 
 /// Runs the agent event loop on its own thread until `Terminate`.
+/// `announce` sends the initial decision first (Alg. 1 line 4) — start-up
+/// agents announce; agents joining mid-game already shipped their initial
+/// choice inside the `Join` frame.
 fn agent_thread(
     mut agent: UserAgent,
     inbox: Receiver<Bytes>,
     outbox: Sender<(UserId, Bytes)>,
     trace: Arc<Mutex<Vec<(UserId, &'static str)>>>,
+    announce: bool,
 ) {
-    // Announce the initial decision (Alg. 1 line 4).
-    outbox
-        .send((agent.id, agent.initial_message().encode()))
-        .expect("platform inbox open");
+    if announce {
+        outbox
+            .send((agent.id, agent.initial_message().encode()))
+            .expect("platform inbox open");
+    }
     while let Ok(frame) = inbox.recv() {
         let msg = PlatformMsg::decode(frame).expect("well-formed platform frame");
         let terminate = matches!(msg, PlatformMsg::Terminate);
@@ -47,6 +52,8 @@ fn agent_thread(
                 UserMsg::NoRequest { .. } => "no-request",
                 UserMsg::Updated { .. } => "updated",
                 UserMsg::Initial { .. } => "initial",
+                UserMsg::Join { .. } => "join",
+                UserMsg::Leave { .. } => "leave",
             };
             trace.lock().push((agent.id, kind));
             outbox
@@ -82,7 +89,7 @@ pub fn run_threaded(
         let outbox = to_platform.clone();
         let trace = Arc::clone(&trace);
         handles.push(std::thread::spawn(move || {
-            agent_thread(agent, rx, outbox, trace)
+            agent_thread(agent, rx, outbox, trace, true)
         }));
     }
     drop(to_platform);
@@ -176,6 +183,197 @@ pub fn run_threaded(
     }
 }
 
+/// Runs the churn-enabled protocol with one thread per *live* user agent:
+/// agents joining mid-game get their own freshly spawned thread, leaving
+/// agents are terminated and joined. Bit-identical to
+/// [`run_sync_churn`](crate::sync_runtime::run_sync_churn) for the same seed
+/// and event stream (tested in the workspace integration tests).
+pub fn run_threaded_churn(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots_per_epoch: usize,
+    epochs: &[Vec<ChurnEvent>],
+) -> ChurnOutcome {
+    let m = game.user_count();
+    let agents = spawn_agents(game, seed);
+    let mut telemetry = Telemetry::default();
+    let (to_platform, platform_inbox) = unbounded::<(UserId, Bytes)>();
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let mut links: Vec<Option<AgentLink>> = Vec::with_capacity(m);
+    let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(m);
+    for agent in agents {
+        let (tx, rx) = unbounded::<Bytes>();
+        links.push(Some(AgentLink { to_agent: tx }));
+        let outbox = to_platform.clone();
+        let trace = Arc::clone(&trace);
+        handles.push(Some(std::thread::spawn(move || {
+            agent_thread(agent, rx, outbox, trace, true)
+        })));
+    }
+
+    let collect_round = |inbox: &Receiver<(UserId, Bytes)>,
+                         expect: usize,
+                         telemetry: &mut Telemetry|
+     -> Vec<(UserId, UserMsg)> {
+        let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
+        for _ in 0..expect {
+            let (user, frame) = inbox.recv().expect("agents alive");
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            let msg = UserMsg::decode(frame).expect("well-formed user frame");
+            out.push((user, msg));
+        }
+        out.sort_by_key(|&(user, _)| user);
+        out
+    };
+    let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
+        telemetry.platform_msgs += 1;
+        telemetry.platform_bytes += frame.len();
+        link.to_agent.send(frame).expect("agent alive");
+    };
+
+    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
+    let mut initial = vec![RouteId(0); m];
+    for (user, msg) in initial_msgs {
+        match msg {
+            UserMsg::Initial { route, .. } => initial[user.index()] = route,
+            other => panic!("expected Initial, got {other:?}"),
+        }
+    }
+    let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    for (i, link) in links.iter().enumerate() {
+        let msg = platform.init_msg_for(UserId::from_index(i));
+        send_counted(
+            link.as_ref().expect("start-up agent"),
+            msg.encode(),
+            &mut telemetry,
+        );
+    }
+
+    // The improvement loop of one epoch: identical message pattern to
+    // `run_threaded`, bounded by a per-epoch slot budget.
+    let drive = |platform: &mut PlatformState<'_>,
+                 links: &[Option<AgentLink>],
+                 telemetry: &mut Telemetry|
+     -> (usize, bool) {
+        let start = platform.slots;
+        let mut converged = false;
+        while platform.slots - start < max_slots_per_epoch {
+            let dirty = platform.dirty_users();
+            for &user in &dirty {
+                let msg = platform.counts_msg_for(user);
+                let link = links[user.index()].as_ref().expect("dirty user is active");
+                send_counted(link, msg.encode(), telemetry);
+            }
+            let replies = collect_round(&platform_inbox, dirty.len(), telemetry);
+            for (user, msg) in &replies {
+                platform.record_reply(*user, msg);
+            }
+            let requests = platform.collect_requests();
+            if requests.is_empty() {
+                converged = true;
+                break;
+            }
+            let granted = platform.select(&requests);
+            let granted_users: Vec<UserId> = granted.iter().map(|&g| requests[g].user).collect();
+            for &user in &granted_users {
+                let link = links[user.index()]
+                    .as_ref()
+                    .expect("granted user is active");
+                send_counted(link, PlatformMsg::Grant.encode(), telemetry);
+            }
+            let confirmations = collect_round(&platform_inbox, granted_users.len(), telemetry);
+            for (_, msg) in confirmations {
+                match msg {
+                    UserMsg::Updated { user, route } => platform.apply_update(user, route),
+                    other => panic!("expected Updated, got {other:?}"),
+                }
+            }
+        }
+        (platform.slots - start, converged)
+    };
+
+    let mut epoch_slots = Vec::with_capacity(epochs.len() + 1);
+    let mut converged = true;
+    let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
+    epoch_slots.push(slots);
+    converged &= ok;
+    for batch in epochs {
+        for event in batch {
+            let frame = UserMsg::from_churn(event).encode();
+            telemetry.user_msgs += 1;
+            telemetry.user_bytes += frame.len();
+            let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
+            match platform
+                .apply_churn_msg(&msg)
+                .expect("stream events are valid")
+            {
+                Some(joined) => {
+                    let UserMsg::Join { spec, initial } = msg else {
+                        unreachable!("join returned an id")
+                    };
+                    let agent = UserAgent::new(
+                        joined,
+                        spec.prefs,
+                        &spec.routes,
+                        game.params().phi,
+                        game.params().theta,
+                        initial,
+                    );
+                    let (tx, rx) = unbounded::<Bytes>();
+                    let outbox = to_platform.clone();
+                    let trace = Arc::clone(&trace);
+                    debug_assert_eq!(links.len(), joined.index());
+                    links.push(Some(AgentLink { to_agent: tx }));
+                    handles.push(Some(std::thread::spawn(move || {
+                        agent_thread(agent, rx, outbox, trace, false)
+                    })));
+                    let init = platform.init_msg_for(joined);
+                    send_counted(
+                        links[joined.index()].as_ref().expect("just linked"),
+                        init.encode(),
+                        &mut telemetry,
+                    );
+                }
+                None => {
+                    let UserMsg::Leave { user } = msg else {
+                        unreachable!("leave returns no id")
+                    };
+                    let link = links[user.index()].take().expect("leaving agent exists");
+                    send_counted(&link, PlatformMsg::Terminate.encode(), &mut telemetry);
+                    drop(link);
+                    handles[user.index()]
+                        .take()
+                        .expect("leaving agent has a thread")
+                        .join()
+                        .expect("agent thread panicked");
+                }
+            }
+        }
+        let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
+        epoch_slots.push(slots);
+        converged &= ok;
+    }
+    drop(to_platform);
+    for link in links.iter().flatten() {
+        send_counted(link, PlatformMsg::Terminate.encode(), &mut telemetry);
+    }
+    for handle in handles.iter_mut().filter_map(Option::take) {
+        handle.join().expect("agent thread panicked");
+    }
+    let (game, choices, id_map) = platform.materialize();
+    ChurnOutcome {
+        game,
+        choices,
+        id_map,
+        epoch_slots,
+        updates: platform.updates,
+        converged,
+        telemetry,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +397,21 @@ mod tests {
                 let sync = run_sync(&game, scheduler, seed, 10_000);
                 let threaded = run_threaded(&game, scheduler, seed, 10_000);
                 assert_eq!(sync, threaded, "divergence at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_churn_matches_sync_churn() {
+        let game = fig1_instance();
+        let epochs = crate::sync_runtime::tests::fig1_stream();
+        for scheduler in [SchedulerKind::Suu, SchedulerKind::Puu] {
+            for seed in 0..4u64 {
+                let sync =
+                    crate::sync_runtime::run_sync_churn(&game, scheduler, seed, 10_000, &epochs);
+                let threaded = run_threaded_churn(&game, scheduler, seed, 10_000, &epochs);
+                assert_eq!(sync, threaded, "churn divergence at seed {seed}");
+                assert!(threaded.converged);
             }
         }
     }

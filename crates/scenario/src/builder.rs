@@ -14,15 +14,18 @@ use crate::params::ScenarioParams;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use vcs_core::ids::{RouteId, TaskId, UserId};
-use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs, WeightBounds};
+use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs, UserSpec, WeightBounds};
 use vcs_roadnet::{recommend_routes, RecommendConfig, RecommendedRoute, RoadGraph};
-use vcs_traces::{extract_all, generate_traces, OdPair};
+use vcs_traces::{extract_all_timed, generate_traces, OdPair};
 
 /// A pool member: one trace-derived commuter with its recommended routes.
 #[derive(Debug, Clone)]
 pub struct PoolUser {
     /// The commuter's origin–destination pair.
     pub od: OdPair,
+    /// Departure time of the underlying trace (seconds, trace clock) — the
+    /// arrival timestamp an online stream admits this commuter at.
+    pub depart: f64,
     /// Up to five recommended alternatives (shortest first), with geometry.
     pub routes: Vec<RecommendedRoute>,
     /// Cached polyline geometry of each route.
@@ -49,11 +52,12 @@ impl UserPool {
     pub fn build(dataset: Dataset, seed: u64) -> Self {
         let graph = dataset.city_config(seed).generate();
         let traces = generate_traces(&graph, &dataset.trace_config(seed.wrapping_add(1)));
-        let ods = extract_all(&graph, &traces);
+        let ods = extract_all_timed(&graph, &traces);
         let rec_cfg = RecommendConfig::default();
         let users = ods
             .into_iter()
-            .filter_map(|od| {
+            .filter_map(|timed| {
+                let od = timed.od;
                 let routes = recommend_routes(&graph, od.origin, od.destination, &rec_cfg);
                 if routes.is_empty() {
                     return None;
@@ -64,6 +68,7 @@ impl UserPool {
                     .collect();
                 Some(PoolUser {
                     od,
+                    depart: timed.depart,
                     routes,
                     geometries,
                 })
@@ -126,43 +131,8 @@ impl UserPool {
             .iter()
             .enumerate()
             .map(|(ui, &pool_idx)| {
-                let pool_user = &self.users[pool_idx];
-                // Table 2: 1–5 routes recommended to a user.
-                let available = pool_user.routes.len();
-                let n_routes = rng.random_range(1..=params.max_routes.min(available).max(1));
-                let routes: Vec<Route> = (0..n_routes)
-                    .map(|ri| {
-                        let rec = &pool_user.routes[ri];
-                        let geom = &pool_user.geometries[ri];
-                        let covered: Vec<TaskId> = tasks
-                            .iter()
-                            .filter(|task| {
-                                let loc = task.location.expect("scenario tasks have locations");
-                                point_polyline_distance(loc, geom) <= params.capture_radius
-                            })
-                            .map(|task| task.id)
-                            .collect();
-                        Route::new(
-                            RouteId::from_index(ri),
-                            covered,
-                            rec.detour * params.detour_scale,
-                            rec.congestion * params.congestion_scale,
-                        )
-                        .with_geometry(geom.clone())
-                    })
-                    .collect();
-                let prefs = match params.fixed_prefs {
-                    Some((alpha, beta, gamma)) => UserPrefs::new(alpha, beta, gamma),
-                    None => {
-                        let (lo, hi) = params.weight_range;
-                        UserPrefs::new(
-                            rng.random_range(lo..=hi),
-                            rng.random_range(lo..=hi),
-                            rng.random_range(lo..=hi),
-                        )
-                    }
-                };
-                User::new(UserId::from_index(ui), prefs, routes)
+                let spec = user_spec(&self.users[pool_idx], &tasks, params, &mut rng);
+                User::new(UserId::from_index(ui), spec.prefs, spec.routes)
             })
             .collect();
         let bounds = WeightBounds {
@@ -178,6 +148,29 @@ impl UserPool {
         .expect("scenario construction yields a valid game")
     }
 
+    /// Samples one arriving commuter against an existing task deployment: a
+    /// uniformly random pool member, instantiated with the same route-subset,
+    /// coverage and preference rules as [`instantiate`](Self::instantiate).
+    /// This is what an online `Join` event carries — the task set is fixed by
+    /// the running game, only the user is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is empty or a task lacks a location.
+    pub fn sample_arrival(
+        &self,
+        tasks: &[Task],
+        params: &ScenarioParams,
+        rng: &mut StdRng,
+    ) -> UserSpec {
+        assert!(
+            !self.is_empty(),
+            "cannot sample an arrival from an empty pool"
+        );
+        let pool_user = &self.users[rng.random_range(0..self.len())];
+        user_spec(pool_user, tasks, params, rng)
+    }
+
     /// Distance from a task location to the nearest point of the street
     /// network (diagnostic; should be ~0 for generated tasks).
     pub fn distance_to_network(&self, pos: (f64, f64)) -> f64 {
@@ -189,6 +182,54 @@ impl UserPool {
             })
             .fold(f64::INFINITY, f64::min)
     }
+}
+
+/// Builds one user's spec from a pool commuter: draws the route-set size
+/// (Table 2: 1–5 routes), tests task coverage geometrically against the
+/// given deployment, scales costs and samples preference weights. Shared by
+/// [`UserPool::instantiate`] and [`UserPool::sample_arrival`]; the RNG draw
+/// order (route count, then α, β, γ) is part of replicate determinism.
+fn user_spec(
+    pool_user: &PoolUser,
+    tasks: &[Task],
+    params: &ScenarioParams,
+    rng: &mut StdRng,
+) -> UserSpec {
+    let available = pool_user.routes.len();
+    let n_routes = rng.random_range(1..=params.max_routes.min(available).max(1));
+    let routes: Vec<Route> = (0..n_routes)
+        .map(|ri| {
+            let rec = &pool_user.routes[ri];
+            let geom = &pool_user.geometries[ri];
+            let covered: Vec<TaskId> = tasks
+                .iter()
+                .filter(|task| {
+                    let loc = task.location.expect("scenario tasks have locations");
+                    point_polyline_distance(loc, geom) <= params.capture_radius
+                })
+                .map(|task| task.id)
+                .collect();
+            Route::new(
+                RouteId::from_index(ri),
+                covered,
+                rec.detour * params.detour_scale,
+                rec.congestion * params.congestion_scale,
+            )
+            .with_geometry(geom.clone())
+        })
+        .collect();
+    let prefs = match params.fixed_prefs {
+        Some((alpha, beta, gamma)) => UserPrefs::new(alpha, beta, gamma),
+        None => {
+            let (lo, hi) = params.weight_range;
+            UserPrefs::new(
+                rng.random_range(lo..=hi),
+                rng.random_range(lo..=hi),
+                rng.random_range(lo..=hi),
+            )
+        }
+    };
+    UserSpec::new(prefs, routes)
 }
 
 /// Configuration of a single game replicate drawn from a [`UserPool`].
@@ -359,6 +400,42 @@ mod tests {
             let d = pool.distance_to_network(task.location.unwrap());
             assert!(d < 1e-6, "task off-network by {d} km");
         }
+    }
+
+    #[test]
+    fn sampled_arrival_matches_instantiate_rules() {
+        let pool = small_pool();
+        let cfg = ScenarioConfig {
+            n_users: 10,
+            n_tasks: 30,
+            seed: 13,
+            params: ScenarioParams::default(),
+        };
+        let game = pool.instantiate(&cfg);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let spec = pool.sample_arrival(game.tasks(), &cfg.params, &mut rng);
+            assert!(!spec.routes.is_empty() && spec.routes.len() <= 5);
+            for w in [spec.prefs.alpha, spec.prefs.beta, spec.prefs.gamma] {
+                assert!((0.1..=0.9).contains(&w));
+            }
+            for route in &spec.routes {
+                let geom = route
+                    .geometry
+                    .as_ref()
+                    .expect("arrival routes keep geometry");
+                for &tid in &route.tasks {
+                    let loc = game.task(tid).location.unwrap();
+                    assert!(point_polyline_distance(loc, geom) <= cfg.params.capture_radius + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_departures_are_finite() {
+        let pool = small_pool();
+        assert!(pool.users.iter().all(|u| u.depart.is_finite()));
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub mod synth;
 
 pub use csv::{parse_traces, write_traces, CsvError};
 pub use model::{Trace, TracePoint};
-pub use od::{extract_all, extract_od, snap_to_node, OdPair};
+pub use od::{
+    arrival_epochs, extract_all, extract_all_timed, extract_od, extract_od_timed, snap_to_node,
+    OdPair, TimedOd,
+};
 pub use stats::{trace_stats, Distribution, TraceStats};
 pub use synth::{generate_traces, CityProfile, TraceGenConfig};

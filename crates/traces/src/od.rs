@@ -54,6 +54,51 @@ pub fn extract_all(graph: &RoadGraph, traces: &[Trace]) -> Vec<OdPair> {
     traces.iter().filter_map(|t| extract_od(graph, t)).collect()
 }
 
+/// An OD pair together with the trace's departure timestamp — the raw
+/// material for synthesizing *timed* arrival streams (vehicles enter the
+/// platform when their trip starts, not all at once).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedOd {
+    /// The origin–destination pair.
+    pub od: OdPair,
+    /// Departure time of the underlying trace (seconds, trace clock).
+    pub depart: f64,
+}
+
+/// Extracts the timed OD pair of one trace (see [`extract_od`]).
+pub fn extract_od_timed(graph: &RoadGraph, trace: &Trace) -> Option<TimedOd> {
+    let depart = trace.first()?.t;
+    extract_od(graph, trace).map(|od| TimedOd { od, depart })
+}
+
+/// Extracts timed OD pairs from a whole dataset; same selection (and order)
+/// as [`extract_all`], with departure timestamps attached.
+pub fn extract_all_timed(graph: &RoadGraph, traces: &[Trace]) -> Vec<TimedOd> {
+    traces
+        .iter()
+        .filter_map(|t| extract_od_timed(graph, t))
+        .collect()
+}
+
+/// Buckets departure times into `n_epochs` equal-width epochs spanning
+/// `[min depart, max depart]`, returning how many departures fall in each —
+/// the empirical arrival intensity an online simulation uses to decide how
+/// many joins each epoch sees. Returns all-zero buckets for an empty input.
+pub fn arrival_epochs(departs: &[f64], n_epochs: usize) -> Vec<usize> {
+    let mut buckets = vec![0usize; n_epochs];
+    if departs.is_empty() || n_epochs == 0 {
+        return buckets;
+    }
+    let min = departs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = departs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    for &t in departs {
+        let e = (((t - min) / span) * n_epochs as f64) as usize;
+        buckets[e.min(n_epochs - 1)] += 1;
+    }
+    buckets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +173,39 @@ mod tests {
         assert!(extract_od(&g, &single).is_none());
         assert!(extract_od(&g, &empty).is_none());
         assert!(extract_all(&g, &[parked, single, empty]).is_empty());
+    }
+
+    #[test]
+    fn timed_extraction_keeps_departures() {
+        let g = city();
+        let cfg = TraceGenConfig {
+            profile: CityProfile::Shanghai,
+            n_traces: 10,
+            seed: 9,
+            gps_noise: 0.01,
+            sample_interval: 20.0,
+            min_trip_fraction: 0.3,
+        };
+        let traces = generate_traces(&g, &cfg);
+        let timed = extract_all_timed(&g, &traces);
+        let plain = extract_all(&g, &traces);
+        assert_eq!(timed.len(), plain.len());
+        for (t, p) in timed.iter().zip(&plain) {
+            assert_eq!(t.od, *p);
+            assert!(t.depart.is_finite());
+        }
+    }
+
+    #[test]
+    fn arrival_epochs_bucket_departures() {
+        let departs = [0.0, 1.0, 2.0, 3.0, 10.0];
+        let buckets = arrival_epochs(&departs, 5);
+        assert_eq!(buckets.iter().sum::<usize>(), departs.len());
+        assert_eq!(buckets[0], 2); // 0.0 and 1.0 fall in [0, 2)
+        assert_eq!(buckets[4], 1); // the max lands in the last bucket
+        assert_eq!(arrival_epochs(&[], 3), vec![0, 0, 0]);
+        assert!(arrival_epochs(&departs, 0).is_empty());
+        // Identical departures all land in bucket 0.
+        assert_eq!(arrival_epochs(&[5.0, 5.0], 2), vec![2, 0]);
     }
 }

@@ -11,6 +11,8 @@
 //! * [`scenario`] — dataset presets and game-instance construction;
 //! * [`algorithms`] — DGRN / MUUN / BRUN / BUAU / BATS / CORN / RRN;
 //! * [`runtime`] — the distributed message-passing execution substrate;
+//! * [`online`] — dynamic user churn: event streams, warm-start
+//!   re-equilibration and shard snapshots;
 //! * [`metrics`] — coverage, fairness, reward measures and replication.
 //!
 //! ## Quickstart
@@ -41,6 +43,7 @@
 pub use vcs_algorithms as algorithms;
 pub use vcs_core as core;
 pub use vcs_metrics as metrics;
+pub use vcs_online as online;
 pub use vcs_roadnet as roadnet;
 pub use vcs_runtime as runtime;
 pub use vcs_scenario as scenario;
@@ -60,8 +63,14 @@ pub mod prelude {
     pub use vcs_metrics::{
         average_reward, coverage, jain_index, overlap_ratio, profile_jain_index, Summary,
     };
+    pub use vcs_online::{
+        synthetic_stream, trace_stream, EventStream, OnlineAlgorithm, OnlineSim, Snapshot,
+        StreamConfig,
+    };
     pub use vcs_roadnet::{CityConfig, CityKind, NodeId, RoadGraph};
-    pub use vcs_runtime::{run_sync, run_threaded, SchedulerKind};
+    pub use vcs_runtime::{
+        run_sync, run_sync_churn, run_threaded, run_threaded_churn, SchedulerKind,
+    };
     pub use vcs_scenario::{replicate_seed, Dataset, ScenarioConfig, ScenarioParams, UserPool};
     pub use vcs_traces::{generate_traces, CityProfile, TraceGenConfig};
 }
