@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, TaskId, UserId};
 use vcs_core::response::{best_route_set, better_routes, BestResponse, ProfitView};
 use vcs_core::{potential, Engine, Game, Profile};
+use vcs_obs::{Event, Obs, ResponseKind};
 
 /// Per-user cache of PUU affected-task sets `B_i = L_{s_i} ∪ L_{s'}`, keyed
 /// by candidate route and implicitly by the user's current route.
@@ -165,6 +166,22 @@ pub fn run_distributed(
     run_distributed_from(game, algorithm, config, profile, &mut rng)
 }
 
+/// [`run_distributed`] with an observability handle: the engine emits
+/// per-commit `MoveCommitted` events and the driver adds
+/// `ResponseEvaluated` / `SlotCompleted` / `RunCompleted`. With a disabled
+/// handle this *is* `run_distributed` (same RNG stream, same trajectory —
+/// observation never influences the dynamics).
+pub fn run_distributed_observed(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+    obs: &Obs,
+) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let profile = random_initial_profile(game, &mut rng);
+    run_distributed_from_observed(game, algorithm, config, profile, &mut rng, obs)
+}
+
 /// Reference (naive) counterpart of [`run_distributed`]: same seed, same
 /// trajectory, but every slot re-derives responses, `ϕ` and the total profit
 /// from scratch instead of using the incremental [`Engine`]. Kept for the
@@ -196,8 +213,22 @@ pub fn run_distributed_from(
     profile: Profile,
     rng: &mut StdRng,
 ) -> RunOutcome {
+    run_distributed_from_observed(game, algorithm, config, profile, rng, &Obs::disabled())
+}
+
+/// [`run_distributed_from`] with an observability handle (see
+/// [`run_distributed_observed`]).
+pub fn run_distributed_from_observed(
+    game: &Game,
+    algorithm: DistributedAlgorithm,
+    config: &RunConfig,
+    profile: Profile,
+    rng: &mut StdRng,
+    obs: &Obs,
+) -> RunOutcome {
     let m = game.user_count();
     let mut engine = Engine::new(game, profile);
+    engine.set_obs(obs.clone());
     let mut slot_trace = Vec::new();
     let mut user_profit_trace = config.record_user_profits.then(Vec::new);
     let record = |engine: &Engine,
@@ -238,7 +269,13 @@ pub fn run_distributed_from(
                 cursor = (cursor + 1) % m;
                 slots += 1;
                 if cache[user.index()].is_none() {
-                    cache[user.index()] = Some(engine.best_route_set(user));
+                    let response = engine.best_route_set(user);
+                    obs.emit(|| Event::ResponseEvaluated {
+                        user: user.index() as u32,
+                        kind: ResponseKind::Best,
+                        improving: !response.best_routes.is_empty(),
+                    });
+                    cache[user.index()] = Some(response);
                 }
                 let response = cache[user.index()].as_ref().expect("just cached");
                 let choice = pick(&response.best_routes, rng).copied();
@@ -257,6 +294,12 @@ pub fn run_distributed_from(
                     0
                 };
                 record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+                obs.emit(|| Event::SlotCompleted {
+                    slot: slots as u64,
+                    updated: updated as u32,
+                    phi: engine.potential(),
+                    total_profit: engine.total_profit(),
+                });
             }
             converged = quiet >= m;
         }
@@ -299,9 +342,21 @@ pub fn run_distributed_from(
                 // RNG stream matches the naive driver exactly.
                 for user in engine.take_dirty() {
                     if brun {
-                        better_cache[user.index()] = engine.better_routes(user);
+                        let better = engine.better_routes(user);
+                        obs.emit(|| Event::ResponseEvaluated {
+                            user: user.index() as u32,
+                            kind: ResponseKind::Better,
+                            improving: !better.is_empty(),
+                        });
+                        better_cache[user.index()] = better;
                     } else {
-                        best_cache[user.index()] = engine.best_route_set(user);
+                        let response = engine.best_route_set(user);
+                        obs.emit(|| Event::ResponseEvaluated {
+                            user: user.index() as u32,
+                            kind: ResponseKind::Best,
+                            improving: !response.best_routes.is_empty(),
+                        });
+                        best_cache[user.index()] = response;
                     }
                     if let Some(cache) = &mut affected_cache {
                         cache.invalidate(user);
@@ -389,10 +444,22 @@ pub fn run_distributed_from(
                     DistributedAlgorithm::Bats => unreachable!("handled above"),
                 };
                 record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+                obs.emit(|| Event::SlotCompleted {
+                    slot: slots as u64,
+                    updated: updated as u32,
+                    phi: engine.potential(),
+                    total_profit: engine.total_profit(),
+                });
             }
         }
     }
 
+    obs.emit(|| Event::RunCompleted {
+        slots: slots as u64,
+        updates: updates as u64,
+        converged,
+        phi: engine.potential(),
+    });
     RunOutcome {
         profile: engine.into_profile(),
         slots,
@@ -689,6 +756,58 @@ mod tests {
             assert!(out.min_improvement.is_finite());
         } else {
             assert_eq!(out.min_improvement, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn observation_never_perturbs_the_run() {
+        use std::sync::Arc;
+        use vcs_obs::RingBufferSubscriber;
+        let game = medium_game(5);
+        for algo in DistributedAlgorithm::ALL {
+            let cfg = RunConfig::with_seed(17);
+            let plain = run_distributed(&game, algo, &cfg);
+            let ring = Arc::new(RingBufferSubscriber::new(1 << 20));
+            let observed = run_distributed_observed(&game, algo, &cfg, &Obs::new(ring.clone()));
+            assert_eq!(plain, observed, "{}: observed run diverged", algo.name());
+            let events = ring.events();
+            // One init anchor, one slot event per decision slot, one move
+            // event per update, one terminal event.
+            assert!(matches!(events[0], Event::EngineInit { .. }));
+            let slot_events = events
+                .iter()
+                .filter(|e| matches!(e, Event::SlotCompleted { .. }))
+                .count();
+            assert_eq!(slot_events, observed.slots, "{}", algo.name());
+            let move_events = events
+                .iter()
+                .filter(|e| matches!(e, Event::MoveCommitted { .. }))
+                .count();
+            assert_eq!(move_events, observed.updates, "{}", algo.name());
+            match events.last() {
+                Some(&Event::RunCompleted {
+                    slots,
+                    updates,
+                    converged,
+                    phi,
+                }) => {
+                    assert_eq!(slots as usize, observed.slots);
+                    assert_eq!(updates as usize, observed.updates);
+                    assert_eq!(converged, observed.converged);
+                    let terminal = observed.slot_trace.last().unwrap().potential;
+                    assert!((phi - terminal).abs() < 1e-12);
+                }
+                other => panic!("{}: expected RunCompleted, got {other:?}", algo.name()),
+            }
+            // The recorded trace reconstructs the ϕ trajectory within 1e-9.
+            let rec = vcs_obs::reconstruct_phi(&events).unwrap();
+            assert_eq!(rec.moves, observed.updates);
+            assert!(
+                rec.max_abs_err < 1e-9,
+                "{}: {}",
+                algo.name(),
+                rec.max_abs_err
+            );
         }
     }
 

@@ -1,0 +1,41 @@
+//! Observability overhead: the distributed dynamics with no observability
+//! handle at all vs a disabled [`Obs`] vs live subscribers. The disabled
+//! path must be free — `Obs::emit` is one `Option` branch and the event
+//! payload is never even constructed — and the `obs_report` binary measures
+//! the same comparison numerically into `BENCH_obs.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vcs_algorithms::{run_distributed, run_distributed_observed, DistributedAlgorithm, RunConfig};
+use vcs_bench::synthetic_game;
+use vcs_obs::{Obs, RingBufferSubscriber, StatsSubscriber};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for users in [100usize, 500] {
+        let game = synthetic_game(users, users.max(60), 11);
+        let config = RunConfig::with_seed(7);
+        let algo = DistributedAlgorithm::Dgrn;
+        group.bench_with_input(BenchmarkId::new("plain", users), &game, |b, game| {
+            b.iter(|| black_box(run_distributed(game, algo, &config).slots))
+        });
+        group.bench_with_input(BenchmarkId::new("noop", users), &game, |b, game| {
+            let obs = Obs::disabled();
+            b.iter(|| black_box(run_distributed_observed(game, algo, &config, &obs).slots))
+        });
+        group.bench_with_input(BenchmarkId::new("stats", users), &game, |b, game| {
+            let obs = Obs::new(Arc::new(StatsSubscriber::new()));
+            b.iter(|| black_box(run_distributed_observed(game, algo, &config, &obs).slots))
+        });
+        group.bench_with_input(BenchmarkId::new("ring", users), &game, |b, game| {
+            let obs = Obs::new(Arc::new(RingBufferSubscriber::new(1 << 16)));
+            b.iter(|| black_box(run_distributed_observed(game, algo, &config, &obs).slots))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

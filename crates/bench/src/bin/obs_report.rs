@@ -1,0 +1,133 @@
+//! `obs_report` — measures the cost of the observability layer on the
+//! distributed dynamics and writes `BENCH_obs.json` (repo root by default).
+//!
+//! Three configurations per size, all running the identical trajectory
+//! (observation never perturbs the run — test-enforced):
+//!
+//! * **plain** — `run_distributed`, no observability parameter at all;
+//! * **noop**  — `run_distributed_observed` with a disabled [`Obs`]: the
+//!   zero-cost path the acceptance criterion bounds at < 2% overhead;
+//! * **stats** — a live [`StatsSubscriber`] (atomic counters + histograms),
+//!   the realistic always-on production cost.
+//!
+//! Each rate is the best of several runs to damp scheduler noise. Pass
+//! `--smoke` for a fast CI variant (smallest size, fewer repetitions);
+//! pass a path to override the output file.
+
+use std::sync::Arc;
+use std::time::Instant;
+use vcs_algorithms::{run_distributed, run_distributed_observed, DistributedAlgorithm, RunConfig};
+use vcs_bench::synthetic_game;
+use vcs_obs::{Obs, StatsSubscriber};
+
+struct Row {
+    algorithm: &'static str,
+    users: usize,
+    slots: usize,
+    plain_slots_per_sec: f64,
+    noop_slots_per_sec: f64,
+    stats_slots_per_sec: f64,
+}
+
+impl Row {
+    /// No-op handle overhead relative to the plain driver, in percent
+    /// (positive = the disabled path is slower).
+    fn noop_overhead_pct(&self) -> f64 {
+        (self.plain_slots_per_sec / self.noop_slots_per_sec - 1.0) * 100.0
+    }
+
+    fn stats_overhead_pct(&self) -> f64 {
+        (self.plain_slots_per_sec / self.stats_slots_per_sec - 1.0) * 100.0
+    }
+}
+
+/// Best-of-`reps` slots/sec for one driver.
+fn measure(reps: usize, mut run: impl FnMut() -> usize) -> (usize, f64) {
+    let mut best = 0.0f64;
+    let mut slots = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        slots = run();
+        let rate = slots as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(rate);
+    }
+    (slots, best)
+}
+
+fn json_escape_free(rows: &[Row], smoke: bool) -> String {
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"observability overhead on run_distributed slots/sec\",\n  \"seed\": 7,\n  \"smoke\": {smoke},\n  \"rows\": [\n"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"users\": {}, \"slots\": {}, \"plain_slots_per_sec\": {:.1}, \"noop_slots_per_sec\": {:.1}, \"stats_slots_per_sec\": {:.1}, \"noop_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}}}{}\n",
+            row.algorithm,
+            row.users,
+            row.slots,
+            row.plain_slots_per_sec,
+            row.noop_slots_per_sec,
+            row.stats_slots_per_sec,
+            row.noop_overhead_pct(),
+            row.stats_overhead_pct(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut out_path = "BENCH_obs.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (sizes, reps): (&[usize], usize) = if smoke { (&[100], 3) } else { (&[100, 500], 7) };
+    let mut rows = Vec::new();
+    for &users in sizes {
+        let game = synthetic_game(users, users.max(60), 11);
+        let config = RunConfig::with_seed(7);
+        for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
+            // Warm up caches/allocator before timing anything.
+            let reference = run_distributed(&game, algo, &config);
+            let (slots, plain_rate) = measure(reps, || run_distributed(&game, algo, &config).slots);
+            assert_eq!(slots, reference.slots);
+            let noop = Obs::disabled();
+            let (noop_slots, noop_rate) = measure(reps, || {
+                run_distributed_observed(&game, algo, &config, &noop).slots
+            });
+            assert_eq!(noop_slots, slots, "disabled observation perturbed the run");
+            let stats_obs = Obs::new(Arc::new(StatsSubscriber::new()));
+            let (stats_slots, stats_rate) = measure(reps, || {
+                run_distributed_observed(&game, algo, &config, &stats_obs).slots
+            });
+            assert_eq!(stats_slots, slots, "live observation perturbed the run");
+            let row = Row {
+                algorithm: algo.name(),
+                users,
+                slots,
+                plain_slots_per_sec: plain_rate,
+                noop_slots_per_sec: noop_rate,
+                stats_slots_per_sec: stats_rate,
+            };
+            eprintln!(
+                "{:>4} users {:>4}: {} slots, plain {:>10.1}/s, noop {:>10.1}/s ({:+.2}%), stats {:>10.1}/s ({:+.2}%)",
+                row.algorithm,
+                row.users,
+                row.slots,
+                row.plain_slots_per_sec,
+                row.noop_slots_per_sec,
+                row.noop_overhead_pct(),
+                row.stats_slots_per_sec,
+                row.stats_overhead_pct(),
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::write(&out_path, json_escape_free(&rows, smoke)).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,107 @@
+//! `trace_report` — replays a captured JSONL event trace and reconstructs
+//! the ϕ trajectory from the incremental `phi_delta` stream, cross-checking
+//! it against the absolute ϕ values the engine recorded at emission time.
+//!
+//! Usage:
+//!
+//! * `trace_report <trace.jsonl>` — analyze an existing trace: print the
+//!   move/anchor counts, the final reconstructed ϕ and the maximum absolute
+//!   reconstruction error; exits nonzero if the error exceeds 1e-9.
+//! * `trace_report --selftest [dir]` — capture a fresh trace end-to-end
+//!   (observed DGRN and MUUN runs on a synthetic game, written through
+//!   [`JsonlSubscriber`]), then reconstruct it and verify the trajectory
+//!   matches the engine's values within 1e-9.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use vcs_algorithms::{run_distributed_observed, DistributedAlgorithm, RunConfig};
+use vcs_bench::synthetic_game;
+use vcs_obs::{reconstruct_phi, JsonlSubscriber, Obs};
+
+/// The acceptance tolerance: reconstructed ϕ must match the engine's
+/// recorded values to within this absolute error at every event.
+const TOLERANCE: f64 = 1e-9;
+
+fn analyze(path: &Path) -> ExitCode {
+    let events = match vcs_obs::trace::read_trace(path) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("trace_report: {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let recon = match reconstruct_phi(&events) {
+        Ok(recon) => recon,
+        Err(err) => {
+            eprintln!("trace_report: {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let last = recon.points.last();
+    println!("trace:    {}", path.display());
+    println!("events:   {}", events.len());
+    println!("moves:    {}", recon.moves);
+    println!("anchors:  {}", recon.anchors);
+    match last {
+        Some(point) => println!(
+            "final ϕ:  {:.12} (recorded {:.12})",
+            point.reconstructed, point.recorded
+        ),
+        None => println!("final ϕ:  (no ϕ-bearing events)"),
+    }
+    println!("max err:  {:.3e}", recon.max_abs_err);
+    if recon.max_abs_err <= TOLERANCE {
+        println!("PASS: reconstruction within {TOLERANCE:e}");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: reconstruction error exceeds {TOLERANCE:e}");
+        ExitCode::FAILURE
+    }
+}
+
+fn selftest(dir: &Path) -> ExitCode {
+    std::fs::create_dir_all(dir).expect("create trace directory");
+    let game = synthetic_game(80, 60, 11);
+    let mut failed = false;
+    for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
+        let path = dir.join(format!("trace_{}.jsonl", algo.name().to_lowercase()));
+        let subscriber = Arc::new(JsonlSubscriber::create(&path).expect("create trace file"));
+        let obs = Obs::new(subscriber.clone());
+        let outcome = run_distributed_observed(&game, algo, &RunConfig::with_seed(7), &obs);
+        subscriber.flush().expect("flush trace file");
+        eprintln!(
+            "{}: {} slots, {} updates, converged={}",
+            algo.name(),
+            outcome.slots,
+            outcome.updates,
+            outcome.converged
+        );
+        if analyze(&path) != ExitCode::SUCCESS {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--selftest") => {
+            let dir = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(std::env::temp_dir);
+            selftest(&dir)
+        }
+        Some(path) => analyze(Path::new(path)),
+        None => {
+            eprintln!("usage: trace_report <trace.jsonl> | trace_report --selftest [dir]");
+            ExitCode::FAILURE
+        }
+    }
+}

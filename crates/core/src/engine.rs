@@ -50,6 +50,7 @@ use crate::response::{best_route_set_in, better_routes_in, BestResponse, ProfitV
 use crate::route::Route;
 use crate::user::UserPrefs;
 use std::borrow::Cow;
+use vcs_obs::{Event, Obs};
 
 /// Per-task share and potential prefix tables.
 ///
@@ -241,6 +242,10 @@ pub struct Engine<'g> {
     /// `active[i]` — user `i` is on the platform (not a departed tombstone).
     active: Vec<bool>,
     n_active: usize,
+    /// Observability handle; disabled by default ([`Engine::set_obs`]).
+    /// Disabled, every emission is a single `None` branch — the event
+    /// payloads are built inside closures that never run.
+    obs: Obs,
 }
 
 impl<'g> Engine<'g> {
@@ -299,6 +304,7 @@ impl<'g> Engine<'g> {
             dirty: (0..n_users).map(UserId::from_index).collect(),
             active: vec![true; n_users],
             n_active: n_users,
+            obs: Obs::disabled(),
         };
         engine.phi = CompensatedSum::new(engine.potential_fresh());
         engine.total = CompensatedSum::new(engine.total_profit_fresh());
@@ -310,6 +316,26 @@ impl<'g> Engine<'g> {
     /// [`add_user`](Self::add_user)).
     pub fn new_owned(game: Game, profile: Profile) -> Engine<'static> {
         Engine::build(Cow::Owned(game), profile)
+    }
+
+    /// Attaches an observability handle and emits the
+    /// [`Event::EngineInit`] anchor (current ϕ / total profit), from which
+    /// `vcs_obs::reconstruct_phi` replays the trajectory of the
+    /// per-commit events. Pass [`Obs::disabled`] to detach.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.obs.emit(|| Event::EngineInit {
+            users: self.n_active as u32,
+            tasks: self.game.task_count() as u32,
+            phi: self.phi.value(),
+            total_profit: self.total.value(),
+        });
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`set_obs`](Self::set_obs) was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The game this engine prices (including departed tombstone users; see
@@ -413,6 +439,7 @@ impl<'g> Engine<'g> {
             dirty_flag,
             dirty,
             active,
+            obs,
             ..
         } = self;
         let game: &Game = game;
@@ -461,6 +488,16 @@ impl<'g> Engine<'g> {
         total.add(profit_delta);
         profile.apply_move(game, user, new_route);
         mark(dirty_flag, dirty, user);
+        obs.emit(|| Event::MoveCommitted {
+            user: user.index() as u32,
+            from_route: old_route.index() as u32,
+            to_route: new_route.index() as u32,
+            phi_delta,
+            // The mover's own gain: exactly `α_i·Δϕ` by Eq. 11.
+            profit_delta: alpha * phi_delta,
+            phi: phi.value(),
+            total_profit: total.value(),
+        });
         old_route
     }
 
@@ -532,6 +569,7 @@ impl<'g> Engine<'g> {
             dirty,
             active,
             n_active,
+            obs,
         } = self;
         let game: &Game = game;
         let u = &game.users()[user.index()];
@@ -589,6 +627,11 @@ impl<'g> Engine<'g> {
         total.add(profit_delta);
         profile.add_route_counts(&route.tasks);
         mark(dirty_flag, dirty, user);
+        obs.emit(|| Event::UserJoined {
+            user: user.index() as u32,
+            phi: phi.value(),
+            total_profit: total.value(),
+        });
         Ok(user)
     }
 
@@ -622,6 +665,7 @@ impl<'g> Engine<'g> {
             dirty,
             active,
             n_active,
+            obs,
         } = self;
         let game: &Game = game;
         let u = &game.users()[user.index()];
@@ -649,6 +693,11 @@ impl<'g> Engine<'g> {
         profile.remove_route_counts(&route.tasks);
         active[user.index()] = false;
         *n_active -= 1;
+        obs.emit(|| Event::UserLeft {
+            user: user.index() as u32,
+            phi: phi.value(),
+            total_profit: total.value(),
+        });
         Ok(choice)
     }
 

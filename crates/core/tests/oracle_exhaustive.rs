@@ -1,0 +1,287 @@
+//! Exhaustive small-game oracle: brute-force the **entire** strategy space
+//! of games with ≤ 6 users × ≤ 3 routes and check the theory against it.
+//!
+//! * Theorem 1/2 conformance: the set of Nash equilibria equals the set of
+//!   profiles with no single-move ϕ improvement (weighted potential game),
+//!   and the global ϕ-argmax is a Nash equilibrium.
+//! * Every distributed dynamics (DGRN, MUUN, BRUN, BUAU, BATS) terminates
+//!   at a member of the brute-forced equilibrium set, from every seed.
+//! * Theorem 5: on the structured special case the measured price of
+//!   anarchy (worst-NE total profit / optimum) respects the closed-form
+//!   lower bound.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig};
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::poa::{poa_lower_bound, special_case_optimal, SpecialCaseGame, SpecialCaseSpec};
+use vcs_core::response::EPSILON;
+use vcs_core::{potential, Game, PlatformParams, Profile, Route, Task, User, UserPrefs};
+
+const ALGORITHMS: [DistributedAlgorithm; 5] = [
+    DistributedAlgorithm::Dgrn,
+    DistributedAlgorithm::Muun,
+    DistributedAlgorithm::Brun,
+    DistributedAlgorithm::Buau,
+    DistributedAlgorithm::Bats,
+];
+
+/// Generates one seeded random game with at most `max_users` users and at
+/// most 3 routes per user — small enough to enumerate exhaustively.
+fn small_game(seed: u64, max_users: usize) -> Game {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_tasks = rng.random_range(2..=6usize);
+    let n_users = rng.random_range(2..=max_users);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|k| {
+            Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            )
+        })
+        .collect();
+    let users: Vec<User> = (0..n_users)
+        .map(|i| {
+            let n_routes = rng.random_range(2..=3usize);
+            let routes = (0..n_routes)
+                .map(|r| {
+                    let mut covered: Vec<TaskId> = (0..rng.random_range(1..4usize))
+                        .map(|_| TaskId::from_index(rng.random_range(0..n_tasks)))
+                        .collect();
+                    covered.sort_unstable();
+                    covered.dedup();
+                    Route::new(
+                        RouteId::from_index(r),
+                        covered,
+                        rng.random_range(0.0..3.0),
+                        rng.random_range(0.0..3.0),
+                    )
+                })
+                .collect();
+            User::new(
+                UserId::from_index(i),
+                UserPrefs::new(
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                ),
+                routes,
+            )
+        })
+        .collect();
+    Game::with_paper_bounds(
+        tasks,
+        users,
+        PlatformParams::new(rng.random_range(0.1..0.8), rng.random_range(0.1..0.8)),
+    )
+    .expect("generated instance is valid")
+}
+
+/// Every strategy profile of the game, odometer order.
+fn all_profiles(game: &Game) -> Vec<Vec<RouteId>> {
+    let dims: Vec<usize> = game.users().iter().map(|u| u.routes.len()).collect();
+    let total: usize = dims.iter().product();
+    assert!(total <= 729, "oracle game too large to enumerate");
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; dims.len()];
+    loop {
+        out.push(idx.iter().map(|&r| RouteId::from_index(r)).collect());
+        let mut pos = 0;
+        loop {
+            if pos == dims.len() {
+                return out;
+            }
+            idx[pos] += 1;
+            if idx[pos] < dims[pos] {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Independent Nash check: no user can raise its own profit by more than
+/// [`EPSILON`] with a unilateral route switch (the dynamics' stopping rule).
+fn oracle_is_nash(game: &Game, profile: &Profile) -> bool {
+    game.users().iter().all(|user| {
+        let current = profile.profit(game, user.id);
+        (0..user.routes.len()).all(|r| {
+            profile.profit_if_switched(game, user.id, RouteId::from_index(r)) <= current + EPSILON
+        })
+    })
+}
+
+/// No unilateral move raises ϕ by more than a weighted epsilon — the
+/// potential-side fixed-point condition of Theorem 2.
+fn oracle_is_phi_local_max(game: &Game, profile: &Profile) -> bool {
+    let phi = potential(game, profile);
+    game.users().iter().enumerate().all(|(i, user)| {
+        // P_i(s') − P_i(s) = α_i (ϕ(s') − ϕ(s)): an EPSILON profit gain
+        // corresponds to an EPSILON/α_i potential gain.
+        let alpha = user.prefs.alpha;
+        (0..user.routes.len()).all(|r| {
+            let mut choices = profile.choices().to_vec();
+            choices[i] = RouteId::from_index(r);
+            let switched = Profile::new(game, choices);
+            potential(game, &switched) <= phi + EPSILON / alpha
+        })
+    })
+}
+
+/// The brute-forced ground truth for one game.
+struct Oracle {
+    equilibria: Vec<Vec<RouteId>>,
+    phi_argmax: Vec<RouteId>,
+    best_total: f64,
+    worst_ne_total: f64,
+}
+
+fn brute_force(game: &Game) -> Oracle {
+    let mut equilibria = Vec::new();
+    let mut phi_argmax = None;
+    let mut best_phi = f64::NEG_INFINITY;
+    let mut best_total = f64::NEG_INFINITY;
+    let mut worst_ne_total = f64::INFINITY;
+    for choices in all_profiles(game) {
+        let profile = Profile::new(game, choices.clone());
+        let phi = potential(game, &profile);
+        let total = profile.total_profit(game);
+        best_total = best_total.max(total);
+        if phi > best_phi {
+            best_phi = phi;
+            phi_argmax = Some(choices.clone());
+        }
+        if oracle_is_nash(game, &profile) {
+            worst_ne_total = worst_ne_total.min(total);
+            equilibria.push(choices);
+        }
+    }
+    Oracle {
+        equilibria,
+        phi_argmax: phi_argmax.expect("non-empty strategy space"),
+        best_total,
+        worst_ne_total,
+    }
+}
+
+fn oracle_games() -> Vec<Game> {
+    (0..8u64).map(|seed| small_game(seed, 6)).collect()
+}
+
+#[test]
+fn equilibria_exist_and_phi_argmax_is_one() {
+    for (g, game) in oracle_games().iter().enumerate() {
+        let oracle = brute_force(game);
+        // Theorem 1/2: a potential game always has a pure NE, and the
+        // global ϕ maximizer is one of them.
+        assert!(!oracle.equilibria.is_empty(), "game {g}: no equilibrium");
+        let argmax = Profile::new(game, oracle.phi_argmax.clone());
+        assert!(
+            oracle_is_nash(game, &argmax),
+            "game {g}: ϕ-argmax is not a Nash equilibrium"
+        );
+        assert!(
+            oracle.equilibria.contains(&oracle.phi_argmax),
+            "game {g}: ϕ-argmax missing from the equilibrium set"
+        );
+    }
+}
+
+#[test]
+fn nash_set_equals_phi_local_maxima() {
+    // The weighted-potential identity makes the two fixed-point notions
+    // coincide profile-by-profile — checked over the full strategy space.
+    for (g, game) in oracle_games().iter().enumerate() {
+        for choices in all_profiles(game) {
+            let profile = Profile::new(game, choices);
+            assert_eq!(
+                oracle_is_nash(game, &profile),
+                oracle_is_phi_local_max(game, &profile),
+                "game {g}: NE and ϕ-local-max disagree on {:?}",
+                profile.choices()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_dynamics_terminates_in_the_oracle_equilibrium_set() {
+    for (g, game) in oracle_games().iter().enumerate() {
+        let oracle = brute_force(game);
+        for algo in ALGORITHMS {
+            for seed in 0..5u64 {
+                let out = run_distributed(game, algo, &RunConfig::with_seed(seed));
+                assert!(
+                    out.converged,
+                    "game {g} {algo:?} seed {seed}: no fixed point"
+                );
+                assert!(
+                    oracle.equilibria.contains(&out.profile.choices().to_vec()),
+                    "game {g} {algo:?} seed {seed}: terminal profile {:?} is not \
+                     in the brute-forced equilibrium set",
+                    out.profile.choices()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem5_poa_bound_holds_on_the_special_case() {
+    // ≤ 3 routes per user ⇒ at most 2 shared tasks; ≤ 6 users keeps the
+    // full space ≤ 3^6 profiles.
+    let specs = [
+        SpecialCaseSpec {
+            shared_base_reward: 11.0,
+            private_rewards: vec![3.0, 9.0],
+            shared_tasks: 2,
+        },
+        SpecialCaseSpec {
+            shared_base_reward: 12.0,
+            private_rewards: vec![2.0, 4.0, 6.0, 8.0],
+            shared_tasks: 2,
+        },
+        SpecialCaseSpec {
+            shared_base_reward: 10.0,
+            private_rewards: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            shared_tasks: 1,
+        },
+        SpecialCaseSpec {
+            shared_base_reward: 14.0,
+            private_rewards: vec![5.0, 5.0, 5.0, 5.0, 5.0],
+            shared_tasks: 2,
+        },
+    ];
+    for spec in specs {
+        let sc = SpecialCaseGame::build(spec.clone());
+        let oracle = brute_force(&sc.game);
+        assert!(!oracle.equilibria.is_empty(), "{spec:?}: no equilibrium");
+        // The closed-form optimum matches the brute-forced one.
+        let closed = special_case_optimal(&sc);
+        assert!(
+            (closed - oracle.best_total).abs() < 1e-9,
+            "{spec:?}: closed-form optimum {closed} vs brute force {}",
+            oracle.best_total
+        );
+        // Theorem 5 sandwich on the *measured* price of anarchy.
+        let measured_poa = oracle.worst_ne_total / oracle.best_total;
+        let bound = poa_lower_bound(&sc);
+        assert!(
+            measured_poa >= bound - 1e-9,
+            "{spec:?}: measured PoA {measured_poa} violates bound {bound}"
+        );
+        assert!(measured_poa <= 1.0 + 1e-9, "{spec:?}: PoA above 1");
+        // And the dynamics land inside the equilibrium set here too.
+        for seed in 0..3u64 {
+            let out = run_distributed(
+                &sc.game,
+                DistributedAlgorithm::Dgrn,
+                &RunConfig::with_seed(seed),
+            );
+            assert!(out.converged);
+            assert!(oracle.equilibria.contains(&out.profile.choices().to_vec()));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The slot-level event taxonomy.
+
+/// Which response rule produced an evaluation (Alg. 1 best response vs the
+/// BRUN/BATS better-response rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// A full best-response scan (`Δ_i(t)` argmax).
+    Best,
+    /// A better-response scan (any strictly improving route).
+    Better,
+}
+
+impl ResponseKind {
+    /// Stable lower-case tag used by the JSONL codec.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ResponseKind::Best => "best",
+            ResponseKind::Better => "better",
+        }
+    }
+}
+
+/// One structured observability event.
+///
+/// Every variant carries plain `u32`/`u64`/`f64` payloads (no `vcs-core`
+/// newtypes: this crate sits *below* core in the dependency graph). Events
+/// are `Copy`, so subscribers can buffer them without allocation.
+///
+/// The ϕ-carrying variants record the engine's *incrementally maintained*
+/// potential and total profit at the instant of emission; `MoveCommitted`
+/// additionally records the exact per-move deltas, which is what lets
+/// [`crate::reconstruct_phi`] rebuild the full trajectory from a trace and
+/// cross-check it against the absolutes within `1e-9`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An engine was placed under observation (emitted by
+    /// `Engine::set_obs`): the anchor point of a ϕ trajectory.
+    EngineInit {
+        /// Active users on the platform.
+        users: u32,
+        /// Tasks in the game.
+        tasks: u32,
+        /// Potential `ϕ(s)` at attach time.
+        phi: f64,
+        /// Total profit `Σ_i P_i(s)` at attach time.
+        total_profit: f64,
+    },
+    /// A user committed a route switch (`Engine::apply_move` with
+    /// `from_route != to_route`).
+    MoveCommitted {
+        /// The moving user.
+        user: u32,
+        /// Route before the switch.
+        from_route: u32,
+        /// Route after the switch.
+        to_route: u32,
+        /// Exact potential delta of this move.
+        phi_delta: f64,
+        /// The mover's own profit change `α_i·Δϕ` (Eq. 11).
+        profit_delta: f64,
+        /// Potential after the move.
+        phi: f64,
+        /// Total profit after the move.
+        total_profit: f64,
+    },
+    /// A user joined the live platform (`Engine::add_user`).
+    UserJoined {
+        /// The arriving user's id.
+        user: u32,
+        /// Potential after the join.
+        phi: f64,
+        /// Total profit after the join.
+        total_profit: f64,
+    },
+    /// A user left the live platform (`Engine::remove_user`).
+    UserLeft {
+        /// The departing user's id.
+        user: u32,
+        /// Potential after the leave.
+        phi: f64,
+        /// Total profit after the leave.
+        total_profit: f64,
+    },
+    /// A dynamics driver evaluated one user's response rule.
+    ResponseEvaluated {
+        /// The evaluated user.
+        user: u32,
+        /// Best- or better-response scan.
+        kind: ResponseKind,
+        /// Whether a strictly improving route was found.
+        improving: bool,
+    },
+    /// A decision slot finished.
+    SlotCompleted {
+        /// Slot number (1-based, matching `SlotTrace`).
+        slot: u64,
+        /// Users that switched route this slot.
+        updated: u32,
+        /// Potential at end of slot.
+        phi: f64,
+        /// Total profit at end of slot.
+        total_profit: f64,
+    },
+    /// The platform (or an agent) put a frame on the channel.
+    FrameSent {
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// A frame was received and decoded.
+    FrameReceived {
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// The lossy channel dropped a frame (before any retry).
+    FrameDropped {
+        /// Encoded frame length in bytes.
+        bytes: u32,
+    },
+    /// The stop-and-wait ARQ re-sent a frame.
+    Retransmission {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// An online churn epoch began (after its Join/Leave batch applied).
+    EpochStarted {
+        /// Epoch number (0-based).
+        epoch: u32,
+        /// Users that joined in this epoch's batch.
+        joins: u32,
+        /// Users that left in this epoch's batch.
+        leaves: u32,
+        /// Active users after the batch.
+        active: u32,
+    },
+    /// An online churn epoch re-converged (or hit its slot cap).
+    EpochConverged {
+        /// Epoch number (0-based).
+        epoch: u32,
+        /// Slots the warm re-equilibration took.
+        slots: u64,
+        /// Whether an equilibrium was certified within the cap.
+        converged: bool,
+        /// Potential at the epoch equilibrium.
+        phi: f64,
+    },
+    /// A dynamics run finished (terminal event of `run_distributed`).
+    RunCompleted {
+        /// Total decision slots.
+        slots: u64,
+        /// Total route switches.
+        updates: u64,
+        /// Whether the run certified an equilibrium.
+        converged: bool,
+        /// Terminal potential.
+        phi: f64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case tag used by the JSONL codec and the Prometheus
+    /// counter names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::EngineInit { .. } => "engine_init",
+            Event::MoveCommitted { .. } => "move_committed",
+            Event::UserJoined { .. } => "user_joined",
+            Event::UserLeft { .. } => "user_left",
+            Event::ResponseEvaluated { .. } => "response_evaluated",
+            Event::SlotCompleted { .. } => "slot_completed",
+            Event::FrameSent { .. } => "frame_sent",
+            Event::FrameReceived { .. } => "frame_received",
+            Event::FrameDropped { .. } => "frame_dropped",
+            Event::Retransmission { .. } => "retransmission",
+            Event::EpochStarted { .. } => "epoch_started",
+            Event::EpochConverged { .. } => "epoch_converged",
+            Event::RunCompleted { .. } => "run_completed",
+        }
+    }
+}

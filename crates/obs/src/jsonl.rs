@@ -1,0 +1,93 @@
+//! Streaming JSONL trace exporter.
+
+use crate::event::Event;
+use crate::subscriber::Subscriber;
+use crate::trace::event_to_json;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes every event as one JSON line to a buffered file.
+///
+/// The writer sits behind a mutex (events from the threaded runtime
+/// interleave but never tear) and is flushed on [`flush`](Self::flush) and
+/// on drop. The line format is the one [`crate::trace::parse_line`]
+/// reads back; `trace_report` consumes these files.
+pub struct JsonlSubscriber {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl std::fmt::Debug for JsonlSubscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSubscriber")
+    }
+}
+
+impl JsonlSubscriber {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().flush()
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn event(&self, event: &Event) {
+        let line = event_to_json(event);
+        let mut writer = self.writer.lock();
+        // A full disk mid-trace must not take the run down with it; the
+        // trace is diagnostics, the run is the product.
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+}
+
+impl Drop for JsonlSubscriber {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::read_trace;
+
+    #[test]
+    fn written_trace_reads_back() {
+        let path = std::env::temp_dir().join("vcs_obs_jsonl_roundtrip.jsonl");
+        let events = [
+            Event::EngineInit {
+                users: 2,
+                tasks: 3,
+                phi: 0.75,
+                total_profit: 1.5,
+            },
+            Event::FrameSent { bytes: 41 },
+            Event::RunCompleted {
+                slots: 4,
+                updates: 2,
+                converged: true,
+                phi: 0.75,
+            },
+        ];
+        {
+            let sub = JsonlSubscriber::create(&path).unwrap();
+            for event in &events {
+                sub.event(event);
+            }
+            sub.flush().unwrap();
+        }
+        let read = read_trace(&path).unwrap();
+        assert_eq!(read, events);
+        let _ = std::fs::remove_file(&path);
+    }
+}

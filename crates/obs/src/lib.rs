@@ -1,0 +1,42 @@
+//! Zero-cost-when-disabled structured observability for the VCS workspace.
+//!
+//! The distributed dynamics of the paper (Alg. 1/2, PUU) are only
+//! trustworthy at production scale if every decision slot is *visible*: who
+//! updated, how the potential `ϕ` moved, how many frames and retransmissions
+//! the channel cost, how fast each churn epoch re-converged. This crate is
+//! the event layer the rest of the workspace instruments itself with:
+//!
+//! * [`Event`] — the slot-level event taxonomy (engine commits, response
+//!   evaluations, slot/epoch boundaries, frame-level TX/RX/ARQ);
+//! * [`Subscriber`] — the sink trait; [`NoopSubscriber`] (overhead
+//!   measurement), [`RingBufferSubscriber`] (lock-cheap bounded capture),
+//!   [`StatsSubscriber`] (atomic counters + log-bucketed histograms with a
+//!   Prometheus-style text dump) and [`JsonlSubscriber`] (streaming JSONL
+//!   trace file);
+//! * [`Obs`] — the handle instrumented code holds. Disabled it is a single
+//!   `Option` branch: [`Obs::emit`] takes a *closure* so event construction
+//!   is never executed unless a subscriber is attached (measured < 2%
+//!   overhead on the engine benchmark, see `BENCH_obs.json`);
+//! * [`trace`] helpers — parse a JSONL trace back into events and
+//!   reconstruct the ϕ trajectory from per-move deltas
+//!   ([`reconstruct_phi`]), cross-checked against the absolute values the
+//!   engine recorded (the `trace_report` bin in `vcs-bench` drives this).
+//!
+//! This crate is a dependency *leaf* (only the vendored `parking_lot`), so
+//! `vcs-core` itself can depend on it; events therefore carry raw `u32`/
+//! `u64` ids rather than `vcs-core` newtypes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod jsonl;
+mod stats;
+mod subscriber;
+pub mod trace;
+
+pub use event::{Event, ResponseKind};
+pub use jsonl::JsonlSubscriber;
+pub use stats::{Histogram, StatsSubscriber};
+pub use subscriber::{NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
+pub use trace::{reconstruct_phi, PhiPoint, PhiReconstruction, TraceError};

@@ -1,0 +1,382 @@
+//! Atomic counters and log-bucketed histograms with a Prometheus-style
+//! text dump.
+
+use crate::event::{Event, ResponseKind};
+use crate::subscriber::Subscriber;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket histogram safe to record into from many threads.
+///
+/// Buckets are cumulative-upper-bound style (Prometheus `le` semantics):
+/// `bounds[j]` holds observations `v ≤ bounds[j]` not captured by an
+/// earlier bucket, plus one implicit `+Inf` bucket. The sum is kept as
+/// f64 bits behind a compare-exchange loop — no locks, no unsafe.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds (an implicit
+    /// `+Inf` bucket is appended).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Renders the histogram in Prometheus text exposition format.
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (j, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[j].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {:?}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $field:ident),* $(,)?) => {
+        /// Lifetime counters of the stats subscriber (all relaxed atomics).
+        #[derive(Debug, Default)]
+        struct Counters {
+            $($(#[$doc])* $field: AtomicU64,)*
+        }
+
+        impl Counters {
+            fn render(&self, out: &mut String) {
+                $(
+                    let _ = writeln!(out, "# TYPE vcs_{}_total counter", stringify!($field));
+                    let _ = writeln!(
+                        out,
+                        "vcs_{}_total {}",
+                        stringify!($field),
+                        self.$field.load(Ordering::Relaxed)
+                    );
+                )*
+            }
+        }
+    };
+}
+
+counters! {
+    slots,
+    moves,
+    joins,
+    leaves,
+    best_responses,
+    better_responses,
+    improving_responses,
+    frames_sent,
+    frames_received,
+    frames_dropped,
+    bytes_sent,
+    bytes_received,
+    retransmissions,
+    epochs_started,
+    epochs_converged,
+    runs_completed,
+}
+
+/// Aggregating subscriber: counts every event class and buckets ϕ-move
+/// magnitudes, frame sizes and per-epoch re-convergence slot counts.
+///
+/// All updates are relaxed atomics (plus a CAS loop for the float sums), so
+/// it is cheap enough to leave attached to a threaded run. Snapshot with
+/// the typed accessors or dump everything with
+/// [`prometheus_text`](StatsSubscriber::prometheus_text).
+#[derive(Debug)]
+pub struct StatsSubscriber {
+    counters: Counters,
+    /// `|Δϕ|` magnitudes of committed moves, decade buckets.
+    phi_delta: Histogram,
+    /// Sent/received frame sizes in bytes.
+    frame_bytes: Histogram,
+    /// Warm re-convergence slots per churn epoch.
+    epoch_slots: Histogram,
+}
+
+impl Default for StatsSubscriber {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsSubscriber {
+    /// A fresh all-zero subscriber.
+    pub fn new() -> Self {
+        Self {
+            counters: Counters::default(),
+            phi_delta: Histogram::new(&[1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 1e1, 1e3]),
+            frame_bytes: Histogram::new(&[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0]),
+            epoch_slots: Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]),
+        }
+    }
+
+    /// Decision slots completed.
+    pub fn slots(&self) -> u64 {
+        self.counters.slots.load(Ordering::Relaxed)
+    }
+
+    /// Route switches committed.
+    pub fn moves(&self) -> u64 {
+        self.counters.moves.load(Ordering::Relaxed)
+    }
+
+    /// Best-response evaluations.
+    pub fn best_responses(&self) -> u64 {
+        self.counters.best_responses.load(Ordering::Relaxed)
+    }
+
+    /// Better-response evaluations.
+    pub fn better_responses(&self) -> u64 {
+        self.counters.better_responses.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that found a strictly improving route.
+    pub fn improving_responses(&self) -> u64 {
+        self.counters.improving_responses.load(Ordering::Relaxed)
+    }
+
+    /// Frames sent / received / dropped.
+    pub fn frames(&self) -> (u64, u64, u64) {
+        (
+            self.counters.frames_sent.load(Ordering::Relaxed),
+            self.counters.frames_received.load(Ordering::Relaxed),
+            self.counters.frames_dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// ARQ retransmissions.
+    pub fn retransmissions(&self) -> u64 {
+        self.counters.retransmissions.load(Ordering::Relaxed)
+    }
+
+    /// Churn epochs started / converged.
+    pub fn epochs(&self) -> (u64, u64) {
+        (
+            self.counters.epochs_started.load(Ordering::Relaxed),
+            self.counters.epochs_converged.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Users joined / left under observation.
+    pub fn churn(&self) -> (u64, u64) {
+        (
+            self.counters.joins.load(Ordering::Relaxed),
+            self.counters.leaves.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The `|Δϕ|` histogram of committed moves.
+    pub fn phi_delta_histogram(&self) -> &Histogram {
+        &self.phi_delta
+    }
+
+    /// The per-epoch warm re-convergence slot histogram.
+    pub fn epoch_slots_histogram(&self) -> &Histogram {
+        &self.epoch_slots
+    }
+
+    /// Dumps every counter and histogram in Prometheus text exposition
+    /// format (`vcs_*_total` counters, `vcs_*` histograms).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        self.counters.render(&mut out);
+        self.phi_delta.render("vcs_phi_delta_abs", &mut out);
+        self.frame_bytes.render("vcs_frame_bytes", &mut out);
+        self.epoch_slots.render("vcs_epoch_slots", &mut out);
+        out
+    }
+}
+
+impl Subscriber for StatsSubscriber {
+    fn event(&self, event: &Event) {
+        let c = &self.counters;
+        match *event {
+            Event::EngineInit { .. } => {}
+            Event::MoveCommitted { phi_delta, .. } => {
+                c.moves.fetch_add(1, Ordering::Relaxed);
+                self.phi_delta.record(phi_delta.abs());
+            }
+            Event::UserJoined { .. } => {
+                c.joins.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::UserLeft { .. } => {
+                c.leaves.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ResponseEvaluated {
+                kind, improving, ..
+            } => {
+                match kind {
+                    ResponseKind::Best => c.best_responses.fetch_add(1, Ordering::Relaxed),
+                    ResponseKind::Better => c.better_responses.fetch_add(1, Ordering::Relaxed),
+                };
+                if improving {
+                    c.improving_responses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::SlotCompleted { .. } => {
+                c.slots.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::FrameSent { bytes } => {
+                c.frames_sent.fetch_add(1, Ordering::Relaxed);
+                c.bytes_sent.fetch_add(u64::from(bytes), Ordering::Relaxed);
+                self.frame_bytes.record(f64::from(bytes));
+            }
+            Event::FrameReceived { bytes } => {
+                c.frames_received.fetch_add(1, Ordering::Relaxed);
+                c.bytes_received
+                    .fetch_add(u64::from(bytes), Ordering::Relaxed);
+                self.frame_bytes.record(f64::from(bytes));
+            }
+            Event::FrameDropped { .. } => {
+                c.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Retransmission { .. } => {
+                c.retransmissions.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::EpochStarted { .. } => {
+                c.epochs_started.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::EpochConverged {
+                slots, converged, ..
+            } => {
+                if converged {
+                    c.epochs_converged.fetch_add(1, Ordering::Relaxed);
+                }
+                self.epoch_slots.record(slots as f64);
+            }
+            Event::RunCompleted { .. } => {
+                c.runs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-12);
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"1.0\"} 1"));
+        assert!(out.contains("t_bucket{le=\"10.0\"} 2"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("t_count 3"));
+    }
+
+    #[test]
+    fn stats_counts_by_event_class() {
+        let stats = StatsSubscriber::new();
+        stats.event(&Event::SlotCompleted {
+            slot: 1,
+            updated: 2,
+            phi: 0.0,
+            total_profit: 0.0,
+        });
+        stats.event(&Event::MoveCommitted {
+            user: 0,
+            from_route: 0,
+            to_route: 1,
+            phi_delta: -0.25,
+            profit_delta: -0.125,
+            phi: 1.0,
+            total_profit: 2.0,
+        });
+        stats.event(&Event::ResponseEvaluated {
+            user: 0,
+            kind: ResponseKind::Best,
+            improving: true,
+        });
+        stats.event(&Event::ResponseEvaluated {
+            user: 1,
+            kind: ResponseKind::Better,
+            improving: false,
+        });
+        stats.event(&Event::FrameSent { bytes: 100 });
+        stats.event(&Event::FrameReceived { bytes: 100 });
+        stats.event(&Event::FrameDropped { bytes: 100 });
+        stats.event(&Event::Retransmission { attempt: 1 });
+        stats.event(&Event::EpochStarted {
+            epoch: 0,
+            joins: 1,
+            leaves: 0,
+            active: 5,
+        });
+        stats.event(&Event::EpochConverged {
+            epoch: 0,
+            slots: 3,
+            converged: true,
+            phi: 1.0,
+        });
+        assert_eq!(stats.slots(), 1);
+        assert_eq!(stats.moves(), 1);
+        assert_eq!(stats.best_responses(), 1);
+        assert_eq!(stats.better_responses(), 1);
+        assert_eq!(stats.improving_responses(), 1);
+        assert_eq!(stats.frames(), (1, 1, 1));
+        assert_eq!(stats.retransmissions(), 1);
+        assert_eq!(stats.epochs(), (1, 1));
+        assert_eq!(stats.phi_delta_histogram().count(), 1);
+        let text = stats.prometheus_text();
+        assert!(text.contains("vcs_slots_total 1"));
+        assert!(text.contains("vcs_bytes_sent_total 100"));
+        assert!(text.contains("# TYPE vcs_phi_delta_abs histogram"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Subscriber`] sink trait, the [`Obs`] handle instrumented code
+//! holds, and the two structural subscribers ([`NoopSubscriber`],
+//! [`RingBufferSubscriber`]).
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A sink for [`Event`]s.
+///
+/// Implementations must be `Send + Sync`: the threaded runtime emits from
+/// one thread per agent plus the platform thread, and the stats subscriber
+/// is read while a run is in flight. `event` takes `&self`; interior
+/// mutability (atomics, a short critical section) is the implementor's
+/// choice.
+pub trait Subscriber: Send + Sync {
+    /// Delivers one event. Called synchronously on the emitting thread —
+    /// keep it cheap; the instrumented hot paths (engine moves, frame
+    /// delivery) run it inline.
+    fn event(&self, event: &Event);
+}
+
+/// The observability handle instrumented code holds.
+///
+/// Internally an `Option<Arc<dyn Subscriber>>`. The crucial property is the
+/// shape of [`Obs::emit`]: it takes a **closure**, so when the handle is
+/// [`disabled`](Obs::disabled) the cost is a single `None` branch and the
+/// event payload (floats, counters) is never even constructed. This is what
+/// keeps the engine's no-op overhead under 2% on the `BENCH_obs.json`
+/// benchmark.
+///
+/// Cloning an enabled handle clones the `Arc` — an engine, a platform and
+/// an epoch scheduler can all share one subscriber.
+#[derive(Clone, Default)]
+pub struct Obs(Option<Arc<dyn Subscriber>>);
+
+impl Obs {
+    /// A handle with no subscriber: every [`emit`](Obs::emit) is one branch.
+    pub const fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// A handle delivering to `subscriber`.
+    pub fn new(subscriber: Arc<dyn Subscriber>) -> Self {
+        Obs(Some(subscriber))
+    }
+
+    /// Whether a subscriber is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits the event produced by `make` — iff a subscriber is attached.
+    /// The closure is not called otherwise.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(subscriber) = &self.0 {
+            subscriber.event(&make());
+        }
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Obs(enabled)"
+        } else {
+            "Obs(disabled)"
+        })
+    }
+}
+
+/// Discards every event. Exists so the overhead benchmark can price the
+/// *enabled* dispatch path (branch + dynamic call + event construction)
+/// separately from any real sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    #[inline]
+    fn event(&self, _event: &Event) {}
+}
+
+/// A bounded in-memory capture: keeps the most recent `capacity` events
+/// behind one short mutexed critical section (push into a pre-grown ring,
+/// no allocation after warm-up).
+#[derive(Debug)]
+pub struct RingBufferSubscriber {
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: Vec<Event>,
+    capacity: usize,
+    /// Overwrite cursor once `events` is full.
+    next: usize,
+    /// Total events ever delivered (≥ `events.len()`).
+    total: u64,
+}
+
+impl RingBufferSubscriber {
+    /// A ring keeping the most recent `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: Mutex::new(Ring {
+                events: Vec::with_capacity(capacity.min(1 << 16)),
+                capacity,
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Total events delivered over the subscriber's lifetime (including
+    /// ones already overwritten).
+    pub fn total(&self) -> u64 {
+        self.ring.lock().total
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let ring = self.ring.lock();
+        let mut out = Vec::with_capacity(ring.events.len());
+        // `next` is the oldest element once the ring has wrapped.
+        out.extend_from_slice(&ring.events[ring.next..]);
+        out.extend_from_slice(&ring.events[..ring.next]);
+        out
+    }
+
+    /// Drops all retained events (the lifetime `total` is kept).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock();
+        ring.events.clear();
+        ring.next = 0;
+    }
+}
+
+impl Subscriber for RingBufferSubscriber {
+    fn event(&self, event: &Event) {
+        let mut ring = self.ring.lock();
+        ring.total += 1;
+        if ring.events.len() < ring.capacity {
+            ring.events.push(*event);
+        } else {
+            let at = ring.next;
+            ring.events[at] = *event;
+            ring.next = (at + 1) % ring.capacity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(n: u64) -> Event {
+        Event::SlotCompleted {
+            slot: n,
+            updated: 1,
+            phi: n as f64,
+            total_profit: 0.0,
+        }
+    }
+
+    #[test]
+    fn disabled_obs_never_runs_the_closure() {
+        let obs = Obs::disabled();
+        let mut ran = false;
+        obs.emit(|| {
+            ran = true;
+            slot(0)
+        });
+        assert!(!ran);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn enabled_obs_delivers() {
+        let ring = Arc::new(RingBufferSubscriber::new(8));
+        let obs = Obs::new(ring.clone());
+        assert!(obs.enabled());
+        obs.emit(|| slot(1));
+        assert_eq!(ring.events(), vec![slot(1)]);
+        assert_eq!(ring.total(), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_in_order() {
+        let ring = RingBufferSubscriber::new(3);
+        for n in 0..5 {
+            ring.event(&slot(n));
+        }
+        assert_eq!(ring.events(), vec![slot(2), slot(3), slot(4)]);
+        assert_eq!(ring.total(), 5);
+        ring.clear();
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.total(), 5);
+        ring.event(&slot(9));
+        assert_eq!(ring.events(), vec![slot(9)]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = RingBufferSubscriber::new(0);
+        ring.event(&slot(0));
+        ring.event(&slot(1));
+        assert_eq!(ring.events(), vec![slot(1)]);
+    }
+}

@@ -1,0 +1,622 @@
+//! JSONL trace codec and ϕ-trajectory reconstruction.
+//!
+//! Each event is one JSON object per line, e.g.
+//!
+//! ```json
+//! {"type":"move_committed","user":3,"from_route":0,"to_route":1,"phi_delta":-0.25,"profit_delta":-0.125,"phi":12.5,"total_profit":30.125}
+//! ```
+//!
+//! Floats are written with Rust's shortest-roundtrip formatting, so a
+//! parsed trace reproduces the emitted `f64`s bit-exactly; that is what
+//! lets [`reconstruct_phi`] rebuild the trajectory by summing per-move
+//! deltas and cross-check it against the recorded absolutes within `1e-9`
+//! (the engine maintains ϕ with compensated accumulation, so the two only
+//! differ by genuine floating-point re-association error).
+
+use crate::event::{Event, ResponseKind};
+use std::fmt::Write as _;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Serializes one event as a single JSON line (no trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(s, "{{\"type\":\"{}\"", event.tag());
+    match *event {
+        Event::EngineInit {
+            users,
+            tasks,
+            phi,
+            total_profit,
+        } => {
+            let _ = write!(
+                s,
+                ",\"users\":{users},\"tasks\":{tasks},\"phi\":{phi:?},\"total_profit\":{total_profit:?}"
+            );
+        }
+        Event::MoveCommitted {
+            user,
+            from_route,
+            to_route,
+            phi_delta,
+            profit_delta,
+            phi,
+            total_profit,
+        } => {
+            let _ = write!(
+                s,
+                ",\"user\":{user},\"from_route\":{from_route},\"to_route\":{to_route},\"phi_delta\":{phi_delta:?},\"profit_delta\":{profit_delta:?},\"phi\":{phi:?},\"total_profit\":{total_profit:?}"
+            );
+        }
+        Event::UserJoined {
+            user,
+            phi,
+            total_profit,
+        }
+        | Event::UserLeft {
+            user,
+            phi,
+            total_profit,
+        } => {
+            let _ = write!(
+                s,
+                ",\"user\":{user},\"phi\":{phi:?},\"total_profit\":{total_profit:?}"
+            );
+        }
+        Event::ResponseEvaluated {
+            user,
+            kind,
+            improving,
+        } => {
+            let _ = write!(
+                s,
+                ",\"user\":{user},\"kind\":\"{}\",\"improving\":{improving}",
+                kind.tag()
+            );
+        }
+        Event::SlotCompleted {
+            slot,
+            updated,
+            phi,
+            total_profit,
+        } => {
+            let _ = write!(
+                s,
+                ",\"slot\":{slot},\"updated\":{updated},\"phi\":{phi:?},\"total_profit\":{total_profit:?}"
+            );
+        }
+        Event::FrameSent { bytes }
+        | Event::FrameReceived { bytes }
+        | Event::FrameDropped { bytes } => {
+            let _ = write!(s, ",\"bytes\":{bytes}");
+        }
+        Event::Retransmission { attempt } => {
+            let _ = write!(s, ",\"attempt\":{attempt}");
+        }
+        Event::EpochStarted {
+            epoch,
+            joins,
+            leaves,
+            active,
+        } => {
+            let _ = write!(
+                s,
+                ",\"epoch\":{epoch},\"joins\":{joins},\"leaves\":{leaves},\"active\":{active}"
+            );
+        }
+        Event::EpochConverged {
+            epoch,
+            slots,
+            converged,
+            phi,
+        } => {
+            let _ = write!(
+                s,
+                ",\"epoch\":{epoch},\"slots\":{slots},\"converged\":{converged},\"phi\":{phi:?}"
+            );
+        }
+        Event::RunCompleted {
+            slots,
+            updates,
+            converged,
+            phi,
+        } => {
+            let _ = write!(
+                s,
+                ",\"slots\":{slots},\"updates\":{updates},\"converged\":{converged},\"phi\":{phi:?}"
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A malformed trace line or an inconsistent trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line failed to parse; carries the 1-based line number and detail.
+    Parse {
+        /// 1-based line number in the trace.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The trace has ϕ-carrying events but no `engine_init` anchor before
+    /// the first delta.
+    MissingAnchor,
+    /// An I/O failure while reading the trace file.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parse { line, detail } => write!(f, "trace line {line}: {detail}"),
+            TraceError::MissingAnchor => {
+                f.write_str("trace has moves before any engine_init anchor")
+            }
+            TraceError::Io(detail) => write!(f, "trace io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Field bag of one parsed JSON line.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&'a str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, String> {
+        let raw = self.get(key)?;
+        raw.strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("field {key:?} is not a string: {raw:?}"))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        let raw = self.get(key)?;
+        raw.parse()
+            .map_err(|_| format!("field {key:?} is not a u32: {raw:?}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let raw = self.get(key)?;
+        raw.parse()
+            .map_err(|_| format!("field {key:?} is not a u64: {raw:?}"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        let raw = self.get(key)?;
+        let value: f64 = raw
+            .parse()
+            .map_err(|_| format!("field {key:?} is not an f64: {raw:?}"))?;
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(format!("field {key:?} is not finite: {raw:?}"))
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            raw => Err(format!("field {key:?} is not a bool: {raw:?}")),
+        }
+    }
+}
+
+fn split_fields(line: &str) -> Result<Fields<'_>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut pairs = Vec::new();
+    if body.is_empty() {
+        return Ok(Fields { pairs });
+    }
+    // The emitter never nests objects/arrays and never puts ',' ':' or '"'
+    // inside string values, so top-level splitting is exact for well-formed
+    // traces; hand-edited lines that violate this fail field typing below.
+    for part in body.split(',') {
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("field without ':': {part:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {key:?}"))?;
+        pairs.push((key, value.trim()));
+    }
+    Ok(Fields { pairs })
+}
+
+fn event_from_fields(f: &Fields<'_>) -> Result<Event, String> {
+    let event = match f.str("type")? {
+        "engine_init" => Event::EngineInit {
+            users: f.u32("users")?,
+            tasks: f.u32("tasks")?,
+            phi: f.f64("phi")?,
+            total_profit: f.f64("total_profit")?,
+        },
+        "move_committed" => Event::MoveCommitted {
+            user: f.u32("user")?,
+            from_route: f.u32("from_route")?,
+            to_route: f.u32("to_route")?,
+            phi_delta: f.f64("phi_delta")?,
+            profit_delta: f.f64("profit_delta")?,
+            phi: f.f64("phi")?,
+            total_profit: f.f64("total_profit")?,
+        },
+        "user_joined" => Event::UserJoined {
+            user: f.u32("user")?,
+            phi: f.f64("phi")?,
+            total_profit: f.f64("total_profit")?,
+        },
+        "user_left" => Event::UserLeft {
+            user: f.u32("user")?,
+            phi: f.f64("phi")?,
+            total_profit: f.f64("total_profit")?,
+        },
+        "response_evaluated" => Event::ResponseEvaluated {
+            user: f.u32("user")?,
+            kind: match f.str("kind")? {
+                "best" => ResponseKind::Best,
+                "better" => ResponseKind::Better,
+                other => return Err(format!("unknown response kind {other:?}")),
+            },
+            improving: f.bool("improving")?,
+        },
+        "slot_completed" => Event::SlotCompleted {
+            slot: f.u64("slot")?,
+            updated: f.u32("updated")?,
+            phi: f.f64("phi")?,
+            total_profit: f.f64("total_profit")?,
+        },
+        "frame_sent" => Event::FrameSent {
+            bytes: f.u32("bytes")?,
+        },
+        "frame_received" => Event::FrameReceived {
+            bytes: f.u32("bytes")?,
+        },
+        "frame_dropped" => Event::FrameDropped {
+            bytes: f.u32("bytes")?,
+        },
+        "retransmission" => Event::Retransmission {
+            attempt: f.u32("attempt")?,
+        },
+        "epoch_started" => Event::EpochStarted {
+            epoch: f.u32("epoch")?,
+            joins: f.u32("joins")?,
+            leaves: f.u32("leaves")?,
+            active: f.u32("active")?,
+        },
+        "epoch_converged" => Event::EpochConverged {
+            epoch: f.u32("epoch")?,
+            slots: f.u64("slots")?,
+            converged: f.bool("converged")?,
+            phi: f.f64("phi")?,
+        },
+        "run_completed" => Event::RunCompleted {
+            slots: f.u64("slots")?,
+            updates: f.u64("updates")?,
+            converged: f.bool("converged")?,
+            phi: f.f64("phi")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(event)
+}
+
+/// Parses one JSONL trace line back into an [`Event`].
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    event_from_fields(&split_fields(line)?)
+}
+
+/// Reads a whole JSONL trace file (blank lines skipped).
+pub fn read_trace(path: &Path) -> Result<Vec<Event>, TraceError> {
+    let file = std::fs::File::open(path).map_err(|e| TraceError::Io(e.to_string()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(&line).map_err(|detail| TraceError::Parse {
+            line: idx + 1,
+            detail,
+        })?);
+    }
+    Ok(events)
+}
+
+/// One point of a reconstructed ϕ trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiPoint {
+    /// Index of the source event in the trace.
+    pub event_index: usize,
+    /// ϕ rebuilt by summing deltas from the last anchor.
+    pub reconstructed: f64,
+    /// ϕ the engine recorded on the event.
+    pub recorded: f64,
+}
+
+/// The result of replaying a trace's ϕ-carrying events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiReconstruction {
+    /// One point per ϕ-carrying event, in trace order.
+    pub points: Vec<PhiPoint>,
+    /// Committed moves summed into the trajectory.
+    pub moves: usize,
+    /// Join/leave re-anchors encountered.
+    pub anchors: usize,
+    /// `max |reconstructed − recorded|` over all points.
+    pub max_abs_err: f64,
+}
+
+/// Replays a trace: starting from the `engine_init` anchor, sums every
+/// `move_committed` ϕ-delta and compares the running value against each
+/// recorded absolute ϕ (moves, slot ends, epoch ends). Join/leave events
+/// carry no delta, so they *re-anchor* the running value at their recorded
+/// ϕ (and count in [`PhiReconstruction::anchors`]).
+///
+/// The engine maintains ϕ with Neumaier-compensated accumulation, so an
+/// uncorrupted trace reconstructs within `1e-9` — the `trace_report` bin
+/// asserts exactly that.
+pub fn reconstruct_phi(events: &[Event]) -> Result<PhiReconstruction, TraceError> {
+    let mut running: Option<f64> = None;
+    let mut points = Vec::new();
+    let mut moves = 0usize;
+    let mut anchors = 0usize;
+    let mut max_abs_err = 0.0f64;
+    let mut push = |points: &mut Vec<PhiPoint>, idx: usize, reconstructed: f64, recorded: f64| {
+        let err = (reconstructed - recorded).abs();
+        if err > max_abs_err {
+            max_abs_err = err;
+        }
+        points.push(PhiPoint {
+            event_index: idx,
+            reconstructed,
+            recorded,
+        });
+    };
+    for (idx, event) in events.iter().enumerate() {
+        match *event {
+            Event::EngineInit { phi, .. } => {
+                running = Some(phi);
+                anchors += 1;
+                push(&mut points, idx, phi, phi);
+            }
+            Event::MoveCommitted { phi_delta, phi, .. } => {
+                let current = running.ok_or(TraceError::MissingAnchor)?;
+                let next = current + phi_delta;
+                running = Some(next);
+                moves += 1;
+                push(&mut points, idx, next, phi);
+            }
+            Event::UserJoined { phi, .. } | Event::UserLeft { phi, .. } => {
+                // No delta on churn events: re-anchor at the recorded value.
+                running = Some(phi);
+                anchors += 1;
+                push(&mut points, idx, phi, phi);
+            }
+            Event::SlotCompleted { phi, .. }
+            | Event::EpochConverged { phi, .. }
+            | Event::RunCompleted { phi, .. } => {
+                let current = running.ok_or(TraceError::MissingAnchor)?;
+                push(&mut points, idx, current, phi);
+            }
+            _ => {}
+        }
+    }
+    Ok(PhiReconstruction {
+        points,
+        moves,
+        anchors,
+        max_abs_err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::EngineInit {
+                users: 3,
+                tasks: 2,
+                phi: 1.5,
+                total_profit: 4.25,
+            },
+            Event::MoveCommitted {
+                user: 1,
+                from_route: 0,
+                to_route: 2,
+                phi_delta: 0.125,
+                profit_delta: 0.0625,
+                phi: 1.625,
+                total_profit: 4.5,
+            },
+            Event::UserJoined {
+                user: 3,
+                phi: 2.0,
+                total_profit: 5.0,
+            },
+            Event::UserLeft {
+                user: 0,
+                phi: 1.0,
+                total_profit: 3.0,
+            },
+            Event::ResponseEvaluated {
+                user: 2,
+                kind: ResponseKind::Better,
+                improving: true,
+            },
+            Event::SlotCompleted {
+                slot: 7,
+                updated: 1,
+                phi: 1.0,
+                total_profit: 3.0,
+            },
+            Event::FrameSent { bytes: 33 },
+            Event::FrameReceived { bytes: 33 },
+            Event::FrameDropped { bytes: 12 },
+            Event::Retransmission { attempt: 2 },
+            Event::EpochStarted {
+                epoch: 1,
+                joins: 2,
+                leaves: 1,
+                active: 10,
+            },
+            Event::EpochConverged {
+                epoch: 1,
+                slots: 5,
+                converged: true,
+                phi: 1.0,
+            },
+            Event::RunCompleted {
+                slots: 12,
+                updates: 9,
+                converged: false,
+                phi: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        for event in all_events() {
+            let line = event_to_json(&event);
+            let parsed = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, event, "roundtrip of {line}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact_for_awkward_floats() {
+        let event = Event::MoveCommitted {
+            user: 0,
+            from_route: 0,
+            to_route: 1,
+            phi_delta: 0.1 + 0.2,
+            profit_delta: -1.0e-17,
+            phi: f64::MIN_POSITIVE,
+            total_profit: 1.0e300,
+        };
+        let parsed = parse_line(&event_to_json(&event)).unwrap();
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{}").is_err());
+        assert!(parse_line("{\"type\":\"no_such_event\"}").is_err());
+        assert!(parse_line("{\"type\":\"frame_sent\"}").is_err());
+        assert!(parse_line("{\"type\":\"frame_sent\",\"bytes\":\"many\"}").is_err());
+        assert!(parse_line("{\"type\":\"run_completed\",\"slots\":1,\"updates\":1,\"converged\":maybe,\"phi\":0.0}").is_err());
+        // Non-finite floats are data corruption, not a trajectory.
+        assert!(parse_line(
+            "{\"type\":\"user_joined\",\"user\":1,\"phi\":NaN,\"total_profit\":0.0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reconstruction_sums_deltas_and_reanchors() {
+        let events = vec![
+            Event::EngineInit {
+                users: 2,
+                tasks: 1,
+                phi: 10.0,
+                total_profit: 0.0,
+            },
+            Event::MoveCommitted {
+                user: 0,
+                from_route: 0,
+                to_route: 1,
+                phi_delta: 2.5,
+                profit_delta: 1.25,
+                phi: 12.5,
+                total_profit: 0.0,
+            },
+            Event::SlotCompleted {
+                slot: 1,
+                updated: 1,
+                phi: 12.5,
+                total_profit: 0.0,
+            },
+            Event::UserJoined {
+                user: 2,
+                phi: 20.0,
+                total_profit: 0.0,
+            },
+            Event::MoveCommitted {
+                user: 2,
+                from_route: 0,
+                to_route: 1,
+                phi_delta: -1.0,
+                profit_delta: -0.5,
+                phi: 19.0,
+                total_profit: 0.0,
+            },
+        ];
+        let rec = reconstruct_phi(&events).unwrap();
+        assert_eq!(rec.moves, 2);
+        assert_eq!(rec.anchors, 2);
+        assert_eq!(rec.points.len(), 5);
+        assert!(rec.max_abs_err < 1e-12, "err {}", rec.max_abs_err);
+        assert_eq!(rec.points.last().unwrap().reconstructed, 19.0);
+    }
+
+    #[test]
+    fn reconstruction_requires_an_anchor() {
+        let events = vec![Event::MoveCommitted {
+            user: 0,
+            from_route: 0,
+            to_route: 1,
+            phi_delta: 1.0,
+            profit_delta: 0.5,
+            phi: 1.0,
+            total_profit: 0.0,
+        }];
+        assert_eq!(reconstruct_phi(&events), Err(TraceError::MissingAnchor));
+    }
+
+    #[test]
+    fn reconstruction_reports_drift() {
+        let events = vec![
+            Event::EngineInit {
+                users: 1,
+                tasks: 1,
+                phi: 0.0,
+                total_profit: 0.0,
+            },
+            Event::MoveCommitted {
+                user: 0,
+                from_route: 0,
+                to_route: 1,
+                phi_delta: 1.0,
+                profit_delta: 0.5,
+                phi: 1.5, // inconsistent with the delta
+                total_profit: 0.0,
+            },
+        ];
+        let rec = reconstruct_phi(&events).unwrap();
+        assert!((rec.max_abs_err - 0.5).abs() < 1e-12);
+    }
+}

@@ -33,6 +33,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{apply_churn, is_nash, Engine, Game, Profile};
+use vcs_obs::{Event, Obs, ResponseKind};
 
 use crate::stream::EventStream;
 
@@ -159,8 +160,9 @@ fn compute_request(
     algo: OnlineAlgorithm,
     user: UserId,
     rng: &mut StdRng,
+    obs: &Obs,
 ) -> Option<RouteId> {
-    match algo {
+    let request = match algo {
         OnlineAlgorithm::Dgrn => {
             let best = engine.best_route_set(user);
             if best.best_routes.is_empty() {
@@ -177,7 +179,16 @@ fn compute_request(
                 Some(better[rng.random_range(0..better.len())].0)
             }
         }
-    }
+    };
+    obs.emit(|| Event::ResponseEvaluated {
+        user: user.index() as u32,
+        kind: match algo {
+            OnlineAlgorithm::Dgrn => ResponseKind::Best,
+            OnlineAlgorithm::Brun => ResponseKind::Better,
+        },
+        improving: request.is_some(),
+    });
+    request
 }
 
 /// Re-evaluates the standing requests of every user the engine marked dirty
@@ -187,9 +198,10 @@ fn refresh(
     requests: &mut [Option<RouteId>],
     algo: OnlineAlgorithm,
     rng: &mut StdRng,
+    obs: &Obs,
 ) {
     for user in engine.take_dirty() {
-        requests[user.index()] = compute_request(engine, algo, user, rng);
+        requests[user.index()] = compute_request(engine, algo, user, rng, obs);
     }
 }
 
@@ -203,10 +215,11 @@ fn drive(
     algo: OnlineAlgorithm,
     rng: &mut StdRng,
     max_slots: usize,
+    obs: &Obs,
 ) -> (usize, bool) {
     let mut slots = 0;
     loop {
-        refresh(engine, requests, algo, rng);
+        refresh(engine, requests, algo, rng, obs);
         let improving: Vec<UserId> = engine
             .active_users()
             .filter(|u| requests[u.index()].is_some())
@@ -223,6 +236,12 @@ fn drive(
             .expect("improving user holds a standing request");
         engine.apply_move(user, route);
         slots += 1;
+        obs.emit(|| Event::SlotCompleted {
+            slot: slots as u64,
+            updated: 1,
+            phi: engine.potential(),
+            total_profit: engine.total_profit(),
+        });
     }
 }
 
@@ -236,6 +255,10 @@ pub struct OnlineSim {
     rng: StdRng,
     seed: u64,
     max_slots_per_epoch: usize,
+    /// Observability handle for the **warm** path only; the equivalence
+    /// replay and cold-restart baselines stay silent (they are internal
+    /// validation machinery, not part of the simulated system).
+    obs: Obs,
 }
 
 impl OnlineSim {
@@ -258,12 +281,22 @@ impl OnlineSim {
             rng,
             seed,
             max_slots_per_epoch,
+            obs: Obs::disabled(),
         }
     }
 
     /// The live engine (read access — e.g. for snapshotting).
     pub fn engine(&self) -> &Engine<'static> {
         &self.engine
+    }
+
+    /// Installs an observability handle on the warm path: the live engine's
+    /// per-commit events plus `ResponseEvaluated` / `SlotCompleted` /
+    /// `EpochStarted` / `EpochConverged` from the epoch scheduler. The
+    /// trajectory is unchanged — observation only watches.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.engine.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Drives the stream: initial convergence, then per epoch apply the
@@ -276,13 +309,26 @@ impl OnlineSim {
     /// target, malformed join) — streams from this crate's generators are
     /// valid by construction.
     pub fn run(&mut self, stream: &EventStream) -> OnlineReport {
+        self.obs.emit(|| Event::EpochStarted {
+            epoch: 0,
+            joins: 0,
+            leaves: 0,
+            active: self.engine.active_count() as u32,
+        });
         let (initial_slots, mut converged) = drive(
             &mut self.engine,
             &mut self.requests,
             self.algo,
             &mut self.rng,
             self.max_slots_per_epoch,
+            &self.obs,
         );
+        self.obs.emit(|| Event::EpochConverged {
+            epoch: 0,
+            slots: initial_slots as u64,
+            converged,
+            phi: self.engine.potential(),
+        });
         let mut epochs = Vec::with_capacity(stream.epochs());
         for (epoch, batch) in stream.batches.iter().enumerate() {
             let warm_start = Instant::now();
@@ -297,6 +343,12 @@ impl OnlineSim {
                     None => leaves += 1,
                 }
             }
+            self.obs.emit(|| Event::EpochStarted {
+                epoch: (epoch + 1) as u32,
+                joins: joins as u32,
+                leaves: leaves as u32,
+                active: self.engine.active_count() as u32,
+            });
             // Make the standing-request cache fully valid again before
             // forking the replay: only churn-dirtied users are re-evaluated.
             refresh(
@@ -304,6 +356,7 @@ impl OnlineSim {
                 &mut self.requests,
                 self.algo,
                 &mut self.rng,
+                &self.obs,
             );
 
             // Fork the equivalence replay *before* warm re-convergence: a
@@ -321,10 +374,17 @@ impl OnlineSim {
                 self.algo,
                 &mut self.rng,
                 self.max_slots_per_epoch,
+                &self.obs,
             );
             let warm_secs = warm_start.elapsed().as_secs_f64();
             let phi_warm = self.engine.potential();
             let profit = self.engine.total_profit();
+            self.obs.emit(|| Event::EpochConverged {
+                epoch: (epoch + 1) as u32,
+                slots: warm_slots as u64,
+                converged: warm_ok,
+                phi: phi_warm,
+            });
 
             let replay_profile = Profile::try_new(&post_game, post_choices)
                 .expect("materialized choices form a valid profile");
@@ -338,6 +398,7 @@ impl OnlineSim {
                 self.algo,
                 &mut replay_rng,
                 self.max_slots_per_epoch,
+                &Obs::disabled(),
             );
             debug_assert_eq!(
                 replay_slots, warm_slots,
@@ -373,6 +434,7 @@ impl OnlineSim {
                 self.algo,
                 &mut cold_rng,
                 self.max_slots_per_epoch,
+                &Obs::disabled(),
             );
             let cold_secs = cold_start.elapsed().as_secs_f64();
             let phi_cold = cold.potential_fresh();
@@ -394,11 +456,18 @@ impl OnlineSim {
                 profit,
             });
         }
-        OnlineReport {
+        let report = OnlineReport {
             initial_slots,
             epochs,
             converged,
-        }
+        };
+        self.obs.emit(|| Event::RunCompleted {
+            slots: (report.initial_slots + report.warm_slots()) as u64,
+            updates: (report.initial_slots + report.warm_slots()) as u64,
+            converged: report.converged,
+            phi: self.engine.potential(),
+        });
+        report
     }
 }
 

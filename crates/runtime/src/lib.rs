@@ -31,6 +31,13 @@ pub mod threaded;
 pub use agent::{LocalRoute, UserAgent};
 pub use platform::{PlatformState, SchedulerKind};
 pub use protocol::{CodecError, PlatformMsg, UserMsg};
-pub use resilience::{run_lossy, run_stale, LossConfig, LossStats};
-pub use sync_runtime::{run_sync, run_sync_churn, ChurnOutcome, RuntimeOutcome, Telemetry};
-pub use threaded::{run_threaded, run_threaded_churn};
+pub use resilience::{
+    run_lossy, run_lossy_observed, run_stale, run_stale_observed, LossConfig, LossStats,
+};
+pub use sync_runtime::{
+    run_sync, run_sync_churn, run_sync_churn_observed, run_sync_observed, ChurnOutcome,
+    RuntimeOutcome, Telemetry,
+};
+pub use threaded::{
+    run_threaded, run_threaded_churn, run_threaded_churn_observed, run_threaded_observed,
+};

@@ -80,6 +80,24 @@ impl<'g> PlatformState<'g> {
         })
     }
 
+    /// Attaches an observability handle to the platform's engine: emits the
+    /// `EngineInit` anchor now, and every subsequent granted move / churn
+    /// application emits its own per-commit event. The runtimes layer their
+    /// frame-level and slot-level events on top of the same handle.
+    pub fn set_obs(&mut self, obs: vcs_obs::Obs) {
+        self.engine.set_obs(obs);
+    }
+
+    /// Number of users currently on the platform.
+    pub fn active_count(&self) -> usize {
+        self.engine.active_count()
+    }
+
+    /// The incrementally maintained total profit `Σ_i P_i(s)`.
+    pub fn total_profit(&self) -> f64 {
+        self.engine.total_profit()
+    }
+
     /// The game the platform currently prices. After a mid-game `Join` this
     /// is the engine's copy-on-write extension, not the construction-time
     /// game reference (and it may contain departed tombstone users).

@@ -24,6 +24,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::Game;
+use vcs_obs::{Event, Obs, ResponseKind};
 
 /// Loss-model configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,25 +70,38 @@ fn deliver_arq(
     loss: &LossConfig,
     stats: &mut LossStats,
     telemetry: &mut Telemetry,
+    obs: &Obs,
 ) -> Option<UserMsg> {
-    let mut attempts = 0;
+    let mut attempts = 0u64;
     loop {
         attempts += 1;
         assert!(
-            attempts <= loss.max_retries + 1,
+            attempts as usize <= loss.max_retries + 1,
             "channel never delivered after {attempts} attempts"
         );
         if attempts > 1 {
             stats.retransmissions += 1;
+            obs.emit(|| Event::Retransmission {
+                attempt: attempts as u32,
+            });
         }
         // Platform → agent leg.
         let frame = msg.encode();
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: frame.len() as u32,
+        });
         if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
             stats.dropped_frames += 1;
+            obs.emit(|| Event::FrameDropped {
+                bytes: frame.len() as u32,
+            });
             continue; // timeout ⇒ retransmit
         }
+        obs.emit(|| Event::FrameReceived {
+            bytes: frame.len() as u32,
+        });
         let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
         let reply = agent.handle(decoded);
         if !expects_reply {
@@ -101,10 +115,19 @@ fn deliver_arq(
         let reply_frame = reply.encode();
         telemetry.user_msgs += 1;
         telemetry.user_bytes += reply_frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: reply_frame.len() as u32,
+        });
         if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
             stats.dropped_frames += 1;
+            obs.emit(|| Event::FrameDropped {
+                bytes: reply_frame.len() as u32,
+            });
             continue; // reply lost ⇒ platform re-sends the request
         }
+        obs.emit(|| Event::FrameReceived {
+            bytes: reply_frame.len() as u32,
+        });
         return Some(UserMsg::decode(reply_frame).expect("self-encoded frame decodes"));
     }
 }
@@ -119,6 +142,22 @@ pub fn run_lossy(
     seed: u64,
     max_slots: usize,
     loss: &LossConfig,
+) -> (RuntimeOutcome, LossStats) {
+    run_lossy_observed(game, scheduler, seed, max_slots, loss, &Obs::disabled())
+}
+
+/// [`run_lossy`] with an observability handle: everything the lossless
+/// observed runtimes emit, plus `FrameDropped` per channel drop and
+/// `Retransmission` per stop-and-wait retry (the `attempt` field is the
+/// 1-based attempt number of that frame, so the first retransmission of a
+/// frame carries `attempt: 2`).
+pub fn run_lossy_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    loss: &LossConfig,
+    obs: &Obs,
 ) -> (RuntimeOutcome, LossStats) {
     assert!(
         (0.0..1.0).contains(&loss.drop_probability),
@@ -141,14 +180,25 @@ pub fn run_lossy(
             );
             if attempts > 1 {
                 stats.retransmissions += 1;
+                let attempt = attempts as u32;
+                obs.emit(|| Event::Retransmission { attempt });
             }
             let frame = agent.initial_message().encode();
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            obs.emit(|| Event::FrameSent {
+                bytes: frame.len() as u32,
+            });
             if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
                 stats.dropped_frames += 1;
+                obs.emit(|| Event::FrameDropped {
+                    bytes: frame.len() as u32,
+                });
                 continue;
             }
+            obs.emit(|| Event::FrameReceived {
+                bytes: frame.len() as u32,
+            });
             match UserMsg::decode(frame).expect("self-encoded frame decodes") {
                 UserMsg::Initial { user, route } => initial[user.index()] = route,
                 other => panic!("expected Initial, got {other:?}"),
@@ -157,6 +207,7 @@ pub fn run_lossy(
         }
     }
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     for agent in agents.iter_mut() {
         let msg = platform.init_msg_for(agent.id);
         deliver_arq(
@@ -167,6 +218,7 @@ pub fn run_lossy(
             loss,
             &mut stats,
             &mut telemetry,
+            obs,
         );
     }
     let mut converged = false;
@@ -183,8 +235,14 @@ pub fn run_lossy(
                 loss,
                 &mut stats,
                 &mut telemetry,
+                obs,
             )
             .expect("counts elicit a reply");
+            obs.emit(|| Event::ResponseEvaluated {
+                user: user.index() as u32,
+                kind: ResponseKind::Best,
+                improving: matches!(reply, UserMsg::Request { .. }),
+            });
             platform.record_reply(user, &reply);
         }
         let requests = platform.collect_requests();
@@ -204,6 +262,7 @@ pub fn run_lossy(
                 loss,
                 &mut stats,
                 &mut telemetry,
+                obs,
             )
             .expect("grant elicits an update confirmation");
             match reply {
@@ -211,6 +270,12 @@ pub fn run_lossy(
                 other => panic!("expected Updated, got {other:?}"),
             }
         }
+        obs.emit(|| Event::SlotCompleted {
+            slot: platform.slots as u64,
+            updated: granted.len() as u32,
+            phi: platform.potential(),
+            total_profit: platform.total_profit(),
+        });
     }
     for agent in agents.iter_mut() {
         deliver_arq(
@@ -221,8 +286,15 @@ pub fn run_lossy(
             loss,
             &mut stats,
             &mut telemetry,
+            obs,
         );
     }
+    obs.emit(|| Event::RunCompleted {
+        slots: platform.slots as u64,
+        updates: platform.updates as u64,
+        converged,
+        phi: platform.potential(),
+    });
     (
         RuntimeOutcome {
             slots: platform.slots,
@@ -256,6 +328,28 @@ pub fn run_stale(
     max_slots: usize,
     refresh_every: usize,
 ) -> RuntimeOutcome {
+    run_stale_observed(
+        game,
+        scheduler,
+        seed,
+        max_slots,
+        refresh_every,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_stale`] with an observability handle: frame events for every
+/// exchanged frame (stale-slot self-computed requests count as uplink
+/// frames, matching telemetry), `ResponseEvaluated` per agent decision,
+/// `SlotCompleted` per slot and the engine's per-commit events.
+pub fn run_stale_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    refresh_every: usize,
+    obs: &Obs,
+) -> RuntimeOutcome {
     assert!(refresh_every >= 1, "refresh period must be at least 1");
     let mut agents = spawn_agents(game, seed);
     let mut telemetry = Telemetry::default();
@@ -264,21 +358,40 @@ pub fn run_stale(
         let frame = agent.initial_message().encode();
         telemetry.user_msgs += 1;
         telemetry.user_bytes += frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: frame.len() as u32,
+        });
+        obs.emit(|| Event::FrameReceived {
+            bytes: frame.len() as u32,
+        });
         match UserMsg::decode(frame).expect("self-encoded frame decodes") {
             UserMsg::Initial { user, route } => initial[user.index()] = route,
             other => panic!("expected Initial, got {other:?}"),
         }
     }
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     let deliver = |agent: &mut UserAgent, msg: &PlatformMsg, telemetry: &mut Telemetry| {
         let frame = msg.encode();
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: frame.len() as u32,
+        });
+        obs.emit(|| Event::FrameReceived {
+            bytes: frame.len() as u32,
+        });
         let reply = agent.handle(PlatformMsg::decode(frame).expect("decodes"));
         reply.map(|r| {
             let f = r.encode();
             telemetry.user_msgs += 1;
             telemetry.user_bytes += f.len();
+            obs.emit(|| Event::FrameSent {
+                bytes: f.len() as u32,
+            });
+            obs.emit(|| Event::FrameReceived {
+                bytes: f.len() as u32,
+            });
             UserMsg::decode(f).expect("decodes")
         })
     };
@@ -312,8 +425,19 @@ pub fn run_stale(
                 let f = reply.encode();
                 telemetry.user_msgs += 1;
                 telemetry.user_bytes += f.len();
+                obs.emit(|| Event::FrameSent {
+                    bytes: f.len() as u32,
+                });
+                obs.emit(|| Event::FrameReceived {
+                    bytes: f.len() as u32,
+                });
                 UserMsg::decode(f).expect("decodes")
             };
+            obs.emit(|| Event::ResponseEvaluated {
+                user: agent.id.index() as u32,
+                kind: ResponseKind::Best,
+                improving: matches!(reply, UserMsg::Request { .. }),
+            });
             if let Some(req) = PlatformState::to_request(&reply) {
                 // Window rules: on stale information, only first moves over
                 // untouched tasks are eligible — their stale evaluation is
@@ -358,10 +482,22 @@ pub fn run_stale(
                 platform.apply_update(user, route);
             }
         }
+        obs.emit(|| Event::SlotCompleted {
+            slot: platform.slots as u64,
+            updated: granted_users.len() as u32,
+            phi: platform.potential(),
+            total_profit: platform.total_profit(),
+        });
     }
     for agent in agents.iter_mut() {
         deliver(agent, &PlatformMsg::Terminate, &mut telemetry);
     }
+    obs.emit(|| Event::RunCompleted {
+        slots: platform.slots as u64,
+        updates: platform.updates as u64,
+        converged,
+        phi: platform.potential(),
+    });
     RuntimeOutcome {
         slots: platform.slots,
         updates: platform.updates,

@@ -11,6 +11,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game, Profile};
+use vcs_obs::{Event, Obs, ResponseKind};
 
 /// Communication telemetry of a protocol run: how many frames and bytes
 /// crossed the platform↔user boundary. The paper motivates the distributed
@@ -88,17 +89,46 @@ fn deliver_to_agent(
     agent: &mut UserAgent,
     msg: &PlatformMsg,
     telemetry: &mut Telemetry,
+    obs: &Obs,
 ) -> Option<UserMsg> {
     let frame = msg.encode();
     telemetry.platform_msgs += 1;
     telemetry.platform_bytes += frame.len();
+    let bytes = frame.len();
+    obs.emit(|| Event::FrameSent {
+        bytes: bytes as u32,
+    });
     let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
+    obs.emit(|| Event::FrameReceived {
+        bytes: bytes as u32,
+    });
     agent.handle(decoded).map(|reply| {
         let reply_frame = reply.encode();
         telemetry.user_msgs += 1;
         telemetry.user_bytes += reply_frame.len();
-        UserMsg::decode(reply_frame).expect("self-encoded frame decodes")
+        let bytes = reply_frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: bytes as u32,
+        });
+        let decoded = UserMsg::decode(reply_frame).expect("self-encoded frame decodes");
+        obs.emit(|| Event::FrameReceived {
+            bytes: bytes as u32,
+        });
+        decoded
     })
+}
+
+/// Counts (and observes) one uplink frame outside the request/reply helper:
+/// initial announcements and churn event frames.
+fn count_uplink(frame_len: usize, telemetry: &mut Telemetry, obs: &Obs) {
+    telemetry.user_msgs += 1;
+    telemetry.user_bytes += frame_len;
+    obs.emit(|| Event::FrameSent {
+        bytes: frame_len as u32,
+    });
+    obs.emit(|| Event::FrameReceived {
+        bytes: frame_len as u32,
+    });
 }
 
 /// Runs the full protocol to termination on a single thread.
@@ -108,6 +138,21 @@ pub fn run_sync(
     seed: u64,
     max_slots: usize,
 ) -> RuntimeOutcome {
+    run_sync_observed(game, scheduler, seed, max_slots, &Obs::disabled())
+}
+
+/// [`run_sync`] with an observability handle: frame-level TX/RX events for
+/// every protocol frame, `ResponseEvaluated` per dirty-agent poll,
+/// `SlotCompleted` per decision slot and the engine's per-commit events.
+/// With a disabled handle this *is* `run_sync` — observation never
+/// influences the protocol.
+pub fn run_sync_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    obs: &Obs,
+) -> RuntimeOutcome {
     let mut agents = spawn_agents(game, seed);
     let mut telemetry = Telemetry::default();
     // Alg. 2 line 2: receive initial decisions.
@@ -115,19 +160,21 @@ pub fn run_sync(
         .iter()
         .map(|a| {
             let frame = a.initial_message().encode();
-            telemetry.user_msgs += 1;
-            telemetry.user_bytes += frame.len();
-            match UserMsg::decode(frame).unwrap() {
+            let len = frame.len();
+            let route = match UserMsg::decode(frame).unwrap() {
                 UserMsg::Initial { route, .. } => route,
                 other => panic!("unexpected initial message {other:?}"),
-            }
+            };
+            count_uplink(len, &mut telemetry, obs);
+            route
         })
         .collect();
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     // Alg. 2 line 4: send Init.
     for agent in agents.iter_mut() {
         let msg = platform.init_msg_for(agent.id);
-        let reply = deliver_to_agent(agent, &msg, &mut telemetry);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry, obs);
         debug_assert!(reply.is_none());
     }
     let mut converged = false;
@@ -137,8 +184,13 @@ pub fn run_sync(
         // cached requests are reused without any message exchange.
         for user in platform.dirty_users() {
             let msg = platform.counts_msg_for(user);
-            let reply = deliver_to_agent(&mut agents[user.index()], &msg, &mut telemetry)
+            let reply = deliver_to_agent(&mut agents[user.index()], &msg, &mut telemetry, obs)
                 .expect("counts always answered");
+            obs.emit(|| Event::ResponseEvaluated {
+                user: user.index() as u32,
+                kind: ResponseKind::Best,
+                improving: matches!(reply, UserMsg::Request { .. }),
+            });
             platform.record_reply(user, &reply);
         }
         let requests = platform.collect_requests();
@@ -155,21 +207,33 @@ pub fn run_sync(
             let user = requests[g].user;
             let agent = &mut agents[user.index()];
             if let Some(UserMsg::Updated { user, route }) =
-                deliver_to_agent(agent, &PlatformMsg::Grant, &mut telemetry)
+                deliver_to_agent(agent, &PlatformMsg::Grant, &mut telemetry, obs)
             {
                 platform.apply_update(user, route);
             }
         }
+        obs.emit(|| Event::SlotCompleted {
+            slot: platform.slots as u64,
+            updated: granted.len() as u32,
+            phi: platform.potential(),
+            total_profit: platform.total_profit(),
+        });
     }
     // Alg. 2 line 12: terminate everyone.
     for agent in agents.iter_mut() {
-        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry);
+        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry, obs);
         debug_assert!(reply.is_none());
     }
     // Cross-check: the agents' local choices agree with the platform.
     for agent in &agents {
         debug_assert_eq!(agent.current, platform.profile().choice(agent.id));
     }
+    obs.emit(|| Event::RunCompleted {
+        slots: platform.slots as u64,
+        updates: platform.updates as u64,
+        converged,
+        phi: platform.potential(),
+    });
     RuntimeOutcome {
         slots: platform.slots,
         updates: platform.updates,
@@ -211,6 +275,7 @@ fn drive_to_equilibrium(
     agents: &mut [Option<UserAgent>],
     telemetry: &mut Telemetry,
     max_slots: usize,
+    obs: &Obs,
 ) -> (usize, bool) {
     let start = platform.slots;
     let mut converged = false;
@@ -218,7 +283,13 @@ fn drive_to_equilibrium(
         for user in platform.dirty_users() {
             let msg = platform.counts_msg_for(user);
             let agent = agents[user.index()].as_mut().expect("dirty user is active");
-            let reply = deliver_to_agent(agent, &msg, telemetry).expect("counts always answered");
+            let reply =
+                deliver_to_agent(agent, &msg, telemetry, obs).expect("counts always answered");
+            obs.emit(|| Event::ResponseEvaluated {
+                user: user.index() as u32,
+                kind: ResponseKind::Best,
+                improving: matches!(reply, UserMsg::Request { .. }),
+            });
             platform.record_reply(user, &reply);
         }
         let requests = platform.collect_requests();
@@ -233,11 +304,17 @@ fn drive_to_equilibrium(
                 .as_mut()
                 .expect("granted user is active");
             if let Some(UserMsg::Updated { user, route }) =
-                deliver_to_agent(agent, &PlatformMsg::Grant, telemetry)
+                deliver_to_agent(agent, &PlatformMsg::Grant, telemetry, obs)
             {
                 platform.apply_update(user, route);
             }
         }
+        obs.emit(|| Event::SlotCompleted {
+            slot: platform.slots as u64,
+            updated: granted.len() as u32,
+            phi: platform.potential(),
+            total_profit: platform.total_profit(),
+        });
     }
     (platform.slots - start, converged)
 }
@@ -261,6 +338,28 @@ pub fn run_sync_churn(
     max_slots_per_epoch: usize,
     epochs: &[Vec<ChurnEvent>],
 ) -> ChurnOutcome {
+    run_sync_churn_observed(
+        game,
+        scheduler,
+        seed,
+        max_slots_per_epoch,
+        epochs,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_sync_churn`] with an observability handle: everything
+/// [`run_sync_observed`] emits, plus `EpochStarted` / `EpochConverged`
+/// around every (re-)convergence phase and the engine's `UserJoined` /
+/// `UserLeft` per churn frame.
+pub fn run_sync_churn_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots_per_epoch: usize,
+    epochs: &[Vec<ChurnEvent>],
+    obs: &Obs,
+) -> ChurnOutcome {
     let mut agents: Vec<Option<UserAgent>> =
         spawn_agents(game, seed).into_iter().map(Some).collect();
     let mut telemetry = Telemetry::default();
@@ -269,43 +368,60 @@ pub fn run_sync_churn(
         .flatten()
         .map(|a| {
             let frame = a.initial_message().encode();
-            telemetry.user_msgs += 1;
-            telemetry.user_bytes += frame.len();
-            match UserMsg::decode(frame).unwrap() {
+            let len = frame.len();
+            let route = match UserMsg::decode(frame).unwrap() {
                 UserMsg::Initial { route, .. } => route,
                 other => panic!("unexpected initial message {other:?}"),
-            }
+            };
+            count_uplink(len, &mut telemetry, obs);
+            route
         })
         .collect();
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     for agent in agents.iter_mut().flatten() {
         let msg = platform.init_msg_for(agent.id);
-        let reply = deliver_to_agent(agent, &msg, &mut telemetry);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry, obs);
         debug_assert!(reply.is_none());
     }
     let mut epoch_slots = Vec::with_capacity(epochs.len() + 1);
     let mut converged = true;
+    obs.emit(|| Event::EpochStarted {
+        epoch: 0,
+        joins: 0,
+        leaves: 0,
+        active: platform.active_count() as u32,
+    });
     let (slots, ok) = drive_to_equilibrium(
         &mut platform,
         &mut agents,
         &mut telemetry,
         max_slots_per_epoch,
+        obs,
     );
     epoch_slots.push(slots);
     converged &= ok;
-    for batch in epochs {
+    obs.emit(|| Event::EpochConverged {
+        epoch: 0,
+        slots: slots as u64,
+        converged: ok,
+        phi: platform.potential(),
+    });
+    for (epoch_idx, batch) in epochs.iter().enumerate() {
+        let mut joins = 0u32;
+        let mut leaves = 0u32;
         for event in batch {
             // Ship the event as a real wire frame, exactly what a networked
             // vehicle would send.
             let frame = UserMsg::from_churn(event).encode();
-            telemetry.user_msgs += 1;
-            telemetry.user_bytes += frame.len();
+            count_uplink(frame.len(), &mut telemetry, obs);
             let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
             match platform
                 .apply_churn_msg(&msg)
                 .expect("stream events are valid")
             {
                 Some(joined) => {
+                    joins += 1;
                     let UserMsg::Join { spec, initial } = msg else {
                         unreachable!("join returned an id")
                     };
@@ -318,33 +434,48 @@ pub fn run_sync_churn(
                         initial,
                     );
                     let init = platform.init_msg_for(joined);
-                    let reply = deliver_to_agent(&mut agent, &init, &mut telemetry);
+                    let reply = deliver_to_agent(&mut agent, &init, &mut telemetry, obs);
                     debug_assert!(reply.is_none());
                     debug_assert_eq!(agents.len(), joined.index());
                     agents.push(Some(agent));
                 }
                 None => {
+                    leaves += 1;
                     let UserMsg::Leave { user } = msg else {
                         unreachable!("leave returns no id")
                     };
                     let mut agent = agents[user.index()].take().expect("leaving agent exists");
                     let reply =
-                        deliver_to_agent(&mut agent, &PlatformMsg::Terminate, &mut telemetry);
+                        deliver_to_agent(&mut agent, &PlatformMsg::Terminate, &mut telemetry, obs);
                     debug_assert!(reply.is_none());
                 }
             }
         }
+        let epoch = (epoch_idx + 1) as u32;
+        obs.emit(|| Event::EpochStarted {
+            epoch,
+            joins,
+            leaves,
+            active: platform.active_count() as u32,
+        });
         let (slots, ok) = drive_to_equilibrium(
             &mut platform,
             &mut agents,
             &mut telemetry,
             max_slots_per_epoch,
+            obs,
         );
         epoch_slots.push(slots);
         converged &= ok;
+        obs.emit(|| Event::EpochConverged {
+            epoch,
+            slots: slots as u64,
+            converged: ok,
+            phi: platform.potential(),
+        });
     }
     for agent in agents.iter_mut().flatten() {
-        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry);
+        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry, obs);
         debug_assert!(reply.is_none());
     }
     for agent in agents.iter().flatten() {

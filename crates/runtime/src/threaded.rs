@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game};
+use vcs_obs::{Event, Obs, ResponseKind};
 
 /// Per-agent mailbox pair: platform keeps the senders, agents the receivers.
 struct AgentLink {
@@ -76,6 +77,21 @@ pub fn run_threaded(
     seed: u64,
     max_slots: usize,
 ) -> RuntimeOutcome {
+    run_threaded_observed(game, scheduler, seed, max_slots, &Obs::disabled())
+}
+
+/// [`run_threaded`] with an observability handle: frame-level TX/RX events
+/// for every channel frame, `ResponseEvaluated` per dirty-agent reply,
+/// `SlotCompleted` per decision slot and the engine's per-commit events.
+/// Events are emitted from the platform thread only, so a subscriber sees
+/// the same deterministic order as the sync runtime's slot structure.
+pub fn run_threaded_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    obs: &Obs,
+) -> RuntimeOutcome {
     let m = game.user_count();
     let agents = spawn_agents(game, seed);
     let mut telemetry = Telemetry::default();
@@ -104,6 +120,12 @@ pub fn run_threaded(
             let (user, frame) = inbox.recv().expect("agents alive");
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            obs.emit(|| Event::FrameSent {
+                bytes: frame.len() as u32,
+            });
+            obs.emit(|| Event::FrameReceived {
+                bytes: frame.len() as u32,
+            });
             let msg = UserMsg::decode(frame).expect("well-formed user frame");
             out.push((user, msg));
         }
@@ -114,6 +136,12 @@ pub fn run_threaded(
     let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: frame.len() as u32,
+        });
+        obs.emit(|| Event::FrameReceived {
+            bytes: frame.len() as u32,
+        });
         link.to_agent.send(frame).expect("agent alive");
     };
 
@@ -127,6 +155,7 @@ pub fn run_threaded(
         }
     }
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     for (i, link) in links.iter().enumerate() {
         let msg = platform.init_msg_for(UserId::from_index(i));
         send_counted(link, msg.encode(), &mut telemetry);
@@ -143,6 +172,11 @@ pub fn run_threaded(
         }
         let replies = collect_round(&platform_inbox, dirty.len(), &mut telemetry);
         for (user, msg) in &replies {
+            obs.emit(|| Event::ResponseEvaluated {
+                user: user.index() as u32,
+                kind: ResponseKind::Best,
+                improving: matches!(msg, UserMsg::Request { .. }),
+            });
             platform.record_reply(*user, msg);
         }
         let requests = platform.collect_requests();
@@ -167,6 +201,12 @@ pub fn run_threaded(
                 other => panic!("expected Updated, got {other:?}"),
             }
         }
+        obs.emit(|| Event::SlotCompleted {
+            slot: platform.slots as u64,
+            updated: granted_users.len() as u32,
+            phi: platform.potential(),
+            total_profit: platform.total_profit(),
+        });
     }
     for link in &links {
         send_counted(link, PlatformMsg::Terminate.encode(), &mut telemetry);
@@ -174,6 +214,12 @@ pub fn run_threaded(
     for handle in handles {
         handle.join().expect("agent thread panicked");
     }
+    obs.emit(|| Event::RunCompleted {
+        slots: platform.slots as u64,
+        updates: platform.updates as u64,
+        converged,
+        phi: platform.potential(),
+    });
     RuntimeOutcome {
         slots: platform.slots,
         updates: platform.updates,
@@ -194,6 +240,27 @@ pub fn run_threaded_churn(
     seed: u64,
     max_slots_per_epoch: usize,
     epochs: &[Vec<ChurnEvent>],
+) -> ChurnOutcome {
+    run_threaded_churn_observed(
+        game,
+        scheduler,
+        seed,
+        max_slots_per_epoch,
+        epochs,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_threaded_churn`] with an observability handle: everything
+/// [`run_threaded_observed`] emits plus `EpochStarted` / `EpochConverged`
+/// around every re-convergence phase and the engine's join/leave events.
+pub fn run_threaded_churn_observed(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots_per_epoch: usize,
+    epochs: &[Vec<ChurnEvent>],
+    obs: &Obs,
 ) -> ChurnOutcome {
     let m = game.user_count();
     let agents = spawn_agents(game, seed);
@@ -221,6 +288,12 @@ pub fn run_threaded_churn(
             let (user, frame) = inbox.recv().expect("agents alive");
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            obs.emit(|| Event::FrameSent {
+                bytes: frame.len() as u32,
+            });
+            obs.emit(|| Event::FrameReceived {
+                bytes: frame.len() as u32,
+            });
             let msg = UserMsg::decode(frame).expect("well-formed user frame");
             out.push((user, msg));
         }
@@ -230,6 +303,12 @@ pub fn run_threaded_churn(
     let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        obs.emit(|| Event::FrameSent {
+            bytes: frame.len() as u32,
+        });
+        obs.emit(|| Event::FrameReceived {
+            bytes: frame.len() as u32,
+        });
         link.to_agent.send(frame).expect("agent alive");
     };
 
@@ -242,6 +321,7 @@ pub fn run_threaded_churn(
         }
     }
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
+    platform.set_obs(obs.clone());
     for (i, link) in links.iter().enumerate() {
         let msg = platform.init_msg_for(UserId::from_index(i));
         send_counted(
@@ -268,6 +348,11 @@ pub fn run_threaded_churn(
             }
             let replies = collect_round(&platform_inbox, dirty.len(), telemetry);
             for (user, msg) in &replies {
+                obs.emit(|| Event::ResponseEvaluated {
+                    user: user.index() as u32,
+                    kind: ResponseKind::Best,
+                    improving: matches!(msg, UserMsg::Request { .. }),
+                });
                 platform.record_reply(*user, msg);
             }
             let requests = platform.collect_requests();
@@ -290,26 +375,53 @@ pub fn run_threaded_churn(
                     other => panic!("expected Updated, got {other:?}"),
                 }
             }
+            obs.emit(|| Event::SlotCompleted {
+                slot: platform.slots as u64,
+                updated: granted_users.len() as u32,
+                phi: platform.potential(),
+                total_profit: platform.total_profit(),
+            });
         }
         (platform.slots - start, converged)
     };
 
     let mut epoch_slots = Vec::with_capacity(epochs.len() + 1);
     let mut converged = true;
+    obs.emit(|| Event::EpochStarted {
+        epoch: 0,
+        joins: 0,
+        leaves: 0,
+        active: platform.active_count() as u32,
+    });
     let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
     epoch_slots.push(slots);
     converged &= ok;
-    for batch in epochs {
+    obs.emit(|| Event::EpochConverged {
+        epoch: 0,
+        slots: slots as u64,
+        converged: ok,
+        phi: platform.potential(),
+    });
+    for (epoch_idx, batch) in epochs.iter().enumerate() {
+        let mut joins = 0u32;
+        let mut leaves = 0u32;
         for event in batch {
             let frame = UserMsg::from_churn(event).encode();
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            obs.emit(|| Event::FrameSent {
+                bytes: frame.len() as u32,
+            });
+            obs.emit(|| Event::FrameReceived {
+                bytes: frame.len() as u32,
+            });
             let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
             match platform
                 .apply_churn_msg(&msg)
                 .expect("stream events are valid")
             {
                 Some(joined) => {
+                    joins += 1;
                     let UserMsg::Join { spec, initial } = msg else {
                         unreachable!("join returned an id")
                     };
@@ -337,6 +449,7 @@ pub fn run_threaded_churn(
                     );
                 }
                 None => {
+                    leaves += 1;
                     let UserMsg::Leave { user } = msg else {
                         unreachable!("leave returns no id")
                     };
@@ -351,9 +464,22 @@ pub fn run_threaded_churn(
                 }
             }
         }
+        let epoch = (epoch_idx + 1) as u32;
+        obs.emit(|| Event::EpochStarted {
+            epoch,
+            joins,
+            leaves,
+            active: platform.active_count() as u32,
+        });
         let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
         epoch_slots.push(slots);
         converged &= ok;
+        obs.emit(|| Event::EpochConverged {
+            epoch,
+            slots: slots as u64,
+            converged: ok,
+            phi: platform.potential(),
+        });
     }
     drop(to_platform);
     for link in links.iter().flatten() {

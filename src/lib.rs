@@ -13,7 +13,9 @@
 //! * [`runtime`] — the distributed message-passing execution substrate;
 //! * [`online`] — dynamic user churn: event streams, warm-start
 //!   re-equilibration and shard snapshots;
-//! * [`metrics`] — coverage, fairness, reward measures and replication.
+//! * [`metrics`] — coverage, fairness, reward measures and replication;
+//! * [`obs`] — zero-cost-when-disabled structured observability: slot /
+//!   response / frame / epoch events, counters, JSONL traces.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use vcs_algorithms as algorithms;
 pub use vcs_core as core;
 pub use vcs_metrics as metrics;
+pub use vcs_obs as obs;
 pub use vcs_online as online;
 pub use vcs_roadnet as roadnet;
 pub use vcs_runtime as runtime;
@@ -62,6 +65,9 @@ pub mod prelude {
     };
     pub use vcs_metrics::{
         average_reward, coverage, jain_index, overlap_ratio, profile_jain_index, Summary,
+    };
+    pub use vcs_obs::{
+        Event, NoopSubscriber, Obs, RingBufferSubscriber, StatsSubscriber, Subscriber,
     };
     pub use vcs_online::{
         synthetic_stream, trace_stream, EventStream, OnlineAlgorithm, OnlineSim, Snapshot,

@@ -94,8 +94,16 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 256 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (same convention as upstream proptest) so CI can pin
+        /// suite runtime without touching test sources.
         fn default() -> Self {
-            Self { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            Self { cases }
         }
     }
 }
