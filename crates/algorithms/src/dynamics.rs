@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, TaskId, UserId};
 use vcs_core::response::{best_route_set, better_routes, BestResponse, ProfitView};
 use vcs_core::{potential, Engine, Game, Profile};
-use vcs_obs::{Event, Obs, ResponseKind};
+use vcs_obs::{elapsed_nanos, Event, Obs, ResponseKind, SpanKind};
 
 /// Per-user cache of PUU affected-task sets `B_i = L_{s_i} ∪ L_{s'}`, keyed
 /// by candidate route and implicitly by the user's current route.
@@ -168,7 +168,9 @@ pub fn run_distributed(
 
 /// [`run_distributed`] with an observability handle: the engine emits
 /// per-commit `MoveCommitted` events and the driver adds
-/// `ResponseEvaluated` / `SlotCompleted` / `RunCompleted`. With a disabled
+/// `ResponseEvaluated` / `RefreshPass` / `SlotCompleted` / `RunCompleted`
+/// (the incremental drivers batch scan telemetry into one `RefreshPass`
+/// per refresh pass — see `Event::RefreshPass`). With a disabled
 /// handle this *is* `run_distributed` (same RNG stream, same trajectory —
 /// observation never influences the dynamics).
 pub fn run_distributed_observed(
@@ -265,11 +267,14 @@ pub fn run_distributed_from_observed(
             let mut cursor = 0usize;
             engine.take_dirty(); // initial: everything is uncached anyway
             while quiet < m && slots < config.max_slots {
+                // Every BATS turn is a decision slot, so the span is
+                // unconditional.
+                let slot_span = obs.span(SpanKind::Slot);
                 let user = UserId::from_index(cursor);
                 cursor = (cursor + 1) % m;
                 slots += 1;
                 if cache[user.index()].is_none() {
-                    let response = engine.best_route_set(user);
+                    let response = obs.time(SpanKind::BestResponse, || engine.best_route_set(user));
                     obs.emit(|| Event::ResponseEvaluated {
                         user: user.index() as u32,
                         kind: ResponseKind::Best,
@@ -294,6 +299,7 @@ pub fn run_distributed_from_observed(
                     0
                 };
                 record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+                slot_span.finish();
                 obs.emit(|| Event::SlotCompleted {
                     slot: slots as u64,
                     updated: updated as u32,
@@ -336,31 +342,54 @@ pub fn run_distributed_from_observed(
             let mut affected_cache =
                 (algorithm == DistributedAlgorithm::Muun).then(|| AffectedCache::new(game));
             while slots < config.max_slots {
+                // A pass that finds no request is termination, not a
+                // decision slot — nothing is emitted on that path. One clock
+                // read serves as the start of both the slot span and the
+                // refresh-pass span: at ~7µs per slot every extra monotonic
+                // read (~30ns here) is measurable against the <5%
+                // instrumented-overhead budget.
+                let slot_start = obs.enabled().then(std::time::Instant::now);
                 // Alg. 2 line 6: refresh invalidated responses, then collect
                 // requests from users able to improve. `pick` re-draws for
                 // every improving user each slot — cached or not — so the
-                // RNG stream matches the naive driver exactly.
+                // RNG stream matches the naive driver exactly. One span and
+                // one `RefreshPass` event cover the whole pass: a single
+                // incremental scan is ~100ns, far below the cost of timing
+                // or emitting per scan.
+                let mut scans = 0u32;
+                let mut improving = 0u32;
                 for user in engine.take_dirty() {
+                    scans += 1;
                     if brun {
                         let better = engine.better_routes(user);
-                        obs.emit(|| Event::ResponseEvaluated {
-                            user: user.index() as u32,
-                            kind: ResponseKind::Better,
-                            improving: !better.is_empty(),
-                        });
+                        improving += u32::from(!better.is_empty());
                         better_cache[user.index()] = better;
                     } else {
                         let response = engine.best_route_set(user);
-                        obs.emit(|| Event::ResponseEvaluated {
-                            user: user.index() as u32,
-                            kind: ResponseKind::Best,
-                            improving: !response.best_routes.is_empty(),
-                        });
+                        improving += u32::from(!response.best_routes.is_empty());
                         best_cache[user.index()] = response;
                     }
                     if let Some(cache) = &mut affected_cache {
                         cache.invalidate(user);
                     }
+                }
+                if scans > 0 {
+                    if let Some(start) = slot_start {
+                        let nanos = elapsed_nanos(start);
+                        obs.emit(|| Event::SpanRecorded {
+                            kind: SpanKind::BestResponse,
+                            nanos,
+                        });
+                    }
+                    obs.emit(|| Event::RefreshPass {
+                        kind: if brun {
+                            ResponseKind::Better
+                        } else {
+                            ResponseKind::Best
+                        },
+                        scans,
+                        improving,
+                    });
                 }
                 picks.clear();
                 for i in 0..m {
@@ -444,6 +473,13 @@ pub fn run_distributed_from_observed(
                     DistributedAlgorithm::Bats => unreachable!("handled above"),
                 };
                 record(&engine, updated, &mut slot_trace, &mut user_profit_trace);
+                if let Some(start) = slot_start {
+                    let nanos = elapsed_nanos(start);
+                    obs.emit(|| Event::SpanRecorded {
+                        kind: SpanKind::Slot,
+                        nanos,
+                    });
+                }
                 obs.emit(|| Event::SlotCompleted {
                     slot: slots as u64,
                     updated: updated as u32,

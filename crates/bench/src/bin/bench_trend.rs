@@ -1,0 +1,178 @@
+//! `bench_trend` — the performance-trajectory gate.
+//!
+//! Merges the repo's benchmark artifacts into one versioned trajectory and
+//! compares it against the committed baseline:
+//!
+//! ```text
+//! bench_trend [--dir <repo root>]          # merge BENCH_*.json → BENCH_trajectory.json
+//! bench_trend --check [--tolerance <f>]    # gate current artifacts vs committed
+//!                                          # trajectory; exit 1 on regression
+//! bench_trend --selftest                   # inject a 25% regression, require the
+//!                                          # gate to catch it (and pass identity)
+//! ```
+//!
+//! The intended flow: regenerate `BENCH_engine.json` / `BENCH_online.json` /
+//! `BENCH_obs.json` on a quiet machine, run `bench_trend --check` to see
+//! whether any gated ratio fell beyond tolerance, then run `bench_trend` to
+//! ratchet the committed baseline. CI runs `--check` against the committed
+//! artifacts (a deterministic consistency gate — the trajectory must match
+//! what the artifacts derive to) plus `--selftest`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vcs_bench::trend::{
+    build_trajectory, compare, parse_trajectory, render_trajectory, Json, Regression, Trajectory,
+    DEFAULT_TOLERANCE,
+};
+
+const TRAJECTORY_FILE: &str = "BENCH_trajectory.json";
+
+enum Mode {
+    Write,
+    Check,
+    Selftest,
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_current(dir: &Path) -> Result<Trajectory, String> {
+    let engine = read_json(&dir.join("BENCH_engine.json"))?;
+    let online = read_json(&dir.join("BENCH_online.json"))?;
+    let obs = read_json(&dir.join("BENCH_obs.json"))?;
+    build_trajectory(&engine, &online, &obs)
+}
+
+fn print_regressions(found: &[Regression]) {
+    for r in found {
+        if r.current.is_nan() {
+            eprintln!(
+                "REGRESSION {}: baseline {:.4}, metric missing from current artifacts",
+                r.metric, r.baseline
+            );
+        } else {
+            eprintln!(
+                "REGRESSION {}: baseline {:.4} -> current {:.4} ({:+.1}%)",
+                r.metric,
+                r.baseline,
+                r.current,
+                (r.current / r.baseline - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut dir = PathBuf::from(".");
+    let mut tolerance: Option<f64> = None;
+    let mut mode = Mode::Write;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--selftest" => mode = Mode::Selftest,
+            "--dir" => {
+                dir = PathBuf::from(args.next().ok_or("--dir needs a path")?);
+            }
+            "--tolerance" => {
+                let raw = args.next().ok_or("--tolerance needs a value")?;
+                let t: f64 = raw.parse().map_err(|_| format!("bad tolerance {raw:?}"))?;
+                if !(0.0..1.0).contains(&t) {
+                    return Err(format!("tolerance {t} outside [0, 1)"));
+                }
+                tolerance = Some(t);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let current = load_current(&dir)?;
+    match mode {
+        Mode::Write => {
+            let tol = tolerance.unwrap_or(DEFAULT_TOLERANCE);
+            let path = dir.join(TRAJECTORY_FILE);
+            std::fs::write(&path, render_trajectory(&current, tol))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "wrote {} ({} gated, {} informational metrics, tolerance {tol})",
+                path.display(),
+                current.gated.len(),
+                current.informational.len()
+            );
+            Ok(true)
+        }
+        Mode::Check => {
+            let path = dir.join(TRAJECTORY_FILE);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e} (run `bench_trend` to create it)", path.display()))?;
+            let (baseline, recorded_tol) = parse_trajectory(&text)?;
+            let tol = tolerance.unwrap_or(recorded_tol);
+            let found = compare(&current, &baseline, tol);
+            if found.is_empty() {
+                // Surface improvements so the baseline can be ratcheted.
+                for (metric, base) in &baseline.gated {
+                    if let Some(&(_, now)) = current.gated.iter().find(|(k, _)| k == metric) {
+                        if now > base * (1.0 + tol) {
+                            println!(
+                                "improved  {metric}: {base:.4} -> {now:.4} ({:+.1}%)",
+                                (now / base - 1.0) * 100.0
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "trend OK: {} gated metrics within {:.0}% of baseline",
+                    baseline.gated.len(),
+                    tol * 100.0
+                );
+                Ok(true)
+            } else {
+                print_regressions(&found);
+                eprintln!(
+                    "trend FAIL: {}/{} gated metrics regressed beyond {:.0}%",
+                    found.len(),
+                    baseline.gated.len(),
+                    tol * 100.0
+                );
+                Ok(false)
+            }
+        }
+        Mode::Selftest => {
+            let tol = tolerance.unwrap_or(DEFAULT_TOLERANCE);
+            if !compare(&current, &current, tol).is_empty() {
+                return Err("selftest: identity comparison reported regressions".into());
+            }
+            let mut injected = current.clone();
+            for (_, v) in &mut injected.gated {
+                *v *= 0.75;
+            }
+            let found = compare(&injected, &current, tol);
+            if found.len() != current.gated.len() {
+                return Err(format!(
+                    "selftest: injected 25% regression on {} metrics, gate caught only {}",
+                    current.gated.len(),
+                    found.len()
+                ));
+            }
+            println!(
+                "selftest OK: identity passes, injected 25% regression trips all {} gated metrics",
+                current.gated.len()
+            );
+            Ok(true)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_trend: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

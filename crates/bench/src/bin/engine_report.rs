@@ -8,10 +8,20 @@
 //! keep the naive driver's runtime bounded; the speedup is then measured on
 //! the shared trajectory prefix. Each measurement takes the best of three
 //! runs to damp scheduler noise.
+//!
+//! `--prometheus <path>` additionally replays every (algorithm, size) cell
+//! once under a [`vcs_obs::StatsSubscriber`] and dumps the final Prometheus
+//! text exposition (counters + span latency histograms) to `path` — the
+//! same bytes a live `/metrics` scrape would return after those runs.
 
+use std::sync::Arc;
 use std::time::Instant;
-use vcs_algorithms::{run_distributed, run_distributed_naive, DistributedAlgorithm, RunConfig};
+use vcs_algorithms::{
+    run_distributed, run_distributed_naive, run_distributed_observed, DistributedAlgorithm,
+    RunConfig,
+};
 use vcs_bench::synthetic_game;
+use vcs_obs::{validate_prometheus_text, Obs, StatsSubscriber};
 
 struct Row {
     algorithm: &'static str,
@@ -60,9 +70,18 @@ fn json_escape_free(rows: &[Row]) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut prometheus_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--prometheus" {
+            prometheus_path = Some(args.next().expect("--prometheus needs a path"));
+        } else {
+            out_path = arg;
+        }
+    }
+    let stats = Arc::new(StatsSubscriber::new());
+    let stats_obs = Obs::new(stats.clone());
     let mut rows = Vec::new();
     for users in [100usize, 500, 2000] {
         // Tasks scale with users (city-scale deployments grow both), keeping
@@ -73,6 +92,11 @@ fn main() {
         // then run the same capped trajectory.
         config.max_slots = if users >= 2000 { 60 } else { 1_000_000 };
         for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
+            if prometheus_path.is_some() {
+                // One instrumented replay per cell, outside the timed reps,
+                // so the exposition covers every (algorithm, size) pair.
+                run_distributed_observed(&game, algo, &config, &stats_obs);
+            }
             let (slots, engine_rate) = measure(3, || run_distributed(&game, algo, &config).slots);
             let (naive_slots, naive_rate) =
                 measure(3, || run_distributed_naive(&game, algo, &config).slots);
@@ -98,4 +122,15 @@ fn main() {
     }
     std::fs::write(&out_path, json_escape_free(&rows)).expect("write benchmark report");
     eprintln!("wrote {out_path}");
+    if let Some(path) = prometheus_path {
+        let text = stats.prometheus_text();
+        validate_prometheus_text(&text).expect("exposition is valid");
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create prometheus output directory");
+            }
+        }
+        std::fs::write(&path, text).expect("write prometheus exposition");
+        eprintln!("wrote {path}");
+    }
 }

@@ -10,7 +10,8 @@
 //! * **stats** — a live [`StatsSubscriber`] (atomic counters + histograms),
 //!   the realistic always-on production cost.
 //!
-//! Each rate is the best of several runs to damp scheduler noise. Pass
+//! Each rate is the best of several ≥25ms timing windows, with the three
+//! configs interleaved so machine-speed drift cannot bias one of them. Pass
 //! `--smoke` for a fast CI variant (smallest size, fewer repetitions);
 //! pass a path to override the output file.
 
@@ -41,17 +42,30 @@ impl Row {
     }
 }
 
-/// Best-of-`reps` slots/sec for one driver.
-fn measure(reps: usize, mut run: impl FnMut() -> usize) -> (usize, f64) {
-    let mut best = 0.0f64;
-    let mut slots = 0;
-    for _ in 0..reps {
-        let start = Instant::now();
+/// One timing window: repeats the run until at least [`MIN_WINDOW`] has
+/// elapsed and divides the *total* slots by the window. A single DGRN run
+/// is only 0.3–3 ms — far too short to time reliably on a shared box when
+/// the deltas being resolved are a few percent. Callers take the best of
+/// several windows with the three configs *interleaved*, so slow machine
+/// phases (co-tenant load, frequency drift) hit every config equally
+/// instead of biasing whichever was measured during the slow minute.
+const MIN_WINDOW: std::time::Duration = std::time::Duration::from_millis(25);
+
+fn window(run: &mut dyn FnMut() -> usize) -> (usize, f64) {
+    let start = Instant::now();
+    let mut total = 0usize;
+    let mut slots;
+    loop {
         slots = run();
-        let rate = slots as f64 / start.elapsed().as_secs_f64().max(1e-12);
-        best = best.max(rate);
+        total += slots;
+        if start.elapsed() >= MIN_WINDOW {
+            break;
+        }
     }
-    (slots, best)
+    (
+        slots,
+        total as f64 / start.elapsed().as_secs_f64().max(1e-12),
+    )
 }
 
 fn json_escape_free(rows: &[Row], smoke: bool) -> String {
@@ -94,18 +108,24 @@ fn main() {
         for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
             // Warm up caches/allocator before timing anything.
             let reference = run_distributed(&game, algo, &config);
-            let (slots, plain_rate) = measure(reps, || run_distributed(&game, algo, &config).slots);
-            assert_eq!(slots, reference.slots);
+            let slots = reference.slots;
             let noop = Obs::disabled();
-            let (noop_slots, noop_rate) = measure(reps, || {
-                run_distributed_observed(&game, algo, &config, &noop).slots
-            });
-            assert_eq!(noop_slots, slots, "disabled observation perturbed the run");
             let stats_obs = Obs::new(Arc::new(StatsSubscriber::new()));
-            let (stats_slots, stats_rate) = measure(reps, || {
-                run_distributed_observed(&game, algo, &config, &stats_obs).slots
-            });
-            assert_eq!(stats_slots, slots, "live observation perturbed the run");
+            let (mut plain_rate, mut noop_rate, mut stats_rate) = (0.0f64, 0.0f64, 0.0f64);
+            for _ in 0..reps {
+                let (s, r) = window(&mut || run_distributed(&game, algo, &config).slots);
+                assert_eq!(s, slots);
+                plain_rate = plain_rate.max(r);
+                let (s, r) =
+                    window(&mut || run_distributed_observed(&game, algo, &config, &noop).slots);
+                assert_eq!(s, slots, "disabled observation perturbed the run");
+                noop_rate = noop_rate.max(r);
+                let (s, r) = window(&mut || {
+                    run_distributed_observed(&game, algo, &config, &stats_obs).slots
+                });
+                assert_eq!(s, slots, "live observation perturbed the run");
+                stats_rate = stats_rate.max(r);
+            }
             let row = Row {
                 algorithm: algo.name(),
                 users,

@@ -5,8 +5,10 @@
 //! Usage:
 //!
 //! * `trace_report <trace.jsonl>` — analyze an existing trace: print the
-//!   move/anchor counts, the final reconstructed ϕ and the maximum absolute
-//!   reconstruction error; exits nonzero if the error exceeds 1e-9.
+//!   move/anchor counts, the final reconstructed ϕ, the maximum absolute
+//!   reconstruction error, and a per-[`vcs_obs::SpanKind`] wall-clock latency table
+//!   (count / p50 / p99 / max / total) when the trace carries `span`
+//!   records; exits nonzero if the error exceeds 1e-9.
 //! * `trace_report --selftest [dir]` — capture a fresh trace end-to-end
 //!   (observed DGRN and MUUN runs on a synthetic game, written through
 //!   [`JsonlSubscriber`]), then reconstruct it and verify the trajectory
@@ -17,7 +19,20 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use vcs_algorithms::{run_distributed_observed, DistributedAlgorithm, RunConfig};
 use vcs_bench::synthetic_game;
-use vcs_obs::{reconstruct_phi, JsonlSubscriber, Obs};
+use vcs_obs::{reconstruct_phi, summarize_spans, JsonlSubscriber, Obs};
+
+/// Renders nanoseconds human-first (traces span ns..seconds).
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
 
 /// The acceptance tolerance: reconstructed ϕ must match the engine's
 /// recorded values to within this absolute error at every event.
@@ -51,6 +66,25 @@ fn analyze(path: &Path) -> ExitCode {
         None => println!("final ϕ:  (no ϕ-bearing events)"),
     }
     println!("max err:  {:.3e}", recon.max_abs_err);
+    let spans = summarize_spans(&events);
+    if !spans.is_empty() {
+        println!("spans:");
+        println!(
+            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "kind", "count", "p50", "p99", "max", "total"
+        );
+        for s in &spans {
+            println!(
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                s.kind.tag(),
+                s.count,
+                fmt_nanos(s.p50_nanos),
+                fmt_nanos(s.p99_nanos),
+                fmt_nanos(s.max_nanos),
+                fmt_nanos(s.total_nanos)
+            );
+        }
+    }
     if recon.max_abs_err <= TOLERANCE {
         println!("PASS: reconstruction within {TOLERANCE:e}");
         ExitCode::SUCCESS

@@ -9,10 +9,16 @@
 //! * `substrates` — road-network, trace and scenario substrate performance;
 //! * `solvers` — best-response scans, full dynamics, PUU selection, CORN
 //!   branch-and-bound and the message-passing runtimes.
+//!
+//! The [`trend`] module (driven by the `bench_trend` bin) merges the
+//! committed `BENCH_*.json` artifacts into one versioned
+//! `BENCH_trajectory.json` and gates regenerated numbers against it.
 
 use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig, RunOutcome};
 use vcs_core::Game;
 use vcs_scenario::{Dataset, ScenarioConfig, ScenarioParams, UserPool};
+
+pub mod trend;
 
 /// Builds the standard benchmark pool (Shanghai analogue, fixed seed).
 pub fn bench_pool() -> UserPool {

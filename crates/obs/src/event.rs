@@ -1,5 +1,7 @@
 //! The slot-level event taxonomy.
 
+use crate::span::SpanKind;
+
 /// Which response rule produced an evaluation (Alg. 1 best response vs the
 /// BRUN/BATS better-response rules).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +92,23 @@ pub enum Event {
         /// Whether a strictly improving route was found.
         improving: bool,
     },
+    /// One batched refresh pass of an incremental dynamics driver: every
+    /// dirty user re-scanned back-to-back before a grant. The hot in-process
+    /// loops emit this *instead of* per-user [`ResponseEvaluated`] events —
+    /// an incremental scan is ~100ns and a pass covers dozens of them, so
+    /// per-scan events would dominate the instrumented cost (the same
+    /// batching as [`SpanKind::BestResponse`]). Runtimes whose scans cross a
+    /// channel keep the per-user event.
+    ///
+    /// [`ResponseEvaluated`]: Event::ResponseEvaluated
+    RefreshPass {
+        /// Best- or better-response scans.
+        kind: ResponseKind,
+        /// Users re-evaluated in this pass.
+        scans: u32,
+        /// How many of them found a strictly improving route.
+        improving: u32,
+    },
     /// A decision slot finished.
     SlotCompleted {
         /// Slot number (1-based, matching `SlotTrace`).
@@ -143,6 +162,14 @@ pub enum Event {
         /// Potential at the epoch equilibrium.
         phi: f64,
     },
+    /// A wall-clock profiling span closed (see [`crate::span`]): one timed
+    /// section of the hot path, on the OS monotonic clock.
+    SpanRecorded {
+        /// What the span measured.
+        kind: SpanKind,
+        /// Elapsed monotonic nanoseconds.
+        nanos: u64,
+    },
     /// A dynamics run finished (terminal event of `run_distributed`).
     RunCompleted {
         /// Total decision slots.
@@ -166,6 +193,7 @@ impl Event {
             Event::UserJoined { .. } => "user_joined",
             Event::UserLeft { .. } => "user_left",
             Event::ResponseEvaluated { .. } => "response_evaluated",
+            Event::RefreshPass { .. } => "refresh_pass",
             Event::SlotCompleted { .. } => "slot_completed",
             Event::FrameSent { .. } => "frame_sent",
             Event::FrameReceived { .. } => "frame_received",
@@ -173,6 +201,7 @@ impl Event {
             Event::Retransmission { .. } => "retransmission",
             Event::EpochStarted { .. } => "epoch_started",
             Event::EpochConverged { .. } => "epoch_converged",
+            Event::SpanRecorded { .. } => "span",
             Event::RunCompleted { .. } => "run_completed",
         }
     }

@@ -1,0 +1,272 @@
+//! A dependency-free live `/metrics` endpoint over `std::net`.
+//!
+//! [`MetricsExporter`] binds a [`TcpListener`], spawns one accept-loop
+//! thread, and answers three `GET` routes off a shared
+//! [`StatsSubscriber`]:
+//!
+//! * `/metrics` — Prometheus text exposition (`text/plain; version=0.0.4`),
+//! * `/healthz` — liveness probe (`ok`),
+//! * `/snapshot` — JSON counters plus the latest ϕ / total profit.
+//!
+//! Requests are served one at a time off a fresh snapshot, so scraping a
+//! run mid-epoch is safe: the subscriber is all relaxed atomics and the
+//! simulation threads never block on the exporter. There is no HTTP
+//! library in the workspace and none is needed — the exposition format is
+//! line-oriented text and a scrape is a single short-lived connection.
+//!
+//! Shutdown is cooperative: [`shutdown`](MetricsExporter::shutdown) flips a
+//! flag and then self-connects once to unpark the blocking `accept`, and
+//! the loop also wakes whenever any scrape arrives — no busy-wait, no
+//! platform-specific socket teardown.
+
+use crate::stats::StatsSubscriber;
+use crate::subscriber::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the exporter waits for a request line before dropping a
+/// connection. Scrapes are local and tiny; a stuck client must not wedge
+/// the accept loop.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A live HTTP metrics endpoint backed by a [`StatsSubscriber`].
+///
+/// Construct with [`MetricsExporter::bind`] (use port `0` for an ephemeral
+/// port and read it back with [`addr`](MetricsExporter::addr)). The
+/// endpoint serves until [`shutdown`](MetricsExporter::shutdown) or drop.
+#[derive(Debug)]
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `stats`.
+    pub fn bind(addr: impl ToSocketAddrs, stats: Arc<StatsSubscriber>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("vcs-metrics-exporter".into())
+                .spawn(move || accept_loop(&listener, &stats, &stop))?
+        };
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unpark the blocking accept with one throwaway connection; if the
+        // connect fails the listener is already gone and the loop exits on
+        // its next error anyway.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stats: &StatsSubscriber, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        serve_one(&mut stream, stats);
+    }
+}
+
+/// Reads one request head and writes one response. Errors are swallowed:
+/// a broken scrape must never take the exporter (or the run) down.
+fn serve_one(stream: &mut TcpStream, stats: &StatsSubscriber) {
+    let Some(path) = read_request_path(stream) else {
+        return;
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            stats.prometheus_text(),
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/snapshot" => ("200 OK", "application/json", stats.snapshot_json()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Parses the request line of one HTTP request (`GET <path> HTTP/1.x`),
+/// returning the path. Non-GET methods and garbage return `None`.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    // A scrape's request head is tiny; 2 KiB is plenty and bounds a
+    // misbehaving client.
+    let mut buf = [0u8; 2048];
+    let mut filled = 0;
+    loop {
+        let n = stream.read(&mut buf[filled..]).ok()?;
+        if n == 0 {
+            return None;
+        }
+        filled += n;
+        if buf[..filled].windows(2).any(|w| w == b"\r\n") || filled == buf.len() {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..filled]).ok()?;
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next()?, parts.next()?);
+    (method == "GET").then(|| path.to_string())
+}
+
+/// A [`StatsSubscriber`] bundled with a running [`MetricsExporter`]: the
+/// one-call opt-in the runtimes use for live monitoring.
+///
+/// [`LiveMonitor::bind`] creates the subscriber and serves it;
+/// [`obs`](LiveMonitor::obs) hands out the [`Obs`] handle to attach to an
+/// engine, a threaded run or an `OnlineSim`; [`stats`](LiveMonitor::stats)
+/// gives direct access for end-of-run reporting after (or while) the
+/// endpoint is live.
+#[derive(Debug)]
+pub struct LiveMonitor {
+    stats: Arc<StatsSubscriber>,
+    exporter: MetricsExporter,
+}
+
+impl LiveMonitor {
+    /// Binds `addr` with a fresh all-zero [`StatsSubscriber`].
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stats = Arc::new(StatsSubscriber::new());
+        let exporter = MetricsExporter::bind(addr, Arc::clone(&stats))?;
+        Ok(Self { stats, exporter })
+    }
+
+    /// The address the endpoint is serving on.
+    pub fn addr(&self) -> SocketAddr {
+        self.exporter.addr()
+    }
+
+    /// An [`Obs`] handle delivering into the monitored subscriber.
+    pub fn obs(&self) -> Obs {
+        Obs::new(self.stats.clone() as Arc<dyn crate::Subscriber>)
+    }
+
+    /// The monitored subscriber itself.
+    pub fn stats(&self) -> &Arc<StatsSubscriber> {
+        &self.stats
+    }
+
+    /// Stops serving (the stats stay readable). Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        self.exporter.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::stats::validate_prometheus_text;
+    use crate::Subscriber;
+
+    /// One GET against a live exporter, returning (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        let status = head.lines().next().expect("status line").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_snapshot_and_404() {
+        let stats = Arc::new(StatsSubscriber::new());
+        stats.event(&Event::SlotCompleted {
+            slot: 1,
+            updated: 1,
+            phi: 2.0,
+            total_profit: 3.0,
+        });
+        let mut exporter =
+            MetricsExporter::bind("127.0.0.1:0", Arc::clone(&stats)).expect("bind ephemeral");
+        let addr = exporter.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("vcs_slots_total 1"));
+        validate_prometheus_text(&body).expect("valid exposition over HTTP");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/snapshot");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"phi\": 2.0"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        exporter.shutdown();
+        exporter.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn live_monitor_observes_through_its_obs_handle() {
+        let mut monitor = LiveMonitor::bind("127.0.0.1:0").expect("bind");
+        let obs = monitor.obs();
+        assert!(obs.enabled());
+        obs.emit(|| Event::FrameSent { bytes: 64 });
+        assert_eq!(monitor.stats().frames(), (1, 0, 0));
+        let (status, body) = get(monitor.addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("vcs_frames_sent_total 1"));
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn non_get_and_garbage_requests_get_no_response() {
+        let stats = Arc::new(StatsSubscriber::new());
+        let exporter = MetricsExporter::bind("127.0.0.1:0", stats).expect("bind");
+        let addr = exporter.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.is_empty());
+        // The exporter must still serve the next request.
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+}

@@ -20,7 +20,15 @@
 //! * [`trace`] helpers — parse a JSONL trace back into events and
 //!   reconstruct the ϕ trajectory from per-move deltas
 //!   ([`reconstruct_phi`]), cross-checked against the absolute values the
-//!   engine recorded (the `trace_report` bin in `vcs-bench` drives this).
+//!   engine recorded (the `trace_report` bin in `vcs-bench` drives this);
+//! * [`span`] — monotonic wall-clock profiling spans ([`SpanKind`],
+//!   [`Obs::span`], [`Obs::time`]) flowing through the same
+//!   closure-deferred handle, so the disabled path stays one branch;
+//! * [`MetricsExporter`] / [`LiveMonitor`] — a dependency-free
+//!   `TcpListener` HTTP endpoint serving `/metrics` (Prometheus text
+//!   exposition), `/healthz` and `/snapshot` off a live
+//!   [`StatsSubscriber`], so a running simulation can be scraped
+//!   mid-epoch.
 //!
 //! This crate is a dependency *leaf* (only the vendored `parking_lot`), so
 //! `vcs-core` itself can depend on it; events therefore carry raw `u32`/
@@ -30,13 +38,17 @@
 #![warn(missing_docs)]
 
 mod event;
+mod exporter;
 mod jsonl;
+pub mod span;
 mod stats;
 mod subscriber;
 pub mod trace;
 
 pub use event::{Event, ResponseKind};
+pub use exporter::{LiveMonitor, MetricsExporter};
 pub use jsonl::JsonlSubscriber;
-pub use stats::{Histogram, StatsSubscriber};
+pub use span::{elapsed_nanos, summarize_spans, SpanKind, SpanSummary, SpanTimer};
+pub use stats::{validate_prometheus_text, Histogram, SpanHistogram, StatsSubscriber};
 pub use subscriber::{NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
 pub use trace::{reconstruct_phi, PhiPoint, PhiReconstruction, TraceError};

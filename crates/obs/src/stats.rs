@@ -1,7 +1,9 @@
-//! Atomic counters and log-bucketed histograms with a Prometheus-style
-//! text dump.
+//! Atomic counters, log-bucketed histograms and span-latency tracking with
+//! a Prometheus text-exposition dump, plus the exposition validator the
+//! test suites and the `/metrics` exporter share.
 
 use crate::event::{Event, ResponseKind};
+use crate::span::SpanKind;
 use crate::subscriber::Subscriber;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,17 +70,125 @@ impl Histogram {
     }
 
     /// Renders the histogram in Prometheus text exposition format.
+    ///
+    /// The spec requires the `+Inf` bucket and the `_count`/`_sum` series
+    /// exactly once per family, with `+Inf` equal to `_count`. Both are
+    /// therefore derived from **one snapshot** of the per-bucket cells: the
+    /// separately maintained `count` atomic may transiently disagree with
+    /// the bucket cells while another thread is mid-[`record`](Self::record)
+    /// (bucket incremented, count not yet), and emitting it verbatim used
+    /// to produce expositions where `+Inf ≠ _count` — which Prometheus
+    /// rejects as an inconsistent histogram.
     fn render(&self, name: &str, out: &mut String) {
         let _ = writeln!(out, "# TYPE {name} histogram");
+        let cells: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let mut cumulative = 0u64;
         for (j, &bound) in self.bounds.iter().enumerate() {
-            cumulative += self.buckets[j].load(Ordering::Relaxed);
+            cumulative += cells[j];
             let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
         }
-        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        cumulative += cells[self.bounds.len()];
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
         let _ = writeln!(out, "{name}_sum {:?}", self.sum());
-        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+/// Upper bounds of the span-latency buckets, integer nanoseconds (log
+/// decades 10 ns … 10 s, plus the implicit `+Inf`).
+const SPAN_BOUNDS_NANOS: [u64; 10] = [
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// The same bounds in seconds, pre-formatted for `le` labels (`{:?}` on
+/// these exact constants keeps the exposition byte-stable).
+const SPAN_BOUNDS_SECONDS: [f64; 10] = [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A latency histogram specialized for span records.
+///
+/// Span records land on the per-slot hot path, where `obs_report` bills
+/// every nanosecond of instrumentation against the <5% overhead budget —
+/// so unlike the general [`Histogram`] this one works entirely in integer
+/// nanoseconds: recording is three relaxed `fetch_add`s (bucket, count,
+/// nanosecond sum) with no f64 compare-exchange loop. Rendering converts
+/// to seconds, keeping the exposition families `vcs_span_*_seconds`.
+#[derive(Debug)]
+pub struct SpanHistogram {
+    /// One cell per bound plus the `+Inf` cell.
+    buckets: [AtomicU64; SPAN_BOUNDS_NANOS.len() + 1],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for SpanHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanHistogram {
+    /// A fresh all-zero span histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span duration.
+    pub fn record_nanos(&self, nanos: u64) {
+        let idx = SPAN_BOUNDS_NANOS
+            .iter()
+            .position(|&b| nanos <= b)
+            .unwrap_or(SPAN_BOUNDS_NANOS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of spans recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Renders in Prometheus text exposition format, seconds-valued. Same
+    /// single-snapshot discipline as [`Histogram::render`]: `+Inf` and
+    /// `_count` derive from one read of the bucket cells.
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let cells: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut cumulative = 0u64;
+        for (j, &bound) in SPAN_BOUNDS_SECONDS.iter().enumerate() {
+            cumulative += cells[j];
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
+        }
+        cumulative += cells[SPAN_BOUNDS_NANOS.len()];
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {:?}", self.sum_seconds());
+        let _ = writeln!(out, "{name}_count {cumulative}");
     }
 }
 
@@ -101,6 +211,24 @@ macro_rules! counters {
                         self.$field.load(Ordering::Relaxed)
                     );
                 )*
+            }
+
+            /// `"name": value` pairs, comma-separated (for the JSON snapshot).
+            fn render_json(&self, out: &mut String) {
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "\"{}\": {}",
+                        stringify!($field),
+                        self.$field.load(Ordering::Relaxed)
+                    );
+                )*
+                let _ = first;
             }
         }
     };
@@ -125,13 +253,39 @@ counters! {
     runs_completed,
 }
 
-/// Aggregating subscriber: counts every event class and buckets ϕ-move
-/// magnitudes, frame sizes and per-epoch re-convergence slot counts.
+/// An f64 gauge stored as bits in an atomic; NaN bits mean "never set".
+#[derive(Debug)]
+struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(f64::NAN.to_bits()))
+    }
+}
+
+impl Gauge {
+    fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn get(&self) -> Option<f64> {
+        let value = f64::from_bits(self.0.load(Ordering::Relaxed));
+        (!value.is_nan()).then_some(value)
+    }
+}
+
+/// Aggregating subscriber: counts every event class, buckets ϕ-move
+/// magnitudes, frame sizes, per-epoch re-convergence slot counts and
+/// per-[`SpanKind`] wall-clock latencies, and tracks the latest ϕ / total
+/// profit the engine reported.
 ///
 /// All updates are relaxed atomics (plus a CAS loop for the float sums), so
 /// it is cheap enough to leave attached to a threaded run. Snapshot with
-/// the typed accessors or dump everything with
-/// [`prometheus_text`](StatsSubscriber::prometheus_text).
+/// the typed accessors, dump everything with
+/// [`prometheus_text`](StatsSubscriber::prometheus_text) (the `/metrics`
+/// surface of [`MetricsExporter`](crate::MetricsExporter)) or
+/// [`snapshot_json`](StatsSubscriber::snapshot_json) (its `/snapshot`
+/// surface).
 #[derive(Debug)]
 pub struct StatsSubscriber {
     counters: Counters,
@@ -141,6 +295,13 @@ pub struct StatsSubscriber {
     frame_bytes: Histogram,
     /// Warm re-convergence slots per churn epoch.
     epoch_slots: Histogram,
+    /// Per-kind span latencies, log buckets 10 ns … 10 s, indexed by
+    /// [`SpanKind::index`].
+    span_seconds: Vec<SpanHistogram>,
+    /// Latest ϕ any ϕ-carrying event reported.
+    phi: Gauge,
+    /// Latest total profit any profit-carrying event reported.
+    total_profit: Gauge,
 }
 
 impl Default for StatsSubscriber {
@@ -157,6 +318,9 @@ impl StatsSubscriber {
             phi_delta: Histogram::new(&[1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 1e1, 1e3]),
             frame_bytes: Histogram::new(&[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0]),
             epoch_slots: Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]),
+            span_seconds: SpanKind::ALL.iter().map(|_| SpanHistogram::new()).collect(),
+            phi: Gauge::default(),
+            total_profit: Gauge::default(),
         }
     }
 
@@ -225,14 +389,85 @@ impl StatsSubscriber {
         &self.epoch_slots
     }
 
-    /// Dumps every counter and histogram in Prometheus text exposition
-    /// format (`vcs_*_total` counters, `vcs_*` histograms).
+    /// The latency histogram of one span kind.
+    pub fn span_histogram(&self, kind: SpanKind) -> &SpanHistogram {
+        &self.span_seconds[kind.index()]
+    }
+
+    /// The latest ϕ reported by any ϕ-carrying event (`None` before the
+    /// first such event).
+    pub fn latest_phi(&self) -> Option<f64> {
+        self.phi.get()
+    }
+
+    /// The latest total profit reported (`None` before the first event).
+    pub fn latest_total_profit(&self) -> Option<f64> {
+        self.total_profit.get()
+    }
+
+    /// Dumps every counter, gauge and histogram in Prometheus text
+    /// exposition format (`vcs_*_total` counters, `vcs_phi` /
+    /// `vcs_total_profit` gauges once set, `vcs_*` histograms, and one
+    /// `vcs_span_<kind>_seconds` histogram per recorded span kind).
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
         self.counters.render(&mut out);
+        if let Some(phi) = self.phi.get() {
+            let _ = writeln!(out, "# TYPE vcs_phi gauge\nvcs_phi {phi:?}");
+        }
+        if let Some(profit) = self.total_profit.get() {
+            let _ = writeln!(
+                out,
+                "# TYPE vcs_total_profit gauge\nvcs_total_profit {profit:?}"
+            );
+        }
         self.phi_delta.render("vcs_phi_delta_abs", &mut out);
         self.frame_bytes.render("vcs_frame_bytes", &mut out);
         self.epoch_slots.render("vcs_epoch_slots", &mut out);
+        for kind in SpanKind::ALL {
+            self.span_seconds[kind.index()]
+                .render(&format!("vcs_span_{}_seconds", kind.tag()), &mut out);
+        }
+        out
+    }
+
+    /// Dumps counters, the latest ϕ / total profit and per-kind span
+    /// aggregates as one JSON object (the exporter's `/snapshot` body).
+    /// `phi` / `total_profit` are `null` until the first ϕ-carrying event.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        self.counters.render_json(&mut out);
+        out.push_str("}, \"phi\": ");
+        match self.phi.get() {
+            Some(phi) => {
+                let _ = write!(out, "{phi:?}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"total_profit\": ");
+        match self.total_profit.get() {
+            Some(profit) => {
+                let _ = write!(out, "{profit:?}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"spans\": {");
+        let mut first = true;
+        for kind in SpanKind::ALL {
+            let hist = &self.span_seconds[kind.index()];
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {}, \"sum_seconds\": {:?}}}",
+                kind.tag(),
+                hist.count(),
+                hist.sum_seconds()
+            );
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -241,16 +476,32 @@ impl Subscriber for StatsSubscriber {
     fn event(&self, event: &Event) {
         let c = &self.counters;
         match *event {
-            Event::EngineInit { .. } => {}
+            Event::EngineInit {
+                phi, total_profit, ..
+            } => {
+                self.phi.set(phi);
+                self.total_profit.set(total_profit);
+            }
             Event::MoveCommitted { phi_delta, .. } => {
                 c.moves.fetch_add(1, Ordering::Relaxed);
                 self.phi_delta.record(phi_delta.abs());
+                // No gauge stores here: moves are the hottest event, and a
+                // slot completes (updating both gauges) right after every
+                // commit anyway — gauges track slot/epoch granularity.
             }
-            Event::UserJoined { .. } => {
+            Event::UserJoined {
+                phi, total_profit, ..
+            } => {
                 c.joins.fetch_add(1, Ordering::Relaxed);
+                self.phi.set(phi);
+                self.total_profit.set(total_profit);
             }
-            Event::UserLeft { .. } => {
+            Event::UserLeft {
+                phi, total_profit, ..
+            } => {
                 c.leaves.fetch_add(1, Ordering::Relaxed);
+                self.phi.set(phi);
+                self.total_profit.set(total_profit);
             }
             Event::ResponseEvaluated {
                 kind, improving, ..
@@ -263,8 +514,31 @@ impl Subscriber for StatsSubscriber {
                     c.improving_responses.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Event::SlotCompleted { .. } => {
+            // A batched pass contributes its scan counts to the same
+            // counters the per-user event feeds, so `vcs_*_responses_total`
+            // means the same thing whichever granularity the driver emits.
+            Event::RefreshPass {
+                kind,
+                scans,
+                improving,
+            } => {
+                match kind {
+                    ResponseKind::Best => c
+                        .best_responses
+                        .fetch_add(u64::from(scans), Ordering::Relaxed),
+                    ResponseKind::Better => c
+                        .better_responses
+                        .fetch_add(u64::from(scans), Ordering::Relaxed),
+                };
+                c.improving_responses
+                    .fetch_add(u64::from(improving), Ordering::Relaxed);
+            }
+            Event::SlotCompleted {
+                phi, total_profit, ..
+            } => {
                 c.slots.fetch_add(1, Ordering::Relaxed);
+                self.phi.set(phi);
+                self.total_profit.set(total_profit);
             }
             Event::FrameSent { bytes } => {
                 c.frames_sent.fetch_add(1, Ordering::Relaxed);
@@ -287,18 +561,188 @@ impl Subscriber for StatsSubscriber {
                 c.epochs_started.fetch_add(1, Ordering::Relaxed);
             }
             Event::EpochConverged {
-                slots, converged, ..
+                slots,
+                converged,
+                phi,
+                ..
             } => {
                 if converged {
                     c.epochs_converged.fetch_add(1, Ordering::Relaxed);
                 }
                 self.epoch_slots.record(slots as f64);
+                self.phi.set(phi);
             }
-            Event::RunCompleted { .. } => {
+            Event::SpanRecorded { kind, nanos } => {
+                self.span_seconds[kind.index()].record_nanos(nanos);
+            }
+            Event::RunCompleted { phi, .. } => {
                 c.runs_completed.fetch_add(1, Ordering::Relaxed);
+                self.phi.set(phi);
             }
         }
     }
+}
+
+/// Validates a Prometheus **text exposition** document (the format
+/// `prometheus_text` and the `/metrics` endpoint emit).
+///
+/// Enforced rules (the subset of the exposition spec the workspace relies
+/// on, checked by the satellite tests of this PR):
+///
+/// * every sample line parses as `name[{labels}] value` with a float value;
+/// * every metric family has exactly one `# TYPE` line, appearing before
+///   its samples;
+/// * histogram families have exactly one `_sum`, exactly one `_count`, at
+///   least one `_bucket`, no duplicate `le` labels, cumulative bucket
+///   values that never decrease, and the mandatory `le="+Inf"` bucket
+///   exactly once — equal to `_count`.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct HistState {
+        les: Vec<(String, f64)>,
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut hists: HashMap<String, HistState> = HashMap::new();
+
+    let parse_value = |raw: &str| -> Result<f64, String> {
+        match raw {
+            "+Inf" => Ok(f64::INFINITY),
+            "-Inf" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            other => other
+                .parse::<f64>()
+                .map_err(|_| format!("unparseable sample value {other:?}")),
+        }
+    };
+
+    for (idx, line) in text.lines().enumerate() {
+        let err = |detail: String| format!("exposition line {}: {detail}", idx + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(err(format!("malformed TYPE line {line:?}")));
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err(format!("unknown metric type {kind:?}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(err(format!("duplicate TYPE for {name:?}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample: name{labels} value  |  name value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err(format!("sample without value: {line:?}")))?;
+        let value = parse_value(value).map_err(err)?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err(format!("unterminated label set: {series:?}")))?;
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        // Resolve the family: histogram children carry suffixes.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                    .map(|base| (base, *suffix))
+            })
+            .map(|(base, suffix)| (base.to_string(), suffix));
+        match family {
+            Some((base, "_bucket")) => {
+                let labels =
+                    labels.ok_or_else(|| err(format!("{name} bucket without le label")))?;
+                let le = labels
+                    .split(',')
+                    .find_map(|l| l.trim().strip_prefix("le=\""))
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| err(format!("{name} bucket without le label")))?;
+                let state = hists.entry(base).or_default();
+                if state.les.iter().any(|(seen, _)| seen == le) {
+                    return Err(err(format!("duplicate le={le:?} bucket for {name}")));
+                }
+                state.les.push((le.to_string(), value));
+            }
+            Some((base, "_sum")) => {
+                let state = hists.entry(base.clone()).or_default();
+                if state.sum.replace(value).is_some() {
+                    return Err(err(format!("duplicate {base}_sum")));
+                }
+            }
+            Some((base, "_count")) => {
+                let state = hists.entry(base.clone()).or_default();
+                if state.count.replace(value).is_some() {
+                    return Err(err(format!("duplicate {base}_count")));
+                }
+            }
+            _ => {
+                if !types.contains_key(name) {
+                    return Err(err(format!("sample {name:?} has no TYPE declaration")));
+                }
+            }
+        }
+    }
+
+    for (base, state) in &hists {
+        let count = state
+            .count
+            .ok_or_else(|| format!("histogram {base} has no _count"))?;
+        state
+            .sum
+            .ok_or_else(|| format!("histogram {base} has no _sum"))?;
+        if state.les.is_empty() {
+            return Err(format!("histogram {base} has no buckets"));
+        }
+        let mut inf = None;
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0f64;
+        for (le, cum) in &state.les {
+            let bound = if le == "+Inf" {
+                if inf.replace(*cum).is_some() {
+                    return Err(format!("histogram {base} has two +Inf buckets"));
+                }
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("histogram {base}: unparseable le {le:?}"))?
+            };
+            if bound <= prev_le {
+                return Err(format!("histogram {base}: le bounds not ascending"));
+            }
+            if *cum < prev_cum {
+                return Err(format!("histogram {base}: cumulative buckets decrease"));
+            }
+            prev_le = bound;
+            prev_cum = *cum;
+        }
+        let inf = inf.ok_or_else(|| format!("histogram {base} is missing the +Inf bucket"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {base}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -319,6 +763,28 @@ mod tests {
         assert!(out.contains("t_bucket{le=\"10.0\"} 2"));
         assert!(out.contains("t_bucket{le=\"+Inf\"} 3"));
         assert!(out.contains("t_count 3"));
+    }
+
+    #[test]
+    fn rendered_count_equals_inf_bucket() {
+        // The +Inf bucket and _count must come from the same snapshot.
+        let h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(2.0);
+        let mut out = String::new();
+        h.render("x", &mut out);
+        let inf_line = out
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf bucket present");
+        let count_line = out
+            .lines()
+            .find(|l| l.starts_with("x_count"))
+            .expect("_count present");
+        assert_eq!(inf_line.rsplit(' ').next(), count_line.rsplit(' ').next());
+        assert_eq!(out.matches("le=\"+Inf\"").count(), 1);
+        assert_eq!(out.matches("x_count").count(), 1);
+        assert_eq!(out.matches("x_sum").count(), 1);
     }
 
     #[test]
@@ -349,6 +815,12 @@ mod tests {
             kind: ResponseKind::Better,
             improving: false,
         });
+        // A batched pass feeds the same counters as per-user events.
+        stats.event(&Event::RefreshPass {
+            kind: ResponseKind::Best,
+            scans: 40,
+            improving: 7,
+        });
         stats.event(&Event::FrameSent { bytes: 100 });
         stats.event(&Event::FrameReceived { bytes: 100 });
         stats.event(&Event::FrameDropped { bytes: 100 });
@@ -367,9 +839,9 @@ mod tests {
         });
         assert_eq!(stats.slots(), 1);
         assert_eq!(stats.moves(), 1);
-        assert_eq!(stats.best_responses(), 1);
+        assert_eq!(stats.best_responses(), 41);
         assert_eq!(stats.better_responses(), 1);
-        assert_eq!(stats.improving_responses(), 1);
+        assert_eq!(stats.improving_responses(), 8);
         assert_eq!(stats.frames(), (1, 1, 1));
         assert_eq!(stats.retransmissions(), 1);
         assert_eq!(stats.epochs(), (1, 1));
@@ -378,5 +850,104 @@ mod tests {
         assert!(text.contains("vcs_slots_total 1"));
         assert!(text.contains("vcs_bytes_sent_total 100"));
         assert!(text.contains("# TYPE vcs_phi_delta_abs histogram"));
+        validate_prometheus_text(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn spans_land_in_the_right_latency_bucket() {
+        let stats = StatsSubscriber::new();
+        stats.event(&Event::SpanRecorded {
+            kind: SpanKind::Slot,
+            nanos: 1_500,
+        });
+        stats.event(&Event::SpanRecorded {
+            kind: SpanKind::Slot,
+            nanos: 2_000_000,
+        });
+        stats.event(&Event::SpanRecorded {
+            kind: SpanKind::FrameEncode,
+            nanos: 90,
+        });
+        let slot = stats.span_histogram(SpanKind::Slot);
+        assert_eq!(slot.count(), 2);
+        assert!((slot.sum_seconds() - (1.5e-6 + 2e-3)).abs() < 1e-12);
+        assert_eq!(stats.span_histogram(SpanKind::FrameEncode).count(), 1);
+        assert_eq!(stats.span_histogram(SpanKind::ChannelWait).count(), 0);
+        let text = stats.prometheus_text();
+        assert!(text.contains("# TYPE vcs_span_slot_seconds histogram"));
+        assert!(text.contains("vcs_span_slot_seconds_count 2"));
+        validate_prometheus_text(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn gauges_track_latest_phi_and_profit() {
+        let stats = StatsSubscriber::new();
+        assert_eq!(stats.latest_phi(), None);
+        assert_eq!(stats.latest_total_profit(), None);
+        assert!(!stats.prometheus_text().contains("vcs_phi "));
+        stats.event(&Event::EngineInit {
+            users: 3,
+            tasks: 2,
+            phi: 1.25,
+            total_profit: 4.0,
+        });
+        assert_eq!(stats.latest_phi(), Some(1.25));
+        assert_eq!(stats.latest_total_profit(), Some(4.0));
+        stats.event(&Event::SlotCompleted {
+            slot: 1,
+            updated: 1,
+            phi: 2.5,
+            total_profit: 5.0,
+        });
+        assert_eq!(stats.latest_phi(), Some(2.5));
+        let text = stats.prometheus_text();
+        assert!(text.contains("vcs_phi 2.5"));
+        assert!(text.contains("vcs_total_profit 5.0"));
+        validate_prometheus_text(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn snapshot_json_has_counters_phi_and_spans() {
+        let stats = StatsSubscriber::new();
+        let empty = stats.snapshot_json();
+        assert!(empty.contains("\"phi\": null"));
+        assert!(empty.contains("\"total_profit\": null"));
+        stats.event(&Event::SlotCompleted {
+            slot: 1,
+            updated: 1,
+            phi: 3.5,
+            total_profit: 7.0,
+        });
+        stats.event(&Event::SpanRecorded {
+            kind: SpanKind::Slot,
+            nanos: 1_000_000,
+        });
+        let json = stats.snapshot_json();
+        assert!(json.contains("\"slots\": 1"));
+        assert!(json.contains("\"phi\": 3.5"));
+        assert!(json.contains("\"slot\": {\"count\": 1, \"sum_seconds\": 0.001}"));
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_expositions() {
+        // +Inf != _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.0\nh_count 3\n";
+        assert!(validate_prometheus_text(bad).is_err());
+        // Missing +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\nh_sum 1.0\nh_count 1\n";
+        assert!(validate_prometheus_text(bad).is_err());
+        // Duplicate _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1.0\nh_count 1\nh_count 1\n";
+        assert!(validate_prometheus_text(bad).is_err());
+        // Decreasing cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n";
+        assert!(validate_prometheus_text(bad).is_err());
+        // Sample without a TYPE declaration.
+        assert!(validate_prometheus_text("loose_metric 1\n").is_err());
+        // Duplicate TYPE.
+        let bad = "# TYPE c counter\n# TYPE c counter\nc 1\n";
+        assert!(validate_prometheus_text(bad).is_err());
+        // Unparseable value.
+        assert!(validate_prometheus_text("# TYPE c counter\nc many\n").is_err());
     }
 }

@@ -60,6 +60,35 @@ impl Obs {
             subscriber.event(&make());
         }
     }
+
+    /// Opens a wall-clock profiling span of `kind` (see [`crate::span`]):
+    /// the returned timer emits an [`Event::SpanRecorded`] when dropped or
+    /// [`finish`](crate::SpanTimer::finish)ed. Disabled, this is a single
+    /// branch — the monotonic clock is never read.
+    #[inline]
+    pub fn span(&self, kind: crate::SpanKind) -> crate::SpanTimer<'_> {
+        crate::SpanTimer {
+            obs: self,
+            kind,
+            start: self.0.is_some().then(std::time::Instant::now),
+        }
+    }
+
+    /// Runs `work`, timing it as a span of `kind` iff a subscriber is
+    /// attached. The work itself **always** runs — only the clock reads and
+    /// the event are gated behind the enabled branch.
+    #[inline]
+    pub fn time<R>(&self, kind: crate::SpanKind, work: impl FnOnce() -> R) -> R {
+        if self.0.is_some() {
+            let start = std::time::Instant::now();
+            let out = work();
+            let nanos = crate::span::elapsed_nanos(start);
+            self.emit(|| Event::SpanRecorded { kind, nanos });
+            out
+        } else {
+            work()
+        }
+    }
 }
 
 impl fmt::Debug for Obs {

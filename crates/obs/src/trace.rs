@@ -74,6 +74,17 @@ pub fn event_to_json(event: &Event) -> String {
                 kind.tag()
             );
         }
+        Event::RefreshPass {
+            kind,
+            scans,
+            improving,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{}\",\"scans\":{scans},\"improving\":{improving}",
+                kind.tag()
+            );
+        }
         Event::SlotCompleted {
             slot,
             updated,
@@ -114,6 +125,9 @@ pub fn event_to_json(event: &Event) -> String {
                 s,
                 ",\"epoch\":{epoch},\"slots\":{slots},\"converged\":{converged},\"phi\":{phi:?}"
             );
+        }
+        Event::SpanRecorded { kind, nanos } => {
+            let _ = write!(s, ",\"kind\":\"{}\",\"nanos\":{nanos}", kind.tag());
         }
         Event::RunCompleted {
             slots,
@@ -279,6 +293,15 @@ fn event_from_fields(f: &Fields<'_>) -> Result<Event, String> {
             },
             improving: f.bool("improving")?,
         },
+        "refresh_pass" => Event::RefreshPass {
+            kind: match f.str("kind")? {
+                "best" => ResponseKind::Best,
+                "better" => ResponseKind::Better,
+                other => return Err(format!("unknown response kind {other:?}")),
+            },
+            scans: f.u32("scans")?,
+            improving: f.u32("improving")?,
+        },
         "slot_completed" => Event::SlotCompleted {
             slot: f.u64("slot")?,
             updated: f.u32("updated")?,
@@ -308,6 +331,14 @@ fn event_from_fields(f: &Fields<'_>) -> Result<Event, String> {
             slots: f.u64("slots")?,
             converged: f.bool("converged")?,
             phi: f.f64("phi")?,
+        },
+        "span" => Event::SpanRecorded {
+            kind: {
+                let tag = f.str("kind")?;
+                crate::SpanKind::from_tag(tag)
+                    .ok_or_else(|| format!("unknown span kind {tag:?}"))?
+            },
+            nanos: f.u64("nanos")?,
         },
         "run_completed" => Event::RunCompleted {
             slots: f.u64("slots")?,
@@ -466,6 +497,11 @@ mod tests {
                 kind: ResponseKind::Better,
                 improving: true,
             },
+            Event::RefreshPass {
+                kind: ResponseKind::Best,
+                scans: 41,
+                improving: 9,
+            },
             Event::SlotCompleted {
                 slot: 7,
                 updated: 1,
@@ -487,6 +523,10 @@ mod tests {
                 slots: 5,
                 converged: true,
                 phi: 1.0,
+            },
+            Event::SpanRecorded {
+                kind: crate::SpanKind::EngineApply,
+                nanos: 12_345,
             },
             Event::RunCompleted {
                 slots: 12,
@@ -528,6 +568,8 @@ mod tests {
         assert!(parse_line("{\"type\":\"no_such_event\"}").is_err());
         assert!(parse_line("{\"type\":\"frame_sent\"}").is_err());
         assert!(parse_line("{\"type\":\"frame_sent\",\"bytes\":\"many\"}").is_err());
+        assert!(parse_line("{\"type\":\"span\",\"kind\":\"warp\",\"nanos\":1}").is_err());
+        assert!(parse_line("{\"type\":\"span\",\"kind\":\"slot\"}").is_err());
         assert!(parse_line("{\"type\":\"run_completed\",\"slots\":1,\"updates\":1,\"converged\":maybe,\"phi\":0.0}").is_err());
         // Non-finite floats are data corruption, not a trajectory.
         assert!(parse_line(

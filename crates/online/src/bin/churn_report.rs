@@ -1,7 +1,11 @@
 //! `churn_report` — measures warm-start re-equilibration against cold
 //! restart under user churn and writes the sweep to `BENCH_online.json`
 //! (repo root by default; pass a path to override, or `--smoke` for a tiny
-//! print-only scenario used by CI).
+//! print-only scenario used by CI). `--prometheus <path>` additionally runs
+//! one instrumented scenario under a [`vcs_obs::StatsSubscriber`] (outside
+//! the timed sweep, so measured numbers stay unperturbed) and dumps the
+//! final Prometheus text exposition — counters, ϕ/profit gauges and span
+//! latency histograms — to `path`.
 //!
 //! Methodology: per (users, churn rate) a synthetic paper-range game runs
 //! `EPOCHS` churn epochs under DGRN. The warm path re-converges the live
@@ -16,6 +20,8 @@
 //! (let alone monotone) across epochs; speedups are aggregated over slots
 //! and seconds, which are.
 
+use std::sync::Arc;
+use vcs_obs::{validate_prometheus_text, Obs, StatsSubscriber};
 use vcs_online::{synthetic_stream, OnlineAlgorithm, OnlineReport, OnlineSim, StreamConfig};
 
 const EPOCHS: usize = 5;
@@ -28,7 +34,7 @@ struct Row {
     report: OnlineReport,
 }
 
-fn run_config(users: usize, churn_rate: f64) -> Row {
+fn run_config(users: usize, churn_rate: f64, obs: Option<Obs>) -> Row {
     let config = StreamConfig {
         initial_users: users,
         n_tasks: users.max(60),
@@ -38,12 +44,31 @@ fn run_config(users: usize, churn_rate: f64) -> Row {
     };
     let (game, stream) = synthetic_stream(&config);
     let mut sim = OnlineSim::new(game, OnlineAlgorithm::Dgrn, SEED, MAX_SLOTS);
+    if let Some(obs) = obs {
+        sim.set_obs(obs);
+    }
     let report = sim.run(&stream);
     Row {
         users,
         churn_rate,
         report,
     }
+}
+
+/// Replays one scenario under a [`StatsSubscriber`] and writes the final
+/// Prometheus exposition to `path`. Run outside the timed sweep.
+fn dump_prometheus(path: &str, users: usize, churn_rate: f64) {
+    let stats = Arc::new(StatsSubscriber::new());
+    run_config(users, churn_rate, Some(Obs::new(stats.clone())));
+    let text = stats.prometheus_text();
+    validate_prometheus_text(&text).expect("exposition is valid");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create prometheus output directory");
+        }
+    }
+    std::fs::write(path, text).expect("write prometheus exposition");
+    eprintln!("wrote {path}");
 }
 
 fn print_row(row: &Row) {
@@ -97,7 +122,7 @@ fn json(rows: &[Row]) -> String {
 fn smoke() {
     // Tiny scenario for CI: must finish in seconds and not touch the
     // committed report.
-    let row = run_config(40, 0.1);
+    let row = run_config(40, 0.1, None);
     print_row(&row);
     assert!(row.report.converged, "smoke scenario must converge");
     assert!(
@@ -108,16 +133,31 @@ fn smoke() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    if arg.as_deref() == Some("--smoke") {
+    let mut smoke_mode = false;
+    let mut prometheus_path: Option<String> = None;
+    let mut out_path = "BENCH_online.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--prometheus" => {
+                prometheus_path = Some(args.next().expect("--prometheus needs a path"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    if smoke_mode {
         smoke();
+        if let Some(path) = &prometheus_path {
+            // Smoke-sized instrumented replay so CI exercises the dump.
+            dump_prometheus(path, 40, 0.1);
+        }
         return;
     }
-    let out_path = arg.unwrap_or_else(|| "BENCH_online.json".to_string());
     let mut rows = Vec::new();
     for users in [500usize, 2000] {
         for churn_rate in [0.01, 0.05, 0.10, 0.20] {
-            let row = run_config(users, churn_rate);
+            let row = run_config(users, churn_rate, None);
             print_row(&row);
             rows.push(row);
         }
@@ -141,4 +181,8 @@ fn main() {
     );
     std::fs::write(&out_path, json(&rows)).expect("write benchmark report");
     eprintln!("wrote {out_path}");
+    if let Some(path) = &prometheus_path {
+        // Instrumented replay at a reduced size, after the timed sweep.
+        dump_prometheus(path, 100, 0.1);
+    }
 }

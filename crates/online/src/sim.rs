@@ -33,7 +33,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{apply_churn, is_nash, Engine, Game, Profile};
-use vcs_obs::{Event, Obs, ResponseKind};
+use vcs_obs::{Event, LiveMonitor, Obs, ResponseKind, SpanKind};
 
 use crate::stream::EventStream;
 
@@ -160,9 +160,8 @@ fn compute_request(
     algo: OnlineAlgorithm,
     user: UserId,
     rng: &mut StdRng,
-    obs: &Obs,
 ) -> Option<RouteId> {
-    let request = match algo {
+    match algo {
         OnlineAlgorithm::Dgrn => {
             let best = engine.best_route_set(user);
             if best.best_routes.is_empty() {
@@ -179,16 +178,7 @@ fn compute_request(
                 Some(better[rng.random_range(0..better.len())].0)
             }
         }
-    };
-    obs.emit(|| Event::ResponseEvaluated {
-        user: user.index() as u32,
-        kind: match algo {
-            OnlineAlgorithm::Dgrn => ResponseKind::Best,
-            OnlineAlgorithm::Brun => ResponseKind::Better,
-        },
-        improving: request.is_some(),
-    });
-    request
+    }
 }
 
 /// Re-evaluates the standing requests of every user the engine marked dirty
@@ -200,8 +190,29 @@ fn refresh(
     rng: &mut StdRng,
     obs: &Obs,
 ) {
+    // One span and one `RefreshPass` event per pass, not per scan: an
+    // incremental scan is ~100ns, below the cost of timing or emitting it.
+    let refresh_span = obs.span(SpanKind::BestResponse);
+    let mut scans = 0u32;
+    let mut improving = 0u32;
     for user in engine.take_dirty() {
-        requests[user.index()] = compute_request(engine, algo, user, rng, obs);
+        scans += 1;
+        let request = compute_request(engine, algo, user, rng);
+        improving += u32::from(request.is_some());
+        requests[user.index()] = request;
+    }
+    if scans > 0 {
+        refresh_span.finish();
+        obs.emit(|| Event::RefreshPass {
+            kind: match algo {
+                OnlineAlgorithm::Dgrn => ResponseKind::Best,
+                OnlineAlgorithm::Brun => ResponseKind::Better,
+            },
+            scans,
+            improving,
+        });
+    } else {
+        refresh_span.cancel();
     }
 }
 
@@ -219,15 +230,20 @@ fn drive(
 ) -> (usize, bool) {
     let mut slots = 0;
     loop {
+        // A pass that finds no improving user (or an exhausted budget) is
+        // not a decision slot — the span is cancelled on those paths.
+        let slot_span = obs.span(SpanKind::Slot);
         refresh(engine, requests, algo, rng, obs);
         let improving: Vec<UserId> = engine
             .active_users()
             .filter(|u| requests[u.index()].is_some())
             .collect();
         if improving.is_empty() {
+            slot_span.cancel();
             return (slots, true);
         }
         if slots >= max_slots {
+            slot_span.cancel();
             return (slots, false);
         }
         let user = improving[rng.random_range(0..improving.len())];
@@ -236,6 +252,7 @@ fn drive(
             .expect("improving user holds a standing request");
         engine.apply_move(user, route);
         slots += 1;
+        slot_span.finish();
         obs.emit(|| Event::SlotCompleted {
             slot: slots as u64,
             updated: 1,
@@ -259,6 +276,10 @@ pub struct OnlineSim {
     /// replay and cold-restart baselines stay silent (they are internal
     /// validation machinery, not part of the simulated system).
     obs: Obs,
+    /// A live `/metrics` endpoint, when one was attached via
+    /// [`attach_monitor`](Self::attach_monitor). Kept on the sim so the
+    /// endpoint serves for the sim's whole lifetime.
+    monitor: Option<LiveMonitor>,
 }
 
 impl OnlineSim {
@@ -282,6 +303,7 @@ impl OnlineSim {
             seed,
             max_slots_per_epoch,
             obs: Obs::disabled(),
+            monitor: None,
         }
     }
 
@@ -291,12 +313,34 @@ impl OnlineSim {
     }
 
     /// Installs an observability handle on the warm path: the live engine's
-    /// per-commit events plus `ResponseEvaluated` / `SlotCompleted` /
+    /// per-commit events plus `RefreshPass` / `SlotCompleted` /
     /// `EpochStarted` / `EpochConverged` from the epoch scheduler. The
     /// trajectory is unchanged — observation only watches.
     pub fn set_obs(&mut self, obs: Obs) {
         self.engine.set_obs(obs.clone());
         self.obs = obs;
+    }
+
+    /// Binds a live `/metrics` endpoint on `addr` (use `"127.0.0.1:0"` for
+    /// an ephemeral port) and installs its stats subscriber as this sim's
+    /// observability handle, so a long [`run`](Self::run) can be scraped
+    /// mid-epoch. Returns the bound address. The endpoint serves until the
+    /// sim is dropped.
+    pub fn attach_monitor(
+        &mut self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        let monitor = LiveMonitor::bind(addr)?;
+        self.set_obs(monitor.obs());
+        let addr = monitor.addr();
+        self.monitor = Some(monitor);
+        Ok(addr)
+    }
+
+    /// The attached live monitor, when [`attach_monitor`](Self::attach_monitor)
+    /// was called.
+    pub fn monitor(&self) -> Option<&LiveMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Drives the stream: initial convergence, then per epoch apply the
@@ -315,14 +359,16 @@ impl OnlineSim {
             leaves: 0,
             active: self.engine.active_count() as u32,
         });
-        let (initial_slots, mut converged) = drive(
-            &mut self.engine,
-            &mut self.requests,
-            self.algo,
-            &mut self.rng,
-            self.max_slots_per_epoch,
-            &self.obs,
-        );
+        let (initial_slots, mut converged) = self.obs.time(SpanKind::EpochReconverge, || {
+            drive(
+                &mut self.engine,
+                &mut self.requests,
+                self.algo,
+                &mut self.rng,
+                self.max_slots_per_epoch,
+                &self.obs,
+            )
+        });
         self.obs.emit(|| Event::EpochConverged {
             epoch: 0,
             slots: initial_slots as u64,
@@ -368,14 +414,16 @@ impl OnlineSim {
             let mut replay_requests: Vec<Option<RouteId>> =
                 id_map.iter().map(|u| self.requests[u.index()]).collect();
 
-            let (warm_slots, warm_ok) = drive(
-                &mut self.engine,
-                &mut self.requests,
-                self.algo,
-                &mut self.rng,
-                self.max_slots_per_epoch,
-                &self.obs,
-            );
+            let (warm_slots, warm_ok) = self.obs.time(SpanKind::EpochReconverge, || {
+                drive(
+                    &mut self.engine,
+                    &mut self.requests,
+                    self.algo,
+                    &mut self.rng,
+                    self.max_slots_per_epoch,
+                    &self.obs,
+                )
+            });
             let warm_secs = warm_start.elapsed().as_secs_f64();
             let phi_warm = self.engine.potential();
             let profit = self.engine.total_profit();

@@ -39,5 +39,6 @@ pub use sync_runtime::{
     RuntimeOutcome, Telemetry,
 };
 pub use threaded::{
-    run_threaded, run_threaded_churn, run_threaded_churn_observed, run_threaded_observed,
+    run_threaded, run_threaded_churn, run_threaded_churn_monitored, run_threaded_churn_observed,
+    run_threaded_monitored, run_threaded_observed,
 };

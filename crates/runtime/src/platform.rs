@@ -17,6 +17,7 @@ use vcs_algorithms::scheduler::{puu, suu};
 use vcs_algorithms::UpdateRequest;
 use vcs_core::ids::{RouteId, TaskId, UserId};
 use vcs_core::{Engine, Game, GameError, Profile, UserSpec};
+use vcs_obs::{elapsed_nanos, Event, SpanKind};
 
 /// Which user-update scheduler the platform runs (Alg. 2 line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -242,9 +243,21 @@ impl<'g> PlatformState<'g> {
 
     /// Applies a confirmed decision update (Alg. 2 line 10). The engine
     /// marks the mover and every user covering an affected task dirty, which
-    /// drives the next slot's selective `Counts` poll.
+    /// drives the next slot's selective `Counts` poll. The commit is recorded
+    /// as an [`SpanKind::EngineApply`] span: timing lives here, at the grant
+    /// site, rather than inside `Engine::apply_move` itself, so the
+    /// single-process dynamics loops (whose Slot span already covers the
+    /// apply) don't pay two extra clock reads per slot.
     pub fn apply_update(&mut self, user: UserId, route: RouteId) {
+        let start = self.engine.obs().enabled().then(std::time::Instant::now);
         self.engine.apply_move(user, route);
+        if let Some(start) = start {
+            let nanos = elapsed_nanos(start);
+            self.engine.obs().emit(|| Event::SpanRecorded {
+                kind: SpanKind::EngineApply,
+                nanos,
+            });
+        }
         self.updates += 1;
     }
 

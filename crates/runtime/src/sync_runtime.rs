@@ -11,7 +11,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game, Profile};
-use vcs_obs::{Event, Obs, ResponseKind};
+use vcs_obs::{Event, Obs, ResponseKind, SpanKind};
 
 /// Communication telemetry of a protocol run: how many frames and bytes
 /// crossed the platform↔user boundary. The paper motivates the distributed
@@ -91,26 +91,30 @@ fn deliver_to_agent(
     telemetry: &mut Telemetry,
     obs: &Obs,
 ) -> Option<UserMsg> {
-    let frame = msg.encode();
+    let frame = obs.time(SpanKind::FrameEncode, || msg.encode());
     telemetry.platform_msgs += 1;
     telemetry.platform_bytes += frame.len();
     let bytes = frame.len();
     obs.emit(|| Event::FrameSent {
         bytes: bytes as u32,
     });
-    let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
+    let decoded = obs.time(SpanKind::FrameDecode, || {
+        PlatformMsg::decode(frame).expect("self-encoded frame decodes")
+    });
     obs.emit(|| Event::FrameReceived {
         bytes: bytes as u32,
     });
     agent.handle(decoded).map(|reply| {
-        let reply_frame = reply.encode();
+        let reply_frame = obs.time(SpanKind::FrameEncode, || reply.encode());
         telemetry.user_msgs += 1;
         telemetry.user_bytes += reply_frame.len();
         let bytes = reply_frame.len();
         obs.emit(|| Event::FrameSent {
             bytes: bytes as u32,
         });
-        let decoded = UserMsg::decode(reply_frame).expect("self-encoded frame decodes");
+        let decoded = obs.time(SpanKind::FrameDecode, || {
+            UserMsg::decode(reply_frame).expect("self-encoded frame decodes")
+        });
         obs.emit(|| Event::FrameReceived {
             bytes: bytes as u32,
         });
@@ -179,6 +183,9 @@ pub fn run_sync_observed(
     }
     let mut converged = false;
     while platform.slots < max_slots {
+        // A poll round with no request terminates — not a decision slot, so
+        // the span is cancelled on that path.
+        let slot_span = obs.span(SpanKind::Slot);
         // Slot: poll only the users whose standing reply the previous slot's
         // moves may have changed (initially everyone); clean agents'
         // cached requests are reused without any message exchange.
@@ -196,6 +203,7 @@ pub fn run_sync_observed(
         let requests = platform.collect_requests();
         if requests.is_empty() {
             converged = true;
+            slot_span.cancel();
             break;
         }
         let granted = platform.select(&requests);
@@ -212,6 +220,7 @@ pub fn run_sync_observed(
                 platform.apply_update(user, route);
             }
         }
+        slot_span.finish();
         obs.emit(|| Event::SlotCompleted {
             slot: platform.slots as u64,
             updated: granted.len() as u32,
@@ -280,6 +289,7 @@ fn drive_to_equilibrium(
     let start = platform.slots;
     let mut converged = false;
     while platform.slots - start < max_slots {
+        let slot_span = obs.span(SpanKind::Slot);
         for user in platform.dirty_users() {
             let msg = platform.counts_msg_for(user);
             let agent = agents[user.index()].as_mut().expect("dirty user is active");
@@ -295,6 +305,7 @@ fn drive_to_equilibrium(
         let requests = platform.collect_requests();
         if requests.is_empty() {
             converged = true;
+            slot_span.cancel();
             break;
         }
         let granted = platform.select(&requests);
@@ -309,6 +320,7 @@ fn drive_to_equilibrium(
                 platform.apply_update(user, route);
             }
         }
+        slot_span.finish();
         obs.emit(|| Event::SlotCompleted {
             slot: platform.slots as u64,
             updated: granted.len() as u32,
@@ -392,13 +404,15 @@ pub fn run_sync_churn_observed(
         leaves: 0,
         active: platform.active_count() as u32,
     });
-    let (slots, ok) = drive_to_equilibrium(
-        &mut platform,
-        &mut agents,
-        &mut telemetry,
-        max_slots_per_epoch,
-        obs,
-    );
+    let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
+        drive_to_equilibrium(
+            &mut platform,
+            &mut agents,
+            &mut telemetry,
+            max_slots_per_epoch,
+            obs,
+        )
+    });
     epoch_slots.push(slots);
     converged &= ok;
     obs.emit(|| Event::EpochConverged {
@@ -458,13 +472,15 @@ pub fn run_sync_churn_observed(
             leaves,
             active: platform.active_count() as u32,
         });
-        let (slots, ok) = drive_to_equilibrium(
-            &mut platform,
-            &mut agents,
-            &mut telemetry,
-            max_slots_per_epoch,
-            obs,
-        );
+        let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
+            drive_to_equilibrium(
+                &mut platform,
+                &mut agents,
+                &mut telemetry,
+                max_slots_per_epoch,
+                obs,
+            )
+        });
         epoch_slots.push(slots);
         converged &= ok;
         obs.emit(|| Event::EpochConverged {

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game};
-use vcs_obs::{Event, Obs, ResponseKind};
+use vcs_obs::{Event, LiveMonitor, Obs, ResponseKind, SpanKind};
 
 /// Per-agent mailbox pair: platform keeps the senders, agents the receivers.
 struct AgentLink {
@@ -117,7 +117,9 @@ pub fn run_threaded_observed(
      -> Vec<(UserId, UserMsg)> {
         let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
         for _ in 0..expect {
-            let (user, frame) = inbox.recv().expect("agents alive");
+            let (user, frame) = obs.time(SpanKind::ChannelWait, || {
+                inbox.recv().expect("agents alive")
+            });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
             obs.emit(|| Event::FrameSent {
@@ -126,7 +128,9 @@ pub fn run_threaded_observed(
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
             });
-            let msg = UserMsg::decode(frame).expect("well-formed user frame");
+            let msg = obs.time(SpanKind::FrameDecode, || {
+                UserMsg::decode(frame).expect("well-formed user frame")
+            });
             out.push((user, msg));
         }
         out.sort_by_key(|&(user, _)| user);
@@ -144,6 +148,8 @@ pub fn run_threaded_observed(
         });
         link.to_agent.send(frame).expect("agent alive");
     };
+    // Encode a platform message under a FrameEncode span.
+    let encode_timed = |msg: &PlatformMsg| obs.time(SpanKind::FrameEncode, || msg.encode());
 
     // Alg. 2 line 2: initial decisions.
     let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
@@ -158,17 +164,20 @@ pub fn run_threaded_observed(
     platform.set_obs(obs.clone());
     for (i, link) in links.iter().enumerate() {
         let msg = platform.init_msg_for(UserId::from_index(i));
-        send_counted(link, msg.encode(), &mut telemetry);
+        send_counted(link, encode_timed(&msg), &mut telemetry);
     }
 
     let mut converged = false;
     while platform.slots < max_slots {
+        // A poll round that yields no request terminates the run — not a
+        // decision slot, so the span is cancelled on that path.
+        let slot_span = obs.span(SpanKind::Slot);
         // Poll only the dirty agents; everyone else's standing request is
         // reused from the platform cache (no frames exchanged).
         let dirty = platform.dirty_users();
         for &user in &dirty {
             let msg = platform.counts_msg_for(user);
-            send_counted(&links[user.index()], msg.encode(), &mut telemetry);
+            send_counted(&links[user.index()], encode_timed(&msg), &mut telemetry);
         }
         let replies = collect_round(&platform_inbox, dirty.len(), &mut telemetry);
         for (user, msg) in &replies {
@@ -182,6 +191,7 @@ pub fn run_threaded_observed(
         let requests = platform.collect_requests();
         if requests.is_empty() {
             converged = true;
+            slot_span.cancel();
             break;
         }
         let granted = platform.select(&requests);
@@ -190,7 +200,7 @@ pub fn run_threaded_observed(
         for &user in &granted_users {
             send_counted(
                 &links[user.index()],
-                PlatformMsg::Grant.encode(),
+                encode_timed(&PlatformMsg::Grant),
                 &mut telemetry,
             );
         }
@@ -201,6 +211,7 @@ pub fn run_threaded_observed(
                 other => panic!("expected Updated, got {other:?}"),
             }
         }
+        slot_span.finish();
         obs.emit(|| Event::SlotCompleted {
             slot: platform.slots as u64,
             updated: granted_users.len() as u32,
@@ -209,7 +220,7 @@ pub fn run_threaded_observed(
         });
     }
     for link in &links {
-        send_counted(link, PlatformMsg::Terminate.encode(), &mut telemetry);
+        send_counted(link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
     }
     for handle in handles {
         handle.join().expect("agent thread panicked");
@@ -285,7 +296,9 @@ pub fn run_threaded_churn_observed(
      -> Vec<(UserId, UserMsg)> {
         let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
         for _ in 0..expect {
-            let (user, frame) = inbox.recv().expect("agents alive");
+            let (user, frame) = obs.time(SpanKind::ChannelWait, || {
+                inbox.recv().expect("agents alive")
+            });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
             obs.emit(|| Event::FrameSent {
@@ -294,7 +307,9 @@ pub fn run_threaded_churn_observed(
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
             });
-            let msg = UserMsg::decode(frame).expect("well-formed user frame");
+            let msg = obs.time(SpanKind::FrameDecode, || {
+                UserMsg::decode(frame).expect("well-formed user frame")
+            });
             out.push((user, msg));
         }
         out.sort_by_key(|&(user, _)| user);
@@ -311,6 +326,7 @@ pub fn run_threaded_churn_observed(
         });
         link.to_agent.send(frame).expect("agent alive");
     };
+    let encode_timed = |msg: &PlatformMsg| obs.time(SpanKind::FrameEncode, || msg.encode());
 
     let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
     let mut initial = vec![RouteId(0); m];
@@ -326,7 +342,7 @@ pub fn run_threaded_churn_observed(
         let msg = platform.init_msg_for(UserId::from_index(i));
         send_counted(
             link.as_ref().expect("start-up agent"),
-            msg.encode(),
+            encode_timed(&msg),
             &mut telemetry,
         );
     }
@@ -340,11 +356,12 @@ pub fn run_threaded_churn_observed(
         let start = platform.slots;
         let mut converged = false;
         while platform.slots - start < max_slots_per_epoch {
+            let slot_span = obs.span(SpanKind::Slot);
             let dirty = platform.dirty_users();
             for &user in &dirty {
                 let msg = platform.counts_msg_for(user);
                 let link = links[user.index()].as_ref().expect("dirty user is active");
-                send_counted(link, msg.encode(), telemetry);
+                send_counted(link, encode_timed(&msg), telemetry);
             }
             let replies = collect_round(&platform_inbox, dirty.len(), telemetry);
             for (user, msg) in &replies {
@@ -358,6 +375,7 @@ pub fn run_threaded_churn_observed(
             let requests = platform.collect_requests();
             if requests.is_empty() {
                 converged = true;
+                slot_span.cancel();
                 break;
             }
             let granted = platform.select(&requests);
@@ -366,7 +384,7 @@ pub fn run_threaded_churn_observed(
                 let link = links[user.index()]
                     .as_ref()
                     .expect("granted user is active");
-                send_counted(link, PlatformMsg::Grant.encode(), telemetry);
+                send_counted(link, encode_timed(&PlatformMsg::Grant), telemetry);
             }
             let confirmations = collect_round(&platform_inbox, granted_users.len(), telemetry);
             for (_, msg) in confirmations {
@@ -375,6 +393,7 @@ pub fn run_threaded_churn_observed(
                     other => panic!("expected Updated, got {other:?}"),
                 }
             }
+            slot_span.finish();
             obs.emit(|| Event::SlotCompleted {
                 slot: platform.slots as u64,
                 updated: granted_users.len() as u32,
@@ -393,7 +412,9 @@ pub fn run_threaded_churn_observed(
         leaves: 0,
         active: platform.active_count() as u32,
     });
-    let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
+    let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
+        drive(&mut platform, &links, &mut telemetry)
+    });
     epoch_slots.push(slots);
     converged &= ok;
     obs.emit(|| Event::EpochConverged {
@@ -406,7 +427,9 @@ pub fn run_threaded_churn_observed(
         let mut joins = 0u32;
         let mut leaves = 0u32;
         for event in batch {
-            let frame = UserMsg::from_churn(event).encode();
+            let frame = obs.time(SpanKind::FrameEncode, || {
+                UserMsg::from_churn(event).encode()
+            });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
             obs.emit(|| Event::FrameSent {
@@ -415,7 +438,9 @@ pub fn run_threaded_churn_observed(
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
             });
-            let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
+            let msg = obs.time(SpanKind::FrameDecode, || {
+                UserMsg::decode(frame).expect("self-encoded frame decodes")
+            });
             match platform
                 .apply_churn_msg(&msg)
                 .expect("stream events are valid")
@@ -444,7 +469,7 @@ pub fn run_threaded_churn_observed(
                     let init = platform.init_msg_for(joined);
                     send_counted(
                         links[joined.index()].as_ref().expect("just linked"),
-                        init.encode(),
+                        encode_timed(&init),
                         &mut telemetry,
                     );
                 }
@@ -454,7 +479,7 @@ pub fn run_threaded_churn_observed(
                         unreachable!("leave returns no id")
                     };
                     let link = links[user.index()].take().expect("leaving agent exists");
-                    send_counted(&link, PlatformMsg::Terminate.encode(), &mut telemetry);
+                    send_counted(&link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
                     drop(link);
                     handles[user.index()]
                         .take()
@@ -471,7 +496,9 @@ pub fn run_threaded_churn_observed(
             leaves,
             active: platform.active_count() as u32,
         });
-        let (slots, ok) = drive(&mut platform, &links, &mut telemetry);
+        let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
+            drive(&mut platform, &links, &mut telemetry)
+        });
         epoch_slots.push(slots);
         converged &= ok;
         obs.emit(|| Event::EpochConverged {
@@ -483,7 +510,7 @@ pub fn run_threaded_churn_observed(
     }
     drop(to_platform);
     for link in links.iter().flatten() {
-        send_counted(link, PlatformMsg::Terminate.encode(), &mut telemetry);
+        send_counted(link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
     }
     for handle in handles.iter_mut().filter_map(Option::take) {
         handle.join().expect("agent thread panicked");
@@ -498,6 +525,48 @@ pub fn run_threaded_churn_observed(
         converged,
         telemetry,
     }
+}
+
+/// [`run_threaded_observed`] with a live `/metrics` endpoint: binds a
+/// [`LiveMonitor`] on `addr` (use `"127.0.0.1:0"` for an ephemeral port),
+/// runs the protocol under its [`vcs_obs::StatsSubscriber`], and returns
+/// the outcome together with the still-serving monitor — callers can
+/// scrape the run while it is in flight (the exporter thread answers off
+/// relaxed atomics) and take a final scrape or
+/// [`stats()`](LiveMonitor::stats) snapshot afterwards. The endpoint shuts
+/// down when the monitor is dropped.
+pub fn run_threaded_monitored(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots: usize,
+    addr: impl std::net::ToSocketAddrs,
+) -> std::io::Result<(RuntimeOutcome, LiveMonitor)> {
+    let monitor = LiveMonitor::bind(addr)?;
+    let outcome = run_threaded_observed(game, scheduler, seed, max_slots, &monitor.obs());
+    Ok((outcome, monitor))
+}
+
+/// [`run_threaded_churn_observed`] with a live `/metrics` endpoint (see
+/// [`run_threaded_monitored`]).
+pub fn run_threaded_churn_monitored(
+    game: &Game,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_slots_per_epoch: usize,
+    epochs: &[Vec<ChurnEvent>],
+    addr: impl std::net::ToSocketAddrs,
+) -> std::io::Result<(ChurnOutcome, LiveMonitor)> {
+    let monitor = LiveMonitor::bind(addr)?;
+    let outcome = run_threaded_churn_observed(
+        game,
+        scheduler,
+        seed,
+        max_slots_per_epoch,
+        epochs,
+        &monitor.obs(),
+    );
+    Ok((outcome, monitor))
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@
 //!   re-equilibration and shard snapshots;
 //! * [`metrics`] — coverage, fairness, reward measures and replication;
 //! * [`obs`] — zero-cost-when-disabled structured observability: slot /
-//!   response / frame / epoch events, counters, JSONL traces.
+//!   response / frame / epoch events, wall-clock profiling spans,
+//!   counters and latency histograms, JSONL traces, and a
+//!   dependency-free live `/metrics` exporter.
 //!
 //! ## Quickstart
 //!
@@ -67,7 +69,8 @@ pub mod prelude {
         average_reward, coverage, jain_index, overlap_ratio, profile_jain_index, Summary,
     };
     pub use vcs_obs::{
-        Event, NoopSubscriber, Obs, RingBufferSubscriber, StatsSubscriber, Subscriber,
+        Event, LiveMonitor, NoopSubscriber, Obs, RingBufferSubscriber, SpanKind, StatsSubscriber,
+        Subscriber,
     };
     pub use vcs_online::{
         synthetic_stream, trace_stream, EventStream, OnlineAlgorithm, OnlineSim, Snapshot,
