@@ -1,0 +1,182 @@
+//! Watchdog conformance across the five dynamics: clean observed runs of
+//! DGRN / MUUN / BRUN / BUAU / BATS raise **zero** alerts under a Theorem 4
+//! slot budget, while an injected ϕ-decreasing move and an injected
+//! stale-livelock — spliced into a *real* captured event stream — each
+//! raise exactly one.
+//!
+//! The budget is honest: a first pass captures the run to recover its exact
+//! `ΔP_min` (each `MoveCommitted.profit_delta` is the mover's Eq. 11 gain),
+//! the Theorem 4 bound is computed from it, and the identical re-run (same
+//! seed, deterministic dynamics) is watched against that budget.
+
+use std::sync::Arc;
+use vcs_algorithms::{run_distributed_observed, DistributedAlgorithm, RunConfig};
+use vcs_core::bounds::slot_upper_bound;
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs};
+use vcs_obs::{
+    AlertKind, Event, Obs, RingBufferSubscriber, Subscriber, WatchdogConfig, WatchdogSubscriber,
+};
+
+const ALL_DYNAMICS: [DistributedAlgorithm; 5] = [
+    DistributedAlgorithm::Dgrn,
+    DistributedAlgorithm::Muun,
+    DistributedAlgorithm::Brun,
+    DistributedAlgorithm::Buau,
+    DistributedAlgorithm::Bats,
+];
+
+/// A seeded instance. Kept under 40 users: BATS spends one slot per
+/// round-robin turn, so its longest possible move-free streak (one full
+/// no-improvement pass, which terminates the run) stays far below the
+/// default stale-livelock limit of 64 — a clean run can never trip it.
+fn scenario_game(seed: u64) -> Game {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_tasks = 12u32;
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|k| {
+            Task::new(
+                TaskId(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            )
+        })
+        .collect();
+    let users: Vec<User> = (0..24u32)
+        .map(|i| {
+            let n_routes = rng.random_range(2..=4usize);
+            let routes = (0..n_routes)
+                .map(|r| {
+                    let mut covered: Vec<TaskId> = (0..rng.random_range(1..5usize))
+                        .map(|_| TaskId(rng.random_range(0..n_tasks)))
+                        .collect();
+                    covered.sort_unstable();
+                    covered.dedup();
+                    Route::new(
+                        RouteId::from_index(r),
+                        covered,
+                        rng.random_range(0.0..4.0),
+                        rng.random_range(0.0..3.0),
+                    )
+                })
+                .collect();
+            User::new(
+                UserId(i),
+                UserPrefs::new(
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                ),
+                routes,
+            )
+        })
+        .collect();
+    Game::with_paper_bounds(tasks, users, PlatformParams::new(0.4, 0.4))
+        .expect("generated instance is valid")
+}
+
+/// Captures a clean observed run and returns its event stream.
+fn captured_run(game: &Game, algo: DistributedAlgorithm, seed: u64) -> Vec<Event> {
+    let ring = Arc::new(RingBufferSubscriber::new(1 << 16));
+    let obs = Obs::new(ring.clone());
+    let out = run_distributed_observed(game, algo, &RunConfig::with_seed(seed), &obs);
+    assert!(out.converged, "{algo:?} seed {seed} did not converge");
+    ring.events()
+}
+
+fn delta_p_min(events: &[Event]) -> Option<f64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::MoveCommitted { profit_delta, .. } => Some(*profit_delta),
+            _ => None,
+        })
+        .min_by(|a, b| a.total_cmp(b))
+}
+
+#[test]
+fn clean_runs_across_all_five_dynamics_raise_no_alerts() {
+    for game_seed in 1..4u64 {
+        let game = scenario_game(game_seed);
+        for algo in ALL_DYNAMICS {
+            for seed in 0..2u64 {
+                // Pass 1: recover this run's exact ΔP_min → Theorem 4 budget.
+                let events = captured_run(&game, algo, seed);
+                let budget = delta_p_min(&events)
+                    .filter(|&dp| dp > 0.0)
+                    .map(|dp| slot_upper_bound(&game, dp).ceil() as u64);
+                // Pass 2: the identical run, watched against that budget.
+                let dog = Arc::new(WatchdogSubscriber::new(WatchdogConfig {
+                    slot_budget: budget,
+                    ..WatchdogConfig::default()
+                }));
+                let obs = Obs::new(dog.clone());
+                let out = run_distributed_observed(&game, algo, &RunConfig::with_seed(seed), &obs);
+                assert!(out.converged);
+                assert_eq!(
+                    dog.alert_count(),
+                    0,
+                    "{algo:?} game {game_seed} seed {seed} (budget {budget:?}): {:?}",
+                    dog.alerts()
+                );
+                assert_eq!(dog.counters(), (0, 0, 0));
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_phi_decreasing_move_raises_exactly_one_alert() {
+    let game = scenario_game(1);
+    let mut events = captured_run(&game, DistributedAlgorithm::Dgrn, 0);
+    // Flip the sign of one real committed move's ϕ-delta: exactly the
+    // violation Eq. 11 forbids, in an otherwise untouched stream.
+    let target = events
+        .iter()
+        .position(|e| matches!(e, Event::MoveCommitted { .. }))
+        .expect("a converging run commits moves");
+    if let Event::MoveCommitted { phi_delta, .. } = &mut events[target] {
+        *phi_delta = -*phi_delta;
+    }
+    let dog = WatchdogSubscriber::new(WatchdogConfig::default());
+    for event in &events {
+        dog.event(event);
+    }
+    let alerts = dog.alerts();
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].kind, AlertKind::PhiDecrease);
+    assert_eq!(dog.counters(), (1, 0, 0));
+}
+
+#[test]
+fn injected_stale_livelock_raises_exactly_one_alert() {
+    let game = scenario_game(2);
+    let mut events = captured_run(&game, DistributedAlgorithm::Dgrn, 0);
+    // Splice a livelock after the clean run: an agent keeps reporting an
+    // improving route while slot after slot completes without a move —
+    // the stale-information failure the refresh machinery must prevent.
+    events.push(Event::ResponseEvaluated {
+        user: 0,
+        kind: vcs_obs::ResponseKind::Best,
+        improving: true,
+    });
+    let limit = WatchdogConfig::default().stale_slot_limit;
+    for slot in 0..limit + 8 {
+        events.push(Event::SlotCompleted {
+            slot,
+            updated: 0,
+            phi: 1.0,
+            total_profit: 1.0,
+        });
+    }
+    let dog = WatchdogSubscriber::new(WatchdogConfig::default());
+    for event in &events {
+        dog.event(event);
+    }
+    let alerts = dog.alerts();
+    assert_eq!(alerts.len(), 1, "latched: one alert despite 8 extra slots");
+    assert_eq!(alerts[0].kind, AlertKind::StaleLivelock);
+    assert_eq!(dog.counters(), (0, 0, 1));
+}

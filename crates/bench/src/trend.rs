@@ -399,6 +399,11 @@ pub fn build_trajectory(engine: &Json, online: &Json, obs: &Json) -> Result<Traj
             format!("{base}/stats_rel"),
             field_f64(row, "stats_slots_per_sec")? / plain,
         ));
+        // Optional: artifacts predating the flight recorder (PR ≤ 4) carry
+        // no recorder rate; the metric enters the gate once present.
+        if let Some(recorder) = row.get("recorder_slots_per_sec").and_then(Json::as_f64) {
+            gated.push((format!("{base}/recorder_rel"), recorder / plain));
+        }
         info.push((format!("{base}/plain_slots_per_sec"), plain));
     }
     if gated.is_empty() {
@@ -527,7 +532,8 @@ mod tests {
     ]}"#;
     const OBS: &str = r#"{"rows": [
         {"algorithm": "DGRN", "users": 100, "plain_slots_per_sec": 1000.0,
-         "noop_slots_per_sec": 990.0, "stats_slots_per_sec": 960.0}
+         "noop_slots_per_sec": 990.0, "stats_slots_per_sec": 960.0,
+         "recorder_slots_per_sec": 950.0}
     ]}"#;
 
     fn trajectory() -> Trajectory {
@@ -570,6 +576,7 @@ mod tests {
         assert_eq!(get("online/500/0.05/slot_speedup"), 8.0);
         assert_eq!(get("online/500/0.05/phi_agree_epochs"), 5.0);
         assert!((get("obs/DGRN/100/stats_rel") - 0.96).abs() < 1e-12);
+        assert!((get("obs/DGRN/100/recorder_rel") - 0.95).abs() < 1e-12);
         assert!(t
             .informational
             .iter()
@@ -579,6 +586,24 @@ mod tests {
             .gated
             .iter()
             .any(|(k, _)| k.contains("slots_per_sec") || k.contains("wall_speedup")));
+    }
+
+    #[test]
+    fn pre_recorder_obs_artifact_still_builds() {
+        // PR ≤ 4 BENCH_obs.json rows carry no recorder rate — they must
+        // merge cleanly, just without the recorder_rel gate.
+        let obs = r#"{"rows": [
+            {"algorithm": "DGRN", "users": 100, "plain_slots_per_sec": 1000.0,
+             "noop_slots_per_sec": 990.0, "stats_slots_per_sec": 960.0}
+        ]}"#;
+        let t = build_trajectory(
+            &Json::parse(ENGINE).unwrap(),
+            &Json::parse(ONLINE).unwrap(),
+            &Json::parse(obs).unwrap(),
+        )
+        .unwrap();
+        assert!(t.gated.iter().any(|(k, _)| k == "obs/DGRN/100/stats_rel"));
+        assert!(!t.gated.iter().any(|(k, _)| k.contains("recorder_rel")));
     }
 
     #[test]

@@ -731,6 +731,25 @@ impl<'g> Engine<'g> {
         (game, choices, id_map)
     }
 
+    /// Re-executes a recorded move sequence (e.g. the `MoveCommitted` events
+    /// of a trace) against this engine, returning the `(ϕ, total profit)`
+    /// trajectory *after* each move.
+    ///
+    /// Because [`apply_move`](Self::apply_move) is deterministic and the
+    /// compensated accumulators replay the exact same additions, an engine
+    /// built from the same game and initial profile reproduces the recorded
+    /// trajectory bit-for-bit — this is the substrate of the `replay_debug`
+    /// divergence search in `vcs-bench`.
+    pub fn replay_moves(&mut self, moves: &[(UserId, RouteId)]) -> Vec<(f64, f64)> {
+        moves
+            .iter()
+            .map(|&(user, route)| {
+                self.apply_move(user, route);
+                (self.potential(), self.total_profit())
+            })
+            .collect()
+    }
+
     /// Best route set `Δ_i(t)` of `user`, priced from the cached tables.
     /// Identical semantics (and bit-identical results) to
     /// [`crate::response::best_route_set`].
@@ -1114,6 +1133,29 @@ mod tests {
         assert_eq!(engine.active_count(), 3);
         assert_eq!(engine.game().user_count(), 3);
         assert_eq!(engine.potential(), snapshot_phi);
+    }
+
+    #[test]
+    fn replay_reproduces_trajectory_bit_for_bit() {
+        let g = game();
+        let moves = [(0u32, 1u32), (1, 1), (2, 1), (0, 0), (1, 0), (2, 0), (0, 1)];
+        // Record by stepping one engine move-by-move...
+        let mut live = Engine::new(&g, Profile::all_first(&g));
+        let recorded: Vec<(f64, f64)> = moves
+            .iter()
+            .map(|&(u, r)| {
+                live.apply_move(UserId(u), RouteId(r));
+                (live.potential(), live.total_profit())
+            })
+            .collect();
+        // ...then replay the same sequence against a fresh engine.
+        let mut fresh = Engine::new(&g, Profile::all_first(&g));
+        let pairs: Vec<(UserId, RouteId)> = moves
+            .iter()
+            .map(|&(u, r)| (UserId(u), RouteId(r)))
+            .collect();
+        let replayed = fresh.replay_moves(&pairs);
+        assert_eq!(recorded, replayed, "replay must be bit-identical");
     }
 
     #[test]

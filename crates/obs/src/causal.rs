@@ -1,0 +1,318 @@
+//! Causal stamping of protocol frames: per-sender sequence numbers and
+//! Lamport clocks.
+//!
+//! Every runtime frame event ([`Event::FrameSent`], [`Event::FrameReceived`],
+//! [`Event::FrameDropped`], [`Event::Retransmission`]) carries a
+//! [`FrameStamp`]. Stamps follow the classic Lamport rules over the star
+//! topology of the protocol (platform ↔ each user agent):
+//!
+//! * **send** — the sender increments its own frame sequence number and
+//!   ticks its logical clock; the frame carries `(seq, clock)`;
+//! * **receive** — the receiver merges `clock ← max(local, frame) + 1` and
+//!   the RX event keeps the sender's `seq` so TX/RX pairs are matchable;
+//! * **drop** — the channel annihilates the frame; the drop event inherits
+//!   the TX stamp unchanged (nothing at the receiver advanced);
+//! * **retransmission** — a local tick at the sender, `seq` unchanged.
+//!
+//! The resulting partial order is exactly happens-before restricted to the
+//! recorded frames: if `a → b` causally then `lamport(a) < lamport(b)`.
+//! Sorting a trace's frame events by `(lamport, trace position)` therefore
+//! linearizes them consistently with causality, which is what
+//! `replay_debug` prints as the *causal neighborhood* of a divergence.
+//!
+//! All runtimes emit events from the platform/driver thread, so a
+//! [`FrameStamper`] is plain mutable state — no atomics — and stamping is
+//! deterministic per seed (the threaded runtime emits the same platform-side
+//! sequence it would record on the wire).
+
+use crate::event::Event;
+
+/// Sender id used by the platform endpoint. User agents use their own
+/// `UserId` index; `u32::MAX` can never collide with a user (the wire
+/// protocol caps user ids well below it).
+pub const PLATFORM_SENDER: u32 = u32::MAX;
+
+/// A causal stamp carried by one frame event: the per-sender sequence
+/// number and a Lamport time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameStamp {
+    /// Per-sender frame sequence number, 1-based (0 = pre-causal trace).
+    pub seq: u64,
+    /// Lamport clock value, 1-based (0 = pre-causal trace).
+    pub lamport: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Endpoint {
+    seq: u64,
+    clock: u64,
+}
+
+/// Issues [`FrameStamp`]s for a run: one logical clock and sequence counter
+/// per endpoint (the platform plus each user agent), grown on demand.
+#[derive(Debug, Default)]
+pub struct FrameStamper {
+    platform: Endpoint,
+    users: Vec<Endpoint>,
+}
+
+impl FrameStamper {
+    /// A fresh stamper with all clocks at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn endpoint(&mut self, sender: u32) -> &mut Endpoint {
+        if sender == PLATFORM_SENDER {
+            return &mut self.platform;
+        }
+        let idx = sender as usize;
+        if idx >= self.users.len() {
+            self.users.resize(idx + 1, Endpoint::default());
+        }
+        &mut self.users[idx]
+    }
+
+    /// Stamps a frame send: bumps the sender's sequence number and ticks
+    /// its clock.
+    pub fn send(&mut self, sender: u32) -> FrameStamp {
+        let ep = self.endpoint(sender);
+        ep.seq += 1;
+        ep.clock += 1;
+        FrameStamp {
+            seq: ep.seq,
+            lamport: ep.clock,
+        }
+    }
+
+    /// Stamps a frame receipt: merges the carried clock into the receiver
+    /// (`max(local, frame) + 1`) and keeps the sender's sequence number.
+    pub fn receive(&mut self, receiver: u32, sent: FrameStamp) -> FrameStamp {
+        let ep = self.endpoint(receiver);
+        ep.clock = ep.clock.max(sent.lamport) + 1;
+        FrameStamp {
+            seq: sent.seq,
+            lamport: ep.clock,
+        }
+    }
+
+    /// Stamps a local (non-frame) step at `sender` — used for the ARQ
+    /// retransmission decision. The sequence number is the sender's latest
+    /// issued one, unchanged.
+    pub fn local(&mut self, sender: u32) -> FrameStamp {
+        let ep = self.endpoint(sender);
+        ep.clock += 1;
+        FrameStamp {
+            seq: ep.seq,
+            lamport: ep.clock,
+        }
+    }
+}
+
+/// The causal stamp of an event, if it is a frame event.
+pub fn stamp_of(event: &Event) -> Option<FrameStamp> {
+    match *event {
+        Event::FrameSent { seq, lamport, .. }
+        | Event::FrameReceived { seq, lamport, .. }
+        | Event::FrameDropped { seq, lamport, .. }
+        | Event::Retransmission { seq, lamport, .. } => Some(FrameStamp { seq, lamport }),
+        _ => None,
+    }
+}
+
+/// Indices of the frame events in `events`, sorted by `(lamport, index)` —
+/// a linearization consistent with happens-before. Non-frame events are
+/// omitted.
+pub fn lamport_order(events: &[Event]) -> Vec<usize> {
+    let mut frames: Vec<(u64, usize)> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| stamp_of(e).map(|s| (s.lamport, i)))
+        .collect();
+    frames.sort(); // (lamport, index): stable causal linearization
+    frames.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The causal neighborhood of `center`: up to `radius` frame events on each
+/// side of the frame nearest to `center` in the Lamport linearization
+/// (plus that frame itself), returned as trace indices in Lamport order.
+///
+/// "Nearest" is by trace position: the frame whose index is closest to
+/// `center` anchors the window, so callers can pass the index of *any*
+/// event (e.g. a divergent `MoveCommitted`) and see the frames that led up
+/// to it.
+pub fn causal_neighborhood(events: &[Event], center: usize, radius: usize) -> Vec<usize> {
+    let order = lamport_order(events);
+    if order.is_empty() {
+        return Vec::new();
+    }
+    let anchor = order
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &idx)| idx.abs_diff(center))
+        .map(|(pos, _)| pos)
+        .unwrap_or(0);
+    let lo = anchor.saturating_sub(radius);
+    let hi = (anchor + radius + 1).min(order.len());
+    order[lo..hi].to_vec()
+}
+
+/// A violation of the causal-stamp invariants found by
+/// [`validate_causal_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalViolation {
+    /// A stamped frame event (`seq > 0`) whose Lamport time is zero.
+    MissingLamport {
+        /// Index of the offending event in the trace.
+        index: usize,
+    },
+}
+
+/// Checks the intra-trace causal invariants of a *stamped* trace (one where
+/// at least one frame carries a non-zero stamp): every stamped frame has a
+/// non-zero Lamport time. Pre-causal traces (all stamps zero) validate
+/// trivially. Returns all violations, empty = consistent.
+///
+/// Per-sender seq monotonicity cannot be checked from a trace alone (the
+/// trace does not record sender identity), so this validates only what the
+/// stamps themselves assert; `replay_debug` relies on the Lamport order for
+/// display, not for replay correctness.
+pub fn validate_causal_order(events: &[Event]) -> Vec<CausalViolation> {
+    let mut violations = Vec::new();
+    for (index, event) in events.iter().enumerate() {
+        if let Some(stamp) = stamp_of(event) {
+            if stamp.seq > 0 && stamp.lamport == 0 {
+                violations.push(CausalViolation::MissingLamport { index });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(seq: u64, lamport: u64) -> Event {
+        Event::FrameSent {
+            bytes: 10,
+            seq,
+            lamport,
+        }
+    }
+
+    fn received(seq: u64, lamport: u64) -> Event {
+        Event::FrameReceived {
+            bytes: 10,
+            seq,
+            lamport,
+        }
+    }
+
+    #[test]
+    fn send_receive_obeys_lamport_rules() {
+        let mut stamper = FrameStamper::new();
+        let tx = stamper.send(PLATFORM_SENDER);
+        assert_eq!(tx, FrameStamp { seq: 1, lamport: 1 });
+        let rx = stamper.receive(3, tx);
+        // Receiver clock jumps past the sender's.
+        assert_eq!(rx.seq, 1);
+        assert!(rx.lamport > tx.lamport);
+        // The reply from user 3 ticks past its receive time.
+        let reply = stamper.send(3);
+        assert_eq!(reply.seq, 1); // first frame *from* user 3
+        assert!(reply.lamport > rx.lamport);
+        let ack = stamper.receive(PLATFORM_SENDER, reply);
+        assert!(ack.lamport > reply.lamport);
+    }
+
+    #[test]
+    fn drop_inherits_tx_stamp_and_retry_ticks_locally() {
+        let mut stamper = FrameStamper::new();
+        let tx = stamper.send(PLATFORM_SENDER);
+        // Drop: the event reuses the TX stamp verbatim (caller-side rule).
+        let retry = stamper.local(PLATFORM_SENDER);
+        assert_eq!(retry.seq, tx.seq);
+        assert!(retry.lamport > tx.lamport);
+        let tx2 = stamper.send(PLATFORM_SENDER);
+        assert_eq!(tx2.seq, tx.seq + 1);
+        assert!(tx2.lamport > retry.lamport);
+    }
+
+    #[test]
+    fn lamport_order_linearizes_consistently_with_causality() {
+        // Trace order interleaves two causal chains; lamport order must put
+        // each chain's TX before its RX.
+        let events = vec![
+            sent(1, 1),     // platform TX #1
+            sent(2, 2),     // platform TX #2
+            received(2, 3), // user b RX of #2
+            received(1, 2), // user a RX of #1
+            Event::SlotCompleted {
+                slot: 1,
+                updated: 1,
+                phi: 0.0,
+                total_profit: 0.0,
+            },
+            sent(1, 3), // user a reply
+        ];
+        let order = lamport_order(&events);
+        // Non-frame events omitted.
+        assert_eq!(order.len(), 5);
+        let pos = |idx: usize| order.iter().position(|&i| i == idx).unwrap();
+        assert!(pos(0) < pos(3), "TX #1 before its RX");
+        assert!(pos(1) < pos(2), "TX #2 before its RX");
+        assert!(pos(3) < pos(5), "user a's RX before its reply");
+    }
+
+    #[test]
+    fn neighborhood_is_windowed_around_the_nearest_frame() {
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            events.push(sent(i + 1, i + 1));
+        }
+        events.insert(
+            10,
+            Event::SlotCompleted {
+                slot: 1,
+                updated: 1,
+                phi: 0.0,
+                total_profit: 0.0,
+            },
+        );
+        let hood = causal_neighborhood(&events, 10, 2);
+        assert_eq!(hood.len(), 5);
+        // Window is contiguous in lamport order around trace position 10.
+        let lamports: Vec<u64> = hood
+            .iter()
+            .map(|&i| stamp_of(&events[i]).unwrap().lamport)
+            .collect();
+        let mut sorted = lamports.clone();
+        sorted.sort_unstable();
+        assert_eq!(lamports, sorted);
+    }
+
+    #[test]
+    fn neighborhood_of_frameless_trace_is_empty() {
+        let events = vec![Event::SlotCompleted {
+            slot: 1,
+            updated: 0,
+            phi: 0.0,
+            total_profit: 0.0,
+        }];
+        assert!(causal_neighborhood(&events, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn validate_flags_stamped_frames_without_lamport_time() {
+        let clean = vec![sent(1, 1), received(1, 2)];
+        assert!(validate_causal_order(&clean).is_empty());
+        let precausal = vec![sent(0, 0), received(0, 0)];
+        assert!(validate_causal_order(&precausal).is_empty());
+        let bad = vec![sent(3, 0)];
+        assert_eq!(
+            validate_causal_order(&bad),
+            vec![CausalViolation::MissingLamport { index: 0 }]
+        );
+    }
+}

@@ -121,24 +121,56 @@ pub enum Event {
         total_profit: f64,
     },
     /// The platform (or an agent) put a frame on the channel.
+    ///
+    /// Carries the sender's causal stamp (see [`crate::causal`]): `seq` is
+    /// the per-sender frame sequence number, `lamport` the sender's logical
+    /// clock at send time. Traces recorded before the causal layer existed
+    /// parse with both fields defaulted to `0`.
     FrameSent {
         /// Encoded frame length in bytes.
         bytes: u32,
+        /// Per-sender frame sequence number (1-based; 0 = pre-causal trace).
+        seq: u64,
+        /// Sender's Lamport clock at send time (0 = pre-causal trace).
+        lamport: u64,
     },
     /// A frame was received and decoded.
+    ///
+    /// `seq` is the *sender's* sequence number of the received frame (pairing
+    /// RX with its TX), `lamport` the receiver's clock after the merge rule
+    /// `max(local, frame) + 1` — so `lamport` here is always strictly greater
+    /// than the matching [`FrameSent`] stamp.
+    ///
+    /// [`FrameSent`]: Event::FrameSent
     FrameReceived {
         /// Encoded frame length in bytes.
         bytes: u32,
+        /// Sequence number of the frame as stamped by its sender.
+        seq: u64,
+        /// Receiver's Lamport clock after receipt (0 = pre-causal trace).
+        lamport: u64,
     },
-    /// The lossy channel dropped a frame (before any retry).
+    /// The lossy channel dropped a frame (before any retry). Stamped with
+    /// the dropped frame's send stamp: the drop inherits the causal position
+    /// of the TX it annihilated.
     FrameDropped {
         /// Encoded frame length in bytes.
         bytes: u32,
+        /// Sequence number of the dropped frame as stamped by its sender.
+        seq: u64,
+        /// Sender's Lamport clock of the dropped frame.
+        lamport: u64,
     },
-    /// The stop-and-wait ARQ re-sent a frame.
+    /// The stop-and-wait ARQ re-sent a frame. A local event at the sender:
+    /// `seq` repeats the sender's latest frame sequence number, `lamport`
+    /// is a fresh local tick.
     Retransmission {
         /// Retry attempt number (1-based).
         attempt: u32,
+        /// The sender's most recent frame sequence number.
+        seq: u64,
+        /// Sender's Lamport clock at the retry decision.
+        lamport: u64,
     },
     /// An online churn epoch began (after its Join/Leave batch applied).
     EpochStarted {

@@ -20,7 +20,8 @@
 //! platform-specific socket teardown.
 
 use crate::stats::StatsSubscriber;
-use crate::subscriber::Obs;
+use crate::subscriber::{FanoutSubscriber, Obs};
+use crate::watchdog::{WatchdogConfig, WatchdogSubscriber};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,7 +48,30 @@ pub struct MetricsExporter {
 
 impl MetricsExporter {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `stats`.
+    /// `/alerts` answers with an empty alert list; attach a watchdog with
+    /// [`bind_with_watchdog`](MetricsExporter::bind_with_watchdog) to
+    /// populate it.
     pub fn bind(addr: impl ToSocketAddrs, stats: Arc<StatsSubscriber>) -> std::io::Result<Self> {
+        Self::bind_inner(addr, stats, None)
+    }
+
+    /// [`bind`](MetricsExporter::bind), plus a [`WatchdogSubscriber`]
+    /// whose structured alerts are served at `/alerts` and whose
+    /// `vcs_watchdog_*` counters are appended to the `/metrics`
+    /// exposition.
+    pub fn bind_with_watchdog(
+        addr: impl ToSocketAddrs,
+        stats: Arc<StatsSubscriber>,
+        watchdog: Arc<WatchdogSubscriber>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, stats, Some(watchdog))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        stats: Arc<StatsSubscriber>,
+        watchdog: Option<Arc<WatchdogSubscriber>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -55,7 +79,7 @@ impl MetricsExporter {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("vcs-metrics-exporter".into())
-                .spawn(move || accept_loop(&listener, &stats, &stop))?
+                .spawn(move || accept_loop(&listener, &stats, watchdog.as_ref(), &stop))?
         };
         Ok(Self {
             addr,
@@ -88,31 +112,49 @@ impl Drop for MetricsExporter {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stats: &StatsSubscriber, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    stats: &StatsSubscriber,
+    watchdog: Option<&Arc<WatchdogSubscriber>>,
+    stop: &AtomicBool,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-        serve_one(&mut stream, stats);
+        serve_one(&mut stream, stats, watchdog);
     }
 }
 
 /// Reads one request head and writes one response. Errors are swallowed:
 /// a broken scrape must never take the exporter (or the run) down.
-fn serve_one(stream: &mut TcpStream, stats: &StatsSubscriber) {
+fn serve_one(
+    stream: &mut TcpStream,
+    stats: &StatsSubscriber,
+    watchdog: Option<&Arc<WatchdogSubscriber>>,
+) {
     let Some(path) = read_request_path(stream) else {
         return;
     };
     let (status, content_type, body) = match path.as_str() {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            stats.prometheus_text(),
-        ),
+        "/metrics" => {
+            let mut text = stats.prometheus_text();
+            if let Some(dog) = watchdog {
+                text.push_str(&dog.prometheus_text());
+            }
+            ("200 OK", "text/plain; version=0.0.4", text)
+        }
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
         "/snapshot" => ("200 OK", "application/json", stats.snapshot_json()),
+        "/alerts" => (
+            "200 OK",
+            "application/json",
+            watchdog
+                .map(|dog| dog.alerts_json())
+                .unwrap_or_else(|| "{\"alerts\":[]}\n".to_string()),
+        ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     let _ = write!(
@@ -158,6 +200,7 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
 #[derive(Debug)]
 pub struct LiveMonitor {
     stats: Arc<StatsSubscriber>,
+    watchdog: Option<Arc<WatchdogSubscriber>>,
     exporter: MetricsExporter,
 }
 
@@ -166,7 +209,27 @@ impl LiveMonitor {
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stats = Arc::new(StatsSubscriber::new());
         let exporter = MetricsExporter::bind(addr, Arc::clone(&stats))?;
-        Ok(Self { stats, exporter })
+        Ok(Self {
+            stats,
+            watchdog: None,
+            exporter,
+        })
+    }
+
+    /// [`bind`](LiveMonitor::bind) with a [`WatchdogSubscriber`] fanned in
+    /// next to the stats: the [`obs`](LiveMonitor::obs) handle feeds both,
+    /// `/alerts` serves the watchdog's structured alerts, and `/metrics`
+    /// includes the `vcs_watchdog_*` counters.
+    pub fn bind_watched(addr: impl ToSocketAddrs, config: WatchdogConfig) -> std::io::Result<Self> {
+        let stats = Arc::new(StatsSubscriber::new());
+        let watchdog = Arc::new(WatchdogSubscriber::new(config));
+        let exporter =
+            MetricsExporter::bind_with_watchdog(addr, Arc::clone(&stats), Arc::clone(&watchdog))?;
+        Ok(Self {
+            stats,
+            watchdog: Some(watchdog),
+            exporter,
+        })
     }
 
     /// The address the endpoint is serving on.
@@ -174,14 +237,26 @@ impl LiveMonitor {
         self.exporter.addr()
     }
 
-    /// An [`Obs`] handle delivering into the monitored subscriber.
+    /// An [`Obs`] handle delivering into the monitored subscriber (and the
+    /// watchdog, when one is attached).
     pub fn obs(&self) -> Obs {
-        Obs::new(self.stats.clone() as Arc<dyn crate::Subscriber>)
+        match &self.watchdog {
+            Some(dog) => FanoutSubscriber::obs(vec![
+                self.stats.clone() as Arc<dyn crate::Subscriber>,
+                dog.clone() as Arc<dyn crate::Subscriber>,
+            ]),
+            None => Obs::new(self.stats.clone() as Arc<dyn crate::Subscriber>),
+        }
     }
 
     /// The monitored subscriber itself.
     pub fn stats(&self) -> &Arc<StatsSubscriber> {
         &self.stats
+    }
+
+    /// The attached watchdog, if the monitor was bound with one.
+    pub fn watchdog(&self) -> Option<&Arc<WatchdogSubscriber>> {
+        self.watchdog.as_ref()
     }
 
     /// Stops serving (the stats stay readable). Idempotent; also runs on
@@ -247,12 +322,56 @@ mod tests {
         let mut monitor = LiveMonitor::bind("127.0.0.1:0").expect("bind");
         let obs = monitor.obs();
         assert!(obs.enabled());
-        obs.emit(|| Event::FrameSent { bytes: 64 });
+        obs.emit(|| Event::FrameSent {
+            bytes: 64,
+            seq: 1,
+            lamport: 1,
+        });
         assert_eq!(monitor.stats().frames(), (1, 0, 0));
         let (status, body) = get(monitor.addr(), "/metrics");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains("vcs_frames_sent_total 1"));
         monitor.shutdown();
+    }
+
+    #[test]
+    fn alerts_endpoint_serves_watchdog_alerts() {
+        // Without a watchdog: empty list, not a 404.
+        let stats = Arc::new(StatsSubscriber::new());
+        let exporter = MetricsExporter::bind("127.0.0.1:0", stats).expect("bind");
+        let (status, body) = get(exporter.addr(), "/alerts");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"alerts\":[]}\n");
+        drop(exporter);
+
+        // With a watchdog: the obs handle feeds stats + watchdog, and an
+        // injected ϕ-decreasing move shows up on /alerts and /metrics.
+        let monitor = LiveMonitor::bind_watched("127.0.0.1:0", crate::WatchdogConfig::default())
+            .expect("bind");
+        let obs = monitor.obs();
+        obs.emit(|| Event::EngineInit {
+            users: 2,
+            tasks: 1,
+            phi: 5.0,
+            total_profit: 10.0,
+        });
+        obs.emit(|| Event::MoveCommitted {
+            user: 0,
+            from_route: 0,
+            to_route: 1,
+            phi_delta: -0.5,
+            profit_delta: -0.25,
+            phi: 4.5,
+            total_profit: 9.5,
+        });
+        assert_eq!(monitor.stats().moves(), 1, "fanout still feeds the stats");
+        let (status, body) = get(monitor.addr(), "/alerts");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"kind\":\"phi_decrease\""), "body: {body}");
+        let (status, body) = get(monitor.addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("vcs_watchdog_phi_decrease_total 1"));
+        validate_prometheus_text(&body).expect("watchdog counters keep exposition valid");
     }
 
     #[test]

@@ -71,7 +71,11 @@ mod tests {
                 phi: 0.75,
                 total_profit: 1.5,
             },
-            Event::FrameSent { bytes: 41 },
+            Event::FrameSent {
+                bytes: 41,
+                seq: 1,
+                lamport: 1,
+            },
             Event::RunCompleted {
                 slots: 4,
                 updates: 2,

@@ -26,9 +26,19 @@
 //!   closure-deferred handle, so the disabled path stays one branch;
 //! * [`MetricsExporter`] / [`LiveMonitor`] — a dependency-free
 //!   `TcpListener` HTTP endpoint serving `/metrics` (Prometheus text
-//!   exposition), `/healthz` and `/snapshot` off a live
-//!   [`StatsSubscriber`], so a running simulation can be scraped
-//!   mid-epoch.
+//!   exposition), `/healthz`, `/snapshot` and `/alerts` off a live
+//!   [`StatsSubscriber`] (plus an optional [`WatchdogSubscriber`]), so a
+//!   running simulation can be scraped mid-epoch;
+//! * [`causal`] — per-sender sequence numbers and Lamport clocks stamped
+//!   onto every frame event by the runtimes ([`FrameStamper`]), giving a
+//!   recorded trace a happens-before order ([`lamport_order`],
+//!   [`causal_neighborhood`]);
+//! * [`FlightRecorder`] — the always-on, lock-free bounded ring of recent
+//!   events with a panic hook that dumps a post-mortem JSONL tail when a
+//!   runtime thread dies;
+//! * [`WatchdogSubscriber`] — online invariant checks (Eq. 11 ϕ
+//!   monotonicity, Theorem 4 slot budgets, stale-livelock) raising
+//!   structured [`Alert`]s through `/alerts` and `vcs_watchdog_*` counters.
 //!
 //! This crate is a dependency *leaf* (only the vendored `parking_lot`), so
 //! `vcs-core` itself can depend on it; events therefore carry raw `u32`/
@@ -37,18 +47,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 mod event;
 mod exporter;
 mod jsonl;
+mod recorder;
 pub mod span;
 mod stats;
 mod subscriber;
 pub mod trace;
+mod watchdog;
 
+pub use causal::{
+    causal_neighborhood, lamport_order, stamp_of, validate_causal_order, CausalViolation,
+    FrameStamp, FrameStamper, PLATFORM_SENDER,
+};
 pub use event::{Event, ResponseKind};
 pub use exporter::{LiveMonitor, MetricsExporter};
 pub use jsonl::JsonlSubscriber;
+pub use recorder::FlightRecorder;
 pub use span::{elapsed_nanos, summarize_spans, SpanKind, SpanSummary, SpanTimer};
 pub use stats::{validate_prometheus_text, Histogram, SpanHistogram, StatsSubscriber};
-pub use subscriber::{NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
+pub use subscriber::{FanoutSubscriber, NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
 pub use trace::{reconstruct_phi, PhiPoint, PhiReconstruction, TraceError};
+pub use watchdog::{Alert, AlertKind, WatchdogConfig, WatchdogSubscriber};

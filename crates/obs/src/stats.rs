@@ -239,9 +239,6 @@ counters! {
     moves,
     joins,
     leaves,
-    best_responses,
-    better_responses,
-    improving_responses,
     frames_sent,
     frames_received,
     frames_dropped,
@@ -274,6 +271,10 @@ impl Gauge {
     }
 }
 
+fn response_lane(kind: ResponseKind, improving: bool) -> usize {
+    (usize::from(matches!(kind, ResponseKind::Better)) << 1) | usize::from(improving)
+}
+
 /// Aggregating subscriber: counts every event class, buckets ϕ-move
 /// magnitudes, frame sizes, per-epoch re-convergence slot counts and
 /// per-[`SpanKind`] wall-clock latencies, and tracks the latest ϕ / total
@@ -295,6 +296,11 @@ pub struct StatsSubscriber {
     frame_bytes: Histogram,
     /// Warm re-convergence slots per churn epoch.
     epoch_slots: Histogram,
+    /// Response-evaluation counts, one lane per `(kind, improving)` pair
+    /// so the hottest event in the stream costs exactly one relaxed RMW:
+    /// index `(kind is Better) << 1 | improving`. The public counters are
+    /// lane sums.
+    responses: [AtomicU64; 4],
     /// Per-kind span latencies, log buckets 10 ns … 10 s, indexed by
     /// [`SpanKind::index`].
     span_seconds: Vec<SpanHistogram>,
@@ -318,6 +324,7 @@ impl StatsSubscriber {
             phi_delta: Histogram::new(&[1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 1e1, 1e3]),
             frame_bytes: Histogram::new(&[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0]),
             epoch_slots: Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]),
+            responses: Default::default(),
             span_seconds: SpanKind::ALL.iter().map(|_| SpanHistogram::new()).collect(),
             phi: Gauge::default(),
             total_profit: Gauge::default(),
@@ -336,17 +343,17 @@ impl StatsSubscriber {
 
     /// Best-response evaluations.
     pub fn best_responses(&self) -> u64 {
-        self.counters.best_responses.load(Ordering::Relaxed)
+        self.responses[0].load(Ordering::Relaxed) + self.responses[1].load(Ordering::Relaxed)
     }
 
     /// Better-response evaluations.
     pub fn better_responses(&self) -> u64 {
-        self.counters.better_responses.load(Ordering::Relaxed)
+        self.responses[2].load(Ordering::Relaxed) + self.responses[3].load(Ordering::Relaxed)
     }
 
     /// Evaluations that found a strictly improving route.
     pub fn improving_responses(&self) -> u64 {
-        self.counters.improving_responses.load(Ordering::Relaxed)
+        self.responses[1].load(Ordering::Relaxed) + self.responses[3].load(Ordering::Relaxed)
     }
 
     /// Frames sent / received / dropped.
@@ -412,6 +419,14 @@ impl StatsSubscriber {
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
         self.counters.render(&mut out);
+        for (name, value) in [
+            ("best_responses", self.best_responses()),
+            ("better_responses", self.better_responses()),
+            ("improving_responses", self.improving_responses()),
+        ] {
+            let _ = writeln!(out, "# TYPE vcs_{name}_total counter");
+            let _ = writeln!(out, "vcs_{name}_total {value}");
+        }
         if let Some(phi) = self.phi.get() {
             let _ = writeln!(out, "# TYPE vcs_phi gauge\nvcs_phi {phi:?}");
         }
@@ -437,6 +452,13 @@ impl StatsSubscriber {
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\"counters\": {");
         self.counters.render_json(&mut out);
+        let _ = write!(
+            out,
+            ", \"best_responses\": {}, \"better_responses\": {}, \"improving_responses\": {}",
+            self.best_responses(),
+            self.better_responses(),
+            self.improving_responses()
+        );
         out.push_str("}, \"phi\": ");
         match self.phi.get() {
             Some(phi) => {
@@ -506,13 +528,10 @@ impl Subscriber for StatsSubscriber {
             Event::ResponseEvaluated {
                 kind, improving, ..
             } => {
-                match kind {
-                    ResponseKind::Best => c.best_responses.fetch_add(1, Ordering::Relaxed),
-                    ResponseKind::Better => c.better_responses.fetch_add(1, Ordering::Relaxed),
-                };
-                if improving {
-                    c.improving_responses.fetch_add(1, Ordering::Relaxed);
-                }
+                // The single hottest event (one per candidate evaluation,
+                // tens per slot): one lane-indexed RMW, no branch on
+                // `improving`.
+                self.responses[response_lane(kind, improving)].fetch_add(1, Ordering::Relaxed);
             }
             // A batched pass contributes its scan counts to the same
             // counters the per-user event feeds, so `vcs_*_responses_total`
@@ -522,16 +541,12 @@ impl Subscriber for StatsSubscriber {
                 scans,
                 improving,
             } => {
-                match kind {
-                    ResponseKind::Best => c
-                        .best_responses
-                        .fetch_add(u64::from(scans), Ordering::Relaxed),
-                    ResponseKind::Better => c
-                        .better_responses
-                        .fetch_add(u64::from(scans), Ordering::Relaxed),
-                };
-                c.improving_responses
-                    .fetch_add(u64::from(improving), Ordering::Relaxed);
+                let improving = u64::from(improving);
+                self.responses[response_lane(kind, true)].fetch_add(improving, Ordering::Relaxed);
+                self.responses[response_lane(kind, false)].fetch_add(
+                    u64::from(scans).saturating_sub(improving),
+                    Ordering::Relaxed,
+                );
             }
             Event::SlotCompleted {
                 phi, total_profit, ..
@@ -540,12 +555,12 @@ impl Subscriber for StatsSubscriber {
                 self.phi.set(phi);
                 self.total_profit.set(total_profit);
             }
-            Event::FrameSent { bytes } => {
+            Event::FrameSent { bytes, .. } => {
                 c.frames_sent.fetch_add(1, Ordering::Relaxed);
                 c.bytes_sent.fetch_add(u64::from(bytes), Ordering::Relaxed);
                 self.frame_bytes.record(f64::from(bytes));
             }
-            Event::FrameReceived { bytes } => {
+            Event::FrameReceived { bytes, .. } => {
                 c.frames_received.fetch_add(1, Ordering::Relaxed);
                 c.bytes_received
                     .fetch_add(u64::from(bytes), Ordering::Relaxed);
@@ -821,10 +836,26 @@ mod tests {
             scans: 40,
             improving: 7,
         });
-        stats.event(&Event::FrameSent { bytes: 100 });
-        stats.event(&Event::FrameReceived { bytes: 100 });
-        stats.event(&Event::FrameDropped { bytes: 100 });
-        stats.event(&Event::Retransmission { attempt: 1 });
+        stats.event(&Event::FrameSent {
+            bytes: 100,
+            seq: 1,
+            lamport: 1,
+        });
+        stats.event(&Event::FrameReceived {
+            bytes: 100,
+            seq: 1,
+            lamport: 2,
+        });
+        stats.event(&Event::FrameDropped {
+            bytes: 100,
+            seq: 2,
+            lamport: 3,
+        });
+        stats.event(&Event::Retransmission {
+            attempt: 1,
+            seq: 2,
+            lamport: 4,
+        });
         stats.event(&Event::EpochStarted {
             epoch: 0,
             joins: 1,

@@ -182,6 +182,44 @@ impl Subscriber for RingBufferSubscriber {
     }
 }
 
+/// Delivers every event to several subscribers in order. This is how the
+/// always-on [`FlightRecorder`] rides along a [`StatsSubscriber`] or a
+/// [`WatchdogSubscriber`] behind one [`Obs`] handle (which carries exactly
+/// one sink).
+///
+/// [`FlightRecorder`]: crate::FlightRecorder
+/// [`StatsSubscriber`]: crate::StatsSubscriber
+/// [`WatchdogSubscriber`]: crate::WatchdogSubscriber
+pub struct FanoutSubscriber {
+    sinks: Vec<Arc<dyn Subscriber>>,
+}
+
+impl FanoutSubscriber {
+    /// A fan-out over `sinks`, delivered in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Subscriber>>) -> Self {
+        Self { sinks }
+    }
+
+    /// An [`Obs`] handle delivering to every sink.
+    pub fn obs(sinks: Vec<Arc<dyn Subscriber>>) -> Obs {
+        Obs::new(Arc::new(Self::new(sinks)))
+    }
+}
+
+impl Subscriber for FanoutSubscriber {
+    fn event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+impl fmt::Debug for FanoutSubscriber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FanoutSubscriber({} sinks)", self.sinks.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +276,16 @@ mod tests {
         ring.event(&slot(0));
         ring.event(&slot(1));
         assert_eq!(ring.events(), vec![slot(1)]);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_order() {
+        let a = Arc::new(RingBufferSubscriber::new(8));
+        let b = Arc::new(RingBufferSubscriber::new(8));
+        let obs = FanoutSubscriber::obs(vec![a.clone(), b.clone()]);
+        obs.emit(|| slot(1));
+        obs.emit(|| slot(2));
+        assert_eq!(a.events(), vec![slot(1), slot(2)]);
+        assert_eq!(b.events(), vec![slot(1), slot(2)]);
     }
 }

@@ -96,13 +96,32 @@ pub fn event_to_json(event: &Event) -> String {
                 ",\"slot\":{slot},\"updated\":{updated},\"phi\":{phi:?},\"total_profit\":{total_profit:?}"
             );
         }
-        Event::FrameSent { bytes }
-        | Event::FrameReceived { bytes }
-        | Event::FrameDropped { bytes } => {
-            let _ = write!(s, ",\"bytes\":{bytes}");
+        Event::FrameSent {
+            bytes,
+            seq,
+            lamport,
         }
-        Event::Retransmission { attempt } => {
-            let _ = write!(s, ",\"attempt\":{attempt}");
+        | Event::FrameReceived {
+            bytes,
+            seq,
+            lamport,
+        }
+        | Event::FrameDropped {
+            bytes,
+            seq,
+            lamport,
+        } => {
+            let _ = write!(s, ",\"bytes\":{bytes},\"seq\":{seq},\"lamport\":{lamport}");
+        }
+        Event::Retransmission {
+            attempt,
+            seq,
+            lamport,
+        } => {
+            let _ = write!(
+                s,
+                ",\"attempt\":{attempt},\"seq\":{seq},\"lamport\":{lamport}"
+            );
         }
         Event::EpochStarted {
             epoch,
@@ -209,6 +228,18 @@ impl<'a> Fields<'a> {
             .map_err(|_| format!("field {key:?} is not a u64: {raw:?}"))
     }
 
+    /// `u64` field that may be absent: traces recorded before the causal
+    /// layer (PR 3–4) have no `seq`/`lamport` on frame events, and parse
+    /// with `default` (0 = "no causal information"). A *present* field
+    /// still has to be a valid `u64`.
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.pairs.iter().any(|(k, _)| *k == key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
     fn f64(&self, key: &str) -> Result<f64, String> {
         let raw = self.get(key)?;
         let value: f64 = raw
@@ -310,15 +341,23 @@ fn event_from_fields(f: &Fields<'_>) -> Result<Event, String> {
         },
         "frame_sent" => Event::FrameSent {
             bytes: f.u32("bytes")?,
+            seq: f.u64_or("seq", 0)?,
+            lamport: f.u64_or("lamport", 0)?,
         },
         "frame_received" => Event::FrameReceived {
             bytes: f.u32("bytes")?,
+            seq: f.u64_or("seq", 0)?,
+            lamport: f.u64_or("lamport", 0)?,
         },
         "frame_dropped" => Event::FrameDropped {
             bytes: f.u32("bytes")?,
+            seq: f.u64_or("seq", 0)?,
+            lamport: f.u64_or("lamport", 0)?,
         },
         "retransmission" => Event::Retransmission {
             attempt: f.u32("attempt")?,
+            seq: f.u64_or("seq", 0)?,
+            lamport: f.u64_or("lamport", 0)?,
         },
         "epoch_started" => Event::EpochStarted {
             epoch: f.u32("epoch")?,
@@ -508,10 +547,26 @@ mod tests {
                 phi: 1.0,
                 total_profit: 3.0,
             },
-            Event::FrameSent { bytes: 33 },
-            Event::FrameReceived { bytes: 33 },
-            Event::FrameDropped { bytes: 12 },
-            Event::Retransmission { attempt: 2 },
+            Event::FrameSent {
+                bytes: 33,
+                seq: 17,
+                lamport: 40,
+            },
+            Event::FrameReceived {
+                bytes: 33,
+                seq: 17,
+                lamport: 41,
+            },
+            Event::FrameDropped {
+                bytes: 12,
+                seq: 18,
+                lamport: 42,
+            },
+            Event::Retransmission {
+                attempt: 2,
+                seq: 18,
+                lamport: 43,
+            },
             Event::EpochStarted {
                 epoch: 1,
                 joins: 2,
@@ -559,6 +614,66 @@ mod tests {
         };
         let parsed = parse_line(&event_to_json(&event)).unwrap();
         assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn precausal_frame_lines_parse_with_zero_stamps() {
+        // Exact line shapes JsonlSubscriber wrote before the causal layer
+        // existed (PR 3–4): no seq/lamport fields at all.
+        let cases: [(&str, Event); 4] = [
+            (
+                "{\"type\":\"frame_sent\",\"bytes\":33}",
+                Event::FrameSent {
+                    bytes: 33,
+                    seq: 0,
+                    lamport: 0,
+                },
+            ),
+            (
+                "{\"type\":\"frame_received\",\"bytes\":33}",
+                Event::FrameReceived {
+                    bytes: 33,
+                    seq: 0,
+                    lamport: 0,
+                },
+            ),
+            (
+                "{\"type\":\"frame_dropped\",\"bytes\":12}",
+                Event::FrameDropped {
+                    bytes: 12,
+                    seq: 0,
+                    lamport: 0,
+                },
+            ),
+            (
+                "{\"type\":\"retransmission\",\"attempt\":2}",
+                Event::Retransmission {
+                    attempt: 2,
+                    seq: 0,
+                    lamport: 0,
+                },
+            ),
+        ];
+        for (line, expected) in cases {
+            let parsed = parse_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, expected, "old-style line {line}");
+            // Re-emitting and re-parsing the migrated event is stable: the
+            // new-style line round-trips to the same event.
+            let reemitted = event_to_json(&parsed);
+            assert!(reemitted.contains("\"seq\":0"));
+            assert_eq!(parse_line(&reemitted).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn present_causal_fields_must_still_be_valid() {
+        assert!(
+            parse_line("{\"type\":\"frame_sent\",\"bytes\":1,\"seq\":-3,\"lamport\":0}").is_err()
+        );
+        assert!(
+            parse_line("{\"type\":\"frame_sent\",\"bytes\":1,\"seq\":1,\"lamport\":\"soon\"}")
+                .is_err()
+        );
     }
 
     #[test]

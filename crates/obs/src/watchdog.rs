@@ -1,0 +1,452 @@
+//! The runtime invariant watchdog: checks the paper's live invariants
+//! online, inside the event stream, and surfaces structured alerts.
+//!
+//! Three invariants are watched:
+//!
+//! 1. **ϕ monotonicity (Eq. 11 sign)** — every accepted move strictly
+//!    improves the potential within its epoch: `MoveCommitted.phi_delta`
+//!    must be `> 0` (the mover's profit gain is `α_i·Δϕ`, and the dynamics
+//!    only grant strictly improving requests). A non-positive delta means
+//!    either a broken response rule or a corrupted engine.
+//! 2. **Theorem 4 slot-budget overrun** — an epoch must re-converge within
+//!    its configured slot budget. The watchdog cannot derive the bound
+//!    itself (it would need the game, and `vcs-obs` sits below `vcs-core`),
+//!    so the caller supplies it — `OnlineSim` passes its per-epoch slot cap,
+//!    and conformance tests pass `vcs_core::bounds::slot_upper_bound`.
+//! 3. **Stale-livelock** — a run making no progress: `N` consecutive
+//!    completed slots without a single `MoveCommitted` while improving
+//!    responses are pending. Healthy runtimes only complete a slot after a
+//!    grant, so any clean run resets the counter every slot.
+//!
+//! Each violation raises one [`Alert`] (latched per epoch for the slot and
+//! livelock checks, so a stuck run alerts once instead of once per slot)
+//! and bumps a `vcs_watchdog_*` counter rendered into the `/metrics`
+//! exposition; the structured alerts are served by the exporter's
+//! `/alerts` endpoint.
+
+use crate::event::Event;
+use crate::subscriber::Subscriber;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which invariant an [`Alert`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A committed move with `phi_delta ≤ 0` (Eq. 11 sign violated).
+    PhiDecrease,
+    /// An epoch exceeded its configured slot budget (Theorem 4).
+    SlotBudgetOverrun,
+    /// No move committed across the configured number of completed slots
+    /// while improving responses were pending.
+    StaleLivelock,
+}
+
+impl AlertKind {
+    /// Stable snake_case tag used in the `/alerts` JSON and the counter
+    /// names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AlertKind::PhiDecrease => "phi_decrease",
+            AlertKind::SlotBudgetOverrun => "slot_budget_overrun",
+            AlertKind::StaleLivelock => "stale_livelock",
+        }
+    }
+}
+
+/// One structured watchdog alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The violated invariant.
+    pub kind: AlertKind,
+    /// Epoch the violation occurred in (0 for non-churn runs).
+    pub epoch: u32,
+    /// Slots completed in that epoch when the alert fired.
+    pub slot: u64,
+    /// Human-readable specifics (plain text, no quotes — embedded in the
+    /// `/alerts` JSON verbatim).
+    pub detail: String,
+}
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Per-epoch slot budget (Theorem 4 bound or an operator cap). `None`
+    /// disables the overrun check.
+    pub slot_budget: Option<u64>,
+    /// Consecutive move-free completed slots (with pending improving
+    /// responses) that count as a livelock.
+    pub stale_slot_limit: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            slot_budget: None,
+            stale_slot_limit: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WatchState {
+    epoch: u32,
+    slots_in_epoch: u64,
+    /// Completed slots since the last committed move.
+    slots_since_move: u64,
+    /// Whether the most recent response scan found an improving route.
+    pending: bool,
+    overrun_latched: bool,
+    livelock_latched: bool,
+    alerts: Vec<Alert>,
+}
+
+impl WatchState {
+    fn reset_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+        self.slots_in_epoch = 0;
+        self.slots_since_move = 0;
+        self.pending = false;
+        self.overrun_latched = false;
+        self.livelock_latched = false;
+    }
+}
+
+/// The online invariant checker (see the module docs). Attach it like any
+/// subscriber — alone, or fanned out next to a [`StatsSubscriber`] via
+/// [`FanoutSubscriber`].
+///
+/// [`StatsSubscriber`]: crate::StatsSubscriber
+/// [`FanoutSubscriber`]: crate::FanoutSubscriber
+#[derive(Debug)]
+pub struct WatchdogSubscriber {
+    config: WatchdogConfig,
+    state: Mutex<WatchState>,
+    phi_decreases: AtomicU64,
+    slot_overruns: AtomicU64,
+    stale_livelocks: AtomicU64,
+}
+
+impl WatchdogSubscriber {
+    /// A watchdog with the given thresholds.
+    pub fn new(config: WatchdogConfig) -> Self {
+        WatchdogSubscriber {
+            config,
+            state: Mutex::new(WatchState::default()),
+            phi_decreases: AtomicU64::new(0),
+            slot_overruns: AtomicU64::new(0),
+            stale_livelocks: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> WatchdogConfig {
+        self.config
+    }
+
+    /// All alerts raised so far, in order.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.state.lock().alerts.clone()
+    }
+
+    /// Number of alerts raised so far.
+    pub fn alert_count(&self) -> usize {
+        self.state.lock().alerts.len()
+    }
+
+    /// Lifetime counts of (ϕ-decrease, slot-overrun, stale-livelock)
+    /// alerts — the `vcs_watchdog_*` counter values.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.phi_decreases.load(Ordering::Relaxed),
+            self.slot_overruns.load(Ordering::Relaxed),
+            self.stale_livelocks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The alerts as one JSON document, `{"alerts":[...]}` — the `/alerts`
+    /// endpoint body. Details are plain text by construction, so no JSON
+    /// escaping is needed.
+    pub fn alerts_json(&self) -> String {
+        let state = self.state.lock();
+        let mut out = String::from("{\"alerts\":[");
+        for (i, alert) in state.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"epoch\":{},\"slot\":{},\"detail\":\"{}\"}}",
+                alert.kind.tag(),
+                alert.epoch,
+                alert.slot,
+                alert.detail
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Prometheus v0.0.4 exposition of the `vcs_watchdog_*` counters,
+    /// appended to the stats exposition by the `/metrics` endpoint.
+    pub fn prometheus_text(&self) -> String {
+        let (phi, overrun, livelock) = self.counters();
+        let mut out = String::with_capacity(512);
+        for (name, value) in [
+            ("vcs_watchdog_phi_decrease_total", phi),
+            ("vcs_watchdog_slot_budget_overrun_total", overrun),
+            ("vcs_watchdog_stale_livelock_total", livelock),
+            ("vcs_watchdog_alerts_total", phi + overrun + livelock),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+
+    fn raise(&self, state: &mut WatchState, kind: AlertKind, detail: String) {
+        match kind {
+            AlertKind::PhiDecrease => self.phi_decreases.fetch_add(1, Ordering::Relaxed),
+            AlertKind::SlotBudgetOverrun => self.slot_overruns.fetch_add(1, Ordering::Relaxed),
+            AlertKind::StaleLivelock => self.stale_livelocks.fetch_add(1, Ordering::Relaxed),
+        };
+        state.alerts.push(Alert {
+            kind,
+            epoch: state.epoch,
+            slot: state.slots_in_epoch,
+            detail,
+        });
+    }
+}
+
+impl Subscriber for WatchdogSubscriber {
+    fn event(&self, event: &Event) {
+        let mut state = self.state.lock();
+        match *event {
+            Event::EngineInit { .. } => {
+                // A fresh run under observation: epoch 0 starts here.
+                state.reset_epoch(0);
+            }
+            Event::EpochStarted { epoch, .. } => {
+                state.reset_epoch(epoch);
+            }
+            Event::MoveCommitted {
+                user, phi_delta, ..
+            } => {
+                state.slots_since_move = 0;
+                state.livelock_latched = false;
+                if phi_delta <= 0.0 {
+                    let detail =
+                        format!("user {user} committed a move with phi_delta {phi_delta:e}");
+                    self.raise(&mut state, AlertKind::PhiDecrease, detail);
+                }
+            }
+            Event::ResponseEvaluated { improving: true, .. } => {
+                state.pending = true;
+            }
+            Event::RefreshPass { improving, .. } => {
+                state.pending = improving > 0;
+            }
+            Event::SlotCompleted { updated, .. } => {
+                state.slots_in_epoch += 1;
+                if updated > 0 {
+                    state.slots_since_move = 0;
+                    state.livelock_latched = false;
+                } else {
+                    state.slots_since_move += 1;
+                }
+                if let Some(budget) = self.config.slot_budget {
+                    if state.slots_in_epoch > budget && !state.overrun_latched {
+                        state.overrun_latched = true;
+                        let (epoch, slots) = (state.epoch, state.slots_in_epoch);
+                        let detail = format!(
+                            "epoch {epoch} at {slots} slots exceeds its Theorem 4 budget of {budget}"
+                        );
+                        self.raise(&mut state, AlertKind::SlotBudgetOverrun, detail);
+                    }
+                }
+                if state.pending
+                    && state.slots_since_move >= self.config.stale_slot_limit
+                    && !state.livelock_latched
+                {
+                    state.livelock_latched = true;
+                    let (stale, limit) = (state.slots_since_move, self.config.stale_slot_limit);
+                    let detail = format!(
+                        "{stale} move-free slots with pending improving responses (limit {limit})"
+                    );
+                    self.raise(&mut state, AlertKind::StaleLivelock, detail);
+                }
+            }
+            Event::RunCompleted { .. } | Event::EpochConverged { .. } => {
+                state.pending = false;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ResponseKind;
+
+    fn init() -> Event {
+        Event::EngineInit {
+            users: 4,
+            tasks: 2,
+            phi: 10.0,
+            total_profit: 20.0,
+        }
+    }
+
+    fn good_move(phi_delta: f64) -> Event {
+        Event::MoveCommitted {
+            user: 1,
+            from_route: 0,
+            to_route: 1,
+            phi_delta,
+            profit_delta: phi_delta * 0.5,
+            phi: 10.0 + phi_delta,
+            total_profit: 20.0,
+        }
+    }
+
+    fn slot(updated: u32) -> Event {
+        Event::SlotCompleted {
+            slot: 1,
+            updated,
+            phi: 10.0,
+            total_profit: 20.0,
+        }
+    }
+
+    fn pending_scan() -> Event {
+        Event::ResponseEvaluated {
+            user: 2,
+            kind: ResponseKind::Best,
+            improving: true,
+        }
+    }
+
+    #[test]
+    fn clean_stream_raises_nothing() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: Some(100),
+            stale_slot_limit: 4,
+        });
+        dog.event(&init());
+        for _ in 0..50 {
+            dog.event(&pending_scan());
+            dog.event(&good_move(0.25));
+            dog.event(&slot(1));
+        }
+        assert_eq!(dog.alert_count(), 0);
+        assert_eq!(dog.counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn phi_decreasing_move_raises_exactly_one_alert() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig::default());
+        dog.event(&init());
+        dog.event(&good_move(0.5));
+        dog.event(&good_move(-0.125));
+        dog.event(&good_move(0.5));
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::PhiDecrease);
+        assert_eq!(alerts[0].epoch, 0);
+        assert_eq!(dog.counters(), (1, 0, 0));
+    }
+
+    #[test]
+    fn zero_delta_move_violates_strict_improvement() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig::default());
+        dog.event(&init());
+        dog.event(&good_move(0.0));
+        assert_eq!(dog.alerts()[0].kind, AlertKind::PhiDecrease);
+    }
+
+    #[test]
+    fn stale_livelock_latches_to_one_alert() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: None,
+            stale_slot_limit: 3,
+        });
+        dog.event(&init());
+        dog.event(&pending_scan());
+        for _ in 0..10 {
+            dog.event(&slot(0)); // move-free slots with a pending request
+        }
+        let alerts = dog.alerts();
+        assert_eq!(alerts.len(), 1, "livelock alert must latch");
+        assert_eq!(alerts[0].kind, AlertKind::StaleLivelock);
+        assert_eq!(alerts[0].slot, 3);
+        // A committed move clears the latch; a second livelock re-alerts.
+        dog.event(&good_move(0.5));
+        dog.event(&pending_scan());
+        for _ in 0..3 {
+            dog.event(&slot(0));
+        }
+        assert_eq!(dog.alert_count(), 2);
+        assert_eq!(dog.counters(), (0, 0, 2));
+    }
+
+    #[test]
+    fn move_free_slots_without_pending_requests_are_fine() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: None,
+            stale_slot_limit: 2,
+        });
+        dog.event(&init());
+        for _ in 0..10 {
+            dog.event(&slot(0)); // nothing pending: quiescence, not livelock
+        }
+        assert_eq!(dog.alert_count(), 0);
+    }
+
+    #[test]
+    fn slot_budget_overrun_latches_per_epoch() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: Some(2),
+            stale_slot_limit: 1000,
+        });
+        dog.event(&init());
+        for _ in 0..5 {
+            dog.event(&good_move(0.5));
+            dog.event(&slot(1));
+        }
+        assert_eq!(dog.alert_count(), 1);
+        assert_eq!(dog.alerts()[0].kind, AlertKind::SlotBudgetOverrun);
+        assert_eq!(dog.alerts()[0].slot, 3);
+        // A new epoch resets the budget and the latch.
+        dog.event(&Event::EpochStarted {
+            epoch: 1,
+            joins: 1,
+            leaves: 0,
+            active: 5,
+        });
+        for _ in 0..5 {
+            dog.event(&good_move(0.5));
+            dog.event(&slot(1));
+        }
+        assert_eq!(dog.alert_count(), 2);
+        assert_eq!(dog.alerts()[1].epoch, 1);
+        assert_eq!(dog.counters(), (0, 2, 0));
+    }
+
+    #[test]
+    fn alerts_json_and_prometheus_render() {
+        let dog = WatchdogSubscriber::new(WatchdogConfig::default());
+        assert_eq!(dog.alerts_json(), "{\"alerts\":[]}\n");
+        dog.event(&init());
+        dog.event(&good_move(-1.0));
+        let json = dog.alerts_json();
+        assert!(json.starts_with("{\"alerts\":[{\"kind\":\"phi_decrease\""));
+        assert!(json.contains("\"epoch\":0"));
+        let text = dog.prometheus_text();
+        assert!(text.contains("# TYPE vcs_watchdog_phi_decrease_total counter"));
+        assert!(text.contains("vcs_watchdog_phi_decrease_total 1"));
+        assert!(text.contains("vcs_watchdog_alerts_total 1"));
+        crate::validate_prometheus_text(&text).expect("valid exposition");
+    }
+}

@@ -1,0 +1,91 @@
+//! Post-mortem smoke test: a panicking runtime thread must leave a
+//! parseable JSONL dump of the flight recorder's tail behind.
+//!
+//! This lives in its own integration-test binary because
+//! [`FlightRecorder::install_panic_hook`] mutates the *process-wide* panic
+//! hook; unit tests sharing a harness process would race it.
+
+use std::sync::Arc;
+use vcs_obs::{trace, Event, FlightRecorder, Obs, Subscriber};
+
+/// Single test on purpose: the panic hook is process-global state.
+#[test]
+fn panic_in_a_runtime_thread_dumps_a_parseable_tail() {
+    let dir = std::env::temp_dir().join("vcs_recorder_panic_test");
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    let dump = dir.join("postmortem.jsonl");
+    std::fs::remove_file(&dump).ok();
+
+    // Silence the default "thread panicked" printer first; the recorder's
+    // hook chains to it, so the test output stays clean while the dump
+    // still fires.
+    std::panic::set_hook(Box::new(|_| {}));
+    let recorder = Arc::new(FlightRecorder::new(1 << 10));
+    recorder.install_panic_hook(&dump);
+
+    // A platform thread records causally stamped traffic, then dies
+    // mid-run (the obs handle is how real runtimes hold the recorder).
+    let obs = Obs::new(recorder.clone());
+    let worker = std::thread::spawn(move || {
+        obs.emit(|| Event::EngineInit {
+            users: 2,
+            tasks: 1,
+            phi: 3.0,
+            total_profit: 6.0,
+        });
+        obs.emit(|| Event::FrameSent {
+            bytes: 21,
+            seq: 1,
+            lamport: 1,
+        });
+        obs.emit(|| Event::FrameReceived {
+            bytes: 21,
+            seq: 1,
+            lamport: 2,
+        });
+        obs.emit(|| Event::MoveCommitted {
+            user: 0,
+            from_route: 0,
+            to_route: 1,
+            phi_delta: 0.5,
+            profit_delta: 0.25,
+            phi: 3.5,
+            total_profit: 6.25,
+        });
+        panic!("injected runtime fault");
+    });
+    assert!(worker.join().is_err(), "worker must die on the panic");
+
+    // The dump is the recorder's tail in the standard trace codec:
+    // readable by read_trace (hence trace_report / replay_debug), with
+    // intact causal stamps.
+    let events = trace::read_trace(&dump).expect("post-mortem dump parses");
+    assert_eq!(events.len(), 4, "dump carries the full recorded tail");
+    assert!(matches!(events[0], Event::EngineInit { .. }));
+    assert!(matches!(
+        events[3],
+        Event::MoveCommitted {
+            user: 0,
+            to_route: 1,
+            ..
+        }
+    ));
+    assert!(vcs_obs::validate_causal_order(&events).is_empty());
+    assert_eq!(vcs_obs::stamp_of(&events[2]).unwrap().lamport, 2);
+
+    // A later panic overwrites the dump with the freshest tail — the hook
+    // stays armed for the life of the process.
+    recorder.event(&Event::RunCompleted {
+        slots: 9,
+        updates: 4,
+        converged: false,
+        phi: 3.5,
+    });
+    let second = std::thread::spawn(|| panic!("second fault"));
+    assert!(second.join().is_err());
+    let events = trace::read_trace(&dump).expect("refreshed dump parses");
+    assert_eq!(events.len(), 5);
+    assert!(matches!(events[4], Event::RunCompleted { slots: 9, .. }));
+
+    std::fs::remove_file(&dump).ok();
+}

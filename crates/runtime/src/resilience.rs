@@ -24,7 +24,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::Game;
-use vcs_obs::{Event, Obs, ResponseKind};
+use vcs_obs::{Event, FrameStamper, Obs, ResponseKind, PLATFORM_SENDER};
 
 /// Loss-model configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,8 +70,10 @@ fn deliver_arq(
     loss: &LossConfig,
     stats: &mut LossStats,
     telemetry: &mut Telemetry,
+    stamper: &mut FrameStamper,
     obs: &Obs,
 ) -> Option<UserMsg> {
+    let agent_id = agent.id.index() as u32;
     let mut attempts = 0u64;
     loop {
         attempts += 1;
@@ -81,26 +83,41 @@ fn deliver_arq(
         );
         if attempts > 1 {
             stats.retransmissions += 1;
+            // The retransmission decision is a local step at the platform
+            // (it drives the stop-and-wait timer for both legs).
+            let stamp = stamper.local(PLATFORM_SENDER);
             obs.emit(|| Event::Retransmission {
                 attempt: attempts as u32,
+                seq: stamp.seq,
+                lamport: stamp.lamport,
             });
         }
         // Platform → agent leg.
         let frame = msg.encode();
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        let tx = stamper.send(PLATFORM_SENDER);
         obs.emit(|| Event::FrameSent {
             bytes: frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
         if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
             stats.dropped_frames += 1;
+            // The channel annihilated the frame: the drop inherits the TX
+            // stamp — nothing at the receiver advanced.
             obs.emit(|| Event::FrameDropped {
                 bytes: frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
             continue; // timeout ⇒ retransmit
         }
+        let rx = stamper.receive(agent_id, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         let decoded = PlatformMsg::decode(frame).expect("self-encoded frame decodes");
         let reply = agent.handle(decoded);
@@ -115,18 +132,26 @@ fn deliver_arq(
         let reply_frame = reply.encode();
         telemetry.user_msgs += 1;
         telemetry.user_bytes += reply_frame.len();
+        let tx = stamper.send(agent_id);
         obs.emit(|| Event::FrameSent {
             bytes: reply_frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
         if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
             stats.dropped_frames += 1;
             obs.emit(|| Event::FrameDropped {
                 bytes: reply_frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
             continue; // reply lost ⇒ platform re-sends the request
         }
+        let rx = stamper.receive(PLATFORM_SENDER, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: reply_frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         return Some(UserMsg::decode(reply_frame).expect("self-encoded frame decodes"));
     }
@@ -167,10 +192,12 @@ pub fn run_lossy_observed(
     let mut loss_rng = StdRng::seed_from_u64(loss.seed);
     let mut stats = LossStats::default();
     let mut telemetry = Telemetry::default();
+    let mut stamper = FrameStamper::new();
     // Initial decisions travel over the lossy uplink too (agents re-announce
     // until the platform has everyone's choice).
     let mut initial = vec![RouteId(0); game.user_count()];
     for agent in agents.iter() {
+        let agent_id = agent.id.index() as u32;
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -181,23 +208,37 @@ pub fn run_lossy_observed(
             if attempts > 1 {
                 stats.retransmissions += 1;
                 let attempt = attempts as u32;
-                obs.emit(|| Event::Retransmission { attempt });
+                // Re-announcement is the agent's own timer firing.
+                let stamp = stamper.local(agent_id);
+                obs.emit(|| Event::Retransmission {
+                    attempt,
+                    seq: stamp.seq,
+                    lamport: stamp.lamport,
+                });
             }
             let frame = agent.initial_message().encode();
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            let tx = stamper.send(agent_id);
             obs.emit(|| Event::FrameSent {
                 bytes: frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
             if loss_rng.random_range(0.0..1.0) < loss.drop_probability {
                 stats.dropped_frames += 1;
                 obs.emit(|| Event::FrameDropped {
                     bytes: frame.len() as u32,
+                    seq: tx.seq,
+                    lamport: tx.lamport,
                 });
                 continue;
             }
+            let rx = stamper.receive(PLATFORM_SENDER, tx);
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
+                seq: rx.seq,
+                lamport: rx.lamport,
             });
             match UserMsg::decode(frame).expect("self-encoded frame decodes") {
                 UserMsg::Initial { user, route } => initial[user.index()] = route,
@@ -218,6 +259,7 @@ pub fn run_lossy_observed(
             loss,
             &mut stats,
             &mut telemetry,
+            &mut stamper,
             obs,
         );
     }
@@ -235,6 +277,7 @@ pub fn run_lossy_observed(
                 loss,
                 &mut stats,
                 &mut telemetry,
+                &mut stamper,
                 obs,
             )
             .expect("counts elicit a reply");
@@ -262,6 +305,7 @@ pub fn run_lossy_observed(
                 loss,
                 &mut stats,
                 &mut telemetry,
+                &mut stamper,
                 obs,
             )
             .expect("grant elicits an update confirmation");
@@ -286,6 +330,7 @@ pub fn run_lossy_observed(
             loss,
             &mut stats,
             &mut telemetry,
+            &mut stamper,
             obs,
         );
     }
@@ -353,16 +398,23 @@ pub fn run_stale_observed(
     assert!(refresh_every >= 1, "refresh period must be at least 1");
     let mut agents = spawn_agents(game, seed);
     let mut telemetry = Telemetry::default();
+    let mut stamper = FrameStamper::new();
     let mut initial = vec![RouteId(0); game.user_count()];
     for agent in agents.iter() {
         let frame = agent.initial_message().encode();
         telemetry.user_msgs += 1;
         telemetry.user_bytes += frame.len();
+        let tx = stamper.send(agent.id.index() as u32);
         obs.emit(|| Event::FrameSent {
             bytes: frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
+        let rx = stamper.receive(PLATFORM_SENDER, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         match UserMsg::decode(frame).expect("self-encoded frame decodes") {
             UserMsg::Initial { user, route } => initial[user.index()] = route,
@@ -371,33 +423,49 @@ pub fn run_stale_observed(
     }
     let mut platform = PlatformState::new(game, scheduler, seed, initial);
     platform.set_obs(obs.clone());
-    let deliver = |agent: &mut UserAgent, msg: &PlatformMsg, telemetry: &mut Telemetry| {
+    let deliver = |agent: &mut UserAgent,
+                   msg: &PlatformMsg,
+                   telemetry: &mut Telemetry,
+                   stamper: &mut FrameStamper| {
+        let agent_id = agent.id.index() as u32;
         let frame = msg.encode();
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        let tx = stamper.send(PLATFORM_SENDER);
         obs.emit(|| Event::FrameSent {
             bytes: frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
+        let rx = stamper.receive(agent_id, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         let reply = agent.handle(PlatformMsg::decode(frame).expect("decodes"));
         reply.map(|r| {
             let f = r.encode();
             telemetry.user_msgs += 1;
             telemetry.user_bytes += f.len();
+            let tx = stamper.send(agent_id);
             obs.emit(|| Event::FrameSent {
                 bytes: f.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
+            let rx = stamper.receive(PLATFORM_SENDER, tx);
             obs.emit(|| Event::FrameReceived {
                 bytes: f.len() as u32,
+                seq: rx.seq,
+                lamport: rx.lamport,
             });
             UserMsg::decode(f).expect("decodes")
         })
     };
     for agent in agents.iter_mut() {
         let msg = platform.init_msg_for(agent.id);
-        deliver(agent, &msg, &mut telemetry);
+        deliver(agent, &msg, &mut telemetry, &mut stamper);
     }
     let mut converged = false;
     let mut round = 0usize;
@@ -417,7 +485,7 @@ pub fn run_stale_observed(
         for agent in agents.iter_mut() {
             let reply = if fresh {
                 let msg = platform.counts_msg_for(agent.id);
-                deliver(agent, &msg, &mut telemetry).expect("counts elicit a reply")
+                deliver(agent, &msg, &mut telemetry, &mut stamper).expect("counts elicit a reply")
             } else {
                 // Stale slot: the agent recomputes from its cached counts;
                 // no platform frame is sent.
@@ -425,11 +493,17 @@ pub fn run_stale_observed(
                 let f = reply.encode();
                 telemetry.user_msgs += 1;
                 telemetry.user_bytes += f.len();
+                let tx = stamper.send(agent.id.index() as u32);
                 obs.emit(|| Event::FrameSent {
                     bytes: f.len() as u32,
+                    seq: tx.seq,
+                    lamport: tx.lamport,
                 });
+                let rx = stamper.receive(PLATFORM_SENDER, tx);
                 obs.emit(|| Event::FrameReceived {
                     bytes: f.len() as u32,
+                    seq: rx.seq,
+                    lamport: rx.lamport,
                 });
                 UserMsg::decode(f).expect("decodes")
             };
@@ -451,7 +525,7 @@ pub fn run_stale_observed(
                 } else {
                     // The ineligible request came from this very agent.
                     debug_assert_eq!(req.user, agent.id);
-                    deliver(agent, &PlatformMsg::Deny, &mut telemetry);
+                    deliver(agent, &PlatformMsg::Deny, &mut telemetry, &mut stamper);
                 }
             }
         }
@@ -477,7 +551,8 @@ pub fn run_stale_observed(
                 PlatformMsg::Deny
             };
             let agent = &mut agents[user.index()];
-            if let Some(UserMsg::Updated { user, route }) = deliver(agent, &verdict, &mut telemetry)
+            if let Some(UserMsg::Updated { user, route }) =
+                deliver(agent, &verdict, &mut telemetry, &mut stamper)
             {
                 platform.apply_update(user, route);
             }
@@ -490,7 +565,7 @@ pub fn run_stale_observed(
         });
     }
     for agent in agents.iter_mut() {
-        deliver(agent, &PlatformMsg::Terminate, &mut telemetry);
+        deliver(agent, &PlatformMsg::Terminate, &mut telemetry, &mut stamper);
     }
     obs.emit(|| Event::RunCompleted {
         slots: platform.slots as u64,

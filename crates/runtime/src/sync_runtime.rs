@@ -11,7 +11,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game, Profile};
-use vcs_obs::{Event, Obs, ResponseKind, SpanKind};
+use vcs_obs::{Event, FrameStamper, Obs, ResponseKind, SpanKind, PLATFORM_SENDER};
 
 /// Communication telemetry of a protocol run: how many frames and bytes
 /// crossed the platform↔user boundary. The paper motivates the distributed
@@ -83,55 +83,83 @@ pub fn spawn_agents(game: &Game, seed: u64) -> Vec<UserAgent> {
 }
 
 /// Sends a platform message through the codec (encode + decode), counting
-/// frames/bytes in both directions. Panics only on codec bugs — the codec is
-/// total on well-formed messages.
+/// frames/bytes in both directions and stamping every frame event with the
+/// sender's causal `(seq, lamport)` (see `vcs_obs::causal`). Panics only on
+/// codec bugs — the codec is total on well-formed messages.
 fn deliver_to_agent(
     agent: &mut UserAgent,
     msg: &PlatformMsg,
     telemetry: &mut Telemetry,
+    stamper: &mut FrameStamper,
     obs: &Obs,
 ) -> Option<UserMsg> {
+    let agent_id = agent.id.index() as u32;
     let frame = obs.time(SpanKind::FrameEncode, || msg.encode());
     telemetry.platform_msgs += 1;
     telemetry.platform_bytes += frame.len();
     let bytes = frame.len();
+    let tx = stamper.send(PLATFORM_SENDER);
     obs.emit(|| Event::FrameSent {
         bytes: bytes as u32,
+        seq: tx.seq,
+        lamport: tx.lamport,
     });
     let decoded = obs.time(SpanKind::FrameDecode, || {
         PlatformMsg::decode(frame).expect("self-encoded frame decodes")
     });
+    let rx = stamper.receive(agent_id, tx);
     obs.emit(|| Event::FrameReceived {
         bytes: bytes as u32,
+        seq: rx.seq,
+        lamport: rx.lamport,
     });
     agent.handle(decoded).map(|reply| {
         let reply_frame = obs.time(SpanKind::FrameEncode, || reply.encode());
         telemetry.user_msgs += 1;
         telemetry.user_bytes += reply_frame.len();
         let bytes = reply_frame.len();
+        let tx = stamper.send(agent_id);
         obs.emit(|| Event::FrameSent {
             bytes: bytes as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
         let decoded = obs.time(SpanKind::FrameDecode, || {
             UserMsg::decode(reply_frame).expect("self-encoded frame decodes")
         });
+        let rx = stamper.receive(PLATFORM_SENDER, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: bytes as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         decoded
     })
 }
 
 /// Counts (and observes) one uplink frame outside the request/reply helper:
-/// initial announcements and churn event frames.
-fn count_uplink(frame_len: usize, telemetry: &mut Telemetry, obs: &Obs) {
+/// initial announcements and churn event frames. `sender` is the emitting
+/// user's id (the platform is always the receiver here).
+fn count_uplink(
+    frame_len: usize,
+    sender: u32,
+    telemetry: &mut Telemetry,
+    stamper: &mut FrameStamper,
+    obs: &Obs,
+) {
     telemetry.user_msgs += 1;
     telemetry.user_bytes += frame_len;
+    let tx = stamper.send(sender);
     obs.emit(|| Event::FrameSent {
         bytes: frame_len as u32,
+        seq: tx.seq,
+        lamport: tx.lamport,
     });
+    let rx = stamper.receive(PLATFORM_SENDER, tx);
     obs.emit(|| Event::FrameReceived {
         bytes: frame_len as u32,
+        seq: rx.seq,
+        lamport: rx.lamport,
     });
 }
 
@@ -159,6 +187,7 @@ pub fn run_sync_observed(
 ) -> RuntimeOutcome {
     let mut agents = spawn_agents(game, seed);
     let mut telemetry = Telemetry::default();
+    let mut stamper = FrameStamper::new();
     // Alg. 2 line 2: receive initial decisions.
     let initial: Vec<RouteId> = agents
         .iter()
@@ -169,7 +198,7 @@ pub fn run_sync_observed(
                 UserMsg::Initial { route, .. } => route,
                 other => panic!("unexpected initial message {other:?}"),
             };
-            count_uplink(len, &mut telemetry, obs);
+            count_uplink(len, a.id.index() as u32, &mut telemetry, &mut stamper, obs);
             route
         })
         .collect();
@@ -178,7 +207,7 @@ pub fn run_sync_observed(
     // Alg. 2 line 4: send Init.
     for agent in agents.iter_mut() {
         let msg = platform.init_msg_for(agent.id);
-        let reply = deliver_to_agent(agent, &msg, &mut telemetry, obs);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry, &mut stamper, obs);
         debug_assert!(reply.is_none());
     }
     let mut converged = false;
@@ -191,8 +220,14 @@ pub fn run_sync_observed(
         // cached requests are reused without any message exchange.
         for user in platform.dirty_users() {
             let msg = platform.counts_msg_for(user);
-            let reply = deliver_to_agent(&mut agents[user.index()], &msg, &mut telemetry, obs)
-                .expect("counts always answered");
+            let reply = deliver_to_agent(
+                &mut agents[user.index()],
+                &msg,
+                &mut telemetry,
+                &mut stamper,
+                obs,
+            )
+            .expect("counts always answered");
             obs.emit(|| Event::ResponseEvaluated {
                 user: user.index() as u32,
                 kind: ResponseKind::Best,
@@ -214,9 +249,13 @@ pub fn run_sync_observed(
         for &g in &granted {
             let user = requests[g].user;
             let agent = &mut agents[user.index()];
-            if let Some(UserMsg::Updated { user, route }) =
-                deliver_to_agent(agent, &PlatformMsg::Grant, &mut telemetry, obs)
-            {
+            if let Some(UserMsg::Updated { user, route }) = deliver_to_agent(
+                agent,
+                &PlatformMsg::Grant,
+                &mut telemetry,
+                &mut stamper,
+                obs,
+            ) {
                 platform.apply_update(user, route);
             }
         }
@@ -230,7 +269,13 @@ pub fn run_sync_observed(
     }
     // Alg. 2 line 12: terminate everyone.
     for agent in agents.iter_mut() {
-        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry, obs);
+        let reply = deliver_to_agent(
+            agent,
+            &PlatformMsg::Terminate,
+            &mut telemetry,
+            &mut stamper,
+            obs,
+        );
         debug_assert!(reply.is_none());
     }
     // Cross-check: the agents' local choices agree with the platform.
@@ -283,6 +328,7 @@ fn drive_to_equilibrium(
     platform: &mut PlatformState<'_>,
     agents: &mut [Option<UserAgent>],
     telemetry: &mut Telemetry,
+    stamper: &mut FrameStamper,
     max_slots: usize,
     obs: &Obs,
 ) -> (usize, bool) {
@@ -293,8 +339,8 @@ fn drive_to_equilibrium(
         for user in platform.dirty_users() {
             let msg = platform.counts_msg_for(user);
             let agent = agents[user.index()].as_mut().expect("dirty user is active");
-            let reply =
-                deliver_to_agent(agent, &msg, telemetry, obs).expect("counts always answered");
+            let reply = deliver_to_agent(agent, &msg, telemetry, stamper, obs)
+                .expect("counts always answered");
             obs.emit(|| Event::ResponseEvaluated {
                 user: user.index() as u32,
                 kind: ResponseKind::Best,
@@ -315,7 +361,7 @@ fn drive_to_equilibrium(
                 .as_mut()
                 .expect("granted user is active");
             if let Some(UserMsg::Updated { user, route }) =
-                deliver_to_agent(agent, &PlatformMsg::Grant, telemetry, obs)
+                deliver_to_agent(agent, &PlatformMsg::Grant, telemetry, stamper, obs)
             {
                 platform.apply_update(user, route);
             }
@@ -375,6 +421,7 @@ pub fn run_sync_churn_observed(
     let mut agents: Vec<Option<UserAgent>> =
         spawn_agents(game, seed).into_iter().map(Some).collect();
     let mut telemetry = Telemetry::default();
+    let mut stamper = FrameStamper::new();
     let initial: Vec<RouteId> = agents
         .iter()
         .flatten()
@@ -385,7 +432,7 @@ pub fn run_sync_churn_observed(
                 UserMsg::Initial { route, .. } => route,
                 other => panic!("unexpected initial message {other:?}"),
             };
-            count_uplink(len, &mut telemetry, obs);
+            count_uplink(len, a.id.index() as u32, &mut telemetry, &mut stamper, obs);
             route
         })
         .collect();
@@ -393,7 +440,7 @@ pub fn run_sync_churn_observed(
     platform.set_obs(obs.clone());
     for agent in agents.iter_mut().flatten() {
         let msg = platform.init_msg_for(agent.id);
-        let reply = deliver_to_agent(agent, &msg, &mut telemetry, obs);
+        let reply = deliver_to_agent(agent, &msg, &mut telemetry, &mut stamper, obs);
         debug_assert!(reply.is_none());
     }
     let mut epoch_slots = Vec::with_capacity(epochs.len() + 1);
@@ -409,6 +456,7 @@ pub fn run_sync_churn_observed(
             &mut platform,
             &mut agents,
             &mut telemetry,
+            &mut stamper,
             max_slots_per_epoch,
             obs,
         )
@@ -428,7 +476,14 @@ pub fn run_sync_churn_observed(
             // Ship the event as a real wire frame, exactly what a networked
             // vehicle would send.
             let frame = UserMsg::from_churn(event).encode();
-            count_uplink(frame.len(), &mut telemetry, obs);
+            // A `Join` frame is sent by the arriving vehicle, which the
+            // platform will number `agents.len()`; a `Leave` by the departing
+            // user itself.
+            let sender = match event {
+                ChurnEvent::Join { .. } => agents.len() as u32,
+                ChurnEvent::Leave { user } => user.index() as u32,
+            };
+            count_uplink(frame.len(), sender, &mut telemetry, &mut stamper, obs);
             let msg = UserMsg::decode(frame).expect("self-encoded frame decodes");
             match platform
                 .apply_churn_msg(&msg)
@@ -448,7 +503,8 @@ pub fn run_sync_churn_observed(
                         initial,
                     );
                     let init = platform.init_msg_for(joined);
-                    let reply = deliver_to_agent(&mut agent, &init, &mut telemetry, obs);
+                    let reply =
+                        deliver_to_agent(&mut agent, &init, &mut telemetry, &mut stamper, obs);
                     debug_assert!(reply.is_none());
                     debug_assert_eq!(agents.len(), joined.index());
                     agents.push(Some(agent));
@@ -459,8 +515,13 @@ pub fn run_sync_churn_observed(
                         unreachable!("leave returns no id")
                     };
                     let mut agent = agents[user.index()].take().expect("leaving agent exists");
-                    let reply =
-                        deliver_to_agent(&mut agent, &PlatformMsg::Terminate, &mut telemetry, obs);
+                    let reply = deliver_to_agent(
+                        &mut agent,
+                        &PlatformMsg::Terminate,
+                        &mut telemetry,
+                        &mut stamper,
+                        obs,
+                    );
                     debug_assert!(reply.is_none());
                 }
             }
@@ -477,6 +538,7 @@ pub fn run_sync_churn_observed(
                 &mut platform,
                 &mut agents,
                 &mut telemetry,
+                &mut stamper,
                 max_slots_per_epoch,
                 obs,
             )
@@ -491,7 +553,13 @@ pub fn run_sync_churn_observed(
         });
     }
     for agent in agents.iter_mut().flatten() {
-        let reply = deliver_to_agent(agent, &PlatformMsg::Terminate, &mut telemetry, obs);
+        let reply = deliver_to_agent(
+            agent,
+            &PlatformMsg::Terminate,
+            &mut telemetry,
+            &mut stamper,
+            obs,
+        );
         debug_assert!(reply.is_none());
     }
     for agent in agents.iter().flatten() {

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{ChurnEvent, Game};
-use vcs_obs::{Event, LiveMonitor, Obs, ResponseKind, SpanKind};
+use vcs_obs::{Event, FrameStamper, LiveMonitor, Obs, ResponseKind, SpanKind, PLATFORM_SENDER};
 
 /// Per-agent mailbox pair: platform keeps the senders, agents the receivers.
 struct AgentLink {
@@ -110,10 +110,16 @@ pub fn run_threaded_observed(
     }
     drop(to_platform);
 
+    // Causal stamps are platform-side bookkeeping: the platform thread is
+    // the only emitter, so it stamps uplink frames at receipt on the
+    // sender's behalf — deterministic per seed, same protocol as the sync
+    // runtime.
+    let mut stamper = FrameStamper::new();
     // Collect exactly one frame per agent, keyed by user id, counting bytes.
     let collect_round = |inbox: &Receiver<(UserId, Bytes)>,
                          expect: usize,
-                         telemetry: &mut Telemetry|
+                         telemetry: &mut Telemetry,
+                         stamper: &mut FrameStamper|
      -> Vec<(UserId, UserMsg)> {
         let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
         for _ in 0..expect {
@@ -122,11 +128,17 @@ pub fn run_threaded_observed(
             });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            let tx = stamper.send(user.index() as u32);
             obs.emit(|| Event::FrameSent {
                 bytes: frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
+            let rx = stamper.receive(PLATFORM_SENDER, tx);
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
+                seq: rx.seq,
+                lamport: rx.lamport,
             });
             let msg = obs.time(SpanKind::FrameDecode, || {
                 UserMsg::decode(frame).expect("well-formed user frame")
@@ -136,15 +148,25 @@ pub fn run_threaded_observed(
         out.sort_by_key(|&(user, _)| user);
         out
     };
-    // Send a platform frame, counting it.
-    let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
+    // Send a platform frame to `user`, counting it.
+    let send_counted = |link: &AgentLink,
+                        user: u32,
+                        frame: Bytes,
+                        telemetry: &mut Telemetry,
+                        stamper: &mut FrameStamper| {
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        let tx = stamper.send(PLATFORM_SENDER);
         obs.emit(|| Event::FrameSent {
             bytes: frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
+        let rx = stamper.receive(user, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         link.to_agent.send(frame).expect("agent alive");
     };
@@ -152,7 +174,7 @@ pub fn run_threaded_observed(
     let encode_timed = |msg: &PlatformMsg| obs.time(SpanKind::FrameEncode, || msg.encode());
 
     // Alg. 2 line 2: initial decisions.
-    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
+    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry, &mut stamper);
     let mut initial = vec![RouteId(0); m];
     for (user, msg) in initial_msgs {
         match msg {
@@ -164,7 +186,13 @@ pub fn run_threaded_observed(
     platform.set_obs(obs.clone());
     for (i, link) in links.iter().enumerate() {
         let msg = platform.init_msg_for(UserId::from_index(i));
-        send_counted(link, encode_timed(&msg), &mut telemetry);
+        send_counted(
+            link,
+            i as u32,
+            encode_timed(&msg),
+            &mut telemetry,
+            &mut stamper,
+        );
     }
 
     let mut converged = false;
@@ -177,9 +205,15 @@ pub fn run_threaded_observed(
         let dirty = platform.dirty_users();
         for &user in &dirty {
             let msg = platform.counts_msg_for(user);
-            send_counted(&links[user.index()], encode_timed(&msg), &mut telemetry);
+            send_counted(
+                &links[user.index()],
+                user.index() as u32,
+                encode_timed(&msg),
+                &mut telemetry,
+                &mut stamper,
+            );
         }
-        let replies = collect_round(&platform_inbox, dirty.len(), &mut telemetry);
+        let replies = collect_round(&platform_inbox, dirty.len(), &mut telemetry, &mut stamper);
         for (user, msg) in &replies {
             obs.emit(|| Event::ResponseEvaluated {
                 user: user.index() as u32,
@@ -200,11 +234,18 @@ pub fn run_threaded_observed(
         for &user in &granted_users {
             send_counted(
                 &links[user.index()],
+                user.index() as u32,
                 encode_timed(&PlatformMsg::Grant),
                 &mut telemetry,
+                &mut stamper,
             );
         }
-        let confirmations = collect_round(&platform_inbox, granted_users.len(), &mut telemetry);
+        let confirmations = collect_round(
+            &platform_inbox,
+            granted_users.len(),
+            &mut telemetry,
+            &mut stamper,
+        );
         for (_, msg) in confirmations {
             match msg {
                 UserMsg::Updated { user, route } => platform.apply_update(user, route),
@@ -219,8 +260,14 @@ pub fn run_threaded_observed(
             total_profit: platform.total_profit(),
         });
     }
-    for link in &links {
-        send_counted(link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
+    for (i, link) in links.iter().enumerate() {
+        send_counted(
+            link,
+            i as u32,
+            encode_timed(&PlatformMsg::Terminate),
+            &mut telemetry,
+            &mut stamper,
+        );
     }
     for handle in handles {
         handle.join().expect("agent thread panicked");
@@ -290,9 +337,11 @@ pub fn run_threaded_churn_observed(
         })));
     }
 
+    let mut stamper = FrameStamper::new();
     let collect_round = |inbox: &Receiver<(UserId, Bytes)>,
                          expect: usize,
-                         telemetry: &mut Telemetry|
+                         telemetry: &mut Telemetry,
+                         stamper: &mut FrameStamper|
      -> Vec<(UserId, UserMsg)> {
         let mut out: Vec<(UserId, UserMsg)> = Vec::with_capacity(expect);
         for _ in 0..expect {
@@ -301,11 +350,17 @@ pub fn run_threaded_churn_observed(
             });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            let tx = stamper.send(user.index() as u32);
             obs.emit(|| Event::FrameSent {
                 bytes: frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
+            let rx = stamper.receive(PLATFORM_SENDER, tx);
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
+                seq: rx.seq,
+                lamport: rx.lamport,
             });
             let msg = obs.time(SpanKind::FrameDecode, || {
                 UserMsg::decode(frame).expect("well-formed user frame")
@@ -315,20 +370,30 @@ pub fn run_threaded_churn_observed(
         out.sort_by_key(|&(user, _)| user);
         out
     };
-    let send_counted = |link: &AgentLink, frame: Bytes, telemetry: &mut Telemetry| {
+    let send_counted = |link: &AgentLink,
+                        user: u32,
+                        frame: Bytes,
+                        telemetry: &mut Telemetry,
+                        stamper: &mut FrameStamper| {
         telemetry.platform_msgs += 1;
         telemetry.platform_bytes += frame.len();
+        let tx = stamper.send(PLATFORM_SENDER);
         obs.emit(|| Event::FrameSent {
             bytes: frame.len() as u32,
+            seq: tx.seq,
+            lamport: tx.lamport,
         });
+        let rx = stamper.receive(user, tx);
         obs.emit(|| Event::FrameReceived {
             bytes: frame.len() as u32,
+            seq: rx.seq,
+            lamport: rx.lamport,
         });
         link.to_agent.send(frame).expect("agent alive");
     };
     let encode_timed = |msg: &PlatformMsg| obs.time(SpanKind::FrameEncode, || msg.encode());
 
-    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry);
+    let initial_msgs = collect_round(&platform_inbox, m, &mut telemetry, &mut stamper);
     let mut initial = vec![RouteId(0); m];
     for (user, msg) in initial_msgs {
         match msg {
@@ -342,8 +407,10 @@ pub fn run_threaded_churn_observed(
         let msg = platform.init_msg_for(UserId::from_index(i));
         send_counted(
             link.as_ref().expect("start-up agent"),
+            i as u32,
             encode_timed(&msg),
             &mut telemetry,
+            &mut stamper,
         );
     }
 
@@ -351,7 +418,8 @@ pub fn run_threaded_churn_observed(
     // `run_threaded`, bounded by a per-epoch slot budget.
     let drive = |platform: &mut PlatformState<'_>,
                  links: &[Option<AgentLink>],
-                 telemetry: &mut Telemetry|
+                 telemetry: &mut Telemetry,
+                 stamper: &mut FrameStamper|
      -> (usize, bool) {
         let start = platform.slots;
         let mut converged = false;
@@ -361,9 +429,15 @@ pub fn run_threaded_churn_observed(
             for &user in &dirty {
                 let msg = platform.counts_msg_for(user);
                 let link = links[user.index()].as_ref().expect("dirty user is active");
-                send_counted(link, encode_timed(&msg), telemetry);
+                send_counted(
+                    link,
+                    user.index() as u32,
+                    encode_timed(&msg),
+                    telemetry,
+                    stamper,
+                );
             }
-            let replies = collect_round(&platform_inbox, dirty.len(), telemetry);
+            let replies = collect_round(&platform_inbox, dirty.len(), telemetry, stamper);
             for (user, msg) in &replies {
                 obs.emit(|| Event::ResponseEvaluated {
                     user: user.index() as u32,
@@ -384,9 +458,16 @@ pub fn run_threaded_churn_observed(
                 let link = links[user.index()]
                     .as_ref()
                     .expect("granted user is active");
-                send_counted(link, encode_timed(&PlatformMsg::Grant), telemetry);
+                send_counted(
+                    link,
+                    user.index() as u32,
+                    encode_timed(&PlatformMsg::Grant),
+                    telemetry,
+                    stamper,
+                );
             }
-            let confirmations = collect_round(&platform_inbox, granted_users.len(), telemetry);
+            let confirmations =
+                collect_round(&platform_inbox, granted_users.len(), telemetry, stamper);
             for (_, msg) in confirmations {
                 match msg {
                     UserMsg::Updated { user, route } => platform.apply_update(user, route),
@@ -413,7 +494,7 @@ pub fn run_threaded_churn_observed(
         active: platform.active_count() as u32,
     });
     let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
-        drive(&mut platform, &links, &mut telemetry)
+        drive(&mut platform, &links, &mut telemetry, &mut stamper)
     });
     epoch_slots.push(slots);
     converged &= ok;
@@ -432,11 +513,23 @@ pub fn run_threaded_churn_observed(
             });
             telemetry.user_msgs += 1;
             telemetry.user_bytes += frame.len();
+            // A `Join` frame comes from the arriving vehicle (which will be
+            // numbered `links.len()`); a `Leave` from the departing user.
+            let sender = match event {
+                ChurnEvent::Join { .. } => links.len() as u32,
+                ChurnEvent::Leave { user } => user.index() as u32,
+            };
+            let tx = stamper.send(sender);
             obs.emit(|| Event::FrameSent {
                 bytes: frame.len() as u32,
+                seq: tx.seq,
+                lamport: tx.lamport,
             });
+            let rx = stamper.receive(PLATFORM_SENDER, tx);
             obs.emit(|| Event::FrameReceived {
                 bytes: frame.len() as u32,
+                seq: rx.seq,
+                lamport: rx.lamport,
             });
             let msg = obs.time(SpanKind::FrameDecode, || {
                 UserMsg::decode(frame).expect("self-encoded frame decodes")
@@ -469,8 +562,10 @@ pub fn run_threaded_churn_observed(
                     let init = platform.init_msg_for(joined);
                     send_counted(
                         links[joined.index()].as_ref().expect("just linked"),
+                        joined.index() as u32,
                         encode_timed(&init),
                         &mut telemetry,
+                        &mut stamper,
                     );
                 }
                 None => {
@@ -479,7 +574,13 @@ pub fn run_threaded_churn_observed(
                         unreachable!("leave returns no id")
                     };
                     let link = links[user.index()].take().expect("leaving agent exists");
-                    send_counted(&link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
+                    send_counted(
+                        &link,
+                        user.index() as u32,
+                        encode_timed(&PlatformMsg::Terminate),
+                        &mut telemetry,
+                        &mut stamper,
+                    );
                     drop(link);
                     handles[user.index()]
                         .take()
@@ -497,7 +598,7 @@ pub fn run_threaded_churn_observed(
             active: platform.active_count() as u32,
         });
         let (slots, ok) = obs.time(SpanKind::EpochReconverge, || {
-            drive(&mut platform, &links, &mut telemetry)
+            drive(&mut platform, &links, &mut telemetry, &mut stamper)
         });
         epoch_slots.push(slots);
         converged &= ok;
@@ -509,8 +610,15 @@ pub fn run_threaded_churn_observed(
         });
     }
     drop(to_platform);
-    for link in links.iter().flatten() {
-        send_counted(link, encode_timed(&PlatformMsg::Terminate), &mut telemetry);
+    for (i, link) in links.iter().enumerate() {
+        let Some(link) = link else { continue };
+        send_counted(
+            link,
+            i as u32,
+            encode_timed(&PlatformMsg::Terminate),
+            &mut telemetry,
+            &mut stamper,
+        );
     }
     for handle in handles.iter_mut().filter_map(Option::take) {
         handle.join().expect("agent thread panicked");

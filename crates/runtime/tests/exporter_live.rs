@@ -164,7 +164,11 @@ fn stats_subscriber_totals_are_exact_under_many_writers() {
                         phi: (t * PER_THREAD + i) as f64,
                         total_profit: 1.0,
                     });
-                    obs.emit(|| Event::FrameSent { bytes: 8 });
+                    obs.emit(|| Event::FrameSent {
+                        bytes: 8,
+                        seq: 1,
+                        lamport: 1,
+                    });
                     obs.emit(|| Event::SpanRecorded {
                         kind: SpanKind::Slot,
                         nanos: 1_000 + i,
