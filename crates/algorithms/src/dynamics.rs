@@ -13,11 +13,18 @@ use crate::request::UpdateRequest;
 use crate::scheduler::{buau, puu, puu_views, suu, RequestView};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use vcs_core::ids::{RouteId, TaskId, UserId};
 use vcs_core::response::{best_route_set, better_routes, BestResponse, ProfitView};
 use vcs_core::{potential, Engine, Game, Profile};
 use vcs_obs::{elapsed_nanos, Event, Obs, ResponseKind, SpanKind};
+
+/// Below this many drained dirty users a refresh pass stays sequential: an
+/// incremental best-response scan is ~100ns, so fanning out to worker
+/// threads only pays off for the huge convergence-from-cold passes (first
+/// slot at 10⁵ users, epoch re-convergence after bulk churn).
+const PAR_REFRESH_MIN: usize = 4096;
 
 /// Per-user cache of PUU affected-task sets `B_i = L_{s_i} ∪ L_{s'}`, keyed
 /// by candidate route and implicitly by the user's current route.
@@ -341,6 +348,21 @@ pub fn run_distributed_from_observed(
             let mut picks: Vec<Pick> = Vec::new();
             let mut affected_cache =
                 (algorithm == DistributedAlgorithm::Muun).then(|| AffectedCache::new(game));
+            // The improving set, maintained as a flag array plus a sorted
+            // index list so the request-collection pass iterates only users
+            // that can actually improve instead of scanning all `m` caches
+            // every slot. Invariant: `improving_flag[i]` ⟺ user `i`'s cached
+            // response list is non-empty; since `pick` consumes RNG only for
+            // non-empty lists, iterating the improving users in ascending id
+            // order draws the exact same RNG stream as the full scan.
+            let mut improving_flag: Vec<bool> = vec![false; m];
+            let mut improving: Vec<u32> = Vec::new();
+            let mut changed: Vec<u32> = Vec::new();
+            // MUUN's granted batch, rebuilt per slot and committed through
+            // the engine's conflict-free batch path.
+            let mut batch: Vec<(UserId, RouteId)> = Vec::new();
+            // Drain buffer recycled across slots (see `take_dirty_into`).
+            let mut drained: Vec<UserId> = Vec::new();
             while slots < config.max_slots {
                 // A pass that finds no request is termination, not a
                 // decision slot — nothing is emitted on that path. One clock
@@ -356,21 +378,86 @@ pub fn run_distributed_from_observed(
                 // one `RefreshPass` event cover the whole pass: a single
                 // incremental scan is ~100ns, far below the cost of timing
                 // or emitting per scan.
-                let mut scans = 0u32;
-                let mut improving = 0u32;
-                for user in engine.take_dirty() {
-                    scans += 1;
-                    if brun {
-                        let better = engine.better_routes(user);
-                        improving += u32::from(!better.is_empty());
-                        better_cache[user.index()] = better;
+                engine.take_dirty_into(&mut drained);
+                let scans = drained.len() as u32;
+                let mut improving_now = 0u32;
+                // Recompute the drained users' responses. Large passes (cold
+                // start, post-churn re-convergence) fan out over the rayon
+                // pool — the scans are read-only against the engine slabs
+                // and the results are collected in index order, so the
+                // assignment below is deterministic; small passes stay on
+                // the calling thread.
+                let parallel = drained.len() >= PAR_REFRESH_MIN && rayon::current_num_threads() > 1;
+                if brun {
+                    if parallel {
+                        let eng = &engine;
+                        let dr = &drained;
+                        let results: Vec<Vec<(RouteId, f64)>> = (0..dr.len())
+                            .into_par_iter()
+                            .map(|j| eng.better_routes(dr[j]))
+                            .collect();
+                        for (j, better) in results.into_iter().enumerate() {
+                            better_cache[drained[j].index()] = better;
+                        }
                     } else {
-                        let response = engine.best_route_set(user);
-                        improving += u32::from(!response.best_routes.is_empty());
-                        best_cache[user.index()] = response;
+                        for &user in &drained {
+                            better_cache[user.index()] = engine.better_routes(user);
+                        }
+                    }
+                } else if parallel {
+                    let eng = &engine;
+                    let dr = &drained;
+                    let results: Vec<BestResponse> = (0..dr.len())
+                        .into_par_iter()
+                        .map(|j| eng.best_route_set(dr[j]))
+                        .collect();
+                    for (j, response) in results.into_iter().enumerate() {
+                        best_cache[drained[j].index()] = response;
+                    }
+                } else {
+                    for &user in &drained {
+                        engine.best_route_set_into(user, &mut best_cache[user.index()]);
+                    }
+                }
+                changed.clear();
+                for &user in &drained {
+                    let i = user.index();
+                    let now = if brun {
+                        !better_cache[i].is_empty()
+                    } else {
+                        !best_cache[i].best_routes.is_empty()
+                    };
+                    improving_now += u32::from(now);
+                    if now != improving_flag[i] {
+                        improving_flag[i] = now;
+                        changed.push(i as u32);
                     }
                     if let Some(cache) = &mut affected_cache {
                         cache.invalidate(user);
+                    }
+                }
+                // Fold the flag flips into the sorted improving list:
+                // binary-search edits for a few changes, one linear rebuild
+                // when a pass flipped a large fraction (cold start).
+                if !changed.is_empty() {
+                    if changed.len() > improving.len() / 8 + 32 {
+                        improving.clear();
+                        improving.extend((0..m as u32).filter(|&i| improving_flag[i as usize]));
+                    } else {
+                        for &i in &changed {
+                            match improving.binary_search(&i) {
+                                Ok(pos) => {
+                                    if !improving_flag[i as usize] {
+                                        improving.remove(pos);
+                                    }
+                                }
+                                Err(pos) => {
+                                    if improving_flag[i as usize] {
+                                        improving.insert(pos, i);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 if scans > 0 {
@@ -388,25 +475,25 @@ pub fn run_distributed_from_observed(
                             ResponseKind::Best
                         },
                         scans,
-                        improving,
+                        improving: improving_now,
                     });
                 }
                 picks.clear();
-                for i in 0..m {
-                    let user = UserId::from_index(i);
+                for &iu in &improving {
+                    let user = UserId::from_index(iu as usize);
                     if brun {
-                        if let Some(&(route, gain)) = pick(&better_cache[i], rng) {
-                            picks.push(Pick { user, route, gain });
-                        }
+                        let &(route, gain) = pick(&better_cache[iu as usize], rng)
+                            .expect("flagged improving ⇒ non-empty better list");
+                        picks.push(Pick { user, route, gain });
                     } else {
-                        let response = &best_cache[i];
-                        if let Some(&route) = pick(&response.best_routes, rng) {
-                            picks.push(Pick {
-                                user,
-                                route,
-                                gain: response.gain,
-                            });
-                        }
+                        let response = &best_cache[iu as usize];
+                        let &route = pick(&response.best_routes, rng)
+                            .expect("flagged improving ⇒ non-empty best set");
+                        picks.push(Pick {
+                            user,
+                            route,
+                            gain: response.gain,
+                        });
                     }
                 }
                 if picks.is_empty() {
@@ -428,7 +515,7 @@ pub fn run_distributed_from_observed(
                         1
                     }
                     DistributedAlgorithm::Buau => {
-                        let tau = |p: &Pick| p.gain / game.users()[p.user.index()].prefs.alpha;
+                        let tau = |p: &Pick| p.gain / engine.alpha_of(p.user);
                         let mut best = 0usize;
                         let mut best_tau = tau(&picks[0]);
                         for (i, p) in picks.iter().enumerate().skip(1) {
@@ -456,18 +543,26 @@ pub fn run_distributed_from_observed(
                             .iter()
                             .map(|p| RequestView {
                                 user: p.user,
-                                tau: p.gain / game.users()[p.user.index()].prefs.alpha,
+                                tau: p.gain / engine.alpha_of(p.user),
                                 affected: cache.get(p.user, p.route),
                             })
                             .collect();
                         let granted = puu_views(&views);
                         debug_assert!(!granted.is_empty());
+                        batch.clear();
                         for &g in &granted {
                             let p = &picks[g];
-                            engine.apply_move(p.user, p.route);
+                            batch.push((p.user, p.route));
                             updates += 1;
                             min_improvement = min_improvement.min(p.gain);
                         }
+                        // PUU granted a pairwise conflict-free set (Theorem
+                        // 3), so the engine may compute the per-move deltas
+                        // in parallel and commit them in grant order —
+                        // bit-identical to the sequential loop.
+                        let batch_span = obs.span(SpanKind::BatchApply);
+                        engine.apply_batch(&batch);
+                        batch_span.finish();
                         granted.len()
                     }
                     DistributedAlgorithm::Bats => unreachable!("handled above"),

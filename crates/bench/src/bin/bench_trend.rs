@@ -22,8 +22,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vcs_bench::trend::{
-    build_trajectory, compare, parse_trajectory, render_trajectory, Json, Regression, Trajectory,
-    DEFAULT_TOLERANCE,
+    build_trajectory, compare, floor_violations, parse_trajectory, render_trajectory, Json,
+    Regression, Trajectory, DEFAULT_TOLERANCE,
 };
 
 const TRAJECTORY_FILE: &str = "BENCH_trajectory.json";
@@ -110,7 +110,16 @@ fn run() -> Result<bool, String> {
                 .map_err(|e| format!("{}: {e} (run `bench_trend` to create it)", path.display()))?;
             let (baseline, recorded_tol) = parse_trajectory(&text)?;
             let tol = tolerance.unwrap_or(recorded_tol);
-            let found = compare(&current, &baseline, tol);
+            let mut found = compare(&current, &baseline, tol);
+            // Absolute floors gate the *current* artifacts regardless of
+            // baseline drift: MUUN must never fall below naive parity.
+            for floor in floor_violations(&current) {
+                eprintln!(
+                    "FLOOR {}: {:.4} below the absolute floor {:.2}",
+                    floor.metric, floor.current, floor.baseline
+                );
+                found.push(floor);
+            }
             if found.is_empty() {
                 // Surface improvements so the baseline can be ratcheted.
                 for (metric, base) in &baseline.gated {

@@ -13,6 +13,10 @@
 //! once under a [`vcs_obs::StatsSubscriber`] and dumps the final Prometheus
 //! text exposition (counters + span latency histograms) to `path` — the
 //! same bytes a live `/metrics` scrape would return after those runs.
+//!
+//! `--threads N` (or `VCS_THREADS=N`) pins the rayon pool width so the
+//! committed numbers are reproducible across machines; `1` forces the
+//! engine's strictly sequential paths.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -72,25 +76,43 @@ fn json_escape_free(rows: &[Row]) -> String {
 fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut prometheus_path: Option<String> = None;
+    let mut threads_cli: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--prometheus" {
             prometheus_path = Some(args.next().expect("--prometheus needs a path"));
+        } else if arg == "--threads" {
+            threads_cli = Some(
+                args.next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs an integer"),
+            );
         } else {
             out_path = arg;
         }
     }
+    let workers = vcs_bench::threads::configure_threads(threads_cli);
+    eprintln!("rayon pool: {workers} worker(s)");
     let stats = Arc::new(StatsSubscriber::new());
     let stats_obs = Obs::new(stats.clone());
     let mut rows = Vec::new();
-    for users in [100usize, 500, 2000] {
+    for users in [100usize, 500, 2000, 100_000] {
         // Tasks scale with users (city-scale deployments grow both), keeping
         // per-task contention — and thus dirty-set sizes — representative.
         let game = synthetic_game(users, users.max(60), 11);
         let mut config = RunConfig::with_seed(7);
-        // Bound the naive driver's runtime at the largest size; both drivers
-        // then run the same capped trajectory.
-        config.max_slots = if users >= 2000 { 60 } else { 1_000_000 };
+        // Bound the naive driver's runtime at the larger sizes; both drivers
+        // then run the same capped trajectory. At 10⁵ users a naive slot
+        // recomputes every response and the full ϕ, so a dozen slots is
+        // already tens of seconds of reference work.
+        config.max_slots = if users >= 100_000 {
+            12
+        } else if users >= 2000 {
+            60
+        } else {
+            1_000_000
+        };
         for algo in [DistributedAlgorithm::Dgrn, DistributedAlgorithm::Muun] {
             if prometheus_path.is_some() {
                 // One instrumented replay per cell, outside the timed reps,

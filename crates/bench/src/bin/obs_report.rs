@@ -124,13 +124,25 @@ fn json_escape_free(rows: &[Row], smoke: bool) -> String {
 fn main() {
     let mut out_path = "BENCH_obs.json".to_string();
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads_cli: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--threads" {
+            threads_cli = Some(
+                args.next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs an integer"),
+            );
         } else {
             out_path = arg;
         }
     }
+    // Overhead ratios are timing-sensitive; pin the pool (`--threads` /
+    // `VCS_THREADS`) so instrumented and plain windows share one width.
+    vcs_bench::threads::configure_threads(threads_cli);
     // 15 bracketed reps in full mode: the median of 15 drift-cancelled
     // ratios settles well inside the few-percent deltas being resolved
     // even when absolute machine speed swings ±30% between phases.

@@ -378,6 +378,9 @@ fn selftest(dir: &Path) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Honor `VCS_THREADS` so recorded traces and their replays run the
+    // engine at a reproducible pool width (1 = strictly sequential).
+    vcs_bench::threads::configure_threads(None);
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--selftest") => {

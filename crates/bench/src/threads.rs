@@ -1,0 +1,61 @@
+//! `VCS_THREADS` plumbing: one place where the bench binaries decide how
+//! wide the rayon pool runs.
+//!
+//! Benchmarks gate committed artifacts, so their parallelism must be
+//! reproducible: a run on a 128-core box and a 4-core CI runner should be
+//! able to pin the same width. Priority order:
+//!
+//! 1. an explicit `--threads N` CLI flag (passed in by the binary),
+//! 2. the `VCS_THREADS` environment variable,
+//! 3. the machine default (available parallelism).
+//!
+//! `N = 1` is the explicit sequential fallback — every engine/driver
+//! parallel path checks `rayon::current_num_threads() > 1` and stays on the
+//! calling thread. `N = 0` (or unset) keeps the machine default.
+
+/// Resolves and installs the global rayon pool width, returning the
+/// effective worker count. `cli` wins over `VCS_THREADS`; `None`/`0` falls
+/// back down the chain.
+pub fn configure_threads(cli: Option<usize>) -> usize {
+    let n = cli
+        .filter(|&n| n > 0)
+        .or_else(|| threads_from_env().filter(|&n| n > 0))
+        .unwrap_or(0);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("configuring the global pool width cannot fail");
+    rayon::current_num_threads()
+}
+
+/// Parses `VCS_THREADS`. Unset, empty, or unparsable → `None` (machine
+/// default); a bad value is reported on stderr rather than silently eaten so
+/// CI misconfiguration is visible.
+pub fn threads_from_env() -> Option<usize> {
+    let raw = std::env::var("VCS_THREADS").ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("VCS_THREADS={raw:?} is not a thread count; using the machine default");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_override_wins_and_one_is_sequential() {
+        let effective = configure_threads(Some(1));
+        assert_eq!(effective, 1);
+        assert_eq!(rayon::current_num_threads(), 1);
+        // Restore the machine default for other tests in this binary.
+        let restored = configure_threads(Some(0));
+        assert!(restored >= 1);
+    }
+}

@@ -517,6 +517,28 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, tolerance: f64) -> V
     regressions
 }
 
+/// Absolute per-algorithm speedup floors, enforced on the **current**
+/// trajectory independently of any baseline: the engine must never be slower
+/// than the naive driver it replaces. Today that is one rule — every
+/// `engine/MUUN/<users>/speedup` ≥ 1.0 (MUUN is the only algorithm that has
+/// ever dipped below parity, at small user counts where slab construction
+/// used to dominate). Violations reuse [`Regression`] with the floor as the
+/// `baseline`.
+pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
+    const MUUN_FLOOR: f64 = 1.0;
+    current
+        .gated
+        .iter()
+        .filter(|(metric, _)| metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup"))
+        .filter(|&&(_, value)| value < MUUN_FLOOR)
+        .map(|(metric, value)| Regression {
+            metric: metric.clone(),
+            baseline: MUUN_FLOOR,
+            current: *value,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +657,23 @@ mod tests {
         }
         let found = compare(&regressed, &baseline, DEFAULT_TOLERANCE);
         assert_eq!(found.len(), baseline.gated.len());
+    }
+
+    #[test]
+    fn muun_floor_catches_sub_parity_speedups() {
+        let mut t = trajectory();
+        // No MUUN metrics yet → no violations.
+        assert!(floor_violations(&t).is_empty());
+        t.gated.push(("engine/MUUN/100/speedup".into(), 0.92));
+        t.gated.push(("engine/MUUN/2000/speedup".into(), 2.2));
+        let found = floor_violations(&t);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "engine/MUUN/100/speedup");
+        assert_eq!(found[0].baseline, 1.0);
+        assert_eq!(found[0].current, 0.92);
+        // DGRN has no floor: a sub-parity DGRN entry adds no violation.
+        t.gated.push(("engine/DGRN/100/speedup".into(), 0.5));
+        assert_eq!(floor_violations(&t).len(), 1);
     }
 
     #[test]

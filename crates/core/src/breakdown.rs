@@ -4,6 +4,7 @@
 //! explanations ("you earned 12.3 in rewards, paid 1.1 in detour and 0.7 in
 //! congestion").
 
+use crate::engine::Engine;
 use crate::game::Game;
 use crate::ids::UserId;
 use crate::profile::Profile;
@@ -55,6 +56,31 @@ pub fn all_breakdowns(game: &Game, profile: &Profile) -> Vec<ProfitBreakdown> {
     (0..game.user_count())
         .map(|i| profit_breakdown(game, profile, UserId::from_index(i)))
         .collect()
+}
+
+/// Decomposes `user`'s profit from a live [`Engine`], pricing the reward term
+/// through the precomputed share tables and the flattened route-task slab
+/// instead of walking the `Game` object graph. Component values are
+/// bit-identical to [`profit_breakdown`] on the engine's game and profile
+/// (the tables store exact `Task::share` outputs).
+pub fn profit_breakdown_engine(engine: &Engine<'_>, user: UserId) -> ProfitBreakdown {
+    let game = engine.game();
+    let profile = engine.profile();
+    let u = &game.users()[user.index()];
+    let choice = profile.choice(user);
+    let tasks = engine.route_task_list(user, choice);
+    let raw_reward: f64 = tasks
+        .iter()
+        .map(|&t| engine.tables().share(t, profile.participants(t)))
+        .sum();
+    let route = &u.routes[choice.index()];
+    ProfitBreakdown {
+        raw_reward,
+        reward_term: u.prefs.alpha * raw_reward,
+        detour_cost: u.prefs.beta * game.detour_cost(route),
+        congestion_cost: u.prefs.gamma * game.congestion_cost(route),
+        tasks_performed: tasks.len(),
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +140,20 @@ mod tests {
         assert!((b.detour_cost - 0.6).abs() < 1e-12);
         assert!((b.congestion_cost - 0.15).abs() < 1e-12);
         assert_eq!(b.tasks_performed, 2);
+    }
+
+    #[test]
+    fn engine_breakdown_bit_identical_to_naive() {
+        let g = game();
+        let p = Profile::all_first(&g);
+        let engine = Engine::new(&g, p.clone());
+        for i in 0..2u32 {
+            let user = UserId(i);
+            let naive = profit_breakdown(&g, &p, user);
+            let fast = profit_breakdown_engine(&engine, user);
+            assert_eq!(naive, fast, "user {i}: slab-priced breakdown diverged");
+            assert_eq!(fast.profit().to_bits(), naive.profit().to_bits());
+        }
     }
 
     #[test]

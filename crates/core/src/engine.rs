@@ -27,9 +27,29 @@
 //!   so recording a [`SlotTrace`](crate) entry costs O(1) instead of a full
 //!   recomputation.
 //!
+//! ## Memory layout
+//!
+//! All hot state lives in struct-of-arrays slabs keyed by the dense id
+//! spaces of [`crate::ids`] (see [`SegmentedSlab`]):
+//!
+//! * `route_cost` / `phi_route_cost` — one `f64` row per user, indexed by
+//!   route;
+//! * `route_tasks` — every route's task list flattened into one slab, rows
+//!   addressed by the flat route index `route_base[user] + route`;
+//! * `task_users` — the task→users inverted index in CSR form, rows sorted
+//!   by user id (ids are append-only, so churn appends keep rows sorted);
+//! * [`ShareTables`] — per-task share and prefix rows in two slabs sharing
+//!   identical geometry;
+//! * `alpha` — the per-user profit weight, so pricing never chases into
+//!   `Game::users`.
+//!
+//! A best-response scan therefore touches four contiguous arrays (segment
+//! table → route tasks → participant counts/share rows → cost row) instead
+//! of pointer-hopping `Vec<User> → Vec<Route> → Vec<TaskId>`.
+//!
 //! Correctness invariants (enforced by the property tests in
-//! `tests/engine_equivalence.rs` and the cross-implementation trajectory
-//! tests in `vcs-algorithms`):
+//! `tests/engine_equivalence.rs`, `tests/batch_props.rs` and the
+//! cross-implementation trajectory tests in `vcs-algorithms`):
 //!
 //! 1. [`Engine::profit`] and [`Engine::profit_if_switched`] are
 //!    **bit-identical** to [`Profile::profit`]/[`Profile::profit_if_switched`]
@@ -41,16 +61,27 @@
 //!    unchanged best response: its profits depend only on its own choice and
 //!    the counts of tasks covered by *some* route of its recommended set,
 //!    and the inverted index covers exactly those tasks.
+//! 4. [`Engine::apply_batch`] over a conflict-free batch (pairwise-disjoint
+//!    affected task sets, the Theorem 3 / PUU guarantee) is bit-identical to
+//!    applying the moves sequentially via [`Engine::apply_move`] — including
+//!    the compensated-sum addition order and the emitted event stream.
 
 use crate::error::GameError;
 use crate::game::Game;
 use crate::ids::{RouteId, TaskId, UserId};
 use crate::profile::Profile;
-use crate::response::{best_route_set_in, better_routes_in, BestResponse, ProfitView};
+use crate::response::{better_routes_in, BestResponse, ProfitView, EPSILON};
 use crate::route::Route;
+use crate::slab::SegmentedSlab;
 use crate::user::UserPrefs;
+use rayon::prelude::*;
 use std::borrow::Cow;
 use vcs_obs::{Event, Obs};
+
+/// Below this batch size [`Engine::apply_batch`] stays sequential: the
+/// per-move delta computation is a few hundred nanoseconds, so spawning
+/// worker threads only pays off for large conflict-free batches.
+const PAR_BATCH_MIN: usize = 256;
 
 /// Per-task share and potential prefix tables.
 ///
@@ -59,77 +90,84 @@ use vcs_obs::{Event, Obs};
 /// with at least one recommended route covering it). Entries are produced by
 /// the same expressions as [`crate::Task::share`] /
 /// [`crate::Task::potential_term`], so lookups are bit-identical to the
-/// naive evaluation.
+/// naive evaluation. Both tables are stored as [`SegmentedSlab`] rows (one
+/// row per task) over contiguous backing vectors.
 #[derive(Debug, Clone)]
 pub struct ShareTables {
-    /// `share[k][q]`, `q ∈ 0..=cap_k`; `share[k][0] = 0`.
-    share: Vec<Vec<f64>>,
-    /// `prefix[k][x] = Σ_{q≤x} share[k][q]`, summed in ascending `q` order.
-    prefix: Vec<Vec<f64>>,
+    /// Row `k` holds `share[k][q]`, `q ∈ 0..=cap_k`; `share[k][0] = 0`.
+    share: SegmentedSlab<f64>,
+    /// Row `k` holds `prefix[k][x] = Σ_{q≤x} share[k][q]`, summed ascending.
+    prefix: SegmentedSlab<f64>,
     /// `(a_k, μ_k)` fallback parameters for counts beyond the table (cannot
     /// happen for legal profiles; kept total for robustness).
     params: Vec<(f64, f64)>,
 }
 
 impl ShareTables {
-    /// Builds the tables for `game`, sizing each task's table by how many
+    /// Builds the tables for `game`, sizing each task's row by how many
     /// users can possibly cover it.
     pub fn new(game: &Game) -> Self {
-        let mut cap = vec![0u32; game.task_count()];
-        let mut seen: Vec<TaskId> = Vec::new();
-        for user in game.users() {
-            seen.clear();
-            seen.extend(user.routes.iter().flat_map(|r| r.tasks.iter().copied()));
-            seen.sort_unstable();
-            seen.dedup();
-            for &task in &seen {
-                cap[task.index()] += 1;
-            }
+        Self::with_coverage(game, &coverage_capacity(game))
+    }
+
+    /// Builds the tables from a precomputed coverage vector (one pass of
+    /// [`coverage_capacity`], shared with the engine's CSR construction).
+    pub(crate) fn with_coverage(game: &Game, cap: &[u32]) -> Self {
+        // ln(q) does not depend on the task, so one table of max_k cap_k
+        // logarithms replaces the Σ_k cap_k `ln` calls a per-task
+        // `Task::share` loop would make — the dominant construction cost at
+        // scale. The entries below re-run the exact `Task::share` expression
+        // (`(a_k + μ_k·ln q) / q`, same operation order) on the memoized
+        // value, so the tables stay bit-identical to direct evaluation.
+        let max_cap = cap.iter().copied().max().unwrap_or(0);
+        let mut ln_q: Vec<f64> = Vec::with_capacity(max_cap as usize + 1);
+        ln_q.push(0.0); // q = 0 never evaluates a logarithm
+        for q in 1..=max_cap {
+            ln_q.push(f64::from(q).ln());
         }
-        let mut share = Vec::with_capacity(game.task_count());
-        let mut prefix = Vec::with_capacity(game.task_count());
+        let total: usize = cap.iter().map(|&c| c as usize + 1).sum();
+        let mut share_data: Vec<f64> = Vec::with_capacity(total);
+        let mut prefix_data: Vec<f64> = Vec::with_capacity(total);
+        let mut row_lens: Vec<usize> = Vec::with_capacity(game.task_count());
         let mut params = Vec::with_capacity(game.task_count());
         for task in game.tasks() {
             let n = cap[task.id.index()] as usize;
-            let mut s = Vec::with_capacity(n + 1);
-            let mut p = Vec::with_capacity(n + 1);
+            row_lens.push(n + 1);
             let mut acc = 0.0;
-            s.push(0.0);
-            p.push(0.0);
+            share_data.push(0.0);
+            prefix_data.push(0.0);
             for q in 1..=n as u32 {
-                let sq = task.share(q);
+                let sq = (task.base_reward + task.increment * ln_q[q as usize]) / f64::from(q);
                 acc += sq;
-                s.push(sq);
-                p.push(acc);
+                share_data.push(sq);
+                prefix_data.push(acc);
             }
-            share.push(s);
-            prefix.push(p);
             params.push((task.base_reward, task.increment));
         }
         Self {
-            share,
-            prefix,
+            share: SegmentedSlab::from_filled(share_data, &row_lens),
+            prefix: SegmentedSlab::from_filled(prefix_data, &row_lens),
             params,
         }
     }
 
-    /// Grows `task`'s table by one participant slot (a newly arrived user can
+    /// Grows `task`'s row by one participant slot (a newly arrived user can
     /// now cover it). The new prefix entry continues the same ascending
     /// summation as construction, so the extended table is bit-identical to
     /// one built for the larger capacity from scratch.
     pub(crate) fn extend_for(&mut self, task: &crate::task::Task) {
         let k = task.id.index();
-        let q = self.share[k].len() as u32;
+        let q = self.share.row_len(k) as u32;
         let sq = task.share(q);
-        let prev = *self.prefix[k].last().expect("tables hold q = 0");
-        self.share[k].push(sq);
-        self.prefix[k].push(prev + sq);
+        let prev = *self.prefix.row(k).last().expect("tables hold q = 0");
+        self.share.push_to_row(k, sq);
+        self.prefix.push_to_row(k, prev + sq);
     }
 
     /// `w_k(n)/n`, O(1). Falls back to direct evaluation beyond the table.
     #[inline]
     pub fn share(&self, task: TaskId, n: u32) -> f64 {
-        match self.share[task.index()].get(n as usize) {
+        match self.share.row(task.index()).get(n as usize) {
             Some(&s) => s,
             None => self.share_cold(task, n),
         }
@@ -146,7 +184,7 @@ impl ShareTables {
     /// [`crate::Task::potential_term`] within the table range.
     #[inline]
     pub fn potential_term(&self, task: TaskId, n: u32) -> f64 {
-        match self.prefix[task.index()].get(n as usize) {
+        match self.prefix.row(task.index()).get(n as usize) {
             Some(&p) => p,
             None => self.potential_term_cold(task, n),
         }
@@ -154,7 +192,7 @@ impl ShareTables {
 
     #[cold]
     fn potential_term_cold(&self, task: TaskId, n: u32) -> f64 {
-        let table = &self.prefix[task.index()];
+        let table = self.prefix.row(task.index());
         let mut acc = table[table.len() - 1];
         for q in table.len() as u32..=n {
             acc += self.share_cold(task, q);
@@ -164,8 +202,25 @@ impl ShareTables {
 
     /// Largest tabulated participant count of `task`.
     pub fn capacity(&self, task: TaskId) -> u32 {
-        (self.share[task.index()].len() - 1) as u32
+        (self.share.row_len(task.index()) - 1) as u32
     }
+}
+
+/// How many users have at least one recommended route covering each task —
+/// the row capacity of both [`ShareTables`] and the inverted index.
+fn coverage_capacity(game: &Game) -> Vec<u32> {
+    let mut cap = vec![0u32; game.task_count()];
+    let mut seen: Vec<TaskId> = Vec::new();
+    for user in game.users() {
+        seen.clear();
+        seen.extend(user.routes.iter().flat_map(|r| r.tasks.iter().copied()));
+        seen.sort_unstable();
+        seen.dedup();
+        for &task in &seen {
+            cap[task.index()] += 1;
+        }
+    }
+    cap
 }
 
 /// Neumaier-compensated running sum: accumulates per-move deltas with a
@@ -203,7 +258,8 @@ impl CompensatedSum {
 }
 
 /// Incremental solver state for one game: profile, cached prices, inverted
-/// index, running potential/total-profit and the dirty set.
+/// index, running potential/total-profit and the dirty set — all hot tables
+/// in contiguous struct-of-arrays slabs (see the module docs).
 ///
 /// Construction is `O(Σ_k cap_k + Σ_i R_i)`; [`apply_move`](Self::apply_move)
 /// is `O(|L_old| + |L_new|)` plus the size of the dirty set it marks;
@@ -218,20 +274,33 @@ impl CompensatedSum {
 /// reused, its slot becomes an inactive tombstone (skipped by
 /// [`take_dirty`](Self::take_dirty), [`active_users`](Self::active_users) and
 /// the fresh ϕ/total recomputations), so per-user caches stay index-stable.
-/// The first mutation on a borrowed engine clones the game once
-/// (copy-on-write); [`Engine::new_owned`] starts owned and never clones.
+/// Slab rows that outgrow their capacity (a task's share table or inverted
+/// index absorbing arrivals) relocate within their slab, leaving holes that
+/// are compacted away whenever a fresh engine is built from
+/// [`materialize`](Self::materialize). The first mutation on a borrowed
+/// engine clones the game once (copy-on-write); [`Engine::new_owned`] starts
+/// owned and never clones.
 #[derive(Debug, Clone)]
 pub struct Engine<'g> {
     game: Cow<'g, Game>,
     tables: ShareTables,
-    /// `route_cost[i][r] = β_i·d(r) + γ_i·b(r)` (the Eq. 2 cost term).
-    route_cost: Vec<Box<[f64]>>,
-    /// `phi_route_cost[i][r] = (β_i/α_i)·d(r) + (γ_i/α_i)·b(r)` (the Eq. 8
+    /// Row per user: `β_i·d(r) + γ_i·b(r)` per route (the Eq. 2 cost term).
+    route_cost: SegmentedSlab<f64>,
+    /// Row per user: `(β_i/α_i)·d(r) + (γ_i/α_i)·b(r)` per route (the Eq. 8
     /// cost term).
-    phi_route_cost: Vec<Box<[f64]>>,
-    /// Users with at least one recommended route covering the task, sorted.
-    /// Departed users are *not* removed (the active mask filters them).
-    task_users: Vec<Vec<UserId>>,
+    phi_route_cost: SegmentedSlab<f64>,
+    /// Row per flat route index (`route_base[user] + route`): the route's
+    /// task list, flattened out of the `Game` object graph.
+    route_tasks: SegmentedSlab<TaskId>,
+    /// `route_base[i]` — flat route index of user `i`'s route 0;
+    /// `route_base[user_count]` is the total-route sentinel.
+    route_base: Vec<u32>,
+    /// Per-user profit weight `α_i`.
+    alpha: Vec<f64>,
+    /// CSR inverted index: row per task, the users with at least one
+    /// recommended route covering it, sorted by id. Departed users are *not*
+    /// removed (the active mask filters them).
+    task_users: SegmentedSlab<UserId>,
     profile: Profile,
     /// `Σ α_i` over the current participants of each task.
     alpha_sum: Vec<f64>,
@@ -255,46 +324,95 @@ impl<'g> Engine<'g> {
     }
 
     fn build(game: Cow<'g, Game>, profile: Profile) -> Self {
-        let tables = ShareTables::new(&game);
-        let mut route_cost = Vec::with_capacity(game.user_count());
-        let mut phi_route_cost = Vec::with_capacity(game.user_count());
-        let mut task_users: Vec<Vec<UserId>> = vec![Vec::new(); game.task_count()];
-        let mut seen: Vec<TaskId> = Vec::new();
-        for user in game.users() {
+        let n_users = game.user_count();
+        let n_tasks = game.task_count();
+        let total_routes: usize = game.users().iter().map(|u| u.routes.len()).sum();
+        let total_route_tasks: usize = game
+            .users()
+            .iter()
+            .flat_map(|u| &u.routes)
+            .map(|r| r.tasks.len())
+            .sum();
+        let mut cost_data: Vec<f64> = Vec::with_capacity(total_routes);
+        let mut phi_cost_data: Vec<f64> = Vec::with_capacity(total_routes);
+        let mut cost_lens: Vec<usize> = Vec::with_capacity(n_users);
+        let mut route_tasks_data: Vec<TaskId> = Vec::with_capacity(total_route_tasks);
+        let mut route_tasks_lens: Vec<usize> = Vec::with_capacity(total_routes);
+        let mut route_base = Vec::with_capacity(n_users + 1);
+        let mut alpha = Vec::with_capacity(n_users);
+        let mut alpha_sum = vec![0.0; n_tasks];
+        // One coverage pass serves three consumers: the per-task capacities
+        // (ShareTables + CSR row lengths), and the flattened per-user
+        // covered-task lists the CSR fill walks. Dedup runs off a per-task
+        // epoch stamp (stamp[t] == user marker ⇔ already counted for this
+        // user) — no per-user sort; list order within a user is free, and
+        // the CSR rows still come out sorted because users are visited in
+        // ascending id order.
+        let mut coverage = vec![0u32; n_tasks];
+        let mut stamp = vec![u32::MAX; n_tasks];
+        let mut user_cover: Vec<TaskId> = Vec::with_capacity(total_route_tasks);
+        let mut user_cover_off: Vec<usize> = Vec::with_capacity(n_users + 1);
+        user_cover_off.push(0);
+        route_base.push(0u32);
+        for (mark, user) in game.users().iter().enumerate() {
             let ratio_beta = user.prefs.beta / user.prefs.alpha;
             let ratio_gamma = user.prefs.gamma / user.prefs.alpha;
-            let mut costs = Vec::with_capacity(user.routes.len());
-            let mut phi_costs = Vec::with_capacity(user.routes.len());
-            for route in &user.routes {
-                costs.push(game.user_route_cost(user.id, route));
-                phi_costs.push(
+            let chosen = profile.choice(user.id).index();
+            for (r, route) in user.routes.iter().enumerate() {
+                cost_data.push(game.user_route_cost(user.id, route));
+                phi_cost_data.push(
                     ratio_beta * game.detour_cost(route)
                         + ratio_gamma * game.congestion_cost(route),
                 );
+                route_tasks_data.extend_from_slice(&route.tasks);
+                route_tasks_lens.push(route.tasks.len());
+                for &task in &route.tasks {
+                    if stamp[task.index()] != mark as u32 {
+                        stamp[task.index()] = mark as u32;
+                        coverage[task.index()] += 1;
+                        user_cover.push(task);
+                    }
+                    if r == chosen {
+                        alpha_sum[task.index()] += user.prefs.alpha;
+                    }
+                }
             }
-            route_cost.push(costs.into_boxed_slice());
-            phi_route_cost.push(phi_costs.into_boxed_slice());
-            seen.clear();
-            seen.extend(user.routes.iter().flat_map(|r| r.tasks.iter().copied()));
-            seen.sort_unstable();
-            seen.dedup();
-            for &task in &seen {
-                task_users[task.index()].push(user.id);
+            user_cover_off.push(user_cover.len());
+            cost_lens.push(user.routes.len());
+            route_base.push(*route_base.last().expect("seeded") + user.routes.len() as u32);
+            alpha.push(user.prefs.alpha);
+        }
+        let route_cost = SegmentedSlab::from_filled(cost_data, &cost_lens);
+        let phi_route_cost = SegmentedSlab::from_filled(phi_cost_data, &cost_lens);
+        let route_tasks = SegmentedSlab::from_filled(route_tasks_data, &route_tasks_lens);
+        let tables = ShareTables::with_coverage(&game, &coverage);
+        // CSR inverted index: offsets from the coverage counts, fill with a
+        // per-row cursor. Users are visited in ascending id order, so each
+        // row comes out sorted.
+        let total_coverage: usize = coverage.iter().map(|&c| c as usize).sum();
+        let mut index_data = vec![UserId(0); total_coverage];
+        let mut cursor: Vec<usize> = Vec::with_capacity(n_tasks);
+        let mut off = 0usize;
+        for &c in &coverage {
+            cursor.push(off);
+            off += c as usize;
+        }
+        for (i, window) in user_cover_off.windows(2).enumerate() {
+            for &task in &user_cover[window[0]..window[1]] {
+                index_data[cursor[task.index()]] = UserId::from_index(i);
+                cursor[task.index()] += 1;
             }
         }
-        let mut alpha_sum = vec![0.0; game.task_count()];
-        for user in game.users() {
-            let route = &user.routes[profile.choice(user.id).index()];
-            for &task in &route.tasks {
-                alpha_sum[task.index()] += user.prefs.alpha;
-            }
-        }
-        let n_users = game.user_count();
+        let row_lens: Vec<usize> = coverage.iter().map(|&c| c as usize).collect();
+        let task_users = SegmentedSlab::from_filled(index_data, &row_lens);
         let mut engine = Self {
             game,
             tables,
             route_cost,
             phi_route_cost,
+            route_tasks,
+            route_base,
+            alpha,
             task_users,
             profile,
             alpha_sum,
@@ -359,6 +477,21 @@ impl<'g> Engine<'g> {
         &self.tables
     }
 
+    /// The cached profit weight `α_i` of `user` (slab-resident; identical
+    /// bits to `game.users()[i].prefs.alpha`).
+    #[inline]
+    pub fn alpha_of(&self, user: UserId) -> f64 {
+        self.alpha[user.index()]
+    }
+
+    /// The task list of `user`'s route `route`, read from the flattened
+    /// route-task slab.
+    #[inline]
+    pub fn route_task_list(&self, user: UserId, route: RouteId) -> &[TaskId] {
+        self.route_tasks
+            .row(self.route_base[user.index()] as usize + route.index())
+    }
+
     /// The incrementally maintained potential `ϕ(s)`, O(1).
     pub fn potential(&self) -> f64 {
         self.phi.value()
@@ -378,9 +511,10 @@ impl<'g> Engine<'g> {
                 .tables
                 .potential_term(task.id, self.profile.participants(task.id));
         }
-        for user in self.game.users() {
-            if self.active[user.id.index()] {
-                phi -= self.phi_route_cost[user.id.index()][self.profile.choice(user.id).index()];
+        for i in 0..self.game.user_count() {
+            if self.active[i] {
+                let user = UserId::from_index(i);
+                phi -= self.phi_route_cost.row(i)[self.profile.choice(user).index()];
             }
         }
         phi
@@ -395,9 +529,10 @@ impl<'g> Engine<'g> {
             .sum()
     }
 
-    /// Users whose routes cover `task` (the inverted index), sorted by id.
+    /// Users whose routes cover `task` (the CSR inverted index), sorted by
+    /// id.
     pub fn users_covering(&self, task: TaskId) -> &[UserId] {
-        &self.task_users[task.index()]
+        self.task_users.row(task.index())
     }
 
     /// Whether `user`'s cached best response may be stale.
@@ -409,13 +544,22 @@ impl<'g> Engine<'g> {
     /// whose best responses must be re-evaluated since the last drain.
     /// Departed users are dropped silently.
     pub fn take_dirty(&mut self) -> Vec<UserId> {
-        let mut drained = std::mem::take(&mut self.dirty);
-        for &user in &drained {
+        let mut drained = Vec::new();
+        self.take_dirty_into(&mut drained);
+        drained
+    }
+
+    /// [`take_dirty`](Self::take_dirty) writing into `out`: the buffers are
+    /// swapped, so a caller draining once per slot recycles both allocations
+    /// instead of re-growing a fresh `Vec` from empty every slot.
+    pub fn take_dirty_into(&mut self, out: &mut Vec<UserId>) {
+        out.clear();
+        std::mem::swap(&mut self.dirty, out);
+        for &user in out.iter() {
             self.dirty_flag[user.index()] = false;
         }
-        drained.retain(|&user| self.active[user.index()]);
-        drained.sort_unstable();
-        drained
+        out.retain(|&user| self.active[user.index()]);
+        out.sort_unstable();
     }
 
     /// Switches `user` to `new_route`: updates counts, `α`-sums, `ϕ`, total
@@ -427,10 +571,12 @@ impl<'g> Engine<'g> {
             return old_route;
         }
         let Self {
-            game,
             tables,
             route_cost,
             phi_route_cost,
+            route_tasks,
+            route_base,
+            alpha: alpha_cache,
             task_users,
             profile,
             alpha_sum,
@@ -442,18 +588,20 @@ impl<'g> Engine<'g> {
             obs,
             ..
         } = self;
-        let game: &Game = game;
         debug_assert!(active[user.index()], "moving a departed user");
-        let u = &game.users()[user.index()];
-        let alpha = u.prefs.alpha;
-        let old = &u.routes[old_route.index()];
-        let new = &u.routes[new_route.index()];
+        let i = user.index();
+        let alpha = alpha_cache[i];
+        let base = route_base[i] as usize;
+        let route_tasks = &*route_tasks;
+        let task_users = &*task_users;
+        let old = route_tasks.row(base + old_route.index());
+        let new = route_tasks.row(base + new_route.index());
         let mut phi_delta = 0.0;
         let mut profit_delta = 0.0;
         // Tasks the user leaves: counts drop n → n−1 (n ≥ 1: the user is a
         // current participant).
-        for &task in &old.tasks {
-            if !new.covers(task) {
+        for &task in old {
+            if !new.contains(&task) {
                 let k = task.index();
                 let n = profile.participants(task);
                 let a_sum = alpha_sum[k];
@@ -461,14 +609,14 @@ impl<'g> Engine<'g> {
                 profit_delta +=
                     tables.share(task, n - 1) * (a_sum - alpha) - tables.share(task, n) * a_sum;
                 alpha_sum[k] = a_sum - alpha;
-                for &other in &task_users[k] {
+                for &other in task_users.row(k) {
                     mark(dirty_flag, dirty, other);
                 }
             }
         }
         // Tasks the user joins: counts rise n → n+1.
-        for &task in &new.tasks {
-            if !old.covers(task) {
+        for &task in new {
+            if !old.contains(&task) {
                 let k = task.index();
                 let n = profile.participants(task);
                 let a_sum = alpha_sum[k];
@@ -476,17 +624,17 @@ impl<'g> Engine<'g> {
                 profit_delta +=
                     tables.share(task, n + 1) * (a_sum + alpha) - tables.share(task, n) * a_sum;
                 alpha_sum[k] = a_sum + alpha;
-                for &other in &task_users[k] {
+                for &other in task_users.row(k) {
                     mark(dirty_flag, dirty, other);
                 }
             }
         }
-        let i = user.index();
-        phi_delta -= phi_route_cost[i][new_route.index()] - phi_route_cost[i][old_route.index()];
-        profit_delta -= route_cost[i][new_route.index()] - route_cost[i][old_route.index()];
+        phi_delta -=
+            phi_route_cost.row(i)[new_route.index()] - phi_route_cost.row(i)[old_route.index()];
+        profit_delta -= route_cost.row(i)[new_route.index()] - route_cost.row(i)[old_route.index()];
         phi.add(phi_delta);
         total.add(profit_delta);
-        profile.apply_move(game, user, new_route);
+        profile.apply_move_tasks(user, new_route, old, new);
         mark(dirty_flag, dirty, user);
         obs.emit(|| Event::MoveCommitted {
             user: user.index() as u32,
@@ -499,6 +647,176 @@ impl<'g> Engine<'g> {
             total_profit: total.value(),
         });
         old_route
+    }
+
+    /// Computes the `(ϕ, total profit)` deltas of switching `user` to
+    /// `new_route` **without mutating anything** — the read-only phase of
+    /// [`apply_batch`](Self::apply_batch). `None` for a no-op move.
+    ///
+    /// For a conflict-free batch the counts and `α`-sums this reads are
+    /// untouched by the batch's other moves, so the result is bit-identical
+    /// to what a sequential [`apply_move`](Self::apply_move) would compute
+    /// at its turn.
+    fn move_delta(&self, user: UserId, new_route: RouteId) -> Option<(RouteId, f64, f64)> {
+        let old_route = self.profile.choice(user);
+        if old_route == new_route {
+            return None;
+        }
+        let i = user.index();
+        let alpha = self.alpha[i];
+        let base = self.route_base[i] as usize;
+        let old = self.route_tasks.row(base + old_route.index());
+        let new = self.route_tasks.row(base + new_route.index());
+        let mut phi_delta = 0.0;
+        let mut profit_delta = 0.0;
+        for &task in old {
+            if !new.contains(&task) {
+                let n = self.profile.participants(task);
+                let a_sum = self.alpha_sum[task.index()];
+                phi_delta -= self.tables.share(task, n);
+                profit_delta += self.tables.share(task, n - 1) * (a_sum - alpha)
+                    - self.tables.share(task, n) * a_sum;
+            }
+        }
+        for &task in new {
+            if !old.contains(&task) {
+                let n = self.profile.participants(task);
+                let a_sum = self.alpha_sum[task.index()];
+                profit_delta += self.tables.share(task, n + 1) * (a_sum + alpha)
+                    - self.tables.share(task, n) * a_sum;
+                phi_delta += self.tables.share(task, n + 1);
+            }
+        }
+        phi_delta -= self.phi_route_cost.row(i)[new_route.index()]
+            - self.phi_route_cost.row(i)[old_route.index()];
+        profit_delta -=
+            self.route_cost.row(i)[new_route.index()] - self.route_cost.row(i)[old_route.index()];
+        Some((old_route, phi_delta, profit_delta))
+    }
+
+    /// Commits one precomputed move: count/`α`-sum bookkeeping, compensated
+    /// accumulation, dirty marking and the `MoveCommitted` event — the
+    /// ordered write phase of [`apply_batch`](Self::apply_batch).
+    fn commit_precomputed(
+        &mut self,
+        user: UserId,
+        new_route: RouteId,
+        old_route: RouteId,
+        phi_delta: f64,
+        profit_delta: f64,
+    ) {
+        let Self {
+            route_tasks,
+            route_base,
+            alpha: alpha_cache,
+            task_users,
+            profile,
+            alpha_sum,
+            phi,
+            total,
+            dirty_flag,
+            dirty,
+            active,
+            obs,
+            ..
+        } = self;
+        debug_assert!(active[user.index()], "moving a departed user");
+        let i = user.index();
+        let alpha = alpha_cache[i];
+        let base = route_base[i] as usize;
+        let route_tasks = &*route_tasks;
+        let task_users = &*task_users;
+        let old = route_tasks.row(base + old_route.index());
+        let new = route_tasks.row(base + new_route.index());
+        for &task in old {
+            if !new.contains(&task) {
+                let k = task.index();
+                alpha_sum[k] -= alpha;
+                for &other in task_users.row(k) {
+                    mark(dirty_flag, dirty, other);
+                }
+            }
+        }
+        for &task in new {
+            if !old.contains(&task) {
+                let k = task.index();
+                alpha_sum[k] += alpha;
+                for &other in task_users.row(k) {
+                    mark(dirty_flag, dirty, other);
+                }
+            }
+        }
+        phi.add(phi_delta);
+        total.add(profit_delta);
+        profile.apply_move_tasks(user, new_route, old, new);
+        mark(dirty_flag, dirty, user);
+        obs.emit(|| Event::MoveCommitted {
+            user: user.index() as u32,
+            from_route: old_route.index() as u32,
+            to_route: new_route.index() as u32,
+            phi_delta,
+            profit_delta: alpha * phi_delta,
+            phi: phi.value(),
+            total_profit: total.value(),
+        });
+    }
+
+    /// Applies a **conflict-free** batch of moves (pairwise-disjoint affected
+    /// task sets `B_i = L_{s_i} ∪ L_{s_i'}` — exactly what the PUU scheduler
+    /// of Alg. 3 / Theorem 3 grants), returning the number of effective
+    /// (non-no-op) moves.
+    ///
+    /// For large batches the per-move `(Δϕ, Δtotal)` deltas are computed in
+    /// parallel with rayon — legal because disjointness makes every delta
+    /// independent of the batch's other moves — and then committed
+    /// sequentially in batch order, so the compensated-sum additions, dirty
+    /// bookkeeping and emitted events are **bit-identical** to a sequential
+    /// [`apply_move`](Self::apply_move) loop. Small batches (or a pool pinned
+    /// to one thread) take the sequential path directly.
+    pub fn apply_batch(&mut self, moves: &[(UserId, RouteId)]) -> usize {
+        self.apply_batch_with_threshold(moves, PAR_BATCH_MIN)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) with an explicit parallelism
+    /// threshold (exposed for the determinism property tests and benchmarks;
+    /// `usize::MAX` forces sequential, `0` forces the parallel path whenever
+    /// more than one worker thread is available).
+    pub fn apply_batch_with_threshold(
+        &mut self,
+        moves: &[(UserId, RouteId)],
+        par_min: usize,
+    ) -> usize {
+        debug_assert!(
+            batch_conflict_free(self, moves),
+            "apply_batch requires pairwise-disjoint affected task sets"
+        );
+        if moves.len() < par_min.max(2) || rayon::current_num_threads() <= 1 {
+            let mut applied = 0;
+            for &(user, route) in moves {
+                if self.profile.choice(user) != route {
+                    applied += 1;
+                }
+                self.apply_move(user, route);
+            }
+            return applied;
+        }
+        let deltas: Vec<Option<(RouteId, f64, f64)>> = {
+            let this: &Self = self;
+            (0..moves.len())
+                .into_par_iter()
+                .map(|i| this.move_delta(moves[i].0, moves[i].1))
+                .collect()
+        };
+        let mut applied = 0;
+        for (i, delta) in deltas.into_iter().enumerate() {
+            let Some((old_route, phi_delta, profit_delta)) = delta else {
+                continue;
+            };
+            let (user, new_route) = moves[i];
+            self.commit_precomputed(user, new_route, old_route, phi_delta, profit_delta);
+            applied += 1;
+        }
+        applied
     }
 
     /// Whether `user` is currently on the platform (exists and has not left).
@@ -526,11 +844,13 @@ impl<'g> Engine<'g> {
     /// route choice (Join event).
     ///
     /// Validates the user against the game's task set and weight bounds (see
-    /// [`Game::push_user`]), then extends every per-user cache incrementally:
-    /// share tables grow one slot per distinct covered task, the inverted
-    /// index gains the user, and ϕ/total-profit absorb the activation delta —
-    /// `O(R_i·T̄ + |dirtied|)`, no rebuild. The new user and everyone sharing
-    /// a task with its initial route are marked dirty.
+    /// [`Game::push_user`]), then extends every slab incrementally: share
+    /// tables and inverted-index rows grow one slot per distinct covered
+    /// task (relocating within their slab when full), the per-user cost and
+    /// route-task slabs gain exact-sized rows, and ϕ/total-profit absorb the
+    /// activation delta — `O(R_i·T̄ + |dirtied|)` amortized, no rebuild. The
+    /// new user and everyone sharing a task with its initial route are
+    /// marked dirty.
     ///
     /// Ids are append-only; on a borrowed engine the first call clones the
     /// game (copy-on-write).
@@ -560,6 +880,9 @@ impl<'g> Engine<'g> {
             tables,
             route_cost,
             phi_route_cost,
+            route_tasks,
+            route_base,
+            alpha: alpha_cache,
             task_users,
             profile,
             alpha_sum,
@@ -583,11 +906,15 @@ impl<'g> Engine<'g> {
             phi_costs.push(
                 ratio_beta * game.detour_cost(route) + ratio_gamma * game.congestion_cost(route),
             );
+            route_tasks.push_row(&route.tasks);
         }
-        route_cost.push(costs.into_boxed_slice());
-        phi_route_cost.push(phi_costs.into_boxed_slice());
+        route_cost.push_row(&costs);
+        phi_route_cost.push_row(&phi_costs);
+        let base = *route_base.last().expect("seeded at construction");
+        route_base.push(base + u.routes.len() as u32);
+        alpha_cache.push(u.prefs.alpha);
         // Share-table capacity and inverted index: one slot per distinct
-        // covered task; pushing the max id keeps `task_users[k]` sorted.
+        // covered task; pushing the max id keeps each CSR row sorted.
         let mut covered: Vec<TaskId> = u
             .routes
             .iter()
@@ -597,7 +924,7 @@ impl<'g> Engine<'g> {
         covered.dedup();
         for &task in &covered {
             tables.extend_for(&game.tasks()[task.index()]);
-            task_users[task.index()].push(user);
+            task_users.push_to_row(task.index(), user);
         }
         profile.push_choice(initial);
         dirty_flag.push(false);
@@ -606,10 +933,12 @@ impl<'g> Engine<'g> {
         // Activation: the user joins every task of its initial route
         // (counts n → n+1), mirroring the join half of `apply_move`.
         let alpha = u.prefs.alpha;
-        let route = &u.routes[initial.index()];
+        let route_tasks = &*route_tasks;
+        let task_users = &*task_users;
+        let route_row = route_tasks.row(base as usize + initial.index());
         let mut phi_delta = 0.0;
         let mut profit_delta = 0.0;
-        for &task in &route.tasks {
+        for &task in route_row {
             let k = task.index();
             let n = profile.participants(task);
             let a_sum = alpha_sum[k];
@@ -617,15 +946,15 @@ impl<'g> Engine<'g> {
             profit_delta +=
                 tables.share(task, n + 1) * (a_sum + alpha) - tables.share(task, n) * a_sum;
             alpha_sum[k] = a_sum + alpha;
-            for &other in &task_users[k] {
+            for &other in task_users.row(k) {
                 mark(dirty_flag, dirty, other);
             }
         }
-        phi_delta -= phi_route_cost[user.index()][initial.index()];
-        profit_delta -= route_cost[user.index()][initial.index()];
+        phi_delta -= phi_route_cost.row(user.index())[initial.index()];
+        profit_delta -= route_cost.row(user.index())[initial.index()];
         phi.add(phi_delta);
         total.add(profit_delta);
-        profile.add_route_counts(&route.tasks);
+        profile.add_route_counts(route_row);
         mark(dirty_flag, dirty, user);
         obs.emit(|| Event::UserJoined {
             user: user.index() as u32,
@@ -652,10 +981,12 @@ impl<'g> Engine<'g> {
             return Err(GameError::UnknownUser { user });
         }
         let Self {
-            game,
             tables,
             route_cost,
             phi_route_cost,
+            route_tasks,
+            route_base,
+            alpha: alpha_cache,
             task_users,
             profile,
             alpha_sum,
@@ -666,15 +997,17 @@ impl<'g> Engine<'g> {
             active,
             n_active,
             obs,
+            ..
         } = self;
-        let game: &Game = game;
-        let u = &game.users()[user.index()];
-        let alpha = u.prefs.alpha;
+        let i = user.index();
+        let alpha = alpha_cache[i];
         let choice = profile.choice(user);
-        let route = &u.routes[choice.index()];
+        let route_tasks = &*route_tasks;
+        let task_users = &*task_users;
+        let route_row = route_tasks.row(route_base[i] as usize + choice.index());
         let mut phi_delta = 0.0;
         let mut profit_delta = 0.0;
-        for &task in &route.tasks {
+        for &task in route_row {
             let k = task.index();
             let n = profile.participants(task);
             let a_sum = alpha_sum[k];
@@ -682,16 +1015,16 @@ impl<'g> Engine<'g> {
             profit_delta +=
                 tables.share(task, n - 1) * (a_sum - alpha) - tables.share(task, n) * a_sum;
             alpha_sum[k] = a_sum - alpha;
-            for &other in &task_users[k] {
+            for &other in task_users.row(k) {
                 mark(dirty_flag, dirty, other);
             }
         }
-        phi_delta += phi_route_cost[user.index()][choice.index()];
-        profit_delta += route_cost[user.index()][choice.index()];
+        phi_delta += phi_route_cost.row(i)[choice.index()];
+        profit_delta += route_cost.row(i)[choice.index()];
         phi.add(phi_delta);
         total.add(profit_delta);
-        profile.remove_route_counts(&route.tasks);
-        active[user.index()] = false;
+        profile.remove_route_counts(route_row);
+        active[i] = false;
         *n_active -= 1;
         obs.emit(|| Event::UserLeft {
             user: user.index() as u32,
@@ -706,7 +1039,8 @@ impl<'g> Engine<'g> {
     /// ids in id order, `id_map[new] = old`. The returned choices form a
     /// valid profile of the returned game — this is what a cold restart
     /// (`Engine::new` from scratch) would solve, and what the churn property
-    /// tests compare against.
+    /// tests compare against. Rebuilding an engine from the result also
+    /// compacts every slab hole left behind by churn growth.
     pub fn materialize(&self) -> (Game, Vec<RouteId>, Vec<UserId>) {
         let mut users = Vec::with_capacity(self.n_active);
         let mut choices = Vec::with_capacity(self.n_active);
@@ -753,8 +1087,84 @@ impl<'g> Engine<'g> {
     /// Best route set `Δ_i(t)` of `user`, priced from the cached tables.
     /// Identical semantics (and bit-identical results) to
     /// [`crate::response::best_route_set`].
+    ///
+    /// This is the hot-path specialization of the generic scan: the current
+    /// route's task row, the cost row and the participant-count slice are
+    /// hoisted out of the per-candidate loop (the [`ProfitView`] methods
+    /// re-derive them per call), while the arithmetic — per-task share
+    /// summation order, `α_i·reward − cost` — and the EPSILON tie rules are
+    /// replicated exactly, so results match [`best_route_set_in`] bit for
+    /// bit (test-enforced).
     pub fn best_route_set(&self, user: UserId) -> BestResponse {
-        best_route_set_in(self, user)
+        let mut out = BestResponse {
+            best_routes: Vec::new(),
+            gain: 0.0,
+            best_profit: 0.0,
+        };
+        self.best_route_set_into(user, &mut out);
+        out
+    }
+
+    /// [`best_route_set`](Self::best_route_set) writing into `out`, reusing
+    /// its `best_routes` allocation — the form the dynamics' per-slot dirty
+    /// refresh uses so a response cache entry is overwritten without a heap
+    /// round-trip.
+    pub fn best_route_set_into(&self, user: UserId, out: &mut BestResponse) {
+        let i = user.index();
+        let base = self.route_base[i] as usize;
+        let n_routes = (self.route_base[i + 1] - self.route_base[i]) as usize;
+        let choice = self.profile.choice(user).index();
+        let costs = self.route_cost.row(i);
+        let counts = self.profile.participant_counts();
+        let alpha = self.alpha[i];
+        let cur_row = self.route_tasks.row(base + choice);
+        let mut reward = 0.0;
+        for &task in cur_row {
+            reward += self.tables.share(task, counts[task.index()]);
+        }
+        let current_profit = alpha * reward - costs[choice];
+        let mut stack_buf = [0.0f64; 16];
+        let mut heap_buf: Vec<f64>;
+        let profits: &mut [f64] = if n_routes <= 16 {
+            &mut stack_buf[..n_routes]
+        } else {
+            heap_buf = vec![0.0; n_routes];
+            &mut heap_buf
+        };
+        let mut best_profit = f64::NEG_INFINITY;
+        for (r, slot) in profits.iter_mut().enumerate() {
+            let p = if r == choice {
+                current_profit
+            } else {
+                let cand = self.route_tasks.row(base + r);
+                let mut reward = 0.0;
+                for &task in cand {
+                    let n = counts[task.index()];
+                    let n_after = if cur_row.contains(&task) { n } else { n + 1 };
+                    reward += self.tables.share(task, n_after);
+                }
+                alpha * reward - costs[r]
+            };
+            *slot = p;
+            if p > best_profit {
+                best_profit = p;
+            }
+        }
+        out.best_routes.clear();
+        if best_profit <= current_profit + EPSILON {
+            out.gain = 0.0;
+            out.best_profit = current_profit;
+            return;
+        }
+        out.best_routes.extend(
+            profits
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p >= best_profit - EPSILON)
+                .map(|(r, _)| RouteId::from_index(r)),
+        );
+        out.gain = best_profit - current_profit;
+        out.best_profit = best_profit;
     }
 
     /// Strictly improving routes of `user` with their gains; the cached-table
@@ -762,6 +1172,39 @@ impl<'g> Engine<'g> {
     pub fn better_routes(&self, user: UserId) -> Vec<(RouteId, f64)> {
         better_routes_in(self, user)
     }
+}
+
+/// Debug-build check that a batch's affected task sets are pairwise disjoint
+/// and no user appears twice (the [`Engine::apply_batch`] contract). No-op
+/// moves (user already on the route) read and write nothing, so they are
+/// exempt from the disjointness requirement.
+fn batch_conflict_free(engine: &Engine<'_>, moves: &[(UserId, RouteId)]) -> bool {
+    let mut seen_tasks: Vec<TaskId> = Vec::new();
+    let mut seen_users: Vec<UserId> = Vec::new();
+    for &(user, route) in moves {
+        if seen_users.contains(&user) {
+            return false;
+        }
+        seen_users.push(user);
+        let current = engine.profile.choice(user);
+        if current == route {
+            continue;
+        }
+        let base = engine.route_base[user.index()] as usize;
+        for row in [current.index(), route.index()] {
+            for &task in engine.route_tasks.row(base + row) {
+                if seen_tasks.contains(&task) {
+                    return false;
+                }
+            }
+        }
+        let mut mine: Vec<TaskId> = engine.route_tasks.row(base + current.index()).to_vec();
+        mine.extend_from_slice(engine.route_tasks.row(base + route.index()));
+        mine.sort_unstable();
+        mine.dedup();
+        seen_tasks.extend(mine);
+    }
+    true
 }
 
 /// Marks `user` dirty. Free function over the split-off dirty fields so the
@@ -776,10 +1219,11 @@ fn mark(dirty_flag: &mut [bool], dirty: &mut Vec<UserId>, user: UserId) {
 
 /// Prices routes exactly like [`Profile::profit`] /
 /// [`Profile::profit_if_switched`], with shares and costs read from the
-/// caches: same values, same summation order, bit-identical results.
+/// slabs: same values, same summation order, bit-identical results.
 impl ProfitView for Engine<'_> {
     fn route_count(&self, user: UserId) -> usize {
-        self.game.users()[user.index()].routes.len()
+        let i = user.index();
+        (self.route_base[i + 1] - self.route_base[i]) as usize
     }
 
     fn choice(&self, user: UserId) -> RouteId {
@@ -787,27 +1231,32 @@ impl ProfitView for Engine<'_> {
     }
 
     fn profit(&self, user: UserId) -> f64 {
-        let u = &self.game.users()[user.index()];
+        let i = user.index();
         let choice = self.profile.choice(user);
-        let route = &u.routes[choice.index()];
+        let row = self
+            .route_tasks
+            .row(self.route_base[i] as usize + choice.index());
         let mut reward = 0.0;
-        for &task in &route.tasks {
+        for &task in row {
             reward += self.tables.share(task, self.profile.participants(task));
         }
-        u.prefs.alpha * reward - self.route_cost[user.index()][choice.index()]
+        self.alpha[i] * reward - self.route_cost.row(i)[choice.index()]
     }
 
     fn profit_if_switched(&self, user: UserId, candidate: RouteId) -> f64 {
-        let u = &self.game.users()[user.index()];
-        let current = &u.routes[self.profile.choice(user).index()];
-        let cand = &u.routes[candidate.index()];
+        let i = user.index();
+        let base = self.route_base[i] as usize;
+        let current = self
+            .route_tasks
+            .row(base + self.profile.choice(user).index());
+        let cand = self.route_tasks.row(base + candidate.index());
         let mut reward = 0.0;
-        for &task in &cand.tasks {
+        for &task in cand {
             let n = self.profile.participants(task);
-            let n_after = if current.covers(task) { n } else { n + 1 };
+            let n_after = if current.contains(&task) { n } else { n + 1 };
             reward += self.tables.share(task, n_after);
         }
-        u.prefs.alpha * reward - self.route_cost[user.index()][candidate.index()]
+        self.alpha[i] * reward - self.route_cost.row(i)[candidate.index()]
     }
 }
 
@@ -910,6 +1359,22 @@ mod tests {
     }
 
     #[test]
+    fn slab_views_mirror_the_game_object_graph() {
+        let g = game();
+        let engine = Engine::new(&g, Profile::all_first(&g));
+        for user in g.users() {
+            assert_eq!(engine.alpha_of(user.id), user.prefs.alpha);
+            assert_eq!(engine.route_count(user.id), user.routes.len());
+            for route in &user.routes {
+                assert_eq!(
+                    engine.route_task_list(user.id, route.id),
+                    route.tasks.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn incremental_potential_tracks_full_recompute() {
         let g = game();
         let mut engine = Engine::new(&g, Profile::all_first(&g));
@@ -993,6 +1458,70 @@ mod tests {
             &[UserId(0), UserId(1), UserId(2)]
         );
         assert_eq!(engine.users_covering(TaskId(2)), &[UserId(0), UserId(1)]);
+    }
+
+    #[test]
+    fn batch_apply_matches_sequential_moves_bitwise() {
+        // Users 0 and 2 have disjoint affected sets once user 0 sits on
+        // route 1 ({2}) and user 2 on route 1 ({}): batch = user 0 back to
+        // {0,1}... that overlaps user 2's route 0 ({1}). Build a bespoke
+        // game with clean separation instead.
+        let tasks = vec![
+            Task::new(TaskId(0), 10.0, 0.2),
+            Task::new(TaskId(1), 12.0, 0.0),
+            Task::new(TaskId(2), 14.0, 0.5),
+            Task::new(TaskId(3), 16.0, 0.1),
+        ];
+        let users = vec![
+            User::new(
+                UserId(0),
+                UserPrefs::new(0.5, 0.4, 0.3),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(0)], 0.0, 1.0),
+                    Route::new(RouteId(1), vec![TaskId(1)], 1.0, 0.0),
+                ],
+            ),
+            User::new(
+                UserId(1),
+                UserPrefs::new(0.6, 0.2, 0.7),
+                vec![
+                    Route::new(RouteId(0), vec![TaskId(2)], 0.5, 0.5),
+                    Route::new(RouteId(1), vec![TaskId(3)], 0.0, 2.0),
+                ],
+            ),
+        ];
+        let g = Game::with_paper_bounds(tasks, users, PlatformParams::new(0.4, 0.4)).unwrap();
+        let batch = [(UserId(0), RouteId(1)), (UserId(1), RouteId(1))];
+        let mut sequential = Engine::new(&g, Profile::all_first(&g));
+        for &(u, r) in &batch {
+            sequential.apply_move(u, r);
+        }
+        for force_parallel in [false, true] {
+            let mut batched = Engine::new(&g, Profile::all_first(&g));
+            let threshold = if force_parallel { 0 } else { usize::MAX };
+            assert_eq!(batched.apply_batch_with_threshold(&batch, threshold), 2);
+            assert_eq!(
+                batched.potential().to_bits(),
+                sequential.potential().to_bits(),
+                "ϕ diverged (parallel={force_parallel})"
+            );
+            assert_eq!(
+                batched.total_profit().to_bits(),
+                sequential.total_profit().to_bits(),
+                "total diverged (parallel={force_parallel})"
+            );
+            assert_eq!(batched.profile(), sequential.profile());
+            assert_eq!(batched.take_dirty(), sequential.clone().take_dirty());
+        }
+    }
+
+    #[test]
+    fn batch_apply_skips_noop_moves() {
+        let g = game();
+        let mut engine = Engine::new(&g, Profile::all_first(&g));
+        let before_phi = engine.potential();
+        assert_eq!(engine.apply_batch(&[(UserId(2), RouteId(0))]), 0);
+        assert_eq!(engine.potential(), before_phi);
     }
 
     /// Checks the live engine against a fresh engine on its materialized

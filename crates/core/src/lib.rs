@@ -74,10 +74,11 @@ pub mod profile;
 pub mod reduction;
 pub mod response;
 pub mod route;
+pub mod slab;
 pub mod task;
 pub mod user;
 
-pub use breakdown::{all_breakdowns, profit_breakdown, ProfitBreakdown};
+pub use breakdown::{all_breakdowns, profit_breakdown, profit_breakdown_engine, ProfitBreakdown};
 pub use churn::{apply_churn, ChurnEvent, UserSpec};
 pub use engine::{Engine, ShareTables};
 pub use error::GameError;
@@ -86,5 +87,6 @@ pub use potential::{potential, potential_delta, weighted_potential_defect};
 pub use profile::Profile;
 pub use response::{best_route_set, better_routes, is_nash, BestResponse, ProfitView, EPSILON};
 pub use route::Route;
+pub use slab::SegmentedSlab;
 pub use task::Task;
 pub use user::{User, UserPrefs, WeightBounds};

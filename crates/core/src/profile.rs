@@ -97,6 +97,28 @@ impl Profile {
         old_route
     }
 
+    /// Switches `user` to `new_route` given the old/new task lists directly
+    /// (the engine reads them from its flattened route-task slab instead of
+    /// chasing into `Game::users`). Same count updates as
+    /// [`Profile::apply_move`]; no no-op check — the caller has already
+    /// compared the routes.
+    pub(crate) fn apply_move_tasks(
+        &mut self,
+        user: UserId,
+        new_route: RouteId,
+        old_tasks: &[TaskId],
+        new_tasks: &[TaskId],
+    ) {
+        for &task in old_tasks {
+            debug_assert!(self.counts[task.index()] > 0);
+            self.counts[task.index()] -= 1;
+        }
+        for &task in new_tasks {
+            self.counts[task.index()] += 1;
+        }
+        self.choices[user.index()] = new_route;
+    }
+
     /// Appends a choice entry for a newly arrived user **without** touching
     /// the counts; the caller accounts for the user's tasks separately (via
     /// [`Profile::add_route_counts`]). Churn primitive for

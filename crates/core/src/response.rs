@@ -94,20 +94,32 @@ pub fn best_route_set(game: &Game, profile: &Profile, user: UserId) -> BestRespo
     best_route_set_in(&(game, profile), user)
 }
 
+/// Recommended sets are small (the paper's scenarios top out at a handful
+/// of candidate routes); scans buffer per-route profits on the stack up to
+/// this size so the common no-improvement case performs no allocation.
+const STACK_ROUTES: usize = 16;
+
 /// [`best_route_set`] generic over any [`ProfitView`].
 pub fn best_route_set_in<V: ProfitView>(view: &V, user: UserId) -> BestResponse {
     let current_profit = view.profit(user);
     let n_routes = view.route_count(user);
+    let mut stack_buf = [0.0f64; STACK_ROUTES];
+    let mut heap_buf: Vec<f64>;
+    let profits: &mut [f64] = if n_routes <= STACK_ROUTES {
+        &mut stack_buf[..n_routes]
+    } else {
+        heap_buf = vec![0.0; n_routes];
+        &mut heap_buf
+    };
     let mut best_profit = f64::NEG_INFINITY;
-    let mut profits = Vec::with_capacity(n_routes);
-    for r in 0..n_routes {
+    for (r, slot) in profits.iter_mut().enumerate() {
         let candidate = RouteId::from_index(r);
         let p = if candidate == view.choice(user) {
             current_profit
         } else {
             view.profit_if_switched(user, candidate)
         };
-        profits.push(p);
+        *slot = p;
         if p > best_profit {
             best_profit = p;
         }

@@ -1,0 +1,228 @@
+//! Contiguous segmented storage: the struct-of-arrays backbone of the
+//! incremental engine.
+//!
+//! The engine's hot per-entity tables — per-task share/prefix tables, the
+//! task→users inverted index, per-(user, route) cost rows and flattened
+//! route task lists — are all "a dense id space of rows, each row a short
+//! slice". Storing them as `Vec<Vec<T>>` (the pre-slab layout) costs one
+//! heap allocation and one pointer chase per row; at 10⁵ users that is
+//! hundreds of thousands of allocations at construction and cache-hostile
+//! scatter at query time.
+//!
+//! [`SegmentedSlab`] keeps every row in **one** contiguous backing vector,
+//! with a per-row `(offset, len, capacity)` segment table. Lookups are one
+//! segment read plus an indexed slice into the shared backing store — CSR
+//! (compressed sparse row) layout, extended with per-row slack so rows can
+//! grow:
+//!
+//! * rows created by [`push_row`](SegmentedSlab::push_row) are exact-sized
+//!   (classic CSR; appending a *new* row never moves existing data);
+//! * [`push_to_row`](SegmentedSlab::push_to_row) grows an existing row in
+//!   amortized O(1): a full row is relocated to the end of the backing store
+//!   with doubled capacity, leaving a dead hole behind (the churn path —
+//!   `Engine::add_user` growing a task's share table or inverted-index row).
+//!   Holes are bounded by the doubling schedule and are dropped whenever the
+//!   engine is rebuilt from a materialized game.
+//!
+//! Row contents are `Copy` — every engine table stores plain ids or `f64`s —
+//! which keeps relocation a `memcpy` and the whole module free of drop
+//! bookkeeping.
+
+/// One row's view into the shared backing store.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    off: usize,
+    len: usize,
+    cap: usize,
+}
+
+/// A growable CSR-style slab: dense row ids, contiguous backing storage.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentedSlab<T: Copy> {
+    data: Vec<T>,
+    segs: Vec<Segment>,
+}
+
+impl<T: Copy> SegmentedSlab<T> {
+    /// An empty slab with no rows.
+    pub fn new() -> Self {
+        Self {
+            data: Vec::new(),
+            segs: Vec::new(),
+        }
+    }
+
+    /// An empty slab pre-sized for `rows` rows totalling `items` elements
+    /// (exact sizing at engine construction avoids every reallocation).
+    pub fn with_capacity(rows: usize, items: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(items),
+            segs: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Length of row `row`.
+    #[inline]
+    pub fn row_len(&self, row: usize) -> usize {
+        self.segs[row].len
+    }
+
+    /// The elements of row `row`, contiguous.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        let seg = self.segs[row];
+        &self.data[seg.off..seg.off + seg.len]
+    }
+
+    /// Mutable view of row `row`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        let seg = self.segs[row];
+        &mut self.data[seg.off..seg.off + seg.len]
+    }
+
+    /// Builds a slab from pre-filled backing storage partitioned into
+    /// consecutive rows of the given lengths (classic CSR construction: the
+    /// caller counts row sizes, computes offsets, fills one flat vector).
+    /// Every row is exact-sized; `data.len()` must equal the length sum.
+    pub fn from_filled(data: Vec<T>, row_lens: &[usize]) -> Self {
+        let mut segs = Vec::with_capacity(row_lens.len());
+        let mut off = 0;
+        for &len in row_lens {
+            segs.push(Segment { off, len, cap: len });
+            off += len;
+        }
+        assert_eq!(
+            off,
+            data.len(),
+            "row lengths must partition the backing store"
+        );
+        Self { data, segs }
+    }
+
+    /// Appends a new exact-sized row holding `items`, returning its row id.
+    /// Existing rows never move.
+    pub fn push_row(&mut self, items: &[T]) -> usize {
+        let off = self.data.len();
+        self.data.extend_from_slice(items);
+        self.segs.push(Segment {
+            off,
+            len: items.len(),
+            cap: items.len(),
+        });
+        self.segs.len() - 1
+    }
+
+    /// Appends a new empty row, returning its row id.
+    pub fn push_empty_row(&mut self) -> usize {
+        self.push_row(&[])
+    }
+
+    /// Appends `value` to row `row`, relocating the row to the end of the
+    /// backing store with doubled capacity when full (amortized O(1); the
+    /// abandoned space becomes a hole until the slab is rebuilt).
+    pub fn push_to_row(&mut self, row: usize, value: T) {
+        let seg = self.segs[row];
+        if seg.len == seg.cap {
+            let new_cap = (seg.cap * 2).max(4);
+            let new_off = self.data.len();
+            self.data.reserve(new_cap);
+            // Relocate: copy the live elements, then pad to capacity with
+            // the new value (slot len..cap are dead until used).
+            for i in 0..seg.len {
+                let v = self.data[seg.off + i];
+                self.data.push(v);
+            }
+            self.data.push(value);
+            // Reserve the remaining capacity physically so later pushes to
+            // *other* rows do not interleave into this row's slack.
+            for _ in seg.len + 1..new_cap {
+                self.data.push(value);
+            }
+            self.segs[row] = Segment {
+                off: new_off,
+                len: seg.len + 1,
+                cap: new_cap,
+            };
+        } else {
+            self.data[seg.off + seg.len] = value;
+            self.segs[row].len += 1;
+        }
+    }
+
+    /// Total live elements across all rows (excludes holes and slack).
+    pub fn live_len(&self) -> usize {
+        self.segs.iter().map(|s| s.len).sum()
+    }
+
+    /// Size of the backing store including holes and slack — the slab's
+    /// fragmentation diagnostic (`backing_len − live_len` bytes are dead).
+    pub fn backing_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rows_are_contiguous_and_stable() {
+        let mut slab = SegmentedSlab::with_capacity(3, 6);
+        assert_eq!(slab.push_row(&[1, 2, 3]), 0);
+        assert_eq!(slab.push_row(&[]), 1);
+        assert_eq!(slab.push_row(&[4, 5, 6]), 2);
+        assert_eq!(slab.rows(), 3);
+        assert_eq!(slab.row(0), &[1, 2, 3]);
+        assert_eq!(slab.row(1), &[] as &[i32]);
+        assert_eq!(slab.row(2), &[4, 5, 6]);
+        assert_eq!(slab.live_len(), 6);
+        assert_eq!(slab.backing_len(), 6);
+    }
+
+    #[test]
+    fn growing_a_row_relocates_without_disturbing_others() {
+        let mut slab = SegmentedSlab::new();
+        slab.push_row(&[10, 20]);
+        slab.push_row(&[30]);
+        // Row 0 is full (cap == len == 2): growth relocates it.
+        slab.push_to_row(0, 40);
+        assert_eq!(slab.row(0), &[10, 20, 40]);
+        assert_eq!(slab.row(1), &[30]);
+        // Subsequent growth fills the doubled slack in place.
+        slab.push_to_row(0, 50);
+        assert_eq!(slab.row(0), &[10, 20, 40, 50]);
+        // Growing row 1 must not interleave into row 0's storage.
+        slab.push_to_row(1, 60);
+        slab.push_to_row(1, 70);
+        assert_eq!(slab.row(0), &[10, 20, 40, 50]);
+        assert_eq!(slab.row(1), &[30, 60, 70]);
+        assert_eq!(slab.live_len(), 7);
+        assert!(slab.backing_len() >= slab.live_len(), "holes never shrink");
+    }
+
+    #[test]
+    fn empty_row_growth_from_zero_capacity() {
+        let mut slab = SegmentedSlab::new();
+        let r = slab.push_empty_row();
+        for v in 0..100 {
+            slab.push_to_row(r, v);
+        }
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(slab.row(r), expected.as_slice());
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut slab = SegmentedSlab::new();
+        slab.push_row(&[1.0f64, 2.0]);
+        slab.row_mut(0)[1] = 9.5;
+        assert_eq!(slab.row(0), &[1.0, 9.5]);
+    }
+}

@@ -1,11 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--reps N] [--seed S] [--out DIR] <experiment>... | all | list
+//! repro [--reps N] [--seed S] [--out DIR] [--threads T] <experiment>... | all | list
 //! ```
 //!
 //! Each experiment prints an aligned table to stdout; with `--out DIR` the
 //! table is also written as `DIR/<id>.csv` (and Fig. 13 writes SVGs).
+//! `--threads T` (or `VCS_THREADS=T`) pins the rayon pool width; `1` forces
+//! the engine's strictly sequential paths, `0`/unset keeps the machine
+//! default.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +18,7 @@ struct Args {
     reps: usize,
     seed: u64,
     out: Option<PathBuf>,
+    threads: Option<usize>,
     experiments: Vec<String>,
 }
 
@@ -23,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 500,
         seed: 20210809,
         out: None,
+        threads: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -40,9 +45,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(PathBuf::from(v));
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad --threads value {v}"))?);
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--reps N] [--seed S] [--out DIR] <experiment>... | all | list\n\
+                    "usage: repro [--reps N] [--seed S] [--out DIR] [--threads T] <experiment>... | all | list\n\
                      experiments: {} {}",
                     ALL_EXPERIMENTS.join(" "),
                     ALL_ABLATIONS.join(" ")
@@ -66,6 +75,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Pin the pool before any experiment touches the engine: `--threads`
+    // wins over `VCS_THREADS`, `0`/unset keeps the machine default.
+    let width = args
+        .threads
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("VCS_THREADS")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or(0);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build_global()
+        .expect("configuring the global pool width cannot fail");
     if args.experiments.iter().any(|e| e == "list") {
         for id in ALL_EXPERIMENTS.iter().chain(ALL_ABLATIONS.iter()) {
             println!("{id}");

@@ -53,11 +53,14 @@ pub enum SpanKind {
     ChannelWait,
     /// One churn epoch's warm re-convergence (apply batch → fixed point).
     EpochReconverge,
+    /// One conflict-free PUU batch commit (`Engine::apply_batch`): the
+    /// parallel read-only delta phase plus the ordered sequential commit.
+    BatchApply,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Slot,
         SpanKind::EngineApply,
         SpanKind::BestResponse,
@@ -65,6 +68,7 @@ impl SpanKind {
         SpanKind::FrameDecode,
         SpanKind::ChannelWait,
         SpanKind::EpochReconverge,
+        SpanKind::BatchApply,
     ];
 
     /// Stable snake_case tag used by the JSONL codec and the Prometheus
@@ -78,6 +82,7 @@ impl SpanKind {
             SpanKind::FrameDecode => "frame_decode",
             SpanKind::ChannelWait => "channel_wait",
             SpanKind::EpochReconverge => "epoch_reconverge",
+            SpanKind::BatchApply => "batch_apply",
         }
     }
 

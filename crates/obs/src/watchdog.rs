@@ -241,7 +241,9 @@ impl Subscriber for WatchdogSubscriber {
                     self.raise(&mut state, AlertKind::PhiDecrease, detail);
                 }
             }
-            Event::ResponseEvaluated { improving: true, .. } => {
+            Event::ResponseEvaluated {
+                improving: true, ..
+            } => {
                 state.pending = true;
             }
             Event::RefreshPass { improving, .. } => {

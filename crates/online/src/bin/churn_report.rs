@@ -132,10 +132,30 @@ fn smoke() {
     eprintln!("smoke OK");
 }
 
+/// Pins the rayon pool so warm/cold timings run at a reproducible width.
+/// `--threads N` wins over `VCS_THREADS`; `0`/unset keeps the machine
+/// default, `1` forces the engine's strictly sequential paths.
+fn configure_threads(cli: Option<usize>) {
+    let n = cli
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("VCS_THREADS")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or(0);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("configuring the global pool width cannot fail");
+}
+
 fn main() {
     let mut smoke_mode = false;
     let mut prometheus_path: Option<String> = None;
     let mut out_path = "BENCH_online.json".to_string();
+    let mut threads_cli: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -143,9 +163,18 @@ fn main() {
             "--prometheus" => {
                 prometheus_path = Some(args.next().expect("--prometheus needs a path"));
             }
+            "--threads" => {
+                threads_cli = Some(
+                    args.next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs an integer"),
+                );
+            }
             other => out_path = other.to_string(),
         }
     }
+    configure_threads(threads_cli);
     if smoke_mode {
         smoke();
         if let Some(path) = &prometheus_path {

@@ -258,6 +258,60 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_roundtrips_slab_state_after_churn() {
+        use vcs_core::ids::TaskId as Tid;
+        use vcs_core::response::ProfitView;
+        // Drive the live engine through joins, a departure (tombstone +
+        // inverted-index staleness) and moves, so every slab has been grown
+        // and compacted at least once before the checkpoint.
+        let mut engine = fig1_engine();
+        let joined = engine
+            .add_user(
+                UserPrefs::neutral(),
+                vec![
+                    Route::new(RouteId(0), vec![Tid(0)], 0.2, 0.1),
+                    Route::new(RouteId(1), vec![Tid(1)], 0.1, 0.3),
+                ],
+                RouteId(0),
+            )
+            .expect("valid join");
+        engine.remove_user(UserId(1)).expect("valid leave");
+        engine.apply_move(joined, RouteId(1));
+        let restored = Snapshot::decode(Snapshot::capture(&engine).encode())
+            .expect("decodes")
+            .restore();
+        // The restored engine rebuilds its slabs from the compacted game;
+        // every surviving user's profit must come out bit-identical, and the
+        // rebuilt inverted index must cover exactly the live participants.
+        let (_, _, id_map) = engine.materialize();
+        assert_eq!(id_map.len(), restored.game().user_count());
+        for (new_idx, &old) in id_map.iter().enumerate() {
+            let new = UserId::from_index(new_idx);
+            assert_eq!(
+                engine.profit(old).to_bits(),
+                restored.profit(new).to_bits(),
+                "profit of pre-churn user {old} drifted across checkpoint/resume"
+            );
+        }
+        for task in restored.game().tasks() {
+            assert_eq!(
+                engine.profile().participants(task.id),
+                restored.profile().participants(task.id),
+                "participant count of {} drifted",
+                task.id
+            );
+            for &u in restored.users_covering(task.id) {
+                assert!(restored.is_active(u));
+            }
+        }
+        assert_eq!(
+            restored.potential().to_bits(),
+            restored.potential_fresh().to_bits(),
+            "restored running ϕ must equal its own fresh recomputation"
+        );
+    }
+
+    #[test]
     fn truncated_and_corrupt_snapshots_rejected() {
         let snap = Snapshot::capture(&fig1_engine());
         let frame = snap.encode();

@@ -5,12 +5,76 @@
 //! one contiguous chunk per available core and run on scoped threads; results
 //! are concatenated in index order, so output is identical to the sequential
 //! map (the property `vcs-metrics` relies on for bit-identical replication).
+//!
+//! The worker count can be pinned globally via
+//! [`ThreadPoolBuilder::build_global`] (the `VCS_THREADS` plumbing in the
+//! workspace bins); [`current_num_threads`] reports the effective width.
+//! Pinning to `1` makes every pipeline run strictly sequentially on the
+//! calling thread — the explicit reproducibility fallback. Unlike upstream
+//! rayon there is no persistent pool (workers are scoped threads spawned per
+//! pipeline), so re-pinning later is permitted rather than an error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// Global worker-count override; `0` means "use available parallelism".
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Effective number of worker threads a pipeline will use: the pinned global
+/// value if [`ThreadPoolBuilder::build_global`] was called with a non-zero
+/// width, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match POOL_THREADS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`], kept for API parity
+/// with upstream rayon. This offline subset has no persistent pool to race
+/// against, so building the global "pool" never actually fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count (offline counterpart of rayon's
+/// builder). Only `num_threads` is supported.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine-width) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count; `0` restores the machine-width default and `1`
+    /// forces strictly sequential execution.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally for all subsequent pipelines.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        POOL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
 
 /// The customary glob import.
 pub mod prelude {
@@ -117,7 +181,7 @@ where
 
     fn run(self) -> Vec<T> {
         let items = self.base.run();
-        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = current_num_threads();
         if workers <= 1 || items.len() <= 1 {
             return items.into_iter().map(self.f).collect();
         }
@@ -169,5 +233,24 @@ mod tests {
     fn single_element() {
         let out: Vec<usize> = (3..4usize).into_par_iter().map(|i| i + 1).collect();
         assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn pinned_width_is_reported_and_sequential_fallback_preserves_order() {
+        // Pin to 1 (strictly sequential), run, then restore the default so
+        // other tests in the binary see machine width again.
+        crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .expect("pin to one worker");
+        assert_eq!(crate::current_num_threads(), 1);
+        let out: Vec<u64> = (0..100u64).into_par_iter().map(|i| i * 3).collect();
+        let expected: Vec<u64> = (0..100u64).map(|i| i * 3).collect();
+        assert_eq!(out, expected);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .expect("restore default width");
+        assert!(crate::current_num_threads() >= 1);
     }
 }
