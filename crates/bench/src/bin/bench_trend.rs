@@ -12,7 +12,8 @@
 //! ```
 //!
 //! The intended flow: regenerate `BENCH_engine.json` / `BENCH_online.json` /
-//! `BENCH_obs.json` on a quiet machine, run `bench_trend --check` to see
+//! `BENCH_obs.json` / `BENCH_shard.json` on a quiet machine, run
+//! `bench_trend --check` to see
 //! whether any gated ratio fell beyond tolerance, then run `bench_trend` to
 //! ratchet the committed baseline. CI runs `--check` against the committed
 //! artifacts (a deterministic consistency gate — the trajectory must match
@@ -43,7 +44,8 @@ fn load_current(dir: &Path) -> Result<Trajectory, String> {
     let engine = read_json(&dir.join("BENCH_engine.json"))?;
     let online = read_json(&dir.join("BENCH_online.json"))?;
     let obs = read_json(&dir.join("BENCH_obs.json"))?;
-    build_trajectory(&engine, &online, &obs)
+    let shard = read_json(&dir.join("BENCH_shard.json"))?;
+    build_trajectory(&engine, &online, &obs, &shard)
 }
 
 fn print_regressions(found: &[Regression]) {

@@ -25,18 +25,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use vcs_bench::replay::{extract_moves, flip_mantissa_bit, locate_divergence, TOLERANCE};
 use vcs_bench::synthetic_game;
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{Engine, Game, Profile};
 use vcs_obs::{causal_neighborhood, stamp_of, trace, Event, JsonlSubscriber, Obs};
 use vcs_runtime::sync_runtime::spawn_agents;
 use vcs_runtime::{run_threaded_observed, SchedulerKind};
-
-/// Replayed values must match the recorded trajectory to within this
-/// absolute error at every move (in practice the match is bit-exact: the
-/// replay engine runs the same compensated accumulators over the same
-/// additions).
-const TOLERANCE: f64 = 1e-9;
 
 /// Frames shown on each side of the divergent move in the causal dump.
 const NEIGHBORHOOD_RADIUS: usize = 6;
@@ -133,39 +128,6 @@ fn record(trace_path: &Path, users: usize, seed: u64) -> Result<ReplayMeta, Stri
 // Replay + divergence search
 // ---------------------------------------------------------------------------
 
-/// One recorded `MoveCommitted`, pinned to its position in the trace so the
-/// causal dump can anchor on it.
-struct RecordedMove {
-    event_index: usize,
-    user: UserId,
-    to_route: RouteId,
-    phi: f64,
-    total_profit: f64,
-}
-
-fn extract_moves(events: &[Event]) -> Vec<RecordedMove> {
-    events
-        .iter()
-        .enumerate()
-        .filter_map(|(i, e)| match *e {
-            Event::MoveCommitted {
-                user,
-                to_route,
-                phi,
-                total_profit,
-                ..
-            } => Some(RecordedMove {
-                event_index: i,
-                user: UserId::from_index(user as usize),
-                to_route: RouteId::from_index(to_route as usize),
-                phi,
-                total_profit,
-            }),
-            _ => None,
-        })
-        .collect()
-}
-
 /// Rebuilds the platform engine exactly as the recorded run constructed it:
 /// same game, same agent-announced initial routes.
 fn rebuild_engine<'g>(game: &'g Game, meta: &ReplayMeta) -> Engine<'g> {
@@ -174,43 +136,6 @@ fn rebuild_engine<'g>(game: &'g Game, meta: &ReplayMeta) -> Engine<'g> {
         .map(|a| a.current)
         .collect();
     Engine::new(game, Profile::new(game, choices))
-}
-
-/// Replays the first `k` recorded moves on a fresh engine and returns the
-/// index of the first move whose replayed (ϕ, ΣP) disagrees with the
-/// recording beyond [`TOLERANCE`], if any.
-fn first_divergence_in_prefix(
-    game: &Game,
-    meta: &ReplayMeta,
-    moves: &[RecordedMove],
-    k: usize,
-) -> Option<usize> {
-    let pairs: Vec<(UserId, RouteId)> = moves[..k].iter().map(|m| (m.user, m.to_route)).collect();
-    let trajectory = rebuild_engine(game, meta).replay_moves(&pairs);
-    trajectory
-        .iter()
-        .zip(&moves[..k])
-        .position(|(&(phi, profit), m)| {
-            (phi - m.phi).abs() > TOLERANCE || (profit - m.total_profit).abs() > TOLERANCE
-        })
-}
-
-/// Binary-searches the smallest prefix length whose replay diverges, i.e.
-/// the first divergent slot. The predicate `diverged(k)` — "replaying `k`
-/// moves exposes a mismatch" — is monotone in `k`, so the search replays
-/// `O(log n)` prefixes instead of bisecting by hand.
-fn locate_divergence(game: &Game, meta: &ReplayMeta, moves: &[RecordedMove]) -> Option<usize> {
-    first_divergence_in_prefix(game, meta, moves, moves.len())?;
-    let (mut lo, mut hi) = (1usize, moves.len()); // invariant: !diverged(lo-1), diverged(hi)
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if first_divergence_in_prefix(game, meta, moves, mid).is_some() {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    Some(lo - 1)
 }
 
 fn print_causal_neighborhood(events: &[Event], center: usize) {
@@ -281,8 +206,8 @@ fn replay(trace_path: &Path) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let slot =
-        locate_divergence(&game, &meta, &moves).expect("full replay diverged, so some prefix must");
+    let slot = locate_divergence(|| rebuild_engine(&game, &meta), &moves)
+        .expect("full replay diverged, so some prefix must");
     let m = &moves[slot];
     let (replayed_phi, replayed_profit) = trajectory[slot];
     println!(
@@ -308,12 +233,6 @@ fn replay(trace_path: &Path) -> ExitCode {
 // ---------------------------------------------------------------------------
 // Selftest
 // ---------------------------------------------------------------------------
-
-/// Flips a high mantissa bit of `x` — a single-bit corruption large enough
-/// (relative error ~2⁻¹²) to clear [`TOLERANCE`] at any realistic ϕ scale.
-fn flip_mantissa_bit(x: f64) -> f64 {
-    f64::from_bits(x.to_bits() ^ (1u64 << 40))
-}
 
 fn selftest(dir: &Path) -> ExitCode {
     std::fs::create_dir_all(dir).expect("create trace directory");
@@ -361,7 +280,7 @@ fn selftest(dir: &Path) -> ExitCode {
     let meta = read_meta(&corrupted_path).expect("sidecar");
     let game = synthetic_game(meta.users, meta.tasks, meta.game_seed);
     let moves = extract_moves(&events);
-    match locate_divergence(&game, &meta, &moves) {
+    match locate_divergence(|| rebuild_engine(&game, &meta), &moves) {
         Some(slot) if slot == target_slot => {
             println!("PASS: divergence localized to slot {slot} (exact)");
             ExitCode::SUCCESS

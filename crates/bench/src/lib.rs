@@ -18,6 +18,7 @@ use vcs_algorithms::{run_distributed, DistributedAlgorithm, RunConfig, RunOutcom
 use vcs_core::Game;
 use vcs_scenario::{Dataset, ScenarioConfig, ScenarioParams, UserPool};
 
+pub mod replay;
 pub mod threads;
 pub mod trend;
 

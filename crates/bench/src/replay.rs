@@ -1,0 +1,108 @@
+//! Deterministic trace replay and divergence localization, shared by the
+//! `replay_debug` binary and the trace-robustness tests.
+//!
+//! A recorded trace pins every committed move to its (ϕ, ΣP) trajectory.
+//! Re-executing the move sequence on a freshly built [`Engine`] must
+//! reproduce that trajectory to [`TOLERANCE`]; when it does not, the first
+//! divergent slot is found by binary search over prefix replays — the
+//! predicate "replaying `k` moves exposes a mismatch" is monotone in `k`.
+//!
+//! The rebuild step is a caller-supplied closure, so the same search works
+//! for any reconstruction recipe: the threaded runtime's agent-announced
+//! profile (`replay_debug`), a sharded deployment's merged initial profile,
+//! or a test's hand-built engine.
+
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::Engine;
+use vcs_obs::Event;
+
+/// Replayed values must match the recorded trajectory to within this
+/// absolute error at every move (in practice the match is bit-exact: the
+/// replay engine runs the same compensated accumulators over the same
+/// additions).
+pub const TOLERANCE: f64 = 1e-9;
+
+/// One recorded `MoveCommitted`, pinned to its position in the trace so a
+/// causal dump can anchor on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedMove {
+    /// Index of the originating event in the full trace.
+    pub event_index: usize,
+    /// The mover.
+    pub user: UserId,
+    /// The route the mover switched to.
+    pub to_route: RouteId,
+    /// Recorded potential after the move.
+    pub phi: f64,
+    /// Recorded total profit after the move.
+    pub total_profit: f64,
+}
+
+/// Pulls the committed-move trajectory out of a recorded event stream.
+pub fn extract_moves(events: &[Event]) -> Vec<RecordedMove> {
+    events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match *e {
+            Event::MoveCommitted {
+                user,
+                to_route,
+                phi,
+                total_profit,
+                ..
+            } => Some(RecordedMove {
+                event_index: i,
+                user: UserId::from_index(user as usize),
+                to_route: RouteId::from_index(to_route as usize),
+                phi,
+                total_profit,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replays the first `k` recorded moves on a freshly rebuilt engine and
+/// returns the index of the first move whose replayed (ϕ, ΣP) disagrees
+/// with the recording beyond [`TOLERANCE`], if any.
+pub fn first_divergence_in_prefix<'g>(
+    rebuild: impl Fn() -> Engine<'g>,
+    moves: &[RecordedMove],
+    k: usize,
+) -> Option<usize> {
+    let pairs: Vec<(UserId, RouteId)> = moves[..k].iter().map(|m| (m.user, m.to_route)).collect();
+    let trajectory = rebuild().replay_moves(&pairs);
+    trajectory
+        .iter()
+        .zip(&moves[..k])
+        .position(|(&(phi, profit), m)| {
+            (phi - m.phi).abs() > TOLERANCE || (profit - m.total_profit).abs() > TOLERANCE
+        })
+}
+
+/// Binary-searches the smallest prefix length whose replay diverges, i.e.
+/// the first divergent slot. The predicate `diverged(k)` — "replaying `k`
+/// moves exposes a mismatch" — is monotone in `k`, so the search replays
+/// `O(log n)` prefixes instead of bisecting by hand.
+pub fn locate_divergence<'g>(
+    rebuild: impl Fn() -> Engine<'g>,
+    moves: &[RecordedMove],
+) -> Option<usize> {
+    first_divergence_in_prefix(&rebuild, moves, moves.len())?;
+    let (mut lo, mut hi) = (1usize, moves.len()); // invariant: !diverged(lo-1), diverged(hi)
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if first_divergence_in_prefix(&rebuild, moves, mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo - 1)
+}
+
+/// Flips a high mantissa bit of `x` — a single-bit corruption large enough
+/// (relative error ~2⁻¹²) to clear [`TOLERANCE`] at any realistic ϕ scale.
+pub fn flip_mantissa_bit(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() ^ (1u64 << 40))
+}

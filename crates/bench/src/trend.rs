@@ -305,7 +305,7 @@ impl Parser<'_> {
 pub struct Trajectory {
     /// `metric path → value`, gated by [`compare`]. Paths are
     /// `engine/<algo>/<users>/<metric>`, `online/<users>/<churn>/<metric>`,
-    /// `obs/<algo>/<users>/<metric>`.
+    /// `obs/<algo>/<users>/<metric>`, `shard/<users>/<shards>/<metric>`.
     pub gated: Vec<(String, f64)>,
     /// Machine-dependent context values, never gated.
     pub informational: Vec<(String, f64)>,
@@ -333,8 +333,13 @@ fn seg(value: f64) -> String {
     }
 }
 
-/// Merges the three benchmark documents into one [`Trajectory`].
-pub fn build_trajectory(engine: &Json, online: &Json, obs: &Json) -> Result<Trajectory, String> {
+/// Merges the four benchmark documents into one [`Trajectory`].
+pub fn build_trajectory(
+    engine: &Json,
+    online: &Json,
+    obs: &Json,
+    shard: &Json,
+) -> Result<Trajectory, String> {
     let mut gated = Vec::new();
     let mut info = Vec::new();
     for row in rows(engine, "BENCH_engine")? {
@@ -405,6 +410,30 @@ pub fn build_trajectory(engine: &Json, online: &Json, obs: &Json) -> Result<Traj
             gated.push((format!("{base}/recorder_rel"), recorder / plain));
         }
         info.push((format!("{base}/plain_slots_per_sec"), plain));
+    }
+    for row in rows(shard, "BENCH_shard")? {
+        let users = seg(field_f64(row, "users")?);
+        let shards = field_f64(row, "shards")?;
+        let base = format!("shard/{users}/{}", seg(shards));
+        // Aggregate slots/sec of the sharded driver relative to the same
+        // tier's single-shard cell — both measured sequentially in the same
+        // process, so the ratio isolates the locality-decomposition win.
+        // The 1-shard row is the ratio's own denominator (speedup ≡ 1);
+        // only the decomposed cells are gated.
+        if shards > 1.0 {
+            gated.push((
+                format!("{base}/agg_speedup"),
+                field_f64(row, "speedup_vs_1")?,
+            ));
+        }
+        info.push((
+            format!("{base}/agg_slots_per_sec"),
+            field_f64(row, "agg_slots_per_sec")?,
+        ));
+        info.push((
+            format!("{base}/boundary_fraction"),
+            field_f64(row, "boundary_fraction")?,
+        ));
     }
     if gated.is_empty() {
         return Err("no gated metrics extracted — empty benchmark artifacts?".into());
@@ -517,24 +546,41 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, tolerance: f64) -> V
     regressions
 }
 
-/// Absolute per-algorithm speedup floors, enforced on the **current**
-/// trajectory independently of any baseline: the engine must never be slower
-/// than the naive driver it replaces. Today that is one rule — every
-/// `engine/MUUN/<users>/speedup` ≥ 1.0 (MUUN is the only algorithm that has
-/// ever dipped below parity, at small user counts where slab construction
-/// used to dominate). Violations reuse [`Regression`] with the floor as the
-/// `baseline`.
+/// Absolute speedup floors, enforced on the **current** trajectory
+/// independently of any baseline. Two rules:
+///
+/// * every `engine/MUUN/<users>/speedup` ≥ 1.0 — the engine must never be
+///   slower than the naive driver it replaces (MUUN is the only algorithm
+///   that has ever dipped below parity, at small user counts where slab
+///   construction used to dominate);
+/// * `shard/100000/4/agg_speedup` ≥ 1.5 — the locality decomposition must
+///   keep paying for its boundary-sync overhead at the deployment tier the
+///   sharded driver exists for.
+///
+/// Violations reuse [`Regression`] with the floor as the `baseline`.
 pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
     const MUUN_FLOOR: f64 = 1.0;
+    const SHARD_FLOOR: f64 = 1.5;
+    const SHARD_METRIC: &str = "shard/100000/4/agg_speedup";
+    let floor_of = |metric: &str| -> Option<f64> {
+        if metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup") {
+            Some(MUUN_FLOOR)
+        } else if metric == SHARD_METRIC {
+            Some(SHARD_FLOOR)
+        } else {
+            None
+        }
+    };
     current
         .gated
         .iter()
-        .filter(|(metric, _)| metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup"))
-        .filter(|&&(_, value)| value < MUUN_FLOOR)
-        .map(|(metric, value)| Regression {
-            metric: metric.clone(),
-            baseline: MUUN_FLOOR,
-            current: *value,
+        .filter_map(|(metric, value)| {
+            let floor = floor_of(metric)?;
+            (*value < floor).then(|| Regression {
+                metric: metric.clone(),
+                baseline: floor,
+                current: *value,
+            })
         })
         .collect()
 }
@@ -557,12 +603,19 @@ mod tests {
          "noop_slots_per_sec": 990.0, "stats_slots_per_sec": 960.0,
          "recorder_slots_per_sec": 950.0}
     ]}"#;
+    const SHARD: &str = r#"{"rows": [
+        {"users": 100000, "shards": 1, "agg_slots_per_sec": 200000.0,
+         "speedup_vs_1": 1.0, "boundary_fraction": 0.0},
+        {"users": 100000, "shards": 4, "agg_slots_per_sec": 340000.0,
+         "speedup_vs_1": 1.7, "boundary_fraction": 0.0006}
+    ]}"#;
 
     fn trajectory() -> Trajectory {
         build_trajectory(
             &Json::parse(ENGINE).unwrap(),
             &Json::parse(ONLINE).unwrap(),
             &Json::parse(OBS).unwrap(),
+            &Json::parse(SHARD).unwrap(),
         )
         .unwrap()
     }
@@ -599,6 +652,16 @@ mod tests {
         assert_eq!(get("online/500/0.05/phi_agree_epochs"), 5.0);
         assert!((get("obs/DGRN/100/stats_rel") - 0.96).abs() < 1e-12);
         assert!((get("obs/DGRN/100/recorder_rel") - 0.95).abs() < 1e-12);
+        assert_eq!(get("shard/100000/4/agg_speedup"), 1.7);
+        // The 1-shard cell is the denominator, not a gated ratio.
+        assert!(!t
+            .gated
+            .iter()
+            .any(|(k, _)| k == "shard/100000/1/agg_speedup"));
+        assert!(t
+            .informational
+            .iter()
+            .any(|(k, _)| k == "shard/100000/4/boundary_fraction"));
         assert!(t
             .informational
             .iter()
@@ -622,6 +685,7 @@ mod tests {
             &Json::parse(ENGINE).unwrap(),
             &Json::parse(ONLINE).unwrap(),
             &Json::parse(obs).unwrap(),
+            &Json::parse(SHARD).unwrap(),
         )
         .unwrap();
         assert!(t.gated.iter().any(|(k, _)| k == "obs/DGRN/100/stats_rel"));
@@ -673,6 +737,26 @@ mod tests {
         assert_eq!(found[0].current, 0.92);
         // DGRN has no floor: a sub-parity DGRN entry adds no violation.
         t.gated.push(("engine/DGRN/100/speedup".into(), 0.5));
+        assert_eq!(floor_violations(&t).len(), 1);
+    }
+
+    #[test]
+    fn shard_floor_guards_the_deployment_tier() {
+        let mut t = trajectory();
+        // The fixture's 1.7 clears the 1.5 floor.
+        assert!(floor_violations(&t).is_empty());
+        for (k, v) in &mut t.gated {
+            if k == "shard/100000/4/agg_speedup" {
+                *v = 1.3;
+            }
+        }
+        let found = floor_violations(&t);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "shard/100000/4/agg_speedup");
+        assert_eq!(found[0].baseline, 1.5);
+        assert_eq!(found[0].current, 1.3);
+        // Other tiers carry no absolute floor — the relative gate owns them.
+        t.gated.push(("shard/10000/4/agg_speedup".into(), 0.9));
         assert_eq!(floor_violations(&t).len(), 1);
     }
 

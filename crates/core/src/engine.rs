@@ -566,6 +566,24 @@ impl<'g> Engine<'g> {
     /// profit and the dirty set in `O(|L_old| + |L_new| + |dirtied|)`.
     /// Returns the previous route. Switching to the current route is a no-op.
     pub fn apply_move(&mut self, user: UserId, new_route: RouteId) -> RouteId {
+        self.apply_move_impl(user, new_route, true)
+    }
+
+    /// Applies a move that was *decided elsewhere* — by another engine
+    /// holding a replica of `user` in a sharded deployment. Bookkeeping is
+    /// identical to [`apply_move`](Self::apply_move) (counts, `α`-sums,
+    /// running `ϕ`/total, dirty marking of every user covering an affected
+    /// task), but **no `MoveCommitted` event is emitted**: the move was
+    /// committed and recorded at its home engine, and this engine's ϕ-delta
+    /// for it is only meaningful for the tasks this engine can see. The
+    /// sharded runtime records the replication as a stamped `FrameReceived`
+    /// instead, keeping watchdogs and post-mortem traces attached to a
+    /// replica free of double-counted or locally-skewed move telemetry.
+    pub fn apply_remote_move(&mut self, user: UserId, new_route: RouteId) -> RouteId {
+        self.apply_move_impl(user, new_route, false)
+    }
+
+    fn apply_move_impl(&mut self, user: UserId, new_route: RouteId, emit: bool) -> RouteId {
         let old_route = self.profile.choice(user);
         if old_route == new_route {
             return old_route;
@@ -636,6 +654,9 @@ impl<'g> Engine<'g> {
         total.add(profit_delta);
         profile.apply_move_tasks(user, new_route, old, new);
         mark(dirty_flag, dirty, user);
+        if !emit {
+            return old_route;
+        }
         obs.emit(|| Event::MoveCommitted {
             user: user.index() as u32,
             from_route: old_route.index() as u32,
@@ -1356,6 +1377,41 @@ mod tests {
                 better_routes(&g, &profile, user)
             );
         }
+    }
+
+    #[test]
+    fn apply_remote_move_matches_apply_move_silently() {
+        use crate::ids::UserId;
+        use vcs_obs::{Obs, RingBufferSubscriber};
+        let g = game();
+        let mut local = Engine::new(&g, Profile::all_first(&g));
+        let mut replica = Engine::new(&g, Profile::all_first(&g));
+        let ring = std::sync::Arc::new(RingBufferSubscriber::new(64));
+        replica.set_obs(Obs::new(ring.clone()));
+        // Same mechanical state transition on both engines...
+        assert_eq!(
+            local.apply_move(UserId(1), RouteId(1)),
+            replica.apply_remote_move(UserId(1), RouteId(1))
+        );
+        assert_eq!(local.potential(), replica.potential(), "bit-identical ϕ");
+        assert_eq!(local.total_profit(), replica.total_profit());
+        assert_eq!(local.take_dirty(), replica.take_dirty(), "same dirtying");
+        assert_eq!(
+            local.profile().choices(),
+            replica.profile().choices(),
+            "same profile"
+        );
+        // ...but the replica emitted no MoveCommitted for it.
+        assert!(
+            ring.events()
+                .iter()
+                .all(|e| !matches!(e, Event::MoveCommitted { .. })),
+            "remote application must not re-record the move"
+        );
+        // No-op remote moves are no-ops.
+        let before = replica.potential();
+        replica.apply_remote_move(UserId(1), RouteId(1));
+        assert_eq!(replica.potential(), before);
     }
 
     #[test]

@@ -252,6 +252,45 @@ impl Game {
         Ok(id)
     }
 
+    /// Extracts the sub-game induced by `members`: the selected users,
+    /// renumbered to dense [`UserId`]s in the order given, over the **full
+    /// task list** (task ids stay global, so per-task state — participant
+    /// counts, share tables, coverage rows — is directly comparable across
+    /// sub-games cut from the same parent).
+    ///
+    /// This is the construction primitive of a sharded deployment: each
+    /// shard's engine runs on `subgame(interior ∪ boundary-replicas)`, and
+    /// keeping task ids global is what lets a boundary move committed in one
+    /// shard be applied verbatim to every replica. Tasks no member covers
+    /// cost one prefix-table entry each and are otherwise inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` contains an out-of-range or duplicate user id
+    /// (the caller owns the partition and a bad cut is a logic error, not a
+    /// recoverable input).
+    pub fn subgame(&self, members: &[UserId]) -> Game {
+        let mut seen = vec![false; self.users.len()];
+        let users: Vec<User> = members
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| {
+                assert!(
+                    !std::mem::replace(&mut seen[global.index()], true),
+                    "duplicate member {global}"
+                );
+                let source = &self.users[global.index()];
+                User::new(
+                    UserId::from_index(local),
+                    source.prefs,
+                    source.routes.clone(),
+                )
+            })
+            .collect();
+        Self::new(self.tasks.clone(), users, self.params, self.bounds)
+            .expect("members of a valid game form a valid sub-game")
+    }
+
     /// Maximum detour distance `d_max = max_i max_{r ∈ R_i} h(r)` over all
     /// recommended routes (used by Theorem 4).
     pub fn max_detour(&self) -> f64 {
@@ -594,6 +633,42 @@ mod tests {
         ));
         assert_eq!(g.user_count(), 2);
         assert!(g.push_user(UserPrefs::neutral(), vec![]).is_err());
+    }
+
+    #[test]
+    fn subgame_renumbers_users_and_keeps_global_tasks() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(4),
+            vec![
+                user(0, vec![Route::new(RouteId(0), vec![TaskId(0)], 0.1, 0.1)]),
+                user(1, vec![Route::new(RouteId(0), vec![TaskId(3)], 0.2, 0.2)]),
+                user(2, vec![Route::new(RouteId(0), vec![TaskId(1)], 0.3, 0.3)]),
+            ],
+            params(),
+        )
+        .unwrap();
+        let sub = g.subgame(&[UserId(2), UserId(0)]);
+        assert_eq!(sub.user_count(), 2);
+        assert_eq!(sub.task_count(), 4, "task ids stay global");
+        // Local id 0 is global user 2: same routes over the same task ids.
+        assert_eq!(sub.user(UserId(0)).routes[0].tasks, vec![TaskId(1)]);
+        assert_eq!(sub.user(UserId(1)).routes[0].tasks, vec![TaskId(0)]);
+        assert_eq!(sub.user(UserId(0)).id, UserId(0), "dense renumbering");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn subgame_rejects_duplicate_members() {
+        let g = Game::with_paper_bounds(
+            simple_tasks(1),
+            vec![user(
+                0,
+                vec![Route::new(RouteId(0), vec![TaskId(0)], 0.0, 0.0)],
+            )],
+            params(),
+        )
+        .unwrap();
+        let _ = g.subgame(&[UserId(0), UserId(0)]);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Alert push routing: deliver each latched [`Alert`] to an operator-facing
+//! sink the moment it fires.
+//!
+//! The [`WatchdogSubscriber`] latches violations and serves them *on pull*
+//! (`alerts()`, the exporter's `/alerts` endpoint) — fine for a test
+//! harness, useless for a soak run nobody is polling. An [`AlertSink`]
+//! attached via [`WatchdogSubscriber::with_sink`] turns every raise into a
+//! push: the alert is delivered **exactly once**, at the instant it latches
+//! (first violation per epoch for the latched kinds), to one of
+//!
+//! * **stderr** — one JSON line per alert, prefixed `vcs-watchdog:`;
+//! * **a file** — append-only JSONL, fsync-free (alerts are rare and the
+//!   line write is atomic at these sizes);
+//! * **an HTTP endpoint** — `POST` with a JSON body, fire-and-forget over a
+//!   fresh connection with short timeouts so a dead webhook cannot stall
+//!   the driver thread that raised the alert.
+//!
+//! Exactly-once is structural, not best-effort bookkeeping: the watchdog's
+//! `raise` path is the only producer of alerts and each latched alert passes
+//! through it once, so the sink sees each alert once per run. Sinks count
+//! deliveries ([`AlertSink::delivered`]) so tests and runtimes can assert
+//! that property end to end.
+//!
+//! [`WatchdogSubscriber`]: crate::WatchdogSubscriber
+//! [`WatchdogSubscriber::with_sink`]: crate::WatchdogSubscriber::with_sink
+
+use crate::watchdog::Alert;
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A push destination for watchdog alerts. Implementations must tolerate
+/// being called from whatever thread drives the event stream and must not
+/// panic on I/O failure — a broken sink loses the push, never the run.
+pub trait AlertSink: Send + Sync + fmt::Debug {
+    /// Pushes one alert. Called exactly once per latched alert.
+    fn deliver(&self, alert: &Alert);
+
+    /// Number of alerts successfully delivered so far.
+    fn delivered(&self) -> u64;
+}
+
+/// Stderr sink: one `vcs-watchdog: {...}` JSON line per alert.
+#[derive(Debug, Default)]
+pub struct StderrAlertSink {
+    delivered: AtomicU64,
+}
+
+impl StderrAlertSink {
+    /// A fresh stderr sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AlertSink for StderrAlertSink {
+    fn deliver(&self, alert: &Alert) {
+        eprintln!("vcs-watchdog: {}", alert.to_json());
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// Append-only JSONL file sink.
+#[derive(Debug)]
+pub struct FileAlertSink {
+    file: Mutex<File>,
+    delivered: AtomicU64,
+}
+
+impl FileAlertSink {
+    /// Creates (or appends to) the alert log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileAlertSink {
+            file: Mutex::new(file),
+            delivered: AtomicU64::new(0),
+        })
+    }
+}
+
+impl AlertSink for FileAlertSink {
+    fn deliver(&self, alert: &Alert) {
+        let mut file = self.file.lock();
+        let line = alert.to_json() + "\n";
+        if file.write_all(line.as_bytes()).is_ok() {
+            let _ = file.flush();
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// Timeout for webhook connect/write: long enough for a LAN collector,
+/// short enough that a dead webhook cannot make the watchdog's raise path
+/// (which runs on the event-driving thread) hang noticeably.
+const HTTP_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Fire-and-forget HTTP `POST` webhook sink (dependency-free, same
+/// hand-rolled HTTP/1.1 as the `/metrics` exporter). The response is not
+/// read: delivery counts once the request bytes are written.
+#[derive(Debug)]
+pub struct HttpAlertSink {
+    addr: String,
+    path: String,
+    delivered: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl HttpAlertSink {
+    /// A webhook sink posting to `http://{addr}{path}` (`addr` is
+    /// `host:port`, `path` starts with `/`).
+    pub fn new(addr: impl Into<String>, path: impl Into<String>) -> Self {
+        HttpAlertSink {
+            addr: addr.into(),
+            path: path.into(),
+            delivered: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pushes that failed (connect/write error or timeout).
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    fn post(&self, body: &str) -> std::io::Result<()> {
+        let addr = self
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("webhook address resolves to nothing"))?;
+        let mut stream = TcpStream::connect_timeout(&addr, HTTP_TIMEOUT)?;
+        stream.set_write_timeout(Some(HTTP_TIMEOUT))?;
+        let request = format!(
+            "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.path,
+            self.addr,
+            body.len(),
+            body
+        );
+        stream.write_all(request.as_bytes())
+    }
+}
+
+impl AlertSink for HttpAlertSink {
+    fn deliver(&self, alert: &Alert) {
+        match self.post(&alert.to_json()) {
+            Ok(()) => self.delivered.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// A parsed sink specification, as taken on a command line:
+/// `stderr`, `file:<path>`, or `http://host:port[/path]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlertRoute {
+    /// Route alerts to stderr.
+    Stderr,
+    /// Append alerts to a JSONL file.
+    File(PathBuf),
+    /// POST alerts to a webhook.
+    Http {
+        /// `host:port` of the collector.
+        addr: String,
+        /// Request path (starts with `/`).
+        path: String,
+    },
+}
+
+impl AlertRoute {
+    /// Parses a sink spec. Accepted forms: `stderr`, `file:<path>`,
+    /// `http://host:port[/path]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "stderr" {
+            return Ok(AlertRoute::Stderr);
+        }
+        if let Some(path) = spec.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err("file: route needs a path".into());
+            }
+            return Ok(AlertRoute::File(PathBuf::from(path)));
+        }
+        if let Some(rest) = spec.strip_prefix("http://") {
+            let (addr, path) = match rest.find('/') {
+                Some(at) => (&rest[..at], &rest[at..]),
+                None => (rest, "/"),
+            };
+            if addr.is_empty() {
+                return Err("http:// route needs host:port".into());
+            }
+            return Ok(AlertRoute::Http {
+                addr: addr.to_string(),
+                path: path.to_string(),
+            });
+        }
+        Err(format!(
+            "unknown alert route `{spec}` (use stderr, file:<path> or http://host:port[/path])"
+        ))
+    }
+
+    /// Opens the sink this route describes.
+    pub fn open(&self) -> std::io::Result<Arc<dyn AlertSink>> {
+        Ok(match self {
+            AlertRoute::Stderr => Arc::new(StderrAlertSink::new()),
+            AlertRoute::File(path) => Arc::new(FileAlertSink::create(path)?),
+            AlertRoute::Http { addr, path } => Arc::new(HttpAlertSink::new(addr, path)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watchdog::AlertKind;
+
+    fn alert(kind: AlertKind) -> Alert {
+        Alert {
+            kind,
+            epoch: 2,
+            slot: 17,
+            detail: "test detail".into(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_three_route_forms() {
+        assert_eq!(AlertRoute::parse("stderr"), Ok(AlertRoute::Stderr));
+        assert_eq!(
+            AlertRoute::parse("file:/tmp/alerts.jsonl"),
+            Ok(AlertRoute::File(PathBuf::from("/tmp/alerts.jsonl")))
+        );
+        assert_eq!(
+            AlertRoute::parse("http://127.0.0.1:9999/hook"),
+            Ok(AlertRoute::Http {
+                addr: "127.0.0.1:9999".into(),
+                path: "/hook".into(),
+            })
+        );
+        assert_eq!(
+            AlertRoute::parse("http://collector:80"),
+            Ok(AlertRoute::Http {
+                addr: "collector:80".into(),
+                path: "/".into(),
+            })
+        );
+        assert!(AlertRoute::parse("smtp://nope").is_err());
+        assert!(AlertRoute::parse("file:").is_err());
+    }
+
+    #[test]
+    fn file_sink_appends_one_json_line_per_alert() {
+        let dir = std::env::temp_dir().join("vcs_alert_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alerts.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = FileAlertSink::create(&path).unwrap();
+        sink.deliver(&alert(AlertKind::PhiDecrease));
+        sink.deliver(&alert(AlertKind::StaleLivelock));
+        assert_eq!(sink.delivered(), 2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"phi_decrease\""));
+        assert!(lines[1].contains("\"kind\":\"stale_livelock\""));
+        assert!(lines[0].contains("\"epoch\":2"));
+    }
+
+    #[test]
+    fn http_sink_posts_the_alert_body() {
+        use std::io::Read as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let _ = stream.read_to_end(&mut buf);
+            String::from_utf8_lossy(&buf).into_owned()
+        });
+        let sink = HttpAlertSink::new(addr.to_string(), "/hook");
+        sink.deliver(&alert(AlertKind::SlotBudgetOverrun));
+        let request = server.join().unwrap();
+        assert!(request.starts_with("POST /hook HTTP/1.1\r\n"));
+        assert!(request.contains("Content-Type: application/json"));
+        assert!(request.ends_with("\"detail\":\"test detail\"}"));
+        assert_eq!(sink.delivered(), 1);
+        assert_eq!(sink.failed(), 0);
+    }
+
+    #[test]
+    fn http_sink_counts_failures_without_panicking() {
+        // A port nothing listens on: connect is refused immediately.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let sink = HttpAlertSink::new(addr.to_string(), "/hook");
+        sink.deliver(&alert(AlertKind::PhiDecrease));
+        assert_eq!(sink.delivered(), 0);
+        assert_eq!(sink.failed(), 1);
+    }
+}

@@ -50,7 +50,12 @@ struct Endpoint {
 
 /// Issues [`FrameStamp`]s for a run: one logical clock and sequence counter
 /// per endpoint (the platform plus each user agent), grown on demand.
-#[derive(Debug, Default)]
+///
+/// `Clone` snapshots every endpoint's counters, which is what a sharded
+/// checkpoint needs: a resumed run re-stamps its remaining frames with the
+/// same sequence numbers and Lamport times the uninterrupted run would have
+/// issued.
+#[derive(Debug, Clone, Default)]
 pub struct FrameStamper {
     platform: Endpoint,
     users: Vec<Endpoint>,
@@ -158,13 +163,51 @@ pub fn causal_neighborhood(events: &[Event], center: usize, radius: usize) -> Ve
 }
 
 /// A violation of the causal-stamp invariants found by
-/// [`validate_causal_order`].
+/// [`validate_causal_order`] or [`validate_causal_order_merged`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CausalViolation {
     /// A stamped frame event (`seq > 0`) whose Lamport time is zero.
     MissingLamport {
         /// Index of the offending event in the trace.
         index: usize,
+    },
+    /// A `FrameSent` whose sequence number is not exactly one past the
+    /// sender's previous send — a gap (lost or truncated recording) or a
+    /// regression (reordered recording).
+    SeqDiscontinuity {
+        /// Sender whose stream carries the discontinuity.
+        sender: u32,
+        /// Index of the offending event *within that sender's stream*.
+        index: usize,
+        /// Sequence number expected (previous send + 1).
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+    /// A stamped frame whose Lamport time is below an earlier frame of the
+    /// same stream — impossible for a faithful recording (every local step
+    /// ticks the sender's clock), so the stream was reordered or spliced.
+    LamportRegression {
+        /// Sender whose stream regresses.
+        sender: u32,
+        /// Index of the offending event *within that sender's stream*.
+        index: usize,
+        /// The stream's running Lamport high-water mark.
+        prev: u64,
+        /// The (lower) Lamport time found.
+        found: u64,
+    },
+    /// A `FrameReceived` with no matching `FrameSent` in any *other* stream
+    /// carrying the same sequence number and a strictly smaller Lamport
+    /// time — the receive happens-before its own send, or the send was
+    /// never recorded (truncated sender stream).
+    UnmatchedReceive {
+        /// Receiver whose stream carries the orphan RX.
+        sender: u32,
+        /// Index of the offending event *within that receiver's stream*.
+        index: usize,
+        /// The orphaned sequence number.
+        seq: u64,
     },
 }
 
@@ -173,10 +216,11 @@ pub enum CausalViolation {
 /// non-zero Lamport time. Pre-causal traces (all stamps zero) validate
 /// trivially. Returns all violations, empty = consistent.
 ///
-/// Per-sender seq monotonicity cannot be checked from a trace alone (the
-/// trace does not record sender identity), so this validates only what the
-/// stamps themselves assert; `replay_debug` relies on the Lamport order for
-/// display, not for replay correctness.
+/// A single interleaved trace mixes frames from many senders (the platform
+/// plus every user agent) without recording which, so per-sender sequence
+/// monotonicity cannot be checked here; [`validate_causal_order_merged`]
+/// checks it on sender-tagged streams, which is what a sharded run records
+/// (one dump per shard).
 pub fn validate_causal_order(events: &[Event]) -> Vec<CausalViolation> {
     let mut violations = Vec::new();
     for (index, event) in events.iter().enumerate() {
@@ -187,6 +231,146 @@ pub fn validate_causal_order(events: &[Event]) -> Vec<CausalViolation> {
         }
     }
     violations
+}
+
+/// One endpoint's recorded event stream, tagged with the sender id its
+/// `FrameSent` stamps belong to — the unit a sharded run dumps (one per
+/// shard) and the unit the merge-aware validators consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedStream {
+    /// The endpoint that recorded `events` (its sends carry its seq space).
+    pub sender: u32,
+    /// The stream's events in recording order.
+    pub events: Vec<Event>,
+}
+
+impl StampedStream {
+    /// Wraps a recorded stream.
+    pub fn new(sender: u32, events: Vec<Event>) -> Self {
+        StampedStream { sender, events }
+    }
+}
+
+/// The merge-aware causal validator for multi-stream recordings: checks, on
+/// top of [`validate_causal_order`]'s per-frame stamp sanity, the
+/// per-sender invariants a faithful sharded recording must satisfy —
+///
+/// * **seq continuity** — each stream's `FrameSent` sequence numbers run
+///   `1, 2, 3, …` with no gap or regression ([`SeqDiscontinuity`]);
+/// * **Lamport monotonicity** — each stream's stamped frames carry
+///   non-decreasing Lamport times, every send/receive ticking strictly past
+///   the stream's previous frame ([`LamportRegression`]; equal times are
+///   tolerated for drop events, which inherit their TX stamp verbatim);
+/// * **receive matching** — every stamped `FrameReceived` is matched by a
+///   `FrameSent` with the same seq in some *other* stream at a strictly
+///   smaller Lamport time ([`UnmatchedReceive`]): a receive cannot precede
+///   its send.
+///
+/// Violation indices are positions **within the offending sender's
+/// stream**, so a post-mortem can jump straight into the right shard dump.
+///
+/// [`SeqDiscontinuity`]: CausalViolation::SeqDiscontinuity
+/// [`LamportRegression`]: CausalViolation::LamportRegression
+/// [`UnmatchedReceive`]: CausalViolation::UnmatchedReceive
+pub fn validate_causal_order_merged(streams: &[StampedStream]) -> Vec<CausalViolation> {
+    let mut violations = Vec::new();
+    // All sends across all streams: seq -> (sender, lamport) pairs.
+    let mut sends: std::collections::HashMap<u64, Vec<(u32, u64)>> =
+        std::collections::HashMap::new();
+    for stream in streams {
+        for event in &stream.events {
+            if let Event::FrameSent { seq, lamport, .. } = *event {
+                if seq > 0 {
+                    sends.entry(seq).or_default().push((stream.sender, lamport));
+                }
+            }
+        }
+    }
+    for stream in streams {
+        let mut prev_seq = 0u64;
+        let mut high_water = 0u64;
+        for (index, event) in stream.events.iter().enumerate() {
+            let Some(stamp) = stamp_of(event) else {
+                continue;
+            };
+            if stamp.seq == 0 && stamp.lamport == 0 {
+                continue; // pre-causal frame: nothing to check
+            }
+            if stamp.lamport == 0 {
+                violations.push(CausalViolation::MissingLamport { index });
+                continue;
+            }
+            if stamp.lamport < high_water {
+                violations.push(CausalViolation::LamportRegression {
+                    sender: stream.sender,
+                    index,
+                    prev: high_water,
+                    found: stamp.lamport,
+                });
+            }
+            high_water = high_water.max(stamp.lamport);
+            match *event {
+                Event::FrameSent { seq, .. } => {
+                    if seq != prev_seq + 1 {
+                        violations.push(CausalViolation::SeqDiscontinuity {
+                            sender: stream.sender,
+                            index,
+                            expected: prev_seq + 1,
+                            found: seq,
+                        });
+                    }
+                    prev_seq = seq;
+                }
+                Event::FrameReceived { seq, lamport, .. } => {
+                    let matched = sends.get(&seq).is_some_and(|txs| {
+                        txs.iter().any(|&(tx_sender, tx_lamport)| {
+                            tx_sender != stream.sender && tx_lamport < lamport
+                        })
+                    });
+                    if !matched {
+                        violations.push(CausalViolation::UnmatchedReceive {
+                            sender: stream.sender,
+                            index,
+                            seq,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    violations
+}
+
+/// Merges per-sender recorder dumps into one happens-before-consistent
+/// post-mortem timeline, keyed by `(sender seq, Lamport)` as carried on the
+/// stamped frames.
+///
+/// Each event inherits the Lamport time of the latest frame at-or-before it
+/// in its own stream (0 before the first frame), and the merged order is a
+/// stable sort by `(inherited Lamport, sender, stream position)`. Within a
+/// stream the inherited key is non-decreasing, so **per-stream order is
+/// preserved exactly**; across streams, any frame `a` that happens-before a
+/// frame `b` satisfies `lamport(a) < lamport(b)` and therefore lands
+/// earlier — the merged dump linearizes the shards' recordings consistently
+/// with causality. Returns `(sender, event)` pairs so provenance survives
+/// the merge.
+pub fn merge_stamped_streams(streams: &[StampedStream]) -> Vec<(u32, Event)> {
+    let mut keyed: Vec<(u64, u32, usize, &Event)> = Vec::new();
+    for stream in streams {
+        let mut inherited = 0u64;
+        for (pos, event) in stream.events.iter().enumerate() {
+            if let Some(stamp) = stamp_of(event) {
+                inherited = inherited.max(stamp.lamport);
+            }
+            keyed.push((inherited, stream.sender, pos, event));
+        }
+    }
+    keyed.sort_by_key(|&(lamport, sender, pos, _)| (lamport, sender, pos));
+    keyed
+        .into_iter()
+        .map(|(_, sender, _, event)| (sender, *event))
+        .collect()
 }
 
 #[cfg(test)]
@@ -301,6 +485,171 @@ mod tests {
             total_profit: 0.0,
         }];
         assert!(causal_neighborhood(&events, 0, 4).is_empty());
+    }
+
+    /// Two shard streams produced by one stamper: shard 0 sends two frames,
+    /// shard 1 receives both and sends one back, shard 0 receives it.
+    fn clean_shard_streams() -> Vec<StampedStream> {
+        let mut stamper = FrameStamper::new();
+        let tx1 = stamper.send(0);
+        let rx1 = stamper.receive(1, tx1);
+        let tx2 = stamper.send(0);
+        let rx2 = stamper.receive(1, tx2);
+        let reply = stamper.send(1);
+        let rx3 = stamper.receive(0, reply);
+        vec![
+            StampedStream::new(
+                0,
+                vec![
+                    sent(tx1.seq, tx1.lamport),
+                    sent(tx2.seq, tx2.lamport),
+                    received(rx3.seq, rx3.lamport),
+                ],
+            ),
+            StampedStream::new(
+                1,
+                vec![
+                    received(rx1.seq, rx1.lamport),
+                    received(rx2.seq, rx2.lamport),
+                    sent(reply.seq, reply.lamport),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn merged_validation_accepts_a_faithful_multi_stream_recording() {
+        assert!(validate_causal_order_merged(&clean_shard_streams()).is_empty());
+    }
+
+    #[test]
+    fn merged_validation_flags_seq_gap_from_truncation() {
+        let mut streams = clean_shard_streams();
+        // Drop shard 0's first send: its stream now opens at seq 2 and
+        // shard 1's first receive goes unmatched... except seq 1 is also the
+        // reply's seq. The gap itself is always flagged.
+        streams[0].events.remove(0);
+        let violations = validate_causal_order_merged(&streams);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                CausalViolation::SeqDiscontinuity {
+                    sender: 0,
+                    expected: 1,
+                    found: 2,
+                    ..
+                }
+            )),
+            "truncating a sender's sends must surface a seq gap: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn merged_validation_flags_reordered_stream() {
+        let mut streams = clean_shard_streams();
+        streams[0].events.swap(0, 1); // two sends out of order
+        let violations = validate_causal_order_merged(&streams);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CausalViolation::LamportRegression { sender: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CausalViolation::SeqDiscontinuity { sender: 0, .. })));
+    }
+
+    #[test]
+    fn merged_validation_flags_receive_without_send() {
+        let streams = vec![
+            StampedStream::new(0, vec![sent(1, 1)]),
+            StampedStream::new(1, vec![received(7, 9)]), // nobody sent seq 7
+        ];
+        assert_eq!(
+            validate_causal_order_merged(&streams),
+            vec![CausalViolation::UnmatchedReceive {
+                sender: 1,
+                index: 0,
+                seq: 7,
+            }]
+        );
+    }
+
+    #[test]
+    fn merged_validation_flags_receive_before_its_send() {
+        // Shard 1 "receives" seq 1 at lamport 1, but the only send of seq 1
+        // carries lamport 5: the receive precedes its send.
+        let streams = vec![
+            StampedStream::new(0, vec![sent(1, 5)]),
+            StampedStream::new(1, vec![received(1, 1)]),
+        ];
+        let violations = validate_causal_order_merged(&streams);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            CausalViolation::UnmatchedReceive {
+                sender: 1,
+                seq: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn merged_validation_accepts_precausal_streams() {
+        let streams = vec![StampedStream::new(0, vec![sent(0, 0), received(0, 0)])];
+        assert!(validate_causal_order_merged(&streams).is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_stream_order_and_happens_before() {
+        let streams = clean_shard_streams();
+        let merged = merge_stamped_streams(&streams);
+        assert_eq!(merged.len(), 6);
+        // Per-stream order preserved.
+        for stream in &streams {
+            let filtered: Vec<&Event> = merged
+                .iter()
+                .filter(|(s, _)| *s == stream.sender)
+                .map(|(_, e)| e)
+                .collect();
+            assert_eq!(filtered.len(), stream.events.len());
+            for (a, b) in filtered.iter().zip(&stream.events) {
+                assert_eq!(stamp_of(a), stamp_of(b));
+            }
+        }
+        // Cross-stream happens-before: each TX precedes its RX.
+        let pos_of = |seq: u64, is_rx: bool| {
+            merged
+                .iter()
+                .position(|(_, e)| match *e {
+                    Event::FrameSent { seq: s, .. } => !is_rx && s == seq,
+                    Event::FrameReceived { seq: s, .. } => is_rx && s == seq,
+                    _ => false,
+                })
+                .unwrap()
+        };
+        assert!(pos_of(2, false) < pos_of(2, true), "TX #2 before RX #2");
+    }
+
+    #[test]
+    fn merge_keys_non_frame_events_to_their_preceding_frame() {
+        let marker = Event::SlotCompleted {
+            slot: 9,
+            updated: 1,
+            phi: 0.0,
+            total_profit: 0.0,
+        };
+        let streams = vec![
+            StampedStream::new(0, vec![sent(1, 1), marker, sent(2, 4)]),
+            StampedStream::new(1, vec![received(1, 2), sent(1, 3)]),
+        ];
+        let merged = merge_stamped_streams(&streams);
+        let marker_pos = merged
+            .iter()
+            .position(|(_, e)| matches!(e, Event::SlotCompleted { .. }))
+            .unwrap();
+        // The marker rides with its preceding frame (lamport 1): after
+        // shard 0's first send, before shard 1's receive of it.
+        assert_eq!(marker_pos, 1);
+        assert_eq!(merged[marker_pos].0, 0, "provenance survives the merge");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alert_sink;
 pub mod causal;
 mod event;
 mod exporter;
@@ -58,9 +59,11 @@ mod subscriber;
 pub mod trace;
 mod watchdog;
 
+pub use alert_sink::{AlertRoute, AlertSink, FileAlertSink, HttpAlertSink, StderrAlertSink};
 pub use causal::{
-    causal_neighborhood, lamport_order, stamp_of, validate_causal_order, CausalViolation,
-    FrameStamp, FrameStamper, PLATFORM_SENDER,
+    causal_neighborhood, lamport_order, merge_stamped_streams, stamp_of, validate_causal_order,
+    validate_causal_order_merged, CausalViolation, FrameStamp, FrameStamper, StampedStream,
+    PLATFORM_SENDER,
 };
 pub use event::{Event, ResponseKind};
 pub use exporter::{LiveMonitor, MetricsExporter};

@@ -68,6 +68,21 @@ pub struct Alert {
     pub detail: String,
 }
 
+impl Alert {
+    /// The alert as one JSON object — the element format of the `/alerts`
+    /// endpoint and the line format of every push sink. Details are plain
+    /// text by construction, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"epoch\":{},\"slot\":{},\"detail\":\"{}\"}}",
+            self.kind.tag(),
+            self.epoch,
+            self.slot,
+            self.detail
+        )
+    }
+}
+
 /// Watchdog thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WatchdogConfig {
@@ -125,6 +140,9 @@ pub struct WatchdogSubscriber {
     phi_decreases: AtomicU64,
     slot_overruns: AtomicU64,
     stale_livelocks: AtomicU64,
+    /// Push destination for alerts, delivered from `raise` — the single
+    /// producer of alerts — so each latched alert is pushed exactly once.
+    sink: Option<std::sync::Arc<dyn crate::AlertSink>>,
 }
 
 impl WatchdogSubscriber {
@@ -136,7 +154,16 @@ impl WatchdogSubscriber {
             phi_decreases: AtomicU64::new(0),
             slot_overruns: AtomicU64::new(0),
             stale_livelocks: AtomicU64::new(0),
+            sink: None,
         }
+    }
+
+    /// Routes every alert this watchdog raises to `sink`, pushed at the
+    /// instant it latches (see [`crate::AlertSink`]). Builder-style: call
+    /// before wrapping the watchdog in an `Arc`.
+    pub fn with_sink(mut self, sink: std::sync::Arc<dyn crate::AlertSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The configured thresholds.
@@ -174,14 +201,7 @@ impl WatchdogSubscriber {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"kind\":\"{}\",\"epoch\":{},\"slot\":{},\"detail\":\"{}\"}}",
-                alert.kind.tag(),
-                alert.epoch,
-                alert.slot,
-                alert.detail
-            );
+            let _ = write!(out, "{}", alert.to_json());
         }
         out.push_str("]}\n");
         out
@@ -210,12 +230,16 @@ impl WatchdogSubscriber {
             AlertKind::SlotBudgetOverrun => self.slot_overruns.fetch_add(1, Ordering::Relaxed),
             AlertKind::StaleLivelock => self.stale_livelocks.fetch_add(1, Ordering::Relaxed),
         };
-        state.alerts.push(Alert {
+        let alert = Alert {
             kind,
             epoch: state.epoch,
             slot: state.slots_in_epoch,
             detail,
-        });
+        };
+        if let Some(sink) = &self.sink {
+            sink.deliver(&alert);
+        }
+        state.alerts.push(alert);
     }
 }
 
@@ -434,6 +458,81 @@ mod tests {
         assert_eq!(dog.alert_count(), 2);
         assert_eq!(dog.alerts()[1].epoch, 1);
         assert_eq!(dog.counters(), (0, 2, 0));
+    }
+
+    use crate::alert_sink::AlertSink as _;
+
+    /// Counts deliveries and remembers what was pushed.
+    #[derive(Debug, Default)]
+    struct ProbeSink {
+        seen: parking_lot::Mutex<Vec<Alert>>,
+    }
+
+    impl crate::AlertSink for ProbeSink {
+        fn deliver(&self, alert: &Alert) {
+            self.seen.lock().push(alert.clone());
+        }
+
+        fn delivered(&self) -> u64 {
+            self.seen.lock().len() as u64
+        }
+    }
+
+    #[test]
+    fn sink_receives_each_latched_alert_exactly_once() {
+        let sink = std::sync::Arc::new(ProbeSink::default());
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: Some(3),
+            stale_slot_limit: 1000,
+        })
+        .with_sink(sink.clone());
+        dog.event(&init());
+        // Run far past the budget: the overrun latches once, so the sink
+        // must see exactly one push no matter how many slots follow.
+        for _ in 0..25 {
+            dog.event(&good_move(0.5));
+            dog.event(&slot(1));
+        }
+        assert_eq!(dog.alert_count(), 1);
+        assert_eq!(sink.delivered(), 1, "latched alert pushed exactly once");
+        assert_eq!(sink.seen.lock()[0].kind, AlertKind::SlotBudgetOverrun);
+        // A second, distinct violation pushes exactly once more.
+        dog.event(&good_move(-1.0));
+        assert_eq!(sink.delivered(), 2);
+        assert_eq!(sink.seen.lock()[1].kind, AlertKind::PhiDecrease);
+        // Pushed alerts are exactly the latched alerts, in raise order.
+        assert_eq!(*sink.seen.lock(), dog.alerts());
+    }
+
+    #[test]
+    fn clean_run_pushes_nothing() {
+        let sink = std::sync::Arc::new(ProbeSink::default());
+        let dog = WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: Some(1000),
+            stale_slot_limit: 64,
+        })
+        .with_sink(sink.clone());
+        dog.event(&init());
+        for _ in 0..100 {
+            dog.event(&pending_scan());
+            dog.event(&good_move(0.25));
+            dog.event(&slot(1));
+        }
+        assert_eq!(sink.delivered(), 0);
+    }
+
+    #[test]
+    fn alert_to_json_renders_the_endpoint_element() {
+        let alert = Alert {
+            kind: AlertKind::StaleLivelock,
+            epoch: 3,
+            slot: 42,
+            detail: "stuck".into(),
+        };
+        assert_eq!(
+            alert.to_json(),
+            "{\"kind\":\"stale_livelock\",\"epoch\":3,\"slot\":42,\"detail\":\"stuck\"}"
+        );
     }
 
     #[test]

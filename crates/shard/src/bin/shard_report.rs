@@ -1,0 +1,171 @@
+//! `shard_report` — the sharded-deployment scaling benchmark: aggregate
+//! decision slots/sec of the sharded driver at 1 → 2 → 4 → 8 shards across
+//! 10k → 1M users, written to `BENCH_shard.json` (repo root by default;
+//! pass a path to override).
+//!
+//! Methodology: every cell runs the *sequential* driver (one thread does
+//! all shards' work), so `speedup_vs_1` measures the pure algorithmic win
+//! of locality decomposition — smaller per-shard improving sets and
+//! caches — with no parallelism confounder; machine-independent enough to
+//! gate as a ratio. The two smaller tiers run to the global fixpoint; the
+//! 1M tier caps coordinator rounds and per-round interior slots so the
+//! measurement is a bounded-rate sample (`converged: false` is expected
+//! and recorded). Trajectories differ across shard counts (different RNG
+//! lanes), which is why the metric is a rate, not a wall-time ratio.
+//!
+//! `--smoke` instead runs one small 2-shard deployment, replays its merged
+//! commit log on a single full-game oracle engine, and asserts ϕ agreement
+//! to 1e-9 plus a Nash certificate — the CI-facing correctness gate. In
+//! smoke mode nothing is written unless an output path is given.
+
+use std::time::Instant;
+use vcs_core::{is_nash, potential, Engine, Profile};
+use vcs_shard::{localized_game, ShardConfig, ShardedOutcome, ShardedSim};
+
+const SEED: u64 = 7;
+const WINDOW: usize = 6;
+
+struct Row {
+    users: usize,
+    shards: usize,
+    slots: u64,
+    wall_sec: f64,
+    agg_slots_per_sec: f64,
+    speedup_vs_1: f64,
+    boundary_fraction: f64,
+    rounds: u32,
+    frames_sent: u64,
+    frame_bytes: u64,
+    converged: bool,
+}
+
+fn run_cell(users: usize, shards: usize) -> (ShardedOutcome, f64) {
+    let game = localized_game(users, users, WINDOW, SEED);
+    let mut config = ShardConfig::new(shards, SEED);
+    if users >= 1_000_000 {
+        // Bounded-rate sample at the largest tier: equal per-shard slot
+        // budget per round keeps every cell's wall time tractable.
+        config.max_rounds = 3;
+        config.interior_slot_cap = 200_000;
+    }
+    let mut sim = ShardedSim::new(game, config);
+    let start = Instant::now();
+    let outcome = sim.run();
+    (outcome, start.elapsed().as_secs_f64())
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"sharded deployment: aggregate slots/sec, sequential driver, 1-8 shards\",\n  \"seed\": 7,\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"users\": {}, \"shards\": {}, \"slots\": {}, \"wall_sec\": {:.3}, \"agg_slots_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \"boundary_fraction\": {:.4}, \"rounds\": {}, \"frames_sent\": {}, \"frame_bytes\": {}, \"converged\": {}}}{}\n",
+            r.users,
+            r.shards,
+            r.slots,
+            r.wall_sec,
+            r.agg_slots_per_sec,
+            r.speedup_vs_1,
+            r.boundary_fraction,
+            r.rounds,
+            r.frames_sent,
+            r.frame_bytes,
+            r.converged,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn smoke() {
+    let (users, shards) = (2_000, 2);
+    let game = localized_game(users, users, WINDOW, SEED);
+    let mut sim = ShardedSim::new(game.clone(), ShardConfig::new(shards, SEED));
+    let start = Instant::now();
+    let outcome = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    assert!(outcome.converged, "smoke deployment must converge");
+    assert!(sim.replicas_consistent(), "replicas must agree at fixpoint");
+
+    let mut oracle = Engine::new_owned(game.clone(), Profile::new(&game, outcome.initial.clone()));
+    let trajectory = oracle.replay_moves(&outcome.log);
+    let final_phi = trajectory
+        .last()
+        .map(|&(phi, _)| phi)
+        .unwrap_or_else(|| oracle.potential());
+    assert_eq!(
+        oracle.profile().choices(),
+        &outcome.choices[..],
+        "oracle replay must reconstruct the merged profile exactly"
+    );
+    let merged_phi = potential(&game, &Profile::new(&game, outcome.choices.clone()));
+    assert!(
+        (final_phi - merged_phi).abs() <= 1e-9 * merged_phi.abs().max(1.0),
+        "oracle replay phi {final_phi} vs merged {merged_phi}"
+    );
+    assert!(
+        is_nash(&game, &Profile::new(&game, outcome.choices.clone())),
+        "smoke fixpoint must be a full-game NE"
+    );
+    let slots: u64 = outcome.shard_slots.iter().sum();
+    eprintln!(
+        "smoke OK: {users} users / {shards} shards, {} rounds, {slots} slots in {wall:.2}s, \
+         boundary fraction {:.4}, oracle phi agreement <= 1e-9, NE certified",
+        outcome.rounds, outcome.boundary_fraction
+    );
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut smoke_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke_only = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    if smoke_only {
+        smoke();
+        if out_path.is_none() {
+            return;
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for users in [10_000usize, 100_000, 1_000_000] {
+        let mut base_rate = 0.0f64;
+        for shards in [1usize, 2, 4, 8] {
+            let (outcome, wall) = run_cell(users, shards);
+            let slots: u64 = outcome.shard_slots.iter().sum();
+            let rate = slots as f64 / wall.max(1e-12);
+            if shards == 1 {
+                base_rate = rate;
+            }
+            let row = Row {
+                users,
+                shards,
+                slots,
+                wall_sec: wall,
+                agg_slots_per_sec: rate,
+                speedup_vs_1: rate / base_rate.max(1e-12),
+                boundary_fraction: outcome.boundary_fraction,
+                rounds: outcome.rounds,
+                frames_sent: outcome.frames_sent,
+                frame_bytes: outcome.frame_bytes,
+                converged: outcome.converged,
+            };
+            eprintln!(
+                "users={users} shards={shards}: {slots} slots in {wall:.2}s -> {rate:.0} slots/sec \
+                 (x{:.2} vs 1 shard), boundary {:.4}, converged={}",
+                row.speedup_vs_1, row.boundary_fraction, row.converged
+            );
+            rows.push(row);
+        }
+    }
+    let path = out_path.unwrap_or_else(|| "BENCH_shard.json".to_string());
+    std::fs::write(&path, render(&rows)).expect("write benchmark report");
+    eprintln!("wrote {path}");
+}

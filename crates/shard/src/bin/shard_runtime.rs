@@ -1,0 +1,243 @@
+//! `shard_runtime` — drives a sharded multi-engine deployment end to end:
+//! partition a localized game into N shards, run each shard's interior
+//! dynamics on its own OS thread with boundary-sync rounds in between, and
+//! leave behind a *mergeable* post-mortem:
+//!
+//! * per-shard JSONL event dumps (`shard-<s>.jsonl`), causally stamped by
+//!   the coordinator's frame protocol;
+//! * per-shard watchdogs enforcing the shard sub-game's Theorem-4 slot
+//!   budget and Eq. 11 ϕ monotonicity, with optional alert push routing
+//!   (`--alert-sink stderr|file:<path>|http://host:port[/path]`);
+//! * a merged post-mortem (`merged.jsonl`) in cross-shard happens-before
+//!   order, produced only after the merge-aware causal validator passes
+//!   over all dumps (exit code 1 on any violation).
+//!
+//! `--verify` additionally replays the merged commit log on a single
+//! full-game oracle engine and asserts ϕ agreement to 1e-9 plus a Nash
+//! certificate of the merged profile.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use vcs_core::{is_nash, potential, Engine, Profile};
+use vcs_obs::trace::{event_to_json, read_trace};
+use vcs_obs::{
+    merge_stamped_streams, validate_causal_order_merged, AlertRoute, FanoutSubscriber,
+    JsonlSubscriber, StampedStream, Subscriber, WatchdogConfig, WatchdogSubscriber,
+};
+use vcs_shard::{localized_game, ShardConfig, ShardedSim};
+
+struct Args {
+    users: usize,
+    tasks: usize,
+    window: usize,
+    shards: usize,
+    seed: u64,
+    out_dir: PathBuf,
+    alert_route: Option<AlertRoute>,
+    sequential: bool,
+    verify: bool,
+    delta_p_min: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 5_000,
+        tasks: 0,
+        window: 6,
+        shards: 4,
+        seed: 7,
+        out_dir: PathBuf::from("shard_run"),
+        alert_route: None,
+        sequential: false,
+        verify: false,
+        delta_p_min: 1e-3,
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--users" => args.users = next(&mut it, "--users").parse().expect("--users: integer"),
+            "--tasks" => args.tasks = next(&mut it, "--tasks").parse().expect("--tasks: integer"),
+            "--window" => {
+                args.window = next(&mut it, "--window")
+                    .parse()
+                    .expect("--window: integer");
+            }
+            "--shards" => {
+                args.shards = next(&mut it, "--shards")
+                    .parse()
+                    .expect("--shards: integer");
+            }
+            "--seed" => args.seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--out-dir" => args.out_dir = PathBuf::from(next(&mut it, "--out-dir")),
+            "--alert-sink" => {
+                let spec = next(&mut it, "--alert-sink");
+                args.alert_route = Some(AlertRoute::parse(&spec).expect("valid alert route"));
+            }
+            "--sequential" => args.sequential = true,
+            "--verify" => args.verify = true,
+            "--delta-p-min" => {
+                args.delta_p_min = next(&mut it, "--delta-p-min")
+                    .parse()
+                    .expect("--delta-p-min: float");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if args.tasks == 0 {
+        args.tasks = args.users;
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+
+    eprintln!(
+        "shard_runtime: {} users / {} tasks, window {}, {} shards, seed {}",
+        args.users, args.tasks, args.window, args.shards, args.seed
+    );
+    let game = localized_game(args.users, args.tasks, args.window, args.seed);
+    let mut sim = ShardedSim::new(game.clone(), ShardConfig::new(args.shards, args.seed));
+    eprintln!(
+        "partition: boundary fraction {:.4}, {} shared tasks",
+        sim.plan().boundary_fraction(),
+        sim.plan().shared_task_count()
+    );
+
+    // Per-shard observability: JSONL dump + Theorem-4 watchdog, optionally
+    // routed to an operator alert sink.
+    let budgets = sim.shard_slot_budgets(args.delta_p_min);
+    let mut jsonls = Vec::new();
+    let mut dogs = Vec::new();
+    for (s, &budget) in budgets.iter().enumerate() {
+        let dump = args.out_dir.join(format!("shard-{s}.jsonl"));
+        let jsonl = Arc::new(JsonlSubscriber::create(&dump).expect("create shard dump"));
+        let config = WatchdogConfig {
+            slot_budget: budget.is_finite().then(|| budget.ceil() as u64),
+            ..WatchdogConfig::default()
+        };
+        let mut dog = WatchdogSubscriber::new(config);
+        if let Some(route) = &args.alert_route {
+            dog = dog.with_sink(route.open().expect("open alert sink"));
+        }
+        let dog = Arc::new(dog);
+        let sinks: Vec<Arc<dyn Subscriber>> = vec![jsonl.clone(), dog.clone()];
+        sim.set_shard_obs(s, FanoutSubscriber::obs(sinks));
+        jsonls.push(jsonl);
+        dogs.push(dog);
+    }
+
+    let start = std::time::Instant::now();
+    let outcome = if args.sequential {
+        sim.run()
+    } else {
+        sim.run_parallel()
+    };
+    let wall = start.elapsed().as_secs_f64();
+    for jsonl in &jsonls {
+        jsonl.flush().expect("flush shard dump");
+    }
+
+    let total_slots: u64 = outcome.shard_slots.iter().sum();
+    eprintln!(
+        "run: converged={} rounds={} slots={:?} ({} total, {:.0} slots/sec) \
+         interior={} boundary={} frames={} ({} bytes)",
+        outcome.converged,
+        outcome.rounds,
+        outcome.shard_slots,
+        total_slots,
+        total_slots as f64 / wall.max(1e-12),
+        outcome.interior_moves,
+        outcome.boundary_moves,
+        outcome.frames_sent,
+        outcome.frame_bytes,
+    );
+    eprintln!("merged phi: {:.6}", sim.merged_potential());
+    let mut alerts = 0usize;
+    for (s, dog) in dogs.iter().enumerate() {
+        for alert in dog.alerts() {
+            eprintln!("shard {s} alert: {}", alert.to_json());
+            alerts += 1;
+        }
+    }
+    if alerts == 0 {
+        eprintln!("watchdogs: clean on all {} shards", args.shards);
+    }
+
+    // Merged post-mortem: read every shard dump back, validate the
+    // cross-shard causal order, and write the merged happens-before view.
+    let streams: Vec<StampedStream> = (0..args.shards)
+        .map(|s| {
+            let path = args.out_dir.join(format!("shard-{s}.jsonl"));
+            let events = read_trace(&path).expect("re-read shard dump");
+            StampedStream::new(s as u32, events)
+        })
+        .collect();
+    let violations = validate_causal_order_merged(&streams);
+    if !violations.is_empty() {
+        eprintln!(
+            "CAUSAL VALIDATION FAILED: {} violation(s)",
+            violations.len()
+        );
+        for v in violations.iter().take(16) {
+            eprintln!("  {v:?}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let merged = merge_stamped_streams(&streams);
+    let merged_path = args.out_dir.join("merged.jsonl");
+    write_merged(&merged_path, &merged).expect("write merged post-mortem");
+    eprintln!(
+        "post-mortem: {} events from {} shards merged causally into {}",
+        merged.len(),
+        args.shards,
+        merged_path.display()
+    );
+
+    if args.verify {
+        let mut oracle =
+            Engine::new_owned(game.clone(), Profile::new(&game, outcome.initial.clone()));
+        let trajectory = oracle.replay_moves(&outcome.log);
+        let final_phi = trajectory
+            .last()
+            .map(|&(phi, _)| phi)
+            .unwrap_or_else(|| oracle.potential());
+        assert_eq!(
+            oracle.profile().choices(),
+            &outcome.choices[..],
+            "oracle replay must reconstruct the merged profile exactly"
+        );
+        let merged_phi = potential(&game, &Profile::new(&game, outcome.choices.clone()));
+        // Relative tolerance: the replay engine's phi is incrementally
+        // accumulated over thousands of moves, so the agreement bound
+        // scales with |phi| at deployment sizes.
+        assert!(
+            (final_phi - merged_phi).abs() <= 1e-9 * merged_phi.abs().max(1.0),
+            "oracle phi {final_phi} vs merged {merged_phi}"
+        );
+        assert!(
+            is_nash(&game, &Profile::new(&game, outcome.choices.clone())),
+            "merged profile must be a full-game NE"
+        );
+        eprintln!("verify: oracle replay reconstructs the merged profile, phi to 1e-9 (rel), NE certified");
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_merged(path: &Path, merged: &[(u32, vcs_obs::Event)]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for (shard, event) in merged {
+        writeln!(
+            out,
+            "{{\"shard\":{shard},\"event\":{}}}",
+            event_to_json(event)
+        )?;
+    }
+    out.flush()
+}

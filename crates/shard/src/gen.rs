@@ -1,0 +1,123 @@
+//! Spatially localized synthetic games for sharded deployments.
+//!
+//! The workspace's generic `synthetic_game` draws every route's tasks
+//! uniformly over the whole task set, which percolates the conflict graph
+//! into one giant component — any cut makes almost every user boundary, and
+//! sharding degenerates to full synchronisation. Real vehicular sensing is
+//! not like that: a vehicle's recommended routes all live near its
+//! origin–destination corridor, so its coverable tasks cluster spatially.
+//!
+//! [`localized_game`] models exactly that. Tasks are laid out along a line
+//! (ids are positions on the corridor); user `i` is anchored at position
+//! `i·T/N` and each of its routes covers 1–4 tasks drawn from the window of
+//! width `2·window + 1` around the anchor. All parameter distributions
+//! (rewards, increments, detours, congestion, preference weights, platform
+//! split) match the paper-range generic generator, so results on localized
+//! games are comparable with the rest of the benchmark suite — only the
+//! *coverage topology* changes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_core::ids::{RouteId, TaskId, UserId};
+use vcs_core::{Game, PlatformParams, Route, Task, User, UserPrefs};
+
+/// Generates a spatially localized game: `n_users` users anchored evenly
+/// along a corridor of `n_tasks` tasks, each route covering only tasks
+/// within `window` positions of the user's anchor.
+///
+/// Smaller `window` (relative to `n_tasks / shards`) means thinner seams and
+/// a lower boundary fraction under [`partition`].
+///
+/// # Panics
+///
+/// Panics when `n_users == 0` or `n_tasks == 0`.
+///
+/// [`partition`]: crate::partition
+pub fn localized_game(n_users: usize, n_tasks: usize, window: usize, seed: u64) -> Game {
+    assert!(n_users > 0, "localized_game needs at least one user");
+    assert!(n_tasks > 0, "localized_game needs at least one task");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..n_tasks)
+        .map(|k| {
+            Task::new(
+                TaskId::from_index(k),
+                rng.random_range(10.0..20.0),
+                rng.random_range(0.0..1.0),
+            )
+        })
+        .collect();
+    let users: Vec<User> = (0..n_users)
+        .map(|i| {
+            let anchor = i * n_tasks / n_users;
+            let lo = anchor.saturating_sub(window);
+            let hi = (anchor + window).min(n_tasks - 1);
+            let span = hi - lo + 1;
+            let n_routes = rng.random_range(2..=4usize);
+            let routes = (0..n_routes)
+                .map(|r| {
+                    let mut covered: Vec<TaskId> = (0..rng.random_range(1..5usize))
+                        .map(|_| TaskId::from_index(lo + rng.random_range(0..span)))
+                        .collect();
+                    covered.sort_unstable();
+                    covered.dedup();
+                    Route::new(
+                        RouteId::from_index(r),
+                        covered,
+                        rng.random_range(0.0..5.0),
+                        rng.random_range(0.0..4.0),
+                    )
+                })
+                .collect();
+            User::new(
+                UserId::from_index(i),
+                UserPrefs::new(
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                    rng.random_range(0.1..0.9),
+                ),
+                routes,
+            )
+        })
+        .collect();
+    Game::with_paper_bounds(tasks, users, PlatformParams::new(0.4, 0.4))
+        .expect("localized parameters are in paper range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_stay_inside_the_anchor_window() {
+        let (n_users, n_tasks, window) = (80, 120, 6);
+        let game = localized_game(n_users, n_tasks, window, 42);
+        for (i, u) in game.users().iter().enumerate() {
+            let anchor = i * n_tasks / n_users;
+            for r in &u.routes {
+                assert!(!r.tasks.is_empty());
+                for &t in &r.tasks {
+                    let d = t.index().abs_diff(anchor);
+                    assert!(
+                        d <= window,
+                        "user {i} (anchor {anchor}) covers task {} outside window",
+                        t.index()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = localized_game(30, 40, 4, 9);
+        let b = localized_game(30, 40, 4, 9);
+        assert_eq!(a.users().len(), b.users().len());
+        for (ua, ub) in a.users().iter().zip(b.users()) {
+            assert_eq!(ua.routes.len(), ub.routes.len());
+            for (ra, rb) in ua.routes.iter().zip(&ub.routes) {
+                assert_eq!(ra.tasks, rb.tasks);
+                assert_eq!(ra.detour, rb.detour);
+            }
+        }
+    }
+}

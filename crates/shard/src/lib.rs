@@ -1,0 +1,28 @@
+//! Sharded multi-engine deployment for the DGRN reproduction.
+//!
+//! One engine per shard, each over the sub-game induced by the shard's
+//! members; a locality-aware partitioner ([`partition`]) decides who lives
+//! where, a boundary-sync coordinator ([`ShardedSim`]) exchanges committed
+//! boundary moves as causally stamped [`BoundaryFrame`]s, and shard-scoped
+//! checkpoints ([`ShardCheckpoint`]) resume the exact trajectory. The
+//! `shard_runtime` and `shard_report` binaries drive deployments and the
+//! scaling benchmark respectively.
+//!
+//! Correctness contract (enforced by the oracle test suite): a converged
+//! sharded run's merged profile is a Nash equilibrium of the *full* game,
+//! its merged commit log replays on a single full-game engine with `ϕ`
+//! agreement to `1e-9`, and on exhaustively enumerable games (≤ 6 users)
+//! the sharded fixpoint set equals the single-engine equilibrium set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod gen;
+pub mod partition;
+mod sim;
+
+pub use frame::{BoundaryFrame, FrameError, FRAME_LEN};
+pub use gen::localized_game;
+pub use partition::{partition, ShardPlan};
+pub use sim::{RoundReport, ShardCheckpoint, ShardConfig, ShardedOutcome, ShardedSim};

@@ -1,0 +1,349 @@
+//! Locality-aware partitioning of the task→user conflict graph.
+//!
+//! Two users *conflict* when some task appears in both of their recommended
+//! route sets: a move by one changes the other's profits (Eq. 5/7). The
+//! partitioner cuts the user set into `shards` groups so that as many users
+//! as possible conflict only within their own group:
+//!
+//! * a task is **shared** when users from at least two shards can cover it;
+//! * a user is **boundary** when any task on any of its routes is shared;
+//! * everyone else is **interior** — every profit term they can ever touch
+//!   is determined entirely by users of their own shard, so their
+//!   best-response dynamics run without any cross-shard synchronisation.
+//!
+//! The cut itself is a greedy one-dimensional spectral surrogate: users are
+//! ordered by the *barycenter* of the task ids their routes cover and split
+//! into `shards` contiguous, balanced groups. On spatially generated games
+//! (see [`localized_game`]) task ids are laid out along the road corridor,
+//! so the barycenter order clusters users that patrol the same stretch and
+//! the cut lines fall between stretches — the boundary set is the thin seam
+//! of users whose routes straddle a cut.
+//!
+//! The plan is a pure function of the game and the shard count: re-running
+//! [`partition`] after a checkpoint reproduces the same assignment, which is
+//! what lets [`ShardedSim::resume`] rebuild lanes without serializing the
+//! plan itself.
+//!
+//! [`localized_game`]: crate::localized_game
+//! [`ShardedSim::resume`]: crate::ShardedSim::resume
+
+use vcs_core::ids::{TaskId, UserId};
+use vcs_core::Game;
+
+/// The result of cutting a game into shards: per-user home shards, per-task
+/// owners, and the interior/boundary classification driving the sharded
+/// runtime's two-phase protocol.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: usize,
+    user_shard: Vec<u32>,
+    task_owner: Vec<u32>,
+    task_shared: Vec<bool>,
+    boundary: Vec<bool>,
+    interior: Vec<Vec<UserId>>,
+    boundary_users: Vec<UserId>,
+}
+
+/// Cuts `game` into `shards` balanced groups along the task-barycenter
+/// order. `shards == 1` yields the trivial plan: every user interior, no
+/// shared tasks.
+///
+/// # Panics
+///
+/// Panics when `shards == 0`.
+pub fn partition(game: &Game, shards: usize) -> ShardPlan {
+    assert!(shards >= 1, "a sharded deployment needs at least one shard");
+    let n = game.users().len();
+    let t = game.tasks().len();
+
+    // 1. Order users by the barycenter of the task ids they can cover.
+    //    Users with no coverable task sort by their own id (they conflict
+    //    with nobody, so their placement is arbitrary).
+    let mut center = vec![0.0f64; n];
+    for (i, u) in game.users().iter().enumerate() {
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for r in &u.routes {
+            for &task in &r.tasks {
+                sum += task.index() as f64;
+                cnt += 1;
+            }
+        }
+        center[i] = if cnt == 0 { i as f64 } else { sum / cnt as f64 };
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        center[a as usize]
+            .total_cmp(&center[b as usize])
+            .then(a.cmp(&b))
+    });
+    let mut user_shard = vec![0u32; n];
+    for (pos, &u) in order.iter().enumerate() {
+        // Contiguous balanced chunks: sizes differ by at most one.
+        user_shard[u as usize] = (pos * shards / n) as u32;
+    }
+
+    // 2. Per-task coverage census: which shard touched it first, whether a
+    //    second shard ever did (shared), and how many *distinct* users of
+    //    each shard can cover it (ownership votes). `stamp` dedups a user
+    //    covering the same task via several routes.
+    let mut first = vec![u32::MAX; t];
+    let mut task_shared = vec![false; t];
+    let mut counts = vec![0u32; t * shards];
+    let mut stamp = vec![u32::MAX; t];
+    for (i, u) in game.users().iter().enumerate() {
+        let s = user_shard[i] as usize;
+        for r in &u.routes {
+            for &task in &r.tasks {
+                let k = task.index();
+                if stamp[k] == i as u32 {
+                    continue;
+                }
+                stamp[k] = i as u32;
+                counts[k * shards + s] += 1;
+                if first[k] == u32::MAX {
+                    first[k] = s as u32;
+                } else if first[k] != s as u32 {
+                    task_shared[k] = true;
+                }
+            }
+        }
+    }
+
+    // 3. Ownership: the shard with the most distinct covering users wins,
+    //    ties to the lowest shard id. Uncoverable tasks default to shard 0.
+    let mut task_owner = vec![0u32; t];
+    for k in 0..t {
+        if first[k] == u32::MAX {
+            continue;
+        }
+        let row = &counts[k * shards..(k + 1) * shards];
+        let mut best = 0usize;
+        for (s, &c) in row.iter().enumerate().skip(1) {
+            if c > row[best] {
+                best = s;
+            }
+        }
+        task_owner[k] = best as u32;
+    }
+
+    // 4. Classification: boundary iff any coverable task is shared.
+    let mut boundary = vec![false; n];
+    let mut interior: Vec<Vec<UserId>> = vec![Vec::new(); shards];
+    let mut boundary_users = Vec::new();
+    for (i, u) in game.users().iter().enumerate() {
+        let b = u
+            .routes
+            .iter()
+            .flat_map(|r| &r.tasks)
+            .any(|&task| task_shared[task.index()]);
+        boundary[i] = b;
+        if b {
+            boundary_users.push(UserId::from_index(i));
+        } else {
+            interior[user_shard[i] as usize].push(UserId::from_index(i));
+        }
+    }
+
+    ShardPlan {
+        shards,
+        user_shard,
+        task_owner,
+        task_shared,
+        boundary,
+        interior,
+        boundary_users,
+    }
+}
+
+impl ShardPlan {
+    /// Number of shards the plan cuts the game into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The home shard of `user` (where its moves are decided and committed).
+    pub fn home_of(&self, user: UserId) -> usize {
+        self.user_shard[user.index()] as usize
+    }
+
+    /// The shard owning `task` (most distinct covering users, ties low).
+    pub fn task_owner(&self, task: TaskId) -> usize {
+        self.task_owner[task.index()] as usize
+    }
+
+    /// Whether users from at least two shards can cover `task`.
+    pub fn is_shared_task(&self, task: TaskId) -> bool {
+        self.task_shared[task.index()]
+    }
+
+    /// Whether `user` touches a shared task and therefore needs the
+    /// boundary-sync protocol (replicated into every shard).
+    pub fn is_boundary(&self, user: UserId) -> bool {
+        self.boundary[user.index()]
+    }
+
+    /// Interior users of `shard`, ascending by global id.
+    pub fn interior_users(&self, shard: usize) -> &[UserId] {
+        &self.interior[shard]
+    }
+
+    /// All boundary users, ascending by global id — the coordinator's
+    /// round-robin order.
+    pub fn boundary_users(&self) -> &[UserId] {
+        &self.boundary_users
+    }
+
+    /// Members of `shard`'s engine: its interior users plus *every* boundary
+    /// user (replicated so each shard sees exact participant counts on all
+    /// tasks its own members can touch), ascending by global id.
+    pub fn members(&self, shard: usize) -> Vec<UserId> {
+        let mut out = Vec::with_capacity(self.interior[shard].len() + self.boundary_users.len());
+        out.extend_from_slice(&self.interior[shard]);
+        out.extend_from_slice(&self.boundary_users);
+        out.sort_unstable_by_key(|u| u.index());
+        out
+    }
+
+    /// The partition-quality metric: fraction of users that are boundary.
+    /// `0.0` is a perfect cut (fully decoupled shards); `1.0` means every
+    /// user needs coordination and sharding buys nothing.
+    pub fn boundary_fraction(&self) -> f64 {
+        if self.user_shard.is_empty() {
+            return 0.0;
+        }
+        self.boundary_users.len() as f64 / self.user_shard.len() as f64
+    }
+
+    /// Number of tasks coverable from at least two shards.
+    pub fn shared_task_count(&self) -> usize {
+        self.task_shared.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::localized_game;
+
+    #[test]
+    fn single_shard_plan_is_all_interior() {
+        let game = localized_game(40, 60, 4, 7);
+        let plan = partition(&game, 1);
+        assert_eq!(plan.shards(), 1);
+        assert!(plan.boundary_users().is_empty());
+        assert_eq!(plan.boundary_fraction(), 0.0);
+        assert_eq!(plan.shared_task_count(), 0);
+        assert_eq!(plan.interior_users(0).len(), 40);
+        assert_eq!(plan.members(0).len(), 40);
+    }
+
+    #[test]
+    fn shared_flags_match_a_brute_force_census() {
+        let game = localized_game(120, 90, 5, 11);
+        let plan = partition(&game, 4);
+        for (k, _) in game.tasks().iter().enumerate() {
+            let task = TaskId::from_index(k);
+            let mut shards_seen = std::collections::BTreeSet::new();
+            for (i, u) in game.users().iter().enumerate() {
+                if u.routes.iter().any(|r| r.tasks.contains(&task)) {
+                    shards_seen.insert(plan.home_of(UserId::from_index(i)));
+                }
+            }
+            assert_eq!(
+                plan.is_shared_task(task),
+                shards_seen.len() >= 2,
+                "task {k} shared flag disagrees with census"
+            );
+            if let Some(&owner) = shards_seen.iter().next() {
+                let _ = owner;
+                assert!(shards_seen.contains(&plan.task_owner(task)));
+            }
+        }
+    }
+
+    #[test]
+    fn interior_and_boundary_partition_the_user_set() {
+        let game = localized_game(100, 80, 4, 3);
+        let plan = partition(&game, 4);
+        let mut seen = vec![0u32; 100];
+        for s in 0..4 {
+            for &u in plan.interior_users(s) {
+                assert!(!plan.is_boundary(u));
+                assert_eq!(plan.home_of(u), s);
+                seen[u.index()] += 1;
+            }
+        }
+        for &u in plan.boundary_users() {
+            assert!(plan.is_boundary(u));
+            seen[u.index()] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each user exactly one class");
+    }
+
+    #[test]
+    fn members_are_sorted_and_contain_all_boundary_users() {
+        let game = localized_game(100, 80, 4, 3);
+        let plan = partition(&game, 3);
+        for s in 0..3 {
+            let members = plan.members(s);
+            assert!(members.windows(2).all(|w| w[0].index() < w[1].index()));
+            for &b in plan.boundary_users() {
+                assert!(
+                    members.contains(&b),
+                    "boundary user replicated in every shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn localized_games_cut_with_a_small_boundary() {
+        // The whole point of the locality partitioner: on a corridor-shaped
+        // game the seam between contiguous chunks is thin.
+        let game = localized_game(400, 400, 5, 17);
+        let plan = partition(&game, 4);
+        assert!(
+            plan.boundary_fraction() < 0.5,
+            "boundary fraction {} should be well under a half on a localized game",
+            plan.boundary_fraction()
+        );
+        for s in 0..4 {
+            assert!(
+                !plan.interior_users(s).is_empty(),
+                "every shard should keep interior work"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_users_conflict_only_within_their_shard() {
+        // The load-bearing invariant: a task coverable by an interior user
+        // of shard s is coverable *only* by members of shard s.
+        let game = localized_game(150, 120, 4, 23);
+        let plan = partition(&game, 3);
+        for (i, u) in game.users().iter().enumerate() {
+            let uid = UserId::from_index(i);
+            if plan.is_boundary(uid) {
+                continue;
+            }
+            let home = plan.home_of(uid);
+            for r in &u.routes {
+                for &task in &r.tasks {
+                    for (j, v) in game.users().iter().enumerate() {
+                        let vid = UserId::from_index(j);
+                        if v.routes.iter().any(|vr| vr.tasks.contains(&task)) {
+                            assert_eq!(
+                                plan.home_of(vid),
+                                home,
+                                "task {} couples interior user {i} to shard {} user {j}",
+                                task.index(),
+                                plan.home_of(vid)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! The sharded multi-engine simulator and its boundary-sync coordinator.
+//!
+//! [`ShardedSim`] runs one incremental [`Engine`] per shard, each over the
+//! sub-game induced by the shard's members (its interior users plus *every*
+//! boundary user, with **global task ids preserved** — see
+//! [`crate::partition`] for why that makes every participant count a member
+//! can observe exact). Convergence alternates two phases per coordinator
+//! round:
+//!
+//! 1. **Interior convergence** — each shard runs the paper's best-response
+//!    and SUU dynamics over its interior users only, to a local fixpoint
+//!    (or a slot cap). Interior users of different shards share no task, so
+//!    these runs commute: their move logs concatenate (in shard order) into
+//!    a serialization some single-engine schedule could have produced.
+//! 2. **Boundary sync** — the coordinator walks all boundary users in
+//!    ascending global id; each best-responds *in its home shard*, commits
+//!    there ([`Engine::apply_move`]), and the committed move is broadcast
+//!    to every replica as a causally stamped [`BoundaryFrame`] and applied
+//!    silently ([`Engine::apply_remote_move`]), re-dirtying the interior
+//!    users it touches.
+//!
+//! The run reaches the **global fixpoint** when a boundary round commits no
+//! move while every shard's interior is converged — then no user anywhere
+//! has an improving deviation, i.e. the merged profile is a Nash
+//! equilibrium of the full game (the oracle tests replay the merged log on
+//! a single full-game engine and check `ϕ` agreement to 1e-9).
+//!
+//! Everything is deterministic in `(game, config)`: per-shard RNGs and the
+//! coordinator RNG are derived from the config seed, and the threaded
+//! driver ([`ShardedSim::run_parallel`]) produces bit-identical results to
+//! the sequential one because shard lanes share no mutable state during
+//! phase 1 and logs are merged in shard order.
+//!
+//! [`Engine`]: vcs_core::Engine
+//! [`Engine::apply_move`]: vcs_core::Engine::apply_move
+//! [`Engine::apply_remote_move`]: vcs_core::Engine::apply_remote_move
+
+use crate::frame::BoundaryFrame;
+use crate::partition::{partition, ShardPlan};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_core::bounds::slot_upper_bound;
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::{BestResponse, Engine, Game, Profile};
+use vcs_obs::{Event, FrameStamper, Obs};
+use vcs_online::{Snapshot, SnapshotError};
+
+/// Configuration of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards to cut the game into (≥ 1).
+    pub shards: usize,
+    /// Seed for the initial profile and all per-lane/coordinator RNGs.
+    pub seed: u64,
+    /// Cap on coordinator rounds before giving up on convergence.
+    pub max_rounds: u32,
+    /// Per-shard, per-round cap on interior decision slots (`u64::MAX` =
+    /// run each interior phase to its local fixpoint).
+    pub interior_slot_cap: u64,
+}
+
+impl ShardConfig {
+    /// A config with the default round cap and uncapped interior phases.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        ShardConfig {
+            shards,
+            seed,
+            max_rounds: 200,
+            interior_slot_cap: u64::MAX,
+        }
+    }
+}
+
+/// One shard's lane: its engine over the member sub-game, its RNG, and the
+/// driver-side best-response cache for its interior (driven) users.
+struct ShardLane {
+    engine: Engine<'static>,
+    rng: StdRng,
+    obs: Obs,
+    /// Local id → this lane drives the user in phase 1 (interior & home).
+    driven: Vec<bool>,
+    /// Cached best responses, maintained for driven users only.
+    responses: Vec<BestResponse>,
+    improving_flag: Vec<bool>,
+    /// Sorted local ids of driven users with a non-empty best-route set.
+    improving: Vec<u32>,
+    drained: Vec<UserId>,
+    edits: Vec<(u32, bool)>,
+    /// Decision slots committed at this shard (interior + boundary-home).
+    slots: u64,
+    /// Whether the last interior phase ended at a local fixpoint (as
+    /// opposed to the slot cap).
+    converged: bool,
+}
+
+/// Per-round progress report from [`ShardedSim::step_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundReport {
+    /// 1-based coordinator round number.
+    pub round: u32,
+    /// Interior moves committed across all shards this round.
+    pub interior_moves: u64,
+    /// Boundary moves committed this round.
+    pub boundary_moves: u64,
+    /// Whether the global fixpoint was reached at the end of this round.
+    pub converged: bool,
+}
+
+/// Final outcome of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The merged final profile (global user order).
+    pub choices: Vec<RouteId>,
+    /// The initial profile the run started from.
+    pub initial: Vec<RouteId>,
+    /// The merged global commit log, a serialization of every committed
+    /// move (replayable on a full-game engine).
+    pub log: Vec<(UserId, RouteId)>,
+    /// Coordinator rounds executed.
+    pub rounds: u32,
+    /// Whether the global fixpoint was reached within the round cap.
+    pub converged: bool,
+    /// Total interior moves.
+    pub interior_moves: u64,
+    /// Total boundary moves.
+    pub boundary_moves: u64,
+    /// Decision slots per shard (aggregate throughput numerator).
+    pub shard_slots: Vec<u64>,
+    /// Boundary frames broadcast (one TX per boundary commit).
+    pub frames_sent: u64,
+    /// Total frame bytes delivered to replicas.
+    pub frame_bytes: u64,
+    /// The plan's partition-quality metric.
+    pub boundary_fraction: f64,
+}
+
+/// A shard-scoped checkpoint: one engine [`Snapshot`] per shard plus the
+/// coordinator state (RNGs, causal stamper, counters) needed to resume the
+/// run on its exact trajectory. Taken at coordinator-round boundaries.
+#[derive(Debug, Clone)]
+pub struct ShardCheckpoint {
+    /// Encoded per-shard engine snapshots, shard order.
+    pub shards: Vec<Bytes>,
+    rngs: Vec<StdRng>,
+    boundary_rng: StdRng,
+    stamper: FrameStamper,
+    rounds: u32,
+    converged: bool,
+    slots: Vec<u64>,
+    interior_moves: u64,
+    boundary_moves: u64,
+    frames_sent: u64,
+    frame_bytes: u64,
+}
+
+/// The sharded multi-engine simulator. See the module docs for the
+/// protocol; construct with [`ShardedSim::new`], drive with
+/// [`ShardedSim::run`] / [`ShardedSim::run_parallel`] or round-by-round
+/// with [`ShardedSim::step_round`].
+pub struct ShardedSim {
+    game: Game,
+    plan: ShardPlan,
+    config: ShardConfig,
+    lanes: Vec<ShardLane>,
+    /// shard → local id → global id.
+    locals: Vec<Vec<UserId>>,
+    /// shard → global id → local id (`u32::MAX` when absent; boundary
+    /// users are present everywhere, interior users only at home).
+    local_of: Vec<Vec<u32>>,
+    boundary_rng: StdRng,
+    stamper: FrameStamper,
+    initial: Vec<RouteId>,
+    log: Vec<(UserId, RouteId)>,
+    move_buf: Vec<(UserId, RouteId)>,
+    rounds: u32,
+    converged: bool,
+    interior_moves: u64,
+    boundary_moves: u64,
+    frames_sent: u64,
+    frame_bytes: u64,
+}
+
+/// Runs one shard's interior phase to a local fixpoint (or `cap` slots),
+/// appending committed moves as *local* `(user, route)` pairs to `out`.
+/// Returns the number of moves committed by this call.
+fn converge_interior(lane: &mut ShardLane, cap: u64, out: &mut Vec<(UserId, RouteId)>) -> u64 {
+    let mut done = 0u64;
+    loop {
+        // Refresh responses for users dirtied since the last slot and keep
+        // the sorted improving set in sync (incremental edits, falling back
+        // to a rebuild when the batch of changes is large).
+        lane.engine.take_dirty_into(&mut lane.drained);
+        for &u in &lane.drained {
+            let i = u.index();
+            if !lane.driven[i] {
+                continue;
+            }
+            lane.engine.best_route_set_into(u, &mut lane.responses[i]);
+            let now = !lane.responses[i].best_routes.is_empty();
+            if now != lane.improving_flag[i] {
+                lane.improving_flag[i] = now;
+                lane.edits.push((i as u32, now));
+            }
+        }
+        if lane.edits.len() > lane.improving.len() / 8 + 32 {
+            lane.improving.clear();
+            lane.improving.extend(
+                (0..lane.improving_flag.len())
+                    .filter(|&i| lane.improving_flag[i])
+                    .map(|i| i as u32),
+            );
+        } else {
+            for &(i, now) in &lane.edits {
+                match lane.improving.binary_search(&i) {
+                    Ok(at) if !now => {
+                        lane.improving.remove(at);
+                    }
+                    Err(at) if now => {
+                        lane.improving.insert(at, i);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        lane.edits.clear();
+
+        if lane.improving.is_empty() {
+            lane.converged = true;
+            return done;
+        }
+        if done >= cap {
+            lane.converged = false;
+            return done;
+        }
+
+        // SUU grant: one uniform pick among improving users, then a uniform
+        // tie-break among that user's best-route set.
+        let local = lane.improving[lane.rng.random_range(0..lane.improving.len())];
+        let user = UserId::from_index(local as usize);
+        let resp = &lane.responses[local as usize];
+        let route = resp.best_routes[lane.rng.random_range(0..resp.best_routes.len())];
+        lane.engine.apply_move(user, route);
+        lane.slots += 1;
+        done += 1;
+        out.push((user, route));
+        let (slot, phi, total) = (
+            lane.slots,
+            lane.engine.potential(),
+            lane.engine.total_profit(),
+        );
+        lane.obs.emit(|| Event::SlotCompleted {
+            slot,
+            updated: 1,
+            phi,
+            total_profit: total,
+        });
+    }
+}
+
+impl ShardedSim {
+    /// Builds a sharded run over `game` from a seeded random initial
+    /// profile (one uniform route per user, drawn in user-id order —
+    /// matching the single-engine dynamics' initialisation).
+    pub fn new(game: Game, config: ShardConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let initial: Vec<RouteId> = game
+            .users()
+            .iter()
+            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+            .collect();
+        Self::with_initial(game, config, initial)
+    }
+
+    /// Builds a sharded run from an explicit initial profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial.len()` differs from the user count.
+    pub fn with_initial(game: Game, config: ShardConfig, initial: Vec<RouteId>) -> Self {
+        assert_eq!(
+            initial.len(),
+            game.users().len(),
+            "initial profile must cover every user"
+        );
+        let plan = partition(&game, config.shards);
+        let mut sim = ShardedSim {
+            boundary_rng: StdRng::seed_from_u64(config.seed ^ 0xB0D7_F1E1),
+            stamper: FrameStamper::default(),
+            plan,
+            lanes: Vec::new(),
+            locals: Vec::new(),
+            local_of: Vec::new(),
+            log: Vec::new(),
+            move_buf: Vec::new(),
+            rounds: 0,
+            converged: false,
+            interior_moves: 0,
+            boundary_moves: 0,
+            frames_sent: 0,
+            frame_bytes: 0,
+            initial,
+            config,
+            game,
+        };
+        for s in 0..sim.config.shards {
+            sim.build_lane(s);
+        }
+        sim
+    }
+
+    /// Builds lane `s` from scratch, slicing the global initial profile
+    /// down to the lane's members.
+    fn build_lane(&mut self, s: usize) {
+        let members = self.plan.members(s);
+        let choices: Vec<RouteId> = members.iter().map(|&g| self.initial[g.index()]).collect();
+        let sub = self.game.subgame(&members);
+        let profile = Profile::new(&sub, choices);
+        let engine = Engine::new_owned(sub, profile);
+        self.push_lane(s, members, engine);
+    }
+
+    /// Registers an engine as lane `s`, deriving its RNG and driver caches.
+    fn push_lane(&mut self, s: usize, members: Vec<UserId>, engine: Engine<'static>) {
+        let m = members.len();
+        let n = self.game.users().len();
+        let mut driven = vec![false; m];
+        let mut local_of = vec![u32::MAX; n];
+        for (l, &g) in members.iter().enumerate() {
+            local_of[g.index()] = l as u32;
+            driven[l] = !self.plan.is_boundary(g);
+        }
+        self.lanes.push(ShardLane {
+            engine,
+            // Per-lane stream derived from the config seed: a sharded run
+            // is a pure function of (game, config).
+            rng: StdRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1)),
+            ),
+            obs: Obs::default(),
+            driven,
+            responses: (0..m)
+                .map(|_| BestResponse {
+                    best_routes: Vec::new(),
+                    gain: 0.0,
+                    best_profit: 0.0,
+                })
+                .collect(),
+            improving_flag: vec![false; m],
+            improving: Vec::new(),
+            drained: Vec::new(),
+            edits: Vec::new(),
+            slots: 0,
+            converged: false,
+        });
+        self.locals.push(members);
+        self.local_of.push(local_of);
+    }
+
+    /// The partition the run executes under.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The full game (global ids).
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+
+    /// Coordinator rounds executed so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Whether the global fixpoint has been reached.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The merged global commit log so far (or, after a resume, since the
+    /// resume point).
+    pub fn log(&self) -> &[(UserId, RouteId)] {
+        &self.log
+    }
+
+    /// The profile the run started from (after a resume: the merged profile
+    /// at the resume point).
+    pub fn initial_choices(&self) -> &[RouteId] {
+        &self.initial
+    }
+
+    /// Attaches an observability handle to shard `s`: the lane's engine
+    /// emits `MoveCommitted` into it, the driver adds `SlotCompleted` and
+    /// the coordinator `FrameSent`/`FrameReceived` with causal stamps.
+    pub fn set_shard_obs(&mut self, s: usize, obs: Obs) {
+        self.lanes[s].engine.set_obs(obs.clone());
+        self.lanes[s].obs = obs;
+    }
+
+    /// Theorem-4 slot upper bounds, one per shard's sub-game — the budgets
+    /// a per-shard watchdog should enforce.
+    pub fn shard_slot_budgets(&self, delta_p_min: f64) -> Vec<f64> {
+        self.lanes
+            .iter()
+            .map(|l| slot_upper_bound(l.engine.game(), delta_p_min))
+            .collect()
+    }
+
+    /// Decision slots committed per shard.
+    pub fn shard_slots(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.slots).collect()
+    }
+
+    /// The merged global profile: every user's current route read from its
+    /// home lane (boundary replicas agree by protocol construction — see
+    /// [`ShardedSim::replicas_consistent`]).
+    pub fn merged_choices(&self) -> Vec<RouteId> {
+        // Every user is a member of its home lane, so every entry is
+        // overwritten below (the placeholder never survives).
+        let mut out = vec![RouteId::from_index(0); self.game.users().len()];
+        for (s, lane) in self.lanes.iter().enumerate() {
+            for (l, &g) in self.locals[s].iter().enumerate() {
+                if self.plan.home_of(g) == s {
+                    out[g.index()] = lane.engine.profile().choice(UserId::from_index(l));
+                }
+            }
+        }
+        out
+    }
+
+    /// The weighted potential `ϕ` of the merged profile on the *full* game.
+    pub fn merged_potential(&self) -> f64 {
+        let profile = Profile::new(&self.game, self.merged_choices());
+        vcs_core::potential(&self.game, &profile)
+    }
+
+    /// Debug invariant: every boundary user's route agrees across all of
+    /// its replicas.
+    pub fn replicas_consistent(&self) -> bool {
+        self.plan.boundary_users().iter().all(|&g| {
+            let home = self.plan.home_of(g);
+            let at = |s: usize| {
+                let l = self.local_of[s][g.index()];
+                self.lanes[s]
+                    .engine
+                    .profile()
+                    .choice(UserId::from_index(l as usize))
+            };
+            (0..self.lanes.len()).all(|s| at(s) == at(home))
+        })
+    }
+
+    /// Runs one shard's interior phase and merges its moves (as global ids)
+    /// into the global log. Returns the move count.
+    fn converge_lane(&mut self, s: usize) -> u64 {
+        let cap = self.config.interior_slot_cap;
+        let mut buf = std::mem::take(&mut self.move_buf);
+        let n = converge_interior(&mut self.lanes[s], cap, &mut buf);
+        let locals = &self.locals[s];
+        self.log
+            .extend(buf.drain(..).map(|(lu, r)| (locals[lu.index()], r)));
+        self.move_buf = buf;
+        n
+    }
+
+    /// One coordinator boundary round: every boundary user best-responds in
+    /// its home shard; commits are broadcast to all replicas as stamped
+    /// [`BoundaryFrame`]s. Returns the number of moves committed.
+    fn boundary_round(&mut self) -> u64 {
+        let ShardedSim {
+            plan,
+            lanes,
+            local_of,
+            boundary_rng,
+            stamper,
+            log,
+            frames_sent,
+            frame_bytes,
+            ..
+        } = self;
+        let mut committed = 0u64;
+        for &g in plan.boundary_users() {
+            let home = plan.home_of(g);
+            let local = UserId::from_index(local_of[home][g.index()] as usize);
+            let resp = lanes[home].engine.best_route_set(local);
+            if resp.best_routes.is_empty() {
+                continue;
+            }
+            let route = resp.best_routes[boundary_rng.random_range(0..resp.best_routes.len())];
+
+            // Commit at home: the one MoveCommitted event for this move.
+            let home_lane = &mut lanes[home];
+            let from = home_lane.engine.apply_move(local, route);
+            home_lane.slots += 1;
+            let (slot, phi, total) = (
+                home_lane.slots,
+                home_lane.engine.potential(),
+                home_lane.engine.total_profit(),
+            );
+            home_lane.obs.emit(|| Event::SlotCompleted {
+                slot,
+                updated: 1,
+                phi,
+                total_profit: total,
+            });
+            log.push((g, route));
+            committed += 1;
+
+            // Broadcast as a causally stamped frame; replicas decode from
+            // the wire bytes and apply silently.
+            let stamp = stamper.send(home as u32);
+            let frame = BoundaryFrame {
+                shard: home as u32,
+                user: g.index() as u32,
+                from_route: from.index() as u32,
+                to_route: route.index() as u32,
+                seq: stamp.seq,
+                lamport: stamp.lamport,
+            };
+            let wire = frame.encode();
+            let len = wire.len() as u32;
+            lanes[home].obs.emit(|| Event::FrameSent {
+                bytes: len,
+                seq: stamp.seq,
+                lamport: stamp.lamport,
+            });
+            *frames_sent += 1;
+            for (t, lane) in lanes.iter_mut().enumerate() {
+                if t == home {
+                    continue;
+                }
+                let decoded = BoundaryFrame::decode(&wire).expect("coordinator frames round-trip");
+                let lt = UserId::from_index(local_of[t][decoded.user as usize] as usize);
+                lane.engine
+                    .apply_remote_move(lt, RouteId::from_index(decoded.to_route as usize));
+                let rx = stamper.receive(t as u32, stamp);
+                lane.obs.emit(|| Event::FrameReceived {
+                    bytes: len,
+                    seq: rx.seq,
+                    lamport: rx.lamport,
+                });
+                *frame_bytes += len as u64;
+            }
+        }
+        committed
+    }
+
+    fn finish_round(&mut self, interior: u64) -> RoundReport {
+        let boundary = self.boundary_round();
+        self.interior_moves += interior;
+        self.boundary_moves += boundary;
+        self.converged = boundary == 0 && self.lanes.iter().all(|l| l.converged);
+        RoundReport {
+            round: self.rounds,
+            interior_moves: interior,
+            boundary_moves: boundary,
+            converged: self.converged,
+        }
+    }
+
+    /// Executes one coordinator round (interior phases sequentially, then
+    /// the boundary sync).
+    pub fn step_round(&mut self) -> RoundReport {
+        self.rounds += 1;
+        let mut interior = 0u64;
+        for s in 0..self.lanes.len() {
+            interior += self.converge_lane(s);
+        }
+        self.finish_round(interior)
+    }
+
+    /// Executes one coordinator round with the interior phases on one OS
+    /// thread per shard. Bit-identical to [`ShardedSim::step_round`]: lanes
+    /// share no mutable state in phase 1 and logs merge in shard order.
+    pub fn step_round_parallel(&mut self) -> RoundReport {
+        self.rounds += 1;
+        let cap = self.config.interior_slot_cap;
+        let mut bufs: Vec<Vec<(UserId, RouteId)>> = self.lanes.iter().map(|_| Vec::new()).collect();
+        let mut moved = vec![0u64; self.lanes.len()];
+        std::thread::scope(|scope| {
+            for ((lane, buf), n) in self
+                .lanes
+                .iter_mut()
+                .zip(bufs.iter_mut())
+                .zip(moved.iter_mut())
+            {
+                scope.spawn(move || *n = converge_interior(lane, cap, buf));
+            }
+        });
+        for (s, mut buf) in bufs.into_iter().enumerate() {
+            let locals = &self.locals[s];
+            self.log
+                .extend(buf.drain(..).map(|(lu, r)| (locals[lu.index()], r)));
+        }
+        self.finish_round(moved.iter().sum())
+    }
+
+    fn run_inner(&mut self, parallel: bool) -> ShardedOutcome {
+        while !self.converged && self.rounds < self.config.max_rounds {
+            if parallel {
+                self.step_round_parallel();
+            } else {
+                self.step_round();
+            }
+        }
+        self.outcome()
+    }
+
+    /// Runs to the global fixpoint (or the round cap), sequentially.
+    pub fn run(&mut self) -> ShardedOutcome {
+        self.run_inner(false)
+    }
+
+    /// Runs to the global fixpoint (or the round cap) with one interior
+    /// thread per shard.
+    pub fn run_parallel(&mut self) -> ShardedOutcome {
+        self.run_inner(true)
+    }
+
+    /// The outcome at the current point of the run.
+    pub fn outcome(&self) -> ShardedOutcome {
+        ShardedOutcome {
+            choices: self.merged_choices(),
+            initial: self.initial.clone(),
+            log: self.log.clone(),
+            rounds: self.rounds,
+            converged: self.converged,
+            interior_moves: self.interior_moves,
+            boundary_moves: self.boundary_moves,
+            shard_slots: self.shard_slots(),
+            frames_sent: self.frames_sent,
+            frame_bytes: self.frame_bytes,
+            boundary_fraction: self.plan.boundary_fraction(),
+        }
+    }
+
+    /// Captures a shard-scoped checkpoint. Valid at coordinator-round
+    /// boundaries (between [`ShardedSim::step_round`] calls): each shard's
+    /// engine is snapshotted independently and the coordinator state (RNG
+    /// streams, causal stamper, counters) rides along, so
+    /// [`ShardedSim::resume`] retraces the exact remaining trajectory.
+    pub fn checkpoint(&self) -> ShardCheckpoint {
+        ShardCheckpoint {
+            shards: self
+                .lanes
+                .iter()
+                .map(|l| Snapshot::capture(&l.engine).encode())
+                .collect(),
+            rngs: self.lanes.iter().map(|l| l.rng.clone()).collect(),
+            boundary_rng: self.boundary_rng.clone(),
+            stamper: self.stamper.clone(),
+            rounds: self.rounds,
+            converged: self.converged,
+            slots: self.lanes.iter().map(|l| l.slots).collect(),
+            interior_moves: self.interior_moves,
+            boundary_moves: self.boundary_moves,
+            frames_sent: self.frames_sent,
+            frame_bytes: self.frame_bytes,
+        }
+    }
+
+    /// Rebuilds a run from a checkpoint over the same `game` and an
+    /// equivalent `config`. The partition is recomputed (it is a pure
+    /// function of game and shard count); each lane's engine is restored
+    /// from its snapshot; RNGs and the stamper resume their exact streams.
+    /// The continuation's [`ShardedSim::log`] starts empty and
+    /// [`ShardedSim::initial_choices`] is the merged profile at the resume
+    /// point.
+    pub fn resume(
+        game: Game,
+        config: ShardConfig,
+        checkpoint: ShardCheckpoint,
+    ) -> Result<Self, SnapshotError> {
+        assert_eq!(
+            checkpoint.shards.len(),
+            config.shards,
+            "checkpoint shard count must match the config"
+        );
+        let plan = partition(&game, config.shards);
+        let mut sim = ShardedSim {
+            boundary_rng: checkpoint.boundary_rng,
+            stamper: checkpoint.stamper,
+            plan,
+            lanes: Vec::new(),
+            locals: Vec::new(),
+            local_of: Vec::new(),
+            log: Vec::new(),
+            move_buf: Vec::new(),
+            rounds: checkpoint.rounds,
+            // A checkpoint taken exactly at the fixpoint stays converged;
+            // otherwise the resumed run re-enters the round loop.
+            converged: checkpoint.converged,
+            interior_moves: checkpoint.interior_moves,
+            boundary_moves: checkpoint.boundary_moves,
+            frames_sent: checkpoint.frames_sent,
+            frame_bytes: checkpoint.frame_bytes,
+            initial: Vec::new(),
+            config,
+            game,
+        };
+        for (s, bytes) in checkpoint.shards.into_iter().enumerate() {
+            let snapshot = Snapshot::decode(bytes)?;
+            let members = sim.plan.members(s);
+            assert_eq!(
+                snapshot.game.users().len(),
+                members.len(),
+                "shard {s} snapshot user count must match the recomputed plan"
+            );
+            let engine = snapshot.restore();
+            sim.push_lane(s, members, engine);
+        }
+        for (lane, rng) in sim.lanes.iter_mut().zip(checkpoint.rngs) {
+            lane.rng = rng;
+        }
+        for (lane, slots) in sim.lanes.iter_mut().zip(checkpoint.slots) {
+            lane.slots = slots;
+        }
+        sim.initial = sim.merged_choices();
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::localized_game;
+    use vcs_core::is_nash;
+
+    fn run_pair(shards: usize, seed: u64) -> (Game, ShardedOutcome) {
+        let game = localized_game(60, 60, 4, seed);
+        let mut sim = ShardedSim::new(game.clone(), ShardConfig::new(shards, seed));
+        let outcome = sim.run();
+        assert!(sim.replicas_consistent(), "boundary replicas must agree");
+        (game, outcome)
+    }
+
+    #[test]
+    fn single_shard_run_converges_without_frames() {
+        let (game, outcome) = run_pair(1, 3);
+        assert!(outcome.converged);
+        assert_eq!(outcome.boundary_moves, 0);
+        assert_eq!(outcome.frames_sent, 0);
+        assert_eq!(outcome.boundary_fraction, 0.0);
+        let profile = Profile::new(&game, outcome.choices);
+        assert!(is_nash(&game, &profile));
+    }
+
+    #[test]
+    fn sharded_fixpoint_is_a_nash_equilibrium_of_the_full_game() {
+        for shards in [2, 3, 4] {
+            let (game, outcome) = run_pair(shards, 11 + shards as u64);
+            assert!(outcome.converged, "{shards} shards should converge");
+            let profile = Profile::new(&game, outcome.choices);
+            assert!(
+                is_nash(&game, &profile),
+                "{shards}-shard fixpoint must be a full-game NE"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_log_replays_to_the_merged_potential_on_a_full_engine() {
+        let (game, outcome) = run_pair(3, 29);
+        let profile = Profile::new(&game, outcome.initial.clone());
+        let mut oracle = Engine::new_owned(game.clone(), profile);
+        let trajectory = oracle.replay_moves(&outcome.log);
+        let final_phi = trajectory
+            .last()
+            .map(|&(phi, _)| phi)
+            .unwrap_or_else(|| oracle.potential());
+        let merged = vcs_core::potential(&game, &Profile::new(&game, outcome.choices.clone()));
+        assert!(
+            (final_phi - merged).abs() <= 1e-9,
+            "oracle replay phi {final_phi} vs merged {merged}"
+        );
+        assert_eq!(oracle.profile().choices(), &outcome.choices[..]);
+    }
+
+    #[test]
+    fn parallel_interior_phases_are_bit_identical_to_sequential() {
+        let game = localized_game(80, 80, 5, 41);
+        let config = ShardConfig::new(4, 41);
+        let mut seq = ShardedSim::new(game.clone(), config.clone());
+        let mut par = ShardedSim::new(game, config);
+        let a = seq.run();
+        let b = par.run_parallel();
+        assert_eq!(a.choices, b.choices);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.shard_slots, b.shard_slots);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.frames_sent, b.frames_sent);
+    }
+
+    #[test]
+    fn checkpoint_resume_retraces_the_remaining_trajectory() {
+        let game = localized_game(70, 70, 4, 53);
+        let config = ShardConfig::new(3, 53);
+        let mut full = ShardedSim::new(game.clone(), config.clone());
+        full.step_round();
+        let checkpoint = full.checkpoint();
+        let split = full.log().len();
+        let a = full.run();
+
+        let mut resumed = ShardedSim::resume(game, config, checkpoint).expect("decodable");
+        let b = resumed.run();
+        assert_eq!(a.choices, b.choices);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(&a.log[split..], &b.log[..], "continuation log matches");
+        assert_eq!(b.initial, a_initial_at_split(&a, split));
+
+        fn a_initial_at_split(a: &ShardedOutcome, split: usize) -> Vec<RouteId> {
+            let mut profile = a.initial.clone();
+            for &(u, r) in &a.log[..split] {
+                profile[u.index()] = r;
+            }
+            profile
+        }
+    }
+
+    #[test]
+    fn shard_slot_budgets_cover_each_lane_subgame() {
+        let game = localized_game(50, 50, 4, 61);
+        let sim = ShardedSim::new(game, ShardConfig::new(2, 61));
+        let budgets = sim.shard_slot_budgets(1e-3);
+        assert_eq!(budgets.len(), 2);
+        assert!(budgets.iter().all(|&b| b.is_finite() && b > 0.0));
+    }
+}

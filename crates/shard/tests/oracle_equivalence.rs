@@ -1,0 +1,162 @@
+//! Oracle equivalence of the sharded deployment against a single-engine
+//! run of the full game:
+//!
+//! * the merged commit log replays on one full-game engine with a
+//!   monotonically improving `ϕ` trajectory whose endpoint matches the
+//!   merged profile's potential to `1e-9`;
+//! * on exhaustively enumerable games (≤ 6 users) the *fixpoint set* of
+//!   the sharded dynamics equals the Nash-equilibrium set of the full game
+//!   in both directions: every converged sharded run lands in the NE set,
+//!   and every NE is a zero-move fixpoint of the sharded protocol;
+//! * per-shard event dumps, tagged with their shard's causal stamps, pass
+//!   the merge-aware cross-stream validator.
+
+use std::sync::Arc;
+use vcs_core::ids::RouteId;
+use vcs_core::{is_nash, potential, Engine, Game, Profile};
+use vcs_obs::{
+    merge_stamped_streams, validate_causal_order_merged, Event, Obs, RingBufferSubscriber,
+    StampedStream,
+};
+use vcs_shard::{localized_game, ShardConfig, ShardedSim};
+
+/// Every profile of `game`, enumerated as choice vectors (≤ 6 users keeps
+/// this ≤ 4^6 = 4096 profiles under the generator's 2–4 routes per user).
+fn all_profiles(game: &Game) -> Vec<Vec<RouteId>> {
+    let mut out = vec![Vec::new()];
+    for u in game.users() {
+        let mut next = Vec::with_capacity(out.len() * u.routes.len());
+        for prefix in &out {
+            for r in 0..u.routes.len() {
+                let mut p = prefix.clone();
+                p.push(RouteId::from_index(r));
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[test]
+fn exhaustive_ne_set_equals_sharded_fixpoint_set_at_six_users() {
+    for (game_seed, shards) in [(5u64, 2usize), (19, 3), (87, 2)] {
+        let game = localized_game(6, 10, 2, game_seed);
+        let ne_set: Vec<Vec<RouteId>> = all_profiles(&game)
+            .into_iter()
+            .filter(|choices| is_nash(&game, &Profile::new(&game, choices.clone())))
+            .collect();
+        assert!(
+            !ne_set.is_empty(),
+            "a weighted potential game has at least one pure NE"
+        );
+
+        // Direction 1: every converged sharded run is in the NE set.
+        for run_seed in 0..12u64 {
+            let mut sim = ShardedSim::new(
+                game.clone(),
+                ShardConfig::new(shards, game_seed.wrapping_mul(131).wrapping_add(run_seed)),
+            );
+            let outcome = sim.run();
+            assert!(outcome.converged);
+            assert!(
+                ne_set.contains(&outcome.choices),
+                "sharded fixpoint must be in the enumerated NE set"
+            );
+        }
+
+        // Direction 2: every NE is a zero-move fixpoint of the protocol.
+        for ne in &ne_set {
+            let mut sim = ShardedSim::with_initial(
+                game.clone(),
+                ShardConfig::new(shards, game_seed),
+                ne.clone(),
+            );
+            let outcome = sim.run();
+            assert!(outcome.converged);
+            assert_eq!(outcome.rounds, 1, "one quiet round certifies the fixpoint");
+            assert!(outcome.log.is_empty(), "an NE admits no improving move");
+            assert_eq!(&outcome.choices, ne);
+        }
+    }
+}
+
+#[test]
+fn merged_log_replay_matches_single_engine_phi_within_1e9() {
+    for (users, tasks, window, shards, seed) in [
+        (120, 100, 5, 2, 7u64),
+        (150, 150, 6, 4, 23),
+        (90, 80, 4, 3, 71),
+    ] {
+        let game = localized_game(users, tasks, window, seed);
+        let mut sim = ShardedSim::new(game.clone(), ShardConfig::new(shards, seed));
+        let outcome = sim.run();
+        assert!(outcome.converged, "{shards} shards must converge");
+        assert!(sim.replicas_consistent());
+
+        let mut oracle =
+            Engine::new_owned(game.clone(), Profile::new(&game, outcome.initial.clone()));
+        let mut prev_phi = oracle.potential();
+        let trajectory = oracle.replay_moves(&outcome.log);
+        for &(phi, _) in &trajectory {
+            assert!(
+                phi > prev_phi - 1e-12,
+                "every committed move improves phi (Eq. 11): {prev_phi} -> {phi}"
+            );
+            prev_phi = phi;
+        }
+        let merged_phi = potential(&game, &Profile::new(&game, outcome.choices.clone()));
+        assert!(
+            (prev_phi - merged_phi).abs() <= 1e-9,
+            "replayed phi {prev_phi} vs merged phi {merged_phi}"
+        );
+        assert_eq!(
+            oracle.profile().choices(),
+            &outcome.choices[..],
+            "oracle replay reconstructs the merged profile exactly"
+        );
+        assert!(is_nash(&game, oracle.profile()));
+    }
+}
+
+#[test]
+fn per_shard_dumps_pass_merge_aware_causal_validation() {
+    let shards = 3;
+    let game = localized_game(100, 90, 5, 13);
+    let mut sim = ShardedSim::new(game, ShardConfig::new(shards, 13));
+    let rings: Vec<Arc<RingBufferSubscriber>> = (0..shards)
+        .map(|s| {
+            let ring = Arc::new(RingBufferSubscriber::new(1 << 16));
+            sim.set_shard_obs(s, Obs::new(ring.clone()));
+            ring
+        })
+        .collect();
+    let outcome = sim.run();
+    assert!(outcome.converged);
+    assert!(
+        outcome.frames_sent > 0,
+        "boundary sync must exchange frames"
+    );
+
+    let streams: Vec<StampedStream> = rings
+        .iter()
+        .enumerate()
+        .map(|(s, ring)| StampedStream::new(s as u32, ring.events()))
+        .collect();
+    let violations = validate_causal_order_merged(&streams);
+    assert!(
+        violations.is_empty(),
+        "clean multi-shard dumps must validate: {violations:?}"
+    );
+
+    // The merged view is a permutation of all per-shard events that keeps
+    // each stream's order and the cross-shard happens-before edges.
+    let merged = merge_stamped_streams(&streams);
+    let total: usize = streams.iter().map(|s| s.events.len()).sum();
+    assert_eq!(merged.len(), total);
+    let tx_count = merged
+        .iter()
+        .filter(|(_, e)| matches!(e, Event::FrameSent { .. }))
+        .count();
+    assert_eq!(tx_count as u64, outcome.frames_sent);
+}

@@ -13,6 +13,9 @@
 //! * [`runtime`] — the distributed message-passing execution substrate;
 //! * [`online`] — dynamic user churn: event streams, warm-start
 //!   re-equilibration and shard snapshots;
+//! * [`shard`] — sharded multi-engine deployment: the locality
+//!   partitioner, per-shard engines with a boundary-sync coordinator,
+//!   checkpoint/resume, and causally-merged post-mortems;
 //! * [`metrics`] — coverage, fairness, reward measures and replication;
 //! * [`obs`] — zero-cost-when-disabled structured observability: slot /
 //!   response / frame / epoch events, wall-clock profiling spans,
@@ -52,6 +55,7 @@ pub use vcs_online as online;
 pub use vcs_roadnet as roadnet;
 pub use vcs_runtime as runtime;
 pub use vcs_scenario as scenario;
+pub use vcs_shard as shard;
 pub use vcs_traces as traces;
 
 /// Convenient single-import surface for applications.
@@ -81,5 +85,6 @@ pub mod prelude {
         run_sync, run_sync_churn, run_threaded, run_threaded_churn, SchedulerKind,
     };
     pub use vcs_scenario::{replicate_seed, Dataset, ScenarioConfig, ScenarioParams, UserPool};
+    pub use vcs_shard::{localized_game, partition, ShardConfig, ShardPlan, ShardedSim};
     pub use vcs_traces::{generate_traces, CityProfile, TraceGenConfig};
 }
