@@ -12,8 +12,8 @@
 //! ```
 //!
 //! The intended flow: regenerate `BENCH_engine.json` / `BENCH_online.json` /
-//! `BENCH_obs.json` / `BENCH_shard.json` on a quiet machine, run
-//! `bench_trend --check` to see
+//! `BENCH_obs.json` / `BENCH_shard.json` / `BENCH_net.json` on a quiet
+//! machine, run `bench_trend --check` to see
 //! whether any gated ratio fell beyond tolerance, then run `bench_trend` to
 //! ratchet the committed baseline. CI runs `--check` against the committed
 //! artifacts (a deterministic consistency gate — the trajectory must match
@@ -45,7 +45,8 @@ fn load_current(dir: &Path) -> Result<Trajectory, String> {
     let online = read_json(&dir.join("BENCH_online.json"))?;
     let obs = read_json(&dir.join("BENCH_obs.json"))?;
     let shard = read_json(&dir.join("BENCH_shard.json"))?;
-    build_trajectory(&engine, &online, &obs, &shard)
+    let net = read_json(&dir.join("BENCH_net.json"))?;
+    build_trajectory(&engine, &online, &obs, &shard, &net)
 }
 
 fn print_regressions(found: &[Regression]) {

@@ -305,7 +305,8 @@ impl Parser<'_> {
 pub struct Trajectory {
     /// `metric path → value`, gated by [`compare`]. Paths are
     /// `engine/<algo>/<users>/<metric>`, `online/<users>/<churn>/<metric>`,
-    /// `obs/<algo>/<users>/<metric>`, `shard/<users>/<shards>/<metric>`.
+    /// `obs/<algo>/<users>/<metric>`, `shard/<users>/<shards>/<metric>`,
+    /// `net/<loss>/<rtt_ms>/<metric>`.
     pub gated: Vec<(String, f64)>,
     /// Machine-dependent context values, never gated.
     pub informational: Vec<(String, f64)>,
@@ -333,12 +334,13 @@ fn seg(value: f64) -> String {
     }
 }
 
-/// Merges the four benchmark documents into one [`Trajectory`].
+/// Merges the five benchmark documents into one [`Trajectory`].
 pub fn build_trajectory(
     engine: &Json,
     online: &Json,
     obs: &Json,
     shard: &Json,
+    net: &Json,
 ) -> Result<Trajectory, String> {
     let mut gated = Vec::new();
     let mut info = Vec::new();
@@ -434,6 +436,23 @@ pub fn build_trajectory(
             format!("{base}/boundary_fraction"),
             field_f64(row, "boundary_fraction")?,
         ));
+    }
+    for row in rows(net, "BENCH_net")? {
+        let loss = seg(field_f64(row, "loss")?);
+        let rtt = seg(field_f64(row, "rtt_ms")?);
+        let base = format!("net/{loss}/{rtt}");
+        // 1.0 = the lossy-UDP deployment converged AND its merged profile
+        // passed the full-game oracle (exact reconstruction, ϕ to 1e-9,
+        // NE certificate). Binary by construction, floored at 1.0: any
+        // loss/latency cell losing its certificate fails the gate outright.
+        gated.push((format!("{base}/certified"), field_f64(row, "certified")?));
+        info.push((format!("{base}/rounds"), field_f64(row, "rounds")?));
+        info.push((
+            format!("{base}/retransmissions"),
+            field_f64(row, "retransmissions")?,
+        ));
+        info.push((format!("{base}/drops"), field_f64(row, "drops")?));
+        info.push((format!("{base}/wall_sec"), field_f64(row, "wall_sec")?));
     }
     if gated.is_empty() {
         return Err("no gated metrics extracted — empty benchmark artifacts?".into());
@@ -555,18 +574,25 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, tolerance: f64) -> V
 ///   construction used to dominate);
 /// * `shard/100000/4/agg_speedup` ≥ 1.5 — the locality decomposition must
 ///   keep paying for its boundary-sync overhead at the deployment tier the
-///   sharded driver exists for.
+///   sharded driver exists for;
+/// * every `net/<loss>/<rtt>/certified` ≥ 1.0 — every cell of the
+///   loss×latency matrix (up to 20% loss, 200ms RTT) must converge to a
+///   certified full-game Nash equilibrium; the ARQ makes the trajectory
+///   fault-independent, so a decertified cell is a protocol bug, not noise.
 ///
 /// Violations reuse [`Regression`] with the floor as the `baseline`.
 pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
     const MUUN_FLOOR: f64 = 1.0;
     const SHARD_FLOOR: f64 = 1.5;
+    const NET_FLOOR: f64 = 1.0;
     const SHARD_METRIC: &str = "shard/100000/4/agg_speedup";
     let floor_of = |metric: &str| -> Option<f64> {
         if metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup") {
             Some(MUUN_FLOOR)
         } else if metric == SHARD_METRIC {
             Some(SHARD_FLOOR)
+        } else if metric.starts_with("net/") && metric.ends_with("/certified") {
+            Some(NET_FLOOR)
         } else {
             None
         }
@@ -609,6 +635,12 @@ mod tests {
         {"users": 100000, "shards": 4, "agg_slots_per_sec": 340000.0,
          "speedup_vs_1": 1.7, "boundary_fraction": 0.0006}
     ]}"#;
+    const NET: &str = r#"{"rows": [
+        {"loss": 0, "rtt_ms": 0, "certified": 1.0, "rounds": 3,
+         "retransmissions": 0, "drops": 0, "wall_sec": 1.2},
+        {"loss": 0.2, "rtt_ms": 200, "certified": 1.0, "rounds": 3,
+         "retransmissions": 41, "drops": 55, "wall_sec": 30.5}
+    ]}"#;
 
     fn trajectory() -> Trajectory {
         build_trajectory(
@@ -616,6 +648,7 @@ mod tests {
             &Json::parse(ONLINE).unwrap(),
             &Json::parse(OBS).unwrap(),
             &Json::parse(SHARD).unwrap(),
+            &Json::parse(NET).unwrap(),
         )
         .unwrap()
     }
@@ -686,6 +719,7 @@ mod tests {
             &Json::parse(ONLINE).unwrap(),
             &Json::parse(obs).unwrap(),
             &Json::parse(SHARD).unwrap(),
+            &Json::parse(NET).unwrap(),
         )
         .unwrap();
         assert!(t.gated.iter().any(|(k, _)| k == "obs/DGRN/100/stats_rel"));
@@ -758,6 +792,31 @@ mod tests {
         // Other tiers carry no absolute floor — the relative gate owns them.
         t.gated.push(("shard/10000/4/agg_speedup".into(), 0.9));
         assert_eq!(floor_violations(&t).len(), 1);
+    }
+
+    #[test]
+    fn net_certification_floor_catches_decertified_cells() {
+        let mut t = trajectory();
+        // The fixture certifies both cells.
+        assert!(t.gated.iter().any(|(k, _)| k == "net/0/0/certified"));
+        assert!(t.gated.iter().any(|(k, _)| k == "net/0.2/200/certified"));
+        assert!(floor_violations(&t).is_empty());
+        for (k, v) in &mut t.gated {
+            if k == "net/0.2/200/certified" {
+                *v = 0.0;
+            }
+        }
+        let found = floor_violations(&t);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "net/0.2/200/certified");
+        assert_eq!(found[0].baseline, 1.0);
+        assert_eq!(found[0].current, 0.0);
+        // Transport counters are informational, never gated.
+        assert!(t
+            .informational
+            .iter()
+            .any(|(k, _)| k == "net/0.2/200/retransmissions"));
+        assert!(!t.gated.iter().any(|(k, _)| k.contains("retransmissions")));
     }
 
     #[test]

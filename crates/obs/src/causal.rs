@@ -112,6 +112,22 @@ impl FrameStamper {
             lamport: ep.clock,
         }
     }
+
+    /// The `(seq, clock)` counters of one endpoint, for checkpoint codecs
+    /// that must re-stamp a resumed run's remaining frames exactly as the
+    /// uninterrupted run would have.
+    pub fn endpoint_state(&mut self, sender: u32) -> (u64, u64) {
+        let ep = self.endpoint(sender);
+        (ep.seq, ep.clock)
+    }
+
+    /// Restores one endpoint's `(seq, clock)` counters captured with
+    /// [`endpoint_state`](FrameStamper::endpoint_state).
+    pub fn restore_endpoint(&mut self, sender: u32, seq: u64, clock: u64) {
+        let ep = self.endpoint(sender);
+        ep.seq = seq;
+        ep.clock = clock;
+    }
 }
 
 /// The causal stamp of an event, if it is a frame event.

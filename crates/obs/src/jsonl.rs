@@ -33,6 +33,34 @@ impl JsonlSubscriber {
         })
     }
 
+    /// Opens the trace file at `path` truncated to `keep_bytes` and appends
+    /// from there — the resume path of a checkpointed shard worker, which
+    /// discards the lines written after its last checkpoint flush and
+    /// re-emits them identically on replay (the merged post-mortem stays
+    /// seamless: no duplicate or missing per-sender sequence numbers).
+    pub fn resume_at(path: &Path, keep_bytes: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        file.set_len(keep_bytes)?;
+        use std::io::Seek as _;
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flushes and reports the current trace length in bytes — the offset a
+    /// checkpoint records for [`resume_at`](Self::resume_at).
+    pub fn flushed_len(&self) -> io::Result<u64> {
+        let mut writer = self.writer.lock();
+        writer.flush()?;
+        Ok(writer.get_ref().metadata()?.len())
+    }
+
     /// Flushes buffered lines to disk.
     pub fn flush(&self) -> io::Result<()> {
         self.writer.lock().flush()

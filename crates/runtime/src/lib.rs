@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod net;
 pub mod platform;
 pub mod protocol;
 pub mod resilience;

@@ -1,0 +1,159 @@
+//! Shared socket plumbing: length-guarded stream framing and bounded-backoff
+//! connect.
+//!
+//! Everything that ships this workspace's binary frames over a real byte
+//! stream uses the same discipline the PR-2 codecs established: a fixed
+//! magic so a desynchronized stream fails loudly, a length prefix validated
+//! against a hard cap *before* any allocation, and the payload bytes
+//! verbatim (the payload carries its own tag/codec). The `/metrics`
+//! exporter's scrape clients and the shard boundary-sync transport both sit
+//! on these helpers, so framing bugs have exactly one home.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Wire magic prefixed to every framed message: "VCSM" (VCS Message).
+pub const MSG_MAGIC: [u8; 4] = *b"VCSM";
+
+/// Hard cap on a framed message's payload length. Large enough for a full
+/// shard commit log at deployment sizes, small enough that a corrupted
+/// length prefix cannot drive an allocation into the gigabytes.
+pub const MAX_MSG_LEN: usize = 64 << 20;
+
+/// Writes one length-guarded frame: magic, big-endian `u32` payload length,
+/// payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_MSG_LEN`] with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_MSG_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds cap {MAX_MSG_LEN}", payload.len()),
+        ));
+    }
+    w.write_all(&MSG_MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-guarded frame written by [`write_frame`], returning the
+/// payload bytes.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a closed stream, `InvalidData` on magic mismatch or a
+/// length prefix above [`MAX_MSG_LEN`] — a desynchronized or hostile stream
+/// is detected before any payload allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    if head[0..4] != MSG_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame magic {:02x?}", &head[0..4]),
+        ));
+    }
+    let len = u32::from_be_bytes(head[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_MSG_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_MSG_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Connects to `addr` with bounded exponential backoff: `attempts` tries,
+/// sleeping `base_delay · 2^k` (capped at one second) between consecutive
+/// failures. Returns the last error when every attempt fails.
+///
+/// This is the reconnect discipline of every long-lived peer link in the
+/// workspace — shard workers dialing their coordinator (including after a
+/// coordinator-side restart) and scrape clients dialing the `/metrics`
+/// exporter before its accept loop is up.
+pub fn connect_with_backoff(
+    addr: impl ToSocketAddrs + Clone,
+    attempts: u32,
+    base_delay: Duration,
+) -> io::Result<TcpStream> {
+    let mut delay = base_delay;
+    let mut last_err = io::Error::new(io::ErrorKind::TimedOut, "no connect attempts made");
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr.clone()) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = e,
+        }
+        if attempt + 1 < attempts.max(1) {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_secs(1));
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_roundtrip_over_a_real_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let got = read_frame(&mut conn).unwrap();
+            write_frame(&mut conn, &got).unwrap();
+        });
+        let mut client = connect_with_backoff(addr, 5, Duration::from_millis(1)).unwrap();
+        let payload = vec![7u8; 10_000];
+        write_frame(&mut client, &payload).unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), payload);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_oversize_length_are_rejected() {
+        let mut bad_magic: &[u8] = b"XXXX\x00\x00\x00\x00";
+        assert_eq!(
+            read_frame(&mut bad_magic).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut huge = Vec::from(MSG_MAGIC);
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            read_frame(&mut huge.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &[0u8; 1]).is_ok());
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let mut cut: &[u8] = &{
+            let mut buf = Vec::from(MSG_MAGIC);
+            buf.extend_from_slice(&8u32.to_be_bytes());
+            buf.extend_from_slice(&[1, 2, 3]); // promised 8, delivered 3
+            buf
+        };
+        assert_eq!(
+            read_frame(&mut cut).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn backoff_connect_eventually_fails_cleanly() {
+        // Port 1 on localhost: nothing listens there in this sandbox.
+        let err = connect_with_backoff("127.0.0.1:1", 2, Duration::from_millis(1));
+        assert!(err.is_err());
+    }
+}

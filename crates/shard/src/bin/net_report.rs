@@ -1,0 +1,144 @@
+//! `net_report` — the convergence-under-faults benchmark behind
+//! `BENCH_net.json`: a loss × RTT matrix of multi-process UDP deployments
+//! (0–20% loss, 0–200ms injected RTT), each run to its global fixpoint and
+//! certified against the full-game oracle.
+//!
+//! The interesting claim is binary, not a rate: the ARQ makes the logical
+//! trajectory fault-independent, so **every** cell must converge to the
+//! same certified Nash equilibrium — `bench_trend` floors
+//! `net/<loss>/<rtt>/certified` at 1.0. Wall-clock, retransmission and
+//! drop counts are carried as informational context (they grow with the
+//! fault rates; correctness must not).
+//!
+//! ```text
+//! net_report [--out BENCH_net.json] [--users N] [--shards K] [--seed S]
+//! ```
+//!
+//! The coordinator spawns one worker process per shard from
+//! `current_exe()`, so this binary also speaks `--worker`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vcs_shard::{
+    parse_worker_args, run_deployment, run_worker, verify_outcome, DeployConfig, TransportKind,
+};
+
+/// Fault matrix: fraction of datagrams lost × injected round-trip ms.
+const LOSS: [f64; 3] = [0.0, 0.10, 0.20];
+const RTT_MS: [u64; 3] = [0, 50, 200];
+
+fn main() -> ExitCode {
+    // Worker mode: this process is one shard of a matrix cell's deployment.
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("--worker") {
+        raw.next();
+        let cfg = parse_worker_args(raw);
+        return match run_worker(&cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker shard {}: {e}", cfg.shard);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut out = PathBuf::from("BENCH_net.json");
+    let mut users = 120usize;
+    let mut shards = 3usize;
+    let mut seed = 7u64;
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(next(&mut it, "--out")),
+            "--users" => users = next(&mut it, "--users").parse().expect("--users: integer"),
+            "--shards" => {
+                shards = next(&mut it, "--shards")
+                    .parse()
+                    .expect("--shards: integer");
+            }
+            "--seed" => seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let work_dir = std::env::temp_dir().join(format!("net_report_{}", std::process::id()));
+    let mut rows = Vec::new();
+    let mut reference: Option<String> = None;
+    for &loss in &LOSS {
+        for &rtt_ms in &RTT_MS {
+            let mut cfg = DeployConfig::new(users, users, 5, shards, seed);
+            cfg.out_dir = work_dir.join(format!("loss{loss}_rtt{rtt_ms}"));
+            cfg.fault.loss = loss;
+            cfg.fault.dup = loss / 2.0;
+            cfg.fault.reorder = loss / 2.0;
+            cfg.fault.rtt_ms = rtt_ms;
+            cfg.fault.jitter_ms = rtt_ms / 10;
+            eprintln!("net_report: loss {loss:.2}, rtt {rtt_ms}ms ...");
+            let start = std::time::Instant::now();
+            let outcome = match run_deployment(&cfg, TransportKind::Udp) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("  cell FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let wall = start.elapsed().as_secs_f64();
+            let certified = outcome.converged && verify_outcome(&cfg, &outcome).is_ok();
+            // Cross-fault determinism: every cell's outcome.txt must match
+            // the clean cell's byte for byte.
+            let core = std::fs::read_to_string(cfg.out_dir.join("outcome.txt"))
+                .expect("outcome.txt written");
+            match &reference {
+                None => reference = Some(core),
+                Some(r) if *r == core => {}
+                Some(_) => {
+                    eprintln!(
+                        "  cell DIVERGED: outcome.txt differs from the clean cell — \
+                         the fault schedule leaked into the trajectory"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "  converged={} rounds={} retx={} drops={} wall={:.1}s certified={}",
+                outcome.converged,
+                outcome.rounds,
+                outcome.retransmissions,
+                outcome.drops,
+                wall,
+                certified
+            );
+            rows.push(format!(
+                "    {{\"loss\": {loss}, \"rtt_ms\": {rtt_ms}, \"certified\": {}, \
+                 \"rounds\": {}, \"retransmissions\": {}, \"drops\": {}, \
+                 \"wall_sec\": {wall:.3}, \"slots\": {}, \"converged\": {}}}",
+                if certified { "1.0" } else { "0.0" },
+                outcome.rounds,
+                outcome.retransmissions,
+                outcome.drops,
+                outcome.shard_slots.iter().sum::<u64>(),
+                outcome.converged,
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    let mut doc = String::new();
+    let _ = writeln!(doc, "{{");
+    let _ = writeln!(
+        doc,
+        "  \"benchmark\": \"multi-process UDP boundary sync: convergence under loss x RTT, {users} users / {shards} shards\","
+    );
+    let _ = writeln!(doc, "  \"seed\": {seed},");
+    let _ = writeln!(doc, "  \"rows\": [");
+    let _ = writeln!(doc, "{}", rows.join(",\n"));
+    let _ = writeln!(doc, "  ]");
+    let _ = writeln!(doc, "}}");
+    std::fs::write(&out, doc).expect("write BENCH_net.json");
+    eprintln!("net_report: wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,243 +1,251 @@
-//! `shard_runtime` — drives a sharded multi-engine deployment end to end:
-//! partition a localized game into N shards, run each shard's interior
-//! dynamics on its own OS thread with boundary-sync rounds in between, and
-//! leave behind a *mergeable* post-mortem:
+//! `shard_runtime` — drives a sharded multi-engine deployment end to end
+//! on any of three transports:
 //!
-//! * per-shard JSONL event dumps (`shard-<s>.jsonl`), causally stamped by
-//!   the coordinator's frame protocol;
-//! * per-shard watchdogs enforcing the shard sub-game's Theorem-4 slot
-//!   budget and Eq. 11 ϕ monotonicity, with optional alert push routing
-//!   (`--alert-sink stderr|file:<path>|http://host:port[/path]`);
-//! * a merged post-mortem (`merged.jsonl`) in cross-shard happens-before
-//!   order, produced only after the merge-aware causal validator passes
-//!   over all dumps (exit code 1 on any violation).
+//! * `--transport channel` (default) — the in-process reference
+//!   coordinator, one OS thread per shard;
+//! * `--transport tcp` — one OS **process** per shard, boundary sync over
+//!   length-framed TCP;
+//! * `--transport udp` — one process per shard over UDP with a
+//!   stop-and-wait-free ARQ (cumulative acks, NAK fast-retransmit) and
+//!   configurable loss/duplication/reorder/RTT injection
+//!   (`--loss/--dup/--reorder/--rtt-ms/--jitter-ms/--net-seed`).
 //!
-//! `--verify` additionally replays the merged commit log on a single
-//! full-game oracle engine and asserts ϕ agreement to 1e-9 plus a Nash
-//! certificate of the merged profile.
+//! Every transport leaves the same artifacts in `--out-dir`: per-shard
+//! causally stamped JSONL dumps, a validated merged post-mortem
+//! (`merged.jsonl`), the deterministic run core (`outcome.txt` —
+//! byte-identical across transports for one config), and run stats
+//! (`stats.txt`). Socket workers checkpoint every `--ckpt-every` rounds
+//! and a SIGKILLed worker is respawned and replayed back to the present
+//! (`--kill-shard s:r` injects exactly that fault).
+//!
+//! `--verify` replays the merged commit log on a single full-game oracle
+//! engine and asserts ϕ agreement to 1e-9 plus a Nash certificate.
+//! `--soak-secs N` runs lossy-UDP deployments with varying seeds and a
+//! worker kill per iteration for N wall-clock seconds (the CI churn soak).
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
-use vcs_core::{is_nash, potential, Engine, Profile};
-use vcs_obs::trace::{event_to_json, read_trace};
-use vcs_obs::{
-    merge_stamped_streams, validate_causal_order_merged, AlertRoute, FanoutSubscriber,
-    JsonlSubscriber, StampedStream, Subscriber, WatchdogConfig, WatchdogSubscriber,
+use vcs_shard::{
+    parse_worker_args, run_deployment, run_worker, verify_outcome, DeployConfig, TransportKind,
 };
-use vcs_shard::{localized_game, ShardConfig, ShardedSim};
 
 struct Args {
-    users: usize,
-    tasks: usize,
-    window: usize,
-    shards: usize,
-    seed: u64,
-    out_dir: PathBuf,
-    alert_route: Option<AlertRoute>,
-    sequential: bool,
+    cfg: DeployConfig,
+    transport: TransportKind,
     verify: bool,
-    delta_p_min: f64,
+    soak_secs: u64,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        users: 5_000,
-        tasks: 0,
-        window: 6,
-        shards: 4,
-        seed: 7,
-        out_dir: PathBuf::from("shard_run"),
-        alert_route: None,
-        sequential: false,
+        cfg: DeployConfig::new(5_000, 0, 6, 4, 7),
+        transport: TransportKind::Channel,
         verify: false,
-        delta_p_min: 1e-3,
+        soak_secs: 0,
     };
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
     };
     while let Some(arg) = it.next() {
+        let c = &mut args.cfg;
         match arg.as_str() {
-            "--users" => args.users = next(&mut it, "--users").parse().expect("--users: integer"),
-            "--tasks" => args.tasks = next(&mut it, "--tasks").parse().expect("--tasks: integer"),
+            "--users" => c.users = next(&mut it, "--users").parse().expect("--users: integer"),
+            "--tasks" => c.tasks = next(&mut it, "--tasks").parse().expect("--tasks: integer"),
             "--window" => {
-                args.window = next(&mut it, "--window")
+                c.window = next(&mut it, "--window")
                     .parse()
                     .expect("--window: integer");
             }
             "--shards" => {
-                args.shards = next(&mut it, "--shards")
+                c.shards = next(&mut it, "--shards")
                     .parse()
                     .expect("--shards: integer");
             }
-            "--seed" => args.seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
-            "--out-dir" => args.out_dir = PathBuf::from(next(&mut it, "--out-dir")),
-            "--alert-sink" => {
-                let spec = next(&mut it, "--alert-sink");
-                args.alert_route = Some(AlertRoute::parse(&spec).expect("valid alert route"));
-            }
-            "--sequential" => args.sequential = true,
+            "--seed" => c.seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--out-dir" => c.out_dir = PathBuf::from(next(&mut it, "--out-dir")),
+            "--alert-sink" => c.alert_sink = Some(next(&mut it, "--alert-sink")),
+            "--sequential" => c.sequential = true,
             "--verify" => args.verify = true,
             "--delta-p-min" => {
-                args.delta_p_min = next(&mut it, "--delta-p-min")
+                c.delta_p_min = next(&mut it, "--delta-p-min")
                     .parse()
                     .expect("--delta-p-min: float");
+            }
+            "--max-rounds" => {
+                c.max_rounds = next(&mut it, "--max-rounds")
+                    .parse()
+                    .expect("--max-rounds: integer");
+            }
+            "--interior-cap" => {
+                c.interior_cap = next(&mut it, "--interior-cap")
+                    .parse()
+                    .expect("--interior-cap: integer");
+            }
+            "--transport" => {
+                args.transport = next(&mut it, "--transport").parse().expect("--transport");
+            }
+            "--ckpt-every" => {
+                c.ckpt_every = next(&mut it, "--ckpt-every")
+                    .parse()
+                    .expect("--ckpt-every: integer");
+            }
+            "--kill-shard" => {
+                let spec = next(&mut it, "--kill-shard");
+                let (s, r) = spec
+                    .split_once(':')
+                    .expect("--kill-shard: expected <shard>:<round>");
+                c.kill_shard = Some((
+                    s.parse().expect("--kill-shard shard"),
+                    r.parse().expect("--kill-shard round"),
+                ));
+            }
+            "--loss" => c.fault.loss = next(&mut it, "--loss").parse().expect("--loss: float"),
+            "--dup" => c.fault.dup = next(&mut it, "--dup").parse().expect("--dup: float"),
+            "--reorder" => {
+                c.fault.reorder = next(&mut it, "--reorder")
+                    .parse()
+                    .expect("--reorder: float");
+            }
+            "--rtt-ms" => {
+                c.fault.rtt_ms = next(&mut it, "--rtt-ms")
+                    .parse()
+                    .expect("--rtt-ms: integer");
+            }
+            "--jitter-ms" => {
+                c.fault.jitter_ms = next(&mut it, "--jitter-ms")
+                    .parse()
+                    .expect("--jitter-ms: integer");
+            }
+            "--net-seed" => {
+                c.net_seed = next(&mut it, "--net-seed")
+                    .parse()
+                    .expect("--net-seed: integer");
+            }
+            "--soak-secs" => {
+                args.soak_secs = next(&mut it, "--soak-secs")
+                    .parse()
+                    .expect("--soak-secs: integer");
             }
             other => panic!("unknown argument {other}"),
         }
     }
-    if args.tasks == 0 {
-        args.tasks = args.users;
+    if args.cfg.tasks == 0 {
+        args.cfg.tasks = args.cfg.users;
     }
     args
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
-
-    eprintln!(
-        "shard_runtime: {} users / {} tasks, window {}, {} shards, seed {}",
-        args.users, args.tasks, args.window, args.shards, args.seed
-    );
-    let game = localized_game(args.users, args.tasks, args.window, args.seed);
-    let mut sim = ShardedSim::new(game.clone(), ShardConfig::new(args.shards, args.seed));
-    eprintln!(
-        "partition: boundary fraction {:.4}, {} shared tasks",
-        sim.plan().boundary_fraction(),
-        sim.plan().shared_task_count()
-    );
-
-    // Per-shard observability: JSONL dump + Theorem-4 watchdog, optionally
-    // routed to an operator alert sink.
-    let budgets = sim.shard_slot_budgets(args.delta_p_min);
-    let mut jsonls = Vec::new();
-    let mut dogs = Vec::new();
-    for (s, &budget) in budgets.iter().enumerate() {
-        let dump = args.out_dir.join(format!("shard-{s}.jsonl"));
-        let jsonl = Arc::new(JsonlSubscriber::create(&dump).expect("create shard dump"));
-        let config = WatchdogConfig {
-            slot_budget: budget.is_finite().then(|| budget.ceil() as u64),
-            ..WatchdogConfig::default()
+    // Worker mode: this process IS one shard, spawned by a coordinator.
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("--worker") {
+        raw.next();
+        let cfg = parse_worker_args(raw);
+        return match run_worker(&cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker shard {}: {e}", cfg.shard);
+                ExitCode::FAILURE
+            }
         };
-        let mut dog = WatchdogSubscriber::new(config);
-        if let Some(route) = &args.alert_route {
-            dog = dog.with_sink(route.open().expect("open alert sink"));
+    }
+
+    let args = parse_args();
+    if args.soak_secs > 0 {
+        return soak(&args);
+    }
+    eprintln!(
+        "shard_runtime: {} users / {} tasks, window {}, {} shards, seed {}, transport {:?}",
+        args.cfg.users,
+        args.cfg.tasks,
+        args.cfg.window,
+        args.cfg.shards,
+        args.cfg.seed,
+        args.transport
+    );
+    let outcome = match run_deployment(&args.cfg, args.transport) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("deployment failed: {e}");
+            return ExitCode::FAILURE;
         }
-        let dog = Arc::new(dog);
-        let sinks: Vec<Arc<dyn Subscriber>> = vec![jsonl.clone(), dog.clone()];
-        sim.set_shard_obs(s, FanoutSubscriber::obs(sinks));
-        jsonls.push(jsonl);
-        dogs.push(dog);
-    }
-
-    let start = std::time::Instant::now();
-    let outcome = if args.sequential {
-        sim.run()
-    } else {
-        sim.run_parallel()
     };
-    let wall = start.elapsed().as_secs_f64();
-    for jsonl in &jsonls {
-        jsonl.flush().expect("flush shard dump");
-    }
-
     let total_slots: u64 = outcome.shard_slots.iter().sum();
     eprintln!(
-        "run: converged={} rounds={} slots={:?} ({} total, {:.0} slots/sec) \
-         interior={} boundary={} frames={} ({} bytes)",
+        "run: converged={} rounds={} slots={:?} ({} total) phi={:.6} boundary_fraction={:.4} \
+         alerts={} retx={} drops={} wall={:.3}s",
         outcome.converged,
         outcome.rounds,
         outcome.shard_slots,
         total_slots,
-        total_slots as f64 / wall.max(1e-12),
-        outcome.interior_moves,
-        outcome.boundary_moves,
-        outcome.frames_sent,
-        outcome.frame_bytes,
+        outcome.phi,
+        outcome.boundary_fraction,
+        outcome.alerts,
+        outcome.retransmissions,
+        outcome.drops,
+        outcome.wall_secs,
     );
-    eprintln!("merged phi: {:.6}", sim.merged_potential());
-    let mut alerts = 0usize;
-    for (s, dog) in dogs.iter().enumerate() {
-        for alert in dog.alerts() {
-            eprintln!("shard {s} alert: {}", alert.to_json());
-            alerts += 1;
-        }
-    }
-    if alerts == 0 {
-        eprintln!("watchdogs: clean on all {} shards", args.shards);
-    }
-
-    // Merged post-mortem: read every shard dump back, validate the
-    // cross-shard causal order, and write the merged happens-before view.
-    let streams: Vec<StampedStream> = (0..args.shards)
-        .map(|s| {
-            let path = args.out_dir.join(format!("shard-{s}.jsonl"));
-            let events = read_trace(&path).expect("re-read shard dump");
-            StampedStream::new(s as u32, events)
-        })
-        .collect();
-    let violations = validate_causal_order_merged(&streams);
-    if !violations.is_empty() {
-        eprintln!(
-            "CAUSAL VALIDATION FAILED: {} violation(s)",
-            violations.len()
-        );
-        for v in violations.iter().take(16) {
-            eprintln!("  {v:?}");
-        }
-        return ExitCode::FAILURE;
-    }
-    let merged = merge_stamped_streams(&streams);
-    let merged_path = args.out_dir.join("merged.jsonl");
-    write_merged(&merged_path, &merged).expect("write merged post-mortem");
-    eprintln!(
-        "post-mortem: {} events from {} shards merged causally into {}",
-        merged.len(),
-        args.shards,
-        merged_path.display()
-    );
-
     if args.verify {
-        let mut oracle =
-            Engine::new_owned(game.clone(), Profile::new(&game, outcome.initial.clone()));
-        let trajectory = oracle.replay_moves(&outcome.log);
-        let final_phi = trajectory
-            .last()
-            .map(|&(phi, _)| phi)
-            .unwrap_or_else(|| oracle.potential());
-        assert_eq!(
-            oracle.profile().choices(),
-            &outcome.choices[..],
-            "oracle replay must reconstruct the merged profile exactly"
+        if let Err(e) = verify_outcome(&args.cfg, &outcome) {
+            eprintln!("VERIFY FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "verify: oracle replay reconstructs the merged profile, phi to 1e-9 (rel), NE certified"
         );
-        let merged_phi = potential(&game, &Profile::new(&game, outcome.choices.clone()));
-        // Relative tolerance: the replay engine's phi is incrementally
-        // accumulated over thousands of moves, so the agreement bound
-        // scales with |phi| at deployment sizes.
-        assert!(
-            (final_phi - merged_phi).abs() <= 1e-9 * merged_phi.abs().max(1.0),
-            "oracle phi {final_phi} vs merged {merged_phi}"
-        );
-        assert!(
-            is_nash(&game, &Profile::new(&game, outcome.choices.clone())),
-            "merged profile must be a full-game NE"
-        );
-        eprintln!("verify: oracle replay reconstructs the merged profile, phi to 1e-9 (rel), NE certified");
     }
     ExitCode::SUCCESS
 }
 
-fn write_merged(path: &Path, merged: &[(u32, vcs_obs::Event)]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for (shard, event) in merged {
-        writeln!(
-            out,
-            "{{\"shard\":{shard},\"event\":{}}}",
-            event_to_json(event)
-        )?;
+/// The churn soak: lossy-UDP deployments back to back with varying seeds,
+/// each with a mid-run worker SIGKILL, until the time budget runs out.
+/// Every iteration must converge, pass merged causal validation, replay on
+/// the oracle, and finish with zero watchdog alerts.
+fn soak(args: &Args) -> ExitCode {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(args.soak_secs);
+    let mut iter = 0u64;
+    while std::time::Instant::now() < deadline {
+        let mut cfg = args.cfg.clone();
+        cfg.seed = args.cfg.seed.wrapping_add(iter);
+        cfg.net_seed = args.cfg.net_seed.wrapping_add(iter.wrapping_mul(977));
+        // Kill a rotating shard after round 1's interior phase: every
+        // iteration exercises checkpoint → SIGKILL → restart → replay.
+        cfg.kill_shard = Some(((iter as usize) % cfg.shards, 1));
+        let outcome = match run_deployment(&cfg, TransportKind::Udp) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("soak iteration {iter} (seed {}): FAILED: {e}", cfg.seed);
+                return ExitCode::FAILURE;
+            }
+        };
+        if !outcome.converged {
+            eprintln!(
+                "soak iteration {iter} (seed {}): did not converge",
+                cfg.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        if outcome.alerts != 0 {
+            eprintln!(
+                "soak iteration {iter} (seed {}): {} watchdog alert(s)",
+                cfg.seed, outcome.alerts
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = verify_outcome(&cfg, &outcome) {
+            eprintln!(
+                "soak iteration {iter} (seed {}): verify failed: {e}",
+                cfg.seed
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "soak iteration {iter}: seed {} converged in {} rounds, retx={} drops={}, clean",
+            cfg.seed, outcome.rounds, outcome.retransmissions, outcome.drops
+        );
+        iter += 1;
     }
-    out.flush()
+    eprintln!("soak: {iter} iteration(s) clean over {}s", args.soak_secs);
+    ExitCode::SUCCESS
 }

@@ -17,12 +17,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arq;
+mod deploy;
 mod frame;
 mod gen;
+pub mod net;
 pub mod partition;
 mod sim;
+mod worker;
 
+pub use arq::{ArqReceiver, ArqSender, FaultConfig, FaultInjector};
+pub use deploy::{parse_worker_args, run_deployment, verify_outcome, DeployConfig, DeployOutcome};
 pub use frame::{BoundaryFrame, FrameError, FRAME_LEN};
 pub use gen::localized_game;
+pub use net::{CoordLink, CtrlMsg, PeerNet, TransportKind};
 pub use partition::{partition, ShardPlan};
 pub use sim::{RoundReport, ShardCheckpoint, ShardConfig, ShardedOutcome, ShardedSim};
+pub use worker::{run_worker, WorkerConfig};

@@ -73,25 +73,75 @@ impl ShardConfig {
 }
 
 /// One shard's lane: its engine over the member sub-game, its RNG, and the
-/// driver-side best-response cache for its interior (driven) users.
-struct ShardLane {
-    engine: Engine<'static>,
-    rng: StdRng,
-    obs: Obs,
+/// driver-side best-response cache for its interior (driven) users. Shared
+/// between the in-process coordinator ([`ShardedSim`]) and the socket-mode
+/// worker process (`crate::worker`), which is what keeps the two execution
+/// modes bit-identical.
+pub(crate) struct ShardLane {
+    pub(crate) engine: Engine<'static>,
+    pub(crate) rng: StdRng,
+    pub(crate) obs: Obs,
     /// Local id → this lane drives the user in phase 1 (interior & home).
-    driven: Vec<bool>,
+    pub(crate) driven: Vec<bool>,
     /// Cached best responses, maintained for driven users only.
-    responses: Vec<BestResponse>,
-    improving_flag: Vec<bool>,
+    pub(crate) responses: Vec<BestResponse>,
+    pub(crate) improving_flag: Vec<bool>,
     /// Sorted local ids of driven users with a non-empty best-route set.
-    improving: Vec<u32>,
-    drained: Vec<UserId>,
-    edits: Vec<(u32, bool)>,
+    pub(crate) improving: Vec<u32>,
+    pub(crate) drained: Vec<UserId>,
+    pub(crate) edits: Vec<(u32, bool)>,
     /// Decision slots committed at this shard (interior + boundary-home).
-    slots: u64,
+    pub(crate) slots: u64,
     /// Whether the last interior phase ended at a local fixpoint (as
     /// opposed to the slot cap).
-    converged: bool,
+    pub(crate) converged: bool,
+}
+
+impl ShardLane {
+    /// Wraps an engine as a lane with fresh driver caches. `driven[l]` marks
+    /// the local users this lane's interior phase moves (interior users of
+    /// the shard, i.e. everyone except boundary replicas and boundary
+    /// homes).
+    pub(crate) fn build(engine: Engine<'static>, rng: StdRng, driven: Vec<bool>) -> Self {
+        let m = driven.len();
+        assert_eq!(m, engine.game().users().len(), "one driven flag per user");
+        ShardLane {
+            engine,
+            rng,
+            obs: Obs::default(),
+            driven,
+            responses: (0..m)
+                .map(|_| BestResponse {
+                    best_routes: Vec::new(),
+                    gain: 0.0,
+                    best_profit: 0.0,
+                })
+                .collect(),
+            improving_flag: vec![false; m],
+            improving: Vec::new(),
+            drained: Vec::new(),
+            edits: Vec::new(),
+            slots: 0,
+            converged: false,
+        }
+    }
+}
+
+/// The seeded random initial profile every execution mode starts from: one
+/// uniform route per user, drawn in user-id order — matching the
+/// single-engine dynamics' initialisation.
+pub(crate) fn initial_profile(game: &Game, seed: u64) -> Vec<RouteId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    game.users()
+        .iter()
+        .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
+        .collect()
+}
+
+/// Shard `s`'s lane RNG seed, derived from the config seed: a deployment is
+/// a pure function of `(game, config)` regardless of transport.
+pub(crate) fn lane_seed(seed: u64, s: usize) -> u64 {
+    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1))
 }
 
 /// Per-round progress report from [`ShardedSim::step_round`].
@@ -184,7 +234,11 @@ pub struct ShardedSim {
 /// Runs one shard's interior phase to a local fixpoint (or `cap` slots),
 /// appending committed moves as *local* `(user, route)` pairs to `out`.
 /// Returns the number of moves committed by this call.
-fn converge_interior(lane: &mut ShardLane, cap: u64, out: &mut Vec<(UserId, RouteId)>) -> u64 {
+pub(crate) fn converge_interior(
+    lane: &mut ShardLane,
+    cap: u64,
+    out: &mut Vec<(UserId, RouteId)>,
+) -> u64 {
     let mut done = 0u64;
     loop {
         // Refresh responses for users dirtied since the last slot and keep
@@ -263,12 +317,7 @@ impl ShardedSim {
     /// profile (one uniform route per user, drawn in user-id order —
     /// matching the single-engine dynamics' initialisation).
     pub fn new(game: Game, config: ShardConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let initial: Vec<RouteId> = game
-            .users()
-            .iter()
-            .map(|u| RouteId::from_index(rng.random_range(0..u.routes.len())))
-            .collect();
+        let initial = initial_profile(&game, config.seed);
         Self::with_initial(game, config, initial)
     }
 
@@ -330,31 +379,11 @@ impl ShardedSim {
             local_of[g.index()] = l as u32;
             driven[l] = !self.plan.is_boundary(g);
         }
-        self.lanes.push(ShardLane {
+        self.lanes.push(ShardLane::build(
             engine,
-            // Per-lane stream derived from the config seed: a sharded run
-            // is a pure function of (game, config).
-            rng: StdRng::seed_from_u64(
-                self.config
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1)),
-            ),
-            obs: Obs::default(),
+            StdRng::seed_from_u64(lane_seed(self.config.seed, s)),
             driven,
-            responses: (0..m)
-                .map(|_| BestResponse {
-                    best_routes: Vec::new(),
-                    gain: 0.0,
-                    best_profit: 0.0,
-                })
-                .collect(),
-            improving_flag: vec![false; m],
-            improving: Vec::new(),
-            drained: Vec::new(),
-            edits: Vec::new(),
-            slots: 0,
-            converged: false,
-        });
+        ));
         self.locals.push(members);
         self.local_of.push(local_of);
     }

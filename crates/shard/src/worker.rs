@@ -1,0 +1,574 @@
+//! The shard worker: the per-shard OS process of a socket-mode deployment.
+//!
+//! A worker owns exactly what one [`crate::sim::ShardLane`] owns in the
+//! in-process coordinator — the shard's engine over its member sub-game,
+//! its lane RNG, its slot counter, and its causal-stamp endpoint — and
+//! executes the coordinator's control messages lock-step. Because the lane
+//! code, the RNG streams, and the event-emission order are shared with
+//! [`crate::ShardedSim`] verbatim, a socket deployment's per-shard JSONL
+//! dumps are *byte-identical* to the channel-mode run of the same
+//! `(game, config)` (the transport-oracle suite asserts this).
+//!
+//! ## Crash recovery
+//!
+//! At every `Checkpoint` message the worker atomically persists a
+//! [`WorkerCheckpoint`]: engine snapshot, RNG state, stamper endpoint,
+//! slot counter, the applied-frame table, and the flushed length of its
+//! JSONL dump. A restarted worker (same arguments) restores all of it,
+//! truncates the dump back to the checkpointed offset with
+//! [`JsonlSubscriber::resume_at`], and reports the covered round in its
+//! `Hello` — the coordinator then replays the rounds the dead incarnation
+//! had seen, and the rewritten tail of the dump comes out identical.
+//! The Theorem-4 watchdog is deliberately **not** checkpointed: a resumed
+//! worker gets a fresh one (its budget is a bound on total slots, so a
+//! restart can only under-count — never a false positive).
+//!
+//! ## Idempotent frame application
+//!
+//! Boundary frames apply exactly once, keyed on `(sender shard, seq)`: a
+//! frame at or below the applied high-water mark is acknowledged but not
+//! re-applied, and a frame that would skip ahead triggers a
+//! [`CtrlMsg::FrameGap`] naming the first missing sequence number, which
+//! drives coordinator-side retransmission of the gap.
+
+use crate::arq::FaultConfig;
+use crate::deploy::DeployConfig;
+use crate::frame::BoundaryFrame;
+use crate::net::{CoordLink, CtrlMsg, TransportKind, CHUNK_PAIRS};
+use crate::partition::partition;
+use crate::sim::{converge_interior, initial_profile, lane_seed, ShardLane};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use vcs_core::bounds::slot_upper_bound;
+use vcs_core::ids::{RouteId, UserId};
+use vcs_core::{Engine, Profile};
+use vcs_obs::{
+    Event, FanoutSubscriber, FrameStamp, FrameStamper, JsonlSubscriber, Obs, Subscriber,
+    WatchdogConfig, WatchdogSubscriber,
+};
+use vcs_online::Snapshot;
+
+/// Everything a worker process needs to reconstruct its shard of the
+/// deployment deterministically: the full game parameters (the game is
+/// re-derived, never shipped) plus its shard id and the coordinator's
+/// address.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// This worker's shard id.
+    pub shard: usize,
+    /// Coordinator port on localhost.
+    pub coord_port: u16,
+    /// Socket transport to dial ([`TransportKind::Channel`] is invalid
+    /// here).
+    pub transport: TransportKind,
+    /// The deployment parameters shared with the coordinator.
+    pub deploy: DeployConfig,
+}
+
+const CKPT_MAGIC: [u8; 4] = *b"VCSW";
+const CKPT_VERSION: u16 = 1;
+
+/// A worker's durable round-boundary state. See the module docs for what
+/// is (and deliberately is not) covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WorkerCheckpoint {
+    pub(crate) shard: u32,
+    /// Last fully completed coordinator round this state covers.
+    pub(crate) round: u32,
+    pub(crate) slots: u64,
+    pub(crate) rng: [u64; 4],
+    pub(crate) stamper_seq: u64,
+    pub(crate) stamper_clock: u64,
+    /// Flushed JSONL dump length at checkpoint time — the resume
+    /// truncation point.
+    pub(crate) jsonl_off: u64,
+    /// Per-sender-shard applied-frame high-water marks.
+    pub(crate) applied: Vec<u64>,
+    /// Encoded engine [`Snapshot`].
+    pub(crate) snapshot: Vec<u8>,
+}
+
+impl WorkerCheckpoint {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.applied.len() * 8 + self.snapshot.len());
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_be_bytes());
+        out.extend_from_slice(&self.shard.to_be_bytes());
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.extend_from_slice(&self.slots.to_be_bytes());
+        for word in self.rng {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out.extend_from_slice(&self.stamper_seq.to_be_bytes());
+        out.extend_from_slice(&self.stamper_clock.to_be_bytes());
+        out.extend_from_slice(&self.jsonl_off.to_be_bytes());
+        out.extend_from_slice(&(self.applied.len() as u32).to_be_bytes());
+        for &hi in &self.applied {
+            out.extend_from_slice(&hi.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.snapshot.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.snapshot);
+        out
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> io::Result<Self> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {msg}"))
+        }
+        let mut at = 0usize;
+        fn take<'b>(buf: &'b [u8], at: &mut usize, n: usize) -> io::Result<&'b [u8]> {
+            fn bad(msg: &str) -> io::Error {
+                io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {msg}"))
+            }
+            let end = at.checked_add(n).ok_or_else(|| bad("overflow"))?;
+            let bytes = buf.get(*at..end).ok_or_else(|| bad("truncated"))?;
+            *at = end;
+            Ok(bytes)
+        }
+        if take(buf, &mut at, 4)? != CKPT_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let ver = u16::from_be_bytes(take(buf, &mut at, 2)?.try_into().expect("2 bytes"));
+        if ver != CKPT_VERSION {
+            return Err(bad("unknown version"));
+        }
+        let u32_at = |b: &[u8]| u32::from_be_bytes(b.try_into().expect("4 bytes"));
+        let u64_at = |b: &[u8]| u64::from_be_bytes(b.try_into().expect("8 bytes"));
+        let shard = u32_at(take(buf, &mut at, 4)?);
+        let round = u32_at(take(buf, &mut at, 4)?);
+        let slots = u64_at(take(buf, &mut at, 8)?);
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = u64_at(take(buf, &mut at, 8)?);
+        }
+        let stamper_seq = u64_at(take(buf, &mut at, 8)?);
+        let stamper_clock = u64_at(take(buf, &mut at, 8)?);
+        let jsonl_off = u64_at(take(buf, &mut at, 8)?);
+        let n_applied = u32_at(take(buf, &mut at, 4)?) as usize;
+        // Hostile-length guard: promised entries must fit the bytes left.
+        if n_applied > buf.len().saturating_sub(at) / 8 {
+            return Err(bad("applied table overruns buffer"));
+        }
+        let mut applied = Vec::with_capacity(n_applied);
+        for _ in 0..n_applied {
+            applied.push(u64_at(take(buf, &mut at, 8)?));
+        }
+        let snap_len = u64_at(take(buf, &mut at, 8)?) as usize;
+        if snap_len > buf.len().saturating_sub(at) {
+            return Err(bad("snapshot length overruns buffer"));
+        }
+        let snapshot = take(buf, &mut at, snap_len)?.to_vec();
+        if at != buf.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(WorkerCheckpoint {
+            shard,
+            round,
+            slots,
+            rng,
+            stamper_seq,
+            stamper_clock,
+            jsonl_off,
+            applied,
+            snapshot,
+        })
+    }
+
+    /// Atomically persists the checkpoint (temp file + rename): a crash
+    /// mid-write leaves the previous checkpoint intact.
+    pub(crate) fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The worker's live state: the lane plus the protocol bookkeeping around
+/// it. `handle` is a pure-ish message → replies step so the protocol logic
+/// is unit-testable without sockets.
+pub(crate) struct Worker {
+    shard: usize,
+    /// Local id ↔ global id maps for this shard's members.
+    members: Vec<UserId>,
+    local_of: Vec<u32>,
+    /// Global id → home shard (only consulted for `Finish` reporting).
+    home_of: Vec<u32>,
+    pub(crate) lane: ShardLane,
+    pub(crate) stamper: FrameStamper,
+    /// Per-sender-shard applied-frame high-water marks.
+    pub(crate) applied: Vec<u64>,
+    jsonl: Arc<JsonlSubscriber>,
+    dog: Arc<WatchdogSubscriber>,
+    ckpt_path: PathBuf,
+    interior_cap: u64,
+    buf: Vec<(UserId, RouteId)>,
+}
+
+impl Worker {
+    /// Builds the worker for `cfg.shard`, restoring from its checkpoint
+    /// file when one exists. Returns the worker and the round its state
+    /// covers (0 = fresh).
+    pub(crate) fn build(cfg: &WorkerConfig) -> io::Result<(Self, u32)> {
+        let d = &cfg.deploy;
+        let s = cfg.shard;
+        let game = d.game();
+        let plan = partition(&game, d.shards);
+        let members = plan.members(s);
+        let n = game.users().len();
+        let mut local_of = vec![u32::MAX; n];
+        let mut driven = vec![false; members.len()];
+        for (l, &g) in members.iter().enumerate() {
+            local_of[g.index()] = l as u32;
+            driven[l] = !plan.is_boundary(g);
+        }
+        let home_of: Vec<u32> = (0..n)
+            .map(|u| plan.home_of(UserId::from_index(u)) as u32)
+            .collect();
+
+        let ckpt_path = d.out_dir.join(format!("ckpt-{s}.bin"));
+        let dump_path = d.out_dir.join(format!("shard-{s}.jsonl"));
+        let restored = match std::fs::read(&ckpt_path) {
+            Ok(bytes) => Some(WorkerCheckpoint::decode(&bytes)?),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+
+        let mut stamper = FrameStamper::default();
+        let mut applied = vec![0u64; d.shards];
+        let (jsonl, mut lane, ckpt_round) = match restored {
+            Some(ck) => {
+                if ck.shard != s as u32 || ck.applied.len() != d.shards {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "checkpoint does not match this deployment",
+                    ));
+                }
+                let jsonl = Arc::new(JsonlSubscriber::resume_at(&dump_path, ck.jsonl_off)?);
+                let snapshot = Snapshot::decode(bytes::Bytes::from(ck.snapshot))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+                let mut lane =
+                    ShardLane::build(snapshot.restore(), StdRng::from_state(ck.rng), driven);
+                lane.slots = ck.slots;
+                stamper.restore_endpoint(s as u32, ck.stamper_seq, ck.stamper_clock);
+                applied = ck.applied;
+                (jsonl, lane, ck.round)
+            }
+            None => {
+                let jsonl = Arc::new(JsonlSubscriber::create(&dump_path)?);
+                let initial = initial_profile(&game, d.seed);
+                let choices: Vec<RouteId> = members.iter().map(|&g| initial[g.index()]).collect();
+                let sub = game.subgame(&members);
+                let profile = Profile::new(&sub, choices);
+                let engine = Engine::new_owned(sub, profile);
+                let lane =
+                    ShardLane::build(engine, StdRng::seed_from_u64(lane_seed(d.seed, s)), driven);
+                (jsonl, lane, 0)
+            }
+        };
+
+        let budget = slot_upper_bound(lane.engine.game(), d.delta_p_min);
+        let dog = Arc::new(WatchdogSubscriber::new(WatchdogConfig {
+            slot_budget: budget.is_finite().then(|| budget.ceil() as u64),
+            ..WatchdogConfig::default()
+        }));
+        let sinks: Vec<Arc<dyn Subscriber>> = vec![jsonl.clone(), dog.clone()];
+        let obs = FanoutSubscriber::obs(sinks);
+        // NOTE: set_obs emits EngineInit — on a fresh start this matches
+        // channel mode exactly; after a restart it adds one (harmlessly
+        // unstamped) extra EngineInit at the resume point.
+        lane.engine.set_obs(obs.clone());
+        lane.obs = obs;
+
+        Ok((
+            Worker {
+                shard: s,
+                members,
+                local_of,
+                home_of,
+                lane,
+                stamper,
+                applied,
+                jsonl,
+                dog,
+                ckpt_path,
+                interior_cap: d.interior_cap,
+                buf: Vec::new(),
+            },
+            ckpt_round,
+        ))
+    }
+
+    fn local(&self, user: u32) -> UserId {
+        let l = self.local_of[user as usize];
+        assert_ne!(l, u32::MAX, "user {user} is not a member of this shard");
+        UserId::from_index(l as usize)
+    }
+
+    /// Executes one control message, returning the replies to send (in
+    /// order) and whether the run is over.
+    pub(crate) fn handle(&mut self, msg: CtrlMsg) -> io::Result<(Vec<CtrlMsg>, bool)> {
+        let mut out = Vec::new();
+        match msg {
+            CtrlMsg::RunInterior { round } => {
+                self.buf.clear();
+                let mut buf = std::mem::take(&mut self.buf);
+                converge_interior(&mut self.lane, self.interior_cap, &mut buf);
+                let moves: Vec<(u32, u32)> = buf
+                    .iter()
+                    .map(|&(lu, r)| (self.members[lu.index()].index() as u32, r.index() as u32))
+                    .collect();
+                self.buf = buf;
+                for chunk in moves.chunks(CHUNK_PAIRS) {
+                    out.push(CtrlMsg::InteriorPart {
+                        moves: chunk.to_vec(),
+                    });
+                }
+                out.push(CtrlMsg::InteriorDone {
+                    round,
+                    converged: self.lane.converged,
+                    slots: self.lane.slots,
+                    moves: moves.len() as u32,
+                });
+            }
+            CtrlMsg::BestRespond { user } => {
+                let resp = self.lane.engine.best_route_set(self.local(user));
+                out.push(CtrlMsg::Routes {
+                    user,
+                    routes: resp.best_routes.iter().map(|r| r.index() as u32).collect(),
+                });
+            }
+            CtrlMsg::Commit { user, route } => {
+                // The home-commit event order mirrors the channel-mode
+                // coordinator exactly: MoveCommitted (engine), then
+                // SlotCompleted, then the stamped FrameSent.
+                let local = self.local(user);
+                let to = RouteId::from_index(route as usize);
+                let from = self.lane.engine.apply_move(local, to);
+                self.lane.slots += 1;
+                let (slot, phi, total) = (
+                    self.lane.slots,
+                    self.lane.engine.potential(),
+                    self.lane.engine.total_profit(),
+                );
+                self.lane.obs.emit(|| Event::SlotCompleted {
+                    slot,
+                    updated: 1,
+                    phi,
+                    total_profit: total,
+                });
+                let stamp = self.stamper.send(self.shard as u32);
+                let frame = BoundaryFrame {
+                    shard: self.shard as u32,
+                    user,
+                    from_route: from.index() as u32,
+                    to_route: route,
+                    seq: stamp.seq,
+                    lamport: stamp.lamport,
+                };
+                let wire = frame.encode();
+                let len = wire.len() as u32;
+                self.lane.obs.emit(|| Event::FrameSent {
+                    bytes: len,
+                    seq: stamp.seq,
+                    lamport: stamp.lamport,
+                });
+                out.push(CtrlMsg::Committed {
+                    frame: wire.to_vec(),
+                });
+            }
+            CtrlMsg::Apply { frame } => out.push(self.apply_frame(&frame)?),
+            CtrlMsg::Checkpoint { round } => {
+                self.write_checkpoint(round)?;
+                out.push(CtrlMsg::CheckpointDone { round });
+            }
+            CtrlMsg::Finish => {
+                let entries: Vec<(u32, u32)> = self
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &g)| self.home_of[g.index()] == self.shard as u32)
+                    .map(|(l, &g)| {
+                        let route = self.lane.engine.profile().choice(UserId::from_index(l));
+                        (g.index() as u32, route.index() as u32)
+                    })
+                    .collect();
+                for chunk in entries.chunks(CHUNK_PAIRS) {
+                    out.push(CtrlMsg::DonePart {
+                        entries: chunk.to_vec(),
+                    });
+                }
+                self.jsonl.flush()?;
+                out.push(CtrlMsg::Done {
+                    shard: self.shard as u32,
+                    alerts: self.dog.alert_count() as u64,
+                    slots: self.lane.slots,
+                    entries: entries.len() as u32,
+                });
+                return Ok((out, true));
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "worker got unexpected message {other:?}"
+                )));
+            }
+        }
+        Ok((out, false))
+    }
+
+    /// Applies one boundary frame idempotently, keyed on
+    /// `(sender shard, seq)`. See the module docs.
+    pub(crate) fn apply_frame(&mut self, frame: &[u8]) -> io::Result<CtrlMsg> {
+        let f = BoundaryFrame::decode(frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let src = f.shard as usize;
+        if src >= self.applied.len() || src == self.shard {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame from invalid shard {src}"),
+            ));
+        }
+        let hi = self.applied[src];
+        if f.seq <= hi {
+            // Duplicate: already applied — acknowledge without re-applying.
+            return Ok(CtrlMsg::Applied { seq: f.seq });
+        }
+        if f.seq > hi + 1 {
+            // Causal-stamp gap: frames (hi+1..f.seq) are missing; ask for
+            // retransmission instead of applying out of order.
+            return Ok(CtrlMsg::FrameGap {
+                shard: f.shard,
+                from_seq: hi + 1,
+            });
+        }
+        let local = self.local(f.user);
+        self.lane
+            .engine
+            .apply_remote_move(local, RouteId::from_index(f.to_route as usize));
+        let rx = self.stamper.receive(
+            self.shard as u32,
+            FrameStamp {
+                seq: f.seq,
+                lamport: f.lamport,
+            },
+        );
+        let len = frame.len() as u32;
+        self.lane.obs.emit(|| Event::FrameReceived {
+            bytes: len,
+            seq: rx.seq,
+            lamport: rx.lamport,
+        });
+        self.applied[src] = f.seq;
+        Ok(CtrlMsg::Applied { seq: f.seq })
+    }
+
+    fn write_checkpoint(&mut self, round: u32) -> io::Result<()> {
+        let jsonl_off = self.jsonl.flushed_len()?;
+        let (stamper_seq, stamper_clock) = self.stamper.endpoint_state(self.shard as u32);
+        let ck = WorkerCheckpoint {
+            shard: self.shard as u32,
+            round,
+            slots: self.lane.slots,
+            rng: self.lane.rng.state(),
+            stamper_seq,
+            stamper_clock,
+            jsonl_off,
+            applied: self.applied.clone(),
+            snapshot: Snapshot::capture(&self.lane.engine)
+                .encode()
+                .as_ref()
+                .to_vec(),
+        };
+        ck.write_atomic(&self.ckpt_path)
+    }
+}
+
+/// Runs a shard worker process to completion: connect, `Hello`, then serve
+/// the coordinator's control messages until `Finish`.
+///
+/// # Errors
+///
+/// Transport failures, a corrupt checkpoint, or a protocol violation. A
+/// recv timeout (the coordinator has been silent for two minutes) is also
+/// an error — the worker exits rather than orphan itself.
+pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
+    let (mut worker, ckpt_round) = Worker::build(cfg)?;
+    let net_obs = match cfg.transport {
+        TransportKind::Udp => {
+            let path = cfg.deploy.out_dir.join(format!("net-{}.jsonl", cfg.shard));
+            Obs::new(Arc::new(JsonlSubscriber::create(&path)?))
+        }
+        _ => Obs::disabled(),
+    };
+    // Each side of a lossy link injects faults on its own outbound
+    // datagrams; the seeds differ per direction so the two streams are
+    // independent.
+    let fault = if cfg.transport == TransportKind::Udp {
+        cfg.deploy.fault
+    } else {
+        FaultConfig::clean()
+    };
+    let mut link = CoordLink::connect(
+        cfg.transport,
+        &format!("127.0.0.1:{}", cfg.coord_port),
+        fault,
+        cfg.deploy
+            .net_seed
+            .wrapping_add(1 + cfg.shard as u64)
+            .rotate_left(17),
+        net_obs,
+    )?;
+    link.send(&CtrlMsg::Hello {
+        shard: cfg.shard as u32,
+        ckpt_round,
+    })?;
+    loop {
+        let msg = link.recv(Duration::from_secs(120))?;
+        let (replies, finished) = worker.handle(msg)?;
+        for reply in &replies {
+            link.send(reply)?;
+        }
+        if finished {
+            link.drain(Duration::from_secs(10));
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_codec_round_trips_and_rejects_corruption() {
+        let ck = WorkerCheckpoint {
+            shard: 2,
+            round: 9,
+            slots: 1234,
+            rng: [1, 2, 3, 4],
+            stamper_seq: 17,
+            stamper_clock: 41,
+            jsonl_off: 8899,
+            applied: vec![5, 0, 7],
+            snapshot: vec![9u8; 100],
+        };
+        let bytes = ck.encode();
+        assert_eq!(WorkerCheckpoint::decode(&bytes).unwrap(), ck);
+        assert!(WorkerCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(WorkerCheckpoint::decode(&bad_magic).is_err());
+        // Hostile applied-table length: promises more entries than bytes.
+        let mut hostile = bytes.clone();
+        // applied-count offset: 4 magic + 2 ver + 4 shard + 4 round +
+        // 8 slots + 32 rng + 8 seq + 8 clock + 8 off = 78.
+        hostile[78..82].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(WorkerCheckpoint::decode(&hostile).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(WorkerCheckpoint::decode(&trailing).is_err());
+    }
+}

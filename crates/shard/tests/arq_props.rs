@@ -1,0 +1,265 @@
+//! Property-based fault matrix for the UDP ARQ primitives: under arbitrary
+//! combinations of datagram loss, duplication, and reordering (acks
+//! included), every payload stream reaches its fixpoint — all messages
+//! delivered, **exactly once**, in sequence order — and the receiver never
+//! delivers a payload twice no matter how hard the wire duplicates.
+//!
+//! Two adversarial regressions ride along: a drop-everything-then-heal
+//! blackout (pure RTO recovery) and a 50× duplicate storm (pure
+//! de-duplication).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vcs_shard::{ArqReceiver, ArqSender, FaultConfig, FaultInjector};
+
+/// One simulated lossy wire: carries `(deliver_at_ms, payload_bytes)` in
+/// arrival-time order, faults decided by the given RNG.
+struct Wire {
+    rng: StdRng,
+    loss: f64,
+    dup: f64,
+    reorder: f64,
+    queue: Vec<(u64, u64, Vec<u8>)>, // (deliver_at, tie, datagram)
+    tie: u64,
+}
+
+impl Wire {
+    fn put(&mut self, bytes: Vec<u8>, now: u64) {
+        if self.rng.random_bool(self.loss) {
+            return;
+        }
+        let copies = if self.rng.random_bool(self.dup) { 2 } else { 1 };
+        for _ in 0..copies {
+            let delay = if self.rng.random_bool(self.reorder) {
+                5 + self.rng.random_range(0..20)
+            } else {
+                1
+            };
+            self.tie += 1;
+            self.queue.push((now + delay, self.tie, bytes.clone()));
+        }
+    }
+
+    fn take_due(&mut self, now: u64) -> Vec<Vec<u8>> {
+        self.queue.sort();
+        let mut out = Vec::new();
+        let mut rest = Vec::new();
+        for item in self.queue.drain(..) {
+            if item.0 <= now {
+                out.push(item.2);
+            } else {
+                rest.push(item);
+            }
+        }
+        self.queue = rest;
+        out
+    }
+}
+
+/// Runs `n` payloads through sender → faulty wire → receiver with acked
+/// retransmission until the stream fixpoint, and asserts exactly-once
+/// in-order delivery. Returns (delivered, retransmissions).
+fn run_stream(n: usize, loss: f64, dup: f64, reorder: f64, seed: u64) -> (Vec<Vec<u8>>, u64) {
+    let mut tx = ArqSender::new();
+    let mut rx = ArqReceiver::new();
+    let mut data_wire = Wire {
+        rng: StdRng::seed_from_u64(seed),
+        loss,
+        dup,
+        reorder,
+        queue: Vec::new(),
+        tie: 0,
+    };
+    // Acks travel over their own equally-faulty wire, as raw cum values.
+    let mut ack_rng = StdRng::seed_from_u64(seed ^ 0xACC5);
+    let mut delivered: Vec<Vec<u8>> = Vec::new();
+    let rto = 40u64;
+    let mut now = 0u64;
+    for i in 0..n {
+        let (_, bytes) = tx.send(format!("msg-{i}").into_bytes(), now);
+        data_wire.put(bytes, now);
+    }
+    // 4000 ticks × 5ms ≫ worst-case recovery for n ≤ 64 at 90% loss.
+    for _ in 0..4000 {
+        now += 5;
+        for (seq, _attempt, bytes) in tx.due(now, rto) {
+            let _ = seq;
+            data_wire.put(bytes, now);
+        }
+        for bytes in data_wire.take_due(now) {
+            let d = vcs_shard::arq::Datagram::decode(&bytes).expect("wire carries datagrams");
+            let out = rx.on_data(d.seq, d.payload);
+            delivered.extend(out.delivered);
+            // Ack (and nak-triggered fast retransmit), both lossy.
+            if !ack_rng.random_bool(loss) {
+                tx.on_ack(out.cum_ack);
+            }
+            if let Some(missing) = out.gap {
+                if !ack_rng.random_bool(loss) {
+                    if let Some((_, resend)) = tx.on_nak(missing, now) {
+                        data_wire.put(resend, now);
+                    }
+                }
+            }
+        }
+        if delivered.len() == n && tx.in_flight() == 0 {
+            break;
+        }
+    }
+    (delivered, tx.retransmissions())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fault matrix: loss × duplication × reorder, all applied to data
+    /// AND acks. The stream always reaches its fixpoint with exactly-once
+    /// in-order delivery.
+    #[test]
+    fn stream_fixpoint_under_loss_dup_reorder(
+        n in 1usize..48,
+        loss in 0.0f64..0.6,
+        dup in 0.0f64..0.5,
+        reorder in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let (delivered, _) = run_stream(n, loss, dup, reorder, seed);
+        prop_assert!(delivered.len() == n, "stream never reached fixpoint");
+        for (i, payload) in delivered.iter().enumerate() {
+            prop_assert!(
+                payload.as_slice() == format!("msg-{i}").as_bytes(),
+                "delivery out of order or duplicated at {}", i
+            );
+        }
+    }
+
+    /// The receiver alone, fed raw sequence numbers in arbitrary order
+    /// with arbitrary repetition: every sequence delivers at most once,
+    /// and the cumulative ack never runs ahead of the in-order prefix.
+    #[test]
+    fn receiver_never_delivers_twice(
+        seqs in prop::collection::vec(1u64..24, 1..200),
+    ) {
+        let mut rx = ArqReceiver::new();
+        let mut seen: Vec<u64> = Vec::new();
+        for &seq in &seqs {
+            let out = rx.on_data(seq, seq.to_be_bytes().to_vec());
+            for payload in out.delivered {
+                let got = u64::from_be_bytes(payload.as_slice().try_into().unwrap());
+                seen.push(got);
+            }
+            prop_assert_eq!(out.cum_ack, rx.cum_ack());
+        }
+        // Delivered = exactly the contiguous prefix of distinct sequences
+        // starting at 1, each exactly once, in order.
+        let expected: Vec<u64> = (1..).take_while(|s| seqs.contains(s)).collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// The fault injector is probability-faithful at the extremes: loss=1
+    /// admits nothing (and counts every drop), loss=0 admits ≥ 1 copy.
+    #[test]
+    fn injector_extremes(seed in any::<u64>(), n in 1usize..50) {
+        let mut black_hole = FaultInjector::new(
+            FaultConfig { loss: 1.0, ..FaultConfig::clean() },
+            seed,
+        );
+        for i in 0..n {
+            prop_assert!(black_hole.admit(vec![i as u8], i as u64).is_empty());
+        }
+        prop_assert_eq!(black_hole.dropped(), n as u64);
+        let mut clean = FaultInjector::new(FaultConfig::clean(), seed);
+        for i in 0..n {
+            prop_assert_eq!(clean.admit(vec![i as u8], i as u64).len(), 1);
+        }
+        prop_assert_eq!(clean.dropped(), 0);
+    }
+}
+
+/// Adversarial regression: total blackout, then heal. Every original
+/// transmission is lost; recovery is pure RTO-driven retransmission.
+#[test]
+fn drop_all_then_heal_recovers_the_full_stream() {
+    let n = 20usize;
+    let (delivered, retransmissions) = run_stream(n, 1.0, 0.0, 0.0, 0x00B5_C0DE);
+    // loss=1.0 would never heal — run_stream's wire uses the loss for the
+    // whole run. Emulate the blackout directly instead:
+    assert!(delivered.is_empty());
+    assert!(
+        retransmissions > 0,
+        "RTO must have fired during the blackout"
+    );
+
+    let mut tx = ArqSender::new();
+    let mut rx = ArqReceiver::new();
+    let mut dropped_originals = 0;
+    for i in 0..n {
+        let (_, _bytes) = tx.send(format!("msg-{i}").into_bytes(), 0);
+        dropped_originals += 1; // the wire eats every original transmission
+    }
+    assert_eq!(dropped_originals, n);
+    assert_eq!(tx.in_flight(), n);
+    // The wire heals; the next RTO sweep retransmits everything in order.
+    let healed = tx.due(1_000, 40);
+    assert_eq!(healed.len(), n);
+    let mut delivered = Vec::new();
+    for (_, _, bytes) in healed {
+        let d = vcs_shard::arq::Datagram::decode(&bytes).unwrap();
+        let out = rx.on_data(d.seq, d.payload);
+        assert!(out.gap.is_none(), "in-order retransmission reveals no gap");
+        delivered.extend(out.delivered);
+        tx.on_ack(out.cum_ack);
+    }
+    assert_eq!(delivered.len(), n);
+    for (i, payload) in delivered.iter().enumerate() {
+        assert_eq!(payload.as_slice(), format!("msg-{i}").as_bytes());
+    }
+    assert_eq!(tx.in_flight(), 0, "cumulative acks must clear the window");
+    assert!(tx.retransmissions() >= n as u64);
+}
+
+/// Adversarial regression: a 50× duplicate storm of every datagram, in
+/// order and shuffled — each payload still delivers exactly once.
+#[test]
+fn duplicate_storm_delivers_exactly_once() {
+    let n = 16usize;
+    let mut tx = ArqSender::new();
+    let mut datagrams = Vec::new();
+    for i in 0..n {
+        let (_, bytes) = tx.send(format!("msg-{i}").into_bytes(), 0);
+        datagrams.push(bytes);
+    }
+    // In-order storm.
+    let mut rx = ArqReceiver::new();
+    let mut delivered = Vec::new();
+    let mut duplicates = 0u64;
+    for bytes in &datagrams {
+        for _ in 0..50 {
+            let d = vcs_shard::arq::Datagram::decode(bytes).unwrap();
+            let out = rx.on_data(d.seq, d.payload);
+            delivered.extend(out.delivered);
+            duplicates += u64::from(out.duplicate);
+        }
+    }
+    assert_eq!(delivered.len(), n);
+    assert_eq!(duplicates, (50 - 1) * n as u64);
+    // Shuffled storm: interleave all copies in a fixed scrambled order.
+    let mut rx = ArqReceiver::new();
+    let mut delivered = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut copies: Vec<usize> = (0..n * 50).map(|k| k % n).collect();
+    for i in (1..copies.len()).rev() {
+        let j = rng.random_range(0..=i);
+        copies.swap(i, j);
+    }
+    for idx in copies {
+        let d = vcs_shard::arq::Datagram::decode(&datagrams[idx]).unwrap();
+        let out = rx.on_data(d.seq, d.payload);
+        delivered.extend(out.delivered);
+    }
+    assert_eq!(delivered.len(), n, "shuffled storm must deliver each once");
+    for (i, payload) in delivered.iter().enumerate() {
+        assert_eq!(payload.as_slice(), format!("msg-{i}").as_bytes());
+    }
+}

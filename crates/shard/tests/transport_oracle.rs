@@ -1,0 +1,165 @@
+//! Transport-oracle conformance: the same seeded 4-shard game run over the
+//! in-process channel coordinator, multi-process TCP, and multi-process
+//! lossy UDP must produce **byte-identical** artifacts — per-shard JSONL
+//! dumps, the merged causally-ordered post-mortem, and the deterministic
+//! outcome core — and each run's merged commit log must replay on a single
+//! full-game oracle engine to the same certified Nash equilibrium.
+//!
+//! This is the determinism contract of `crates/shard/src/deploy.rs` in
+//! test form: the ARQ delivers control messages reliably in order, the
+//! boundary tie-break RNG is consumed coordinator-side, and the workers
+//! run the same lane code as the channel coordinator — so loss, reorder,
+//! duplication, and latency must not leak into the trajectory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SHARDS: usize = 4;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_shard_runtime")
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("transport_oracle_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one deployment with `--verify` (in-binary oracle replay + NE
+/// certificate) and returns its artifact directory.
+fn run(tag: &str, extra: &[&str]) -> PathBuf {
+    let dir = out_dir(tag);
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "--users",
+        "240",
+        "--window",
+        "5",
+        "--shards",
+        &SHARDS.to_string(),
+        "--seed",
+        "11",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--verify",
+    ]);
+    cmd.args(extra);
+    let output = cmd.output().expect("spawn shard_runtime");
+    assert!(
+        output.status.success(),
+        "deployment over {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    dir
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("{}/{name}: {e}", dir.display()))
+}
+
+#[test]
+fn channel_tcp_and_lossy_udp_produce_identical_certified_outcomes() {
+    let chan = run("chan", &["--transport", "channel"]);
+    let tcp = run("tcp", &["--transport", "tcp"]);
+    let udp = run(
+        "udp",
+        &[
+            "--transport",
+            "udp",
+            "--loss",
+            "0.15",
+            "--dup",
+            "0.08",
+            "--reorder",
+            "0.1",
+            "--rtt-ms",
+            "4",
+            "--jitter-ms",
+            "3",
+        ],
+    );
+
+    // The deterministic core and the full event history must agree byte
+    // for byte across all three transports.
+    let mut files: Vec<String> = vec!["outcome.txt".into(), "merged.jsonl".into()];
+    files.extend((0..SHARDS).map(|s| format!("shard-{s}.jsonl")));
+    for name in &files {
+        let reference = read(&chan, name);
+        assert!(
+            !reference.is_empty(),
+            "channel run produced an empty {name}"
+        );
+        assert_eq!(
+            reference,
+            read(&tcp, name),
+            "{name}: channel vs tcp artifacts differ"
+        );
+        assert_eq!(
+            reference,
+            read(&udp, name),
+            "{name}: channel vs lossy-udp artifacts differ"
+        );
+    }
+
+    // The lossy run really was lossy — otherwise this test exercises
+    // nothing beyond the clean paths.
+    let stats = String::from_utf8(read(&udp, "stats.txt")).unwrap();
+    let field = |key: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("stats.txt missing {key}: {stats}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        field("drops") > 0,
+        "15% injected loss produced zero drops: {stats}"
+    );
+    assert!(
+        field("retransmissions") > 0,
+        "dropped datagrams must force ARQ retransmissions: {stats}"
+    );
+    // Watchdogs stay silent on every transport.
+    for dir in [&chan, &tcp, &udp] {
+        let stats = String::from_utf8(read(dir, "stats.txt")).unwrap();
+        assert!(
+            stats.lines().any(|l| l == "alerts=0"),
+            "{}: watchdog alerts in a clean run: {stats}",
+            dir.display()
+        );
+    }
+
+    for dir in [chan, tcp, udp] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// The in-process library path: a channel deployment through
+/// `run_deployment` + `verify_outcome` (no subprocesses), with the merged
+/// post-mortem revalidated from disk by the test itself.
+#[test]
+fn library_deployment_certifies_and_merged_post_mortem_validates() {
+    use vcs_obs::{validate_causal_order_merged, StampedStream};
+    use vcs_shard::{run_deployment, verify_outcome, DeployConfig, TransportKind};
+
+    let dir = out_dir("lib");
+    let mut cfg = DeployConfig::new(180, 180, 5, 3, 23);
+    cfg.out_dir = dir.clone();
+    let outcome = run_deployment(&cfg, TransportKind::Channel).expect("channel deployment");
+    assert!(outcome.converged, "small localized game must converge");
+    verify_outcome(&cfg, &outcome).expect("oracle certification");
+
+    let streams: Vec<StampedStream> = (0..3)
+        .map(|s| {
+            let events = vcs_obs::trace::read_trace(&dir.join(format!("shard-{s}.jsonl"))).unwrap();
+            StampedStream::new(s as u32, events)
+        })
+        .collect();
+    assert!(
+        validate_causal_order_merged(&streams).is_empty(),
+        "merged causal validation must accept the dumps"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -115,6 +115,19 @@ pub fn parse_traces(text: &str) -> Result<Vec<Trace>, CsvError> {
     Ok(traces)
 }
 
+/// Loads a trace CSV file from disk — the entry point of the real-trace
+/// load path (file → [`parse_traces`] → OD extraction). Parse errors are
+/// surfaced as `InvalidData` io errors carrying the offending line.
+pub fn load_traces(path: &std::path::Path) -> std::io::Result<Vec<Trace>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_traces(&text).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
 /// Serializes traces to the CSV format accepted by [`parse_traces`].
 pub fn write_traces(traces: &[Trace]) -> String {
     use std::fmt::Write as _;

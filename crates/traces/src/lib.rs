@@ -21,7 +21,7 @@ pub mod od;
 pub mod stats;
 pub mod synth;
 
-pub use csv::{parse_traces, write_traces, CsvError};
+pub use csv::{load_traces, parse_traces, write_traces, CsvError};
 pub use model::{Trace, TracePoint};
 pub use od::{
     arrival_epochs, extract_all, extract_all_timed, extract_od, extract_od_timed, snap_to_node,

@@ -1,0 +1,99 @@
+//! The real-trace load path, end to end on a committed fixture: CSV file on
+//! disk → [`vcs_traces::load_traces`] → OD extraction on a road graph →
+//! arrival-epoch bucketing. This is the pipeline the paper applies to the
+//! CRAWDAD dumps ("we extract the origin and the destination from the
+//! traces"), exercised here on a hand-projected sample so the CSV codec is
+//! wired into the load path rather than only round-tripping against itself.
+
+use std::path::{Path, PathBuf};
+use vcs_roadnet::{CityConfig, CityKind, RoadGraph};
+use vcs_traces::{
+    arrival_epochs, extract_all, extract_all_timed, generate_traces, load_traces, snap_to_node,
+    write_traces, CityProfile, TraceGenConfig,
+};
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("grid_sample.csv")
+}
+
+fn city() -> RoadGraph {
+    CityConfig {
+        kind: CityKind::Grid {
+            nx: 6,
+            ny: 6,
+            spacing: 1.0,
+        },
+        seed: 2,
+    }
+    .generate()
+}
+
+#[test]
+fn fixture_file_flows_through_the_od_pipeline() {
+    let graph = city();
+    let traces = load_traces(&fixture()).expect("fixture loads");
+    assert_eq!(traces.len(), 5, "five vehicles in the dump");
+
+    // OD extraction drops the parked vehicle (2) and the single ping (3).
+    let ods = extract_all(&graph, &traces);
+    assert_eq!(ods.len(), 3, "three usable trips");
+
+    // The noisy endpoints snap to the intended grid corners.
+    let expect = [
+        ((0.0, 0.0), (5.0, 5.0)),
+        ((5.0, 0.0), (0.0, 4.0)),
+        ((1.0, 3.0), (4.0, 1.0)),
+    ];
+    for (od, (origin, destination)) in ods.iter().zip(expect) {
+        assert_eq!(od.origin, snap_to_node(&graph, origin));
+        assert_eq!(od.destination, snap_to_node(&graph, destination));
+        assert_ne!(od.origin, od.destination);
+    }
+
+    // Timed extraction keeps the dump's departure clock; bucketed arrivals
+    // account for every usable trip.
+    let timed = extract_all_timed(&graph, &traces);
+    assert_eq!(timed.len(), ods.len());
+    let departs: Vec<f64> = timed.iter().map(|t| t.depart).collect();
+    assert_eq!(departs, vec![0.0, 45.0, 200.0]);
+    let buckets = arrival_epochs(&departs, 4);
+    assert_eq!(buckets.iter().sum::<usize>(), 3);
+    assert_eq!(buckets[0], 2, "the two early departures share epoch 0");
+    assert_eq!(buckets[3], 1, "the late trip lands in the last epoch");
+}
+
+#[test]
+fn synthetic_traces_survive_a_disk_round_trip_into_identical_ods() {
+    let graph = city();
+    let cfg = TraceGenConfig {
+        profile: CityProfile::Shanghai,
+        n_traces: 30,
+        seed: 4,
+        gps_noise: 0.01,
+        sample_interval: 20.0,
+        min_trip_fraction: 0.3,
+    };
+    let direct = generate_traces(&graph, &cfg);
+    let path = std::env::temp_dir().join(format!("fixture_load_{}.csv", std::process::id()));
+    std::fs::write(&path, write_traces(&direct)).unwrap();
+    let loaded = load_traces(&path).expect("self-written dump loads");
+    let _ = std::fs::remove_file(&path);
+    // The disk round trip is invisible to the OD pipeline.
+    assert_eq!(extract_all(&graph, &loaded), extract_all(&graph, &direct));
+}
+
+#[test]
+fn load_errors_carry_the_path_and_line() {
+    let path = std::env::temp_dir().join(format!("fixture_load_bad_{}.csv", std::process::id()));
+    std::fs::write(&path, "0,1.0,2.0\n").unwrap();
+    let err = load_traces(&path).expect_err("three fields must not parse");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("fixture_load_bad"), "path missing: {msg}");
+    assert!(msg.contains("line 1"), "line missing: {msg}");
+    let _ = std::fs::remove_file(&path);
+    assert!(load_traces(Path::new("/nonexistent/trace.csv")).is_err());
+}

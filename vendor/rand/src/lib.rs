@@ -57,6 +57,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpoint codecs that
+        /// must resume the exact draw stream in another process.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured with
+        /// [`state`](StdRng::state). An all-zero state is a fixed point of
+        /// xoshiro (it would emit zeros forever), so it is rejected by
+        /// falling back to the seeded construction of seed 0.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as SeedableRng>::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
