@@ -334,13 +334,17 @@ fn seg(value: f64) -> String {
     }
 }
 
-/// Merges the five benchmark documents into one [`Trajectory`].
+/// Merges the benchmark documents into one [`Trajectory`]. `fleet`
+/// (`BENCH_fleet.json`, the telemetry-plane overhead matrix) is optional:
+/// artifacts predating the fleet observability plane merge without it, and
+/// its `obs_fleet/...` metrics enter the gate once the file exists.
 pub fn build_trajectory(
     engine: &Json,
     online: &Json,
     obs: &Json,
     shard: &Json,
     net: &Json,
+    fleet: Option<&Json>,
 ) -> Result<Trajectory, String> {
     let mut gated = Vec::new();
     let mut info = Vec::new();
@@ -453,6 +457,29 @@ pub fn build_trajectory(
         ));
         info.push((format!("{base}/drops"), field_f64(row, "drops")?));
         info.push((format!("{base}/wall_sec"), field_f64(row, "wall_sec")?));
+    }
+    if let Some(fleet) = fleet {
+        for row in rows(fleet, "BENCH_fleet")? {
+            let users = seg(field_f64(row, "users")?);
+            let shards = seg(field_f64(row, "shards")?);
+            let base = format!("obs_fleet/{users}/{shards}");
+            // Relative deployment throughput with the telemetry plane on:
+            // telemetry-off wall / telemetry-on wall of the same config in
+            // the same process. 1.0 = free, lower = overhead; floored at
+            // 0.95 (the < 5% telemetry budget) independent of baseline.
+            gated.push((
+                format!("{base}/telemetry_rel"),
+                field_f64(row, "telemetry_rel")?,
+            ));
+            info.push((
+                format!("{base}/plain_wall_sec"),
+                field_f64(row, "plain_wall_sec")?,
+            ));
+            info.push((
+                format!("{base}/telemetry_wall_sec"),
+                field_f64(row, "telemetry_wall_sec")?,
+            ));
+        }
     }
     if gated.is_empty() {
         return Err("no gated metrics extracted — empty benchmark artifacts?".into());
@@ -578,13 +605,18 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, tolerance: f64) -> V
 /// * every `net/<loss>/<rtt>/certified` ≥ 1.0 — every cell of the
 ///   loss×latency matrix (up to 20% loss, 200ms RTT) must converge to a
 ///   certified full-game Nash equilibrium; the ARQ makes the trajectory
-///   fault-independent, so a decertified cell is a protocol bug, not noise.
+///   fault-independent, so a decertified cell is a protocol bug, not noise;
+/// * every `obs_fleet/<users>/<shards>/telemetry_rel` ≥ 0.95 — the fleet
+///   telemetry plane (frame capture, encode, control-socket interleaving,
+///   registry ingest) must cost a deployment less than 5% of its
+///   telemetry-off wall clock.
 ///
 /// Violations reuse [`Regression`] with the floor as the `baseline`.
 pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
     const MUUN_FLOOR: f64 = 1.0;
     const SHARD_FLOOR: f64 = 1.5;
     const NET_FLOOR: f64 = 1.0;
+    const FLEET_FLOOR: f64 = 0.95;
     const SHARD_METRIC: &str = "shard/100000/4/agg_speedup";
     let floor_of = |metric: &str| -> Option<f64> {
         if metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup") {
@@ -593,6 +625,8 @@ pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
             Some(SHARD_FLOOR)
         } else if metric.starts_with("net/") && metric.ends_with("/certified") {
             Some(NET_FLOOR)
+        } else if metric.starts_with("obs_fleet/") && metric.ends_with("/telemetry_rel") {
+            Some(FLEET_FLOOR)
         } else {
             None
         }
@@ -641,6 +675,10 @@ mod tests {
         {"loss": 0.2, "rtt_ms": 200, "certified": 1.0, "rounds": 3,
          "retransmissions": 41, "drops": 55, "wall_sec": 30.5}
     ]}"#;
+    const FLEET: &str = r#"{"rows": [
+        {"users": 400, "shards": 3, "telemetry_rel": 0.99,
+         "plain_wall_sec": 2.0, "telemetry_wall_sec": 2.02}
+    ]}"#;
 
     fn trajectory() -> Trajectory {
         build_trajectory(
@@ -649,6 +687,7 @@ mod tests {
             &Json::parse(OBS).unwrap(),
             &Json::parse(SHARD).unwrap(),
             &Json::parse(NET).unwrap(),
+            Some(&Json::parse(FLEET).unwrap()),
         )
         .unwrap()
     }
@@ -720,10 +759,39 @@ mod tests {
             &Json::parse(obs).unwrap(),
             &Json::parse(SHARD).unwrap(),
             &Json::parse(NET).unwrap(),
+            None,
         )
         .unwrap();
         assert!(t.gated.iter().any(|(k, _)| k == "obs/DGRN/100/stats_rel"));
         assert!(!t.gated.iter().any(|(k, _)| k.contains("recorder_rel")));
+        // No fleet artifact → no obs_fleet metrics, and no floor demanded.
+        assert!(!t.gated.iter().any(|(k, _)| k.starts_with("obs_fleet/")));
+        assert!(floor_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn fleet_telemetry_floor_catches_overhead_over_budget() {
+        let t = trajectory();
+        assert!(t
+            .gated
+            .iter()
+            .any(|(k, _)| k == "obs_fleet/400/3/telemetry_rel"));
+        assert!(t
+            .informational
+            .iter()
+            .any(|(k, _)| k == "obs_fleet/400/3/plain_wall_sec"));
+        assert!(floor_violations(&t).is_empty());
+        let mut over_budget = t.clone();
+        for (k, v) in &mut over_budget.gated {
+            if k == "obs_fleet/400/3/telemetry_rel" {
+                *v = 0.91; // 9% overhead: past the 5% telemetry budget
+            }
+        }
+        let found = floor_violations(&over_budget);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "obs_fleet/400/3/telemetry_rel");
+        assert_eq!(found[0].baseline, 0.95);
+        assert_eq!(found[0].current, 0.91);
     }
 
     #[test]

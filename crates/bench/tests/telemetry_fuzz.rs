@@ -1,0 +1,141 @@
+//! Adversarial robustness of the telemetry-frame codec: the coordinator
+//! decodes these bytes off a socket shared with the lock-step control
+//! protocol, so corruption must be *rejected or decoded*, never a panic and
+//! never a silent half-read.
+//!
+//! * bit flips — the layout is fixed-shape, so every flip lands in exactly
+//!   one guarded byte (magic / version / shape: always rejected) or one
+//!   data field (always decodes, and to a *different* frame);
+//! * truncation — any prefix strictly shorter than the fixed layout is
+//!   rejected;
+//! * garbage — arbitrary byte strings never panic, and anything the decoder
+//!   does accept re-encodes byte-identically (the codec is canonical, so a
+//!   lucky garbage hit is indistinguishable from a real frame);
+//! * roundtrip — every representable frame survives encode → decode intact.
+
+use proptest::prelude::*;
+use vcs_obs::span::SpanKind;
+use vcs_obs::{
+    NetStats, SpanCells, TelemetryError, TelemetryFrame, COUNTER_NAMES, TELEMETRY_FRAME_LEN,
+};
+
+/// Byte offsets whose damage the decoder must *reject*: the magic, the
+/// version byte, and the three shape bytes. Every other offset is plain
+/// field data — a flip there must still decode (to different contents).
+fn guarded_offsets() -> Vec<usize> {
+    let counter_count = 4 + 1 + 4 + 4 + 8;
+    let span_kind_count = counter_count + 1 + COUNTER_NAMES.len() * 8 + 4 * 8;
+    let mut guarded: Vec<usize> = (0..4).collect(); // magic
+    guarded.push(4); // version
+    guarded.push(counter_count);
+    guarded.push(span_kind_count);
+    guarded.push(span_kind_count + 1); // bucket count
+    guarded
+}
+
+/// Deterministically fills every field of a frame from a seed — a cheap
+/// arbitrary-frame generator that exercises all columns without a strategy
+/// per field.
+fn arbitrary_frame(seed: u64) -> TelemetryFrame {
+    let mut x = seed | 1;
+    let mut next = move || {
+        // SplitMix64: good-enough dispersion for fuzz inputs.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    TelemetryFrame {
+        shard: next() as u32,
+        incarnation: next() as u32,
+        seq: next(),
+        counters: (0..COUNTER_NAMES.len()).map(|_| next()).collect(),
+        lanes: [next(), next(), next(), next()],
+        spans: (0..SpanKind::ALL.len())
+            .map(|_| SpanCells {
+                sum_nanos: next(),
+                buckets: std::array::from_fn(|_| next()),
+            })
+            .collect(),
+        net: NetStats {
+            retransmissions: next(),
+            drops: next(),
+            naks: next(),
+            dup_drops: next(),
+            rto_fires: next(),
+            in_flight: next(),
+            srtt_ms: next(),
+        },
+        watchdog: [next(), next(), next()],
+        phi_bits: next(),
+        profit_bits: next(),
+    }
+}
+
+proptest! {
+    /// Any single-bit flip of an encoded frame either decodes or errors —
+    /// never a panic — and the outcome is fully determined by whether the
+    /// flip hit a guarded byte (magic/version/shape) or field data.
+    #[test]
+    fn bit_flips_decode_or_reject(seed in any::<u64>(), flip in 0usize..TELEMETRY_FRAME_LEN * 8) {
+        let frame = arbitrary_frame(seed);
+        let mut bytes = frame.encode();
+        bytes[flip / 8] ^= 1 << (flip % 8);
+        let guarded = guarded_offsets();
+        match TelemetryFrame::decode(&bytes) {
+            Err(_) => prop_assert!(
+                guarded.contains(&(flip / 8)),
+                "flip at data byte {} was rejected", flip / 8
+            ),
+            Ok(decoded) => {
+                prop_assert!(
+                    !guarded.contains(&(flip / 8)),
+                    "flip at guarded byte {} was accepted", flip / 8
+                );
+                // Silent acceptance of damage is as bad as a panic: the
+                // flip must be visible in the decoded frame.
+                prop_assert_ne!(decoded, frame);
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected as truncated, and
+    /// every extension is rejected for its trailing bytes.
+    #[test]
+    fn wrong_length_is_always_rejected(seed in any::<u64>(), keep in 0usize..TELEMETRY_FRAME_LEN) {
+        let bytes = arbitrary_frame(seed).encode();
+        prop_assert_eq!(
+            TelemetryFrame::decode(&bytes[..keep]),
+            Err(TelemetryError::Truncated)
+        );
+        let mut longer = bytes.clone();
+        longer.extend_from_slice(&[0; 3]);
+        prop_assert_eq!(
+            TelemetryFrame::decode(&longer),
+            Err(TelemetryError::TrailingBytes(3))
+        );
+    }
+
+    /// Arbitrary garbage never panics the decoder, and anything it accepts
+    /// re-encodes to exactly the input bytes — the codec is canonical, so
+    /// acceptance means the bytes *are* a frame, not that damage slipped by.
+    #[test]
+    fn garbage_never_panics_and_acceptance_is_canonical(
+        bytes in prop::collection::vec(any::<u8>(), 0..TELEMETRY_FRAME_LEN + 64),
+    ) {
+        if let Ok(frame) = TelemetryFrame::decode(&bytes) {
+            prop_assert_eq!(frame.encode(), bytes);
+        }
+    }
+
+    /// Every representable frame survives the encode → decode roundtrip
+    /// bit-for-bit (gauge NaN payloads included: they travel as raw bits).
+    #[test]
+    fn arbitrary_frames_roundtrip(seed in any::<u64>()) {
+        let frame = arbitrary_frame(seed);
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), TELEMETRY_FRAME_LEN);
+        prop_assert_eq!(TelemetryFrame::decode(&bytes), Ok(frame));
+    }
+}

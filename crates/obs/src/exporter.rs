@@ -19,6 +19,7 @@
 //! the loop also wakes whenever any scrape arrives — no busy-wait, no
 //! platform-specific socket teardown.
 
+use crate::fleet::FleetStats;
 use crate::stats::StatsSubscriber;
 use crate::subscriber::{FanoutSubscriber, Obs};
 use crate::watchdog::{WatchdogConfig, WatchdogSubscriber};
@@ -33,6 +34,18 @@ use std::time::Duration;
 /// connection. Scrapes are local and tiny; a stuck client must not wedge
 /// the accept loop.
 const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What an exporter serves: one process's own subscriber, or the
+/// coordinator's fleet-level registry of ingested telemetry frames.
+enum Source {
+    /// This process's stats (and optionally its watchdog).
+    Process {
+        stats: Arc<StatsSubscriber>,
+        watchdog: Option<Arc<WatchdogSubscriber>>,
+    },
+    /// A whole deployment, folded from worker telemetry frames.
+    Fleet(Arc<FleetStats>),
+}
 
 /// A live HTTP metrics endpoint backed by a [`StatsSubscriber`].
 ///
@@ -52,7 +65,13 @@ impl MetricsExporter {
     /// [`bind_with_watchdog`](MetricsExporter::bind_with_watchdog) to
     /// populate it.
     pub fn bind(addr: impl ToSocketAddrs, stats: Arc<StatsSubscriber>) -> std::io::Result<Self> {
-        Self::bind_inner(addr, stats, None)
+        Self::bind_inner(
+            addr,
+            Source::Process {
+                stats,
+                watchdog: None,
+            },
+        )
     }
 
     /// [`bind`](MetricsExporter::bind), plus a [`WatchdogSubscriber`]
@@ -64,14 +83,24 @@ impl MetricsExporter {
         stats: Arc<StatsSubscriber>,
         watchdog: Arc<WatchdogSubscriber>,
     ) -> std::io::Result<Self> {
-        Self::bind_inner(addr, stats, Some(watchdog))
+        Self::bind_inner(
+            addr,
+            Source::Process {
+                stats,
+                watchdog: Some(watchdog),
+            },
+        )
     }
 
-    fn bind_inner(
-        addr: impl ToSocketAddrs,
-        stats: Arc<StatsSubscriber>,
-        watchdog: Option<Arc<WatchdogSubscriber>>,
-    ) -> std::io::Result<Self> {
+    /// Serves a [`FleetStats`] registry instead of one process's stats:
+    /// `/metrics` renders the per-shard-labeled fleet exposition,
+    /// `/snapshot` the fleet JSON, `/alerts` the fleet alert total. This
+    /// is the coordinator's endpoint in a telemetry-enabled deployment.
+    pub fn bind_fleet(addr: impl ToSocketAddrs, fleet: Arc<FleetStats>) -> std::io::Result<Self> {
+        Self::bind_inner(addr, Source::Fleet(fleet))
+    }
+
+    fn bind_inner(addr: impl ToSocketAddrs, source: Source) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -79,7 +108,7 @@ impl MetricsExporter {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("vcs-metrics-exporter".into())
-                .spawn(move || accept_loop(&listener, &stats, watchdog.as_ref(), &stop))?
+                .spawn(move || accept_loop(&listener, &source, &stop))?
         };
         Ok(Self {
             addr,
@@ -112,48 +141,62 @@ impl Drop for MetricsExporter {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    stats: &StatsSubscriber,
-    watchdog: Option<&Arc<WatchdogSubscriber>>,
-    stop: &AtomicBool,
-) {
+fn accept_loop(listener: &TcpListener, source: &Source, stop: &AtomicBool) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-        serve_one(&mut stream, stats, watchdog);
+        serve_one(&mut stream, source);
     }
 }
 
 /// Reads one request head and writes one response. Errors are swallowed:
 /// a broken scrape must never take the exporter (or the run) down.
-fn serve_one(
-    stream: &mut TcpStream,
-    stats: &StatsSubscriber,
-    watchdog: Option<&Arc<WatchdogSubscriber>>,
-) {
+fn serve_one(stream: &mut TcpStream, source: &Source) {
     let Some(path) = read_request_path(stream) else {
         return;
     };
     let (status, content_type, body) = match path.as_str() {
         "/metrics" => {
-            let mut text = stats.prometheus_text();
-            if let Some(dog) = watchdog {
-                text.push_str(&dog.prometheus_text());
-            }
+            let text = match source {
+                Source::Process { stats, watchdog } => {
+                    let mut text = stats.prometheus_text();
+                    if let Some(dog) = watchdog {
+                        text.push_str(&dog.prometheus_text());
+                    }
+                    text
+                }
+                Source::Fleet(fleet) => fleet.prometheus_text(),
+            };
             ("200 OK", "text/plain; version=0.0.4", text)
         }
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-        "/snapshot" => ("200 OK", "application/json", stats.snapshot_json()),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            match source {
+                Source::Process { stats, .. } => stats.snapshot_json(),
+                Source::Fleet(fleet) => fleet.snapshot_json(),
+            },
+        ),
         "/alerts" => (
             "200 OK",
             "application/json",
-            watchdog
-                .map(|dog| dog.alerts_json())
-                .unwrap_or_else(|| "{\"alerts\":[]}\n".to_string()),
+            match source {
+                Source::Process {
+                    watchdog: Some(dog),
+                    ..
+                } => dog.alerts_json(),
+                Source::Process { watchdog: None, .. } => "{\"alerts\":[]}\n".to_string(),
+                Source::Fleet(fleet) => {
+                    format!(
+                        "{{\"alerts\":[],\"fleet_alerts\":{}}}\n",
+                        fleet.total_alerts()
+                    )
+                }
+            },
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
@@ -315,6 +358,31 @@ mod tests {
 
         exporter.shutdown();
         exporter.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn fleet_exporter_serves_labeled_exposition() {
+        use crate::telemetry::TelemetryFrame;
+        let fleet = Arc::new(FleetStats::new());
+        let mut frame = TelemetryFrame::empty(3);
+        frame.seq = 1;
+        frame.counters[0] = 17;
+        assert!(fleet.ingest(frame));
+        let exporter =
+            MetricsExporter::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).expect("bind fleet");
+        let (status, body) = get(exporter.addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.contains("vcs_fleet_slots_total{shard=\"3\"} 17"),
+            "body: {body}"
+        );
+        validate_prometheus_text(&body).expect("fleet exposition over HTTP");
+        let (status, body) = get(exporter.addr(), "/snapshot");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"shard\":\"3\""));
+        let (status, body) = get(exporter.addr(), "/alerts");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"fleet_alerts\":0"));
     }
 
     #[test]

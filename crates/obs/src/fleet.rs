@@ -1,0 +1,520 @@
+//! The coordinator's fleet-level metrics registry: every telemetry frame
+//! the workers stream in (plus the coordinator's own self-captures) folds
+//! into one [`FleetStats`], served by a single `/metrics` endpoint with
+//! `shard="<id>"` labels and fleet-wide rollups.
+//!
+//! Frames are cumulative snapshots, so folding is idempotent: per
+//! `(shard, incarnation)` the registry keeps the highest-`seq` frame and
+//! discards stale arrivals (UDP telemetry may be lost, duplicated, or
+//! reordered — none of it skews a counter). A shard's totals sum the final
+//! snapshot of every incarnation, so the work a crashed worker did before
+//! its SIGKILL stays in the fleet counters after the respawn resets the
+//! live process's counters to zero.
+//!
+//! Label scheme (validated by `validate_prometheus_text`, which dedups
+//! histogram `le` buckets per family *name*): per-shard series are labeled
+//! counters and gauges — one `# TYPE` line per family, one sample per
+//! shard — while span latency *histograms* exist only as unlabeled
+//! fleet-wide rollups (`vcs_fleet_span_<tag>_seconds`), with per-shard span
+//! activity exposed as labeled `_count`/`_seconds` counters instead.
+
+use crate::span::SpanKind;
+use crate::stats::render_span_cells;
+use crate::telemetry::{NetStats, SpanCells, TelemetryFrame, COORD_SHARD, COUNTER_NAMES};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Watchdog alert-kind labels, in the frame's `watchdog` column order.
+const ALERT_KINDS: [&str; 3] = ["phi_decrease", "slot_budget_overrun", "stale_livelock"];
+
+/// The fleet-level registry: latest telemetry frame per
+/// `(shard, incarnation)`, plus ingest accounting.
+#[derive(Default)]
+pub struct FleetStats {
+    /// shard → incarnation → highest-`seq` frame seen.
+    frames: Mutex<BTreeMap<u32, BTreeMap<u32, TelemetryFrame>>>,
+    /// Frames accepted (newer than what was held).
+    accepted: AtomicU64,
+    /// Frames discarded as stale (older or equal `seq`).
+    stale: AtomicU64,
+}
+
+/// One shard's rollup across incarnations: counter columns summed, span
+/// cells summed, net counters summed; gauges (ϕ, profit, in-flight, RTT)
+/// come from the live (highest) incarnation only.
+#[derive(Debug, Clone)]
+pub struct ShardTotals {
+    /// The shard id ([`COORD_SHARD`] = the coordinator).
+    pub shard: u32,
+    /// Incarnations that have reported (≥ 1).
+    pub incarnations: u64,
+    /// Stats counters in [`COUNTER_NAMES`] order, summed.
+    pub counters: Vec<u64>,
+    /// Response lanes, summed.
+    pub lanes: [u64; 4],
+    /// Span cells per kind, summed.
+    pub spans: Vec<SpanCells>,
+    /// Net counters summed; `in_flight`/`srtt_ms` from the live incarnation.
+    pub net: NetStats,
+    /// Watchdog alert counts, summed.
+    pub watchdog: [u64; 3],
+    /// Latest ϕ of the live incarnation, if ever set.
+    pub phi: Option<f64>,
+    /// Latest total profit of the live incarnation, if ever set.
+    pub total_profit: Option<f64>,
+}
+
+impl ShardTotals {
+    /// Total latched watchdog alerts.
+    pub fn alerts(&self) -> u64 {
+        self.watchdog.iter().sum()
+    }
+}
+
+/// Renders a shard id as its label value (`"coord"` for the coordinator).
+pub fn shard_label(shard: u32) -> String {
+    if shard == COORD_SHARD {
+        "coord".to_string()
+    } else {
+        shard.to_string()
+    }
+}
+
+impl FleetStats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FleetStats::default()
+    }
+
+    /// Folds one frame in. Returns `true` if the frame was accepted —
+    /// i.e. it is the first, or strictly newer (`seq`) than the held frame
+    /// for its `(shard, incarnation)` slot.
+    pub fn ingest(&self, frame: TelemetryFrame) -> bool {
+        let mut frames = self.frames.lock();
+        let slot = frames
+            .entry(frame.shard)
+            .or_default()
+            .entry(frame.incarnation);
+        let accepted = match slot {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(frame);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if frame.seq > o.get().seq {
+                    o.insert(frame);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        drop(frames);
+        if accepted {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Frames accepted so far.
+    pub fn frames_ingested(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Frames discarded as stale.
+    pub fn frames_stale(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Shards that have reported, ascending (the coordinator last).
+    pub fn shards(&self) -> Vec<u32> {
+        let frames = self.frames.lock();
+        let mut ids: Vec<u32> = frames
+            .keys()
+            .copied()
+            .filter(|&s| s != COORD_SHARD)
+            .collect();
+        if frames.contains_key(&COORD_SHARD) {
+            ids.push(COORD_SHARD);
+        }
+        ids
+    }
+
+    /// One shard's cross-incarnation rollup, if it has reported.
+    pub fn shard_totals(&self, shard: u32) -> Option<ShardTotals> {
+        let frames = self.frames.lock();
+        let incs = frames.get(&shard)?;
+        let live = incs
+            .values()
+            .next_back()
+            .expect("non-empty incarnation map");
+        let mut totals = ShardTotals {
+            shard,
+            incarnations: incs.len() as u64,
+            counters: vec![0; COUNTER_NAMES.len()],
+            lanes: [0; 4],
+            spans: vec![SpanCells::zero(); SpanKind::ALL.len()],
+            net: NetStats {
+                in_flight: live.net.in_flight,
+                srtt_ms: live.net.srtt_ms,
+                ..NetStats::default()
+            },
+            watchdog: [0; 3],
+            phi: live.phi(),
+            total_profit: {
+                let v = f64::from_bits(live.profit_bits);
+                (!v.is_nan()).then_some(v)
+            },
+        };
+        for frame in incs.values() {
+            for (total, &v) in totals.counters.iter_mut().zip(&frame.counters) {
+                *total += v;
+            }
+            for (total, &v) in totals.lanes.iter_mut().zip(&frame.lanes) {
+                *total += v;
+            }
+            for (total, row) in totals.spans.iter_mut().zip(&frame.spans) {
+                total.sum_nanos += row.sum_nanos;
+                for (cell, &v) in total.buckets.iter_mut().zip(&row.buckets) {
+                    *cell += v;
+                }
+            }
+            totals.net.retransmissions += frame.net.retransmissions;
+            totals.net.drops += frame.net.drops;
+            totals.net.naks += frame.net.naks;
+            totals.net.dup_drops += frame.net.dup_drops;
+            totals.net.rto_fires += frame.net.rto_fires;
+            for (total, &v) in totals.watchdog.iter_mut().zip(&frame.watchdog) {
+                *total += v;
+            }
+        }
+        Some(totals)
+    }
+
+    /// Total latched watchdog alerts across the fleet.
+    pub fn total_alerts(&self) -> u64 {
+        self.shards()
+            .into_iter()
+            .filter_map(|s| self.shard_totals(s))
+            .map(|t| t.alerts())
+            .sum()
+    }
+
+    /// Renders the whole fleet as one Prometheus text-exposition document:
+    /// per-shard labeled counter/gauge families plus unlabeled fleet-wide
+    /// span-latency histograms. Always passes `validate_prometheus_text`.
+    pub fn prometheus_text(&self) -> String {
+        let totals: Vec<ShardTotals> = self
+            .shards()
+            .into_iter()
+            .filter_map(|s| self.shard_totals(s))
+            .collect();
+        let mut out = String::new();
+
+        let _ = writeln!(out, "# TYPE vcs_fleet_processes gauge");
+        let _ = writeln!(out, "vcs_fleet_processes {}", totals.len());
+        let _ = writeln!(out, "# TYPE vcs_fleet_frames_ingested_total counter");
+        let _ = writeln!(
+            out,
+            "vcs_fleet_frames_ingested_total {}",
+            self.frames_ingested()
+        );
+        let _ = writeln!(out, "# TYPE vcs_fleet_frames_stale_total counter");
+        let _ = writeln!(out, "vcs_fleet_frames_stale_total {}", self.frames_stale());
+
+        let _ = writeln!(out, "# TYPE vcs_fleet_incarnations gauge");
+        for t in &totals {
+            let _ = writeln!(
+                out,
+                "vcs_fleet_incarnations{{shard=\"{}\"}} {}",
+                shard_label(t.shard),
+                t.incarnations
+            );
+        }
+
+        // Stats counters, one labeled family per column.
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            let _ = writeln!(out, "# TYPE vcs_fleet_{name}_total counter");
+            for t in &totals {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_{name}_total{{shard=\"{}\"}} {}",
+                    shard_label(t.shard),
+                    t.counters[i]
+                );
+            }
+        }
+
+        // Response lanes: rule × improving.
+        let _ = writeln!(out, "# TYPE vcs_fleet_responses_total counter");
+        for t in &totals {
+            for (lane, &v) in t.lanes.iter().enumerate() {
+                let rule = if lane & 0b10 != 0 { "better" } else { "best" };
+                let improving = lane & 0b01 != 0;
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_responses_total{{shard=\"{}\",rule=\"{rule}\",improving=\"{improving}\"}} {v}",
+                    shard_label(t.shard)
+                );
+            }
+        }
+
+        // Transport/ARQ health.
+        for (name, get) in [
+            (
+                "retransmissions",
+                (|n: &NetStats| n.retransmissions) as fn(&NetStats) -> u64,
+            ),
+            ("drops", |n| n.drops),
+            ("naks", |n| n.naks),
+            ("dup_drops", |n| n.dup_drops),
+            ("rto_fires", |n| n.rto_fires),
+        ] {
+            let _ = writeln!(out, "# TYPE vcs_fleet_net_{name}_total counter");
+            for t in &totals {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_net_{name}_total{{shard=\"{}\"}} {}",
+                    shard_label(t.shard),
+                    get(&t.net)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE vcs_fleet_net_in_flight gauge");
+        for t in &totals {
+            let _ = writeln!(
+                out,
+                "vcs_fleet_net_in_flight{{shard=\"{}\"}} {}",
+                shard_label(t.shard),
+                t.net.in_flight
+            );
+        }
+        let _ = writeln!(out, "# TYPE vcs_fleet_net_srtt_ms gauge");
+        for t in &totals {
+            let _ = writeln!(
+                out,
+                "vcs_fleet_net_srtt_ms{{shard=\"{}\"}} {}",
+                shard_label(t.shard),
+                t.net.srtt_ms
+            );
+        }
+
+        // Latched watchdog alerts per kind.
+        let _ = writeln!(out, "# TYPE vcs_fleet_watchdog_alerts_total counter");
+        for t in &totals {
+            for (i, kind) in ALERT_KINDS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_watchdog_alerts_total{{shard=\"{}\",kind=\"{kind}\"}} {}",
+                    shard_label(t.shard),
+                    t.watchdog[i]
+                );
+            }
+        }
+
+        // Live gauges, only where ever set.
+        let _ = writeln!(out, "# TYPE vcs_fleet_phi gauge");
+        for t in &totals {
+            if let Some(phi) = t.phi {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_phi{{shard=\"{}\"}} {phi:?}",
+                    shard_label(t.shard)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE vcs_fleet_total_profit gauge");
+        for t in &totals {
+            if let Some(profit) = t.total_profit {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_total_profit{{shard=\"{}\"}} {profit:?}",
+                    shard_label(t.shard)
+                );
+            }
+        }
+
+        // Per-shard span activity as labeled counters (histograms can only
+        // roll up fleet-wide: the validator dedups `le` per family name).
+        let _ = writeln!(out, "# TYPE vcs_fleet_span_count_total counter");
+        for t in &totals {
+            for kind in SpanKind::ALL {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_span_count_total{{shard=\"{}\",kind=\"{}\"}} {}",
+                    shard_label(t.shard),
+                    kind.tag(),
+                    t.spans[kind.index()].count()
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE vcs_fleet_span_seconds_total counter");
+        for t in &totals {
+            for kind in SpanKind::ALL {
+                let _ = writeln!(
+                    out,
+                    "vcs_fleet_span_seconds_total{{shard=\"{}\",kind=\"{}\"}} {:?}",
+                    shard_label(t.shard),
+                    kind.tag(),
+                    t.spans[kind.index()].sum_nanos as f64 * 1e-9
+                );
+            }
+        }
+
+        // Fleet-wide latency rollups: one unlabeled histogram per kind.
+        for kind in SpanKind::ALL {
+            let mut cells = [0u64; crate::telemetry::SPAN_BUCKETS];
+            let mut sum_nanos = 0u64;
+            for t in &totals {
+                let row = &t.spans[kind.index()];
+                sum_nanos += row.sum_nanos;
+                for (cell, &v) in cells.iter_mut().zip(&row.buckets) {
+                    *cell += v;
+                }
+            }
+            render_span_cells(
+                &format!("vcs_fleet_span_{}_seconds", kind.tag()),
+                &cells,
+                sum_nanos,
+                &mut out,
+            );
+        }
+
+        out
+    }
+
+    /// A compact JSON snapshot (the `/snapshot` endpoint of a fleet
+    /// exporter): per-shard slots, alerts, incarnations, and net counters.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"shards\":[");
+        for (i, shard) in self.shards().into_iter().enumerate() {
+            let Some(t) = self.shard_totals(shard) else {
+                continue;
+            };
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":\"{}\",\"incarnations\":{},\"slots\":{},\"alerts\":{},\
+                 \"retransmissions\":{},\"drops\":{},\"naks\":{},\"dup_drops\":{},\
+                 \"rto_fires\":{},\"in_flight\":{},\"srtt_ms\":{}}}",
+                shard_label(t.shard),
+                t.incarnations,
+                t.counters.first().copied().unwrap_or(0),
+                t.alerts(),
+                t.net.retransmissions,
+                t.net.drops,
+                t.net.naks,
+                t.net.dup_drops,
+                t.net.rto_fires,
+                t.net.in_flight,
+                t.net.srtt_ms
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"frames_ingested\":{},\"frames_stale\":{}}}",
+            self.frames_ingested(),
+            self.frames_stale()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::validate_prometheus_text;
+
+    fn frame(shard: u32, incarnation: u32, seq: u64, slots: u64) -> TelemetryFrame {
+        let mut f = TelemetryFrame::empty(shard);
+        f.incarnation = incarnation;
+        f.seq = seq;
+        f.counters[0] = slots;
+        f.net.retransmissions = seq;
+        f.spans[SpanKind::Slot.index()].buckets[3] = slots;
+        f.spans[SpanKind::Slot.index()].sum_nanos = slots * 1_000;
+        f
+    }
+
+    #[test]
+    fn stale_frames_lose_newer_frames_win() {
+        let fleet = FleetStats::new();
+        assert!(fleet.ingest(frame(0, 0, 5, 50)));
+        assert!(!fleet.ingest(frame(0, 0, 4, 40)), "stale seq accepted");
+        assert!(!fleet.ingest(frame(0, 0, 5, 99)), "equal seq accepted");
+        assert!(fleet.ingest(frame(0, 0, 6, 60)));
+        let t = fleet.shard_totals(0).expect("shard 0");
+        assert_eq!(t.counters[0], 60);
+        assert_eq!(fleet.frames_ingested(), 2);
+        assert_eq!(fleet.frames_stale(), 2);
+    }
+
+    #[test]
+    fn incarnations_sum_and_live_gauges_come_from_the_latest() {
+        let fleet = FleetStats::new();
+        let mut dead = frame(1, 0, 9, 100);
+        dead.phi_bits = 7.5f64.to_bits();
+        dead.net.in_flight = 4;
+        fleet.ingest(dead);
+        let mut live = frame(1, 1, 2, 30);
+        live.phi_bits = 3.25f64.to_bits();
+        live.net.in_flight = 1;
+        fleet.ingest(live);
+        let t = fleet.shard_totals(1).expect("shard 1");
+        assert_eq!(t.incarnations, 2);
+        assert_eq!(t.counters[0], 130, "counters sum across incarnations");
+        assert_eq!(t.net.retransmissions, 11);
+        assert_eq!(t.net.in_flight, 1, "gauge from live incarnation");
+        assert_eq!(t.phi, Some(3.25), "gauge from live incarnation");
+        assert_eq!(t.spans[SpanKind::Slot.index()].count(), 130);
+    }
+
+    #[test]
+    fn exposition_passes_the_validator_and_labels_shards() {
+        let fleet = FleetStats::new();
+        fleet.ingest(frame(0, 0, 1, 10));
+        fleet.ingest(frame(2, 1, 3, 20));
+        let mut coord = frame(COORD_SHARD, 0, 7, 0);
+        coord.phi_bits = 1.5f64.to_bits();
+        fleet.ingest(coord);
+        let text = fleet.prometheus_text();
+        validate_prometheus_text(&text).expect("fleet exposition is valid");
+        assert!(text.contains("vcs_fleet_slots_total{shard=\"0\"} 10"));
+        assert!(text.contains("vcs_fleet_slots_total{shard=\"2\"} 20"));
+        assert!(text.contains("vcs_fleet_incarnations{shard=\"coord\"} 1"));
+        assert!(text.contains("vcs_fleet_phi{shard=\"coord\"} 1.5"));
+        assert!(text.contains("# TYPE vcs_fleet_span_slot_seconds histogram"));
+        assert!(text.contains("vcs_fleet_span_count_total{shard=\"0\",kind=\"slot\"} 10"));
+        assert_eq!(fleet.shards(), vec![0, 2, COORD_SHARD]);
+    }
+
+    #[test]
+    fn empty_registry_renders_a_valid_document() {
+        let fleet = FleetStats::new();
+        validate_prometheus_text(&fleet.prometheus_text()).expect("empty exposition");
+        assert_eq!(fleet.total_alerts(), 0);
+        assert_eq!(
+            fleet.snapshot_json(),
+            "{\"shards\":[],\"frames_ingested\":0,\"frames_stale\":0}"
+        );
+    }
+
+    #[test]
+    fn watchdog_alerts_roll_up() {
+        let fleet = FleetStats::new();
+        let mut f = frame(0, 0, 1, 1);
+        f.watchdog = [2, 0, 1];
+        fleet.ingest(f);
+        assert_eq!(fleet.total_alerts(), 3);
+        let text = fleet.prometheus_text();
+        assert!(
+            text.contains("vcs_fleet_watchdog_alerts_total{shard=\"0\",kind=\"phi_decrease\"} 2")
+        );
+    }
+}

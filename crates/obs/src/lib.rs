@@ -38,7 +38,12 @@
 //!   runtime thread dies;
 //! * [`WatchdogSubscriber`] — online invariant checks (Eq. 11 ϕ
 //!   monotonicity, Theorem 4 slot budgets, stale-livelock) raising
-//!   structured [`Alert`]s through `/alerts` and `vcs_watchdog_*` counters.
+//!   structured [`Alert`]s through `/alerts` and `vcs_watchdog_*` counters;
+//! * [`telemetry`] / [`FleetStats`] — the cross-process plane: compact
+//!   [`TelemetryFrame`] snapshots a multi-process deployment streams from
+//!   workers to its coordinator, folded into one fleet registry and served
+//!   with `shard="<id>"` labels by
+//!   [`MetricsExporter::bind_fleet`].
 //!
 //! This crate is a dependency *leaf* (only the vendored `parking_lot`), so
 //! `vcs-core` itself can depend on it; events therefore carry raw `u32`/
@@ -51,11 +56,13 @@ mod alert_sink;
 pub mod causal;
 mod event;
 mod exporter;
+mod fleet;
 mod jsonl;
 mod recorder;
 pub mod span;
 mod stats;
 mod subscriber;
+pub mod telemetry;
 pub mod trace;
 mod watchdog;
 
@@ -67,10 +74,15 @@ pub use causal::{
 };
 pub use event::{Event, ResponseKind};
 pub use exporter::{LiveMonitor, MetricsExporter};
+pub use fleet::{shard_label, FleetStats, ShardTotals};
 pub use jsonl::JsonlSubscriber;
 pub use recorder::FlightRecorder;
 pub use span::{elapsed_nanos, summarize_spans, SpanKind, SpanSummary, SpanTimer};
 pub use stats::{validate_prometheus_text, Histogram, SpanHistogram, StatsSubscriber};
 pub use subscriber::{FanoutSubscriber, NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
+pub use telemetry::{
+    NetStats, SpanCells, TelemetryError, TelemetryFrame, COORD_SHARD, COUNTER_NAMES,
+    TELEMETRY_FRAME_LEN, TELEMETRY_MAGIC, TELEMETRY_VERSION,
+};
 pub use trace::{reconstruct_phi, PhiPoint, PhiReconstruction, TraceError};
 pub use watchdog::{Alert, AlertKind, WatchdogConfig, WatchdogSubscriber};

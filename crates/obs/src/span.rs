@@ -56,11 +56,22 @@ pub enum SpanKind {
     /// One conflict-free PUU batch commit (`Engine::apply_batch`): the
     /// parallel read-only delta phase plus the ordered sequential commit.
     BatchApply,
+    /// One shard's interior-convergence phase of a coordinator round: from
+    /// the `RunInterior` fan-out to that shard's `InteriorDone`.
+    InteriorConverge,
+    /// Serializing one boundary commit: encoding the boundary frame and the
+    /// control messages that carry it to every replica shard.
+    BoundarySerialize,
+    /// Blocking on the socket transport for the next control message
+    /// (coordinator-side recv wait, the network share of a round).
+    NetWait,
 }
 
 impl SpanKind {
-    /// Every kind, in display order.
-    pub const ALL: [SpanKind; 8] = [
+    /// Every kind, in display order. New kinds append at the end: the
+    /// flight-recorder binary codec and per-kind tables index by
+    /// [`index`](Self::index), so declaration order is a wire format.
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Slot,
         SpanKind::EngineApply,
         SpanKind::BestResponse,
@@ -69,6 +80,9 @@ impl SpanKind {
         SpanKind::ChannelWait,
         SpanKind::EpochReconverge,
         SpanKind::BatchApply,
+        SpanKind::InteriorConverge,
+        SpanKind::BoundarySerialize,
+        SpanKind::NetWait,
     ];
 
     /// Stable snake_case tag used by the JSONL codec and the Prometheus
@@ -83,6 +97,9 @@ impl SpanKind {
             SpanKind::ChannelWait => "channel_wait",
             SpanKind::EpochReconverge => "epoch_reconverge",
             SpanKind::BatchApply => "batch_apply",
+            SpanKind::InteriorConverge => "interior_converge",
+            SpanKind::BoundarySerialize => "boundary_serialize",
+            SpanKind::NetWait => "net_wait",
         }
     }
 

@@ -100,7 +100,7 @@ impl Histogram {
 
 /// Upper bounds of the span-latency buckets, integer nanoseconds (log
 /// decades 10 ns … 10 s, plus the implicit `+Inf`).
-const SPAN_BOUNDS_NANOS: [u64; 10] = [
+pub(crate) const SPAN_BOUNDS_NANOS: [u64; 10] = [
     10,
     100,
     1_000,
@@ -115,7 +115,31 @@ const SPAN_BOUNDS_NANOS: [u64; 10] = [
 
 /// The same bounds in seconds, pre-formatted for `le` labels (`{:?}` on
 /// these exact constants keeps the exposition byte-stable).
-const SPAN_BOUNDS_SECONDS: [f64; 10] = [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+pub(crate) const SPAN_BOUNDS_SECONDS: [f64; 10] =
+    [1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Cells of one span histogram: one per bound plus the `+Inf` cell. This is
+/// the wire width of a telemetry span row and the table width of the fleet
+/// registry's rollups.
+pub(crate) const SPAN_BUCKETS: usize = SPAN_BOUNDS_NANOS.len() + 1;
+
+/// Renders raw span-bucket cells (non-cumulative, `SPAN_BUCKETS` wide) plus
+/// a nanosecond sum as one Prometheus histogram family — the shared
+/// renderer of [`SpanHistogram`] and the fleet registry's cross-shard
+/// rollups (which sum cells from many telemetry frames first).
+pub(crate) fn render_span_cells(name: &str, cells: &[u64], sum_nanos: u64, out: &mut String) {
+    debug_assert_eq!(cells.len(), SPAN_BUCKETS);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (j, &bound) in SPAN_BOUNDS_SECONDS.iter().enumerate() {
+        cumulative += cells[j];
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
+    }
+    cumulative += cells[SPAN_BOUNDS_NANOS.len()];
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {:?}", sum_nanos as f64 * 1e-9);
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
 
 /// A latency histogram specialized for span records.
 ///
@@ -170,25 +194,21 @@ impl SpanHistogram {
         self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
+    /// One coherent read of the raw (non-cumulative) bucket cells plus the
+    /// nanosecond sum — the snapshot a telemetry frame carries.
+    pub(crate) fn snapshot_cells(&self) -> ([u64; SPAN_BUCKETS], u64) {
+        (
+            std::array::from_fn(|j| self.buckets[j].load(Ordering::Relaxed)),
+            self.sum_nanos.load(Ordering::Relaxed),
+        )
+    }
+
     /// Renders in Prometheus text exposition format, seconds-valued. Same
     /// single-snapshot discipline as [`Histogram::render`]: `+Inf` and
     /// `_count` derive from one read of the bucket cells.
     fn render(&self, name: &str, out: &mut String) {
-        let _ = writeln!(out, "# TYPE {name} histogram");
-        let cells: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let mut cumulative = 0u64;
-        for (j, &bound) in SPAN_BOUNDS_SECONDS.iter().enumerate() {
-            cumulative += cells[j];
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
-        }
-        cumulative += cells[SPAN_BOUNDS_NANOS.len()];
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "{name}_sum {:?}", self.sum_seconds());
-        let _ = writeln!(out, "{name}_count {cumulative}");
+        let (cells, sum_nanos) = self.snapshot_cells();
+        render_span_cells(name, &cells, sum_nanos, out);
     }
 }
 
@@ -211,6 +231,14 @@ macro_rules! counters {
                         self.$field.load(Ordering::Relaxed)
                     );
                 )*
+            }
+
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order — the fixed column order of the telemetry wire format.
+            fn pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $((stringify!($field), self.$field.load(Ordering::Relaxed)),)*
+                ]
             }
 
             /// `"name": value` pairs, comma-separated (for the JSON snapshot).
@@ -410,6 +438,17 @@ impl StatsSubscriber {
     /// The latest total profit reported (`None` before the first event).
     pub fn latest_total_profit(&self) -> Option<f64> {
         self.total_profit.get()
+    }
+
+    /// Every lifetime counter as `(name, value)`, in the declaration order
+    /// of the `counters!` table — the telemetry codec's column order.
+    pub(crate) fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.counters.pairs()
+    }
+
+    /// The four raw response lanes (`(kind is Better) << 1 | improving`).
+    pub(crate) fn response_lanes(&self) -> [u64; 4] {
+        std::array::from_fn(|i| self.responses[i].load(Ordering::Relaxed))
     }
 
     /// Dumps every counter, gauge and histogram in Prometheus text

@@ -98,6 +98,41 @@ pub fn connect_with_backoff(
     Err(last_err)
 }
 
+/// One blocking `GET <path>` against a workspace HTTP endpoint (the
+/// `/metrics` exporter), returning `(status_line, body)`. This is the
+/// scrape client the fleet smoke tests and CI jobs share: request written
+/// in one shot, response read to EOF (the exporter closes per request),
+/// both sides bounded by `timeout`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors; a response without a blank-line
+/// header terminator is `InvalidData`.
+pub fn http_get(
+    addr: impl ToSocketAddrs + Clone,
+    path: &str,
+    timeout: Duration,
+) -> io::Result<(String, String)> {
+    let mut stream = connect_with_backoff(addr, 5, Duration::from_millis(20))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: vcs\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response without header terminator",
+        )
+    })?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +183,31 @@ mod tests {
             read_frame(&mut cut).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn http_get_scrapes_a_minimal_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 512];
+            let n = conn.read(&mut buf).unwrap();
+            assert!(std::str::from_utf8(&buf[..n])
+                .unwrap()
+                .starts_with("GET /metrics "));
+            let body = "vcs_ok 1\n";
+            write!(
+                conn,
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+        });
+        let (status, body) = http_get(addr, "/metrics", Duration::from_secs(2)).unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "vcs_ok 1\n");
+        server.join().unwrap();
     }
 
     #[test]

@@ -160,11 +160,18 @@ struct SendSlot {
 }
 
 /// Sender half of the ARQ link: sequences payloads, holds them until
-/// cumulatively acked, resends on NAK or timeout.
+/// cumulatively acked, resends on NAK or timeout. Alongside the
+/// reliability machinery it keeps the telemetry counters the fleet
+/// observability plane reports: NAK-driven vs. RTO-driven resends and a
+/// smoothed RTT estimate (EWMA over first-attempt acks — Karn's rule, a
+/// retransmitted datagram's ack is ambiguous and never sampled).
 pub struct ArqSender {
     next_seq: u64,
     unacked: BTreeMap<u64, SendSlot>,
     retransmissions: u64,
+    naks: u64,
+    rto_fires: u64,
+    srtt_ms: Option<u64>,
 }
 
 impl Default for ArqSender {
@@ -180,6 +187,9 @@ impl ArqSender {
             next_seq: 1,
             unacked: BTreeMap::new(),
             retransmissions: 0,
+            naks: 0,
+            rto_fires: 0,
+            srtt_ms: None,
         }
     }
 
@@ -205,8 +215,22 @@ impl ArqSender {
         (seq, bytes)
     }
 
-    /// Processes a cumulative ACK: everything at or below `cum` is released.
-    pub fn on_ack(&mut self, cum: u64) {
+    /// Processes a cumulative ACK: everything at or below `cum` is
+    /// released. Slots released on their **first** attempt contribute an
+    /// RTT sample (`now_ms − send time`) to the smoothed estimate;
+    /// retransmitted slots never do (Karn's rule — the ack could belong to
+    /// either transmission).
+    pub fn on_ack(&mut self, cum: u64, now_ms: u64) {
+        for (_, slot) in self.unacked.range(..=cum) {
+            if slot.attempts == 1 {
+                let sample = now_ms.saturating_sub(slot.last_tx_ms);
+                self.srtt_ms = Some(match self.srtt_ms {
+                    None => sample,
+                    // Classic EWMA, α = 1/8.
+                    Some(srtt) => (srtt * 7 + sample) / 8,
+                });
+            }
+        }
         // BTreeMap: split_off keeps >= cum+1, i.e. the still-unacked tail.
         self.unacked = self.unacked.split_off(&(cum + 1));
     }
@@ -219,6 +243,7 @@ impl ArqSender {
         slot.attempts += 1;
         slot.last_tx_ms = now_ms;
         self.retransmissions += 1;
+        self.naks += 1;
         Some((slot.attempts - 1, slot.bytes.clone()))
     }
 
@@ -231,6 +256,7 @@ impl ArqSender {
                 slot.attempts += 1;
                 slot.last_tx_ms = now_ms;
                 self.retransmissions += 1;
+                self.rto_fires += 1;
                 out.push((seq, slot.attempts - 1, slot.bytes.clone()));
             }
         }
@@ -245,6 +271,22 @@ impl ArqSender {
     /// Total resends performed (NAK-driven plus timeout-driven).
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Resends triggered by an explicit receiver NAK.
+    pub fn naks(&self) -> u64 {
+        self.naks
+    }
+
+    /// Resends triggered by a retransmission-timeout expiry.
+    pub fn rto_fires(&self) -> u64 {
+        self.rto_fires
+    }
+
+    /// Smoothed RTT estimate in milliseconds (`None` until the first
+    /// unambiguous sample).
+    pub fn srtt_ms(&self) -> Option<u64> {
+        self.srtt_ms
     }
 }
 
@@ -271,6 +313,7 @@ pub struct RxOutcome {
 pub struct ArqReceiver {
     next: u64,
     pending: BTreeMap<u64, Vec<u8>>,
+    dup_drops: u64,
 }
 
 impl Default for ArqReceiver {
@@ -285,12 +328,14 @@ impl ArqReceiver {
         ArqReceiver {
             next: 1,
             pending: BTreeMap::new(),
+            dup_drops: 0,
         }
     }
 
     /// Ingests one `Data` datagram.
     pub fn on_data(&mut self, seq: u64, payload: Vec<u8>) -> RxOutcome {
         if seq < self.next || self.pending.contains_key(&seq) {
+            self.dup_drops += 1;
             return RxOutcome {
                 delivered: Vec::new(),
                 duplicate: true,
@@ -316,6 +361,11 @@ impl ArqReceiver {
     /// Cumulative in-order high-water mark (0 = nothing delivered yet).
     pub fn cum_ack(&self) -> u64 {
         self.next - 1
+    }
+
+    /// Incoming datagrams discarded as duplicates.
+    pub fn dup_drops(&self) -> u64 {
+        self.dup_drops
     }
 }
 
@@ -468,10 +518,12 @@ mod tests {
             assert_eq!(out.delivered, vec![vec![i]]);
             assert_eq!(out.cum_ack, seq);
             assert_eq!(out.gap, None);
-            tx.on_ack(out.cum_ack);
+            tx.on_ack(out.cum_ack, 0);
         }
         assert_eq!(tx.in_flight(), 0);
         assert_eq!(tx.retransmissions(), 0);
+        assert_eq!(tx.naks(), 0);
+        assert_eq!(tx.rto_fires(), 0);
     }
 
     #[test]
@@ -494,9 +546,11 @@ mod tests {
         let out = rx.on_data(d1.seq, d1.payload);
         assert_eq!(out.delivered, vec![vec![1], vec![2]]);
         assert_eq!(out.cum_ack, 2);
-        tx.on_ack(2);
+        tx.on_ack(2, 9);
         assert_eq!(tx.in_flight(), 0);
         assert_eq!(tx.retransmissions(), 1);
+        assert_eq!(tx.naks(), 1, "the resend was NAK-driven");
+        assert_eq!(tx.rto_fires(), 0);
     }
 
     #[test]
@@ -511,6 +565,7 @@ mod tests {
         assert!(dup.duplicate);
         assert!(dup.delivered.is_empty());
         assert_eq!(dup.cum_ack, 1, "duplicate still re-acks");
+        assert_eq!(rx.dup_drops(), 1);
     }
 
     #[test]
@@ -523,8 +578,30 @@ mod tests {
         assert_eq!(due[0].0, 1);
         assert_eq!(due[0].1, 1);
         assert!(tx.due(50, 40).is_empty(), "timer was rearmed");
-        tx.on_ack(1);
+        assert_eq!(tx.rto_fires(), 1);
+        assert_eq!(tx.naks(), 0);
+        tx.on_ack(1, 50);
         assert!(tx.due(1000, 40).is_empty());
+        assert_eq!(tx.srtt_ms(), None, "retransmitted slot never samples RTT");
+    }
+
+    #[test]
+    fn rtt_estimate_is_ewma_over_first_attempt_acks_only() {
+        let mut tx = ArqSender::new();
+        // First clean sample sets the estimate outright.
+        tx.send(vec![1], 100);
+        tx.on_ack(1, 140);
+        assert_eq!(tx.srtt_ms(), Some(40));
+        // Subsequent samples blend in with α = 1/8.
+        tx.send(vec![2], 200);
+        tx.on_ack(2, 208);
+        assert_eq!(tx.srtt_ms(), Some((40 * 7 + 8) / 8));
+        // A NAK-retransmitted slot is ambiguous and leaves the estimate be.
+        let before = tx.srtt_ms();
+        tx.send(vec![3], 300);
+        tx.on_nak(3, 310).expect("resend");
+        tx.on_ack(3, 320);
+        assert_eq!(tx.srtt_ms(), before);
     }
 
     #[test]

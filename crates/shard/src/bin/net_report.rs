@@ -6,9 +6,10 @@
 //! The interesting claim is binary, not a rate: the ARQ makes the logical
 //! trajectory fault-independent, so **every** cell must converge to the
 //! same certified Nash equilibrium — `bench_trend` floors
-//! `net/<loss>/<rtt>/certified` at 1.0. Wall-clock, retransmission and
-//! drop counts are carried as informational context (they grow with the
-//! fault rates; correctness must not).
+//! `net/<loss>/<rtt>/certified` at 1.0. Wall-clock and the named transport
+//! counters (`retransmissions`, `drops`, `naks`, `dup_drops`, `rto_fires`)
+//! are carried as informational context per cell (they grow with the fault
+//! rates; correctness must not).
 //!
 //! ```text
 //! net_report [--out BENCH_net.json] [--users N] [--shards K] [--seed S]
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
     let mut users = 120usize;
     let mut shards = 3usize;
     let mut seed = 7u64;
+    let mut threads: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
@@ -61,9 +63,17 @@ fn main() -> ExitCode {
                     .expect("--shards: integer");
             }
             "--seed" => seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--threads" => {
+                threads = Some(
+                    next(&mut it, "--threads")
+                        .parse()
+                        .expect("--threads: integer"),
+                );
+            }
             other => panic!("unknown argument {other}"),
         }
     }
+    vcs_bench::threads::configure_threads(threads);
 
     let work_dir = std::env::temp_dir().join(format!("net_report_{}", std::process::id()));
     let mut rows = Vec::new();
@@ -72,6 +82,7 @@ fn main() -> ExitCode {
         for &rtt_ms in &RTT_MS {
             let mut cfg = DeployConfig::new(users, users, 5, shards, seed);
             cfg.out_dir = work_dir.join(format!("loss{loss}_rtt{rtt_ms}"));
+            cfg.threads = threads;
             cfg.fault.loss = loss;
             cfg.fault.dup = loss / 2.0;
             cfg.fault.reorder = loss / 2.0;
@@ -104,22 +115,27 @@ fn main() -> ExitCode {
                 }
             }
             eprintln!(
-                "  converged={} rounds={} retx={} drops={} wall={:.1}s certified={}",
+                "  converged={} rounds={} retx={} drops={} naks={} wall={:.1}s certified={}",
                 outcome.converged,
                 outcome.rounds,
-                outcome.retransmissions,
-                outcome.drops,
+                outcome.net.retransmissions,
+                outcome.net.drops,
+                outcome.net.naks,
                 wall,
                 certified
             );
             rows.push(format!(
                 "    {{\"loss\": {loss}, \"rtt_ms\": {rtt_ms}, \"certified\": {}, \
                  \"rounds\": {}, \"retransmissions\": {}, \"drops\": {}, \
+                 \"naks\": {}, \"dup_drops\": {}, \"rto_fires\": {}, \
                  \"wall_sec\": {wall:.3}, \"slots\": {}, \"converged\": {}}}",
                 if certified { "1.0" } else { "0.0" },
                 outcome.rounds,
-                outcome.retransmissions,
-                outcome.drops,
+                outcome.net.retransmissions,
+                outcome.net.drops,
+                outcome.net.naks,
+                outcome.net.dup_drops,
+                outcome.net.rto_fires,
                 outcome.shard_slots.iter().sum::<u64>(),
                 outcome.converged,
             ));

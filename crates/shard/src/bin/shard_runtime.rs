@@ -22,6 +22,15 @@
 //! engine and asserts ϕ agreement to 1e-9 plus a Nash certificate.
 //! `--soak-secs N` runs lossy-UDP deployments with varying seeds and a
 //! worker kill per iteration for N wall-clock seconds (the CI churn soak).
+//!
+//! `--telemetry` turns on the fleet observability plane: workers stream
+//! compact telemetry frames to the coordinator over the control transport,
+//! `--metrics-port P` serves the aggregated fleet exposition on one
+//! Prometheus `/metrics` endpoint (per-shard `shard="<id>"` labels plus
+//! fleet rollups; the bound address lands in `<out-dir>/metrics.addr`),
+//! and crash post-mortems append the dead worker's flight-recorder tail to
+//! `merged.jsonl`. `--threads N` (or `VCS_THREADS`) pins the rayon pool of
+//! the coordinator and every worker process.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -127,6 +136,21 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--soak-secs: integer");
             }
+            "--telemetry" => c.telemetry = true,
+            "--metrics-port" => {
+                c.metrics_port = Some(
+                    next(&mut it, "--metrics-port")
+                        .parse()
+                        .expect("--metrics-port: integer"),
+                );
+            }
+            "--threads" => {
+                c.threads = Some(
+                    next(&mut it, "--threads")
+                        .parse()
+                        .expect("--threads: integer"),
+                );
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -152,6 +176,7 @@ fn main() -> ExitCode {
     }
 
     let args = parse_args();
+    vcs_bench::threads::configure_threads(args.cfg.threads);
     if args.soak_secs > 0 {
         return soak(&args);
     }
@@ -182,8 +207,8 @@ fn main() -> ExitCode {
         outcome.phi,
         outcome.boundary_fraction,
         outcome.alerts,
-        outcome.retransmissions,
-        outcome.drops,
+        outcome.net.retransmissions,
+        outcome.net.drops,
         outcome.wall_secs,
     );
     if args.verify {
@@ -242,7 +267,7 @@ fn soak(args: &Args) -> ExitCode {
         }
         eprintln!(
             "soak iteration {iter}: seed {} converged in {} rounds, retx={} drops={}, clean",
-            cfg.seed, outcome.rounds, outcome.retransmissions, outcome.drops
+            cfg.seed, outcome.rounds, outcome.net.retransmissions, outcome.net.drops
         );
         iter += 1;
     }

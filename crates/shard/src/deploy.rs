@@ -32,6 +32,22 @@
 //! steps (re-`Commit` at home, re-`Apply` at replicas, both idempotent) —
 //! and then resends the in-flight message. A timeout with a *live* worker
 //! is just waited out: resending to a live worker would double-apply.
+//!
+//! ## Fleet observability
+//!
+//! With [`DeployConfig::telemetry`] on, workers stream compact
+//! [`TelemetryFrame`] snapshots ahead of their phase-boundary replies; the
+//! coordinator ingests them inside its guarded receive (so the lock-step
+//! protocol never sees them), stamps each with the sending worker's
+//! incarnation number, and folds them — together with its own per-round
+//! self-captures — into a [`FleetStats`] registry served at `/metrics` on
+//! `127.0.0.1:<metrics_port>` (the bound address is written to
+//! `metrics.addr` in the artifact directory). Telemetry is cumulative and
+//! loss-tolerant by construction, and strictly out of band: certified
+//! artifacts stay byte-identical with it enabled. When a worker dies, its
+//! checkpoint-refreshed flight-recorder dump is stashed before the respawn
+//! and shipped into `merged.jsonl` as causally merged
+//! `{"shard":…,"recorder":true,…}` tail lines.
 
 use crate::arq::FaultConfig;
 use crate::frame::BoundaryFrame;
@@ -52,10 +68,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{is_nash, potential, Engine, Game, Profile};
+use vcs_obs::span::SpanKind;
 use vcs_obs::trace::{event_to_json, read_trace};
 use vcs_obs::{
-    merge_stamped_streams, validate_causal_order_merged, AlertRoute, FanoutSubscriber,
-    JsonlSubscriber, Obs, StampedStream, Subscriber, WatchdogConfig, WatchdogSubscriber,
+    elapsed_nanos, merge_stamped_streams, validate_causal_order_merged, AlertRoute, Event,
+    FanoutSubscriber, FleetStats, JsonlSubscriber, MetricsExporter, NetStats, Obs, StampedStream,
+    StatsSubscriber, Subscriber, TelemetryFrame, WatchdogConfig, WatchdogSubscriber, COORD_SHARD,
 };
 
 /// Parameters of a deployment, shared verbatim between the coordinator and
@@ -96,6 +114,18 @@ pub struct DeployConfig {
     pub sequential: bool,
     /// Optional watchdog alert route spec (`stderr|file:<path>|http://…`).
     pub alert_sink: Option<String>,
+    /// Socket modes: stream worker telemetry frames to the coordinator's
+    /// fleet registry, refresh worker flight-recorder dumps at every
+    /// checkpoint, and ship dead workers' recorder tails into
+    /// `merged.jsonl`.
+    pub telemetry: bool,
+    /// With [`telemetry`](Self::telemetry): serve the fleet registry's
+    /// `/metrics` on `127.0.0.1:<port>` (0 = ephemeral; the bound address
+    /// lands in `metrics.addr` under `out_dir`).
+    pub metrics_port: Option<u16>,
+    /// Rayon pool width for every process of the deployment (`None`/0 =
+    /// `VCS_THREADS` or the machine default).
+    pub threads: Option<usize>,
 }
 
 impl DeployConfig {
@@ -117,6 +147,9 @@ impl DeployConfig {
             kill_shard: None,
             sequential: false,
             alert_sink: None,
+            telemetry: false,
+            metrics_port: None,
+            threads: None,
         }
     }
 
@@ -133,7 +166,7 @@ impl DeployConfig {
             TransportKind::Udp => "udp",
             TransportKind::Channel => panic!("channel mode spawns no workers"),
         };
-        [
+        let mut args: Vec<String> = [
             "--worker".into(),
             "--shard".into(),
             shard.to_string(),
@@ -170,7 +203,15 @@ impl DeployConfig {
             "--net-seed".into(),
             self.net_seed.to_string(),
         ]
-        .to_vec()
+        .to_vec();
+        if self.telemetry {
+            args.push("--telemetry".into());
+        }
+        if let Some(threads) = self.threads {
+            args.push("--threads".into());
+            args.push(threads.to_string());
+        }
+        args
     }
 }
 
@@ -225,6 +266,8 @@ pub fn parse_worker_args(mut it: impl Iterator<Item = String>) -> WorkerConfig {
                 d.fault.jitter_ms = next("--jitter-ms", &mut it).parse().expect("--jitter-ms");
             }
             "--net-seed" => d.net_seed = next("--net-seed", &mut it).parse().expect("--net-seed"),
+            "--telemetry" => d.telemetry = true,
+            "--threads" => d.threads = Some(next("--threads", &mut it).parse().expect("--threads")),
             other => panic!("unknown worker argument {other}"),
         }
     }
@@ -250,10 +293,9 @@ pub struct DeployOutcome {
     pub shard_slots: Vec<u64>,
     /// Watchdog alerts across all shards.
     pub alerts: u64,
-    /// Coordinator-side ARQ retransmissions (UDP only).
-    pub retransmissions: u64,
-    /// Coordinator-side injector-dropped datagrams (UDP only).
-    pub drops: u64,
+    /// Coordinator-side transport/ARQ health counters (all-zero for
+    /// channel and TCP — the kernel owns reliability there).
+    pub net: NetStats,
     /// Wall-clock seconds of the run proper (excluded from `outcome.txt`).
     pub wall_secs: f64,
     /// The partition's boundary fraction.
@@ -275,6 +317,8 @@ fn clean_artifacts(cfg: &DeployConfig) -> io::Result<()> {
             format!("net-{s}.jsonl"),
             format!("ckpt-{s}.bin"),
             format!("ckpt-{s}.tmp"),
+            format!("recorder-{s}.jsonl"),
+            format!("recorder-{s}.dead.jsonl"),
         ] {
             let _ = std::fs::remove_file(cfg.out_dir.join(name));
         }
@@ -284,6 +328,7 @@ fn clean_artifacts(cfg: &DeployConfig) -> io::Result<()> {
         "merged.jsonl",
         "outcome.txt",
         "stats.txt",
+        "metrics.addr",
     ] {
         let _ = std::fs::remove_file(cfg.out_dir.join(name));
     }
@@ -400,8 +445,7 @@ fn run_channel(cfg: &DeployConfig) -> io::Result<DeployOutcome> {
         log: outcome.log,
         shard_slots: outcome.shard_slots,
         alerts: dogs.iter().map(|d| d.alert_count() as u64).sum(),
-        retransmissions: 0,
-        drops: 0,
+        net: NetStats::default(),
         wall_secs,
         boundary_fraction: outcome.boundary_fraction,
     })
@@ -461,6 +505,18 @@ struct Coordinator {
     interior_converged: Vec<bool>,
     slots: Vec<u64>,
     kill: Option<(usize, u32)>,
+    /// Telemetry plane (all `None`/disabled unless `cfg.telemetry`).
+    fleet: Option<Arc<FleetStats>>,
+    stats: Option<Arc<StatsSubscriber>>,
+    /// The coordinator's own span sink (NetWait / BoundarySerialize).
+    obs: Obs,
+    /// Sequence counter of the coordinator's self-captured frames.
+    self_seq: u64,
+    /// Respawn count per shard — stamped onto ingested worker frames so
+    /// the registry sums dead incarnations separately from the live one.
+    incarnations: Vec<u32>,
+    /// Keeps the fleet `/metrics` endpoint alive for the whole run.
+    _exporter: Option<MetricsExporter>,
 }
 
 impl Coordinator {
@@ -475,6 +531,25 @@ impl Coordinator {
             Obs::disabled()
         };
         let (net, port) = PeerNet::bind(transport, cfg.shards, cfg.fault, cfg.net_seed, net_obs)?;
+        let fleet = cfg.telemetry.then(|| Arc::new(FleetStats::new()));
+        let stats = cfg.telemetry.then(|| Arc::new(StatsSubscriber::new()));
+        let obs = match &stats {
+            Some(stats) => Obs::new(stats.clone() as Arc<dyn Subscriber>),
+            None => Obs::disabled(),
+        };
+        let exporter = match (&fleet, cfg.metrics_port) {
+            (Some(fleet), Some(metrics_port)) => {
+                let exporter =
+                    MetricsExporter::bind_fleet(("127.0.0.1", metrics_port), fleet.clone())?;
+                eprintln!("coordinator: fleet /metrics on http://{}", exporter.addr());
+                std::fs::write(
+                    cfg.out_dir.join("metrics.addr"),
+                    format!("{}\n", exporter.addr()),
+                )?;
+                Some(exporter)
+            }
+            _ => None,
+        };
         let mut co = Coordinator {
             cfg: cfg.clone(),
             transport,
@@ -489,6 +564,12 @@ impl Coordinator {
             interior_converged: vec![false; cfg.shards],
             slots: vec![0; cfg.shards],
             kill: cfg.kill_shard,
+            fleet,
+            stats,
+            obs,
+            self_seq: 0,
+            incarnations: vec![0; cfg.shards],
+            _exporter: exporter,
         };
         for s in 0..cfg.shards {
             co.children.push(co.spawn_worker(s)?);
@@ -537,7 +618,12 @@ impl Coordinator {
                 }
             }
 
+            let boundary_start = Instant::now();
             let boundary = co.boundary_phase()?;
+            co.obs.emit(|| Event::SpanRecorded {
+                kind: SpanKind::BoundarySerialize,
+                nanos: elapsed_nanos(boundary_start),
+            });
             converged = boundary == 0 && co.interior_converged.iter().all(|&c| c);
 
             if round.is_multiple_of(cfg.ckpt_every.max(1)) || converged || round == cfg.max_rounds {
@@ -555,6 +641,7 @@ impl Coordinator {
             let record = co.current.take().expect("in round");
             let _ = interior_total;
             co.history.push(record);
+            co.publish_self_frame();
         }
 
         // Finish: collect final choices, alerts and slot counts.
@@ -576,7 +663,8 @@ impl Coordinator {
             return Err(other_err("some user reported by no home shard".into()));
         }
         let wall_secs = start.elapsed().as_secs_f64();
-        let (retransmissions, drops) = co.net.stats();
+        co.publish_self_frame();
+        let net = co.net.stats();
         co.reap_children();
 
         let phi = potential(&game, &Profile::new(&game, choices.clone()));
@@ -589,11 +677,23 @@ impl Coordinator {
             log: co.log,
             shard_slots: co.slots,
             alerts,
-            retransmissions,
-            drops,
+            net,
             wall_secs,
             boundary_fraction: co.plan.boundary_fraction(),
         })
+    }
+
+    /// Folds the coordinator's own observability snapshot into the fleet
+    /// registry (one frame per round, shard label `"coord"`). A no-op with
+    /// telemetry off.
+    fn publish_self_frame(&mut self) {
+        let (Some(fleet), Some(stats)) = (&self.fleet, &self.stats) else {
+            return;
+        };
+        self.self_seq += 1;
+        let frame =
+            TelemetryFrame::capture(COORD_SHARD, self.self_seq, stats, None, self.net.stats());
+        fleet.ingest(frame);
     }
 
     fn spawn_worker(&self, s: usize) -> io::Result<Child> {
@@ -604,12 +704,21 @@ impl Coordinator {
 
     /// Receives the next message from shard `s`, distinguishing "the
     /// worker is slow" (keep waiting, up to a hard cap) from "the worker
-    /// process is gone" (recoverable).
+    /// process is gone" (recoverable). Telemetry frames are folded into
+    /// the fleet registry right here and never surface to the lock-step
+    /// protocol logic.
     fn recv_guarded(&mut self, s: usize) -> Result<CtrlMsg, RecvFail> {
         let deadline = Instant::now() + Duration::from_secs(120);
+        let timer = self.obs.span(SpanKind::NetWait);
         loop {
             match self.net.recv(s, Duration::from_millis(200)) {
-                Ok(msg) => return Ok(msg),
+                Ok(CtrlMsg::Telemetry { bytes }) => {
+                    ingest_telemetry(self.fleet.as_deref(), self.incarnations[s], s, &bytes);
+                }
+                Ok(msg) => {
+                    timer.finish();
+                    return Ok(msg);
+                }
                 Err(e) if e.kind() == io::ErrorKind::TimedOut => {
                     match self.children[s].try_wait() {
                         Ok(Some(_)) => return Err(RecvFail::Dead),
@@ -834,6 +943,8 @@ impl Coordinator {
     fn recover(&mut self, s: usize) -> io::Result<()> {
         eprintln!("coordinator: shard {s} process died; restarting from its checkpoint");
         let _ = self.children[s].wait(); // reap the dead incarnation
+        self.incarnations[s] += 1;
+        stash_recorder_dump(&self.cfg.out_dir, s);
         self.net.reset(s);
         self.children[s] = self.spawn_worker(s)?;
         let deadline = Instant::now() + Duration::from_secs(60);
@@ -1013,6 +1124,49 @@ impl Coordinator {
     }
 }
 
+/// Decodes one telemetry frame off the control socket and folds it into the
+/// fleet registry, stamping the coordinator-side incarnation count so a
+/// respawned worker's counters accumulate instead of rolling back. Malformed
+/// frames (the wire may hand the codec anything) are logged and dropped —
+/// telemetry loss must never fail the run.
+fn ingest_telemetry(fleet: Option<&FleetStats>, incarnation: u32, s: usize, bytes: &[u8]) {
+    let Some(fleet) = fleet else { return };
+    match TelemetryFrame::decode(bytes) {
+        Ok(mut frame) => {
+            frame.incarnation = incarnation;
+            fleet.ingest(frame);
+        }
+        Err(e) => eprintln!("coordinator: dropping malformed telemetry from shard {s}: {e}"),
+    }
+}
+
+/// Preserves a dead worker's checkpoint-cadence flight-recorder dump before
+/// the respawned incarnation starts overwriting the live file. Appending
+/// keeps every dead incarnation's tail if a shard dies more than once.
+fn stash_recorder_dump(out_dir: &Path, s: usize) {
+    let live = out_dir.join(format!("recorder-{s}.jsonl"));
+    let Ok(dump) = std::fs::read(&live) else {
+        return; // no dump yet (telemetry off, or death before first checkpoint)
+    };
+    let dead = out_dir.join(format!("recorder-{s}.dead.jsonl"));
+    use std::io::Write as _;
+    let stashed = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&dead)
+        .and_then(|mut f| f.write_all(&dump));
+    match stashed {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&live);
+            eprintln!(
+                "coordinator: stashed shard {s} flight-recorder dump ({} bytes) for the post-mortem",
+                dump.len()
+            );
+        }
+        Err(e) => eprintln!("coordinator: failed to stash shard {s} recorder dump: {e}"),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Artifacts
 // ---------------------------------------------------------------------------
@@ -1050,6 +1204,43 @@ fn write_post_mortem(cfg: &DeployConfig) -> io::Result<()> {
             event_to_json(event)
         )?;
     }
+
+    // Crash-shipped recorder tails: merge the flight-recorder dumps (dead
+    // incarnations stashed by `recover`, plus each survivor's last
+    // checkpoint dump) causally *among themselves* and append them tagged
+    // `"recorder":true`. They duplicate events already in the main streams
+    // by design — a recorder ring is the last N events before death — so
+    // they are merged separately, never validated against the main body.
+    // Telemetry-gated: with telemetry off, `merged.jsonl` stays
+    // byte-identical to a recorder-less run.
+    if cfg.telemetry {
+        let mut recorder_streams: Vec<StampedStream> = Vec::new();
+        for s in 0..cfg.shards {
+            let mut events = Vec::new();
+            for name in [
+                format!("recorder-{s}.dead.jsonl"),
+                format!("recorder-{s}.jsonl"),
+            ] {
+                let path = cfg.out_dir.join(name);
+                if path.exists() {
+                    events
+                        .extend(read_trace(&path).map_err(|e| {
+                            other_err(format!("re-read shard {s} recorder: {e:?}"))
+                        })?);
+                }
+            }
+            if !events.is_empty() {
+                recorder_streams.push(StampedStream::new(s as u32, events));
+            }
+        }
+        for (shard, event) in &merge_stamped_streams(&recorder_streams) {
+            writeln!(
+                out,
+                "{{\"shard\":{shard},\"recorder\":true,\"event\":{}}}",
+                event_to_json(event)
+            )?;
+        }
+    }
     out.flush()
 }
 
@@ -1086,8 +1277,11 @@ fn write_stats_file(path: &Path, o: &DeployOutcome) -> io::Result<()> {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "alerts={}", o.alerts);
-    let _ = writeln!(s, "retransmissions={}", o.retransmissions);
-    let _ = writeln!(s, "drops={}", o.drops);
+    let _ = writeln!(s, "retransmissions={}", o.net.retransmissions);
+    let _ = writeln!(s, "drops={}", o.net.drops);
+    let _ = writeln!(s, "naks={}", o.net.naks);
+    let _ = writeln!(s, "dup_drops={}", o.net.dup_drops);
+    let _ = writeln!(s, "rto_fires={}", o.net.rto_fires);
     let _ = writeln!(s, "wall_secs={:.3}", o.wall_secs);
     let _ = writeln!(s, "shard_slots={:?}", o.shard_slots);
     let _ = writeln!(s, "boundary_fraction={:.6}", o.boundary_fraction);

@@ -33,4 +33,5 @@ pub use gen::localized_game;
 pub use net::{CoordLink, CtrlMsg, PeerNet, TransportKind};
 pub use partition::{partition, ShardPlan};
 pub use sim::{RoundReport, ShardCheckpoint, ShardConfig, ShardedOutcome, ShardedSim};
+pub use vcs_obs::NetStats;
 pub use worker::{run_worker, WorkerConfig};

@@ -25,7 +25,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use vcs_obs::{Event, Obs};
+use vcs_obs::{Event, NetStats, Obs};
 use vcs_runtime::net::{connect_with_backoff, read_frame, write_frame};
 
 /// Pairs per chunked control message — keeps every UDP datagram payload
@@ -140,6 +140,17 @@ pub enum CtrlMsg {
         slots: u64,
         /// Entries across the preceding `DonePart`s (integrity check).
         entries: u32,
+    },
+    /// Worker → coordinator, out-of-band: one encoded
+    /// [`vcs_obs::TelemetryFrame`] (opaque here — the frame carries its own
+    /// magic, version, and shape validation). Telemetry rides the same
+    /// reliable link as the protocol but never participates in it: the
+    /// coordinator ingests these inside its receive loop and the lock-step
+    /// state machine never sees them, so the deterministic trajectory is
+    /// byte-identical with telemetry on or off.
+    Telemetry {
+        /// Encoded telemetry frame.
+        bytes: Vec<u8>,
     },
 }
 
@@ -334,6 +345,11 @@ impl CtrlMsg {
                 out.extend_from_slice(&slots.to_be_bytes());
                 out.extend_from_slice(&entries.to_be_bytes());
             }
+            CtrlMsg::Telemetry { bytes } => {
+                out.push(17);
+                out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                out.extend_from_slice(bytes);
+            }
         }
         out
     }
@@ -394,6 +410,9 @@ impl CtrlMsg {
                 alerts: c.u64()?,
                 slots: c.u64()?,
                 entries: c.u32()?,
+            },
+            17 => CtrlMsg::Telemetry {
+                bytes: c.len(1).and_then(|n| c.bytes(n))?.to_vec(),
             },
             t => return Err(CtrlError::BadTag(t)),
         };
@@ -735,8 +754,9 @@ impl UdpNode {
         };
         match datagram.kind {
             DgramKind::Ack => {
+                let now = self.now_ms();
                 let p = self.peers.get_mut(&peer).expect("known peer");
-                p.tx.on_ack(datagram.seq);
+                p.tx.on_ack(datagram.seq, now);
             }
             DgramKind::Nak => {
                 let now = self.now_ms();
@@ -857,6 +877,23 @@ impl UdpNode {
     pub fn drops(&self) -> u64 {
         self.peers.values().map(|p| p.injector.dropped()).sum()
     }
+
+    /// Full transport-health snapshot aggregated over all current peer
+    /// links: every ARQ counter, the in-flight gauge, and the largest
+    /// per-peer smoothed-RTT estimate.
+    pub fn net_stats(&self) -> NetStats {
+        let mut out = NetStats::default();
+        for p in self.peers.values() {
+            out.retransmissions += p.tx.retransmissions();
+            out.naks += p.tx.naks();
+            out.rto_fires += p.tx.rto_fires();
+            out.in_flight += p.tx.in_flight() as u64;
+            out.drops += p.injector.dropped();
+            out.dup_drops += p.rx.dup_drops();
+            out.srtt_ms = out.srtt_ms.max(p.tx.srtt_ms().unwrap_or(0));
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -949,6 +986,15 @@ impl CoordLink {
     pub fn drain(&mut self, timeout: Duration) {
         if let CoordLink::Udp(node) = self {
             node.drain(timeout);
+        }
+    }
+
+    /// Worker-side transport-health snapshot (all zero over TCP: the
+    /// kernel owns reliability there).
+    pub fn net_stats(&self) -> NetStats {
+        match self {
+            CoordLink::Tcp(_) => NetStats::default(),
+            CoordLink::Udp(node) => node.net_stats(),
         }
     }
 }
@@ -1090,12 +1136,13 @@ impl PeerNet {
         }
     }
 
-    /// Coordinator-side transport fault counters:
-    /// `(retransmissions, drops)`.
-    pub fn stats(&self) -> (u64, u64) {
+    /// Coordinator-side transport-health snapshot: every ARQ counter, the
+    /// in-flight gauge, and the smoothed-RTT estimate (all zero over TCP —
+    /// the kernel owns reliability there).
+    pub fn stats(&self) -> NetStats {
         match self {
-            PeerNet::Tcp { .. } => (0, 0),
-            PeerNet::Udp(node) => (node.retransmissions(), node.drops()),
+            PeerNet::Tcp { .. } => NetStats::default(),
+            PeerNet::Udp(node) => node.net_stats(),
         }
     }
 }
@@ -1154,6 +1201,19 @@ mod tests {
             slots: 1234,
             entries: 1,
         });
+        round_trip(CtrlMsg::Telemetry {
+            bytes: vcs_obs::TelemetryFrame::empty(3).encode(),
+        });
+    }
+
+    #[test]
+    fn telemetry_frame_rides_one_udp_datagram() {
+        // The telemetry CtrlMsg wrapping a full frame must stay under the
+        // datagram payload cap — telemetry never chunks.
+        let msg = CtrlMsg::Telemetry {
+            bytes: vcs_obs::TelemetryFrame::empty(0).encode(),
+        };
+        assert!(msg.encode().len() <= MAX_DGRAM_PAYLOAD);
     }
 
     #[test]

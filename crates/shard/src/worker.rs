@@ -30,6 +30,19 @@
 //! re-applied, and a frame that would skip ahead triggers a
 //! [`CtrlMsg::FrameGap`] naming the first missing sequence number, which
 //! drives coordinator-side retransmission of the gap.
+//!
+//! ## Observability
+//!
+//! Every worker carries a [`FlightRecorder`] on its event fanout with a
+//! panic hook dumping the tail to `recorder-{s}.jsonl`. With `--telemetry`
+//! the worker additionally streams [`TelemetryFrame`] snapshots (its stats
+//! counters, span histograms, ARQ health, and latched watchdog alerts) to
+//! the coordinator ahead of its `InteriorDone`/`CheckpointDone`/`Done`
+//! replies, and refreshes the recorder dump at every checkpoint so even a
+//! SIGKILL (which no panic hook survives) leaves a post-mortem tail for the
+//! coordinator to ship into `merged.jsonl`. All of it is out-of-band: the
+//! stats/recorder sinks never touch the JSONL dump, so the byte-identity
+//! contract with channel mode is unaffected.
 
 use crate::arq::FaultConfig;
 use crate::deploy::DeployConfig;
@@ -46,9 +59,10 @@ use std::time::Duration;
 use vcs_core::bounds::slot_upper_bound;
 use vcs_core::ids::{RouteId, UserId};
 use vcs_core::{Engine, Profile};
+use vcs_obs::span::SpanKind;
 use vcs_obs::{
-    Event, FanoutSubscriber, FrameStamp, FrameStamper, JsonlSubscriber, Obs, Subscriber,
-    WatchdogConfig, WatchdogSubscriber,
+    Event, FanoutSubscriber, FlightRecorder, FrameStamp, FrameStamper, JsonlSubscriber, NetStats,
+    Obs, StatsSubscriber, Subscriber, TelemetryFrame, WatchdogConfig, WatchdogSubscriber,
 };
 use vcs_online::Snapshot;
 
@@ -203,6 +217,20 @@ pub(crate) struct Worker {
     pub(crate) applied: Vec<u64>,
     jsonl: Arc<JsonlSubscriber>,
     dog: Arc<WatchdogSubscriber>,
+    /// This process's aggregate counters/histograms — the source of its
+    /// telemetry frames. Fanned in next to the JSONL sink, never writing a
+    /// byte of the dump itself.
+    stats: Arc<StatsSubscriber>,
+    /// The always-on flight recorder (panic hook + checkpoint dumps).
+    recorder: Arc<FlightRecorder>,
+    recorder_path: PathBuf,
+    /// Whether telemetry streaming (and checkpoint recorder dumps) is on.
+    telemetry: bool,
+    /// Per-process telemetry frame counter.
+    telemetry_seq: u64,
+    /// Span sink for the worker's own phases: stats + recorder only, so
+    /// `SpanRecorded` events never perturb the deterministic JSONL dump.
+    span_obs: Obs,
     ckpt_path: PathBuf,
     interior_cap: u64,
     buf: Vec<(UserId, RouteId)>,
@@ -275,13 +303,21 @@ impl Worker {
             slot_budget: budget.is_finite().then(|| budget.ceil() as u64),
             ..WatchdogConfig::default()
         }));
-        let sinks: Vec<Arc<dyn Subscriber>> = vec![jsonl.clone(), dog.clone()];
+        let stats = Arc::new(StatsSubscriber::new());
+        let recorder = Arc::new(FlightRecorder::new(1 << 12));
+        let recorder_path = d.out_dir.join(format!("recorder-{s}.jsonl"));
+        let sinks: Vec<Arc<dyn Subscriber>> =
+            vec![jsonl.clone(), dog.clone(), stats.clone(), recorder.clone()];
         let obs = FanoutSubscriber::obs(sinks);
         // NOTE: set_obs emits EngineInit — on a fresh start this matches
         // channel mode exactly; after a restart it adds one (harmlessly
         // unstamped) extra EngineInit at the resume point.
         lane.engine.set_obs(obs.clone());
         lane.obs = obs;
+        let span_obs = FanoutSubscriber::obs(vec![
+            stats.clone() as Arc<dyn Subscriber>,
+            recorder.clone() as Arc<dyn Subscriber>,
+        ]);
 
         Ok((
             Worker {
@@ -294,12 +330,38 @@ impl Worker {
                 applied,
                 jsonl,
                 dog,
+                stats,
+                recorder,
+                recorder_path,
+                telemetry: d.telemetry,
+                telemetry_seq: 0,
+                span_obs,
                 ckpt_path,
                 interior_cap: d.interior_cap,
                 buf: Vec::new(),
             },
             ckpt_round,
         ))
+    }
+
+    /// Installs the process-wide panic hook that dumps the flight
+    /// recorder's tail to `recorder-{s}.jsonl` when any thread dies.
+    pub(crate) fn install_panic_hook(&self) {
+        self.recorder.install_panic_hook(self.recorder_path.clone());
+    }
+
+    /// Snapshots this process's observability state into the next telemetry
+    /// frame (monotonic per-process `seq`; incarnation 0 — the coordinator
+    /// stamps the true incarnation at ingest).
+    pub(crate) fn telemetry_frame(&mut self, net: NetStats) -> TelemetryFrame {
+        self.telemetry_seq += 1;
+        TelemetryFrame::capture(
+            self.shard as u32,
+            self.telemetry_seq,
+            &self.stats,
+            Some(&self.dog),
+            net,
+        )
     }
 
     fn local(&self, user: u32) -> UserId {
@@ -316,7 +378,9 @@ impl Worker {
             CtrlMsg::RunInterior { round } => {
                 self.buf.clear();
                 let mut buf = std::mem::take(&mut self.buf);
+                let timer = self.span_obs.span(SpanKind::InteriorConverge);
                 converge_interior(&mut self.lane, self.interior_cap, &mut buf);
+                timer.finish();
                 let moves: Vec<(u32, u32)> = buf
                     .iter()
                     .map(|&(lu, r)| (self.members[lu.index()].index() as u32, r.index() as u32))
@@ -369,7 +433,9 @@ impl Worker {
                     seq: stamp.seq,
                     lamport: stamp.lamport,
                 };
-                let wire = frame.encode();
+                let wire = self
+                    .span_obs
+                    .time(SpanKind::BoundarySerialize, || frame.encode());
                 let len = wire.len() as u32;
                 self.lane.obs.emit(|| Event::FrameSent {
                     bytes: len,
@@ -383,6 +449,14 @@ impl Worker {
             CtrlMsg::Apply { frame } => out.push(self.apply_frame(&frame)?),
             CtrlMsg::Checkpoint { round } => {
                 self.write_checkpoint(round)?;
+                if self.telemetry {
+                    // Refresh the post-mortem tail at every checkpoint: a
+                    // SIGKILL gives no panic hook a chance to fire, but the
+                    // last checkpoint's dump survives for the coordinator
+                    // to ship into `merged.jsonl`. Best-effort by design —
+                    // a failed dump must not take the worker down.
+                    let _ = self.recorder.dump_jsonl(&self.recorder_path);
+                }
                 out.push(CtrlMsg::CheckpointDone { round });
             }
             CtrlMsg::Finish => {
@@ -495,7 +569,9 @@ impl Worker {
 /// recv timeout (the coordinator has been silent for two minutes) is also
 /// an error — the worker exits rather than orphan itself.
 pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
+    vcs_bench::threads::configure_threads(cfg.deploy.threads);
     let (mut worker, ckpt_round) = Worker::build(cfg)?;
+    worker.install_panic_hook();
     let net_obs = match cfg.transport {
         TransportKind::Udp => {
             let path = cfg.deploy.out_dir.join(format!("net-{}.jsonl", cfg.shard));
@@ -527,7 +603,22 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
     })?;
     loop {
         let msg = link.recv(Duration::from_secs(120))?;
+        // Telemetry rides ahead of the phase-boundary replies so the
+        // coordinator folds the freshest snapshot while it is already
+        // receiving from this shard. Strictly out-of-band: the coordinator
+        // ingests and skips these without touching the lock-step protocol.
+        let telemetry_due = cfg.deploy.telemetry
+            && matches!(
+                msg,
+                CtrlMsg::RunInterior { .. } | CtrlMsg::Checkpoint { .. } | CtrlMsg::Finish
+            );
         let (replies, finished) = worker.handle(msg)?;
+        if telemetry_due {
+            let frame = worker.telemetry_frame(link.net_stats());
+            link.send(&CtrlMsg::Telemetry {
+                bytes: frame.encode(),
+            })?;
+        }
         for reply in &replies {
             link.send(reply)?;
         }

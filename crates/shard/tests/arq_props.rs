@@ -93,7 +93,7 @@ fn run_stream(n: usize, loss: f64, dup: f64, reorder: f64, seed: u64) -> (Vec<Ve
             delivered.extend(out.delivered);
             // Ack (and nak-triggered fast retransmit), both lossy.
             if !ack_rng.random_bool(loss) {
-                tx.on_ack(out.cum_ack);
+                tx.on_ack(out.cum_ack, now);
             }
             if let Some(missing) = out.gap {
                 if !ack_rng.random_bool(loss) {
@@ -209,7 +209,7 @@ fn drop_all_then_heal_recovers_the_full_stream() {
         let out = rx.on_data(d.seq, d.payload);
         assert!(out.gap.is_none(), "in-order retransmission reveals no gap");
         delivered.extend(out.delivered);
-        tx.on_ack(out.cum_ack);
+        tx.on_ack(out.cum_ack, 1_000);
     }
     assert_eq!(delivered.len(), n);
     for (i, payload) in delivered.iter().enumerate() {

@@ -1,0 +1,218 @@
+//! The fleet observability plane, end to end against live multi-process
+//! deployments:
+//!
+//! * a lossy-UDP deployment run with `--telemetry --metrics-port 0` serves
+//!   one coordinator `/metrics` endpoint that is scraped **mid-run**,
+//!   validates as Prometheus exposition text, and carries per-shard
+//!   `shard="<id>"` labels plus the coordinator's own `shard="coord"`
+//!   series;
+//! * a `--kill-shard` TCP run ships the SIGKILLed worker's flight-recorder
+//!   tail into `merged.jsonl` as causally-merged `"recorder":true` lines;
+//! * telemetry is strictly out-of-band: the deterministic artifacts of a
+//!   telemetry-on run are byte-identical to the telemetry-off run of the
+//!   same config (the transport-oracle contract survives the plane).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use vcs_obs::validate_prometheus_text;
+use vcs_runtime::net::http_get;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_shard_runtime")
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleet_scrape_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_cmd(dir: &Path, users: usize, shards: usize) -> Command {
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "--users",
+        &users.to_string(),
+        "--window",
+        "5",
+        "--shards",
+        &shards.to_string(),
+        "--seed",
+        "11",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    cmd
+}
+
+fn finish(child: Child, what: &str) {
+    let output = child.wait_with_output().expect("wait for deployment");
+    assert!(
+        output.status.success(),
+        "{what} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// Polls `out_dir/metrics.addr` until the coordinator has bound its
+/// exporter and published the address.
+fn wait_for_metrics_addr(dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(dir.join("metrics.addr")) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "coordinator never published metrics.addr"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn live_metrics_endpoint_serves_per_shard_series_mid_run() {
+    let shards = 3usize;
+    let dir = out_dir("scrape");
+    // Loss + RTT keep the deployment alive for many seconds — a wide window
+    // in which the endpoint must answer concurrent scrapes.
+    let child = base_cmd(&dir, 240, shards)
+        .args([
+            "--transport",
+            "udp",
+            "--loss",
+            "0.15",
+            "--rtt-ms",
+            "4",
+            "--jitter-ms",
+            "3",
+            "--telemetry",
+            "--metrics-port",
+            "0",
+        ])
+        .spawn()
+        .expect("spawn shard_runtime");
+    let addr = wait_for_metrics_addr(&dir);
+
+    // Scrape repeatedly while the fleet is running, until every worker's
+    // first telemetry frame has landed in the registry.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let body = loop {
+        let (status, body) =
+            http_get(addr.as_str(), "/metrics", Duration::from_secs(5)).expect("mid-run scrape");
+        assert!(status.contains("200"), "bad status {status}");
+        validate_prometheus_text(&body).expect("exposition must validate");
+        let all_shards = (0..shards).all(|s| body.contains(&format!("shard=\"{s}\"")));
+        if all_shards && body.contains("shard=\"coord\"") {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "registry never filled: latest exposition:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // The aggregated exposition carries the fleet families: per-shard
+    // counters, ARQ health, watchdog latches, and the fleet-rollup span
+    // histograms fed by the new span kinds.
+    for family in [
+        "vcs_fleet_slots_total",
+        "vcs_fleet_net_retransmissions_total",
+        "vcs_fleet_watchdog_alerts_total",
+        "vcs_fleet_span_interior_converge_seconds",
+        "vcs_fleet_span_net_wait_seconds",
+    ] {
+        assert!(body.contains(family), "exposition lacks {family}:\n{body}");
+    }
+    finish(child, "scraped lossy-UDP deployment");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_workers_recorder_tail_reaches_the_merged_post_mortem() {
+    let dir = out_dir("kill");
+    let child = base_cmd(&dir, 150, 3)
+        .args([
+            "--transport",
+            "tcp",
+            "--telemetry",
+            "--ckpt-every",
+            "1",
+            "--kill-shard",
+            "1:2",
+            "--verify",
+        ])
+        .spawn()
+        .expect("spawn shard_runtime");
+    finish(child, "kill-shard telemetry deployment");
+
+    // The dead incarnation's checkpoint-cadence dump was stashed at respawn…
+    assert!(
+        dir.join("recorder-1.dead.jsonl").exists(),
+        "no stashed recorder dump for the killed shard"
+    );
+    // …and shipped into the merged post-mortem as tagged recorder lines.
+    let merged = std::fs::read_to_string(dir.join("merged.jsonl")).expect("merged.jsonl");
+    let recorder_lines: Vec<&str> = merged
+        .lines()
+        .filter(|l| l.contains("\"recorder\":true"))
+        .collect();
+    assert!(
+        !recorder_lines.is_empty(),
+        "merged.jsonl carries no recorder lines"
+    );
+    assert!(
+        recorder_lines
+            .iter()
+            .any(|l| l.starts_with("{\"shard\":1,")),
+        "no recorder line from the killed shard 1"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_leaves_the_deterministic_artifacts_byte_identical() {
+    let shards = 3usize;
+    let plain_dir = out_dir("plain");
+    let plain = base_cmd(&plain_dir, 150, shards)
+        .args(["--transport", "tcp"])
+        .spawn()
+        .expect("spawn shard_runtime");
+    finish(plain, "telemetry-off deployment");
+    let tele_dir = out_dir("tele");
+    let tele = base_cmd(&tele_dir, 150, shards)
+        .args(["--transport", "tcp", "--telemetry", "--metrics-port", "0"])
+        .spawn()
+        .expect("spawn shard_runtime");
+    finish(tele, "telemetry-on deployment");
+
+    // The deterministic core and every per-shard dump: byte-identical.
+    for name in (0..shards)
+        .map(|s| format!("shard-{s}.jsonl"))
+        .chain(["outcome.txt".to_string()])
+    {
+        let off = std::fs::read(plain_dir.join(&name)).expect("telemetry-off artifact");
+        let on = std::fs::read(tele_dir.join(&name)).expect("telemetry-on artifact");
+        assert_eq!(off, on, "{name} differs with telemetry on");
+    }
+    // merged.jsonl: the main causal section is identical; telemetry adds
+    // only the trailing `"recorder":true` lines.
+    let off = std::fs::read_to_string(plain_dir.join("merged.jsonl")).expect("merged off");
+    let on = std::fs::read_to_string(tele_dir.join("merged.jsonl")).expect("merged on");
+    let on_main: Vec<&str> = on
+        .lines()
+        .filter(|l| !l.contains("\"recorder\":true"))
+        .collect();
+    assert_eq!(
+        off.lines().collect::<Vec<_>>(),
+        on_main,
+        "telemetry leaked into the merged causal section"
+    );
+    let _ = std::fs::remove_dir_all(&plain_dir);
+    let _ = std::fs::remove_dir_all(&tele_dir);
+}
