@@ -13,8 +13,8 @@
 //!
 //! The intended flow: regenerate `BENCH_engine.json` / `BENCH_online.json` /
 //! `BENCH_obs.json` / `BENCH_shard.json` / `BENCH_net.json` (and
-//! `BENCH_fleet.json`, optional — merged when present) on a quiet
-//! machine, run `bench_trend --check` to see
+//! `BENCH_fleet.json` / `BENCH_load.json`, optional — merged when
+//! present) on a quiet machine, run `bench_trend --check` to see
 //! whether any gated ratio fell beyond tolerance, then run `bench_trend` to
 //! ratchet the committed baseline. CI runs `--check` against the committed
 //! artifacts (a deterministic consistency gate — the trajectory must match
@@ -47,12 +47,24 @@ fn load_current(dir: &Path) -> Result<Trajectory, String> {
     let obs = read_json(&dir.join("BENCH_obs.json"))?;
     let shard = read_json(&dir.join("BENCH_shard.json"))?;
     let net = read_json(&dir.join("BENCH_net.json"))?;
-    // Optional: the fleet-telemetry overhead matrix postdates the other
-    // artifacts; its obs_fleet metrics enter the gate once the file exists.
+    // Optional: the fleet-telemetry overhead matrix and the sustained-load
+    // serving matrix postdate the other artifacts; their obs_fleet / load
+    // metrics enter the gate once the files exist.
     let fleet_path = dir.join("BENCH_fleet.json");
     let fleet = fleet_path.exists().then(|| read_json(&fleet_path));
     let fleet = fleet.transpose()?;
-    build_trajectory(&engine, &online, &obs, &shard, &net, fleet.as_ref())
+    let load_path = dir.join("BENCH_load.json");
+    let load = load_path.exists().then(|| read_json(&load_path));
+    let load = load.transpose()?;
+    build_trajectory(
+        &engine,
+        &online,
+        &obs,
+        &shard,
+        &net,
+        fleet.as_ref(),
+        load.as_ref(),
+    )
 }
 
 fn print_regressions(found: &[Regression]) {

@@ -7,7 +7,7 @@
 //! * `trace_report <trace.jsonl>` — analyze an existing trace: print the
 //!   move/anchor counts, the final reconstructed ϕ, the maximum absolute
 //!   reconstruction error, and a per-[`vcs_obs::SpanKind`] wall-clock latency table
-//!   (count / p50 / p99 / max / total) when the trace carries `span`
+//!   (count / p50 / p90 / p99 / max / total) when the trace carries `span`
 //!   records; exits nonzero if the error exceeds 1e-9.
 //! * `trace_report --selftest [dir]` — capture a fresh trace end-to-end
 //!   (observed DGRN and MUUN runs on a synthetic game, written through
@@ -70,15 +70,16 @@ fn analyze(path: &Path) -> ExitCode {
     if !spans.is_empty() {
         println!("spans:");
         println!(
-            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
-            "kind", "count", "p50", "p99", "max", "total"
+            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "kind", "count", "p50", "p90", "p99", "max", "total"
         );
         for s in &spans {
             println!(
-                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 s.kind.tag(),
                 s.count,
                 fmt_nanos(s.p50_nanos),
+                fmt_nanos(s.p90_nanos),
                 fmt_nanos(s.p99_nanos),
                 fmt_nanos(s.max_nanos),
                 fmt_nanos(s.total_nanos)

@@ -335,9 +335,11 @@ fn seg(value: f64) -> String {
 }
 
 /// Merges the benchmark documents into one [`Trajectory`]. `fleet`
-/// (`BENCH_fleet.json`, the telemetry-plane overhead matrix) is optional:
-/// artifacts predating the fleet observability plane merge without it, and
-/// its `obs_fleet/...` metrics enter the gate once the file exists.
+/// (`BENCH_fleet.json`, the telemetry-plane overhead matrix) and `load`
+/// (`BENCH_load.json`, the sustained open-loop serving matrix) are
+/// optional: artifacts predating those planes merge without them, and
+/// their `obs_fleet/...` / `load/...` metrics enter the gate once the
+/// files exist.
 pub fn build_trajectory(
     engine: &Json,
     online: &Json,
@@ -345,6 +347,7 @@ pub fn build_trajectory(
     shard: &Json,
     net: &Json,
     fleet: Option<&Json>,
+    load: Option<&Json>,
 ) -> Result<Trajectory, String> {
     let mut gated = Vec::new();
     let mut info = Vec::new();
@@ -481,6 +484,30 @@ pub fn build_trajectory(
             ));
         }
     }
+    if let Some(load) = load {
+        for row in rows(load, "BENCH_load")? {
+            let rate = seg(field_f64(row, "rate")?);
+            let shards = seg(field_f64(row, "shards")?);
+            let base = format!("load/{rate}/{shards}");
+            // Fraction of offered requests the serving process answered
+            // with a non-rejected reply during the open-loop run. 1.0 =
+            // every request served; floored at 0.90 independent of
+            // baseline — a serving mode that drops or rejects more than
+            // 10% of offered load is broken, not slow.
+            gated.push((
+                format!("{base}/served_ratio"),
+                field_f64(row, "served_ratio")?,
+            ));
+            // Latency and throughput ride along informationally: they are
+            // machine- and load-dependent, so the trend is advisory.
+            info.push((
+                format!("{base}/slots_per_sec"),
+                field_f64(row, "slots_per_sec")?,
+            ));
+            info.push((format!("{base}/p50_ms"), field_f64(row, "p50_ms")?));
+            info.push((format!("{base}/p99_ms"), field_f64(row, "p99_ms")?));
+        }
+    }
     if gated.is_empty() {
         return Err("no gated metrics extracted — empty benchmark artifacts?".into());
     }
@@ -609,7 +636,11 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, tolerance: f64) -> V
 /// * every `obs_fleet/<users>/<shards>/telemetry_rel` ≥ 0.95 — the fleet
 ///   telemetry plane (frame capture, encode, control-socket interleaving,
 ///   registry ingest) must cost a deployment less than 5% of its
-///   telemetry-off wall clock.
+///   telemetry-off wall clock;
+/// * every `load/<rate>/<shards>/served_ratio` ≥ 0.90 — under sustained
+///   open-loop load the serving process must answer at least 90% of
+///   offered requests with non-rejected replies; latency may drift with
+///   the machine, but dropped or rejected requests are a serving bug.
 ///
 /// Violations reuse [`Regression`] with the floor as the `baseline`.
 pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
@@ -617,6 +648,7 @@ pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
     const SHARD_FLOOR: f64 = 1.5;
     const NET_FLOOR: f64 = 1.0;
     const FLEET_FLOOR: f64 = 0.95;
+    const LOAD_FLOOR: f64 = 0.90;
     const SHARD_METRIC: &str = "shard/100000/4/agg_speedup";
     let floor_of = |metric: &str| -> Option<f64> {
         if metric.starts_with("engine/MUUN/") && metric.ends_with("/speedup") {
@@ -627,6 +659,8 @@ pub fn floor_violations(current: &Trajectory) -> Vec<Regression> {
             Some(NET_FLOOR)
         } else if metric.starts_with("obs_fleet/") && metric.ends_with("/telemetry_rel") {
             Some(FLEET_FLOOR)
+        } else if metric.starts_with("load/") && metric.ends_with("/served_ratio") {
+            Some(LOAD_FLOOR)
         } else {
             None
         }
@@ -679,6 +713,10 @@ mod tests {
         {"users": 400, "shards": 3, "telemetry_rel": 0.99,
          "plain_wall_sec": 2.0, "telemetry_wall_sec": 2.02}
     ]}"#;
+    const LOAD: &str = r#"{"rows": [
+        {"rate": 200, "shards": 2, "served_ratio": 1.0,
+         "slots_per_sec": 850.0, "p50_ms": 0.4, "p99_ms": 2.1}
+    ]}"#;
 
     fn trajectory() -> Trajectory {
         build_trajectory(
@@ -688,6 +726,7 @@ mod tests {
             &Json::parse(SHARD).unwrap(),
             &Json::parse(NET).unwrap(),
             Some(&Json::parse(FLEET).unwrap()),
+            Some(&Json::parse(LOAD).unwrap()),
         )
         .unwrap()
     }
@@ -760,13 +799,42 @@ mod tests {
             &Json::parse(SHARD).unwrap(),
             &Json::parse(NET).unwrap(),
             None,
+            None,
         )
         .unwrap();
         assert!(t.gated.iter().any(|(k, _)| k == "obs/DGRN/100/stats_rel"));
         assert!(!t.gated.iter().any(|(k, _)| k.contains("recorder_rel")));
-        // No fleet artifact → no obs_fleet metrics, and no floor demanded.
+        // No fleet/load artifacts → no obs_fleet or load metrics, and no
+        // floors demanded for them.
         assert!(!t.gated.iter().any(|(k, _)| k.starts_with("obs_fleet/")));
+        assert!(!t.gated.iter().any(|(k, _)| k.starts_with("load/")));
         assert!(floor_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn load_served_ratio_floor_catches_dropped_requests() {
+        let t = trajectory();
+        assert!(t.gated.iter().any(|(k, _)| k == "load/200/2/served_ratio"));
+        assert!(t
+            .informational
+            .iter()
+            .any(|(k, _)| k == "load/200/2/slots_per_sec"));
+        assert!(t
+            .informational
+            .iter()
+            .any(|(k, _)| k == "load/200/2/p99_ms"));
+        assert!(floor_violations(&t).is_empty());
+        let mut dropping = t.clone();
+        for (k, v) in &mut dropping.gated {
+            if k == "load/200/2/served_ratio" {
+                *v = 0.85; // 15% of offered load lost or rejected
+            }
+        }
+        let found = floor_violations(&dropping);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "load/200/2/served_ratio");
+        assert_eq!(found[0].baseline, 0.90);
+        assert_eq!(found[0].current, 0.85);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! platform-specific socket teardown.
 
 use crate::fleet::FleetStats;
+use crate::slo::{ServeMetrics, SloMonitor};
 use crate::stats::StatsSubscriber;
 use crate::subscriber::{FanoutSubscriber, Obs};
 use crate::watchdog::{WatchdogConfig, WatchdogSubscriber};
@@ -45,6 +46,13 @@ enum Source {
     },
     /// A whole deployment, folded from worker telemetry frames.
     Fleet(Arc<FleetStats>),
+    /// A long-lived serving process: the per-lane fleet registry plus the
+    /// serving-layer request metrics and the SLO monitor.
+    Serve {
+        fleet: Arc<FleetStats>,
+        serve: Arc<ServeMetrics>,
+        slo: Arc<SloMonitor>,
+    },
 }
 
 /// A live HTTP metrics endpoint backed by a [`StatsSubscriber`].
@@ -98,6 +106,19 @@ impl MetricsExporter {
     /// is the coordinator's endpoint in a telemetry-enabled deployment.
     pub fn bind_fleet(addr: impl ToSocketAddrs, fleet: Arc<FleetStats>) -> std::io::Result<Self> {
         Self::bind_inner(addr, Source::Fleet(fleet))
+    }
+
+    /// The serving-process endpoint: `/metrics` renders the per-lane fleet
+    /// exposition followed by the `vcs_serve_*` and `vcs_slo_*` families,
+    /// `/alerts` the SLO monitor's latched burn-rate alerts, `/snapshot`
+    /// the fleet JSON.
+    pub fn bind_serve(
+        addr: impl ToSocketAddrs,
+        fleet: Arc<FleetStats>,
+        serve: Arc<ServeMetrics>,
+        slo: Arc<SloMonitor>,
+    ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, Source::Serve { fleet, serve, slo })
     }
 
     fn bind_inner(addr: impl ToSocketAddrs, source: Source) -> std::io::Result<Self> {
@@ -169,6 +190,12 @@ fn serve_one(stream: &mut TcpStream, source: &Source) {
                     text
                 }
                 Source::Fleet(fleet) => fleet.prometheus_text(),
+                Source::Serve { fleet, serve, slo } => {
+                    let mut text = fleet.prometheus_text();
+                    text.push_str(&serve.prometheus_text());
+                    text.push_str(&slo.prometheus_text());
+                    text
+                }
             };
             ("200 OK", "text/plain; version=0.0.4", text)
         }
@@ -178,7 +205,7 @@ fn serve_one(stream: &mut TcpStream, source: &Source) {
             "application/json",
             match source {
                 Source::Process { stats, .. } => stats.snapshot_json(),
-                Source::Fleet(fleet) => fleet.snapshot_json(),
+                Source::Fleet(fleet) | Source::Serve { fleet, .. } => fleet.snapshot_json(),
             },
         ),
         "/alerts" => (
@@ -196,6 +223,7 @@ fn serve_one(stream: &mut TcpStream, source: &Source) {
                         fleet.total_alerts()
                     )
                 }
+                Source::Serve { slo, .. } => slo.alerts_json(),
             },
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
@@ -383,6 +411,44 @@ mod tests {
         let (status, body) = get(exporter.addr(), "/alerts");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains("\"fleet_alerts\":0"));
+    }
+
+    #[test]
+    fn serve_exporter_merges_fleet_serve_and_slo_families() {
+        use crate::slo::{RequestKind, SloConfig};
+        use crate::telemetry::TelemetryFrame;
+        let fleet = Arc::new(FleetStats::new());
+        let mut frame = TelemetryFrame::empty(0);
+        frame.seq = 1;
+        frame.counters[0] = 5;
+        fleet.ingest(frame);
+        let serve = Arc::new(ServeMetrics::new());
+        serve.observe_request(RequestKind::Join);
+        serve.observe_reply(true, 1_000_000);
+        serve.roll_window(5, 1.0);
+        let slo = Arc::new(SloMonitor::new(SloConfig {
+            p99_budget_nanos: 1,
+            burn_windows: 1,
+        }));
+        slo.observe_nanos(1_000_000);
+        assert!(slo.roll_window().is_some());
+        let exporter = MetricsExporter::bind_serve(
+            "127.0.0.1:0",
+            Arc::clone(&fleet),
+            Arc::clone(&serve),
+            Arc::clone(&slo),
+        )
+        .expect("bind serve");
+        let (status, body) = get(exporter.addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("vcs_fleet_slots_total{shard=\"0\"} 5"));
+        assert!(body.contains("vcs_serve_requests_total{kind=\"join\"} 1"));
+        assert!(body.contains("vcs_serve_slots_per_sec 5.0"));
+        assert!(body.contains("vcs_slo_burning 1"));
+        validate_prometheus_text(&body).expect("serve exposition over HTTP");
+        let (status, body) = get(exporter.addr(), "/alerts");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"kind\":\"slo_burn_rate\""), "body: {body}");
     }
 
     #[test]

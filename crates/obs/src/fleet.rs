@@ -3,13 +3,22 @@
 //! into one [`FleetStats`], served by a single `/metrics` endpoint with
 //! `shard="<id>"` labels and fleet-wide rollups.
 //!
-//! Frames are cumulative snapshots, so folding is idempotent: per
-//! `(shard, incarnation)` the registry keeps the highest-`seq` frame and
-//! discards stale arrivals (UDP telemetry may be lost, duplicated, or
-//! reordered — none of it skews a counter). A shard's totals sum the final
-//! snapshot of every incarnation, so the work a crashed worker did before
-//! its SIGKILL stays in the fleet counters after the respawn resets the
-//! live process's counters to zero.
+//! Frames are cumulative snapshots, so folding is idempotent: per shard
+//! the registry keeps the highest-`seq` frame of the **live** (highest)
+//! incarnation and discards stale arrivals (UDP telemetry may be lost,
+//! duplicated, or reordered — none of it skews a counter). When a respawn
+//! supersedes an incarnation, the dead incarnation's final frame is folded
+//! into a fixed-size retired accumulator and the frame itself is evicted —
+//! so a shard that crash-loops holds one frame plus one accumulator, not
+//! one frame per incarnation forever. The fold keeps the work a crashed
+//! worker did in the fleet counters; the trade-off is that a frame from a
+//! superseded incarnation arriving *after* the respawn's first frame (at
+//! most one telemetry window of late UDP) is counted stale and dropped.
+//!
+//! Liveness is tracked per shard: a shard whose last accepted frame is
+//! older than the configured staleness horizon is reported in the
+//! `vcs_fleet_stale_shards` gauge (its counters stay in the rollup — dead
+//! workers' work is still work).
 //!
 //! Label scheme (validated by `validate_prometheus_text`, which dedups
 //! histogram `le` buckets per family *name*): per-shard series are labeled
@@ -19,26 +28,94 @@
 //! activity exposed as labeled `_count`/`_seconds` counters instead.
 
 use crate::span::SpanKind;
-use crate::stats::render_span_cells;
+use crate::stats::{render_span_cells, SpanQuantiles};
 use crate::telemetry::{NetStats, SpanCells, TelemetryFrame, COORD_SHARD, COUNTER_NAMES};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Watchdog alert-kind labels, in the frame's `watchdog` column order.
 const ALERT_KINDS: [&str; 3] = ["phi_decrease", "slot_budget_overrun", "stale_livelock"];
 
-/// The fleet-level registry: latest telemetry frame per
-/// `(shard, incarnation)`, plus ingest accounting.
-#[derive(Default)]
+/// A shard with no accepted frame for this long counts as stale (the
+/// telemetry cadence is ~4 frames/s, so this is ~20 missed frames).
+const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(5);
+
+/// Monotone counter columns of dead incarnations, folded into one
+/// fixed-size accumulator so retired frames can be evicted.
+#[derive(Debug, Clone, Default)]
+struct RetiredTotals {
+    counters: Vec<u64>,
+    lanes: [u64; 4],
+    spans: Vec<SpanCells>,
+    net: NetStats,
+    watchdog: [u64; 3],
+    incarnations: u64,
+}
+
+impl RetiredTotals {
+    fn fold(&mut self, frame: &TelemetryFrame) {
+        if self.counters.is_empty() {
+            self.counters = vec![0; COUNTER_NAMES.len()];
+            self.spans = vec![SpanCells::zero(); SpanKind::ALL.len()];
+        }
+        for (total, &v) in self.counters.iter_mut().zip(&frame.counters) {
+            *total += v;
+        }
+        for (total, &v) in self.lanes.iter_mut().zip(&frame.lanes) {
+            *total += v;
+        }
+        for (total, row) in self.spans.iter_mut().zip(&frame.spans) {
+            total.sum_nanos += row.sum_nanos;
+            for (cell, &v) in total.buckets.iter_mut().zip(&row.buckets) {
+                *cell += v;
+            }
+        }
+        self.net.retransmissions += frame.net.retransmissions;
+        self.net.drops += frame.net.drops;
+        self.net.naks += frame.net.naks;
+        self.net.dup_drops += frame.net.dup_drops;
+        self.net.rto_fires += frame.net.rto_fires;
+        for (total, &v) in self.watchdog.iter_mut().zip(&frame.watchdog) {
+            *total += v;
+        }
+        self.incarnations += 1;
+    }
+}
+
+/// Per-shard registry slot: the live incarnation's latest frame, the
+/// retired accumulator, and the liveness stamp.
+struct ShardState {
+    live: TelemetryFrame,
+    retired: RetiredTotals,
+    last_accept: Instant,
+}
+
+/// The fleet-level registry: one live telemetry frame plus one retired
+/// accumulator per shard, with ingest accounting and staleness tracking.
 pub struct FleetStats {
-    /// shard → incarnation → highest-`seq` frame seen.
-    frames: Mutex<BTreeMap<u32, BTreeMap<u32, TelemetryFrame>>>,
+    /// shard → live frame + retired totals.
+    shards_map: Mutex<BTreeMap<u32, ShardState>>,
     /// Frames accepted (newer than what was held).
     accepted: AtomicU64,
-    /// Frames discarded as stale (older or equal `seq`).
+    /// Frames discarded as stale (older/equal `seq`, or from a superseded
+    /// incarnation).
     stale: AtomicU64,
+    /// Staleness horizon for [`stale_shards`](Self::stale_shards).
+    stale_after: Duration,
+}
+
+impl Default for FleetStats {
+    fn default() -> Self {
+        FleetStats {
+            shards_map: Mutex::new(BTreeMap::new()),
+            accepted: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            stale_after: DEFAULT_STALE_AFTER,
+        }
+    }
 }
 
 /// One shard's rollup across incarnations: counter columns summed, span
@@ -64,6 +141,9 @@ pub struct ShardTotals {
     pub phi: Option<f64>,
     /// Latest total profit of the live incarnation, if ever set.
     pub total_profit: Option<f64>,
+    /// Whether the shard's last accepted frame is older than the registry's
+    /// staleness horizon.
+    pub stale: bool,
 }
 
 impl ShardTotals {
@@ -83,35 +163,53 @@ pub fn shard_label(shard: u32) -> String {
 }
 
 impl FleetStats {
-    /// An empty registry.
+    /// An empty registry with the default staleness horizon.
     pub fn new() -> Self {
         FleetStats::default()
     }
 
-    /// Folds one frame in. Returns `true` if the frame was accepted —
-    /// i.e. it is the first, or strictly newer (`seq`) than the held frame
-    /// for its `(shard, incarnation)` slot.
+    /// Sets the staleness horizon: a shard whose last accepted frame is
+    /// older than this counts toward [`stale_shards`](Self::stale_shards).
+    pub fn with_stale_after(mut self, stale_after: Duration) -> Self {
+        self.stale_after = stale_after;
+        self
+    }
+
+    /// Folds one frame in. Returns `true` if the frame was accepted — it
+    /// is the shard's first, from a newer incarnation (the superseded
+    /// incarnation's final frame folds into the retired accumulator and is
+    /// evicted), or strictly newer (`seq`) within the live incarnation.
+    /// Frames from superseded incarnations are counted stale and dropped.
     pub fn ingest(&self, frame: TelemetryFrame) -> bool {
-        let mut frames = self.frames.lock();
-        let slot = frames
-            .entry(frame.shard)
-            .or_default()
-            .entry(frame.incarnation);
-        let accepted = match slot {
+        let now = Instant::now();
+        let mut shards = self.shards_map.lock();
+        let accepted = match shards.entry(frame.shard) {
             std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(frame);
+                v.insert(ShardState {
+                    live: frame,
+                    retired: RetiredTotals::default(),
+                    last_accept: now,
+                });
                 true
             }
             std::collections::btree_map::Entry::Occupied(mut o) => {
-                if frame.seq > o.get().seq {
-                    o.insert(frame);
+                let state = o.get_mut();
+                if frame.incarnation > state.live.incarnation {
+                    let dead = std::mem::replace(&mut state.live, frame);
+                    state.retired.fold(&dead);
+                    state.last_accept = now;
+                    true
+                } else if frame.incarnation == state.live.incarnation && frame.seq > state.live.seq
+                {
+                    state.live = frame;
+                    state.last_accept = now;
                     true
                 } else {
                     false
                 }
             }
         };
-        drop(frames);
+        drop(shards);
         if accepted {
             self.accepted.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -132,29 +230,38 @@ impl FleetStats {
 
     /// Shards that have reported, ascending (the coordinator last).
     pub fn shards(&self) -> Vec<u32> {
-        let frames = self.frames.lock();
-        let mut ids: Vec<u32> = frames
+        let shards = self.shards_map.lock();
+        let mut ids: Vec<u32> = shards
             .keys()
             .copied()
             .filter(|&s| s != COORD_SHARD)
             .collect();
-        if frames.contains_key(&COORD_SHARD) {
+        if shards.contains_key(&COORD_SHARD) {
             ids.push(COORD_SHARD);
         }
         ids
     }
 
-    /// One shard's cross-incarnation rollup, if it has reported.
-    pub fn shard_totals(&self, shard: u32) -> Option<ShardTotals> {
-        let frames = self.frames.lock();
-        let incs = frames.get(&shard)?;
-        let live = incs
+    /// Shards whose last accepted frame is older than the staleness
+    /// horizon — the `vcs_fleet_stale_shards` gauge.
+    pub fn stale_shards(&self) -> u64 {
+        let shards = self.shards_map.lock();
+        shards
             .values()
-            .next_back()
-            .expect("non-empty incarnation map");
+            .filter(|s| s.last_accept.elapsed() > self.stale_after)
+            .count() as u64
+    }
+
+    /// One shard's cross-incarnation rollup, if it has reported: live
+    /// frame plus the retired accumulator.
+    pub fn shard_totals(&self, shard: u32) -> Option<ShardTotals> {
+        let shards = self.shards_map.lock();
+        let state = shards.get(&shard)?;
+        let live = &state.live;
+        let retired = &state.retired;
         let mut totals = ShardTotals {
             shard,
-            incarnations: incs.len() as u64,
+            incarnations: retired.incarnations + 1,
             counters: vec![0; COUNTER_NAMES.len()],
             lanes: [0; 4],
             spans: vec![SpanCells::zero(); SpanKind::ALL.len()],
@@ -169,30 +276,74 @@ impl FleetStats {
                 let v = f64::from_bits(live.profit_bits);
                 (!v.is_nan()).then_some(v)
             },
+            stale: state.last_accept.elapsed() > self.stale_after,
         };
-        for frame in incs.values() {
-            for (total, &v) in totals.counters.iter_mut().zip(&frame.counters) {
+        for (total, &v) in totals.counters.iter_mut().zip(&live.counters) {
+            *total += v;
+        }
+        for (total, &v) in totals.lanes.iter_mut().zip(&live.lanes) {
+            *total += v;
+        }
+        for (total, row) in totals.spans.iter_mut().zip(&live.spans) {
+            total.sum_nanos += row.sum_nanos;
+            for (cell, &v) in total.buckets.iter_mut().zip(&row.buckets) {
+                *cell += v;
+            }
+        }
+        totals.net.retransmissions += live.net.retransmissions;
+        totals.net.drops += live.net.drops;
+        totals.net.naks += live.net.naks;
+        totals.net.dup_drops += live.net.dup_drops;
+        totals.net.rto_fires += live.net.rto_fires;
+        for (total, &v) in totals.watchdog.iter_mut().zip(&live.watchdog) {
+            *total += v;
+        }
+        if retired.incarnations > 0 {
+            for (total, &v) in totals.counters.iter_mut().zip(&retired.counters) {
                 *total += v;
             }
-            for (total, &v) in totals.lanes.iter_mut().zip(&frame.lanes) {
+            for (total, &v) in totals.lanes.iter_mut().zip(&retired.lanes) {
                 *total += v;
             }
-            for (total, row) in totals.spans.iter_mut().zip(&frame.spans) {
+            for (total, row) in totals.spans.iter_mut().zip(&retired.spans) {
                 total.sum_nanos += row.sum_nanos;
                 for (cell, &v) in total.buckets.iter_mut().zip(&row.buckets) {
                     *cell += v;
                 }
             }
-            totals.net.retransmissions += frame.net.retransmissions;
-            totals.net.drops += frame.net.drops;
-            totals.net.naks += frame.net.naks;
-            totals.net.dup_drops += frame.net.dup_drops;
-            totals.net.rto_fires += frame.net.rto_fires;
-            for (total, &v) in totals.watchdog.iter_mut().zip(&frame.watchdog) {
+            totals.net.retransmissions += retired.net.retransmissions;
+            totals.net.drops += retired.net.drops;
+            totals.net.naks += retired.net.naks;
+            totals.net.dup_drops += retired.net.dup_drops;
+            totals.net.rto_fires += retired.net.rto_fires;
+            for (total, &v) in totals.watchdog.iter_mut().zip(&retired.watchdog) {
                 *total += v;
             }
         }
         Some(totals)
+    }
+
+    /// Fleet-wide span quantile rows (p50/p90/p99/max per kind), summed
+    /// over every shard's rollup — the table `fleet_report` prints instead
+    /// of raw decade buckets. Kinds with no spans are omitted.
+    pub fn span_quantiles(&self) -> Vec<SpanQuantiles> {
+        let totals: Vec<ShardTotals> = self
+            .shards()
+            .into_iter()
+            .filter_map(|s| self.shard_totals(s))
+            .collect();
+        SpanKind::ALL
+            .into_iter()
+            .filter_map(|kind| {
+                let mut cells = [0u64; crate::telemetry::SPAN_BUCKETS];
+                for t in &totals {
+                    for (cell, &v) in cells.iter_mut().zip(&t.spans[kind.index()].buckets) {
+                        *cell += v;
+                    }
+                }
+                SpanQuantiles::from_cells(kind, &cells)
+            })
+            .collect()
     }
 
     /// Total latched watchdog alerts across the fleet.
@@ -225,6 +376,8 @@ impl FleetStats {
         );
         let _ = writeln!(out, "# TYPE vcs_fleet_frames_stale_total counter");
         let _ = writeln!(out, "vcs_fleet_frames_stale_total {}", self.frames_stale());
+        let _ = writeln!(out, "# TYPE vcs_fleet_stale_shards gauge");
+        let _ = writeln!(out, "vcs_fleet_stale_shards {}", self.stale_shards());
 
         let _ = writeln!(out, "# TYPE vcs_fleet_incarnations gauge");
         for t in &totals {
@@ -400,10 +553,11 @@ impl FleetStats {
             }
             let _ = write!(
                 out,
-                "{{\"shard\":\"{}\",\"incarnations\":{},\"slots\":{},\"alerts\":{},\
+                "{{\"shard\":\"{}\",\"stale\":{},\"incarnations\":{},\"slots\":{},\"alerts\":{},\
                  \"retransmissions\":{},\"drops\":{},\"naks\":{},\"dup_drops\":{},\
                  \"rto_fires\":{},\"in_flight\":{},\"srtt_ms\":{}}}",
                 shard_label(t.shard),
+                t.stale,
                 t.incarnations,
                 t.counters.first().copied().unwrap_or(0),
                 t.alerts(),
@@ -418,9 +572,10 @@ impl FleetStats {
         }
         let _ = write!(
             out,
-            "],\"frames_ingested\":{},\"frames_stale\":{}}}",
+            "],\"frames_ingested\":{},\"frames_stale\":{},\"stale_shards\":{}}}",
             self.frames_ingested(),
-            self.frames_stale()
+            self.frames_stale(),
+            self.stale_shards()
         );
         out
     }
@@ -501,8 +656,59 @@ mod tests {
         assert_eq!(fleet.total_alerts(), 0);
         assert_eq!(
             fleet.snapshot_json(),
-            "{\"shards\":[],\"frames_ingested\":0,\"frames_stale\":0}"
+            "{\"shards\":[],\"frames_ingested\":0,\"frames_stale\":0,\"stale_shards\":0}"
         );
+    }
+
+    #[test]
+    fn superseded_incarnations_are_evicted_but_their_work_is_kept() {
+        let fleet = FleetStats::new();
+        fleet.ingest(frame(0, 0, 9, 100));
+        fleet.ingest(frame(0, 1, 2, 30));
+        // Late UDP from the dead incarnation: dropped as stale, not merged.
+        assert!(!fleet.ingest(frame(0, 0, 10, 999)));
+        assert_eq!(fleet.frames_stale(), 1);
+        let t = fleet.shard_totals(0).expect("shard 0");
+        assert_eq!(t.incarnations, 2);
+        assert_eq!(t.counters[0], 130, "folded work survives eviction");
+        assert_eq!(t.spans[SpanKind::Slot.index()].count(), 130);
+        assert_eq!(t.net.retransmissions, 11);
+        // A third incarnation folds the second into the accumulator too.
+        fleet.ingest(frame(0, 2, 1, 7));
+        let t = fleet.shard_totals(0).expect("shard 0");
+        assert_eq!(t.incarnations, 3);
+        assert_eq!(t.counters[0], 137);
+    }
+
+    #[test]
+    fn stale_shards_gauge_tracks_the_horizon() {
+        let fleet = FleetStats::new().with_stale_after(Duration::from_secs(3600));
+        fleet.ingest(frame(0, 0, 1, 1));
+        fleet.ingest(frame(1, 0, 1, 1));
+        assert_eq!(fleet.stale_shards(), 0);
+        assert!(!fleet.shard_totals(0).unwrap().stale);
+        let fleet = FleetStats::new().with_stale_after(Duration::ZERO);
+        fleet.ingest(frame(0, 0, 1, 1));
+        fleet.ingest(frame(1, 0, 1, 1));
+        assert_eq!(fleet.stale_shards(), 2);
+        assert!(fleet.shard_totals(0).unwrap().stale);
+        let text = fleet.prometheus_text();
+        assert!(text.contains("vcs_fleet_stale_shards 2"));
+        assert!(fleet.snapshot_json().contains("\"stale_shards\":2"));
+    }
+
+    #[test]
+    fn fleet_span_quantiles_roll_up_across_shards() {
+        let fleet = FleetStats::new();
+        fleet.ingest(frame(0, 0, 1, 10));
+        fleet.ingest(frame(1, 0, 1, 20));
+        let rows = fleet.span_quantiles();
+        assert_eq!(rows.len(), 1, "only Slot recorded spans");
+        assert_eq!(rows[0].kind, SpanKind::Slot);
+        assert_eq!(rows[0].count, 30);
+        assert!(rows[0].p50_nanos <= rows[0].p99_nanos);
+        assert!(rows[0].p99_nanos <= rows[0].max_nanos);
+        assert!(FleetStats::new().span_quantiles().is_empty());
     }
 
     #[test]

@@ -43,7 +43,14 @@
 //!   [`TelemetryFrame`] snapshots a multi-process deployment streams from
 //!   workers to its coordinator, folded into one fleet registry and served
 //!   with `shard="<id>"` labels by
-//!   [`MetricsExporter::bind_fleet`].
+//!   [`MetricsExporter::bind_fleet`];
+//! * [`LatencyHistogram`] — HDR-style log-linear request-latency histogram
+//!   (wait-free recording, ≤ 3.1% quantile error, exact max) backing the
+//!   serving layer's p50/p90/p99/p999 extraction;
+//! * [`ServeMetrics`] / [`SloMonitor`] — serving-mode request counters,
+//!   per-window sustained slots/sec + goodput gauges, and the windowed
+//!   p99-budget burn-rate monitor latching [`AlertKind::SloBurnRate`]
+//!   alerts, served together by [`MetricsExporter::bind_serve`].
 //!
 //! This crate is a dependency *leaf* (only the vendored `parking_lot`), so
 //! `vcs-core` itself can depend on it; events therefore carry raw `u32`/
@@ -58,7 +65,9 @@ mod event;
 mod exporter;
 mod fleet;
 mod jsonl;
+mod latency;
 mod recorder;
+mod slo;
 pub mod span;
 mod stats;
 mod subscriber;
@@ -76,9 +85,13 @@ pub use event::{Event, ResponseKind};
 pub use exporter::{LiveMonitor, MetricsExporter};
 pub use fleet::{shard_label, FleetStats, ShardTotals};
 pub use jsonl::JsonlSubscriber;
+pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use recorder::FlightRecorder;
+pub use slo::{RequestKind, ServeMetrics, SloConfig, SloMonitor};
 pub use span::{elapsed_nanos, summarize_spans, SpanKind, SpanSummary, SpanTimer};
-pub use stats::{validate_prometheus_text, Histogram, SpanHistogram, StatsSubscriber};
+pub use stats::{
+    validate_prometheus_text, Histogram, SpanHistogram, SpanQuantiles, StatsSubscriber,
+};
 pub use subscriber::{FanoutSubscriber, NoopSubscriber, Obs, RingBufferSubscriber, Subscriber};
 pub use telemetry::{
     NetStats, SpanCells, TelemetryError, TelemetryFrame, COORD_SHARD, COUNTER_NAMES,

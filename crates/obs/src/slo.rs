@@ -1,0 +1,474 @@
+//! Serving-mode metrics and the SLO burn-rate monitor.
+//!
+//! A long-lived `platform_serve` process is judged the way any always-on
+//! service is: sustained throughput and tail latency against a budget, not
+//! a one-shot convergence certificate. Two pieces live here:
+//!
+//! * [`ServeMetrics`] — request/reply counters, the cumulative server-side
+//!   request-latency [`LatencyHistogram`], and the per-window **sustained
+//!   slots/sec** and **goodput** gauges. The serving loop's ticker calls
+//!   [`roll_window`](ServeMetrics::roll_window) once per window with the
+//!   engine's cumulative slot count; the gauges always show the last
+//!   completed window, so a stalled engine reads 0 rather than a decaying
+//!   lifetime average.
+//! * [`SloMonitor`] — a windowed latency budget check in the spirit of the
+//!   PR-5 watchdogs: each window's request-latency p99 is compared against
+//!   a budget, and `burn_windows` **consecutive** breaches latch one
+//!   [`Alert`] of kind [`AlertKind::SloBurnRate`] (delivered through the
+//!   same [`AlertSink`] fabric as watchdog alerts). A single clean window
+//!   resets the streak and re-arms the latch, so a sustained burn alerts
+//!   once per episode, not once per window. Empty windows count as clean:
+//!   no traffic is no evidence of breach.
+
+use crate::alert_sink::AlertSink;
+use crate::latency::LatencyHistogram;
+use crate::stats::Gauge;
+use crate::watchdog::{Alert, AlertKind};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The request classes a serving process answers. Mirrors the serve wire
+/// protocol (`vcs-runtime`) without depending on it — `vcs-obs` sits below
+/// the runtime in the crate graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Admit a new synthetic vehicle (churn Join).
+    Join,
+    /// Retire a vehicle (churn Leave).
+    Leave,
+    /// One best-response evaluation (and move, if improving) for a vehicle.
+    BestRespond,
+    /// Read-only stats query (slots, ϕ, population).
+    Query,
+}
+
+impl RequestKind {
+    /// Every kind, in label order.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Join,
+        RequestKind::Leave,
+        RequestKind::BestRespond,
+        RequestKind::Query,
+    ];
+
+    /// Stable snake_case label used in the `vcs_serve_requests_total`
+    /// exposition.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RequestKind::Join => "join",
+            RequestKind::Leave => "leave",
+            RequestKind::BestRespond => "best_respond",
+            RequestKind::Query => "query",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[derive(Debug, Default)]
+struct WindowBase {
+    slots: u64,
+    ok_replies: u64,
+}
+
+/// Serving-layer metrics: request/reply counters, cumulative request
+/// latency, and last-window throughput gauges. All recording paths are
+/// lock-free; only the once-per-window roll takes a mutex.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: [AtomicU64; RequestKind::ALL.len()],
+    replies_ok: AtomicU64,
+    replies_rejected: AtomicU64,
+    latency: LatencyHistogram,
+    windows: AtomicU64,
+    slots_per_sec: Gauge,
+    goodput_rps: Gauge,
+    base: Mutex<WindowBase>,
+}
+
+impl ServeMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request at ingress.
+    pub fn observe_request(&self, kind: RequestKind) {
+        self.requests[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reply and records its server-side latency (ingress stamp
+    /// to reply write), nanoseconds.
+    pub fn observe_reply(&self, ok: bool, latency_nanos: u64) {
+        if ok {
+            self.replies_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.replies_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record_nanos(latency_nanos);
+    }
+
+    /// Closes one observation window: `slots_now` is the engines'
+    /// cumulative decision-slot count, `window_secs` the wall-clock width
+    /// of the window just ended. Updates the sustained slots/sec and
+    /// goodput (ok replies per second) gauges from the deltas.
+    pub fn roll_window(&self, slots_now: u64, window_secs: f64) {
+        if window_secs <= 0.0 {
+            return;
+        }
+        let ok_now = self.replies_ok.load(Ordering::Relaxed);
+        let mut base = self.base.lock();
+        let slot_delta = slots_now.saturating_sub(base.slots);
+        let ok_delta = ok_now.saturating_sub(base.ok_replies);
+        base.slots = slots_now;
+        base.ok_replies = ok_now;
+        drop(base);
+        self.slots_per_sec.set(slot_delta as f64 / window_secs);
+        self.goodput_rps.set(ok_delta as f64 / window_secs);
+        self.windows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests observed for `kind`.
+    pub fn requests(&self, kind: RequestKind) -> u64 {
+        self.requests[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total `(ok, rejected)` replies.
+    pub fn replies(&self) -> (u64, u64) {
+        (
+            self.replies_ok.load(Ordering::Relaxed),
+            self.replies_rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Windows rolled so far.
+    pub fn windows(&self) -> u64 {
+        self.windows.load(Ordering::Relaxed)
+    }
+
+    /// Last-window sustained decision slots per second (`None` before the
+    /// first roll).
+    pub fn slots_per_sec(&self) -> Option<f64> {
+        self.slots_per_sec.get()
+    }
+
+    /// Last-window ok replies per second (`None` before the first roll).
+    pub fn goodput_rps(&self) -> Option<f64> {
+        self.goodput_rps.get()
+    }
+
+    /// The cumulative server-side request-latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Prometheus v0.0.4 exposition of the `vcs_serve_*` family, appended
+    /// to the fleet exposition by the serving exporter.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "# TYPE vcs_serve_requests_total counter");
+        for kind in RequestKind::ALL {
+            let _ = writeln!(
+                out,
+                "vcs_serve_requests_total{{kind=\"{}\"}} {}",
+                kind.tag(),
+                self.requests(kind)
+            );
+        }
+        let (ok, rejected) = self.replies();
+        let _ = writeln!(out, "# TYPE vcs_serve_replies_total counter");
+        let _ = writeln!(out, "vcs_serve_replies_total{{status=\"ok\"}} {ok}");
+        let _ = writeln!(
+            out,
+            "vcs_serve_replies_total{{status=\"rejected\"}} {rejected}"
+        );
+        let _ = writeln!(out, "# TYPE vcs_serve_windows_total counter");
+        let _ = writeln!(out, "vcs_serve_windows_total {}", self.windows());
+        let snap = self.latency.snapshot();
+        let _ = writeln!(out, "# TYPE vcs_serve_latency_samples_total counter");
+        let _ = writeln!(out, "vcs_serve_latency_samples_total {}", snap.count());
+        for (name, nanos) in [
+            ("vcs_serve_latency_p50_seconds", snap.quantile_nanos(0.50)),
+            ("vcs_serve_latency_p90_seconds", snap.quantile_nanos(0.90)),
+            ("vcs_serve_latency_p99_seconds", snap.quantile_nanos(0.99)),
+            ("vcs_serve_latency_p999_seconds", snap.quantile_nanos(0.999)),
+            ("vcs_serve_latency_max_seconds", snap.max_nanos()),
+            ("vcs_serve_latency_mean_seconds", snap.mean_nanos()),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {:?}", nanos as f64 * 1e-9);
+        }
+        for (name, gauge) in [
+            ("vcs_serve_slots_per_sec", &self.slots_per_sec),
+            ("vcs_serve_goodput_rps", &self.goodput_rps),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {:?}", gauge.get().unwrap_or(0.0));
+        }
+        out
+    }
+}
+
+/// The latency budget an SLO window is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Window p99 budget, nanoseconds.
+    pub p99_budget_nanos: u64,
+    /// Consecutive breached windows that latch one burn-rate alert.
+    pub burn_windows: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            // A generous default: 250 ms p99 over 3 consecutive windows.
+            p99_budget_nanos: 250_000_000,
+            burn_windows: 3,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SloState {
+    streak: u32,
+    latched: bool,
+    alerts: Vec<Alert>,
+}
+
+/// Windowed p99-vs-budget monitor latching [`AlertKind::SloBurnRate`]
+/// alerts. See the module docs for the latch/re-arm semantics.
+#[derive(Debug)]
+pub struct SloMonitor {
+    config: SloConfig,
+    window: LatencyHistogram,
+    windows: AtomicU64,
+    breach_windows: AtomicU64,
+    alerts_total: AtomicU64,
+    last_p99: Gauge,
+    state: Mutex<SloState>,
+    sink: Option<Arc<dyn AlertSink>>,
+}
+
+impl SloMonitor {
+    /// A monitor with the given budget, no push sink.
+    pub fn new(config: SloConfig) -> Self {
+        SloMonitor {
+            config,
+            window: LatencyHistogram::new(),
+            windows: AtomicU64::new(0),
+            breach_windows: AtomicU64::new(0),
+            alerts_total: AtomicU64::new(0),
+            last_p99: Gauge::default(),
+            state: Mutex::new(SloState::default()),
+            sink: None,
+        }
+    }
+
+    /// Attaches a push sink; every latched alert is delivered exactly once.
+    pub fn with_sink(mut self, sink: Arc<dyn AlertSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The configured budget.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Records one request latency into the current window.
+    pub fn observe_nanos(&self, nanos: u64) {
+        self.window.record_nanos(nanos);
+    }
+
+    /// Closes the current window: extracts its p99, compares against the
+    /// budget, advances the breach streak and latches an alert when the
+    /// streak reaches `burn_windows`. Returns the alert if one was raised
+    /// this window. Called by the serving ticker; not re-entrant with
+    /// itself (one ticker thread), concurrent with recorders.
+    pub fn roll_window(&self) -> Option<Alert> {
+        let snap = self.window.snapshot();
+        self.window.reset();
+        let window_index = self.windows.fetch_add(1, Ordering::Relaxed);
+        if snap.count() == 0 {
+            // No traffic: clean window, re-arm.
+            let mut state = self.state.lock();
+            state.streak = 0;
+            state.latched = false;
+            return None;
+        }
+        let p99 = snap.quantile_nanos(0.99);
+        self.last_p99.set(p99 as f64 * 1e-9);
+        let breached = p99 > self.config.p99_budget_nanos;
+        let mut state = self.state.lock();
+        if !breached {
+            state.streak = 0;
+            state.latched = false;
+            return None;
+        }
+        self.breach_windows.fetch_add(1, Ordering::Relaxed);
+        state.streak = state.streak.saturating_add(1);
+        if state.streak < self.config.burn_windows || state.latched {
+            return None;
+        }
+        state.latched = true;
+        self.alerts_total.fetch_add(1, Ordering::Relaxed);
+        let alert = Alert {
+            kind: AlertKind::SloBurnRate,
+            epoch: 0,
+            slot: window_index,
+            detail: format!(
+                "window p99 {p99}ns exceeded budget {}ns for {} consecutive windows",
+                self.config.p99_budget_nanos, state.streak
+            ),
+        };
+        if let Some(sink) = &self.sink {
+            sink.deliver(&alert);
+        }
+        state.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    /// `(windows, breach_windows, alerts)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.windows.load(Ordering::Relaxed),
+            self.breach_windows.load(Ordering::Relaxed),
+            self.alerts_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Whether a burn-rate alert is currently latched.
+    pub fn is_burning(&self) -> bool {
+        self.state.lock().latched
+    }
+
+    /// The alerts as one `{"alerts":[...]}` JSON document (the serving
+    /// exporter's `/alerts` body alongside watchdog alerts).
+    pub fn alerts_json(&self) -> String {
+        let state = self.state.lock();
+        let mut out = String::from("{\"alerts\":[");
+        for (i, alert) in state.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", alert.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Prometheus v0.0.4 exposition of the `vcs_slo_*` family.
+    pub fn prometheus_text(&self) -> String {
+        let (windows, breaches, alerts) = self.counters();
+        let mut out = String::with_capacity(512);
+        for (name, value) in [
+            ("vcs_slo_windows_total", windows),
+            ("vcs_slo_breach_windows_total", breaches),
+            ("vcs_slo_burn_rate_alerts_total", alerts),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE vcs_slo_p99_budget_seconds gauge");
+        let _ = writeln!(
+            out,
+            "vcs_slo_p99_budget_seconds {:?}",
+            self.config.p99_budget_nanos as f64 * 1e-9
+        );
+        let _ = writeln!(out, "# TYPE vcs_slo_last_p99_seconds gauge");
+        let _ = writeln!(
+            out,
+            "vcs_slo_last_p99_seconds {:?}",
+            self.last_p99.get().unwrap_or(0.0)
+        );
+        let _ = writeln!(out, "# TYPE vcs_slo_burning gauge");
+        let _ = writeln!(out, "vcs_slo_burning {}", u8::from(self.is_burning()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::validate_prometheus_text;
+
+    #[test]
+    fn serve_metrics_windows_report_deltas_not_lifetime_averages() {
+        let m = ServeMetrics::new();
+        m.observe_request(RequestKind::Join);
+        m.observe_reply(true, 1_000_000);
+        m.observe_reply(true, 2_000_000);
+        m.roll_window(100, 2.0);
+        assert_eq!(m.slots_per_sec(), Some(50.0));
+        assert_eq!(m.goodput_rps(), Some(1.0));
+        // Second window: no new slots or replies → gauges drop to 0.
+        m.roll_window(100, 2.0);
+        assert_eq!(m.slots_per_sec(), Some(0.0));
+        assert_eq!(m.goodput_rps(), Some(0.0));
+        assert_eq!(m.windows(), 2);
+        assert_eq!(m.requests(RequestKind::Join), 1);
+        assert_eq!(m.replies(), (2, 0));
+    }
+
+    #[test]
+    fn serve_exposition_validates() {
+        let m = ServeMetrics::new();
+        m.observe_request(RequestKind::BestRespond);
+        m.observe_reply(true, 500_000);
+        m.observe_reply(false, 100_000);
+        m.roll_window(10, 1.0);
+        validate_prometheus_text(&m.prometheus_text()).expect("valid exposition");
+    }
+
+    #[test]
+    fn slo_latches_after_consecutive_breaches_and_rearms() {
+        let slo = SloMonitor::new(SloConfig {
+            p99_budget_nanos: 1_000,
+            burn_windows: 2,
+        });
+        // Window 1: breach, no alert yet.
+        slo.observe_nanos(5_000);
+        assert!(slo.roll_window().is_none());
+        // Window 2: second consecutive breach → latch.
+        slo.observe_nanos(5_000);
+        let alert = slo.roll_window().expect("latched");
+        assert_eq!(alert.kind, AlertKind::SloBurnRate);
+        assert!(slo.is_burning());
+        // Window 3: still breaching, already latched → no duplicate.
+        slo.observe_nanos(5_000);
+        assert!(slo.roll_window().is_none());
+        // Window 4: clean → re-arm.
+        slo.observe_nanos(10);
+        assert!(slo.roll_window().is_none());
+        assert!(!slo.is_burning());
+        // Windows 5+6: a second episode latches a second alert.
+        slo.observe_nanos(5_000);
+        assert!(slo.roll_window().is_none());
+        slo.observe_nanos(5_000);
+        assert!(slo.roll_window().is_some());
+        let (windows, breaches, alerts) = slo.counters();
+        assert_eq!(windows, 6);
+        assert_eq!(breaches, 5);
+        assert_eq!(alerts, 2);
+        assert!(slo.alerts_json().contains("slo_burn_rate"));
+        validate_prometheus_text(&slo.prometheus_text()).expect("valid exposition");
+    }
+
+    #[test]
+    fn slo_empty_windows_are_clean() {
+        let slo = SloMonitor::new(SloConfig {
+            p99_budget_nanos: 1,
+            burn_windows: 1,
+        });
+        assert!(slo.roll_window().is_none());
+        slo.observe_nanos(1_000);
+        assert!(slo.roll_window().is_some());
+        // An idle stretch clears the latch.
+        assert!(slo.roll_window().is_none());
+        assert!(!slo.is_burning());
+    }
+}

@@ -65,13 +65,23 @@ pub enum SpanKind {
     /// Blocking on the socket transport for the next control message
     /// (coordinator-side recv wait, the network share of a round).
     NetWait,
+    /// Serving mode: time a request spent queued between ingress stamping
+    /// and a lane thread dequeuing it (scheduling delay, not work).
+    IngressQueue,
+    /// Serving mode: the bounded post-churn re-convergence a lane runs
+    /// before replying to a Join/Leave (the "converge wait" share of
+    /// request latency).
+    ConvergeWait,
+    /// Serving mode: encoding a reply and writing it back to the client
+    /// socket.
+    Reply,
 }
 
 impl SpanKind {
     /// Every kind, in display order. New kinds append at the end: the
     /// flight-recorder binary codec and per-kind tables index by
     /// [`index`](Self::index), so declaration order is a wire format.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::Slot,
         SpanKind::EngineApply,
         SpanKind::BestResponse,
@@ -83,6 +93,9 @@ impl SpanKind {
         SpanKind::InteriorConverge,
         SpanKind::BoundarySerialize,
         SpanKind::NetWait,
+        SpanKind::IngressQueue,
+        SpanKind::ConvergeWait,
+        SpanKind::Reply,
     ];
 
     /// Stable snake_case tag used by the JSONL codec and the Prometheus
@@ -100,6 +113,9 @@ impl SpanKind {
             SpanKind::InteriorConverge => "interior_converge",
             SpanKind::BoundarySerialize => "boundary_serialize",
             SpanKind::NetWait => "net_wait",
+            SpanKind::IngressQueue => "ingress_queue",
+            SpanKind::ConvergeWait => "converge_wait",
+            SpanKind::Reply => "reply",
         }
     }
 
@@ -170,6 +186,8 @@ pub struct SpanSummary {
     pub count: usize,
     /// Median duration, nanoseconds.
     pub p50_nanos: u64,
+    /// 90th-percentile duration, nanoseconds (nearest-rank).
+    pub p90_nanos: u64,
     /// 99th-percentile duration, nanoseconds (nearest-rank).
     pub p99_nanos: u64,
     /// Largest duration, nanoseconds.
@@ -206,6 +224,7 @@ pub fn summarize_spans(events: &[Event]) -> Vec<SpanSummary> {
             kind,
             count: durations.len(),
             p50_nanos: rank(0.50),
+            p90_nanos: rank(0.90),
             p99_nanos: rank(0.99),
             max_nanos: *durations.last().expect("non-empty"),
             total_nanos: durations.iter().sum(),
@@ -292,6 +311,7 @@ mod tests {
         assert_eq!(slot.kind, SpanKind::Slot);
         assert_eq!(slot.count, 100);
         assert_eq!(slot.p50_nanos, 50);
+        assert_eq!(slot.p90_nanos, 90);
         assert_eq!(slot.p99_nanos, 99);
         assert_eq!(slot.max_nanos, 100);
         assert_eq!(slot.total_nanos, 5050);

@@ -141,6 +141,100 @@ pub(crate) fn render_span_cells(name: &str, cells: &[u64], sum_nanos: u64, out: 
     let _ = writeln!(out, "{name}_count {cumulative}");
 }
 
+/// Nearest-rank quantile (`0 < q ≤ 1`) over raw span-bucket cells,
+/// nanoseconds. The rank's bucket is resolved exactly; within the decade
+/// bucket the value is geometrically interpolated (the bounds are log
+/// spaced, so a log-linear interpolation is the unbiased choice). The
+/// `+Inf` cell reports one decade above the last finite bound. Returns 0
+/// for empty cells.
+pub(crate) fn span_cells_quantile(cells: &[u64], q: f64) -> u64 {
+    debug_assert_eq!(cells.len(), SPAN_BUCKETS);
+    let total: u64 = cells.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (j, &n) in cells.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = seen;
+        seen += n;
+        if seen >= rank {
+            let lo = if j == 0 {
+                1.0
+            } else {
+                SPAN_BOUNDS_NANOS[j - 1] as f64
+            };
+            let hi = span_bucket_upper_nanos(j) as f64;
+            let frac = (rank - before) as f64 / n as f64;
+            return (lo * (hi / lo).powf(frac)).round() as u64;
+        }
+    }
+    span_bucket_upper_nanos(SPAN_BUCKETS - 1)
+}
+
+/// Upper bound of span bucket `j`, nanoseconds; the `+Inf` cell caps at one
+/// decade above the last finite bound.
+pub(crate) fn span_bucket_upper_nanos(j: usize) -> u64 {
+    if j < SPAN_BOUNDS_NANOS.len() {
+        SPAN_BOUNDS_NANOS[j]
+    } else {
+        SPAN_BOUNDS_NANOS[SPAN_BOUNDS_NANOS.len() - 1].saturating_mul(10)
+    }
+}
+
+/// Upper bound of the highest non-empty cell — the bucket-resolution
+/// estimate of the maximum recorded span. 0 for empty cells.
+pub(crate) fn span_cells_max_estimate(cells: &[u64]) -> u64 {
+    cells
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &n)| n > 0)
+        .map(|(j, _)| span_bucket_upper_nanos(j))
+        .unwrap_or(0)
+}
+
+/// Quantile row of one [`SpanKind`]'s histogram — what `fleet_report` and
+/// the fleet registry print instead of raw decade buckets. Quantiles are
+/// bucket-resolution estimates (geometric interpolation inside a decade);
+/// `max_nanos` is the upper bound of the highest occupied bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanQuantiles {
+    /// The summarized kind.
+    pub kind: SpanKind,
+    /// Spans recorded.
+    pub count: u64,
+    /// Estimated median, nanoseconds.
+    pub p50_nanos: u64,
+    /// Estimated 90th percentile, nanoseconds.
+    pub p90_nanos: u64,
+    /// Estimated 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Bucket-resolution maximum, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl SpanQuantiles {
+    /// Builds the row from raw span-bucket cells; `None` when empty.
+    pub(crate) fn from_cells(kind: SpanKind, cells: &[u64]) -> Option<SpanQuantiles> {
+        let count: u64 = cells.iter().sum();
+        if count == 0 {
+            return None;
+        }
+        Some(SpanQuantiles {
+            kind,
+            count,
+            p50_nanos: span_cells_quantile(cells, 0.50),
+            p90_nanos: span_cells_quantile(cells, 0.90),
+            p99_nanos: span_cells_quantile(cells, 0.99),
+            max_nanos: span_cells_max_estimate(cells),
+        })
+    }
+}
+
 /// A latency histogram specialized for span records.
 ///
 /// Span records land on the per-slot hot path, where `obs_report` bills
@@ -201,6 +295,21 @@ impl SpanHistogram {
             std::array::from_fn(|j| self.buckets[j].load(Ordering::Relaxed)),
             self.sum_nanos.load(Ordering::Relaxed),
         )
+    }
+
+    /// Nearest-rank quantile (`0 < q ≤ 1`) in nanoseconds — a
+    /// bucket-resolution estimate (geometric interpolation inside the
+    /// decade bucket). 0 when empty.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        let (cells, _) = self.snapshot_cells();
+        span_cells_quantile(&cells, q)
+    }
+
+    /// The p50/p90/p99/max quantile row for this histogram, or `None` when
+    /// no spans were recorded.
+    pub fn quantiles(&self, kind: SpanKind) -> Option<SpanQuantiles> {
+        let (cells, _) = self.snapshot_cells();
+        SpanQuantiles::from_cells(kind, &cells)
     }
 
     /// Renders in Prometheus text exposition format, seconds-valued. Same
@@ -280,7 +389,7 @@ counters! {
 
 /// An f64 gauge stored as bits in an atomic; NaN bits mean "never set".
 #[derive(Debug)]
-struct Gauge(AtomicU64);
+pub(crate) struct Gauge(AtomicU64);
 
 impl Default for Gauge {
     fn default() -> Self {
@@ -289,11 +398,11 @@ impl Default for Gauge {
 }
 
 impl Gauge {
-    fn set(&self, value: f64) {
+    pub(crate) fn set(&self, value: f64) {
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
-    fn get(&self) -> Option<f64> {
+    pub(crate) fn get(&self) -> Option<f64> {
         let value = f64::from_bits(self.0.load(Ordering::Relaxed));
         (!value.is_nan()).then_some(value)
     }
@@ -427,6 +536,15 @@ impl StatsSubscriber {
     /// The latency histogram of one span kind.
     pub fn span_histogram(&self, kind: SpanKind) -> &SpanHistogram {
         &self.span_seconds[kind.index()]
+    }
+
+    /// Quantile rows (p50/p90/p99/max) for every kind that recorded at
+    /// least one span, in [`SpanKind::ALL`] order.
+    pub fn span_quantiles(&self) -> Vec<SpanQuantiles> {
+        SpanKind::ALL
+            .into_iter()
+            .filter_map(|kind| self.span_seconds[kind.index()].quantiles(kind))
+            .collect()
     }
 
     /// The latest ϕ reported by any ϕ-carrying event (`None` before the
@@ -802,6 +920,29 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_quantiles_interpolate_within_decades() {
+        let h = SpanHistogram::new();
+        // 99 spans in the (100ns, 1µs] decade, one outlier in (1ms, 10ms].
+        for _ in 0..99 {
+            h.record_nanos(500);
+        }
+        h.record_nanos(5_000_000);
+        let q = h.quantiles(SpanKind::Slot).expect("non-empty");
+        assert_eq!(q.count, 100);
+        // p50/p90 land inside the 100ns..1µs decade.
+        assert!(q.p50_nanos > 100 && q.p50_nanos <= 1_000, "{}", q.p50_nanos);
+        assert!(q.p90_nanos > 100 && q.p90_nanos <= 1_000);
+        // p99 is the 99th of 100 — still the dense decade; max sees the outlier.
+        assert!(q.p99_nanos <= 1_000);
+        assert_eq!(q.max_nanos, 10_000_000);
+        // Monotone in q.
+        assert!(q.p50_nanos <= q.p90_nanos && q.p90_nanos <= q.p99_nanos);
+        // Empty histogram has no row.
+        assert!(SpanHistogram::new().quantiles(SpanKind::Slot).is_none());
+        assert_eq!(SpanHistogram::new().quantile_nanos(0.99), 0);
+    }
 
     #[test]
     fn histogram_buckets_and_sum() {

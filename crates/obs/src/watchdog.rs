@@ -40,6 +40,12 @@ pub enum AlertKind {
     /// No move committed across the configured number of completed slots
     /// while improving responses were pending.
     StaleLivelock,
+    /// Serving-mode SLO burn: the windowed request-latency p99 exceeded its
+    /// budget for the configured number of consecutive windows. Raised by
+    /// [`SloMonitor`](crate::SloMonitor), not by the watchdog — it shares
+    /// the [`Alert`] shape so push sinks and the `/alerts` endpoint carry
+    /// both families.
+    SloBurnRate,
 }
 
 impl AlertKind {
@@ -50,6 +56,7 @@ impl AlertKind {
             AlertKind::PhiDecrease => "phi_decrease",
             AlertKind::SlotBudgetOverrun => "slot_budget_overrun",
             AlertKind::StaleLivelock => "stale_livelock",
+            AlertKind::SloBurnRate => "slo_burn_rate",
         }
     }
 }
@@ -229,6 +236,8 @@ impl WatchdogSubscriber {
             AlertKind::PhiDecrease => self.phi_decreases.fetch_add(1, Ordering::Relaxed),
             AlertKind::SlotBudgetOverrun => self.slot_overruns.fetch_add(1, Ordering::Relaxed),
             AlertKind::StaleLivelock => self.stale_livelocks.fetch_add(1, Ordering::Relaxed),
+            // The watchdog never raises SLO alerts; SloMonitor owns them.
+            AlertKind::SloBurnRate => 0,
         };
         let alert = Alert {
             kind,

@@ -14,7 +14,10 @@
 //!   also runs a cold-restart baseline plus a from-scratch equivalence
 //!   replay of the warm trajectory (fixed-point ϕ agreement within
 //!   [`PHI_TOLERANCE`]);
-//! * [`snapshot`] — shard checkpoint/resume as a validated binary frame.
+//! * [`snapshot`] — shard checkpoint/resume as a validated binary frame;
+//! * [`serve`] — the serving-mode executor: a long-lived game answering an
+//!   open-ended Join/Leave/BestRespond request stream, re-converged after
+//!   every mutating request (the `platform_serve` bin's per-lane core).
 //!
 //! **Dynamic-game semantics.** Every churn event redefines the potential ϕ
 //! (it is a function of the current user set): ϕ increases monotonically
@@ -29,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
 pub mod sim;
 pub mod snapshot;
 pub mod stream;
 
+pub use serve::{ServeCore, ServeCoreConfig};
 pub use sim::{EpochReport, OnlineAlgorithm, OnlineReport, OnlineSim, PHI_TOLERANCE};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stream::{synthetic_stream, trace_stream, EventStream, StreamConfig};

@@ -159,7 +159,7 @@ impl OnlineReport {
 /// Computes `user`'s standing request under `algo`: `Some(route)` when the
 /// user can strictly improve, `None` when it is satisfied. Draws one RNG
 /// pick per improving evaluation (part of the deterministic trajectory).
-fn compute_request(
+pub(crate) fn compute_request(
     engine: &Engine<'_>,
     algo: OnlineAlgorithm,
     user: UserId,
@@ -187,7 +187,7 @@ fn compute_request(
 
 /// Re-evaluates the standing requests of every user the engine marked dirty
 /// (in id order — the order is part of the deterministic trajectory).
-fn refresh(
+pub(crate) fn refresh(
     engine: &mut Engine<'_>,
     requests: &mut [Option<RouteId>],
     algo: OnlineAlgorithm,
@@ -224,7 +224,7 @@ fn refresh(
 /// refreshes dirty requests, then grants one uniformly random standing
 /// request — the SUU rule of Alg. 2, priced from the engine's caches.
 /// Returns `(slots, converged)`.
-fn drive(
+pub(crate) fn drive(
     engine: &mut Engine<'_>,
     requests: &mut [Option<RouteId>],
     algo: OnlineAlgorithm,

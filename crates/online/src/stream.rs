@@ -81,7 +81,7 @@ impl EventStream {
 }
 
 /// One paper-range task: `a_k ∈ [10, 20)`, `μ_k ∈ [0, 1)`.
-fn synthetic_task(id: TaskId, rng: &mut StdRng) -> Task {
+pub(crate) fn synthetic_task(id: TaskId, rng: &mut StdRng) -> Task {
     Task::new(id, rng.random_range(10.0..20.0), rng.random_range(0.0..1.0))
 }
 
@@ -89,7 +89,7 @@ fn synthetic_task(id: TaskId, rng: &mut StdRng) -> Task {
 /// in `[0, 5)`, congestion in `[0, 4)`, weights in `[0.1, 0.9)` — the same
 /// ranges as the `vcs-bench` synthetic generator, so online instances are
 /// statistically comparable to the engine benchmarks.
-fn synthetic_spec(n_tasks: usize, rng: &mut StdRng) -> UserSpec {
+pub(crate) fn synthetic_spec(n_tasks: usize, rng: &mut StdRng) -> UserSpec {
     let n_routes = rng.random_range(2..=4usize);
     let routes = (0..n_routes)
         .map(|r| {

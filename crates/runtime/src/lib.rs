@@ -26,6 +26,7 @@ pub mod net;
 pub mod platform;
 pub mod protocol;
 pub mod resilience;
+pub mod serve;
 pub mod sync_runtime;
 pub mod threaded;
 
@@ -34,6 +35,9 @@ pub use platform::{PlatformState, SchedulerKind};
 pub use protocol::{CodecError, PlatformMsg, UserMsg};
 pub use resilience::{
     run_lossy, run_lossy_observed, run_stale, run_stale_observed, LossConfig, LossStats,
+};
+pub use serve::{
+    RejectReason, ServeReply, ServeReplyBody, ServeRequest, ServeRequestBody, ANY_SHARD,
 };
 pub use sync_runtime::{
     run_sync, run_sync_churn, run_sync_churn_observed, run_sync_observed, ChurnOutcome,

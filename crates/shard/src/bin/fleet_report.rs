@@ -20,14 +20,17 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use vcs_shard::{parse_worker_args, run_deployment, run_worker, DeployConfig, TransportKind};
+use vcs_shard::{
+    parse_worker_args, run_deployment, run_worker, DeployConfig, DeployOutcome, TransportKind,
+};
 
-/// Best-of-`reps` deployment wall clock for one config. Uses the external
-/// wall (spawn → artifacts written) rather than `outcome.wall_secs`: the
-/// telemetry plane's costs include process setup (exporter bind, recorder
-/// allocation) that the in-run clock would miss.
-fn best_wall(cfg: &DeployConfig, reps: usize) -> Result<f64, String> {
-    let mut best = f64::INFINITY;
+/// Best-of-`reps` deployment wall clock for one config, plus the
+/// best rep's outcome (for the telemetry cell's span quantiles). Uses the
+/// external wall (spawn → artifacts written) rather than
+/// `outcome.wall_secs`: the telemetry plane's costs include process setup
+/// (exporter bind, recorder allocation) that the in-run clock would miss.
+fn best_wall(cfg: &DeployConfig, reps: usize) -> Result<(f64, DeployOutcome), String> {
+    let mut best: Option<(f64, DeployOutcome)> = None;
     for rep in 0..reps {
         let mut cfg = cfg.clone();
         cfg.out_dir = cfg.out_dir.join(format!("rep{rep}"));
@@ -38,9 +41,24 @@ fn best_wall(cfg: &DeployConfig, reps: usize) -> Result<f64, String> {
         if !outcome.converged {
             return Err("deployment did not converge".into());
         }
-        best = best.min(wall);
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, outcome));
+        }
     }
-    Ok(best)
+    Ok(best.expect("reps >= 1"))
+}
+
+/// Renders nanoseconds human-first for the span quantile table.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
 }
 
 fn main() -> ExitCode {
@@ -101,7 +119,7 @@ fn main() -> ExitCode {
 
     eprintln!("fleet_report: {users} users / {shards} shards, telemetry off ({reps} reps) ...");
     cfg.out_dir = work_dir.join("plain");
-    let plain_wall = match best_wall(&cfg, reps) {
+    let (plain_wall, _) = match best_wall(&cfg, reps) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("  telemetry-off cell FAILED: {e}");
@@ -114,7 +132,7 @@ fn main() -> ExitCode {
     cfg.telemetry = true;
     cfg.metrics_port = Some(0); // bind the exporter too — it is part of the cost
     cfg.out_dir = work_dir.join("telemetry");
-    let telemetry_wall = match best_wall(&cfg, reps) {
+    let (telemetry_wall, telemetry_outcome) = match best_wall(&cfg, reps) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("  telemetry-on cell FAILED: {e}");
@@ -123,6 +141,24 @@ fn main() -> ExitCode {
     };
     let telemetry_rel = plain_wall / telemetry_wall;
     eprintln!("  best wall {telemetry_wall:.3}s, telemetry_rel {telemetry_rel:.4}");
+    if !telemetry_outcome.span_quantiles.is_empty() {
+        eprintln!("  fleet span quantiles (best telemetry rep):");
+        eprintln!(
+            "    {:<20} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "kind", "count", "p50", "p90", "p99", "max"
+        );
+        for q in &telemetry_outcome.span_quantiles {
+            eprintln!(
+                "    {:<20} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                q.kind.tag(),
+                q.count,
+                fmt_nanos(q.p50_nanos),
+                fmt_nanos(q.p90_nanos),
+                fmt_nanos(q.p99_nanos),
+                fmt_nanos(q.max_nanos)
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&work_dir);
 
     let mut doc = String::new();

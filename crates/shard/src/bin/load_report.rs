@@ -1,0 +1,153 @@
+//! `load_report` — the sustained-serving benchmark behind
+//! `BENCH_load.json`: for every cell of an arrival-rate × shard-count
+//! matrix, start an in-process `platform_serve`, drive it open-loop with
+//! the seeded loadgen, and record what the cell sustained.
+//!
+//! The gated metric is `served_ratio` (non-rejected replies / offered
+//! requests), floored at 0.90 by `bench_trend` — under sustained load the
+//! serving process must answer what it is offered. Sustained slots/sec
+//! and the p50/p99 end-to-end latencies ride along as informational
+//! context (they move with the machine; dropped requests do not).
+//!
+//! ```text
+//! load_report [--out BENCH_load.json] [--rates R1,R2,...]
+//!             [--shards K1,K2,...] [--duration-secs D] [--seed S]
+//!             [--max-agents N]
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use vcs_online::ServeCoreConfig;
+use vcs_shard::{run_loadgen, start_platform_serve, LoadgenOptions, ServeOptions};
+
+struct Cell {
+    rate: f64,
+    shards: usize,
+    served_ratio: f64,
+    slots_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str, flag: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag}: bad element {p:?}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_load.json");
+    let mut rates: Vec<f64> = vec![200.0, 400.0];
+    let mut shards: Vec<usize> = vec![1, 2];
+    let mut duration = Duration::from_secs(10);
+    let mut seed = 7u64;
+    let mut max_agents = 400usize;
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(next(&mut it, "--out")),
+            "--rates" => rates = parse_list(&next(&mut it, "--rates"), "--rates"),
+            "--shards" => shards = parse_list(&next(&mut it, "--shards"), "--shards"),
+            "--duration-secs" => {
+                duration = Duration::from_secs_f64(
+                    next(&mut it, "--duration-secs")
+                        .parse()
+                        .expect("--duration-secs: number"),
+                );
+            }
+            "--seed" => seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--max-agents" => {
+                max_agents = next(&mut it, "--max-agents")
+                    .parse()
+                    .expect("--max-agents: integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &k in &shards {
+        for &rate in &rates {
+            eprintln!(
+                "load_report: {rate} req/s vs {k} shard{} for {:.0}s ...",
+                if k == 1 { "" } else { "s" },
+                duration.as_secs_f64()
+            );
+            let handle = match start_platform_serve(&ServeOptions {
+                shards: k,
+                core: ServeCoreConfig {
+                    seed,
+                    ..ServeCoreConfig::default()
+                },
+                ..ServeOptions::default()
+            }) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("  cell FAILED to start server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match run_loadgen(&LoadgenOptions {
+                addr: handle.addr().to_string(),
+                rate_hz: rate,
+                duration,
+                seed,
+                max_agents,
+                shutdown_after: true,
+                ..LoadgenOptions::default()
+            }) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  cell FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            handle.wait();
+            eprintln!(
+                "  served {:.4}, {:.0} slots/s, p50 {:.2}ms p99 {:.2}ms",
+                report.served_ratio, report.sustained_slots_per_sec, report.p50_ms, report.p99_ms
+            );
+            cells.push(Cell {
+                rate,
+                shards: k,
+                served_ratio: report.served_ratio,
+                slots_per_sec: report.sustained_slots_per_sec,
+                p50_ms: report.p50_ms,
+                p99_ms: report.p99_ms,
+            });
+        }
+    }
+
+    let mut doc = String::new();
+    let _ = writeln!(doc, "{{");
+    let _ = writeln!(
+        doc,
+        "  \"benchmark\": \"sustained open-loop serving: loadgen vs platform_serve, {:.0}s per cell, coordinated-omission-corrected latency\",",
+        duration.as_secs_f64()
+    );
+    let _ = writeln!(doc, "  \"seed\": {seed},");
+    let _ = writeln!(doc, "  \"rows\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            doc,
+            "    {{\"rate\": {}, \"shards\": {}, \"served_ratio\": {:.4}, \
+             \"slots_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            c.rate, c.shards, c.served_ratio, c.slots_per_sec, c.p50_ms, c.p99_ms
+        );
+    }
+    let _ = writeln!(doc, "  ]");
+    let _ = writeln!(doc, "}}");
+    std::fs::write(&out, doc).expect("write BENCH_load.json");
+    eprintln!("load_report: wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! `loadgen` — open-loop load generator for a live `platform_serve`
+//! process: seeded Poisson arrivals at `--rate` req/s for `--duration`
+//! seconds, a weight-driven Join/Leave/BestRespond mix over a bounded
+//! simulated agent pool, coordinated-omission-corrected latency, and the
+//! server's sustained slots/sec from bracketing `Query` requests.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--rate R] [--duration-secs D] [--seed S]
+//!         [--max-agents N] [--mix J,L,B] [--shutdown] [--out FILE]
+//! ```
+//!
+//! The report prints as one JSON object on stdout (and to `--out` when
+//! given); a non-clean run (`served_ratio < 1`) exits nonzero so CI can
+//! gate on it.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use vcs_shard::{run_loadgen, LoadgenOptions};
+
+fn main() -> ExitCode {
+    let mut opts = LoadgenOptions::default();
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next(&mut it, "--addr")),
+            "--rate" => {
+                opts.rate_hz = next(&mut it, "--rate").parse().expect("--rate: number");
+            }
+            "--duration-secs" => {
+                opts.duration = Duration::from_secs_f64(
+                    next(&mut it, "--duration-secs")
+                        .parse()
+                        .expect("--duration-secs: number"),
+                );
+            }
+            "--seed" => opts.seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--max-agents" => {
+                opts.max_agents = next(&mut it, "--max-agents")
+                    .parse()
+                    .expect("--max-agents: integer");
+            }
+            "--mix" => {
+                let raw = next(&mut it, "--mix");
+                let parts: Vec<u32> = raw
+                    .split(',')
+                    .map(|p| p.trim().parse().expect("--mix: J,L,B integers"))
+                    .collect();
+                assert_eq!(parts.len(), 3, "--mix takes three weights: J,L,B");
+                opts.mix = (parts[0], parts[1], parts[2]);
+            }
+            "--shutdown" => opts.shutdown_after = true,
+            "--out" => out = Some(next(&mut it, "--out")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    opts.addr = addr.expect("--addr is required");
+
+    let report = match run_loadgen(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("loadgen: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "loadgen: {} sent, {} ok, p50 {:.2}ms p99 {:.2}ms, {:.0} slots/s",
+        report.sent,
+        report.replies_ok,
+        report.p50_ms,
+        report.p99_ms,
+        report.sustained_slots_per_sec
+    );
+    if report.served_ratio < 1.0 {
+        eprintln!(
+            "loadgen: NOT CLEAN — served_ratio {:.4} ({} rejected, {} lost)",
+            report.served_ratio,
+            report.rejected,
+            report.sent - report.replies
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! `platform_serve` — the long-lived serving process: `K` shard lanes,
+//! each an independent game + engine, answering an open-ended stream of
+//! Join / Leave / BestRespond / Query requests over the length-guarded
+//! frame transport, with `/metrics`, `/alerts` and `/snapshot` served
+//! live. The process runs until a `Shutdown` request arrives.
+//!
+//! ```text
+//! platform_serve [--shards K] [--addr A] [--metrics-addr A]
+//!                [--out-dir DIR] [--seed S] [--initial-users N]
+//!                [--tasks T] [--window-ms W]
+//!                [--slo-budget-ms B] [--burn-windows K]
+//! ```
+//!
+//! With `--out-dir`, the bound addresses land in `serve.addr` and
+//! `metrics.addr` so scripts can discover ephemeral ports.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use vcs_obs::SloConfig;
+use vcs_online::ServeCoreConfig;
+use vcs_shard::{start_platform_serve, ServeOptions};
+
+fn main() -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut core = ServeCoreConfig::default();
+    let mut slo = SloConfig::default();
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                opts.shards = next(&mut it, "--shards")
+                    .parse()
+                    .expect("--shards: integer");
+            }
+            "--addr" => opts.addr = next(&mut it, "--addr"),
+            "--metrics-addr" => opts.metrics_addr = next(&mut it, "--metrics-addr"),
+            "--out-dir" => opts.out_dir = Some(PathBuf::from(next(&mut it, "--out-dir"))),
+            "--seed" => core.seed = next(&mut it, "--seed").parse().expect("--seed: integer"),
+            "--initial-users" => {
+                core.initial_users = next(&mut it, "--initial-users")
+                    .parse()
+                    .expect("--initial-users: integer");
+            }
+            "--tasks" => {
+                core.n_tasks = next(&mut it, "--tasks").parse().expect("--tasks: integer");
+            }
+            "--window-ms" => {
+                opts.window = Duration::from_millis(
+                    next(&mut it, "--window-ms")
+                        .parse()
+                        .expect("--window-ms: integer"),
+                );
+            }
+            "--slo-budget-ms" => {
+                let ms: u64 = next(&mut it, "--slo-budget-ms")
+                    .parse()
+                    .expect("--slo-budget-ms: integer");
+                slo.p99_budget_nanos = ms * 1_000_000;
+            }
+            "--burn-windows" => {
+                slo.burn_windows = next(&mut it, "--burn-windows")
+                    .parse()
+                    .expect("--burn-windows: integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    opts.core = core;
+    opts.slo = slo;
+
+    let handle = match start_platform_serve(&opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("platform_serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "platform_serve: {} lanes, requests on {}, /metrics on {}",
+        opts.shards,
+        handle.addr(),
+        handle.metrics_addr()
+    );
+    handle.wait();
+    eprintln!("platform_serve: shutdown complete");
+    ExitCode::SUCCESS
+}

@@ -72,8 +72,9 @@ use vcs_obs::span::SpanKind;
 use vcs_obs::trace::{event_to_json, read_trace};
 use vcs_obs::{
     elapsed_nanos, merge_stamped_streams, validate_causal_order_merged, AlertRoute, Event,
-    FanoutSubscriber, FleetStats, JsonlSubscriber, MetricsExporter, NetStats, Obs, StampedStream,
-    StatsSubscriber, Subscriber, TelemetryFrame, WatchdogConfig, WatchdogSubscriber, COORD_SHARD,
+    FanoutSubscriber, FleetStats, JsonlSubscriber, MetricsExporter, NetStats, Obs, SpanQuantiles,
+    StampedStream, StatsSubscriber, Subscriber, TelemetryFrame, WatchdogConfig, WatchdogSubscriber,
+    COORD_SHARD,
 };
 
 /// Parameters of a deployment, shared verbatim between the coordinator and
@@ -300,6 +301,10 @@ pub struct DeployOutcome {
     pub wall_secs: f64,
     /// The partition's boundary fraction.
     pub boundary_fraction: f64,
+    /// Fleet-wide per-[`SpanKind`] latency quantiles (p50/p90/p99/max),
+    /// extracted from the telemetry plane's merged decade histograms.
+    /// Empty unless `cfg.telemetry` streamed frames into the registry.
+    pub span_quantiles: Vec<SpanQuantiles>,
 }
 
 fn other_err(msg: String) -> io::Error {
@@ -448,6 +453,7 @@ fn run_channel(cfg: &DeployConfig) -> io::Result<DeployOutcome> {
         net: NetStats::default(),
         wall_secs,
         boundary_fraction: outcome.boundary_fraction,
+        span_quantiles: Vec::new(),
     })
 }
 
@@ -680,6 +686,11 @@ impl Coordinator {
             net,
             wall_secs,
             boundary_fraction: co.plan.boundary_fraction(),
+            span_quantiles: co
+                .fleet
+                .as_deref()
+                .map(FleetStats::span_quantiles)
+                .unwrap_or_default(),
         })
     }
 

@@ -8,6 +8,13 @@
 //! `shard_runtime` and `shard_report` binaries drive deployments and the
 //! scaling benchmark respectively.
 //!
+//! The crate also hosts the long-lived serving mode: [`serving`] keeps
+//! `K` shard lanes open indefinitely behind a request frontend
+//! (`platform_serve`), [`loadgen`] drives it with seeded open-loop
+//! arrivals and coordinated-omission-corrected latency (`loadgen`,
+//! `load_report`), with request-level spans, windowed latency quantiles,
+//! and SLO burn-rate alerts on `/metrics`.
+//!
 //! Correctness contract (enforced by the oracle test suite): a converged
 //! sharded run's merged profile is a Nash equilibrium of the *full* game,
 //! its merged commit log replays on a single full-game engine with `ϕ`
@@ -21,8 +28,10 @@ pub mod arq;
 mod deploy;
 mod frame;
 mod gen;
+pub mod loadgen;
 pub mod net;
 pub mod partition;
+pub mod serving;
 mod sim;
 mod worker;
 
@@ -30,8 +39,10 @@ pub use arq::{ArqReceiver, ArqSender, FaultConfig, FaultInjector};
 pub use deploy::{parse_worker_args, run_deployment, verify_outcome, DeployConfig, DeployOutcome};
 pub use frame::{BoundaryFrame, FrameError, FRAME_LEN};
 pub use gen::localized_game;
+pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
 pub use net::{CoordLink, CtrlMsg, PeerNet, TransportKind};
 pub use partition::{partition, ShardPlan};
+pub use serving::{global_user_id, split_user_id, start_platform_serve, ServeHandle, ServeOptions};
 pub use sim::{RoundReport, ShardCheckpoint, ShardConfig, ShardedOutcome, ShardedSim};
 pub use vcs_obs::NetStats;
 pub use worker::{run_worker, WorkerConfig};

@@ -1,0 +1,144 @@
+//! Serving-mode soak: a live 2-lane `platform_serve` under open-loop
+//! loadgen, scraped repeatedly mid-run. Asserts the scrape-consistency
+//! contract of the `/metrics` endpoint:
+//!
+//! * every exposition parses under the Prometheus text validator;
+//! * counters are monotone non-decreasing across scrapes (a counter that
+//!   moves backwards means a reset or double-registration bug);
+//! * at quiescence the latency histogram's sample count equals the sum of
+//!   the ok/rejected reply counters (one sample per reply, no more, no
+//!   fewer);
+//! * the run sustains nonzero decision slots and a clean SLO at a
+//!   generous budget, and the server shuts down without leaking threads.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use vcs_obs::{validate_prometheus_text, SloConfig};
+use vcs_online::ServeCoreConfig;
+use vcs_runtime::net::http_get;
+use vcs_shard::{run_loadgen, start_platform_serve, LoadgenOptions, ServeOptions};
+
+/// Parses counter samples (`name{labels} value` lines whose metric name
+/// ends in `_total`) into an exact-match key → value map.
+fn counter_samples(body: &str) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let name = key.split('{').next().unwrap_or(key);
+        if !name.ends_with("_total") {
+            continue;
+        }
+        // Counters in this workspace render as integers; skip any that
+        // do not (future-proofing, not expected).
+        if let Ok(v) = value.parse::<u64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    out
+}
+
+fn metric_value(body: &str, key: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.starts_with(key) && l[key.len()..].starts_with(' '))
+        .and_then(|l| l[key.len() + 1..].trim().parse().ok())
+}
+
+#[test]
+fn metrics_scrapes_stay_monotone_and_consistent_under_load() {
+    let handle = start_platform_serve(&ServeOptions {
+        shards: 2,
+        core: ServeCoreConfig {
+            n_tasks: 10,
+            initial_users: 16,
+            seed: 77,
+            ..ServeCoreConfig::default()
+        },
+        window: Duration::from_millis(100),
+        // Generous budget: the soak asserts a clean pass, not a burn.
+        slo: SloConfig {
+            p99_budget_nanos: 5_000_000_000,
+            burn_windows: 3,
+        },
+        ..ServeOptions::default()
+    })
+    .expect("start server");
+    let metrics_addr = handle.metrics_addr();
+    let serve_addr = handle.addr().to_string();
+
+    let loadgen = std::thread::spawn(move || {
+        run_loadgen(&LoadgenOptions {
+            addr: serve_addr,
+            rate_hz: 300.0,
+            duration: Duration::from_millis(2500),
+            seed: 4,
+            max_agents: 60,
+            shutdown_after: false,
+            ..LoadgenOptions::default()
+        })
+        .expect("loadgen run")
+    });
+
+    // Scrape while the load runs: every exposition valid, every counter
+    // monotone against the previous scrape.
+    let mut previous: HashMap<String, u64> = HashMap::new();
+    let mut scrapes = 0u32;
+    while !loadgen.is_finished() {
+        let (status, body) =
+            http_get(metrics_addr, "/metrics", Duration::from_secs(2)).expect("scrape");
+        assert!(status.contains("200"), "scrape status {status}");
+        validate_prometheus_text(&body).expect("mid-run exposition is valid");
+        let current = counter_samples(&body);
+        for (key, prev) in &previous {
+            let now = current.get(key).copied().unwrap_or_else(|| {
+                panic!("counter {key} disappeared between scrapes");
+            });
+            assert!(
+                now >= *prev,
+                "counter {key} went backwards: {prev} -> {now}"
+            );
+        }
+        previous = current;
+        scrapes += 1;
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let report = loadgen.join().expect("loadgen thread");
+    assert!(scrapes >= 3, "the soak actually scraped mid-run: {scrapes}");
+    assert_eq!(report.rejected, 0, "clean run: {report:?}");
+    assert!(report.sustained_slots_per_sec > 0.0);
+
+    // Quiescent consistency: one latency sample per reply.
+    std::thread::sleep(Duration::from_millis(250));
+    let (_, body) = http_get(metrics_addr, "/metrics", Duration::from_secs(2)).expect("scrape");
+    validate_prometheus_text(&body).expect("final exposition is valid");
+    let samples = metric_value(&body, "vcs_serve_latency_samples_total")
+        .expect("latency samples counter present");
+    let ok = metric_value(&body, "vcs_serve_replies_total{status=\"ok\"}").expect("ok counter");
+    let rejected = metric_value(&body, "vcs_serve_replies_total{status=\"rejected\"}")
+        .expect("rejected counter");
+    assert_eq!(
+        samples,
+        ok + rejected,
+        "histogram totals match reply counter sums"
+    );
+    assert_eq!(rejected, 0.0);
+    assert!(
+        ok >= report.replies_ok as f64,
+        "server counted at least the loadgen's replies"
+    );
+
+    // Fleet plane saw the lanes; SLO stayed clean at the generous budget.
+    assert!(metric_value(&body, "vcs_fleet_processes").unwrap_or(0.0) >= 2.0);
+    assert_eq!(
+        metric_value(&body, "vcs_slo_burn_rate_alerts_total"),
+        Some(0.0)
+    );
+    assert_eq!(metric_value(&body, "vcs_slo_burning"), Some(0.0));
+    assert!(metric_value(&body, "vcs_slo_windows_total").unwrap_or(0.0) >= 1.0);
+
+    handle.shutdown();
+}

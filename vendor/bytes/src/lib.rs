@@ -153,6 +153,13 @@ pub trait Buf {
     /// Panics when fewer than 4 bytes remain.
     fn get_u32(&mut self) -> u32;
 
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+
     /// Reads a big-endian `f64`.
     ///
     /// # Panics
@@ -184,6 +191,13 @@ impl Buf for Bytes {
         u32::from_be_bytes(raw)
     }
 
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.as_slice()[..8]);
+        self.start += 8;
+        u64::from_be_bytes(raw)
+    }
+
     fn get_f64(&mut self) -> f64 {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(&self.as_slice()[..8]);
@@ -200,6 +214,9 @@ pub trait BufMut {
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, value: u32);
 
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64);
+
     /// Appends a big-endian `f64`.
     fn put_f64(&mut self, value: f64);
 }
@@ -210,6 +227,10 @@ impl BufMut for BytesMut {
     }
 
     fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, value: u64) {
         self.buf.extend_from_slice(&value.to_be_bytes());
     }
 
@@ -227,11 +248,13 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(7);
         buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0xFEED_FACE_CAFE_F00D);
         buf.put_f64(-2.5);
         let mut frame = buf.freeze();
-        assert_eq!(frame.remaining(), 13);
+        assert_eq!(frame.remaining(), 21);
         assert_eq!(frame.get_u8(), 7);
         assert_eq!(frame.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frame.get_u64(), 0xFEED_FACE_CAFE_F00D);
         assert_eq!(frame.get_f64(), -2.5);
         assert!(!frame.has_remaining());
     }
